@@ -1,0 +1,95 @@
+// Shared helpers for the per-artifact bench binaries.
+//
+// Every bench prints the paper artifact it regenerates (table rows / case
+// study numbers) and, where timing is meaningful, also registers
+// google-benchmark microbenchmarks which run after the report.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+// The application order used by the paper's tables.
+inline const std::vector<std::string>& PaperAppOrder() {
+  static const auto* kOrder = new std::vector<std::string>{
+      "ministream", "apptools", "minikv", "minidfs", "minimr", "miniyarn"};
+  return *kOrder;
+}
+
+// Paper-name ("Flink", "Hadoop-Tools", ...) for each mini-application.
+inline std::string PaperName(const std::string& app) {
+  if (app == "ministream") {
+    return "Flink (ministream)";
+  }
+  if (app == "apptools") {
+    return "Hadoop-Tools (apptools)";
+  }
+  if (app == "minikv") {
+    return "HBase (minikv)";
+  }
+  if (app == "minidfs") {
+    return "HDFS (minidfs)";
+  }
+  if (app == "minimr") {
+    return "MapReduce (minimr)";
+  }
+  if (app == "miniyarn") {
+    return "YARN (miniyarn)";
+  }
+  if (app == "appcommon") {
+    return "Hadoop Common (appcommon)";
+  }
+  return app;
+}
+
+inline void PrintRule(char c = '-', int width = 100) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar(c);
+  }
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule('=');
+  std::printf("%s\n", title.c_str());
+  PrintRule('=');
+}
+
+// Thousands-separated rendering of counts.
+inline std::string WithCommas(int64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0 && *it != '-') {
+      out.insert(out.begin(), ',');
+    }
+    out.insert(out.begin(), *it);
+    ++count;
+  }
+  return out;
+}
+
+inline CampaignReport RunCampaign(const std::vector<std::string>& apps,
+                                  bool enable_pooling = true) {
+  CampaignOptions options;
+  options.apps = apps;
+  options.enable_pooling = enable_pooling;
+  Campaign campaign(FullSchema(), FullCorpus(), options);
+  return campaign.Run();
+}
+
+inline CampaignReport RunFullCampaign() { return RunCampaign(PaperAppOrder()); }
+
+}  // namespace zebra
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,107 @@
+// Regenerates Table 2: the node types investigated per application, verified
+// against what the corpus pre-run actually starts; plus a google-benchmark of
+// whole-cluster bring-up per application.
+
+#include <set>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/apps/minikv/kv_store.h"
+#include "src/apps/ministream/job_manager.h"
+#include "src/apps/miniyarn/node_manager.h"
+#include "src/apps/miniyarn/resource_manager.h"
+#include "src/common/strings.h"
+#include "src/runtime/node_types.h"
+#include "src/testkit/test_execution.h"
+
+namespace zebra {
+namespace {
+
+void PrintTable2() {
+  PrintHeader("Table 2 — The types of nodes we investigated");
+  std::printf("%-26s %s\n", "Application", "Types of nodes");
+  PrintRule();
+
+  // Registered inventory.
+  for (const std::string& app : PaperAppOrder()) {
+    if (app == "apptools") {
+      continue;  // tools reuse other applications' nodes
+    }
+    std::vector<std::string> types = NodeTypesForApp(app);
+    std::printf("%-26s %s\n", PaperName(app).c_str(), StrJoin(types, ", ").c_str());
+  }
+  PrintRule();
+
+  // Cross-check: every node type the corpus actually starts is declared.
+  std::map<std::string, std::set<std::string>> started;
+  for (const UnitTestDef& test : FullCorpus().tests()) {
+    TestResult result = RunUnitTest(test, TestPlan{}, 0);
+    for (const auto& [type, count] : result.report.node_counts) {
+      started[test.app].insert(type);
+    }
+  }
+  bool all_declared = true;
+  for (const auto& [app, types] : started) {
+    std::vector<std::string> declared = NodeTypesForApp(app);
+    for (const std::string& type : types) {
+      bool found = false;
+      for (const std::string& d : declared) {
+        found |= d == type;
+      }
+      if (!found) {
+        std::printf("WARNING: %s starts undeclared node type %s\n", app.c_str(),
+                    type.c_str());
+        all_declared = false;
+      }
+    }
+  }
+  std::printf("Corpus cross-check: %s\n\n",
+              all_declared ? "every started node type is declared" : "MISMATCH");
+}
+
+void BM_MiniDfsClusterStartup(benchmark::State& state) {
+  for (auto _ : state) {
+    Cluster cluster;
+    Configuration conf;
+    NameNode nn(&cluster, conf);
+    DataNode dn1(&cluster, &nn, conf);
+    DataNode dn2(&cluster, &nn, conf);
+    benchmark::DoNotOptimize(nn.NumRegisteredDataNodes());
+  }
+}
+BENCHMARK(BM_MiniDfsClusterStartup);
+
+void BM_MiniYarnClusterStartup(benchmark::State& state) {
+  for (auto _ : state) {
+    Cluster cluster;
+    Configuration conf;
+    ResourceManager rm(&cluster, conf);
+    NodeManager nm(&cluster, &rm, conf);
+    benchmark::DoNotOptimize(rm.NumRegisteredNodeManagers());
+  }
+}
+BENCHMARK(BM_MiniYarnClusterStartup);
+
+void BM_MiniKvClusterStartup(benchmark::State& state) {
+  for (auto _ : state) {
+    Cluster cluster;
+    Configuration conf;
+    HMaster master(&cluster, conf);
+    HRegionServer rs(&cluster, &master, conf);
+    benchmark::DoNotOptimize(master.NumRegionServers());
+  }
+}
+BENCHMARK(BM_MiniKvClusterStartup);
+
+}  // namespace
+}  // namespace zebra
+
+int main(int argc, char** argv) {
+  zebra::PrintTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Microbenchmarks of the wire layer: frame encode/decode across
+// configurations, checksum throughput, codec throughput. These quantify the
+// per-operation cost behind the campaign's unit-test executions.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/bytes.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+namespace {
+
+Bytes MakePayload(size_t size) {
+  Bytes payload(size);
+  for (size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  return payload;
+}
+
+void BM_EncodeFrame(benchmark::State& state) {
+  WireConfig config;
+  config.encrypt = state.range(1) != 0;
+  config.compression = state.range(2) != 0 ? "rle" : "none";
+  Bytes payload = MakePayload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeFrame(config, payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EncodeFrame)
+    ->Args({1024, 0, 0})
+    ->Args({1024, 1, 0})
+    ->Args({1024, 0, 1})
+    ->Args({65536, 0, 0})
+    ->Args({65536, 1, 1});
+
+void BM_DecodeFrame(benchmark::State& state) {
+  WireConfig config;
+  config.encrypt = state.range(1) != 0;
+  Bytes frame = EncodeFrame(config, MakePayload(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeFrame(config, frame));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DecodeFrame)->Args({1024, 0})->Args({65536, 0})->Args({65536, 1});
+
+void BM_Crc32(benchmark::State& state) {
+  Bytes payload = MakePayload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(payload.data(), payload.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(512)->Arg(65536);
+
+void BM_Crc32c(benchmark::State& state) {
+  Bytes payload = MakePayload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(payload.data(), payload.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(512)->Arg(65536);
+
+void BM_RleCompress(benchmark::State& state) {
+  Bytes payload(static_cast<size_t>(state.range(0)), 0x42);  // compressible
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompressPayload("rle", payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_RleCompress)->Arg(1024)->Arg(65536);
+
+void BM_EncryptPayload(benchmark::State& state) {
+  Bytes payload = MakePayload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncryptPayload(payload, kClusterDataKey));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EncryptPayload)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace zebra
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Case study: dfs.datanode.balance.max.concurrent.moves (paper §7.1).
+//
+// Shows the congestion collapse when the Balancer believes DataNodes admit
+// more concurrent moves than they do, and the community's proposed fix
+// (HDFS-7466): the Balancer should fetch each DataNode's value instead of
+// reading its own configuration file.
+
+#include <cstdio>
+
+#include "src/apps/minidfs/balancer.h"
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+#include "src/runtime/cluster.h"
+
+namespace {
+
+using namespace zebra;
+
+struct Outcome {
+  double seconds = 0;
+  int declines = 0;
+  bool timed_out = false;
+};
+
+Outcome Run(int64_t dn_max, int64_t balancer_max) {
+  Cluster cluster;
+  Configuration nn_conf;
+  NameNode nn(&cluster, nn_conf);
+  Configuration dn_conf;
+  dn_conf.SetInt(kDfsBalanceMaxMoves, dn_max);
+  DataNode dn(&cluster, &nn, dn_conf);
+  Configuration bal_conf;
+  bal_conf.SetInt(kDfsBalanceMaxMoves, balancer_max);
+  Balancer balancer(&cluster, &nn, bal_conf);
+
+  Outcome outcome;
+  try {
+    BalanceResult result = balancer.RunMoves(&dn, 150, 1000000);
+    outcome.seconds = result.elapsed_ms / 1000.0;
+    outcome.declines = result.declined_dispatches;
+  } catch (const TimeoutError&) {
+    outcome.timed_out = true;
+  }
+  return outcome;
+}
+
+void Report(const char* label, int64_t dn_max, int64_t bal_max, const char* paper) {
+  Outcome outcome = Run(dn_max, bal_max);
+  std::printf("  %-28s %7.1f s   %5d declines   (paper: %s)\n", label,
+              outcome.seconds, outcome.declines, paper);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("dfs.datanode.balance.max.concurrent.moves case study (150 moves)\n\n");
+  Report("(DataNode:50, Balancer:50)", 50, 50, "14 s");
+  Report("(DataNode:1,  Balancer:1)", 1, 1, "16.7 s");
+  Report("(DataNode:1,  Balancer:50)", 1, 50, "154 s");
+
+  std::printf(
+      "\nWhy (DataNode:1, Balancer:50) is ~10x slower than (1,1): the Balancer\n"
+      "dispatches 50 concurrent requests; the DataNode accepts one and declines 49;\n"
+      "each declined dispatcher sleeps 1100 ms before retrying, while a move itself\n"
+      "takes ~110 ms — so progress is paced by the backoff, not the move time.\n");
+
+  std::printf(
+      "\nProposed fix (HDFS-7466): the Balancer fetches each DataNode's value and\n"
+      "dispatches at the DataNode's own capacity. Emulating the fix by sizing the\n"
+      "dispatcher at the DataNode's limit:\n");
+  Report("fixed: fetch DN value (=1)", 1, 1, "no declines expected");
+
+  std::printf(
+      "\nNote the deeper point from the paper: if different DataNodes have\n"
+      "different limits, the Balancer's single file-based value is *inevitably*\n"
+      "wrong for some of them — per-node values must travel with the protocol.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Corpus inventory: pre-runs every whole-system unit test and prints what
+// the ZebraConf pre-run phase learns about it — node types started,
+// parameters read per entity, sharing, uncertainty. Useful when growing the
+// corpus (is my new test actually effective for the parameter I care about?).
+//
+//   $ ./corpus_inventory [app]
+
+#include <cstdio>
+#include <string>
+
+#include "src/testkit/test_execution.h"
+#include "src/testkit/unit_test_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace zebra;
+
+  std::string filter = argc > 1 ? argv[1] : "";
+  int total = 0;
+  int with_nodes = 0;
+  int sharing = 0;
+  int with_uncertainty = 0;
+
+  for (const UnitTestDef& test : FullCorpus().tests()) {
+    if (!filter.empty() && test.app != filter) {
+      continue;
+    }
+    ++total;
+    TestResult result = RunUnitTest(test, TestPlan{}, /*trial=*/0);
+    const SessionReport& report = result.report;
+
+    std::printf("%-48s %s\n", test.id.c_str(),
+                result.passed ? "pass" : "FAIL (flaky or broken)");
+    if (!report.StartedAnyNode()) {
+      std::printf("    starts no nodes (filtered by pre-run)\n");
+      continue;
+    }
+    ++with_nodes;
+    std::printf("    nodes:");
+    for (const auto& [type, count] : report.node_counts) {
+      std::printf(" %s x%d", type.c_str(), count);
+    }
+    std::printf("\n    reads:");
+    for (const auto& [entity, params] : report.reads) {
+      std::printf(" %s(%zu)", entity.c_str(), params.size());
+    }
+    std::printf("\n");
+    if (report.conf_sharing_detected) {
+      ++sharing;
+    }
+    if (!report.uncertain_params.empty()) {
+      ++with_uncertainty;
+      std::printf("    uncertain params: %zu (excluded for this test)\n",
+                  report.uncertain_params.size());
+    }
+  }
+
+  std::printf("\n%d tests (%d start nodes, %d share conf objects, %d carry "
+              "uncertain confs)\n",
+              total, with_nodes, sharing, with_uncertainty);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Operator workflow: from a ZebraConf campaign to deployment decisions.
+//
+//  1. Run the campaign once; its findings become the knowledge base.
+//  2. Check a proposed per-node configuration-file deployment
+//     (HeteroConf(F1..Fn) of Definition 3.1) against the knowledge base.
+//  3. For a parameter the operator still wants to change, ask the
+//     reconfiguration planner for a safe rolling order (§7.1 / §7.3).
+
+#include <cstdio>
+
+#include "src/core/campaign.h"
+#include "src/core/deployment_checker.h"
+#include "src/core/reconfig_planner.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+int main() {
+  using namespace zebra;
+
+  // 1. Build the knowledge base (here: a campaign over MiniDFS).
+  CampaignOptions options;
+  options.apps = {"minidfs"};
+  Campaign campaign(FullSchema(), FullCorpus(), options);
+  CampaignReport report = campaign.Run();
+  DeploymentChecker checker(report);
+  std::printf("knowledge base: %d heterogeneous-unsafe parameters (campaign: %.2f s)\n\n",
+              checker.knowledge_base_size(), report.wall_seconds);
+
+  // 2a. A sensible heterogeneous deployment: per-node data dirs differ.
+  ConfFileSet good;
+  good.AddFile("nn-1",
+               "dfs.checksum.type = CRC32C\n"
+               "dfs.namenode.handler.count = 32\n");
+  good.AddFile("dn-1",
+               "dfs.checksum.type = CRC32C\n"
+               "dfs.datanode.data.dir = /disk1/dfs\n");
+  good.AddFile("dn-2",
+               "dfs.checksum.type = CRC32C\n"
+               "dfs.datanode.data.dir = /disk2/dfs\n");
+  DeploymentVerdict good_verdict = checker.Check(good);
+  std::printf("proposal A (per-node data dirs): %s\n",
+              good_verdict.safe ? "SAFE" : "UNSAFE");
+  for (const std::string& param : good_verdict.unknown_heterogeneous) {
+    std::printf("  note: '%s' is heterogeneous but not in the knowledge base\n",
+                param.c_str());
+  }
+
+  // 2b. A deployment about to mix checksum types and heartbeat intervals.
+  ConfFileSet bad;
+  bad.AddFile("nn-1", "dfs.checksum.type = CRC32C\ndfs.heartbeat.interval = 1\n");
+  bad.AddFile("dn-1", "dfs.checksum.type = CRC32\ndfs.heartbeat.interval = 1\n");
+  bad.AddFile("dn-2", "dfs.checksum.type = CRC32C\ndfs.heartbeat.interval = 100\n");
+  DeploymentVerdict bad_verdict = checker.Check(bad);
+  std::printf("\nproposal B (mixed checksums + intervals): %s\n",
+              bad_verdict.safe ? "SAFE" : "UNSAFE");
+  for (const DeploymentWarning& warning : bad_verdict.warnings) {
+    std::printf("  UNSAFE %-45s", warning.param.c_str());
+    for (const auto& [node, value] : warning.values) {
+      std::printf(" %s=%s", node.c_str(), value.c_str());
+    }
+    std::printf("\n         because: %.90s\n", warning.reason.c_str());
+  }
+
+  // 3. The operator still wants faster heartbeats: plan a safe rollout.
+  std::vector<NodeRef> nodes{{"nn-1", "NameNode"}, {"dn-1", "DataNode"},
+                             {"dn-2", "DataNode"}};
+  ReconfigPlan plan = PlanReconfiguration("dfs.heartbeat.interval", "100", "1", nodes);
+  std::printf("\nrolling plan for dfs.heartbeat.interval 100 -> 1 (%s):\n",
+              ReconfigCategoryName(plan.category));
+  std::printf("  %s\n", plan.rationale.c_str());
+  int step = 1;
+  for (const ReconfigStep& node : plan.steps) {
+    std::printf("  step %d: reconfigure %s (%s)\n", step++, node.node_name.c_str(),
+                node.node_type.c_str());
+  }
+
+  // And a parameter with no safe order:
+  ReconfigPlan refused =
+      PlanReconfiguration("dfs.encrypt.data.transfer", "false", "true", nodes);
+  std::printf("\nrolling plan for dfs.encrypt.data.transfer false -> true:\n  REFUSED: %s\n",
+              refused.rationale.c_str());
+  return 0;
+}

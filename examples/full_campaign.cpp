@@ -1,0 +1,114 @@
+// Full campaign driver: runs the ZebraConf pipeline over any subset of the
+// six applications and prints the complete evaluation report.
+//
+//   $ ./full_campaign                          # all applications
+//   $ ./full_campaign minidfs minimr           # a subset
+//   $ ./full_campaign --no-pooling minikv      # ablate pooled testing
+//   $ ./full_campaign --first-trials 3         # §5 false-negative mitigation
+//   $ ./full_campaign --report report.md       # write a markdown report
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.h"
+#include "src/core/report_writer.h"
+#include "src/core/sharded_campaign.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/ground_truth.h"
+#include "src/testkit/unit_test_registry.h"
+
+int main(int argc, char** argv) {
+  using namespace zebra;
+
+  CampaignOptions options;
+  std::string report_path;
+  int workers = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-pooling") == 0) {
+      options.enable_pooling = false;
+    } else if (std::strcmp(argv[i], "--no-round-robin") == 0) {
+      options.enable_round_robin = false;
+    } else if (std::strcmp(argv[i], "--first-trials") == 0 && i + 1 < argc) {
+      options.first_trials = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--no-pooling] [--no-round-robin] [--first-trials N]\n"
+          "          [--workers N] [--report FILE] [app ...]\n"
+          "apps: minidfs minimr miniyarn ministream minikv apptools\n",
+          argv[0]);
+      return 0;
+    } else {
+      options.apps.emplace_back(argv[i]);
+    }
+  }
+
+  CampaignReport report;
+  if (workers > 1) {
+    report = RunShardedCampaign(FullSchema(), FullCorpus(), options, workers);
+  } else {
+    Campaign campaign(FullSchema(), FullCorpus(), options);
+    report = campaign.Run();
+  }
+
+  std::printf("=== ZebraConf campaign report ===\n\n");
+  std::printf("%-12s %14s %14s %14s %12s\n", "app", "original", "pre-run",
+              "uncertainty", "executed");
+  for (const auto& [app, counts] : report.per_app) {
+    std::printf("%-12s %14lld %14lld %14lld %12lld\n", app.c_str(),
+                static_cast<long long>(counts.original),
+                static_cast<long long>(counts.after_prerun),
+                static_cast<long long>(counts.after_uncertainty),
+                static_cast<long long>(counts.executed_runs));
+  }
+
+  int true_positives = 0;
+  int false_positives = 0;
+  std::printf("\nfindings (%zu):\n", report.findings.size());
+  for (const auto& [param, finding] : report.findings) {
+    bool expected =
+        IsExpectedUnsafe(param) || ProbabilisticUnsafeParams().count(param) > 0;
+    expected ? ++true_positives : ++false_positives;
+    std::printf("  [%s] %-55s (%zu witness tests)\n", expected ? "TRUE" : "FP  ",
+                param.c_str(), finding.witness_tests.size());
+  }
+
+  int false_negatives = 0;
+  for (const auto& [param, why] : ExpectedUnsafeParams()) {
+    const ParamSpec* spec = FullSchema().Find(param);
+    bool in_scope = options.apps.empty();
+    for (const std::string& app : options.apps) {
+      in_scope |= spec != nullptr && (spec->app == app || spec->app == kSharedApp);
+    }
+    if (in_scope && report.findings.count(param) == 0) {
+      ++false_negatives;
+      std::printf("  [MISS] %s\n", param.c_str());
+    }
+  }
+
+  std::printf("\nprecision: %d true / %d false positives / %d missed-in-scope\n",
+              true_positives, false_positives, false_negatives);
+  std::printf("hypothesis testing: %d first-trial candidates, %d filtered\n",
+              report.first_trial_candidates, report.filtered_by_hypothesis);
+  std::printf("total unit-test executions: %lld in %.2f s\n",
+              static_cast<long long>(report.total_unit_test_runs),
+              report.wall_seconds);
+
+  if (!report_path.empty()) {
+    ReportWriterOptions writer_options;
+    writer_options.annotate_ground_truth = true;
+    writer_options.fleet_machines = 100;
+    writer_options.fleet_containers = 20;
+    std::ofstream out(report_path);
+    out << RenderMarkdownReport(report, writer_options);
+    std::printf("markdown report written to %s\n", report_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Rolling reconfiguration, executed live: the planner's §7.1 ordering is
+// applied step-by-step to a running MiniDFS cluster via the nodes' online
+// Reconfigure() API (the dfsadmin -reconfig analog), with the cluster kept
+// under observation between steps. The wrong ordering is then shown to kill
+// a DataNode on an identical cluster.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+#include "src/core/reconfig_planner.h"
+#include "src/runtime/cluster.h"
+
+namespace {
+
+using namespace zebra;
+
+struct LiveCluster {
+  explicit LiveCluster(int64_t heartbeat_interval_s) {
+    conf.SetInt(kDfsHeartbeatRecheck, 1000);
+    conf.SetInt(kDfsHeartbeatInterval, heartbeat_interval_s);
+    name_node = std::make_unique<NameNode>(&cluster, conf);
+    for (int i = 0; i < 2; ++i) {
+      datanodes.push_back(std::make_unique<DataNode>(&cluster, name_node.get(), conf));
+    }
+  }
+
+  void ApplyStep(const ReconfigStep& step, const std::string& param,
+                 const std::string& value) {
+    if (step.node_type == "NameNode") {
+      name_node->Reconfigure(param, value);
+    } else {
+      // Map plan step names dn-1, dn-2 onto the live DataNodes in order.
+      size_t index = static_cast<size_t>(step.node_name.back() - '1');
+      datanodes.at(index)->Reconfigure(param, value);
+    }
+    // Observe the cluster for a virtual minute between steps.
+    cluster.AdvanceTime(60000);
+  }
+
+  Cluster cluster;
+  Configuration conf;
+  std::unique_ptr<NameNode> name_node;
+  std::vector<std::unique_ptr<DataNode>> datanodes;
+};
+
+}  // namespace
+
+int main() {
+  const std::string param = kDfsHeartbeatInterval;
+  std::vector<NodeRef> nodes{
+      {"nn-1", "NameNode"}, {"dn-1", "DataNode"}, {"dn-2", "DataNode"}};
+
+  // ---- The planned (safe) rollout: decrease 100 s -> 1 s -------------------
+  ReconfigPlan plan = PlanReconfiguration(param, "100", "1", nodes);
+  std::printf("plan for %s: 100 -> 1 (%s)\n  %s\n", param.c_str(),
+              ReconfigCategoryName(plan.category), plan.rationale.c_str());
+
+  LiveCluster safe(/*heartbeat_interval_s=*/100);
+  int step_number = 1;
+  for (const ReconfigStep& step : plan.steps) {
+    safe.ApplyStep(step, param, "1");
+    std::printf("  step %d: %s (%s) reconfigured; live DataNodes: %d\n", step_number++,
+                step.node_name.c_str(), step.node_type.c_str(),
+                safe.name_node->NumLiveDataNodes());
+  }
+  safe.cluster.AdvanceTime(120000);
+  std::printf("after rollout: %d/2 DataNodes alive — SAFE\n\n",
+              safe.name_node->NumLiveDataNodes());
+
+  // ---- The wrong ordering on an identical cluster ---------------------------
+  std::printf("wrong ordering (receiver first) on an identical cluster:\n");
+  LiveCluster doomed(/*heartbeat_interval_s=*/100);
+  try {
+    doomed.name_node->Reconfigure(param, "1");  // receiver updated first
+    doomed.cluster.AdvanceTime(120000);
+    std::printf("  unexpectedly survived\n");
+  } catch (const Error& e) {
+    std::printf("  FAILED as the paper predicts: %s\n", e.what());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared-library (Hadoop Common analog) parameter names and defaults.
+//
+// Every mini-application links against appcommon, so these parameters are
+// testable for all of them (paper Table 1: all applications share the Hadoop
+// Common library's 336 parameters).
+
+#ifndef SRC_APPS_APPCOMMON_COMMON_PARAMS_H_
+#define SRC_APPS_APPCOMMON_COMMON_PARAMS_H_
+
+#include <cstdint>
+
+namespace zebra {
+
+inline constexpr char kCommonApp[] = "appcommon";
+
+// ---- Heterogeneous-unsafe in the paper (Table 3, Hadoop Common) -------------
+
+// RPC SASL protection level; endpoints must agree ("RPC client fails to
+// connect to RPC servers").
+inline constexpr char kRpcProtection[] = "hadoop.rpc.protection";
+inline constexpr char kRpcProtectionDefault[] = "authentication";
+
+// Client-side RPC timeout; servers also derive their progress pacing from it
+// ("Socket connection timeouts").
+inline constexpr char kRpcTimeoutMs[] = "ipc.client.rpc-timeout.ms";
+inline constexpr int64_t kRpcTimeoutMsDefault = 60000;
+
+// ---- Safe parameters (some are seeded false-positive sources) ---------------
+
+// Read both by the shared IPC component's own conf and by callers' confs —
+// the combination the paper reports as the cause of IPC-related false alarms.
+inline constexpr char kIpcPingInterval[] = "ipc.ping.interval";
+inline constexpr int64_t kIpcPingIntervalDefault = 60000;
+
+inline constexpr char kIpcConnectMaxRetries[] = "ipc.client.connect.max.retries";
+inline constexpr int64_t kIpcConnectMaxRetriesDefault = 10;
+
+inline constexpr char kIoFileBufferSize[] = "io.file.buffer.size";
+inline constexpr int64_t kIoFileBufferSizeDefault = 4096;
+
+inline constexpr char kIpcListenQueueSize[] = "ipc.server.listen.queue.size";
+inline constexpr int64_t kIpcListenQueueSizeDefault = 128;
+
+inline constexpr char kHadoopTmpDir[] = "hadoop.tmp.dir";
+inline constexpr char kHadoopTmpDirDefault[] = "/tmp/hadoop";
+
+inline constexpr char kCallerContextEnabled[] = "hadoop.caller.context.enabled";
+inline constexpr bool kCallerContextEnabledDefault = false;
+
+// Cluster flag name used to disable IPC-component sharing (the paper's
+// one-line Hadoop fix that removed the IPC false alarms).
+inline constexpr char kFlagIpcSharingDisabled[] = "ipc.sharing.disabled";
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_APPCOMMON_COMMON_PARAMS_H_

@@ -1,0 +1,58 @@
+#include "src/apps/appcommon/common_schema.h"
+
+#include "src/apps/appcommon/common_params.h"
+
+namespace zebra {
+
+void RegisterCommonSchema(ConfSchema& schema) {
+  schema.AddParam({kRpcProtection,
+                   kCommonApp,
+                   ParamType::kEnum,
+                   kRpcProtectionDefault,
+                   {"authentication", "integrity", "privacy"},
+                   "SASL protection level for RPC connections"});
+  schema.AddParam({kRpcTimeoutMs,
+                   kCommonApp,
+                   ParamType::kInt,
+                   "60000",
+                   {"1000", "60000", "300000"},
+                   "RPC timeout; 0 disables the timeout"});
+  schema.AddParam({kIpcPingInterval,
+                   kCommonApp,
+                   ParamType::kInt,
+                   "60000",
+                   {"10000", "60000"},
+                   "Keepalive ping interval for idle IPC connections"});
+  schema.AddParam({kIpcConnectMaxRetries,
+                   kCommonApp,
+                   ParamType::kInt,
+                   "10",
+                   {"1", "10", "50"},
+                   "Connection-establishment retry budget"});
+  schema.AddParam({kIoFileBufferSize,
+                   kCommonApp,
+                   ParamType::kInt,
+                   "4096",
+                   {"512", "4096", "65536"},
+                   "Buffer size used in sequence files and stream copies"});
+  schema.AddParam({kIpcListenQueueSize,
+                   kCommonApp,
+                   ParamType::kInt,
+                   "128",
+                   {"16", "128", "1024"},
+                   "Server accept-queue length"});
+  schema.AddParam({kHadoopTmpDir,
+                   kCommonApp,
+                   ParamType::kString,
+                   kHadoopTmpDirDefault,
+                   {"/tmp/hadoop", "/var/tmp/hadoop"},
+                   "Base directory for temporary files"});
+  schema.AddParam({kCallerContextEnabled,
+                   kCommonApp,
+                   ParamType::kBool,
+                   "false",
+                   {"true", "false"},
+                   "Whether to propagate caller context in audit logs"});
+}
+
+}  // namespace zebra

@@ -1,0 +1,14 @@
+// Schema registration for the shared-library parameters.
+
+#ifndef SRC_APPS_APPCOMMON_COMMON_SCHEMA_H_
+#define SRC_APPS_APPCOMMON_COMMON_SCHEMA_H_
+
+#include "src/conf/conf_schema.h"
+
+namespace zebra {
+
+void RegisterCommonSchema(ConfSchema& schema);
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_APPCOMMON_COMMON_SCHEMA_H_

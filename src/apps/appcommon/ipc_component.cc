@@ -1,0 +1,39 @@
+#include "src/apps/appcommon/ipc_component.h"
+
+#include <memory>
+#include <string>
+
+#include "src/apps/appcommon/common_params.h"
+#include "src/common/error.h"
+
+namespace zebra {
+
+void IpcComponent::Ping(const Configuration& caller_conf) {
+  ++ping_count_;
+  int64_t own_interval = own_conf_.GetInt(kIpcPingInterval, kIpcPingIntervalDefault);
+  int64_t caller_interval =
+      caller_conf.GetInt(kIpcPingInterval, kIpcPingIntervalDefault);
+  int64_t own_retries =
+      own_conf_.GetInt(kIpcConnectMaxRetries, kIpcConnectMaxRetriesDefault);
+  int64_t caller_retries =
+      caller_conf.GetInt(kIpcConnectMaxRetries, kIpcConnectMaxRetriesDefault);
+  if (own_interval != caller_interval) {
+    throw RpcError("ipc keepalive negotiation failed: component expects ping every " +
+                   std::to_string(own_interval) + " ms, connection configured for " +
+                   std::to_string(caller_interval) + " ms");
+  }
+  if (own_retries != caller_retries) {
+    throw RpcError("ipc retry policy disagreement between component and connection");
+  }
+}
+
+IpcComponent& GetIpc(Cluster& cluster, const void* node) {
+  std::string key = "ipc";
+  if (cluster.GetFlag(kFlagIpcSharingDisabled)) {
+    key += ":" + std::to_string(reinterpret_cast<uintptr_t>(node));
+  }
+  return cluster.GetFacility<IpcComponent>(
+      key, [] { return std::make_unique<IpcComponent>(); });
+}
+
+}  // namespace zebra

@@ -1,0 +1,49 @@
+// The shared InterProcess Communication component (Hadoop Common analog).
+//
+// Reproduces the false-positive mechanism of §7.1: "different nodes share the
+// IPC component, which has its own configuration object. However, the IPC
+// component sometimes reads configuration values from external configuration
+// objects as well" — so under a heterogeneous assignment the component reads
+// *different* values for the same parameter and errors out, something that
+// cannot happen across real processes.
+//
+// By default one IpcComponent per cluster is shared by all nodes. Setting the
+// cluster flag kFlagIpcSharingDisabled gives each node a private instance,
+// mirroring the one-line Hadoop change that eliminated these false alarms.
+
+#ifndef SRC_APPS_APPCOMMON_IPC_COMPONENT_H_
+#define SRC_APPS_APPCOMMON_IPC_COMPONENT_H_
+
+#include <cstdint>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+
+class IpcComponent {
+ public:
+  // Creates the component's own configuration object. When constructed from
+  // inside a node's initialization function, that conf maps to the node
+  // (Rule 1.1) — which is exactly why sharing it is unsound.
+  IpcComponent() = default;
+
+  // Simulates the connection-keepalive negotiation: the component uses its own
+  // conf for the ping schedule while honoring the caller's conf for the
+  // connection parameters; a disagreement corrupts the keepalive protocol.
+  void Ping(const Configuration& caller_conf);
+
+  int64_t ping_count() const { return ping_count_; }
+
+ private:
+  Configuration own_conf_;
+  int64_t ping_count_ = 0;
+};
+
+// Returns the IPC component for `node`: the cluster-shared instance, or a
+// per-node instance when sharing is disabled.
+IpcComponent& GetIpc(Cluster& cluster, const void* node);
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_APPCOMMON_IPC_COMPONENT_H_

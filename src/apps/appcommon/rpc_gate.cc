@@ -1,0 +1,40 @@
+#include "src/apps/appcommon/rpc_gate.h"
+
+#include "src/apps/appcommon/common_params.h"
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+
+void RpcGate(Cluster& cluster, const void* callee_node, const Configuration& caller_conf,
+             const Configuration& callee_conf, std::string_view service) {
+  // SASL protection negotiation: both sides derive an opaque token from their
+  // configured protection level; a mismatch aborts the connection.
+  RequireMatchingTokens(
+      service,
+      WireToken(caller_conf.Get(kRpcProtection, kRpcProtectionDefault)),
+      WireToken(callee_conf.Get(kRpcProtection, kRpcProtectionDefault)));
+
+  // Keepalive negotiation through the server's IPC component. Nodes create
+  // their IPC component during initialization; with sharing enabled (the
+  // default) every node receives the same instance, whose own configuration
+  // object belongs to whichever node initialized first — the false-positive
+  // mechanism of §7.1.
+  IpcComponent& ipc = GetIpc(cluster, callee_node);
+  ipc.Ping(callee_conf);
+}
+
+void RpcLongOperation(Cluster& cluster, std::string_view operation,
+                      const Configuration& caller_conf, const Configuration& callee_conf,
+                      int64_t duration_ms) {
+  int64_t client_timeout = caller_conf.GetInt(kRpcTimeoutMs, kRpcTimeoutMsDefault);
+  // Servers send a progress/keepalive message every half of *their* timeout
+  // value — the Hadoop convention that turns a timeout disagreement into a
+  // one-sided connection abort.
+  int64_t server_pace =
+      callee_conf.GetInt(kRpcTimeoutMs, kRpcTimeoutMsDefault) / 2;
+  SimulatePacedWait(operation, duration_ms, client_timeout, server_pace);
+  cluster.AdvanceTime(duration_ms);
+}
+
+}  // namespace zebra

@@ -1,0 +1,37 @@
+// RPC gate: the connection-level checks every cross-node call in the
+// mini-applications goes through.
+//
+// Validates the shared-library transport parameters between the caller's and
+// the callee's own configuration objects — so heterogeneous assignments of
+// hadoop.rpc.protection fail at connection time, and long-running operations
+// time out under mismatched ipc.client.rpc-timeout.ms, just as in the paper's
+// Hadoop Common findings.
+
+#ifndef SRC_APPS_APPCOMMON_RPC_GATE_H_
+#define SRC_APPS_APPCOMMON_RPC_GATE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+
+// Connection establishment. Throws HandshakeError on a SASL protection-level
+// mismatch and RpcError when the shared IPC component's keepalive negotiation
+// fails (the false-positive mechanism; see ipc_component.h).
+void RpcGate(Cluster& cluster, const void* callee_node, const Configuration& caller_conf,
+             const Configuration& callee_conf, std::string_view service);
+
+// A server-side operation taking `duration_ms` virtual milliseconds, watched
+// by the caller under its rpc timeout while the server paces progress
+// messages from its own timeout value. Advances the cluster clock by the
+// operation's duration. Throws TimeoutError.
+void RpcLongOperation(Cluster& cluster, std::string_view operation,
+                      const Configuration& caller_conf, const Configuration& callee_conf,
+                      int64_t duration_ms);
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_APPCOMMON_RPC_GATE_H_

@@ -1,0 +1,80 @@
+#include "src/apps/apptools/dfs_tools.h"
+
+#include "src/apps/appcommon/common_params.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+#include "src/common/strings.h"
+
+namespace zebra {
+
+namespace {
+
+std::string Basename(const std::string& path) {
+  size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+// Virtual milliseconds a server-side archive scan takes per member.
+constexpr int64_t kArchiveScanMsPerMember = 500;
+
+}  // namespace
+
+DistCpTool::DistCpTool(Cluster* cluster, NameNode* name_node,
+                       std::vector<DataNode*> datanodes, const Configuration& conf)
+    : cluster_(cluster),
+      conf_(conf),
+      client_(cluster, name_node, std::move(datanodes), conf) {}
+
+int DistCpTool::Copy(const std::vector<std::string>& sources,
+                     const std::string& dest_prefix) {
+  conf_.GetInt(kIoFileBufferSize, kIoFileBufferSizeDefault);
+  int copied = 0;
+  for (const std::string& source : sources) {
+    std::string contents = client_.ReadFile(source);
+    client_.WriteFile(dest_prefix + Basename(source), contents);
+    ++copied;
+  }
+  return copied;
+}
+
+HadoopArchiveTool::HadoopArchiveTool(Cluster* cluster, NameNode* name_node,
+                                     std::vector<DataNode*> datanodes,
+                                     const Configuration& conf)
+    : cluster_(cluster),
+      name_node_(name_node),
+      conf_(conf),
+      client_(cluster, name_node, std::move(datanodes), conf) {}
+
+size_t HadoopArchiveTool::Archive(const std::vector<std::string>& sources,
+                                  const std::string& archive_path) {
+  // The NameNode-side scan is a long operation under the shared RPC timeout
+  // discipline (ipc.client.rpc-timeout.ms on both sides).
+  RpcLongOperation(*cluster_, "har-scan", conf_, name_node_->conf(),
+                   static_cast<int64_t>(sources.size()) * kArchiveScanMsPerMember);
+
+  // Index: member names; body: concatenated member contents.
+  std::string index;
+  std::string body;
+  for (const std::string& source : sources) {
+    std::string contents = client_.ReadFile(source);  // throws if missing
+    index += Basename(source) + "\n";
+    body += contents;
+  }
+  client_.WriteFile(archive_path + ".idx", index);
+  client_.WriteFile(archive_path, body);
+  return body.size();
+}
+
+std::vector<std::string> HadoopArchiveTool::ListMembers(
+    const std::string& archive_path) {
+  std::vector<std::string> members;
+  for (const std::string& line : StrSplit(client_.ReadFile(archive_path + ".idx"), '\n')) {
+    if (!line.empty()) {
+      members.push_back(line);
+    }
+  }
+  return members;
+}
+
+}  // namespace zebra

@@ -1,0 +1,64 @@
+// Hadoop-Tools analog: standalone tools that operate on a MiniDFS cluster
+// through its client API. Tools have no parameters of their own (paper
+// Table 1) — they read only shared-library and target-application
+// parameters through the configuration object they are launched with.
+
+#ifndef SRC_APPS_APPTOOLS_DFS_TOOLS_H_
+#define SRC_APPS_APPTOOLS_DFS_TOOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/minidfs/dfs_client.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+
+class DataNode;
+class NameNode;
+
+// DistCp: copies a list of files within (or, in real Hadoop, across)
+// filesystems. Reads its buffer sizing from the shared library parameters
+// and performs every transfer through the ordinary client data path.
+class DistCpTool {
+ public:
+  DistCpTool(Cluster* cluster, NameNode* name_node, std::vector<DataNode*> datanodes,
+             const Configuration& conf);
+
+  // Copies each source path to `dest_prefix + basename(source)`. Returns the
+  // number of files copied.
+  int Copy(const std::vector<std::string>& sources, const std::string& dest_prefix);
+
+ private:
+  Cluster* cluster_;
+  const Configuration& conf_;
+  DfsClient client_;
+};
+
+// HadoopArchive (har): packs a list of files into one archive file plus an
+// index, validating that every member is present and readable. The long
+// server-side scan runs under the shared RPC timeout discipline.
+class HadoopArchiveTool {
+ public:
+  HadoopArchiveTool(Cluster* cluster, NameNode* name_node,
+                    std::vector<DataNode*> datanodes, const Configuration& conf);
+
+  // Archives `sources` into `archive_path`; returns the archive's byte size.
+  // Throws if any member is missing or the archive scan times out.
+  size_t Archive(const std::vector<std::string>& sources,
+                 const std::string& archive_path);
+
+  // Lists the member names recorded in an archive's index.
+  std::vector<std::string> ListMembers(const std::string& archive_path);
+
+ private:
+  Cluster* cluster_;
+  NameNode* name_node_;
+  const Configuration& conf_;
+  DfsClient client_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_APPTOOLS_DFS_TOOLS_H_

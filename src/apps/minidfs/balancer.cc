@@ -1,0 +1,185 @@
+#include "src/apps/minidfs/balancer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+#include "src/sim/sim_network.h"
+
+namespace zebra {
+
+Balancer::Balancer(Cluster* cluster, NameNode* name_node, const Configuration& conf)
+    : init_scope_(kDfsApp, this, "Balancer", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kDfsApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster),
+      name_node_(name_node) {
+  GetIpc(*cluster_, this);
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "NamenodeProtocol.getBlocks");
+  init_scope_.Finish();
+}
+
+BalanceResult Balancer::RunMoves(DataNode* target, int num_moves, int64_t timeout_ms) {
+  BalanceResult result;
+  const int64_t start_ms = cluster_->NowMs();
+  int64_t balancer_max = conf_.GetInt(kDfsBalanceMaxMoves, kDfsBalanceMaxMovesDefault);
+  if (balancer_max < 1) {
+    balancer_max = 1;
+  }
+
+  int remaining = num_moves;
+  while (remaining > 0) {
+    // One dispatch iteration: the Balancer launches up to *its* concurrency
+    // limit worth of moves and waits for all of them before planning the next
+    // wave (HDFS's per-iteration dispatcher).
+    int batch = static_cast<int>(std::min<int64_t>(balancer_max, remaining));
+    std::multiset<int64_t> completions;
+    std::multiset<int64_t> retries;
+
+    auto attempt = [&](int64_t now_ms) {
+      int64_t completion = 0;
+      if (target->TryStartBalanceMove(now_ms, kMoveBaseDurationMs, &completion)) {
+        completions.insert(completion);
+      } else {
+        ++result.declined_dispatches;
+        retries.insert(now_ms + kCongestionBackoffMs);
+      }
+    };
+
+    for (int i = 0; i < batch; ++i) {
+      attempt(cluster_->NowMs());
+    }
+
+    while (!completions.empty() || !retries.empty()) {
+      int64_t next_completion =
+          completions.empty() ? INT64_MAX : *completions.begin();
+      int64_t next_retry = retries.empty() ? INT64_MAX : *retries.begin();
+      int64_t next_event = std::min(next_completion, next_retry);
+      if (next_event - start_ms > timeout_ms) {
+        throw TimeoutError("balancer did not finish within " +
+                           std::to_string(timeout_ms) + " ms (" +
+                           std::to_string(result.completed_moves) + "/" +
+                           std::to_string(num_moves) + " moves, " +
+                           std::to_string(result.declined_dispatches) + " declines)");
+      }
+      cluster_->clock().AdvanceTo(next_event);
+      int64_t now_ms = cluster_->NowMs();
+      while (!completions.empty() && *completions.begin() <= now_ms) {
+        completions.erase(completions.begin());
+        ++result.completed_moves;
+      }
+      std::vector<int64_t> due;
+      while (!retries.empty() && *retries.begin() <= now_ms) {
+        due.push_back(*retries.begin());
+        retries.erase(retries.begin());
+      }
+      for (size_t i = 0; i < due.size(); ++i) {
+        attempt(now_ms);
+      }
+    }
+    remaining -= batch;
+  }
+
+  result.elapsed_ms = cluster_->NowMs() - start_ms;
+  return result;
+}
+
+BalanceResult Balancer::RunDomainMoves(const std::vector<uint64_t>& block_ids,
+                                       DataNode* src, DataNode* dst,
+                                       int64_t timeout_ms) {
+  BalanceResult result;
+  const int64_t start_ms = cluster_->NowMs();
+  int64_t balancer_factor =
+      conf_.GetInt(kDfsUpgradeDomainFactor, kDfsUpgradeDomainFactorDefault);
+  if (balancer_factor <= 0) {
+    balancer_factor = 1;
+  }
+
+  for (uint64_t block_id : block_ids) {
+    // The Balancer evaluates placement with *its own* domain factor: the
+    // destination's domain must differ from every remaining replica's domain.
+    std::set<int64_t> domains_after;
+    domains_after.insert(name_node_->DataNodeIndex(dst->id()) % balancer_factor);
+    bool valid_for_balancer = true;
+    for (uint64_t dn_id : name_node_->LocationsOf(block_id)) {
+      if (dn_id == src->id()) {
+        continue;
+      }
+      int64_t domain = name_node_->DataNodeIndex(dn_id) % balancer_factor;
+      if (domains_after.count(domain) > 0) {
+        valid_for_balancer = false;
+        break;
+      }
+      domains_after.insert(domain);
+    }
+    if (!valid_for_balancer) {
+      continue;  // the Balancer finds nothing it considers movable
+    }
+
+    // Keep re-proposing the move the Balancer believes is valid; the NameNode
+    // validates with its own factor and may decline every time.
+    while (true) {
+      if (name_node_->ValidateBalanceMove(block_id, src->id(), dst->id())) {
+        src->ReplicateTo(dst, block_id);
+        name_node_->CommitBalanceMove(block_id, src->id(), dst->id());
+        ++result.completed_moves;
+        cluster_->AdvanceTime(kMoveBaseDurationMs);
+        break;
+      }
+      ++result.declined_dispatches;
+      cluster_->AdvanceTime(kCongestionBackoffMs);
+      if (cluster_->NowMs() - start_ms > timeout_ms) {
+        throw TimeoutError(
+            "rebalancing made no progress: NameNode keeps declining moves as "
+            "block placement policy violations (" +
+            std::to_string(result.declined_dispatches) + " declines)");
+      }
+    }
+  }
+
+  result.elapsed_ms = cluster_->NowMs() - start_ms;
+  return result;
+}
+
+int64_t Balancer::RunThrottledTransfer(DataNode* src, DataNode* dst,
+                                       int64_t total_bytes) {
+  int64_t src_rate = src->BalanceBandwidthPerSec();
+  int64_t dst_rate = dst->BalanceBandwidthPerSec();
+  if (src_rate <= 0 || dst_rate <= 0) {
+    throw RpcError("balancing bandwidth must be positive");
+  }
+
+  // The receiver's inbound link drains at *its* bandwidth limit; messages
+  // are delivered FIFO, so the periodic progress report queues behind
+  // whatever data backlog the (faster) sender has built up.
+  InboundQueue inbound(dst_rate);
+  int64_t sent_bytes = 0;
+  int64_t max_report_delay_ms = 0;
+  while (sent_bytes < total_bytes) {
+    int64_t now = cluster_->NowMs();
+    // The receiver emits its progress report, then one second of sender
+    // traffic (paced at the sender's own limit) lands behind it.
+    uint64_t report = inbound.Enqueue(kProgressReportBytes, now);
+    int64_t inflow = std::min(src_rate, total_bytes - sent_bytes);
+    sent_bytes += inflow;
+    inbound.Enqueue(inflow, now);
+
+    int64_t report_delay_ms = inbound.DeliveryDelayMs(report);
+    max_report_delay_ms = std::max(max_report_delay_ms, report_delay_ms);
+    cluster_->AdvanceTime(1000);
+    inbound.ForgetDelivered(cluster_->NowMs());
+    if (report_delay_ms > kProgressTimeoutMs) {
+      throw TimeoutError(
+          "balancer timed out waiting for DataNode progress report (delayed " +
+          std::to_string(report_delay_ms) + " ms behind throttled traffic)");
+    }
+  }
+  return max_report_delay_ms;
+}
+
+}  // namespace zebra

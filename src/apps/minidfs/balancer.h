@@ -1,0 +1,79 @@
+// MiniDFS Balancer: redistributes block replicas across DataNodes.
+//
+// Reproduces three Table 3 / §7.1 failure mechanisms:
+//  * dfs.datanode.balance.max.concurrent.moves — the Balancer dispatches
+//    according to *its* limit; DataNodes admit according to *theirs*; each
+//    declined dispatch triggers the 1100 ms congestion backoff, collapsing
+//    throughput roughly 10x when the Balancer believes in more capacity than
+//    the DataNode has (the paper's (DataNode:1, Balancer:50) case).
+//  * dfs.namenode.upgrade.domain.factor — the Balancer plans moves that are
+//    valid under *its* domain factor; the NameNode validates under its own;
+//    a mismatch can decline every proposal and the rebalance never finishes.
+//  * dfs.datanode.balance.bandwidthPerSec — a fast sender saturates a slow
+//    receiver, whose throttling then starves its own progress reports until
+//    the Balancer times out.
+
+#ifndef SRC_APPS_MINIDFS_BALANCER_H_
+#define SRC_APPS_MINIDFS_BALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class DataNode;
+class NameNode;
+
+struct BalanceResult {
+  int completed_moves = 0;
+  int declined_dispatches = 0;
+  int64_t elapsed_ms = 0;
+};
+
+class Balancer {
+ public:
+  Balancer(Cluster* cluster, NameNode* name_node, const Configuration& conf);
+
+  Balancer(const Balancer&) = delete;
+  Balancer& operator=(const Balancer&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  // Moves `num_moves` blocks onto `target`, dispatching up to the Balancer's
+  // max.concurrent.moves concurrently; each declined dispatch backs off
+  // kCongestionBackoffMs. Throws TimeoutError when `timeout_ms` elapses
+  // first. Advances virtual time.
+  BalanceResult RunMoves(DataNode* target, int num_moves, int64_t timeout_ms);
+
+  // Upgrade-domain-aware rebalancing: moves one replica of each given block
+  // from `src` to `dst`, proposing only moves valid under the Balancer's own
+  // domain factor and committing only those the NameNode validates. Throws
+  // TimeoutError if repeated NameNode declines prevent progress.
+  BalanceResult RunDomainMoves(const std::vector<uint64_t>& block_ids, DataNode* src,
+                               DataNode* dst, int64_t timeout_ms);
+
+  // Streams `total_bytes` of balancing traffic from `src` to `dst` while
+  // `dst` must also deliver a progress report to the Balancer every second.
+  // Returns the maximum progress-report delay observed; throws TimeoutError
+  // if a report is delayed beyond kProgressTimeoutMs.
+  int64_t RunThrottledTransfer(DataNode* src, DataNode* dst, int64_t total_bytes);
+
+  static constexpr int64_t kMoveBaseDurationMs = 110;
+  static constexpr int64_t kCongestionBackoffMs = 1100;
+  static constexpr int64_t kProgressTimeoutMs = 5000;
+  static constexpr int64_t kProgressReportBytes = 1024;
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  NameNode* name_node_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIDFS_BALANCER_H_

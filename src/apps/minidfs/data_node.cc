@@ -1,0 +1,211 @@
+#include "src/apps/minidfs/data_node.h"
+
+#include <algorithm>
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+
+namespace zebra {
+
+namespace {
+constexpr char kBlockAccessTokenValue[] = "block-pool-token";
+}  // namespace
+
+WireConfig DfsDataWireConfig(const Configuration& conf) {
+  WireConfig wire;
+  wire.encrypt = conf.GetBool(kDfsEncryptDataTransfer, kDfsEncryptDataTransferDefault);
+  wire.checksum = ParseChecksumType(conf.Get(kDfsChecksumType, kDfsChecksumTypeDefault));
+  wire.bytes_per_checksum =
+      conf.GetInt(kDfsBytesPerChecksum, kDfsBytesPerChecksumDefault);
+  return wire;
+}
+
+void DfsDataTransferHandshake(const Configuration& initiator,
+                              const Configuration& acceptor) {
+  RequireMatchingTokens(
+      "dfs-data-transfer",
+      WireToken(initiator.Get(kDfsDataTransferProtection,
+                              kDfsDataTransferProtectionDefault)),
+      WireToken(
+          acceptor.Get(kDfsDataTransferProtection, kDfsDataTransferProtectionDefault)));
+}
+
+DataNode::DataNode(Cluster* cluster, NameNode* name_node, const Configuration& conf)
+    : init_scope_(kDfsApp, this, "DataNode", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kDfsApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster),
+      name_node_(name_node) {
+  // Ordinary startup reads.
+  conf_.Get(kDfsDataDir, kDfsDataDirDefault);
+  conf_.GetInt(kDfsDataNodeHandlerCount, kDfsDataNodeHandlerCountDefault);
+  conf_.GetInt(kDfsMaxTransferThreads, kDfsMaxTransferThreadsDefault);
+  conf_.GetBool(kDfsSyncBehindWrites, kDfsSyncBehindWritesDefault);
+  GetIpc(*cluster_, this);
+
+  // Register with the NameNode, presenting a block access token only if this
+  // DataNode believes tokens are enabled.
+  std::string token =
+      conf_.GetBool(kDfsBlockAccessToken, kDfsBlockAccessTokenDefault)
+          ? kBlockAccessTokenValue
+          : "";
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "DatanodeProtocol.registerDatanode");
+  name_node_->RegisterDataNode(id(), token);
+
+  // Periodic heartbeats at this DataNode's own interval.
+  int64_t interval_ms =
+      conf_.GetInt(kDfsHeartbeatInterval, kDfsHeartbeatIntervalDefault) * 1000;
+  // Heartbeats reuse the connection established at registration, so the
+  // per-beat path is just the lightweight status call.
+  heartbeat_task_ = cluster_->clock().SchedulePeriodic(interval_ms, interval_ms, [this] {
+    if (!stopped_) {
+      name_node_->Heartbeat(id());
+    }
+  });
+  init_scope_.Finish();
+}
+
+DataNode::~DataNode() { Stop(); }
+
+void DataNode::Stop() {
+  if (!stopped_) {
+    stopped_ = true;
+    cluster_->clock().Cancel(heartbeat_task_);
+  }
+}
+
+void DataNode::Reconfigure(const std::string& param, const std::string& value) {
+  if (param == kDfsHeartbeatInterval) {
+    conf_.Set(param, value);
+    // Reschedule the heartbeat loop at the new interval.
+    cluster_->clock().Cancel(heartbeat_task_);
+    int64_t interval_ms =
+        conf_.GetInt(kDfsHeartbeatInterval, kDfsHeartbeatIntervalDefault) * 1000;
+    heartbeat_task_ =
+        cluster_->clock().SchedulePeriodic(interval_ms, interval_ms, [this] {
+          if (!stopped_) {
+            name_node_->Heartbeat(id());
+          }
+        });
+    return;
+  }
+  if (param == kDfsBalanceBandwidth || param == kDfsBalanceMaxMoves) {
+    conf_.Set(param, value);  // consulted dynamically on every operation
+    return;
+  }
+  throw RpcError("DataNode cannot reconfigure '" + param + "' online");
+}
+
+void DataNode::ReceiveBlockFrame(uint64_t block_id, const Bytes& frame) {
+  Bytes payload = DecodeFrame(DfsDataWireConfig(conf_), frame);
+  blocks_[block_id] = payload;
+  name_node_->RecordBlockLocation(block_id, id());
+}
+
+Bytes DataNode::SendBlockFrame(uint64_t block_id) const {
+  auto it = blocks_.find(block_id);
+  if (it == blocks_.end()) {
+    throw RpcError("DataNode does not store block " + std::to_string(block_id));
+  }
+  return EncodeFrame(DfsDataWireConfig(conf_), it->second);
+}
+
+void DataNode::ReplicateTo(DataNode* target, uint64_t block_id) {
+  DfsDataTransferHandshake(conf_, target->conf());
+  target->ReceiveBlockFrame(block_id, SendBlockFrame(block_id));
+}
+
+bool DataNode::HasBlock(uint64_t block_id) const { return blocks_.count(block_id) > 0; }
+
+int DataNode::BlockCount() const { return static_cast<int>(blocks_.size()); }
+
+void DataNode::DeleteBlock(uint64_t block_id) {
+  blocks_.erase(block_id);
+  int64_t interval =
+      conf_.GetInt(kDfsIncrementalBrInterval, kDfsIncrementalBrIntervalDefault);
+  uint64_t dn_id = id();
+  NameNode* nn = name_node_;
+  if (interval <= 0) {
+    nn->OnBlockReplicaDeleted(block_id, dn_id);
+  } else {
+    cluster_->clock().ScheduleAfter(
+        interval, [nn, block_id, dn_id] { nn->OnBlockReplicaDeleted(block_id, dn_id); });
+  }
+}
+
+void DataNode::ReRegister(NameNode* name_node) {
+  name_node_ = name_node;
+  std::string token =
+      conf_.GetBool(kDfsBlockAccessToken, kDfsBlockAccessTokenDefault)
+          ? kBlockAccessTokenValue
+          : "";
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "DatanodeProtocol.registerDatanode");
+  name_node_->RegisterDataNode(id(), token);
+}
+
+void DataNode::SendFullBlockReport(NameNode* name_node) const {
+  std::vector<uint64_t> block_ids;
+  block_ids.reserve(blocks_.size());
+  for (const auto& [block_id, payload] : blocks_) {
+    block_ids.push_back(block_id);
+  }
+  name_node->ProcessBlockReport(id(), block_ids);
+}
+
+void DataNode::PruneCompletedMoves(int64_t now_ms) {
+  active_move_completions_.erase(
+      std::remove_if(active_move_completions_.begin(), active_move_completions_.end(),
+                     [now_ms](int64_t completion) { return completion <= now_ms; }),
+      active_move_completions_.end());
+}
+
+bool DataNode::TryStartBalanceMove(int64_t now_ms, int64_t base_duration_ms,
+                                   int64_t* completion_ms) {
+  PruneCompletedMoves(now_ms);
+  int64_t max_moves = conf_.GetInt(kDfsBalanceMaxMoves, kDfsBalanceMaxMovesDefault);
+  if (static_cast<int64_t>(active_move_completions_.size()) >= max_moves) {
+    return false;  // decline; the balancer's dispatcher backs off
+  }
+  // Disk bandwidth is shared across concurrent movers.
+  int64_t concurrency = static_cast<int64_t>(active_move_completions_.size()) + 1;
+  int64_t completion = now_ms + base_duration_ms * concurrency;
+  active_move_completions_.push_back(completion);
+  *completion_ms = completion;
+  return true;
+}
+
+int DataNode::ActiveBalanceMoves(int64_t now_ms) const {
+  int active = 0;
+  for (int64_t completion : active_move_completions_) {
+    if (completion > now_ms) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+int64_t DataNode::BalanceBandwidthPerSec() const {
+  return conf_.GetInt(kDfsBalanceBandwidth, kDfsBalanceBandwidthDefault);
+}
+
+int64_t DataNode::ReservedBytes() const {
+  return conf_.GetInt(kDfsDuReserved, kDfsDuReservedDefault);
+}
+
+void DataNode::TriggerScanForTest(const Configuration& external_conf) {
+  int64_t own_period = conf_.GetInt(kDfsScanPeriodHours, kDfsScanPeriodHoursDefault);
+  int64_t external_period =
+      external_conf.GetInt(kDfsScanPeriodHours, kDfsScanPeriodHoursDefault);
+  if (own_period != external_period) {
+    throw Error(
+        "scanner state manipulated with a configuration that disagrees with the "
+        "DataNode's own scan period (" +
+        std::to_string(external_period) + " vs " + std::to_string(own_period) + ")");
+  }
+}
+
+}  // namespace zebra

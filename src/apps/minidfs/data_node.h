@@ -1,0 +1,122 @@
+// MiniDFS DataNode: block storage with receiver-side wire verification,
+// heartbeats, incremental block reports, balancing move admission, and
+// bandwidth accounting.
+
+#ifndef SRC_APPS_MINIDFS_DATA_NODE_H_
+#define SRC_APPS_MINIDFS_DATA_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+
+class NameNode;
+
+// Builds the data-transfer wire configuration from a node's (or the
+// client's) configuration: dfs.encrypt.data.transfer, dfs.checksum.type and
+// dfs.bytes-per-checksum all shape the frame format.
+WireConfig DfsDataWireConfig(const Configuration& conf);
+
+// SASL data-transfer handshake (dfs.data.transfer.protection): both ends must
+// negotiate the same protection level.
+void DfsDataTransferHandshake(const Configuration& initiator,
+                              const Configuration& acceptor);
+
+class DataNode {
+ public:
+  DataNode(Cluster* cluster, NameNode* name_node, const Configuration& conf);
+  ~DataNode();
+
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
+  uint64_t id() const { return reinterpret_cast<uint64_t>(this); }
+  const Configuration& conf() const { return conf_; }
+
+  // Stops heartbeating (simulates a crash / decommission in corpus tests).
+  void Stop();
+
+  // Online reconfiguration (the dfsadmin -reconfig analog). Supported:
+  // dfs.heartbeat.interval (reschedules the heartbeat task) and
+  // dfs.datanode.balance.bandwidthPerSec (read dynamically). Throws RpcError
+  // for parameters this DataNode cannot reconfigure online.
+  void Reconfigure(const std::string& param, const std::string& value);
+
+  // ---- Data path -------------------------------------------------------------
+
+  // Receives a block frame encoded by the sender's wire configuration and
+  // decodes/verifies it with this DataNode's own configuration.
+  void ReceiveBlockFrame(uint64_t block_id, const Bytes& frame);
+
+  // Encodes a stored block with this DataNode's wire configuration.
+  Bytes SendBlockFrame(uint64_t block_id) const;
+
+  // Pipeline replication hop: re-encode with this node's configuration and
+  // hand to the next DataNode (after the data-transfer handshake).
+  void ReplicateTo(DataNode* target, uint64_t block_id);
+
+  bool HasBlock(uint64_t block_id) const;
+  int BlockCount() const;
+
+  // Deletes a replica; the NameNode learns about it immediately when
+  // dfs.blockreport.incremental.intervalMsec is 0, otherwise after that delay.
+  void DeleteBlock(uint64_t block_id);
+
+  // Re-registers with a (typically restarted) NameNode; subsequent
+  // heartbeats and reports go to it.
+  void ReRegister(NameNode* name_node);
+
+  // Full block report: registers every stored replica with the given
+  // NameNode (what brings a restarted NameNode out of safe mode).
+  void SendFullBlockReport(NameNode* name_node) const;
+
+  // ---- Balancing -------------------------------------------------------------
+
+  // Admission control for balancer-initiated moves: accepts only while fewer
+  // than dfs.datanode.balance.max.concurrent.moves are active. On acceptance
+  // returns the move's completion time; the per-move duration stretches with
+  // the number of concurrent moves (disk bandwidth is shared).
+  bool TryStartBalanceMove(int64_t now_ms, int64_t base_duration_ms,
+                           int64_t* completion_ms);
+
+  // Number of moves still executing at `now_ms`.
+  int ActiveBalanceMoves(int64_t now_ms) const;
+
+  // Balancing bandwidth limit (dfs.datanode.balance.bandwidthPerSec).
+  int64_t BalanceBandwidthPerSec() const;
+
+  // Reserved non-DFS space (dfs.datanode.du.reserved).
+  int64_t ReservedBytes() const;
+
+  // ---- Test-only internals (seeded false-positive source) ---------------------
+
+  // A corpus unit test manipulates the DataNode's private scanner state using
+  // an *external* (client-owned) configuration object — possible only inside
+  // a unit test, never across real processes. Throws if the external scan
+  // period disagrees with this node's own.
+  void TriggerScanForTest(const Configuration& external_conf);
+
+ private:
+  void PruneCompletedMoves(int64_t now_ms);
+
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  NameNode* name_node_;
+  std::map<uint64_t, Bytes> blocks_;
+  std::vector<int64_t> active_move_completions_;
+  SimClock::TaskId heartbeat_task_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIDFS_DATA_NODE_H_

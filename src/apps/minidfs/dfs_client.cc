@@ -1,0 +1,196 @@
+#include "src/apps/minidfs/dfs_client.h"
+
+#include <algorithm>
+
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+
+DfsClient::DfsClient(Cluster* cluster, NameNode* name_node,
+                     std::vector<DataNode*> datanodes, const Configuration& conf)
+    : cluster_(cluster),
+      name_node_(name_node),
+      datanodes_(std::move(datanodes)),
+      conf_(conf) {}
+
+DataNode* DfsClient::ResolveDataNode(uint64_t dn_id) const {
+  for (DataNode* dn : datanodes_) {
+    if (dn->id() == dn_id) {
+      return dn;
+    }
+  }
+  throw RpcError("client cannot resolve DataNode " + std::to_string(dn_id));
+}
+
+void DfsClient::WriteFile(const std::string& path, const std::string& data) {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(), "ClientProtocol.create");
+  int replication =
+      static_cast<int>(conf_.GetInt(kDfsReplication, kDfsReplicationDefault));
+  name_node_->CreateFile(path, replication);
+
+  int64_t block_size = conf_.GetInt(kDfsBlockSize, kDfsBlockSizeDefault);
+  if (block_size <= 0) {
+    block_size = kDfsBlockSizeDefault;
+  }
+  conf_.GetInt(kDfsClientRetries, kDfsClientRetriesDefault);
+
+  for (size_t offset = 0; offset < data.size() || offset == 0;
+       offset += static_cast<size_t>(block_size)) {
+    std::string chunk = data.substr(offset, static_cast<size_t>(block_size));
+    uint64_t block_id = name_node_->AddBlock(path);
+    std::vector<uint64_t> targets = name_node_->PickTargets(replication);
+    if (targets.empty()) {
+      throw RpcError("no pipeline targets for block");
+    }
+    // First hop: client -> first DataNode, under the client's wire config.
+    DataNode* first = ResolveDataNode(targets[0]);
+    DfsDataTransferHandshake(conf_, first->conf());
+    first->ReceiveBlockFrame(block_id, EncodeFrame(DfsDataWireConfig(conf_),
+                                                   BytesFromString(chunk)));
+    // Pipeline hops: DataNode -> DataNode, each under the sender's config.
+    DataNode* previous = first;
+    for (size_t i = 1; i < targets.size(); ++i) {
+      DataNode* next = ResolveDataNode(targets[i]);
+      previous->ReplicateTo(next, block_id);
+      previous = next;
+    }
+    if (data.empty()) {
+      break;
+    }
+  }
+}
+
+void DfsClient::WriteFileWithPipelineFailure(const std::string& path,
+                                             const std::string& data) {
+  WriteFile(path, data);
+  // The first DataNode of the last pipeline "fails"; per the client's
+  // replace-datanode-on-failure policy, ask the NameNode for a substitute.
+  bool replace = conf_.GetBool(kDfsReplaceDnOnFailure, kDfsReplaceDnOnFailureDefault);
+  if (!replace) {
+    return;  // client policy DISABLE: continue with the shorter pipeline
+  }
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "ClientProtocol.getAdditionalDatanode");
+  uint64_t failed = datanodes_.front()->id();
+  uint64_t replacement = name_node_->GetAdditionalDataNode(failed);
+  (void)replacement;
+}
+
+std::string DfsClient::ReadFile(const std::string& path) {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "ClientProtocol.getBlockLocations");
+  std::string data;
+  for (uint64_t block_id : name_node_->BlocksOf(path)) {
+    std::vector<uint64_t> locations = name_node_->LocationsOf(block_id);
+    if (locations.empty()) {
+      throw RpcError("block " + std::to_string(block_id) + " has no locations");
+    }
+    DataNode* dn = ResolveDataNode(locations.front());
+    DfsDataTransferHandshake(conf_, dn->conf());
+    Bytes payload = DecodeFrame(DfsDataWireConfig(conf_), dn->SendBlockFrame(block_id));
+    data += StringFromBytes(payload);
+  }
+  return data;
+}
+
+std::string DfsClient::ReadFileSlow(const std::string& path, int64_t duration_ms) {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "ClientProtocol.getBlockLocations");
+  std::vector<uint64_t> blocks = name_node_->BlocksOf(path);
+  if (blocks.empty()) {
+    throw RpcError("file has no blocks: " + path);
+  }
+  std::vector<uint64_t> locations = name_node_->LocationsOf(blocks.front());
+  DataNode* dn = ResolveDataNode(locations.front());
+  // The DataNode paces its stream from *its* socket-timeout assumption; the
+  // client aborts after *its* timeout of silence.
+  int64_t client_timeout =
+      conf_.GetInt(kDfsClientSocketTimeout, kDfsClientSocketTimeoutDefault);
+  int64_t server_pace =
+      dn->conf().GetInt(kDfsClientSocketTimeout, kDfsClientSocketTimeoutDefault) / 2;
+  SimulatePacedWait("dfs-read", duration_ms, client_timeout, server_pace);
+  cluster_->AdvanceTime(duration_ms);
+  return ReadFile(path);
+}
+
+void DfsClient::DeleteFile(const std::string& path) {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(), "ClientProtocol.delete");
+  std::map<uint64_t, std::vector<uint64_t>> replicas = name_node_->RemoveFile(path);
+  for (const auto& [block_id, dn_ids] : replicas) {
+    for (uint64_t dn_id : dn_ids) {
+      ResolveDataNode(dn_id)->DeleteBlock(block_id);
+    }
+  }
+}
+
+std::vector<uint64_t> DfsClient::ListCorruptBlocks() {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "ClientProtocol.listCorruptFileBlocks");
+  return name_node_->ListCorruptBlocks();
+}
+
+void DfsClient::ReportBadBlock(uint64_t block_id) {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "ClientProtocol.reportBadBlocks");
+  name_node_->MarkBlockCorrupt(block_id);
+}
+
+int DfsClient::SnapshotDiff(const std::string& root, const std::string& descendant) {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "ClientProtocol.getSnapshotDiffReport");
+  bool use_descendant =
+      conf_.GetBool(kDfsSnapshotDescendant, kDfsSnapshotDescendantDefault);
+  return name_node_->SnapshotDiff(use_descendant ? descendant : root);
+}
+
+std::string DfsClient::Fsck() {
+  // The fsck tool builds its URL from the client-side http policy.
+  std::string policy = conf_.Get(kDfsHttpPolicy, kDfsHttpPolicyDefault);
+  std::string scheme = policy == "HTTPS_ONLY" ? "https" : "http";
+  if (scheme == "https") {
+    conf_.Get(kDfsHttpsAddress, kDfsHttpsAddressDefault);
+  } else {
+    conf_.Get(kDfsHttpAddress, kDfsHttpAddressDefault);
+  }
+  std::string server_scheme = name_node_->WebScheme();
+  if (scheme != server_scheme) {
+    throw HandshakeError("DFSck cannot connect: tool speaks " + scheme +
+                         " but the NameNode web endpoint serves " + server_scheme);
+  }
+  return "Status: HEALTHY (blocks=" + std::to_string(name_node_->TotalBlocks()) + ")";
+}
+
+int64_t DfsClient::TotalReservedBytes() {
+  int64_t total = 0;
+  for (DataNode* dn : datanodes_) {
+    total += dn->ReservedBytes();
+  }
+  return total;
+}
+
+int DfsClient::NumLiveDataNodes() {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(), "ClientProtocol.getStats");
+  return name_node_->NumLiveDataNodes();
+}
+
+int DfsClient::NumDeadDataNodes() {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(), "ClientProtocol.getStats");
+  return name_node_->NumDeadDataNodes();
+}
+
+int DfsClient::NumStaleDataNodes() {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(), "ClientProtocol.getStats");
+  return name_node_->NumStaleDataNodes();
+}
+
+int DfsClient::TotalBlocks() {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(), "ClientProtocol.getStats");
+  return name_node_->TotalBlocks();
+}
+
+}  // namespace zebra

@@ -1,0 +1,84 @@
+// MiniDFS client: the API surface unit tests (and end users) drive.
+//
+// The client is *not* a node: it reads configuration through whatever
+// Configuration object the unit test hands it — typically the unit-test-owned
+// object — exactly as HDFS's DFSClient does. That makes the unit test the
+// "client node" of the paper's model.
+
+#ifndef SRC_APPS_MINIDFS_DFS_CLIENT_H_
+#define SRC_APPS_MINIDFS_DFS_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+
+class DataNode;
+class NameNode;
+
+class DfsClient {
+ public:
+  DfsClient(Cluster* cluster, NameNode* name_node, std::vector<DataNode*> datanodes,
+            const Configuration& conf);
+
+  // Writes `data`, chunked at the client's dfs.blocksize, replicated through
+  // the DataNode pipeline at the client's dfs.replication. Exercises the RPC
+  // gate, the data-transfer handshake and the framed data path.
+  void WriteFile(const std::string& path, const std::string& data);
+
+  // Like WriteFile, but the first pipeline DataNode "fails" after the
+  // transfer; the client consults its replace-datanode-on-failure policy to
+  // decide whether to ask the NameNode for a replacement.
+  void WriteFileWithPipelineFailure(const std::string& path, const std::string& data);
+
+  // Reads the file back through DataNode frames decoded with the client's
+  // wire configuration.
+  std::string ReadFile(const std::string& path);
+
+  // A read served under heavy DataNode load: takes `duration_ms` of virtual
+  // time, paced by the DataNode's dfs.client.socket-timeout while the client
+  // waits under its own.
+  std::string ReadFileSlow(const std::string& path, int64_t duration_ms);
+
+  // Deletes the file; DataNodes report replica deletions per their own
+  // incremental block-report interval.
+  void DeleteFile(const std::string& path);
+
+  // NameNode-reported corrupt blocks (truncated at the NameNode's limit).
+  std::vector<uint64_t> ListCorruptBlocks();
+  void ReportBadBlock(uint64_t block_id);
+
+  // Snapshot diff: the client queries a descendant path only when *its*
+  // configuration says descendant access is allowed, else the snapshot root.
+  int SnapshotDiff(const std::string& root, const std::string& descendant);
+
+  // The fsck tool: connects to the NameNode web endpoint using the scheme
+  // derived from the *client's* dfs.http.policy.
+  std::string Fsck();
+
+  // Sum of reserved bytes across DataNodes (each reports from its own conf).
+  int64_t TotalReservedBytes();
+
+  // NameNode liveness counters as an end user sees them.
+  int NumLiveDataNodes();
+  int NumDeadDataNodes();
+  int NumStaleDataNodes();
+  int TotalBlocks();
+
+ private:
+  DataNode* ResolveDataNode(uint64_t dn_id) const;
+
+  Cluster* cluster_;
+  NameNode* name_node_;
+  std::vector<DataNode*> datanodes_;
+  const Configuration& conf_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIDFS_DFS_CLIENT_H_

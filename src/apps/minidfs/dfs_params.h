@@ -1,0 +1,180 @@
+// MiniDFS (HDFS analog) parameter names and defaults.
+//
+// The 21 parameters the paper's Table 3 reports as heterogeneous-unsafe for
+// HDFS are all present with their original names; each is wired into the code
+// path that makes it unsafe for the same mechanical reason as in HDFS. The
+// remaining parameters are heterogeneous-safe (several of them seeded
+// false-positive sources, marked below).
+
+#ifndef SRC_APPS_MINIDFS_DFS_PARAMS_H_
+#define SRC_APPS_MINIDFS_DFS_PARAMS_H_
+
+#include <cstdint>
+
+namespace zebra {
+
+inline constexpr char kDfsApp[] = "minidfs";
+
+// ---- Table 3 heterogeneous-unsafe parameters ---------------------------------
+
+// "DataNode fails to register block pools."
+inline constexpr char kDfsBlockAccessToken[] = "dfs.block.access.token.enable";
+inline constexpr bool kDfsBlockAccessTokenDefault = false;
+
+// "Checksum verification fails on DataNode."
+inline constexpr char kDfsBytesPerChecksum[] = "dfs.bytes-per-checksum";
+inline constexpr int64_t kDfsBytesPerChecksumDefault = 512;
+
+// "End users may observe inconsistent number of blocks."
+inline constexpr char kDfsIncrementalBrInterval[] =
+    "dfs.blockreport.incremental.intervalMsec";
+inline constexpr int64_t kDfsIncrementalBrIntervalDefault = 0;
+
+// "Checksum verification fails on DataNode."
+inline constexpr char kDfsChecksumType[] = "dfs.checksum.type";
+inline constexpr char kDfsChecksumTypeDefault[] = "CRC32C";
+
+// "NameNode reports Exception when Client tries to find additional DataNode."
+inline constexpr char kDfsReplaceDnOnFailure[] =
+    "dfs.client.block.write.replace-datanode-on-failure.enable";
+inline constexpr bool kDfsReplaceDnOnFailureDefault = true;
+
+// "Socket connection timeouts."
+inline constexpr char kDfsClientSocketTimeout[] = "dfs.client.socket-timeout";
+inline constexpr int64_t kDfsClientSocketTimeoutDefault = 60000;
+
+// "Balancer timeouts because DataNode fails to reply in time."
+inline constexpr char kDfsBalanceBandwidth[] = "dfs.datanode.balance.bandwidthPerSec";
+inline constexpr int64_t kDfsBalanceBandwidthDefault = 1048576;  // 1 MiB/s
+
+// "Balancer becomes 10x slower due to DataNode congestion control."
+inline constexpr char kDfsBalanceMaxMoves[] =
+    "dfs.datanode.balance.max.concurrent.moves";
+inline constexpr int64_t kDfsBalanceMaxMovesDefault = 50;
+
+// "End users may observe inconsistent size of reserved space."
+inline constexpr char kDfsDuReserved[] = "dfs.datanode.du.reserved";
+inline constexpr int64_t kDfsDuReservedDefault = 0;
+
+// "Sasl handshake fails between Client and DataNode."
+inline constexpr char kDfsDataTransferProtection[] = "dfs.data.transfer.protection";
+inline constexpr char kDfsDataTransferProtectionDefault[] = "none";
+
+// "DataNode fails to re-compute encryption key as block key is missing."
+inline constexpr char kDfsEncryptDataTransfer[] = "dfs.encrypt.data.transfer";
+inline constexpr bool kDfsEncryptDataTransferDefault = false;
+
+// "JournalNode declines NameNode's request to fetch journaled edits."
+inline constexpr char kDfsHaTailEditsInProgress[] = "dfs.ha.tail-edits.in-progress";
+inline constexpr bool kDfsHaTailEditsInProgressDefault = false;
+
+// "NameNode falsely identifies alive DataNode as crashed."
+inline constexpr char kDfsHeartbeatInterval[] = "dfs.heartbeat.interval";  // seconds
+inline constexpr int64_t kDfsHeartbeatIntervalDefault = 3;
+
+// "Tool DFSck fails to connect to HTTP server."
+inline constexpr char kDfsHttpPolicy[] = "dfs.http.policy";
+inline constexpr char kDfsHttpPolicyDefault[] = "HTTP_ONLY";
+
+// "Length of component name path exceeds maximum limit on NameNode."
+inline constexpr char kDfsMaxComponentLength[] =
+    "dfs.namenode.fs-limits.max-component-length";
+inline constexpr int64_t kDfsMaxComponentLengthDefault = 255;
+
+// "Directory item number exceeds maximum limit on NameNode."
+inline constexpr char kDfsMaxDirectoryItems[] =
+    "dfs.namenode.fs-limits.max-directory-items";
+inline constexpr int64_t kDfsMaxDirectoryItemsDefault = 1048576;
+
+// "End users may observe inconsistent number of dead DataNodes."
+inline constexpr char kDfsHeartbeatRecheck[] =
+    "dfs.namenode.heartbeat.recheck-interval";  // milliseconds
+inline constexpr int64_t kDfsHeartbeatRecheckDefault = 300000;
+
+// "End users may observe inconsistent number of corrupted blocks."
+inline constexpr char kDfsMaxCorruptFileBlocks[] =
+    "dfs.namenode.max-corrupt-file-blocks-returned";
+inline constexpr int64_t kDfsMaxCorruptFileBlocksDefault = 100;
+
+// "NameNode declines Client's request to do snapshot."
+inline constexpr char kDfsSnapshotDescendant[] =
+    "dfs.namenode.snapshotdiff.allow.snap-root-descendant";
+inline constexpr bool kDfsSnapshotDescendantDefault = true;
+
+// "End users may observe inconsistent number of stale DataNodes."
+inline constexpr char kDfsStaleInterval[] = "dfs.namenode.stale.datanode.interval";
+inline constexpr int64_t kDfsStaleIntervalDefault = 30000;
+
+// "Balancer hangs because of block placement policy violation on NameNode."
+inline constexpr char kDfsUpgradeDomainFactor[] = "dfs.namenode.upgrade.domain.factor";
+inline constexpr int64_t kDfsUpgradeDomainFactorDefault = 3;
+
+// ---- Heterogeneous-safe parameters -------------------------------------------
+
+inline constexpr char kDfsReplication[] = "dfs.replication";
+inline constexpr int64_t kDfsReplicationDefault = 2;
+
+inline constexpr char kDfsBlockSize[] = "dfs.blocksize";
+inline constexpr int64_t kDfsBlockSizeDefault = 1024;
+
+inline constexpr char kDfsNameNodeHandlerCount[] = "dfs.namenode.handler.count";
+inline constexpr int64_t kDfsNameNodeHandlerCountDefault = 10;
+
+inline constexpr char kDfsDataNodeHandlerCount[] = "dfs.datanode.handler.count";
+inline constexpr int64_t kDfsDataNodeHandlerCountDefault = 10;
+
+inline constexpr char kDfsDataDir[] = "dfs.datanode.data.dir";
+inline constexpr char kDfsDataDirDefault[] = "/data/dfs";
+
+inline constexpr char kDfsClientRetries[] = "dfs.client.retries";
+inline constexpr int64_t kDfsClientRetriesDefault = 3;
+
+inline constexpr char kDfsCheckpointPeriod[] = "dfs.namenode.checkpoint.period";
+inline constexpr int64_t kDfsCheckpointPeriodDefault = 3600;
+
+inline constexpr char kDfsSafemodeThreshold[] = "dfs.namenode.safemode.threshold-pct";
+inline constexpr double kDfsSafemodeThresholdDefault = 0.999;
+
+// Seeded false-positive source: a unit test manipulates DataNode-private scan
+// state with the client's configuration object (unrealistic in production).
+inline constexpr char kDfsScanPeriodHours[] = "dfs.datanode.scan.period.hours";
+inline constexpr int64_t kDfsScanPeriodHoursDefault = 504;
+
+// Seeded false-positive source: a unit test compares checkpoint image file
+// *lengths* across NameNodes (overly strict assertion; contents are equal).
+inline constexpr char kDfsImageCompress[] = "dfs.image.compress";
+inline constexpr bool kDfsImageCompressDefault = false;
+
+inline constexpr char kDfsPermissionsEnabled[] = "dfs.permissions.enabled";
+inline constexpr bool kDfsPermissionsEnabledDefault = true;
+
+inline constexpr char kDfsAclsEnabled[] = "dfs.namenode.acls.enabled";
+inline constexpr bool kDfsAclsEnabledDefault = false;
+
+inline constexpr char kDfsMaxTransferThreads[] = "dfs.datanode.max.transfer.threads";
+inline constexpr int64_t kDfsMaxTransferThreadsDefault = 4096;
+
+inline constexpr char kDfsUseDnHostname[] = "dfs.client.use.datanode.hostname";
+inline constexpr bool kDfsUseDnHostnameDefault = false;
+
+inline constexpr char kDfsReplicationMin[] = "dfs.namenode.replication.min";
+inline constexpr int64_t kDfsReplicationMinDefault = 1;
+
+inline constexpr char kDfsSyncBehindWrites[] = "dfs.datanode.sync.behind.writes";
+inline constexpr bool kDfsSyncBehindWritesDefault = false;
+
+inline constexpr char kDfsExtraEditsRetained[] = "dfs.namenode.num.extra.edits.retained";
+inline constexpr int64_t kDfsExtraEditsRetainedDefault = 1000000;
+
+inline constexpr char kDfsStreamBufferSize[] = "dfs.stream-buffer-size";
+inline constexpr int64_t kDfsStreamBufferSizeDefault = 4096;
+
+// Web addresses consumed by the http.policy dependency rules (§4).
+inline constexpr char kDfsHttpAddress[] = "dfs.namenode.http-address";
+inline constexpr char kDfsHttpAddressDefault[] = "0.0.0.0:9870";
+inline constexpr char kDfsHttpsAddress[] = "dfs.namenode.https-address";
+inline constexpr char kDfsHttpsAddressDefault[] = "0.0.0.0:9871";
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIDFS_DFS_PARAMS_H_

@@ -1,0 +1,128 @@
+#include "src/apps/minidfs/dfs_schema.h"
+
+#include "src/apps/minidfs/dfs_params.h"
+
+namespace zebra {
+
+void RegisterMiniDfsSchema(ConfSchema& schema) {
+  const char* app = kDfsApp;
+
+  // ---- Table 3 heterogeneous-unsafe parameters -------------------------------
+  schema.AddParam({kDfsBlockAccessToken, app, ParamType::kBool, "false",
+                   {"true", "false"},
+                   "Require block access tokens for DataNode registration"});
+  schema.AddParam({kDfsBytesPerChecksum, app, ParamType::kInt, "512",
+                   {"128", "512", "4096"},
+                   "Bytes covered by each data-transfer checksum"});
+  schema.AddParam({kDfsIncrementalBrInterval, app, ParamType::kInt, "0",
+                   {"0", "10000"},
+                   "Delay before incremental block reports reach the NameNode"});
+  schema.AddParam({kDfsChecksumType, app, ParamType::kEnum, "CRC32C",
+                   {"NONE", "CRC32", "CRC32C"},
+                   "Checksum algorithm for data transfers"});
+  schema.AddParam({kDfsReplaceDnOnFailure, app, ParamType::kBool, "true",
+                   {"true", "false"},
+                   "Replace a failed pipeline DataNode during writes"});
+  schema.AddParam({kDfsClientSocketTimeout, app, ParamType::kInt, "60000",
+                   {"1000", "60000", "300000"},
+                   "Client socket timeout for data transfers"});
+  schema.AddParam({kDfsBalanceBandwidth, app, ParamType::kInt, "1048576",
+                   {"1048576", "10485760"},
+                   "Per-DataNode bandwidth budget for balancing traffic"});
+  schema.AddParam({kDfsBalanceMaxMoves, app, ParamType::kInt, "50",
+                   {"1", "50"},
+                   "Concurrent balancing moves a DataNode admits"});
+  schema.AddParam({kDfsDuReserved, app, ParamType::kInt, "0",
+                   {"0", "1073741824"},
+                   "Reserved non-DFS bytes per DataNode volume"});
+  schema.AddParam({kDfsDataTransferProtection, app, ParamType::kEnum, "none",
+                   {"none", "authentication", "privacy"},
+                   "SASL protection for the DataNode data-transfer protocol"});
+  schema.AddParam({kDfsEncryptDataTransfer, app, ParamType::kBool, "false",
+                   {"true", "false"},
+                   "Encrypt block data in transit"});
+  schema.AddParam({kDfsHaTailEditsInProgress, app, ParamType::kBool, "false",
+                   {"true", "false"},
+                   "Tail in-progress edit segments from JournalNodes"});
+  schema.AddParam({kDfsHeartbeatInterval, app, ParamType::kInt, "3",
+                   {"1", "3", "100"},
+                   "DataNode heartbeat interval in seconds"});
+  schema.AddParam({kDfsHttpPolicy, app, ParamType::kEnum, "HTTP_ONLY",
+                   {"HTTP_ONLY", "HTTPS_ONLY"},
+                   "Web endpoint protocol policy"});
+  schema.AddParam({kDfsMaxComponentLength, app, ParamType::kInt, "255",
+                   {"16", "255", "1024"},
+                   "Maximum path-component length the NameNode accepts"});
+  schema.AddParam({kDfsMaxDirectoryItems, app, ParamType::kInt, "1048576",
+                   {"4", "1048576"},
+                   "Maximum children per directory"});
+  schema.AddParam({kDfsHeartbeatRecheck, app, ParamType::kInt, "300000",
+                   {"1000", "300000"},
+                   "NameNode liveness recheck interval in milliseconds"});
+  schema.AddParam({kDfsMaxCorruptFileBlocks, app, ParamType::kInt, "100",
+                   {"5", "100"},
+                   "Corrupt file blocks returned per listCorruptFileBlocks call"});
+  schema.AddParam({kDfsSnapshotDescendant, app, ParamType::kBool, "true",
+                   {"true", "false"},
+                   "Allow snapshot diffs on descendants of the snapshot root"});
+  schema.AddParam({kDfsStaleInterval, app, ParamType::kInt, "30000",
+                   {"5000", "30000", "90000"},
+                   "Silence interval after which a DataNode is marked stale"});
+  schema.AddParam({kDfsUpgradeDomainFactor, app, ParamType::kInt, "3",
+                   {"2", "3"},
+                   "Number of upgrade domains for block placement"});
+
+  // ---- Heterogeneous-safe parameters -----------------------------------------
+  schema.AddParam({kDfsReplication, app, ParamType::kInt, "2",
+                   {"1", "2", "3"}, "Default replication factor (per-file metadata)"});
+  schema.AddParam({kDfsBlockSize, app, ParamType::kInt, "1024",
+                   {"512", "1024", "4096"}, "Block size recorded per block at create"});
+  schema.AddParam({kDfsNameNodeHandlerCount, app, ParamType::kInt, "10",
+                   {"1", "10", "100"}, "NameNode RPC handler threads (node-local)"});
+  schema.AddParam({kDfsDataNodeHandlerCount, app, ParamType::kInt, "10",
+                   {"1", "10", "100"}, "DataNode RPC handler threads (node-local)"});
+  schema.AddParam({kDfsDataDir, app, ParamType::kString, "/data/dfs",
+                   {"/data/dfs", "/mnt/dfs"}, "Local storage directory"});
+  schema.AddParam({kDfsClientRetries, app, ParamType::kInt, "3",
+                   {"1", "3", "10"}, "Client retry budget (client-local)"});
+  schema.AddParam({kDfsCheckpointPeriod, app, ParamType::kInt, "3600",
+                   {"60", "3600"}, "Seconds between secondary checkpoints"});
+  schema.AddParam({kDfsSafemodeThreshold, app, ParamType::kDouble, "0.999",
+                   {"0.5", "0.999"}, "Safe-mode block threshold (NameNode-local)"});
+  schema.AddParam({kDfsScanPeriodHours, app, ParamType::kInt, "504",
+                   {"1", "504"},
+                   "Block scanner period (FP source: test pokes private state)"});
+  schema.AddParam({kDfsImageCompress, app, ParamType::kBool, "false",
+                   {"true", "false"},
+                   "Compress checkpoint images (FP source: strict length assert)"});
+  schema.AddParam({kDfsPermissionsEnabled, app, ParamType::kBool, "true",
+                   {"true", "false"}, "Enforce permissions (NameNode-local)"});
+  schema.AddParam({kDfsAclsEnabled, app, ParamType::kBool, "false",
+                   {"true", "false"}, "Enable ACLs (NameNode-local)"});
+  schema.AddParam({kDfsMaxTransferThreads, app, ParamType::kInt, "4096",
+                   {"256", "4096"}, "DataNode transceiver thread cap (node-local)"});
+  schema.AddParam({kDfsUseDnHostname, app, ParamType::kBool, "false",
+                   {"true", "false"}, "Clients connect to DataNodes by hostname"});
+  schema.AddParam({kDfsReplicationMin, app, ParamType::kInt, "1",
+                   {"1", "2"}, "Minimal replication before commit (NameNode-local)"});
+  schema.AddParam({kDfsSyncBehindWrites, app, ParamType::kBool, "false",
+                   {"true", "false"}, "fsync behind writes (DataNode-local)"});
+  schema.AddParam({kDfsExtraEditsRetained, app, ParamType::kInt, "1000000",
+                   {"1000", "1000000"}, "Extra edit records retained (NameNode-local)"});
+  schema.AddParam({kDfsStreamBufferSize, app, ParamType::kInt, "4096",
+                   {"512", "4096"}, "Stream copy buffer size"});
+  schema.AddParam({kDfsHttpAddress, app, ParamType::kString, "0.0.0.0:9870",
+                   {"0.0.0.0:9870", "0.0.0.0:19870"}, "HTTP web address"});
+  schema.AddParam({kDfsHttpsAddress, app, ParamType::kString, "0.0.0.0:9871",
+                   {"0.0.0.0:9871", "0.0.0.0:19871"}, "HTTPS web address"});
+
+  // ---- Dependency rules (§4) ---------------------------------------------------
+  // "we set the http address if using the http protocol and set the https
+  // address if using the https protocol."
+  schema.AddDependencyRule(kDfsHttpPolicy, "HTTP_ONLY", kDfsHttpAddress,
+                           kDfsHttpAddressDefault);
+  schema.AddDependencyRule(kDfsHttpPolicy, "HTTPS_ONLY", kDfsHttpsAddress,
+                           kDfsHttpsAddressDefault);
+}
+
+}  // namespace zebra

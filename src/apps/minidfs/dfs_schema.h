@@ -1,0 +1,15 @@
+// Schema registration for MiniDFS parameters (incl. the §4 dependency rules
+// for dfs.http.policy).
+
+#ifndef SRC_APPS_MINIDFS_DFS_SCHEMA_H_
+#define SRC_APPS_MINIDFS_DFS_SCHEMA_H_
+
+#include "src/conf/conf_schema.h"
+
+namespace zebra {
+
+void RegisterMiniDfsSchema(ConfSchema& schema);
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIDFS_DFS_SCHEMA_H_

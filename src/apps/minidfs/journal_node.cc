@@ -1,0 +1,31 @@
+#include "src/apps/minidfs/journal_node.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/common/error.h"
+
+namespace zebra {
+
+JournalNode::JournalNode(Cluster* cluster, const Configuration& conf)
+    : init_scope_(kDfsApp, this, "JournalNode", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kDfsApp, conf, __FILE__, __LINE__)) {
+  conf_.Get(kDfsDataDir, kDfsDataDirDefault);
+  GetIpc(*cluster, this);
+  init_scope_.Finish();
+}
+
+int JournalNode::FetchEdits(bool include_in_progress) const {
+  if (include_in_progress) {
+    bool serving_enabled =
+        conf_.GetBool(kDfsHaTailEditsInProgress, kDfsHaTailEditsInProgressDefault);
+    if (!serving_enabled) {
+      throw RpcError(
+          "JournalNode declines request for in-progress edits: "
+          "dfs.ha.tail-edits.in-progress is disabled on this JournalNode");
+    }
+    return finalized_edits_ + in_progress_edits_;
+  }
+  return finalized_edits_;
+}
+
+}  // namespace zebra

@@ -1,0 +1,45 @@
+// MiniDFS JournalNode: serves edit-log segments to tailing NameNodes.
+
+#ifndef SRC_APPS_MINIDFS_JOURNAL_NODE_H_
+#define SRC_APPS_MINIDFS_JOURNAL_NODE_H_
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class JournalNode {
+ public:
+  JournalNode(Cluster* cluster, const Configuration& conf);
+
+  JournalNode(const JournalNode&) = delete;
+  JournalNode& operator=(const JournalNode&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  // Appends edits to the current in-progress segment.
+  void AppendEdits(int count) { in_progress_edits_ += count; }
+
+  // Seals the in-progress segment into a finalized one.
+  void FinalizeSegment() {
+    finalized_edits_ += in_progress_edits_;
+    in_progress_edits_ = 0;
+  }
+
+  // Serves edits to a tailing NameNode. Serving the in-progress segment is
+  // only possible when this JournalNode has in-progress tailing enabled;
+  // otherwise the request is declined ("JournalNode declines NameNode's
+  // request to fetch journaled edits").
+  int FetchEdits(bool include_in_progress) const;
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  int finalized_edits_ = 0;
+  int in_progress_edits_ = 0;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIDFS_JOURNAL_NODE_H_

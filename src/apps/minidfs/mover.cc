@@ -1,0 +1,70 @@
+#include "src/apps/minidfs/mover.h"
+
+#include <algorithm>
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/minidfs/balancer.h"
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+
+namespace zebra {
+
+Mover::Mover(Cluster* cluster, NameNode* name_node, const Configuration& conf)
+    : init_scope_(kDfsApp, this, "Mover", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kDfsApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster),
+      name_node_(name_node) {
+  GetIpc(*cluster_, this);
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "NamenodeProtocol.getBlocks");
+  init_scope_.Finish();
+}
+
+MoveResult Mover::MigrateBlocks(const std::vector<uint64_t>& block_ids, DataNode* src,
+                                DataNode* dst, int64_t timeout_ms) {
+  MoveResult result;
+  const int64_t start_ms = cluster_->NowMs();
+  int64_t mover_max = conf_.GetInt(kDfsBalanceMaxMoves, kDfsBalanceMaxMovesDefault);
+  if (mover_max < 1) {
+    mover_max = 1;
+  }
+
+  size_t next = 0;
+  while (next < block_ids.size()) {
+    // One dispatch wave at the Mover's own concurrency belief; the source
+    // DataNode admits against its own limit and declined dispatchers back
+    // off like the Balancer's.
+    int64_t wave =
+        std::min<int64_t>(mover_max, static_cast<int64_t>(block_ids.size() - next));
+    int64_t latest_completion = cluster_->NowMs();
+    for (int64_t i = 0; i < wave;) {
+      int64_t completion = 0;
+      if (src->TryStartBalanceMove(cluster_->NowMs(), Balancer::kMoveBaseDurationMs,
+                                   &completion)) {
+        src->ReplicateTo(dst, block_ids[next]);
+        name_node_->CommitBalanceMove(block_ids[next], src->id(), dst->id());
+        latest_completion = std::max(latest_completion, completion);
+        ++result.migrated_blocks;
+        ++next;
+        ++i;
+      } else {
+        ++result.declined_dispatches;
+        cluster_->AdvanceTime(Balancer::kCongestionBackoffMs);
+      }
+      if (cluster_->NowMs() - start_ms > timeout_ms) {
+        throw TimeoutError("mover did not finish within " + std::to_string(timeout_ms) +
+                           " ms (" + std::to_string(result.migrated_blocks) + "/" +
+                           std::to_string(block_ids.size()) + " blocks)");
+      }
+    }
+    cluster_->clock().AdvanceTo(latest_completion);
+  }
+
+  result.elapsed_ms = cluster_->NowMs() - start_ms;
+  return result;
+}
+
+}  // namespace zebra

@@ -1,0 +1,51 @@
+// MiniDFS Mover: migrates block replicas between storage tiers (the HDFS
+// Mover tool). Shares the DataNode's balancing-move admission control, so it
+// is subject to the same max.concurrent.moves congestion behaviour as the
+// Balancer.
+
+#ifndef SRC_APPS_MINIDFS_MOVER_H_
+#define SRC_APPS_MINIDFS_MOVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class DataNode;
+class NameNode;
+
+struct MoveResult {
+  int migrated_blocks = 0;
+  int declined_dispatches = 0;
+  int64_t elapsed_ms = 0;
+};
+
+class Mover {
+ public:
+  Mover(Cluster* cluster, NameNode* name_node, const Configuration& conf);
+
+  Mover(const Mover&) = delete;
+  Mover& operator=(const Mover&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  // Migrates the given blocks from `src` to `dst` (a storage-tier change),
+  // dispatching up to this Mover's own max.concurrent.moves at the source
+  // DataNode. Throws TimeoutError when `timeout_ms` elapses first.
+  MoveResult MigrateBlocks(const std::vector<uint64_t>& block_ids, DataNode* src,
+                           DataNode* dst, int64_t timeout_ms);
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  NameNode* name_node_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIDFS_MOVER_H_

@@ -1,0 +1,418 @@
+#include "src/apps/minidfs/name_node.h"
+
+#include <algorithm>
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/journal_node.h"
+#include "src/common/error.h"
+#include "src/common/strings.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+
+namespace {
+constexpr char kBlockAccessTokenValue[] = "block-pool-token";
+}  // namespace
+
+NameNode::NameNode(Cluster* cluster, const Configuration& conf)
+    : init_scope_(kDfsApp, this, "NameNode", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kDfsApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster) {
+  // Touch the ordinary startup parameters, as the real NameNode does while
+  // constructing its RPC server and storage policies. These reads are what
+  // the pre-run records.
+  conf_.GetInt(kDfsNameNodeHandlerCount, kDfsNameNodeHandlerCountDefault);
+  conf_.GetDouble(kDfsSafemodeThreshold, kDfsSafemodeThresholdDefault);
+  conf_.GetInt(kDfsReplicationMin, kDfsReplicationMinDefault);
+  conf_.GetBool(kDfsPermissionsEnabled, kDfsPermissionsEnabledDefault);
+  conf_.GetBool(kDfsAclsEnabled, kDfsAclsEnabledDefault);
+  conf_.GetInt(kDfsExtraEditsRetained, kDfsExtraEditsRetainedDefault);
+
+  // Bring up the web endpoint (reads dfs.http.policy and the matching
+  // address parameter).
+  WebScheme();
+
+  // Create (or join) the IPC component while still inside the init function
+  // so its configuration object maps to this node.
+  GetIpc(*cluster_, this);
+
+  // Periodic liveness checking at the recheck interval.
+  int64_t recheck = conf_.GetInt(kDfsHeartbeatRecheck, kDfsHeartbeatRecheckDefault);
+  liveness_task_ = cluster_->clock().SchedulePeriodic(recheck, recheck,
+                                                      [this] { RunLivenessCheck(); });
+  init_scope_.Finish();
+}
+
+NameNode::~NameNode() { cluster_->clock().Cancel(liveness_task_); }
+
+void NameNode::Reconfigure(const std::string& param, const std::string& value) {
+  if (param == kDfsHeartbeatInterval || param == kDfsHeartbeatRecheck) {
+    conf_.Set(param, value);  // the liveness check reads both dynamically
+    return;
+  }
+  throw RpcError("NameNode cannot reconfigure '" + param + "' online");
+}
+
+void NameNode::RegisterDataNode(uint64_t dn_id, const std::string& access_token) {
+  bool tokens_required = conf_.GetBool(kDfsBlockAccessToken, kDfsBlockAccessTokenDefault);
+  if (tokens_required && access_token != kBlockAccessTokenValue) {
+    throw HandshakeError(
+        "NameNode requires block access tokens but the DataNode presented none; "
+        "block pool registration failed");
+  }
+  DataNodeInfo info;
+  info.index = static_cast<int>(registration_order_.size());
+  info.last_heartbeat_ms = cluster_->NowMs();
+  datanodes_[dn_id] = info;
+  registration_order_.push_back(dn_id);
+}
+
+void NameNode::Heartbeat(uint64_t dn_id) {
+  auto it = datanodes_.find(dn_id);
+  if (it == datanodes_.end()) {
+    throw RpcError("heartbeat from unregistered DataNode");
+  }
+  if (it->second.dead) {
+    // HDFS answers a heartbeat from a dead-declared DataNode with
+    // DNA_REGISTER: the node must re-register before it is trusted again.
+    throw RpcError(
+        "NameNode declared this DataNode dead; heartbeat rejected, "
+        "re-registration required");
+  }
+  it->second.last_heartbeat_ms = cluster_->NowMs();
+}
+
+void NameNode::RunLivenessCheck() {
+  int64_t recheck = conf_.GetInt(kDfsHeartbeatRecheck, kDfsHeartbeatRecheckDefault);
+  int64_t heartbeat_s = conf_.GetInt(kDfsHeartbeatInterval, kDfsHeartbeatIntervalDefault);
+  // HDFS's dead window: 2 * recheck + 10 * heartbeat, from *this* NameNode's
+  // configuration. Death is sticky until re-registration.
+  int64_t dead_window_ms = 2 * recheck + 10 * heartbeat_s * 1000;
+  int64_t now = cluster_->NowMs();
+  for (auto& [dn_id, info] : datanodes_) {
+    if (now - info.last_heartbeat_ms > dead_window_ms) {
+      info.dead = true;
+    }
+  }
+}
+
+int NameNode::NumLiveDataNodes() const {
+  int live = 0;
+  for (const auto& [dn_id, info] : datanodes_) {
+    if (!info.dead) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+int NameNode::NumDeadDataNodes() const {
+  return static_cast<int>(datanodes_.size()) - NumLiveDataNodes();
+}
+
+int NameNode::NumStaleDataNodes() const {
+  int64_t stale_window = conf_.GetInt(kDfsStaleInterval, kDfsStaleIntervalDefault);
+  int64_t now = cluster_->NowMs();
+  int stale = 0;
+  for (const auto& [dn_id, info] : datanodes_) {
+    if (now - info.last_heartbeat_ms > stale_window) {
+      ++stale;
+    }
+  }
+  return stale;
+}
+
+int NameNode::NumRegisteredDataNodes() const {
+  return static_cast<int>(datanodes_.size());
+}
+
+void NameNode::EnterSafeMode(int expected_blocks) {
+  safe_mode_ = true;
+  safe_mode_expected_blocks_ = expected_blocks;
+}
+
+bool NameNode::InSafeMode() const {
+  if (!safe_mode_) {
+    return false;
+  }
+  double threshold = conf_.GetDouble(kDfsSafemodeThreshold, kDfsSafemodeThresholdDefault);
+  double needed = threshold * static_cast<double>(safe_mode_expected_blocks_);
+  return static_cast<double>(TotalBlocks()) < needed;
+}
+
+void NameNode::ProcessBlockReport(uint64_t dn_id,
+                                  const std::vector<uint64_t>& block_ids) {
+  if (datanodes_.count(dn_id) == 0) {
+    throw RpcError("block report from unregistered DataNode");
+  }
+  for (uint64_t block_id : block_ids) {
+    block_locations_[block_id].insert(dn_id);
+  }
+}
+
+void NameNode::CreateFile(const std::string& path, int replication) {
+  if (InSafeMode()) {
+    throw RpcError("Name node is in safe mode: cannot create " + path);
+  }
+  int64_t max_component =
+      conf_.GetInt(kDfsMaxComponentLength, kDfsMaxComponentLengthDefault);
+  int64_t max_items = conf_.GetInt(kDfsMaxDirectoryItems, kDfsMaxDirectoryItemsDefault);
+
+  std::vector<std::string> components = StrSplit(path, '/');
+  for (const std::string& component : components) {
+    if (max_component > 0 && static_cast<int64_t>(component.size()) > max_component) {
+      throw LimitError("path component '" + component.substr(0, 32) +
+                       "...' exceeds fs-limits.max-component-length=" +
+                       std::to_string(max_component));
+    }
+  }
+
+  std::string parent = "/";
+  if (auto pos = path.find_last_of('/'); pos != std::string::npos && pos > 0) {
+    parent = path.substr(0, pos);
+  }
+  std::set<std::string>& children = directory_children_[parent];
+  if (max_items > 0 && static_cast<int64_t>(children.size()) >= max_items &&
+      children.count(path) == 0) {
+    throw LimitError("directory " + parent +
+                     " exceeds fs-limits.max-directory-items=" +
+                     std::to_string(max_items));
+  }
+  children.insert(path);
+
+  FileInfo info;
+  info.replication = replication;
+  files_[path] = info;
+}
+
+uint64_t NameNode::AddBlock(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw RpcError("addBlock on nonexistent file " + path);
+  }
+  uint64_t block_id = next_block_id_++;
+  it->second.block_ids.push_back(block_id);
+  block_locations_[block_id];  // ensure presence
+  return block_id;
+}
+
+std::vector<uint64_t> NameNode::PickTargets(int count) {
+  if (registration_order_.empty()) {
+    throw RpcError("no DataNodes registered");
+  }
+  std::vector<uint64_t> targets;
+  for (int i = 0; i < count && i < static_cast<int>(registration_order_.size()); ++i) {
+    targets.push_back(
+        registration_order_[(next_target_rotation_ + i) % registration_order_.size()]);
+  }
+  ++next_target_rotation_;
+  return targets;
+}
+
+void NameNode::RecordBlockLocation(uint64_t block_id, uint64_t dn_id) {
+  block_locations_[block_id].insert(dn_id);
+}
+
+bool NameNode::FileExists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::vector<uint64_t> NameNode::BlocksOf(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw RpcError("getBlockLocations on nonexistent file " + path);
+  }
+  return it->second.block_ids;
+}
+
+std::vector<uint64_t> NameNode::LocationsOf(uint64_t block_id) const {
+  auto it = block_locations_.find(block_id);
+  if (it == block_locations_.end()) {
+    return {};
+  }
+  return std::vector<uint64_t>(it->second.begin(), it->second.end());
+}
+
+std::map<uint64_t, std::vector<uint64_t>> NameNode::RemoveFile(const std::string& path) {
+  if (InSafeMode()) {
+    throw RpcError("Name node is in safe mode: cannot delete " + path);
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw RpcError("delete on nonexistent file " + path);
+  }
+  std::map<uint64_t, std::vector<uint64_t>> result;
+  for (uint64_t block_id : it->second.block_ids) {
+    result[block_id] = LocationsOf(block_id);
+  }
+  files_.erase(it);
+  std::string parent = "/";
+  if (auto pos = path.find_last_of('/'); pos != std::string::npos && pos > 0) {
+    parent = path.substr(0, pos);
+  }
+  directory_children_[parent].erase(path);
+  return result;
+}
+
+void NameNode::OnBlockReplicaDeleted(uint64_t block_id, uint64_t dn_id) {
+  auto it = block_locations_.find(block_id);
+  if (it == block_locations_.end()) {
+    return;
+  }
+  it->second.erase(dn_id);
+  if (it->second.empty()) {
+    block_locations_.erase(it);
+    corrupt_blocks_.erase(block_id);
+  }
+}
+
+int NameNode::TotalBlocks() const {
+  int total = 0;
+  for (const auto& [block_id, locations] : block_locations_) {
+    if (!locations.empty()) {
+      ++total;
+    }
+  }
+  return total;
+}
+
+void NameNode::MarkBlockCorrupt(uint64_t block_id) { corrupt_blocks_.insert(block_id); }
+
+std::vector<uint64_t> NameNode::ListCorruptBlocks() const {
+  int64_t max_returned =
+      conf_.GetInt(kDfsMaxCorruptFileBlocks, kDfsMaxCorruptFileBlocksDefault);
+  std::vector<uint64_t> result;
+  for (uint64_t block_id : corrupt_blocks_) {
+    if (static_cast<int64_t>(result.size()) >= max_returned) {
+      break;
+    }
+    result.push_back(block_id);
+  }
+  return result;
+}
+
+void NameNode::AllowSnapshot(const std::string& root_path) {
+  snapshot_roots_.insert(root_path);
+}
+
+int NameNode::SnapshotDiff(const std::string& path) const {
+  if (snapshot_roots_.count(path) > 0) {
+    return static_cast<int>(files_.size());
+  }
+  // `path` is a descendant of a snapshot root.
+  bool allow_descendant =
+      conf_.GetBool(kDfsSnapshotDescendant, kDfsSnapshotDescendantDefault);
+  for (const std::string& root : snapshot_roots_) {
+    if (StartsWith(path, root + "/") || root == "/") {
+      if (!allow_descendant) {
+        throw RpcError("snapshot diff on descendant path " + path +
+                       " declined: snap-root-descendant access is disabled");
+      }
+      return static_cast<int>(files_.size());
+    }
+  }
+  throw RpcError("path " + path + " is not under a snapshottable root");
+}
+
+uint64_t NameNode::GetAdditionalDataNode(uint64_t failed_dn_id) {
+  bool replace_enabled =
+      conf_.GetBool(kDfsReplaceDnOnFailure, kDfsReplaceDnOnFailureDefault);
+  if (!replace_enabled) {
+    throw RpcError(
+        "getAdditionalDatanode: replace-datanode-on-failure policy is DISABLE "
+        "on the NameNode");
+  }
+  for (uint64_t dn_id : registration_order_) {
+    if (dn_id != failed_dn_id && !datanodes_.at(dn_id).dead) {
+      return dn_id;
+    }
+  }
+  throw RpcError("no replacement DataNode available");
+}
+
+Bytes NameNode::CanonicalImage() const {
+  Bytes image;
+  AppendU32(&image, static_cast<uint32_t>(files_.size()));
+  for (const auto& [path, info] : files_) {
+    AppendLengthPrefixedString(&image, path);
+    AppendU32(&image, static_cast<uint32_t>(info.replication));
+    AppendU32(&image, static_cast<uint32_t>(info.block_ids.size()));
+    for (uint64_t block_id : info.block_ids) {
+      AppendU64(&image, block_id);
+    }
+  }
+  return image;
+}
+
+Bytes NameNode::SaveImage() const {
+  Bytes canonical = CanonicalImage();
+  if (conf_.GetBool(kDfsImageCompress, kDfsImageCompressDefault)) {
+    return CompressPayload("rle", canonical);
+  }
+  return canonical;
+}
+
+int NameNode::TailEdits(JournalNode* journal) {
+  bool want_in_progress =
+      conf_.GetBool(kDfsHaTailEditsInProgress, kDfsHaTailEditsInProgressDefault);
+  return journal->FetchEdits(want_in_progress);
+}
+
+int NameNode::RegistrationIndexOf(uint64_t dn_id) const {
+  auto it = datanodes_.find(dn_id);
+  if (it == datanodes_.end()) {
+    throw RpcError("unknown DataNode in upgrade-domain lookup");
+  }
+  return it->second.index;
+}
+
+int NameNode::UpgradeDomainOf(uint64_t dn_id) const {
+  int64_t factor = conf_.GetInt(kDfsUpgradeDomainFactor, kDfsUpgradeDomainFactorDefault);
+  if (factor <= 0) {
+    factor = 1;
+  }
+  return static_cast<int>(RegistrationIndexOf(dn_id) % factor);
+}
+
+bool NameNode::ValidateBalanceMove(uint64_t block_id, uint64_t src_dn,
+                                   uint64_t dst_dn) const {
+  auto it = block_locations_.find(block_id);
+  if (it == block_locations_.end() || it->second.count(src_dn) == 0) {
+    return false;
+  }
+  std::set<int> domains;
+  domains.insert(UpgradeDomainOf(dst_dn));
+  for (uint64_t dn_id : it->second) {
+    if (dn_id == src_dn) {
+      continue;
+    }
+    int domain = UpgradeDomainOf(dn_id);
+    if (domains.count(domain) > 0) {
+      return false;  // placement policy violation under the NameNode's factor
+    }
+    domains.insert(domain);
+  }
+  return true;
+}
+
+void NameNode::CommitBalanceMove(uint64_t block_id, uint64_t src_dn, uint64_t dst_dn) {
+  auto it = block_locations_.find(block_id);
+  if (it == block_locations_.end()) {
+    return;
+  }
+  it->second.erase(src_dn);
+  it->second.insert(dst_dn);
+}
+
+std::string NameNode::WebScheme() const {
+  std::string policy = conf_.Get(kDfsHttpPolicy, kDfsHttpPolicyDefault);
+  if (policy == "HTTPS_ONLY") {
+    conf_.Get(kDfsHttpsAddress, kDfsHttpsAddressDefault);
+    return "https";
+  }
+  conf_.Get(kDfsHttpAddress, kDfsHttpAddressDefault);
+  return "http";
+}
+
+}  // namespace zebra

@@ -1,0 +1,198 @@
+// MiniDFS NameNode: namespace, block map, DataNode liveness tracking,
+// fs-limits enforcement, corrupt-block reporting, checkpoint images,
+// upgrade-domain-aware balance validation, and the web endpoint.
+
+#ifndef SRC_APPS_MINIDFS_NAME_NODE_H_
+#define SRC_APPS_MINIDFS_NAME_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class JournalNode;
+
+class NameNode {
+ public:
+  NameNode(Cluster* cluster, const Configuration& conf);
+  ~NameNode();
+
+  NameNode(const NameNode&) = delete;
+  NameNode& operator=(const NameNode&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+  Cluster& cluster() { return *cluster_; }
+
+  // Online reconfiguration (the dfsadmin -reconfig namenode analog).
+  // Supported: dfs.heartbeat.interval and
+  // dfs.namenode.heartbeat.recheck-interval, both consulted dynamically by
+  // the liveness check. Throws RpcError for anything else.
+  void Reconfigure(const std::string& param, const std::string& value);
+
+  // ---- DataNode registration & liveness -------------------------------------
+
+  // Called by a DataNode during startup. `access_token` is derived from the
+  // DataNode's dfs.block.access.token.enable; the NameNode validates it
+  // against its own setting ("DataNode fails to register block pools").
+  void RegisterDataNode(uint64_t dn_id, const std::string& access_token);
+
+  void Heartbeat(uint64_t dn_id);
+
+  // Periodic liveness check (scheduled every heartbeat.recheck-interval).
+  // The dead window is 2 * recheck + 10 * heartbeat.interval, all from the
+  // NameNode's own configuration — HDFS's formula.
+  void RunLivenessCheck();
+
+  int NumLiveDataNodes() const;
+  int NumDeadDataNodes() const;
+  int NumStaleDataNodes() const;
+  int NumRegisteredDataNodes() const;
+
+  // ---- Safe mode --------------------------------------------------------------
+
+  // Enters safe mode expecting `expected_blocks` replicas to be reported
+  // (what a restarted NameNode derives from its image). Namespace mutations
+  // are rejected until the reported fraction reaches
+  // dfs.namenode.safemode.threshold-pct of the expectation.
+  void EnterSafeMode(int expected_blocks);
+  bool InSafeMode() const;
+
+  // Full block report from a DataNode: registers every replica it stores
+  // (the mechanism that brings a restarted NameNode out of safe mode).
+  void ProcessBlockReport(uint64_t dn_id, const std::vector<uint64_t>& block_ids);
+
+  // ---- Namespace -------------------------------------------------------------
+
+  // Creates a file, enforcing fs-limits (max-component-length and
+  // max-directory-items) from the NameNode's configuration.
+  void CreateFile(const std::string& path, int replication);
+
+  // Allocates a block for the file and returns its id.
+  uint64_t AddBlock(const std::string& path);
+
+  // Chooses `count` target DataNodes for a new block (registration order,
+  // rotating).
+  std::vector<uint64_t> PickTargets(int count);
+
+  // Records that `dn_id` stores `block_id`.
+  void RecordBlockLocation(uint64_t block_id, uint64_t dn_id);
+
+  bool FileExists(const std::string& path) const;
+  std::vector<uint64_t> BlocksOf(const std::string& path) const;
+  std::vector<uint64_t> LocationsOf(uint64_t block_id) const;
+
+  // Removes the file; returns (block id -> DataNodes holding it) so the
+  // client can issue DataNode-side deletions.
+  std::map<uint64_t, std::vector<uint64_t>> RemoveFile(const std::string& path);
+
+  // Incremental block report from a DataNode: a replica disappeared.
+  void OnBlockReplicaDeleted(uint64_t block_id, uint64_t dn_id);
+
+  // Blocks with at least one recorded replica.
+  int TotalBlocks() const;
+
+  // ---- Corrupt blocks ---------------------------------------------------------
+
+  void MarkBlockCorrupt(uint64_t block_id);
+
+  // Truncated at the NameNode's max-corrupt-file-blocks-returned ("end users
+  // may observe inconsistent number of corrupted blocks").
+  std::vector<uint64_t> ListCorruptBlocks() const;
+
+  // ---- Snapshots ---------------------------------------------------------------
+
+  void AllowSnapshot(const std::string& root_path);
+
+  // Computes a snapshot diff; `path` may be the snapshot root, or a
+  // descendant of it only when the NameNode allows that ("NameNode declines
+  // Client's request to do snapshot").
+  int SnapshotDiff(const std::string& path) const;
+
+  // ---- Pipeline recovery ---------------------------------------------------------
+
+  // Returns a replacement DataNode for a failed write pipeline; refuses when
+  // the NameNode's replace-datanode-on-failure is disabled ("NameNode reports
+  // Exception when Client tries to find additional DataNode").
+  uint64_t GetAdditionalDataNode(uint64_t failed_dn_id);
+
+  // ---- Checkpoint images -----------------------------------------------------------
+
+  // Serialized namespace image, compressed iff dfs.image.compress.
+  Bytes SaveImage() const;
+  // Canonical (uncompressed) serialization, for semantic comparison.
+  Bytes CanonicalImage() const;
+
+  // ---- Edit tailing (HA) --------------------------------------------------------------
+
+  // Tails edits from a JournalNode, requesting in-progress segments iff this
+  // NameNode's dfs.ha.tail-edits.in-progress is set.
+  int TailEdits(JournalNode* journal);
+
+  // ---- Balancer support -----------------------------------------------------------------
+
+  // Registration index of a DataNode — cluster topology data (not
+  // configuration) that the Balancer also uses for its own domain math.
+  int DataNodeIndex(uint64_t dn_id) const { return RegistrationIndexOf(dn_id); }
+
+  // Upgrade domain of a DataNode (registration index modulo the NameNode's
+  // upgrade.domain.factor).
+  int UpgradeDomainOf(uint64_t dn_id) const;
+
+  // Validates that moving one replica of `block_id` from `src_dn` to `dst_dn`
+  // keeps all replicas in distinct upgrade domains under the NameNode's
+  // domain factor ("Balancer hangs because of block placement policy
+  // violation on NameNode").
+  bool ValidateBalanceMove(uint64_t block_id, uint64_t src_dn, uint64_t dst_dn) const;
+
+  // Applies a validated move to the block map.
+  void CommitBalanceMove(uint64_t block_id, uint64_t src_dn, uint64_t dst_dn);
+
+  // ---- Web endpoint ------------------------------------------------------------------------
+
+  // "http" or "https", from dfs.http.policy (reads the matching address
+  // parameter, which the §4 dependency rules must provide).
+  std::string WebScheme() const;
+
+ private:
+  int RegistrationIndexOf(uint64_t dn_id) const;
+
+  struct DataNodeInfo {
+    int index = 0;  // registration order
+    int64_t last_heartbeat_ms = 0;
+    bool dead = false;
+  };
+
+  struct FileInfo {
+    int replication = 1;
+    std::vector<uint64_t> block_ids;
+  };
+
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+
+  std::map<uint64_t, DataNodeInfo> datanodes_;
+  std::vector<uint64_t> registration_order_;
+  std::map<std::string, FileInfo> files_;
+  std::map<std::string, std::set<std::string>> directory_children_;
+  std::map<uint64_t, std::set<uint64_t>> block_locations_;
+  std::set<uint64_t> corrupt_blocks_;
+  std::set<std::string> snapshot_roots_;
+  uint64_t next_block_id_ = 1;
+  uint64_t next_target_rotation_ = 0;
+  SimClock::TaskId liveness_task_ = 0;
+  bool safe_mode_ = false;
+  int safe_mode_expected_blocks_ = 0;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIDFS_NAME_NODE_H_

@@ -1,0 +1,42 @@
+#include "src/apps/minidfs/secondary_name_node.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+
+SecondaryNameNode::SecondaryNameNode(Cluster* cluster, NameNode* name_node,
+                                     const Configuration& conf)
+    : init_scope_(kDfsApp, this, "SecondaryNameNode", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kDfsApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster),
+      name_node_(name_node) {
+  int64_t period_ms =
+      conf_.GetInt(kDfsCheckpointPeriod, kDfsCheckpointPeriodDefault) * 1000;
+  checkpoint_task_ = cluster_->clock().SchedulePeriodic(period_ms, period_ms,
+                                                        [this] { DoCheckpoint(); });
+  GetIpc(*cluster_, this);
+  init_scope_.Finish();
+}
+
+SecondaryNameNode::~SecondaryNameNode() {
+  cluster_->clock().Cancel(checkpoint_task_);
+}
+
+void SecondaryNameNode::DoCheckpoint() {
+  RpcGate(*cluster_, name_node_, conf_, name_node_->conf(),
+          "NamenodeProtocol.getImage");
+  Bytes canonical = name_node_->CanonicalImage();
+  image_compressed_ = conf_.GetBool(kDfsImageCompress, kDfsImageCompressDefault);
+  image_ = image_compressed_ ? CompressPayload("rle", canonical) : canonical;
+  ++checkpoints_taken_;
+}
+
+Bytes SecondaryNameNode::CanonicalImage() const {
+  return image_compressed_ ? DecompressPayload("rle", image_) : image_;
+}
+
+}  // namespace zebra

@@ -1,0 +1,50 @@
+// MiniDFS SecondaryNameNode: periodic checkpointing of the NameNode image.
+
+#ifndef SRC_APPS_MINIDFS_SECONDARY_NAME_NODE_H_
+#define SRC_APPS_MINIDFS_SECONDARY_NAME_NODE_H_
+
+#include "src/common/bytes.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class NameNode;
+
+class SecondaryNameNode {
+ public:
+  // Schedules periodic checkpoints every dfs.namenode.checkpoint.period
+  // seconds (in addition to explicit DoCheckpoint calls).
+  SecondaryNameNode(Cluster* cluster, NameNode* name_node, const Configuration& conf);
+  ~SecondaryNameNode();
+
+  SecondaryNameNode(const SecondaryNameNode&) = delete;
+  SecondaryNameNode& operator=(const SecondaryNameNode&) = delete;
+
+  // Downloads the namespace from the primary and writes a checkpoint image
+  // using *this* node's dfs.image.compress setting.
+  void DoCheckpoint();
+
+  // The checkpoint image as stored on disk (possibly compressed).
+  const Bytes& ImageBytes() const { return image_; }
+
+  // The image decoded back to its canonical form.
+  Bytes CanonicalImage() const;
+
+  int checkpoints_taken() const { return checkpoints_taken_; }
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  NameNode* name_node_;
+  Bytes image_;
+  bool image_compressed_ = false;
+  int checkpoints_taken_ = 0;
+  SimClock::TaskId checkpoint_task_ = 0;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIDFS_SECONDARY_NAME_NODE_H_

@@ -1,0 +1,50 @@
+// MiniKV (HBase analog) parameter names and defaults.
+
+#ifndef SRC_APPS_MINIKV_KV_PARAMS_H_
+#define SRC_APPS_MINIKV_KV_PARAMS_H_
+
+#include <cstdint>
+
+namespace zebra {
+
+inline constexpr char kKvApp[] = "minikv";
+
+// ---- Table 3 heterogeneous-unsafe parameters ---------------------------------
+
+// "Thrift Admin fails to communicate with Thrift Server."
+inline constexpr char kKvThriftCompact[] = "hbase.regionserver.thrift.compact";
+inline constexpr bool kKvThriftCompactDefault = false;
+
+// "Thrift Admin fails to communicate with Thrift Server."
+inline constexpr char kKvThriftFramed[] = "hbase.regionserver.thrift.framed";
+inline constexpr bool kKvThriftFramedDefault = false;
+
+// ---- Heterogeneous-safe parameters -------------------------------------------
+
+inline constexpr char kKvClientRetries[] = "hbase.client.retries.number";
+inline constexpr int64_t kKvClientRetriesDefault = 35;
+
+inline constexpr char kKvHandlerCount[] = "hbase.regionserver.handler.count";
+inline constexpr int64_t kKvHandlerCountDefault = 30;
+
+inline constexpr char kKvRegionMaxFilesize[] = "hbase.hregion.max.filesize";
+inline constexpr int64_t kKvRegionMaxFilesizeDefault = 10737418240;
+
+inline constexpr char kKvMasterInfoPort[] = "hbase.master.info.port";
+inline constexpr int64_t kKvMasterInfoPortDefault = 16010;
+
+inline constexpr char kKvClientPause[] = "hbase.client.pause";
+inline constexpr int64_t kKvClientPauseDefault = 100;
+
+inline constexpr char kKvBalancerPeriod[] = "hbase.balancer.period";
+inline constexpr int64_t kKvBalancerPeriodDefault = 300000;
+
+inline constexpr char kKvZkQuorum[] = "hbase.zookeeper.quorum";
+inline constexpr char kKvZkQuorumDefault[] = "localhost";
+
+inline constexpr char kKvRestPort[] = "hbase.rest.port";
+inline constexpr int64_t kKvRestPortDefault = 8080;
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIKV_KV_PARAMS_H_

@@ -1,0 +1,34 @@
+#include "src/apps/minikv/kv_schema.h"
+
+#include "src/apps/minikv/kv_params.h"
+
+namespace zebra {
+
+void RegisterMiniKvSchema(ConfSchema& schema) {
+  const char* app = kKvApp;
+
+  schema.AddParam({kKvThriftCompact, app, ParamType::kBool, "false",
+                   {"true", "false"}, "Thrift compact protocol"});
+  schema.AddParam({kKvThriftFramed, app, ParamType::kBool, "false",
+                   {"true", "false"}, "Thrift framed transport"});
+
+  schema.AddParam({kKvClientRetries, app, ParamType::kInt, "35",
+                   {"1", "10", "35"}, "Client retry budget (client-local)"});
+  schema.AddParam({kKvHandlerCount, app, ParamType::kInt, "30",
+                   {"10", "30"}, "RegionServer handler threads (node-local)"});
+  schema.AddParam({kKvRegionMaxFilesize, app, ParamType::kInt, "10737418240",
+                   {"1073741824", "10737418240"},
+                   "Region split size threshold (RS-local)"});
+  schema.AddParam({kKvMasterInfoPort, app, ParamType::kInt, "16010",
+                   {"16010", "26010"}, "Master info port"});
+  schema.AddParam({kKvClientPause, app, ParamType::kInt, "100",
+                   {"100", "1000"}, "Client retry pause (client-local)"});
+  schema.AddParam({kKvBalancerPeriod, app, ParamType::kInt, "300000",
+                   {"300000", "600000"}, "Region balancer period (master-local)"});
+  schema.AddParam({kKvZkQuorum, app, ParamType::kString, "localhost",
+                   {"localhost", "zk1,zk2,zk3"}, "ZooKeeper quorum"});
+  schema.AddParam({kKvRestPort, app, ParamType::kInt, "8080",
+                   {"8080", "18080"}, "REST server port"});
+}
+
+}  // namespace zebra

@@ -1,0 +1,14 @@
+// Schema registration for MiniKV parameters.
+
+#ifndef SRC_APPS_MINIKV_KV_SCHEMA_H_
+#define SRC_APPS_MINIKV_KV_SCHEMA_H_
+
+#include "src/conf/conf_schema.h"
+
+namespace zebra {
+
+void RegisterMiniKvSchema(ConfSchema& schema);
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIKV_KV_SCHEMA_H_

@@ -1,0 +1,134 @@
+#include "src/apps/minikv/kv_store.h"
+
+#include <algorithm>
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/minikv/kv_params.h"
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace zebra {
+
+HMaster::HMaster(Cluster* cluster, const Configuration& conf)
+    : init_scope_(kKvApp, this, "HMaster", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kKvApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster) {
+  conf_.GetInt(kKvMasterInfoPort, kKvMasterInfoPortDefault);
+  conf_.GetInt(kKvBalancerPeriod, kKvBalancerPeriodDefault);
+  conf_.Get(kKvZkQuorum, kKvZkQuorumDefault);
+  GetIpc(*cluster_, this);
+  init_scope_.Finish();
+}
+
+void HMaster::RegisterRegionServer(HRegionServer* rs) { region_servers_.push_back(rs); }
+
+void HMaster::CreateTable(const std::string& table) {
+  if (region_servers_.empty()) {
+    throw RpcError("cannot create table: no RegionServers registered");
+  }
+  if (TableExists(table)) {
+    throw RpcError("table already exists: " + table);
+  }
+  tables_.push_back(table);
+}
+
+bool HMaster::TableExists(const std::string& table) const {
+  return std::find(tables_.begin(), tables_.end(), table) != tables_.end();
+}
+
+std::vector<std::string> HMaster::ListTables() const { return tables_; }
+
+HRegionServer* HMaster::Locate(const std::string& table, const std::string& row) const {
+  if (!TableExists(table)) {
+    throw RpcError("table does not exist: " + table);
+  }
+  uint64_t hash = Fnv1a64(table + "/" + row);
+  return region_servers_[hash % region_servers_.size()];
+}
+
+HRegionServer::HRegionServer(Cluster* cluster, HMaster* master,
+                             const Configuration& conf)
+    : init_scope_(kKvApp, this, "HRegionServer", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kKvApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster) {
+  conf_.GetInt(kKvHandlerCount, kKvHandlerCountDefault);
+  conf_.GetInt(kKvRegionMaxFilesize, kKvRegionMaxFilesizeDefault);
+  GetIpc(*cluster_, this);
+  master->RegisterRegionServer(this);
+  init_scope_.Finish();
+}
+
+void HRegionServer::Put(const std::string& table, const std::string& row,
+                        const std::string& value) {
+  rows_[table + "/" + row] = value;
+  // Model store-file growth: each cell contributes its value size scaled up
+  // to the HFile block granularity, so the candidate max.filesize values
+  // (1 GiB / 10 GiB) correspond to single-digit / tens of rows.
+  constexpr int64_t kBytesPerCell = 256LL << 20;  // 256 MiB per flushed cell
+  region_bytes_[table] += kBytesPerCell + static_cast<int64_t>(value.size());
+  MaybeSplit(table);
+}
+
+void HRegionServer::MaybeSplit(const std::string& table) {
+  int64_t max_filesize = conf_.GetInt(kKvRegionMaxFilesize, kKvRegionMaxFilesizeDefault);
+  if (region_bytes_[table] >= max_filesize) {
+    // Split: the hot region divides in half; both halves stay local.
+    region_bytes_[table] /= 2;
+    regions_[table] = NumRegions(table) + 1;
+    ++total_splits_;
+  }
+}
+
+int HRegionServer::NumRegions(const std::string& table) const {
+  auto it = regions_.find(table);
+  return it == regions_.end() ? 1 : it->second;
+}
+
+std::string HRegionServer::Get(const std::string& table, const std::string& row) const {
+  auto it = rows_.find(table + "/" + row);
+  if (it == rows_.end()) {
+    throw RpcError("row not found: " + table + "/" + row);
+  }
+  return it->second;
+}
+
+int HRegionServer::NumRows() const { return static_cast<int>(rows_.size()); }
+
+RESTServer::RESTServer(Cluster* cluster, HMaster* master, const Configuration& conf)
+    : init_scope_(kKvApp, this, "RESTServer", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kKvApp, conf, __FILE__, __LINE__)),
+      master_(master) {
+  conf_.GetInt(kKvRestPort, kKvRestPortDefault);
+  GetIpc(*cluster, this);
+  init_scope_.Finish();
+}
+
+std::string RESTServer::Status() const {
+  return "rest-ok tables=" + std::to_string(master_->ListTables().size());
+}
+
+KvClient::KvClient(Cluster* cluster, HMaster* master, const Configuration& conf)
+    : cluster_(cluster), master_(master), conf_(conf) {}
+
+void KvClient::Put(const std::string& table, const std::string& row,
+                   const std::string& value) {
+  conf_.GetInt(kKvClientRetries, kKvClientRetriesDefault);
+  conf_.GetInt(kKvClientPause, kKvClientPauseDefault);
+  HRegionServer* rs = master_->Locate(table, row);
+  RpcGate(*cluster_, rs, conf_, rs->conf(), "ClientService.mutate");
+  rs->Put(table, row, value);
+}
+
+std::string KvClient::Get(const std::string& table, const std::string& row) {
+  HRegionServer* rs = master_->Locate(table, row);
+  RpcGate(*cluster_, rs, conf_, rs->conf(), "ClientService.get");
+  return rs->Get(table, row);
+}
+
+void KvClient::CreateTable(const std::string& table) {
+  RpcGate(*cluster_, master_, conf_, master_->conf(), "MasterService.createTable");
+  master_->CreateTable(table);
+}
+
+}  // namespace zebra

@@ -1,0 +1,115 @@
+// MiniKV core nodes: HMaster (table/region management), HRegionServer
+// (row storage), RESTServer, and the KvClient the unit tests drive.
+
+#ifndef SRC_APPS_MINIKV_KV_STORE_H_
+#define SRC_APPS_MINIKV_KV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class HRegionServer;
+
+class HMaster {
+ public:
+  HMaster(Cluster* cluster, const Configuration& conf);
+
+  HMaster(const HMaster&) = delete;
+  HMaster& operator=(const HMaster&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+  Cluster& cluster() { return *cluster_; }
+
+  void RegisterRegionServer(HRegionServer* rs);
+  int NumRegionServers() const { return static_cast<int>(region_servers_.size()); }
+
+  // Creates a table with one region per registered RegionServer.
+  void CreateTable(const std::string& table);
+  bool TableExists(const std::string& table) const;
+  std::vector<std::string> ListTables() const;
+
+  // The RegionServer responsible for (table, row).
+  HRegionServer* Locate(const std::string& table, const std::string& row) const;
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  std::vector<HRegionServer*> region_servers_;
+  std::vector<std::string> tables_;
+};
+
+class HRegionServer {
+ public:
+  HRegionServer(Cluster* cluster, HMaster* master, const Configuration& conf);
+
+  HRegionServer(const HRegionServer&) = delete;
+  HRegionServer& operator=(const HRegionServer&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  void Put(const std::string& table, const std::string& row, const std::string& value);
+  std::string Get(const std::string& table, const std::string& row) const;
+  int NumRows() const;
+
+  // Region splits are a RegionServer-local decision: when a region's
+  // accumulated size passes this server's hbase.hregion.max.filesize, the
+  // region splits in two (both halves stay on this server in the mini model).
+  int NumRegions(const std::string& table) const;
+  int TotalSplits() const { return total_splits_; }
+
+ private:
+  void MaybeSplit(const std::string& table);
+
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  std::map<std::string, std::string> rows_;       // "table/row" -> value
+  std::map<std::string, int64_t> region_bytes_;   // table -> bytes in hot region
+  std::map<std::string, int> regions_;            // table -> region count
+  int total_splits_ = 0;
+};
+
+class RESTServer {
+ public:
+  RESTServer(Cluster* cluster, HMaster* master, const Configuration& conf);
+
+  RESTServer(const RESTServer&) = delete;
+  RESTServer& operator=(const RESTServer&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  // Version/status document served over HTTP.
+  std::string Status() const;
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  HMaster* master_;
+};
+
+// Client-side API used by unit tests (runs on the test's configuration).
+class KvClient {
+ public:
+  KvClient(Cluster* cluster, HMaster* master, const Configuration& conf);
+
+  void Put(const std::string& table, const std::string& row, const std::string& value);
+  std::string Get(const std::string& table, const std::string& row);
+  void CreateTable(const std::string& table);
+
+ private:
+  Cluster* cluster_;
+  HMaster* master_;
+  const Configuration& conf_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIKV_KV_STORE_H_

@@ -1,0 +1,156 @@
+#include "src/apps/minikv/thrift_server.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/minikv/kv_params.h"
+#include "src/apps/minikv/kv_store.h"
+#include "src/common/error.h"
+#include "src/common/strings.h"
+
+namespace zebra {
+
+namespace {
+
+// Protocol headers (mirroring thrift's protocol-id bytes).
+constexpr uint8_t kCompactProtocolId = 0x82;
+constexpr uint8_t kBinaryProtocolId = 0x80;
+constexpr uint8_t kFrameMarker = 0x0F;
+
+Bytes EncodeProtocol(const std::string& message, bool compact) {
+  Bytes out;
+  if (compact) {
+    out.push_back(kCompactProtocolId);
+    // Compact protocol: varint-style length (1 byte per 7 bits).
+    size_t length = message.size();
+    while (length >= 0x80) {
+      out.push_back(static_cast<uint8_t>((length & 0x7F) | 0x80));
+      length >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(length));
+  } else {
+    out.push_back(kBinaryProtocolId);
+    AppendU32(&out, static_cast<uint32_t>(message.size()));
+  }
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+std::string DecodeProtocol(const Bytes& bytes, size_t offset, bool compact) {
+  if (offset >= bytes.size()) {
+    throw DecodeError("thrift: empty protocol payload");
+  }
+  uint8_t protocol_id = bytes[offset++];
+  size_t length = 0;
+  if (compact) {
+    if (protocol_id != kCompactProtocolId) {
+      throw DecodeError("thrift: expected compact protocol id, got 0x" +
+                        std::to_string(protocol_id));
+    }
+    int shift = 0;
+    while (true) {
+      if (offset >= bytes.size()) {
+        throw DecodeError("thrift: truncated varint length");
+      }
+      uint8_t byte = bytes[offset++];
+      length |= static_cast<size_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        break;
+      }
+      shift += 7;
+    }
+  } else {
+    if (protocol_id != kBinaryProtocolId) {
+      throw DecodeError("thrift: expected binary protocol id, got 0x" +
+                        std::to_string(protocol_id));
+    }
+    size_t pos = offset;
+    length = ReadU32(bytes, &pos);
+    offset = pos;
+  }
+  if (offset + length > bytes.size()) {
+    throw DecodeError("thrift: message length exceeds buffer");
+  }
+  return std::string(bytes.begin() + static_cast<long>(offset),
+                     bytes.begin() + static_cast<long>(offset + length));
+}
+
+}  // namespace
+
+Bytes ThriftEncode(const std::string& message, bool compact, bool framed) {
+  Bytes body = EncodeProtocol(message, compact);
+  if (!framed) {
+    return body;
+  }
+  Bytes out;
+  out.push_back(kFrameMarker);
+  AppendLengthPrefixed(&out, body);
+  return out;
+}
+
+std::string ThriftDecode(const Bytes& bytes, bool compact, bool framed) {
+  if (framed) {
+    if (bytes.empty() || bytes[0] != kFrameMarker) {
+      throw DecodeError("thrift: expected framed transport, frame marker missing");
+    }
+    size_t offset = 1;
+    Bytes body = ReadLengthPrefixed(bytes, &offset);
+    return DecodeProtocol(body, 0, compact);
+  }
+  if (!bytes.empty() && bytes[0] == kFrameMarker) {
+    throw DecodeError("thrift: unframed transport received a framed message");
+  }
+  return DecodeProtocol(bytes, 0, compact);
+}
+
+ThriftServer::ThriftServer(Cluster* cluster, HMaster* master, const Configuration& conf)
+    : init_scope_(kKvApp, this, "ThriftServer", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kKvApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster),
+      master_(master) {
+  GetIpc(*cluster_, this);
+  init_scope_.Finish();
+}
+
+Bytes ThriftServer::Handle(const Bytes& request) {
+  bool compact = conf_.GetBool(kKvThriftCompact, kKvThriftCompactDefault);
+  bool framed = conf_.GetBool(kKvThriftFramed, kKvThriftFramedDefault);
+  std::string command = ThriftDecode(request, compact, framed);
+
+  std::string reply;
+  std::vector<std::string> words = StrSplit(command, ' ');
+  if (words.size() == 2 && words[0] == "createTable") {
+    master_->CreateTable(words[1]);
+    reply = "ok";
+  } else if (words.size() == 1 && words[0] == "listTables") {
+    reply = std::to_string(master_->ListTables().size());
+  } else {
+    throw RpcError("thrift: unknown command " + command);
+  }
+  return ThriftEncode(reply, compact, framed);
+}
+
+ThriftAdmin::ThriftAdmin(ThriftServer* server, const Configuration& conf)
+    : server_(server), conf_(conf) {}
+
+std::string ThriftAdmin::Call(const std::string& command) {
+  bool compact = conf_.GetBool(kKvThriftCompact, kKvThriftCompactDefault);
+  bool framed = conf_.GetBool(kKvThriftFramed, kKvThriftFramedDefault);
+  Bytes reply = server_->Handle(ThriftEncode(command, compact, framed));
+  return ThriftDecode(reply, compact, framed);
+}
+
+void ThriftAdmin::CreateTable(const std::string& table) {
+  std::string reply = Call("createTable " + table);
+  if (reply != "ok") {
+    throw RpcError("thrift createTable failed: " + reply);
+  }
+}
+
+int ThriftAdmin::NumTables() {
+  int64_t count = 0;
+  if (!ParseInt64(Call("listTables"), &count)) {
+    throw DecodeError("thrift listTables returned a non-numeric reply");
+  }
+  return static_cast<int>(count);
+}
+
+}  // namespace zebra

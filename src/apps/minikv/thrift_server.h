@@ -1,0 +1,66 @@
+// MiniKV ThriftServer and ThriftAdmin.
+//
+// The thrift transport/protocol options mirror HBase's: the server speaks
+// framed-or-unframed transport and compact-or-binary protocol according to
+// *its* configuration; the admin client encodes according to *its own*.
+// Neither wire form is self-describing for our purposes (matching real thrift,
+// where a protocol mismatch surfaces as a parse error, not a negotiation).
+
+#ifndef SRC_APPS_MINIKV_THRIFT_SERVER_H_
+#define SRC_APPS_MINIKV_THRIFT_SERVER_H_
+
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class HMaster;
+
+// Encodes/decodes one thrift message (a command string) under the given
+// transport/protocol flags. Decode throws DecodeError on mismatch.
+Bytes ThriftEncode(const std::string& message, bool compact, bool framed);
+std::string ThriftDecode(const Bytes& bytes, bool compact, bool framed);
+
+class ThriftServer {
+ public:
+  ThriftServer(Cluster* cluster, HMaster* master, const Configuration& conf);
+
+  ThriftServer(const ThriftServer&) = delete;
+  ThriftServer& operator=(const ThriftServer&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  // Decodes the request under the server's flags, executes it against the
+  // master, and returns the reply encoded under the server's flags.
+  // Supported commands: "createTable <name>", "listTables".
+  Bytes Handle(const Bytes& request);
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  HMaster* master_;
+};
+
+// Client-side thrift admin (runs on the unit test's configuration).
+class ThriftAdmin {
+ public:
+  ThriftAdmin(ThriftServer* server, const Configuration& conf);
+
+  void CreateTable(const std::string& table);
+  int NumTables();
+
+ private:
+  std::string Call(const std::string& command);
+
+  ThriftServer* server_;
+  const Configuration& conf_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIKV_THRIFT_SERVER_H_

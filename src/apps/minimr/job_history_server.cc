@@ -1,0 +1,27 @@
+#include "src/apps/minimr/job_history_server.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/minimr/mr_params.h"
+
+namespace zebra {
+
+JobHistoryServer::JobHistoryServer(Cluster* cluster, const Configuration& conf)
+    : init_scope_(kMrApp, this, "JobHistoryServer", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kMrApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster) {
+  conf_.GetInt(kMrHistoryMaxAgeMs, kMrHistoryMaxAgeMsDefault);
+  GetIpc(*cluster_, this);
+  init_scope_.Finish();
+}
+
+void JobHistoryServer::RecordJob(const std::string& job_name) {
+  jobs_.push_back(job_name);
+}
+
+int JobHistoryServer::NumJobs(const Configuration& client_conf) {
+  RpcGate(*cluster_, this, client_conf, conf_, "HSClientProtocol.getJobReport");
+  return static_cast<int>(jobs_.size());
+}
+
+}  // namespace zebra

@@ -1,0 +1,38 @@
+// MiniMR JobHistoryServer: records completed jobs and serves queries.
+
+#ifndef SRC_APPS_MINIMR_JOB_HISTORY_SERVER_H_
+#define SRC_APPS_MINIMR_JOB_HISTORY_SERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class JobHistoryServer {
+ public:
+  JobHistoryServer(Cluster* cluster, const Configuration& conf);
+
+  JobHistoryServer(const JobHistoryServer&) = delete;
+  JobHistoryServer& operator=(const JobHistoryServer&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  void RecordJob(const std::string& job_name);
+
+  // Client query over the shared RPC layer.
+  int NumJobs(const Configuration& client_conf);
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  std::vector<std::string> jobs_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIMR_JOB_HISTORY_SERVER_H_

@@ -1,0 +1,84 @@
+#include "src/apps/minimr/map_task.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/minimr/mr_params.h"
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace zebra {
+
+WireConfig MrIntermediateWireConfig(const Configuration& conf) {
+  WireConfig wire;
+  wire.encrypt = conf.GetBool(kMrEncryptedIntermediate, kMrEncryptedIntermediateDefault);
+  bool compress = conf.GetBool(kMrMapOutputCompress, kMrMapOutputCompressDefault);
+  wire.compression =
+      compress ? conf.Get(kMrMapOutputCodec, kMrMapOutputCodecDefault) : "none";
+  // MapReduce checksums its IFile spills with a fixed CRC.
+  wire.checksum = ChecksumType::kCrc32;
+  wire.bytes_per_checksum = 512;
+  return wire;
+}
+
+MapTask::MapTask(Cluster* cluster, const Configuration& conf, int task_index)
+    : init_scope_(kMrApp, this, "MapTask", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kMrApp, conf, __FILE__, __LINE__)),
+      task_index_(task_index) {
+  conf_.GetInt(kMrIoSortMb, kMrIoSortMbDefault);
+  conf_.GetInt(kMrMapMemoryMb, kMrMapMemoryMbDefault);
+  conf_.GetDouble(kMrSortSpillPercent, kMrSortSpillPercentDefault);
+  conf_.GetBool(kMrMapSpeculative, kMrMapSpeculativeDefault);
+  GetIpc(*cluster, this);
+  init_scope_.Finish();
+}
+
+void MapTask::Run(const std::vector<std::string>& records) {
+  int num_reduces =
+      static_cast<int>(conf_.GetInt(kMrJobReduces, kMrJobReducesDefault));
+  if (num_reduces < 1) {
+    num_reduces = 1;
+  }
+
+  // Tokenize into (word, 1) pairs and bucket by hash(word) % R.
+  std::map<int, std::map<std::string, int>> buckets;
+  for (const std::string& record : records) {
+    for (const std::string& word : StrSplit(record, ' ')) {
+      if (word.empty()) {
+        continue;
+      }
+      int partition = static_cast<int>(Fnv1a64(word) % static_cast<uint64_t>(num_reduces));
+      buckets[partition][word] += 1;
+    }
+  }
+
+  // Serialize and frame every partition (empty ones included so reducers can
+  // always fetch their index).
+  WireConfig wire = MrIntermediateWireConfig(conf_);
+  for (int partition = 0; partition < num_reduces; ++partition) {
+    Bytes payload;
+    const auto& counts = buckets[partition];
+    AppendU32(&payload, static_cast<uint32_t>(counts.size()));
+    for (const auto& [word, count] : counts) {
+      AppendLengthPrefixedString(&payload, word);
+      AppendU32(&payload, static_cast<uint32_t>(count));
+    }
+    partitions_[partition] = EncodeFrame(wire, payload);
+  }
+}
+
+Bytes MapTask::FetchShuffle(int partition, const Configuration& reducer_conf) const {
+  // Pluggable shuffle transport: both ends must agree on SSL.
+  RequireMatchingTokens(
+      "mapreduce-shuffle",
+      WireToken(reducer_conf.Get(kMrShuffleSsl, "false")),
+      WireToken(conf_.Get(kMrShuffleSsl, "false")));
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) {
+    throw RpcError("map " + std::to_string(task_index_) + " has no partition " +
+                   std::to_string(partition) +
+                   " (produced " + std::to_string(partitions_.size()) + ")");
+  }
+  return it->second;
+}
+
+}  // namespace zebra

@@ -1,0 +1,52 @@
+// MiniMR MapTask: tokenizes input records into (word, 1) pairs, partitions by
+// its own mapreduce.job.reduces, and serves shuffle fetches with intermediate
+// data framed per its own compression/encryption settings.
+
+#ifndef SRC_APPS_MINIMR_MAP_TASK_H_
+#define SRC_APPS_MINIMR_MAP_TASK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+
+// Wire configuration for intermediate (map output / shuffle) data.
+WireConfig MrIntermediateWireConfig(const Configuration& conf);
+
+class MapTask {
+ public:
+  MapTask(Cluster* cluster, const Configuration& conf, int task_index);
+
+  MapTask(const MapTask&) = delete;
+  MapTask& operator=(const MapTask&) = delete;
+
+  int task_index() const { return task_index_; }
+  const Configuration& conf() const { return conf_; }
+
+  // Runs the map phase over `records`, producing one framed partition per
+  // reducer (count from *this* task's mapreduce.job.reduces).
+  void Run(const std::vector<std::string>& records);
+
+  int NumPartitions() const { return static_cast<int>(partitions_.size()); }
+
+  // Shuffle fetch: validates the shuffle SSL handshake against the fetching
+  // reducer's configuration, then returns the framed partition.
+  Bytes FetchShuffle(int partition, const Configuration& reducer_conf) const;
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  int task_index_;
+  std::map<int, Bytes> partitions_;  // partition index -> encoded frame
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIMR_MAP_TASK_H_

@@ -1,0 +1,94 @@
+#include "src/apps/minimr/mr_job.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/apps/minimr/map_task.h"
+#include "src/apps/minimr/mr_params.h"
+#include "src/common/error.h"
+#include "src/common/strings.h"
+
+namespace zebra {
+
+WordCountResult RunWordCountJob(Cluster& cluster, const Configuration& driver_conf,
+                                const std::vector<std::string>& records) {
+  WordCountResult result;
+
+  int num_maps = static_cast<int>(driver_conf.GetInt(kMrJobMaps, kMrJobMapsDefault));
+  int num_reduces =
+      static_cast<int>(driver_conf.GetInt(kMrJobReduces, kMrJobReducesDefault));
+  driver_conf.Get(kMrJobName, kMrJobNameDefault);
+  driver_conf.GetInt(kMrProgressPollInterval, kMrProgressPollIntervalDefault);
+  if (num_maps < 1 || num_reduces < 1) {
+    throw Error("job requires at least one map and one reduce task");
+  }
+
+  // Launch map tasks and split the input round-robin among them.
+  std::vector<std::unique_ptr<MapTask>> maps;
+  std::vector<std::vector<std::string>> splits(static_cast<size_t>(num_maps));
+  for (size_t i = 0; i < records.size(); ++i) {
+    splits[i % static_cast<size_t>(num_maps)].push_back(records[i]);
+  }
+  for (int m = 0; m < num_maps; ++m) {
+    maps.push_back(std::make_unique<MapTask>(&cluster, driver_conf, m));
+    maps.back()->Run(splits[static_cast<size_t>(m)]);
+  }
+  std::vector<MapTask*> map_ptrs;
+  for (auto& map : maps) {
+    map_ptrs.push_back(map.get());
+  }
+
+  // Launch reduce tasks; each shuffles, merges and task-commits.
+  std::vector<std::unique_ptr<ReduceTask>> reducers;
+  for (int r = 0; r < num_reduces; ++r) {
+    reducers.push_back(std::make_unique<ReduceTask>(&cluster, driver_conf, r));
+    reducers.back()->Run(map_ptrs, &result.store);
+  }
+
+  // Job commit: with committer v1 the *driver* relocates staged task output
+  // into the final directory; with v2 there is nothing to relocate.
+  int64_t driver_version =
+      driver_conf.GetInt(kMrCommitterVersion, kMrCommitterVersionDefault);
+  if (driver_version == 1) {
+    for (const auto& [path, contents] : result.store.temporary) {
+      // _temporary/attempt_r_<i>/<file> -> <file>
+      auto pos = path.find_last_of('/');
+      result.store.final_dir[path.substr(pos + 1)] = contents;
+    }
+    result.store.temporary.clear();
+  }
+
+  // "Hadoop Archive" validation over the final directory: every reducer's
+  // part file must exist exactly once and nothing may remain staged.
+  if (!result.store.temporary.empty()) {
+    throw Error("archive failed: " + std::to_string(result.store.temporary.size()) +
+                " task outputs remained in _temporary after job commit");
+  }
+  for (int r = 0; r < num_reduces; ++r) {
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "part-r-%05d", r);
+    bool found = false;
+    for (const auto& [name, contents] : result.store.final_dir) {
+      if (StartsWith(name, prefix)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw Error("archive failed: missing output file " + std::string(prefix) +
+                  " in the job output directory");
+    }
+  }
+
+  for (const auto& [name, contents] : result.store.final_dir) {
+    result.output_files.push_back(name);
+  }
+  for (const auto& reducer : reducers) {
+    for (const auto& [word, count] : reducer->counts()) {
+      result.counts[word] += count;
+    }
+  }
+  return result;
+}
+
+}  // namespace zebra

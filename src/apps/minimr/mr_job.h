@@ -1,0 +1,40 @@
+// MiniMR job driver: the client-side orchestration of a word-count job
+// (task creation, shuffle, job commit, archive validation).
+//
+// The driver runs on the unit test's configuration object — it is the
+// "client" entity — while every MapTask/ReduceTask clones its own
+// configuration at initialization.
+
+#ifndef SRC_APPS_MINIMR_MR_JOB_H_
+#define SRC_APPS_MINIMR_MR_JOB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/apps/minimr/reduce_task.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+
+struct WordCountResult {
+  std::map<std::string, int> counts;            // merged across reducers
+  std::vector<std::string> output_files;        // names in the final directory
+  MrOutputStore store;                          // raw output areas
+};
+
+// Runs a full word-count job: the driver's configuration decides how many
+// MapTasks and ReduceTasks are launched and how the job commit relocates
+// staged output; each task follows its own configuration for partitioning,
+// shuffle wire formats and task commit.
+//
+// After job commit, the "Hadoop Archive" step validates that every expected
+// part file reached the final directory and that no staged output remains;
+// violations raise Error (the paper's archive failure).
+WordCountResult RunWordCountJob(Cluster& cluster, const Configuration& driver_conf,
+                                const std::vector<std::string>& records);
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIMR_MR_JOB_H_

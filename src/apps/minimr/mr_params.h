@@ -1,0 +1,87 @@
+// MiniMR (MapReduce analog) parameter names and defaults. The eight
+// heterogeneous-unsafe parameters of Table 3 are implemented with the same
+// failure mechanisms.
+
+#ifndef SRC_APPS_MINIMR_MR_PARAMS_H_
+#define SRC_APPS_MINIMR_MR_PARAMS_H_
+
+#include <cstdint>
+
+namespace zebra {
+
+inline constexpr char kMrApp[] = "minimr";
+
+// ---- Table 3 heterogeneous-unsafe parameters ---------------------------------
+
+// "Different Mapper/Reducer output commit dirs cause Hadoop Archive error."
+inline constexpr char kMrCommitterVersion[] =
+    "mapreduce.fileoutputcommitter.algorithm.version";
+inline constexpr int64_t kMrCommitterVersionDefault = 2;
+
+// "Reducer fails during shuffling due to checksum error."
+inline constexpr char kMrEncryptedIntermediate[] =
+    "mapreduce.job.encrypted-intermediate-data";
+inline constexpr bool kMrEncryptedIntermediateDefault = false;
+
+// "Reducer fails when copying Mapper output."
+inline constexpr char kMrJobMaps[] = "mapreduce.job.maps";
+inline constexpr int64_t kMrJobMapsDefault = 2;
+
+// "Reducer fails when copying Mapper output."
+inline constexpr char kMrJobReduces[] = "mapreduce.job.reduces";
+inline constexpr int64_t kMrJobReducesDefault = 1;
+
+// "Reducer fails during shuffling due to incorrect header."
+inline constexpr char kMrMapOutputCompress[] = "mapreduce.map.output.compress";
+inline constexpr bool kMrMapOutputCompressDefault = false;
+
+// "Reducer fails during shuffling due to incorrect header."
+inline constexpr char kMrMapOutputCodec[] = "mapreduce.map.output.compress.codec";
+inline constexpr char kMrMapOutputCodecDefault[] = "rle";
+
+// "End users may observe inconsistent names of output files."
+inline constexpr char kMrOutputCompress[] =
+    "mapreduce.output.fileoutputformat.compress";
+inline constexpr bool kMrOutputCompressDefault = false;
+
+// "NodeManager's Pluggable Shuffle fails to decode messages."
+inline constexpr char kMrShuffleSsl[] = "mapreduce.shuffle.ssl.enabled";
+inline constexpr bool kMrShuffleSslDefault = false;
+
+// ---- Heterogeneous-safe parameters -------------------------------------------
+
+inline constexpr char kMrIoSortMb[] = "mapreduce.task.io.sort.mb";
+inline constexpr int64_t kMrIoSortMbDefault = 100;
+
+inline constexpr char kMrMapMemoryMb[] = "mapreduce.map.memory.mb";
+inline constexpr int64_t kMrMapMemoryMbDefault = 1024;
+
+inline constexpr char kMrReduceMemoryMb[] = "mapreduce.reduce.memory.mb";
+inline constexpr int64_t kMrReduceMemoryMbDefault = 1024;
+
+inline constexpr char kMrTaskTimeout[] = "mapreduce.task.timeout";
+inline constexpr int64_t kMrTaskTimeoutDefault = 600000;
+
+inline constexpr char kMrJobName[] = "mapreduce.job.name";
+inline constexpr char kMrJobNameDefault[] = "job";
+
+inline constexpr char kMrSortSpillPercent[] = "mapreduce.map.sort.spill.percent";
+inline constexpr double kMrSortSpillPercentDefault = 0.8;
+
+inline constexpr char kMrShuffleParallelCopies[] =
+    "mapreduce.reduce.shuffle.parallelcopies";
+inline constexpr int64_t kMrShuffleParallelCopiesDefault = 5;
+
+inline constexpr char kMrHistoryMaxAgeMs[] = "mapreduce.jobhistory.max-age-ms";
+inline constexpr int64_t kMrHistoryMaxAgeMsDefault = 604800000;
+
+inline constexpr char kMrMapSpeculative[] = "mapreduce.map.speculative";
+inline constexpr bool kMrMapSpeculativeDefault = false;
+
+inline constexpr char kMrProgressPollInterval[] =
+    "mapreduce.client.progressmonitor.pollinterval";
+inline constexpr int64_t kMrProgressPollIntervalDefault = 1000;
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIMR_MR_PARAMS_H_

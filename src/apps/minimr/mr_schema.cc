@@ -1,0 +1,49 @@
+#include "src/apps/minimr/mr_schema.h"
+
+#include "src/apps/minimr/mr_params.h"
+
+namespace zebra {
+
+void RegisterMiniMrSchema(ConfSchema& schema) {
+  const char* app = kMrApp;
+
+  schema.AddParam({kMrCommitterVersion, app, ParamType::kEnum, "2",
+                   {"1", "2"}, "File output committer algorithm version"});
+  schema.AddParam({kMrEncryptedIntermediate, app, ParamType::kBool, "false",
+                   {"true", "false"}, "Encrypt intermediate map output"});
+  schema.AddParam({kMrJobMaps, app, ParamType::kInt, "2",
+                   {"1", "2", "4"}, "Number of map tasks"});
+  schema.AddParam({kMrJobReduces, app, ParamType::kInt, "1",
+                   {"1", "2", "4"}, "Number of reduce tasks"});
+  schema.AddParam({kMrMapOutputCompress, app, ParamType::kBool, "false",
+                   {"true", "false"}, "Compress map output"});
+  schema.AddParam({kMrMapOutputCodec, app, ParamType::kEnum, "rle",
+                   {"rle", "xor8"}, "Codec for compressed map output"});
+  schema.AddParam({kMrOutputCompress, app, ParamType::kBool, "false",
+                   {"true", "false"}, "Compress final job output"});
+  schema.AddParam({kMrShuffleSsl, app, ParamType::kBool, "false",
+                   {"true", "false"}, "SSL for the shuffle transport"});
+
+  schema.AddParam({kMrIoSortMb, app, ParamType::kInt, "100",
+                   {"10", "100", "1000"}, "Sort buffer megabytes (task-local)"});
+  schema.AddParam({kMrMapMemoryMb, app, ParamType::kInt, "1024",
+                   {"512", "1024", "4096"}, "Map container memory (task-local)"});
+  schema.AddParam({kMrReduceMemoryMb, app, ParamType::kInt, "1024",
+                   {"512", "1024", "4096"}, "Reduce container memory (task-local)"});
+  schema.AddParam({kMrTaskTimeout, app, ParamType::kInt, "600000",
+                   {"60000", "600000"}, "Task liveness timeout (task-local)"});
+  schema.AddParam({kMrJobName, app, ParamType::kString, "job",
+                   {"job", "wordcount"}, "Job display name"});
+  schema.AddParam({kMrSortSpillPercent, app, ParamType::kDouble, "0.8",
+                   {"0.5", "0.8"}, "Spill threshold fraction (task-local)"});
+  schema.AddParam({kMrShuffleParallelCopies, app, ParamType::kInt, "5",
+                   {"1", "5", "20"}, "Parallel shuffle fetchers (reducer-local)"});
+  schema.AddParam({kMrHistoryMaxAgeMs, app, ParamType::kInt, "604800000",
+                   {"86400000", "604800000"}, "History retention (server-local)"});
+  schema.AddParam({kMrMapSpeculative, app, ParamType::kBool, "false",
+                   {"true", "false"}, "Speculative map execution"});
+  schema.AddParam({kMrProgressPollInterval, app, ParamType::kInt, "1000",
+                   {"100", "1000"}, "Client progress poll interval (client-local)"});
+}
+
+}  // namespace zebra

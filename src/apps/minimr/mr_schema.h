@@ -1,0 +1,14 @@
+// Schema registration for MiniMR parameters.
+
+#ifndef SRC_APPS_MINIMR_MR_SCHEMA_H_
+#define SRC_APPS_MINIMR_MR_SCHEMA_H_
+
+#include "src/conf/conf_schema.h"
+
+namespace zebra {
+
+void RegisterMiniMrSchema(ConfSchema& schema);
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIMR_MR_SCHEMA_H_

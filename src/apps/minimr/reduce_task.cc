@@ -1,0 +1,72 @@
+#include "src/apps/minimr/reduce_task.h"
+
+#include <cstdio>
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/minimr/map_task.h"
+#include "src/apps/minimr/mr_params.h"
+#include "src/common/bytes.h"
+#include "src/common/error.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+
+ReduceTask::ReduceTask(Cluster* cluster, const Configuration& conf, int task_index)
+    : init_scope_(kMrApp, this, "ReduceTask", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kMrApp, conf, __FILE__, __LINE__)),
+      task_index_(task_index) {
+  conf_.GetInt(kMrReduceMemoryMb, kMrReduceMemoryMbDefault);
+  conf_.GetInt(kMrShuffleParallelCopies, kMrShuffleParallelCopiesDefault);
+  conf_.GetInt(kMrTaskTimeout, kMrTaskTimeoutDefault);
+  GetIpc(*cluster, this);
+  init_scope_.Finish();
+}
+
+void ReduceTask::Run(const std::vector<MapTask*>& mappers, MrOutputStore* store) {
+  // Copy phase: this reducer believes there are job.maps mappers.
+  int expected_maps = static_cast<int>(conf_.GetInt(kMrJobMaps, kMrJobMapsDefault));
+  WireConfig wire = MrIntermediateWireConfig(conf_);
+  for (int m = 0; m < expected_maps; ++m) {
+    if (m >= static_cast<int>(mappers.size())) {
+      throw RpcError("reducer " + std::to_string(task_index_) +
+                     " cannot copy output of mapper " + std::to_string(m) +
+                     ": no such mapper (job ran " + std::to_string(mappers.size()) +
+                     ")");
+    }
+    Bytes frame = mappers[m]->FetchShuffle(task_index_, conf_);
+    Bytes payload = DecodeFrame(wire, frame);  // decoded with *this* side's config
+    size_t offset = 0;
+    uint32_t entries = ReadU32(payload, &offset);
+    for (uint32_t i = 0; i < entries; ++i) {
+      std::string word = ReadLengthPrefixedString(payload, &offset);
+      uint32_t count = ReadU32(payload, &offset);
+      counts_[word] += static_cast<int>(count);
+    }
+  }
+
+  // Write phase: render the merged counts.
+  std::string contents;
+  for (const auto& [word, count] : counts_) {
+    contents += word + "\t" + std::to_string(count) + "\n";
+  }
+  bool compress_output = conf_.GetBool(kMrOutputCompress, kMrOutputCompressDefault);
+  char name[64];
+  std::snprintf(name, sizeof(name), "part-r-%05d", task_index_);
+  output_file_ = std::string(name) + (compress_output ? ".rle" : "");
+  if (compress_output) {
+    contents = StringFromBytes(CompressPayload("rle", BytesFromString(contents)));
+  }
+
+  // Task commit per this reducer's committer algorithm version: v1 stages in
+  // the temporary attempt directory (the job commit must relocate it); v2
+  // writes directly into the final output directory.
+  int64_t version = conf_.GetInt(kMrCommitterVersion, kMrCommitterVersionDefault);
+  if (version == 1) {
+    store->temporary["_temporary/attempt_r_" + std::to_string(task_index_) + "/" +
+                     output_file_] = contents;
+  } else {
+    store->final_dir[output_file_] = contents;
+  }
+}
+
+}  // namespace zebra

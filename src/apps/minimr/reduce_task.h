@@ -1,0 +1,55 @@
+// MiniMR ReduceTask: fetches one shuffle partition from every mapper (count
+// from its own mapreduce.job.maps), merges the counts, and commits output
+// through the file output committer algorithm its own configuration selects.
+
+#ifndef SRC_APPS_MINIMR_REDUCE_TASK_H_
+#define SRC_APPS_MINIMR_REDUCE_TASK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class MapTask;
+
+// The job's output "filesystem": temporary (v1 staging) and final areas.
+struct MrOutputStore {
+  std::map<std::string, std::string> temporary;  // task-attempt staging (v1)
+  std::map<std::string, std::string> final_dir;  // job output directory
+};
+
+class ReduceTask {
+ public:
+  ReduceTask(Cluster* cluster, const Configuration& conf, int task_index);
+
+  ReduceTask(const ReduceTask&) = delete;
+  ReduceTask& operator=(const ReduceTask&) = delete;
+
+  int task_index() const { return task_index_; }
+  const Configuration& conf() const { return conf_; }
+
+  // Shuffle + reduce + write + task-commit.
+  void Run(const std::vector<MapTask*>& mappers, MrOutputStore* store);
+
+  const std::map<std::string, int>& counts() const { return counts_; }
+
+  // The output file name this reducer produced (suffix depends on its own
+  // fileoutputformat.compress).
+  const std::string& output_file() const { return output_file_; }
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  int task_index_;
+  std::map<std::string, int> counts_;
+  std::string output_file_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIMR_REDUCE_TASK_H_

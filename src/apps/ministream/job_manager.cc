@@ -1,0 +1,53 @@
+#include "src/apps/ministream/job_manager.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/ministream/stream_params.h"
+#include "src/apps/ministream/task_manager.h"
+#include "src/common/error.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+
+JobManager::JobManager(Cluster* cluster, const Configuration& conf)
+    : init_scope_(kStreamApp, this, "JobManager", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kStreamApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster) {
+  conf_.GetInt(kStreamJmRpcPort, kStreamJmRpcPortDefault);
+  conf_.GetInt(kStreamWebPort, kStreamWebPortDefault);
+  conf_.Get(kStreamRestartStrategy, kStreamRestartStrategyDefault);
+  GetIpc(*cluster_, this);
+  init_scope_.Finish();
+}
+
+void JobManager::RegisterTaskManager(TaskManager* tm) {
+  RequireMatchingTokens("akka-control-plane",
+                        WireToken(tm->conf().Get(kStreamAkkaSsl, "false")),
+                        WireToken(conf_.Get(kStreamAkkaSsl, "false")));
+  task_managers_.push_back(tm);
+}
+
+void JobManager::SubmitJob(int parallelism) {
+  if (task_managers_.empty()) {
+    throw RpcError("no TaskManagers registered");
+  }
+  // The JobManager believes every TaskManager offers *its* slot count.
+  int64_t assumed_slots = conf_.GetInt(kStreamTaskSlots, kStreamTaskSlotsDefault);
+  if (assumed_slots < 1) {
+    assumed_slots = 1;
+  }
+  int remaining = parallelism;
+  for (TaskManager* tm : task_managers_) {
+    int64_t& believed_used = believed_used_slots_[tm];
+    while (believed_used < assumed_slots && remaining > 0) {
+      tm->DeployTask();  // admitted against the TaskManager's own slot count
+      ++believed_used;
+      --remaining;
+    }
+  }
+  if (remaining > 0) {
+    throw RpcError("insufficient slots for parallelism " +
+                   std::to_string(parallelism));
+  }
+}
+
+}  // namespace zebra

@@ -1,0 +1,52 @@
+// MiniStream JobManager: TaskManager registration over the (possibly
+// SSL-protected) control plane and slot-based job scheduling.
+//
+// The scheduling bug-mechanism mirrors Flink's: the JobManager plans slot
+// usage from *its own* taskmanager.numberOfTaskSlots, while each TaskManager
+// enforces its own — disagreement makes slot allocation fail.
+
+#ifndef SRC_APPS_MINISTREAM_JOB_MANAGER_H_
+#define SRC_APPS_MINISTREAM_JOB_MANAGER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class TaskManager;
+
+class JobManager {
+ public:
+  JobManager(Cluster* cluster, const Configuration& conf);
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  // Control-plane registration: both endpoints must agree on akka SSL.
+  void RegisterTaskManager(TaskManager* tm);
+
+  int NumTaskManagers() const { return static_cast<int>(task_managers_.size()); }
+
+  // Schedules `parallelism` tasks across registered TaskManagers, assuming
+  // every TaskManager offers this JobManager's view of the slot count. The
+  // JobManager tracks which slots *it believes* are in use across jobs; each
+  // TaskManager admits deployments against its own slot count.
+  void SubmitJob(int parallelism);
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  std::vector<TaskManager*> task_managers_;
+  std::map<TaskManager*, int64_t> believed_used_slots_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINISTREAM_JOB_MANAGER_H_

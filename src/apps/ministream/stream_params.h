@@ -1,0 +1,54 @@
+// MiniStream (Flink analog) parameter names and defaults.
+
+#ifndef SRC_APPS_MINISTREAM_STREAM_PARAMS_H_
+#define SRC_APPS_MINISTREAM_STREAM_PARAMS_H_
+
+#include <cstdint>
+
+namespace zebra {
+
+inline constexpr char kStreamApp[] = "ministream";
+
+// ---- Table 3 heterogeneous-unsafe parameters ---------------------------------
+
+// "TaskManager fails to connect to ResourceManager."
+inline constexpr char kStreamAkkaSsl[] = "akka.ssl.enabled";
+inline constexpr bool kStreamAkkaSslDefault = false;
+
+// "TaskManager fails to decode peer message due to invalid SSL/TLS record."
+inline constexpr char kStreamDataSsl[] = "taskmanager.data.ssl.enabled";
+inline constexpr bool kStreamDataSslDefault = false;
+
+// "JobManager fails to allocate slot from TaskManager."
+inline constexpr char kStreamTaskSlots[] = "taskmanager.numberOfTaskSlots";
+inline constexpr int64_t kStreamTaskSlotsDefault = 1;
+
+// ---- Heterogeneous-safe parameters -------------------------------------------
+
+inline constexpr char kStreamTmMemory[] = "taskmanager.memory.size";
+inline constexpr int64_t kStreamTmMemoryDefault = 1024;
+
+inline constexpr char kStreamParallelism[] = "parallelism.default";
+inline constexpr int64_t kStreamParallelismDefault = 1;
+
+inline constexpr char kStreamJmRpcPort[] = "jobmanager.rpc.port";
+inline constexpr int64_t kStreamJmRpcPortDefault = 6123;
+
+inline constexpr char kStreamNetworkBuffers[] = "taskmanager.network.numberOfBuffers";
+inline constexpr int64_t kStreamNetworkBuffersDefault = 2048;
+
+inline constexpr char kStreamStateBackend[] = "state.backend";
+inline constexpr char kStreamStateBackendDefault[] = "memory";
+
+inline constexpr char kStreamRestartStrategy[] = "restart-strategy";
+inline constexpr char kStreamRestartStrategyDefault[] = "none";
+
+inline constexpr char kStreamTmHeap[] = "taskmanager.heap.size";
+inline constexpr int64_t kStreamTmHeapDefault = 1024;
+
+inline constexpr char kStreamWebPort[] = "web.port";
+inline constexpr int64_t kStreamWebPortDefault = 8081;
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINISTREAM_STREAM_PARAMS_H_

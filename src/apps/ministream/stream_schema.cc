@@ -1,0 +1,35 @@
+#include "src/apps/ministream/stream_schema.h"
+
+#include "src/apps/ministream/stream_params.h"
+
+namespace zebra {
+
+void RegisterMiniStreamSchema(ConfSchema& schema) {
+  const char* app = kStreamApp;
+
+  schema.AddParam({kStreamAkkaSsl, app, ParamType::kBool, "false",
+                   {"true", "false"}, "SSL for the control plane (akka)"});
+  schema.AddParam({kStreamDataSsl, app, ParamType::kBool, "false",
+                   {"true", "false"}, "SSL for TaskManager data exchanges"});
+  schema.AddParam({kStreamTaskSlots, app, ParamType::kInt, "1",
+                   {"1", "2", "4"}, "Task slots offered per TaskManager"});
+
+  schema.AddParam({kStreamTmMemory, app, ParamType::kInt, "1024",
+                   {"512", "1024", "4096"}, "TaskManager managed memory (node-local)"});
+  schema.AddParam({kStreamParallelism, app, ParamType::kInt, "1",
+                   {"1", "2"}, "Default job parallelism (client-local)"});
+  schema.AddParam({kStreamJmRpcPort, app, ParamType::kInt, "6123",
+                   {"6123", "16123"}, "JobManager RPC port"});
+  schema.AddParam({kStreamNetworkBuffers, app, ParamType::kInt, "2048",
+                   {"512", "2048"}, "Network buffer pool size (node-local)"});
+  schema.AddParam({kStreamStateBackend, app, ParamType::kEnum, "memory",
+                   {"memory", "fs"}, "State backend (task-local)"});
+  schema.AddParam({kStreamRestartStrategy, app, ParamType::kEnum, "none",
+                   {"none", "fixed-delay"}, "Job restart strategy (JM-local)"});
+  schema.AddParam({kStreamTmHeap, app, ParamType::kInt, "1024",
+                   {"512", "1024"}, "TaskManager heap (node-local)"});
+  schema.AddParam({kStreamWebPort, app, ParamType::kInt, "8081",
+                   {"8081", "18081"}, "Web UI port (JM-local)"});
+}
+
+}  // namespace zebra

@@ -1,0 +1,14 @@
+// Schema registration for MiniStream parameters.
+
+#ifndef SRC_APPS_MINISTREAM_STREAM_SCHEMA_H_
+#define SRC_APPS_MINISTREAM_STREAM_SCHEMA_H_
+
+#include "src/conf/conf_schema.h"
+
+namespace zebra {
+
+void RegisterMiniStreamSchema(ConfSchema& schema);
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINISTREAM_STREAM_SCHEMA_H_

@@ -1,0 +1,63 @@
+#include "src/apps/ministream/task_manager.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/ministream/stream_params.h"
+#include "src/common/error.h"
+#include "src/sim/wire.h"
+
+namespace zebra {
+
+namespace {
+
+WireConfig StreamDataWireConfig(const Configuration& conf) {
+  WireConfig wire;
+  wire.encrypt = conf.GetBool(kStreamDataSsl, kStreamDataSslDefault);
+  wire.checksum = ChecksumType::kCrc32;
+  wire.bytes_per_checksum = 512;
+  return wire;
+}
+
+}  // namespace
+
+TaskManager::TaskManager(Cluster* cluster, const Configuration& conf)
+    : conf_(conf),  // plain clone: Rule 3 keeps it with the caller's entity
+      cluster_(cluster) {
+  conf_.GetInt(kStreamTmMemory, kStreamTmMemoryDefault);
+  conf_.GetInt(kStreamTmHeap, kStreamTmHeapDefault);
+  conf_.GetInt(kStreamNetworkBuffers, kStreamNetworkBuffersDefault);
+  conf_.Get(kStreamStateBackend, kStreamStateBackendDefault);
+  GetIpc(*cluster_, this);
+}
+
+int TaskManager::NumSlots() const {
+  return static_cast<int>(conf_.GetInt(kStreamTaskSlots, kStreamTaskSlotsDefault));
+}
+
+void TaskManager::DeployTask() {
+  if (deployed_tasks_ >= NumSlots()) {
+    throw RpcError("TaskManager has no free slot (" + std::to_string(NumSlots()) +
+                   " configured, " + std::to_string(deployed_tasks_) + " in use)");
+  }
+  ++deployed_tasks_;
+}
+
+void TaskManager::SendRecords(TaskManager* receiver,
+                              const std::vector<std::string>& records) {
+  Bytes payload;
+  AppendU32(&payload, static_cast<uint32_t>(records.size()));
+  for (const std::string& record : records) {
+    AppendLengthPrefixedString(&payload, record);
+  }
+  receiver->ReceiveFrame(EncodeFrame(StreamDataWireConfig(conf_), payload));
+}
+
+void TaskManager::ReceiveFrame(const Bytes& frame) {
+  Bytes payload = DecodeFrame(StreamDataWireConfig(conf_), frame);
+  size_t offset = 0;
+  uint32_t count = ReadU32(payload, &offset);
+  for (uint32_t i = 0; i < count; ++i) {
+    received_.push_back(ReadLengthPrefixedString(payload, &offset));
+  }
+}
+
+}  // namespace zebra

@@ -1,0 +1,62 @@
+// MiniStream TaskManager.
+//
+// Flink quirk, reproduced deliberately: production code initializes
+// TaskManagers through a proper init function, but Flink's *unit tests* copy
+// the initialization code inline into the test body (paper §7.2). The class
+// therefore takes an already-prepared Configuration and performs no
+// ConfAgent bracketing itself; callers are responsible for the
+// NodeInitScope + AnnotatedRefToClone dance:
+//
+//   NodeInitScope scope(kStreamApp, &tm, "TaskManager", __FILE__, __LINE__);
+//   Configuration tm_conf = AnnotatedRefToClone(kStreamApp, shared, ...);
+//   TaskManager tm(&cluster, tm_conf);   // clone maps to the node via Rule 3
+//   scope.Finish();
+//
+// This is why ministream needs the most annotation lines (Table 4).
+
+#ifndef SRC_APPS_MINISTREAM_TASK_MANAGER_H_
+#define SRC_APPS_MINISTREAM_TASK_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+
+class TaskManager {
+ public:
+  // `conf` must already belong to this node (see the header comment); the
+  // constructor clones it (Rule 3 keeps the clone with the same entity).
+  TaskManager(Cluster* cluster, const Configuration& conf);
+
+  TaskManager(const TaskManager&) = delete;
+  TaskManager& operator=(const TaskManager&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  int NumSlots() const;
+  int DeployedTasks() const { return deployed_tasks_; }
+
+  // Admits one task deployment against this TaskManager's own slot count.
+  void DeployTask();
+
+  // Data-plane exchange: records encoded under this sender's SSL setting and
+  // decoded under the receiver's.
+  void SendRecords(TaskManager* receiver, const std::vector<std::string>& records);
+  const std::vector<std::string>& received_records() const { return received_; }
+
+ private:
+  void ReceiveFrame(const Bytes& frame);
+
+  Configuration conf_;
+  Cluster* cluster_;
+  int deployed_tasks_ = 0;
+  std::vector<std::string> received_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINISTREAM_TASK_MANAGER_H_

@@ -1,0 +1,40 @@
+#include "src/apps/miniyarn/app_history_server.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/miniyarn/yarn_params.h"
+#include "src/common/error.h"
+
+namespace zebra {
+
+AppHistoryServer::AppHistoryServer(Cluster* cluster, const Configuration& conf)
+    : init_scope_(kYarnApp, this, "ApplicationHistoryServer", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kYarnApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster) {
+  timeline_serving_ = conf_.GetBool(kYarnTimelineEnabled, kYarnTimelineEnabledDefault);
+  if (timeline_serving_) {
+    conf_.GetInt(kYarnTimelineTtlMs, kYarnTimelineTtlMsDefault);
+    WebScheme();  // bring up the web endpoint
+  }
+  GetIpc(*cluster_, this);
+  init_scope_.Finish();
+}
+
+void AppHistoryServer::PutTimelineEvent(const std::string& event) {
+  if (!timeline_serving_) {
+    throw RpcError("connection refused: the timeline service is not running on this "
+                   "ApplicationHistoryServer");
+  }
+  events_.push_back(event);
+}
+
+std::string AppHistoryServer::WebScheme() const {
+  std::string policy = conf_.Get(kYarnHttpPolicy, kYarnHttpPolicyDefault);
+  if (policy == "HTTPS_ONLY") {
+    conf_.Get(kYarnTimelineWebHttpsAddress, kYarnTimelineWebHttpsAddressDefault);
+    return "https";
+  }
+  conf_.Get(kYarnTimelineWebAddress, kYarnTimelineWebAddressDefault);
+  return "http";
+}
+
+}  // namespace zebra

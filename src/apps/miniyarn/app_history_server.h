@@ -1,0 +1,47 @@
+// MiniYARN ApplicationHistoryServer: hosts the timeline service (when
+// enabled) and its web endpoint.
+
+#ifndef SRC_APPS_MINIYARN_APP_HISTORY_SERVER_H_
+#define SRC_APPS_MINIYARN_APP_HISTORY_SERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class AppHistoryServer {
+ public:
+  AppHistoryServer(Cluster* cluster, const Configuration& conf);
+
+  AppHistoryServer(const AppHistoryServer&) = delete;
+  AppHistoryServer& operator=(const AppHistoryServer&) = delete;
+
+  const Configuration& conf() const { return conf_; }
+
+  // Whether the timeline service actually started on this server.
+  bool timeline_serving() const { return timeline_serving_; }
+
+  // Accepts a timeline event; refused when the service never started
+  // ("Client fails to connect to Timeline Server").
+  void PutTimelineEvent(const std::string& event);
+
+  int NumTimelineEvents() const { return static_cast<int>(events_.size()); }
+
+  // Web endpoint scheme from this server's yarn.http.policy.
+  std::string WebScheme() const;
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  bool timeline_serving_ = false;
+  std::vector<std::string> events_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIYARN_APP_HISTORY_SERVER_H_

@@ -1,0 +1,104 @@
+#include "src/apps/miniyarn/application.h"
+
+#include <algorithm>
+
+#include "src/apps/miniyarn/app_history_server.h"
+#include "src/apps/miniyarn/yarn_client.h"
+#include "src/apps/miniyarn/yarn_params.h"
+#include "src/common/error.h"
+
+namespace zebra {
+
+AppManager::AppManager(Cluster* cluster, ResourceManager* rm)
+    : cluster_(cluster), rm_(rm) {}
+
+uint64_t AppManager::SubmitApplication(const std::string& name, int num_containers,
+                                       int64_t memory_mb, int64_t vcores) {
+  ApplicationRecord record;
+  record.app_id = next_app_id_++;
+  record.name = name;
+  record.state = AppState::kRunning;
+  for (int i = 0; i < num_containers; ++i) {
+    record.containers.push_back(rm_->AllocateContainer(memory_mb, vcores));
+  }
+  applications_.push_back(std::move(record));
+  return applications_.back().app_id;
+}
+
+void AppManager::CompleteApplication(uint64_t app_id) {
+  for (ApplicationRecord& record : applications_) {
+    if (record.app_id == app_id) {
+      if (record.state != AppState::kRunning) {
+        throw RpcError("application " + std::to_string(app_id) + " is not running");
+      }
+      record.state = AppState::kCompleted;
+      EvictCompletedBeyondRetention();
+      return;
+    }
+  }
+  throw RpcError("unknown application " + std::to_string(app_id));
+}
+
+void AppManager::EvictCompletedBeyondRetention() {
+  int64_t retention =
+      rm_->conf().GetInt(kYarnMaxCompletedApps, kYarnMaxCompletedAppsDefault);
+  // Evict the oldest completed applications beyond the retention bound.
+  int64_t completed = 0;
+  for (const ApplicationRecord& record : applications_) {
+    if (record.state == AppState::kCompleted) {
+      ++completed;
+    }
+  }
+  for (auto it = applications_.begin();
+       completed > retention && it != applications_.end();) {
+    if (it->state == AppState::kCompleted) {
+      it = applications_.erase(it);
+      --completed;
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool AppManager::PublishHistory(uint64_t app_id, AppHistoryServer* ahs,
+                                const Configuration& client_conf) {
+  const ApplicationRecord* record = Find(app_id);
+  if (record == nullptr) {
+    throw RpcError("unknown application " + std::to_string(app_id));
+  }
+  YarnClient client(cluster_, rm_, client_conf);
+  bool sent = client.PublishTimelineEvent(ahs, record->name + ":submitted");
+  if (sent) {
+    client.PublishTimelineEvent(
+        ahs, record->name + (record->state == AppState::kCompleted ? ":completed"
+                                                                   : ":running"));
+  }
+  return sent;
+}
+
+const ApplicationRecord* AppManager::Find(uint64_t app_id) const {
+  for (const ApplicationRecord& record : applications_) {
+    if (record.app_id == app_id) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+int AppManager::NumRunning() const {
+  return static_cast<int>(
+      std::count_if(applications_.begin(), applications_.end(),
+                    [](const ApplicationRecord& record) {
+                      return record.state == AppState::kRunning;
+                    }));
+}
+
+int AppManager::NumCompletedRetained() const {
+  return static_cast<int>(
+      std::count_if(applications_.begin(), applications_.end(),
+                    [](const ApplicationRecord& record) {
+                      return record.state == AppState::kCompleted;
+                    }));
+}
+
+}  // namespace zebra

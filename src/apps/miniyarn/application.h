@@ -1,0 +1,68 @@
+// MiniYARN application lifecycle: submit -> allocate containers -> run ->
+// complete, with completed-application retention and timeline publication.
+
+#ifndef SRC_APPS_MINIYARN_APPLICATION_H_
+#define SRC_APPS_MINIYARN_APPLICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/apps/miniyarn/resource_manager.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+
+class AppHistoryServer;
+
+enum class AppState {
+  kSubmitted,
+  kRunning,
+  kCompleted,
+};
+
+struct ApplicationRecord {
+  uint64_t app_id = 0;
+  std::string name;
+  AppState state = AppState::kSubmitted;
+  std::vector<uint64_t> containers;
+};
+
+// Application-management facet of the ResourceManager. Kept separate from the
+// scheduling core so the RM class stays focused; holds a reference to the RM
+// it manages applications for.
+class AppManager {
+ public:
+  AppManager(Cluster* cluster, ResourceManager* rm);
+
+  // Submits an application; allocates `num_containers` containers of
+  // `memory_mb` each through the RM's scheduler.
+  uint64_t SubmitApplication(const std::string& name, int num_containers,
+                             int64_t memory_mb, int64_t vcores);
+
+  // Marks the application completed; retention is bounded by the RM's
+  // yarn.resourcemanager.max-completed-applications.
+  void CompleteApplication(uint64_t app_id);
+
+  // Publishes the application's lifecycle events to the timeline server
+  // (client-side flag decides whether to publish at all).
+  bool PublishHistory(uint64_t app_id, AppHistoryServer* ahs,
+                      const Configuration& client_conf);
+
+  const ApplicationRecord* Find(uint64_t app_id) const;
+  int NumRunning() const;
+  int NumCompletedRetained() const;
+
+ private:
+  void EvictCompletedBeyondRetention();
+
+  Cluster* cluster_;
+  ResourceManager* rm_;
+  uint64_t next_app_id_ = 1;
+  std::vector<ApplicationRecord> applications_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIYARN_APPLICATION_H_

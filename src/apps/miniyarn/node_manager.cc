@@ -1,0 +1,49 @@
+#include "src/apps/miniyarn/node_manager.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/miniyarn/resource_manager.h"
+#include "src/apps/miniyarn/yarn_params.h"
+
+namespace zebra {
+
+NodeManager::NodeManager(Cluster* cluster, ResourceManager* rm,
+                         const Configuration& conf)
+    : init_scope_(kYarnApp, this, "NodeManager", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kYarnApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster),
+      rm_(rm) {
+  conf_.GetInt(kYarnLogRetainSeconds, kYarnLogRetainSecondsDefault);
+  conf_.GetBool(kYarnVmemCheck, kYarnVmemCheckDefault);
+  conf_.GetDouble(kYarnVmemPmemRatio, kYarnVmemPmemRatioDefault);
+  GetIpc(*cluster_, this);
+
+  // Register, reporting this node's (legitimately heterogeneous) capacity.
+  RpcGate(*cluster_, rm_, conf_, rm_->conf(), "ResourceTracker.registerNodeManager");
+  NmRegistrationResponse response = rm_->RegisterNodeManager(
+      id(), conf_.GetInt(kYarnNmMemoryMb, kYarnNmMemoryMbDefault),
+      conf_.GetInt(kYarnNmVcores, kYarnNmVcoresDefault));
+
+  // Heartbeat at the interval the ResourceManager decided — not at a value
+  // from this node's own configuration file.
+  heartbeat_interval_ms_ = response.heartbeat_interval_ms;
+  heartbeat_task_ = cluster_->clock().SchedulePeriodic(
+      heartbeat_interval_ms_, heartbeat_interval_ms_, [this] {
+        if (!stopped_) {
+          RpcGate(*cluster_, rm_, conf_, rm_->conf(), "ResourceTracker.nodeHeartbeat");
+          rm_->NodeManagerHeartbeat(id());
+        }
+      });
+  init_scope_.Finish();
+}
+
+NodeManager::~NodeManager() { Stop(); }
+
+void NodeManager::Stop() {
+  if (!stopped_) {
+    stopped_ = true;
+    cluster_->clock().Cancel(heartbeat_task_);
+  }
+}
+
+}  // namespace zebra

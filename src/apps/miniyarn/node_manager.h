@@ -1,0 +1,46 @@
+// MiniYARN NodeManager: registers with the ResourceManager, heartbeats at the
+// interval the RM *hands back in the registration response*, and launches
+// containers.
+
+#ifndef SRC_APPS_MINIYARN_NODE_MANAGER_H_
+#define SRC_APPS_MINIYARN_NODE_MANAGER_H_
+
+#include <cstdint>
+
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+
+class ResourceManager;
+
+class NodeManager {
+ public:
+  NodeManager(Cluster* cluster, ResourceManager* rm, const Configuration& conf);
+  ~NodeManager();
+
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  uint64_t id() const { return reinterpret_cast<uint64_t>(this); }
+  const Configuration& conf() const { return conf_; }
+
+  // The heartbeat interval this NodeManager actually uses (RM-provided).
+  int64_t effective_heartbeat_interval_ms() const { return heartbeat_interval_ms_; }
+
+  void Stop();
+
+ private:
+  NodeInitScope init_scope_;
+  Configuration conf_;
+  Cluster* cluster_;
+  ResourceManager* rm_;
+  int64_t heartbeat_interval_ms_ = 0;
+  SimClock::TaskId heartbeat_task_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIYARN_NODE_MANAGER_H_

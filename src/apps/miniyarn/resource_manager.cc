@@ -1,0 +1,98 @@
+#include "src/apps/miniyarn/resource_manager.h"
+
+#include "src/apps/appcommon/ipc_component.h"
+#include "src/apps/miniyarn/yarn_params.h"
+#include "src/common/error.h"
+
+namespace zebra {
+
+ResourceManager::ResourceManager(Cluster* cluster, const Configuration& conf)
+    : init_scope_(kYarnApp, this, "ResourceManager", __FILE__, __LINE__),
+      conf_(AnnotatedRefToClone(kYarnApp, conf, __FILE__, __LINE__)),
+      cluster_(cluster) {
+  conf_.GetInt(kYarnMinAllocMb, kYarnMinAllocMbDefault);
+  conf_.GetInt(kYarnMaxCompletedApps, kYarnMaxCompletedAppsDefault);
+  GetIpc(*cluster_, this);
+  init_scope_.Finish();
+}
+
+NmRegistrationResponse ResourceManager::RegisterNodeManager(uint64_t nm_id,
+                                                            int64_t memory_mb,
+                                                            int64_t vcores) {
+  NmInfo info;
+  info.memory_mb = memory_mb;
+  info.vcores = vcores;
+  info.last_heartbeat_ms = cluster_->NowMs();
+  node_managers_[nm_id] = info;
+
+  NmRegistrationResponse response;
+  response.heartbeat_interval_ms =
+      conf_.GetInt(kYarnNmHeartbeatMs, kYarnNmHeartbeatMsDefault);
+  return response;
+}
+
+void ResourceManager::NodeManagerHeartbeat(uint64_t nm_id) {
+  auto it = node_managers_.find(nm_id);
+  if (it == node_managers_.end()) {
+    throw RpcError("heartbeat from unregistered NodeManager");
+  }
+  it->second.last_heartbeat_ms = cluster_->NowMs();
+}
+
+int ResourceManager::NumRegisteredNodeManagers() const {
+  return static_cast<int>(node_managers_.size());
+}
+
+uint64_t ResourceManager::AllocateContainer(int64_t memory_mb, int64_t vcores) {
+  int64_t max_mb = conf_.GetInt(kYarnMaxAllocMb, kYarnMaxAllocMbDefault);
+  int64_t max_vcores = conf_.GetInt(kYarnMaxAllocVcores, kYarnMaxAllocVcoresDefault);
+  if (memory_mb > max_mb) {
+    throw LimitError("container request of " + std::to_string(memory_mb) +
+                     " MB exceeds yarn.scheduler.maximum-allocation-mb=" +
+                     std::to_string(max_mb));
+  }
+  if (vcores > max_vcores) {
+    throw LimitError("container request of " + std::to_string(vcores) +
+                     " vcores exceeds yarn.scheduler.maximum-allocation-vcores=" +
+                     std::to_string(max_vcores));
+  }
+  for (auto& [nm_id, info] : node_managers_) {
+    if (info.allocated_mb + memory_mb <= info.memory_mb &&
+        info.allocated_vcores + vcores <= info.vcores) {
+      info.allocated_mb += memory_mb;
+      info.allocated_vcores += vcores;
+      return next_container_id_++;
+    }
+  }
+  throw RpcError("no NodeManager has capacity for the requested container");
+}
+
+void ResourceManager::RecoverNodeManager(uint64_t nm_id, const Configuration& nm_conf,
+                                         Rng& rng) {
+  auto it = node_managers_.find(nm_id);
+  if (it == node_managers_.end()) {
+    throw RpcError("recovery resync from unregistered NodeManager");
+  }
+  bool rm_preserving =
+      conf_.GetBool(kYarnWorkPreservingRecovery, kYarnWorkPreservingRecoveryDefault);
+  bool nm_preserving = nm_conf.GetBool(kYarnWorkPreservingRecovery,
+                                       kYarnWorkPreservingRecoveryDefault);
+  if (rm_preserving != nm_preserving && rng.NextBool(0.6)) {
+    throw RpcError(
+        "work-preserving recovery resync lost container state: the NodeManager's "
+        "container report raced the ResourceManager's expiry deadline");
+  }
+  it->second.last_heartbeat_ms = cluster_->NowMs();
+}
+
+DelegationToken ResourceManager::IssueDelegationToken() {
+  DelegationToken token;
+  token.id = next_token_id_++;
+  token.issued_ms = cluster_->NowMs();
+  token.expiry_ms =
+      token.issued_ms +
+      conf_.GetInt(kYarnTokenRenewInterval, kYarnTokenRenewIntervalDefault);
+  return token;
+}
+
+}  // namespace zebra

@@ -1,0 +1,60 @@
+#include "src/apps/miniyarn/yarn_client.h"
+
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/miniyarn/app_history_server.h"
+#include "src/apps/miniyarn/yarn_params.h"
+#include "src/common/error.h"
+
+namespace zebra {
+
+YarnClient::YarnClient(Cluster* cluster, ResourceManager* rm, const Configuration& conf)
+    : cluster_(cluster), rm_(rm), conf_(conf) {}
+
+uint64_t YarnClient::RequestMaxContainer() {
+  return RequestContainer(conf_.GetInt(kYarnMaxAllocMb, kYarnMaxAllocMbDefault),
+                          conf_.GetInt(kYarnMaxAllocVcores, kYarnMaxAllocVcoresDefault));
+}
+
+uint64_t YarnClient::RequestContainer(int64_t memory_mb, int64_t vcores) {
+  RpcGate(*cluster_, rm_, conf_, rm_->conf(), "ApplicationClientProtocol.allocate");
+  return rm_->AllocateContainer(memory_mb, vcores);
+}
+
+DelegationToken YarnClient::GetDelegationToken() {
+  return GetDelegationTokenFrom(rm_);
+}
+
+DelegationToken YarnClient::GetDelegationTokenFrom(ResourceManager* rm) {
+  RpcGate(*cluster_, rm, conf_, rm->conf(),
+          "ApplicationClientProtocol.getDelegationToken");
+  return rm->IssueDelegationToken();
+}
+
+bool YarnClient::PublishTimelineEvent(AppHistoryServer* ahs, const std::string& event) {
+  bool client_timeline_on =
+      conf_.GetBool(kYarnTimelineEnabled, kYarnTimelineEnabledDefault);
+  if (!client_timeline_on) {
+    return false;  // timeline publishing disabled on the client side
+  }
+  RpcGate(*cluster_, ahs, conf_, ahs->conf(), "TimelineClient.putEntities");
+  ahs->PutTimelineEvent(event);
+  return true;
+}
+
+std::string YarnClient::QueryTimelineWeb(AppHistoryServer* ahs) {
+  std::string policy = conf_.Get(kYarnHttpPolicy, kYarnHttpPolicyDefault);
+  std::string scheme = policy == "HTTPS_ONLY" ? "https" : "http";
+  if (scheme == "https") {
+    conf_.Get(kYarnTimelineWebHttpsAddress, kYarnTimelineWebHttpsAddressDefault);
+  } else {
+    conf_.Get(kYarnTimelineWebAddress, kYarnTimelineWebAddressDefault);
+  }
+  std::string server_scheme = ahs->WebScheme();
+  if (scheme != server_scheme) {
+    throw HandshakeError("timeline web client speaks " + scheme +
+                         " but the server endpoint serves " + server_scheme);
+  }
+  return "timeline-events=" + std::to_string(ahs->NumTimelineEvents());
+}
+
+}  // namespace zebra

@@ -1,0 +1,48 @@
+// MiniYARN client: the unit-test/end-user API (container requests, timeline
+// publishing, delegation tokens).
+
+#ifndef SRC_APPS_MINIYARN_YARN_CLIENT_H_
+#define SRC_APPS_MINIYARN_YARN_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/miniyarn/resource_manager.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+
+class AppHistoryServer;
+
+class YarnClient {
+ public:
+  YarnClient(Cluster* cluster, ResourceManager* rm, const Configuration& conf);
+
+  // Requests a container sized at the *client's* view of the scheduler
+  // maximums (applications routinely size requests to the documented max).
+  uint64_t RequestMaxContainer();
+
+  // Requests a specific size.
+  uint64_t RequestContainer(int64_t memory_mb, int64_t vcores);
+
+  DelegationToken GetDelegationToken();
+  DelegationToken GetDelegationTokenFrom(ResourceManager* rm);
+
+  // Publishes a timeline event iff the client-side timeline flag is on; the
+  // connection fails when the server never started the service, or when the
+  // web schemes disagree.
+  bool PublishTimelineEvent(AppHistoryServer* ahs, const std::string& event);
+
+  // Queries the timeline web UI (scheme from the client's yarn.http.policy).
+  std::string QueryTimelineWeb(AppHistoryServer* ahs);
+
+ private:
+  Cluster* cluster_;
+  ResourceManager* rm_;
+  const Configuration& conf_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIYARN_YARN_CLIENT_H_

@@ -1,0 +1,93 @@
+// MiniYARN parameter names and defaults. The five Table 3 heterogeneous-unsafe
+// YARN parameters are implemented with their original failure mechanisms.
+//
+// Deliberately safe-by-design parameters demonstrate the paper's §7.3
+// lessons: yarn.nodemanager.resource.memory-mb is heterogeneous *on purpose*
+// (per-node hardware), and the NodeManager heartbeat interval is embedded in
+// the ResourceManager's registration response instead of being read from each
+// node's own file — the "embed parameter values in the communication" fix.
+
+#ifndef SRC_APPS_MINIYARN_YARN_PARAMS_H_
+#define SRC_APPS_MINIYARN_YARN_PARAMS_H_
+
+#include <cstdint>
+
+namespace zebra {
+
+inline constexpr char kYarnApp[] = "miniyarn";
+
+// ---- Table 3 heterogeneous-unsafe parameters ---------------------------------
+
+// "Client fails to connect with Timeline web services."
+inline constexpr char kYarnHttpPolicy[] = "yarn.http.policy";
+inline constexpr char kYarnHttpPolicyDefault[] = "HTTP_ONLY";
+
+// "End users may observe newer tokens expire earlier than prior tokens."
+inline constexpr char kYarnTokenRenewInterval[] =
+    "yarn.resourcemanager.delegation.token.renew-interval";
+inline constexpr int64_t kYarnTokenRenewIntervalDefault = 86400000;  // 1 day
+
+// "ResourceManager disallows value decreasement."
+inline constexpr char kYarnMaxAllocMb[] = "yarn.scheduler.maximum-allocation-mb";
+inline constexpr int64_t kYarnMaxAllocMbDefault = 8192;
+
+// "ResourceManager disallows value decreasement."
+inline constexpr char kYarnMaxAllocVcores[] = "yarn.scheduler.maximum-allocation-vcores";
+inline constexpr int64_t kYarnMaxAllocVcoresDefault = 4;
+
+// "Client fails to connect to Timeline Server."
+inline constexpr char kYarnTimelineEnabled[] = "yarn.timeline-service.enabled";
+inline constexpr bool kYarnTimelineEnabledDefault = false;
+
+// ---- Probabilistically heterogeneous-unsafe (extension) -----------------------
+
+// Work-preserving RM restart: a NodeManager whose flag disagrees with the
+// ResourceManager resyncs with the wrong protocol, and the race between the
+// container report and the container-expiry deadline manifests in only a
+// fraction of runs. Reproduces the §5 false-negative discussion: a single
+// first trial can miss it.
+inline constexpr char kYarnWorkPreservingRecovery[] =
+    "yarn.resourcemanager.work-preserving-recovery.enabled";
+inline constexpr bool kYarnWorkPreservingRecoveryDefault = true;
+
+// ---- Heterogeneous-safe parameters -------------------------------------------
+
+inline constexpr char kYarnNmMemoryMb[] = "yarn.nodemanager.resource.memory-mb";
+inline constexpr int64_t kYarnNmMemoryMbDefault = 8192;
+
+inline constexpr char kYarnNmVcores[] = "yarn.nodemanager.resource.cpu-vcores";
+inline constexpr int64_t kYarnNmVcoresDefault = 8;
+
+inline constexpr char kYarnMinAllocMb[] = "yarn.scheduler.minimum-allocation-mb";
+inline constexpr int64_t kYarnMinAllocMbDefault = 1024;
+
+// Shipped to NodeManagers inside the registration response (safe by design).
+inline constexpr char kYarnNmHeartbeatMs[] =
+    "yarn.resourcemanager.nodemanagers.heartbeat-interval-ms";
+inline constexpr int64_t kYarnNmHeartbeatMsDefault = 1000;
+
+inline constexpr char kYarnLogRetainSeconds[] = "yarn.nodemanager.log.retain-seconds";
+inline constexpr int64_t kYarnLogRetainSecondsDefault = 10800;
+
+inline constexpr char kYarnMaxCompletedApps[] =
+    "yarn.resourcemanager.max-completed-applications";
+inline constexpr int64_t kYarnMaxCompletedAppsDefault = 1000;
+
+inline constexpr char kYarnVmemCheck[] = "yarn.nodemanager.vmem-check-enabled";
+inline constexpr bool kYarnVmemCheckDefault = true;
+
+inline constexpr char kYarnTimelineTtlMs[] = "yarn.timeline-service.ttl-ms";
+inline constexpr int64_t kYarnTimelineTtlMsDefault = 604800000;
+
+inline constexpr char kYarnVmemPmemRatio[] = "yarn.nodemanager.vmem-pmem-ratio";
+inline constexpr double kYarnVmemPmemRatioDefault = 2.1;
+
+inline constexpr char kYarnTimelineWebAddress[] = "yarn.timeline-service.webapp.address";
+inline constexpr char kYarnTimelineWebAddressDefault[] = "0.0.0.0:8188";
+inline constexpr char kYarnTimelineWebHttpsAddress[] =
+    "yarn.timeline-service.webapp.https.address";
+inline constexpr char kYarnTimelineWebHttpsAddressDefault[] = "0.0.0.0:8190";
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIYARN_YARN_PARAMS_H_

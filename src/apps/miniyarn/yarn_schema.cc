@@ -1,0 +1,59 @@
+#include "src/apps/miniyarn/yarn_schema.h"
+
+#include "src/apps/miniyarn/yarn_params.h"
+
+namespace zebra {
+
+void RegisterMiniYarnSchema(ConfSchema& schema) {
+  const char* app = kYarnApp;
+
+  schema.AddParam({kYarnHttpPolicy, app, ParamType::kEnum, "HTTP_ONLY",
+                   {"HTTP_ONLY", "HTTPS_ONLY"}, "Web endpoint protocol policy"});
+  schema.AddParam({kYarnTokenRenewInterval, app, ParamType::kInt, "86400000",
+                   {"3600000", "86400000"}, "Delegation token renew interval"});
+  schema.AddParam({kYarnMaxAllocMb, app, ParamType::kInt, "8192",
+                   {"1024", "8192"}, "Scheduler maximum container memory"});
+  schema.AddParam({kYarnMaxAllocVcores, app, ParamType::kInt, "4",
+                   {"1", "4"}, "Scheduler maximum container vcores"});
+  schema.AddParam({kYarnTimelineEnabled, app, ParamType::kBool, "false",
+                   {"true", "false"}, "Whether the timeline service runs"});
+
+  schema.AddParam({kYarnWorkPreservingRecovery, app, ParamType::kBool, "true",
+                   {"true", "false"},
+                   "Work-preserving ResourceManager recovery (probabilistically "
+                   "heterogeneous-unsafe)"});
+
+  schema.AddParam({kYarnNmMemoryMb, app, ParamType::kInt, "8192",
+                   {"4096", "8192"},
+                   "NodeManager memory capacity (heterogeneous by design)"});
+  schema.AddParam({kYarnNmVcores, app, ParamType::kInt, "8",
+                   {"4", "8"},
+                   "NodeManager vcore capacity (heterogeneous by design)"});
+  schema.AddParam({kYarnMinAllocMb, app, ParamType::kInt, "1024",
+                   {"128", "1024"}, "Scheduler minimum allocation (RM-local)"});
+  schema.AddParam({kYarnNmHeartbeatMs, app, ParamType::kInt, "1000",
+                   {"100", "1000"},
+                   "NM heartbeat interval (shipped in the registration response)"});
+  schema.AddParam({kYarnLogRetainSeconds, app, ParamType::kInt, "10800",
+                   {"3600", "10800"}, "Log retention (NM-local)"});
+  schema.AddParam({kYarnMaxCompletedApps, app, ParamType::kInt, "1000",
+                   {"100", "1000"}, "Completed apps kept in memory (RM-local)"});
+  schema.AddParam({kYarnVmemCheck, app, ParamType::kBool, "true",
+                   {"true", "false"}, "Virtual memory enforcement (NM-local)"});
+  schema.AddParam({kYarnTimelineTtlMs, app, ParamType::kInt, "604800000",
+                   {"86400000", "604800000"}, "Timeline entity TTL (server-local)"});
+  schema.AddParam({kYarnVmemPmemRatio, app, ParamType::kDouble, "2.1",
+                   {"2.1", "4.0"}, "Virtual/physical memory ratio (NM-local)"});
+  schema.AddParam({kYarnTimelineWebAddress, app, ParamType::kString, "0.0.0.0:8188",
+                   {"0.0.0.0:8188", "0.0.0.0:18188"}, "Timeline HTTP address"});
+  schema.AddParam({kYarnTimelineWebHttpsAddress, app, ParamType::kString,
+                   "0.0.0.0:8190",
+                   {"0.0.0.0:8190", "0.0.0.0:18190"}, "Timeline HTTPS address"});
+
+  schema.AddDependencyRule(kYarnHttpPolicy, "HTTP_ONLY", kYarnTimelineWebAddress,
+                           kYarnTimelineWebAddressDefault);
+  schema.AddDependencyRule(kYarnHttpPolicy, "HTTPS_ONLY", kYarnTimelineWebHttpsAddress,
+                           kYarnTimelineWebHttpsAddressDefault);
+}
+
+}  // namespace zebra

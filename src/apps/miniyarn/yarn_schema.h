@@ -1,0 +1,14 @@
+// Schema registration for MiniYARN parameters.
+
+#ifndef SRC_APPS_MINIYARN_YARN_SCHEMA_H_
+#define SRC_APPS_MINIYARN_YARN_SCHEMA_H_
+
+#include "src/conf/conf_schema.h"
+
+namespace zebra {
+
+void RegisterMiniYarnSchema(ConfSchema& schema);
+
+}  // namespace zebra
+
+#endif  // SRC_APPS_MINIYARN_YARN_SCHEMA_H_

@@ -1,0 +1,85 @@
+// Byte-buffer type and serialization helpers used by the wire layer.
+
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace zebra {
+
+using Bytes = std::vector<uint8_t>;
+
+inline Bytes BytesFromString(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+inline std::string StringFromBytes(const Bytes& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+// Little-endian append/read of fixed-width integers. Readers throw DecodeError
+// when the buffer is too short — a truncated or garbled frame is an
+// application-visible decode failure, not a harness bug.
+inline void AppendU32(Bytes* out, uint32_t value) {
+  out->push_back(static_cast<uint8_t>(value));
+  out->push_back(static_cast<uint8_t>(value >> 8));
+  out->push_back(static_cast<uint8_t>(value >> 16));
+  out->push_back(static_cast<uint8_t>(value >> 24));
+}
+
+inline void AppendU64(Bytes* out, uint64_t value) {
+  AppendU32(out, static_cast<uint32_t>(value));
+  AppendU32(out, static_cast<uint32_t>(value >> 32));
+}
+
+inline uint32_t ReadU32(const Bytes& in, size_t* offset) {
+  if (*offset + 4 > in.size()) {
+    throw DecodeError("buffer underrun reading u32");
+  }
+  uint32_t value = static_cast<uint32_t>(in[*offset]) |
+                   static_cast<uint32_t>(in[*offset + 1]) << 8 |
+                   static_cast<uint32_t>(in[*offset + 2]) << 16 |
+                   static_cast<uint32_t>(in[*offset + 3]) << 24;
+  *offset += 4;
+  return value;
+}
+
+inline uint64_t ReadU64(const Bytes& in, size_t* offset) {
+  uint64_t lo = ReadU32(in, offset);
+  uint64_t hi = ReadU32(in, offset);
+  return lo | (hi << 32);
+}
+
+inline void AppendLengthPrefixed(Bytes* out, const Bytes& payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+inline void AppendLengthPrefixedString(Bytes* out, std::string_view text) {
+  AppendU32(out, static_cast<uint32_t>(text.size()));
+  out->insert(out->end(), text.begin(), text.end());
+}
+
+inline Bytes ReadLengthPrefixed(const Bytes& in, size_t* offset) {
+  uint32_t length = ReadU32(in, offset);
+  if (*offset + length > in.size()) {
+    throw DecodeError("buffer underrun reading length-prefixed block");
+  }
+  Bytes payload(in.begin() + static_cast<long>(*offset),
+                in.begin() + static_cast<long>(*offset + length));
+  *offset += length;
+  return payload;
+}
+
+inline std::string ReadLengthPrefixedString(const Bytes& in, size_t* offset) {
+  return StringFromBytes(ReadLengthPrefixed(in, offset));
+}
+
+}  // namespace zebra
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,77 @@
+// Error taxonomy shared by the simulation substrate, the mini-applications, and
+// the ZebraConf core.
+//
+// The mini-applications signal operational failures (decode errors, handshake
+// rejections, timeouts, limit violations) with exceptions derived from
+// zebra::Error, mirroring how the Java applications the paper studies surface
+// failures to their unit tests. The test harness converts any escaping Error
+// (or assertion failure) into a failed TestResult.
+
+#ifndef SRC_COMMON_ERROR_H_
+#define SRC_COMMON_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace zebra {
+
+// Base class for all application-level failures in the mini-systems.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+// A remote call failed: the peer rejected the request or the reply could not
+// be interpreted.
+class RpcError : public Error {
+ public:
+  explicit RpcError(const std::string& message) : Error("RpcError: " + message) {}
+};
+
+// Connection-establishment failed because the two endpoints disagree on a
+// security/transport parameter (SASL, SSL, protection level, protocol).
+class HandshakeError : public Error {
+ public:
+  explicit HandshakeError(const std::string& message)
+      : Error("HandshakeError: " + message) {}
+};
+
+// Payload bytes did not verify against the receiver-side checksum, or a frame
+// failed to parse under the receiver's wire configuration.
+class ChecksumError : public Error {
+ public:
+  explicit ChecksumError(const std::string& message)
+      : Error("ChecksumError: " + message) {}
+};
+
+// A frame could not be decoded (wrong compression codec, missing decryption,
+// framing mismatch, garbage header).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& message) : Error("DecodeError: " + message) {}
+};
+
+// An operation did not complete within the caller's configured deadline.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& message)
+      : Error("TimeoutError: " + message) {}
+};
+
+// A server-side limit (fs-limits, max allocation, quota) rejected the request.
+class LimitError : public Error {
+ public:
+  explicit LimitError(const std::string& message) : Error("LimitError: " + message) {}
+};
+
+// Misuse of an API inside the repository itself (not an application failure).
+// Kept distinct so harness bugs never masquerade as heterogeneous-unsafety.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& message)
+      : Error("InternalError: " + message) {}
+};
+
+}  // namespace zebra
+
+#endif  // SRC_COMMON_ERROR_H_

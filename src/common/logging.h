@@ -1,0 +1,55 @@
+// Minimal leveled logger. Logging is off by default so that test-corpus runs
+// (which execute tens of thousands of mini-cluster operations) stay quiet;
+// examples and debugging sessions can raise the level.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace zebra {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets the process-wide minimum level that is emitted. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr if `level` >= the configured minimum.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace zebra
+
+#define ZLOG_DEBUG ::zebra::log_internal::LineBuilder(::zebra::LogLevel::kDebug)
+#define ZLOG_INFO ::zebra::log_internal::LineBuilder(::zebra::LogLevel::kInfo)
+#define ZLOG_WARN ::zebra::log_internal::LineBuilder(::zebra::LogLevel::kWarning)
+#define ZLOG_ERROR ::zebra::log_internal::LineBuilder(::zebra::LogLevel::kError)
+
+#endif  // SRC_COMMON_LOGGING_H_

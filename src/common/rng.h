@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// All nondeterminism in the test corpus is injected through SplitMix64
+// generators seeded from (test id, trial number), so that (a) individual unit
+// tests are reproducible, and (b) TestRunner's multi-trial hypothesis testing
+// observes genuinely varying outcomes across trials.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace zebra {
+
+// SplitMix64: tiny, fast, and statistically adequate for workload generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+// Stable 64-bit FNV-1a hash; used to derive seeds from string identifiers and
+// to build the opaque "wire tokens" handshake parameters compare.
+constexpr uint64_t Fnv1a64(std::string_view text) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+// Combines two hashes/seeds into one (boost::hash_combine-style).
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace zebra
+
+#endif  // SRC_COMMON_RNG_H_

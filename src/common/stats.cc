@@ -1,0 +1,66 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zebra {
+
+double LogFactorial(int64_t n) {
+  if (n <= 1) {
+    return 0.0;
+  }
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogChoose(int64_t n, int64_t k) {
+  if (k < 0 || k > n) {
+    return -1e300;  // effectively log(0)
+  }
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double HypergeometricPmf(int64_t total, int64_t successes, int64_t draws, int64_t k) {
+  if (k < 0 || k > draws || k > successes || draws - k > total - successes) {
+    return 0.0;
+  }
+  double log_p = LogChoose(successes, k) + LogChoose(total - successes, draws - k) -
+                 LogChoose(total, draws);
+  return std::exp(log_p);
+}
+
+double FisherExactOneSided(int64_t hetero_failed, int64_t hetero_total,
+                           int64_t homo_failed, int64_t homo_total) {
+  const int64_t total = hetero_total + homo_total;
+  const int64_t total_failed = hetero_failed + homo_failed;
+  if (hetero_total <= 0 || total_failed == 0) {
+    return 1.0;
+  }
+  // Tail: at least `hetero_failed` of the failures landing in the hetero row.
+  const int64_t max_k = std::min(total_failed, hetero_total);
+  double p = 0.0;
+  for (int64_t k = hetero_failed; k <= max_k; ++k) {
+    p += HypergeometricPmf(total, total_failed, hetero_total, k);
+  }
+  return std::min(p, 1.0);
+}
+
+bool SignificantlyWorse(int64_t hetero_failed, int64_t hetero_total,
+                        int64_t homo_failed, int64_t homo_total,
+                        double significance) {
+  return FisherExactOneSided(hetero_failed, hetero_total, homo_failed, homo_total) <
+         significance;
+}
+
+int64_t MinTrialsForSignificance(double significance) {
+  // With hetero n/n failed and homo 0/n failed, the one-sided p-value is
+  // 1 / C(2n, n). Find the smallest n that gets below the threshold.
+  for (int64_t n = 1; n <= 64; ++n) {
+    double p = std::exp(-LogChoose(2 * n, n));
+    if (p < significance) {
+      return n;
+    }
+  }
+  return 64;
+}
+
+}  // namespace zebra

@@ -1,0 +1,50 @@
+// Statistical primitives backing TestRunner's hypothesis testing (paper §5).
+//
+// TestRunner must decide, from trial outcomes, whether a heterogeneous
+// configuration fails *because it is heterogeneous* rather than because the
+// unit test is nondeterministically flaky. We model this as a 2x2 contingency
+// table (hetero vs homo trials, failed vs passed) and apply a one-sided
+// Fisher exact test at the paper's significance level of 1e-4.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace zebra {
+
+// ln(n!) via lgamma. Exact enough for the trial counts we use (< 10^4).
+double LogFactorial(int64_t n);
+
+// ln C(n, k). Requires 0 <= k <= n.
+double LogChoose(int64_t n, int64_t k);
+
+// P(X = k) for X ~ Hypergeometric(total, successes, draws).
+double HypergeometricPmf(int64_t total, int64_t successes, int64_t draws, int64_t k);
+
+// One-sided Fisher exact test for the 2x2 table:
+//
+//              failed              passed
+//   hetero     hetero_failed       hetero_total - hetero_failed
+//   homo       homo_failed         homo_total - homo_failed
+//
+// Returns the probability, under the null hypothesis that failures are
+// independent of which row a trial is in, of observing at least
+// `hetero_failed` failures in the hetero row. Small values mean the
+// heterogeneous configuration fails significantly more often.
+double FisherExactOneSided(int64_t hetero_failed, int64_t hetero_total,
+                           int64_t homo_failed, int64_t homo_total);
+
+// Convenience: true if the Fisher exact p-value is below `significance`.
+bool SignificantlyWorse(int64_t hetero_failed, int64_t hetero_total,
+                        int64_t homo_failed, int64_t homo_total, double significance);
+
+// The smallest per-row trial count n such that (hetero n/n failed, homo 0/n
+// failed) reaches `significance`. TestRunner uses this to size its trial
+// budget: if even a perfect split cannot reach significance within the
+// budget, the candidate is filtered early.
+int64_t MinTrialsForSignificance(double significance);
+
+}  // namespace zebra
+
+#endif  // SRC_COMMON_STATS_H_

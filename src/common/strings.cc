@@ -1,0 +1,113 @@
+#include "src/common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace zebra {
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      break;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      result.append(sep);
+    }
+    result.append(pieces[i]);
+  }
+  return result;
+}
+
+std::string StrTrim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  std::string trimmed = StrTrim(text);
+  if (trimmed.empty()) {
+    return false;
+  }
+  int64_t value = 0;
+  const char* begin = trimmed.data();
+  const char* end = begin + trimmed.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  std::string trimmed = StrTrim(text);
+  if (trimmed.empty()) {
+    return false;
+  }
+  char* end_ptr = nullptr;
+  double value = std::strtod(trimmed.c_str(), &end_ptr);
+  if (end_ptr == nullptr || *end_ptr != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseBool(std::string_view text, bool* out) {
+  std::string lowered = StrTrim(text);
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lowered == "true" || lowered == "1" || lowered == "yes") {
+    *out = true;
+    return true;
+  }
+  if (lowered == "false" || lowered == "0" || lowered == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string BoolToString(bool value) { return value ? "true" : "false"; }
+
+std::string Int64ToString(int64_t value) { return std::to_string(value); }
+
+std::string DoubleToString(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+}  // namespace zebra

@@ -1,0 +1,40 @@
+// Small string utilities used across the project.
+
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zebra {
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string StrTrim(std::string_view text);
+
+// True if `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Strict integer / double / bool parsing. Returns false on malformed input and
+// leaves `*out` untouched; configuration getters use these and fall back to
+// defaults for unparseable values, like Hadoop's Configuration does.
+bool ParseInt64(std::string_view text, int64_t* out);
+bool ParseDouble(std::string_view text, double* out);
+bool ParseBool(std::string_view text, bool* out);
+
+// Renders values in the canonical form stored in configuration files.
+std::string BoolToString(bool value);
+std::string Int64ToString(int64_t value);
+std::string DoubleToString(double value);
+
+}  // namespace zebra
+
+#endif  // SRC_COMMON_STRINGS_H_

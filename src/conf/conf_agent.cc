@@ -1,0 +1,308 @@
+#include "src/conf/conf_agent.h"
+
+#include "src/common/error.h"
+#include "src/common/logging.h"
+#include "src/conf/configuration.h"
+
+namespace zebra {
+
+namespace {
+constexpr char kUncertainEntity[] = "@uncertain";
+}  // namespace
+
+int SessionReport::TotalNodes() const {
+  int total = 0;
+  for (const auto& [type, count] : node_counts) {
+    total += count;
+  }
+  return total;
+}
+
+std::set<std::string> SessionReport::ParamsReadBy(const std::string& entity) const {
+  auto it = reads.find(entity);
+  if (it == reads.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+std::set<std::string> SessionReport::AllParamsRead() const {
+  std::set<std::string> all;
+  for (const auto& [entity, params] : reads) {
+    all.insert(params.begin(), params.end());
+  }
+  all.insert(uncertain_params.begin(), uncertain_params.end());
+  return all;
+}
+
+ConfAgent& ConfAgent::Instance() {
+  static ConfAgent* agent = new ConfAgent();
+  return *agent;
+}
+
+void ConfAgent::BeginSession(TestPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ != nullptr) {
+    throw InternalError("ConfAgent session already active; sessions must be serialized");
+  }
+  session_ = std::make_unique<Session>();
+  session_->plan = std::move(plan);
+  in_session_.store(true, std::memory_order_release);
+}
+
+SessionReport ConfAgent::EndSession() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    throw InternalError("ConfAgent::EndSession without an active session");
+  }
+  SessionReport report = std::move(session_->report);
+  report.uncertain_conf_count = static_cast<int>(session_->uncertain_conf_ids.size());
+  for (const auto& [type, count] : session_->type_counts) {
+    report.node_counts[type] = count;
+  }
+  session_.reset();
+  in_session_.store(false, std::memory_order_release);
+  return report;
+}
+
+void ConfAgent::StartInit(uint64_t node_ptr, const std::string& node_type) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    return;
+  }
+  NodeInfo info;
+  info.node_id = node_ptr;
+  info.node_type = node_type;
+  info.node_index = session_->type_counts[node_type]++;
+  session_->node_table[node_ptr] = info;
+  session_->thread_context[std::this_thread::get_id()].push_back(node_ptr);
+}
+
+void ConfAgent::StopInit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    return;
+  }
+  auto it = session_->thread_context.find(std::this_thread::get_id());
+  if (it == session_->thread_context.end() || it->second.empty()) {
+    ZLOG_WARN << "ConfAgent::StopInit without a matching StartInit on this thread";
+    return;
+  }
+  it->second.pop_back();
+  if (it->second.empty()) {
+    session_->thread_context.erase(it);
+  }
+}
+
+void ConfAgent::NewConf(uint64_t conf_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    return;
+  }
+  ++session_->report.conf_objects_created;
+  // Rule 1.1: created while a node's init function is executing on this thread.
+  auto ctx = session_->thread_context.find(std::this_thread::get_id());
+  if (ctx != session_->thread_context.end() && !ctx->second.empty()) {
+    uint64_t node_id = ctx->second.back();
+    session_->conf_to_node[conf_id] = node_id;
+    session_->node_table[node_id].conf_ids.push_back(conf_id);
+    return;
+  }
+  // Rule 1.2: created before any node has initialized.
+  if (session_->node_table.empty()) {
+    session_->unit_test_conf_ids.insert(conf_id);
+    return;
+  }
+  // Otherwise we cannot map it.
+  session_->uncertain_conf_ids.insert(conf_id);
+}
+
+void ConfAgent::CloneConf(uint64_t orig_id, uint64_t clone_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    return;
+  }
+  ++session_->report.conf_objects_created;
+  ++session_->report.clones;
+  session_->child_to_parent[clone_id] = orig_id;
+  // Rule 3: the clone belongs to the same entity as the original.
+  auto node_it = session_->conf_to_node.find(orig_id);
+  if (node_it != session_->conf_to_node.end()) {
+    session_->conf_to_node[clone_id] = node_it->second;
+    session_->node_table[node_it->second].conf_ids.push_back(clone_id);
+    return;
+  }
+  if (session_->unit_test_conf_ids.count(orig_id) > 0) {
+    session_->unit_test_conf_ids.insert(clone_id);
+    return;
+  }
+  // Neither side is known: both are uncertain (the original may have been
+  // created outside the session or is itself unmapped).
+  session_->uncertain_conf_ids.insert(orig_id);
+  session_->uncertain_conf_ids.insert(clone_id);
+}
+
+void ConfAgent::PromoteToUnitTestLocked(uint64_t conf_id) {
+  uint64_t current = conf_id;
+  // Walk the clone chain upward, promoting any uncertain ancestor.
+  for (int depth = 0; depth < 64; ++depth) {
+    if (session_->conf_to_node.count(current) == 0) {
+      session_->uncertain_conf_ids.erase(current);
+      session_->unit_test_conf_ids.insert(current);
+    }
+    auto parent_it = session_->child_to_parent.find(current);
+    if (parent_it == session_->child_to_parent.end()) {
+      break;
+    }
+    current = parent_it->second;
+  }
+}
+
+void ConfAgent::RefToCloneConf(uint64_t orig_id, uint64_t clone_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    return;
+  }
+  ++session_->report.conf_objects_created;
+  ++session_->report.ref_to_clones;
+  session_->child_to_parent[clone_id] = orig_id;
+
+  // Rule 2: the clone belongs to the node whose init function is executing.
+  auto ctx = session_->thread_context.find(std::this_thread::get_id());
+  if (ctx == session_->thread_context.end() || ctx->second.empty()) {
+    ZLOG_WARN << "refToCloneConf called outside a node initialization function";
+    session_->uncertain_conf_ids.insert(clone_id);
+  } else {
+    uint64_t node_id = ctx->second.back();
+    session_->conf_to_node[clone_id] = node_id;
+    NodeInfo& node = session_->node_table[node_id];
+    node.conf_ids.push_back(clone_id);
+    node.parent_conf_id = orig_id;
+  }
+
+  // Rule 2 + Rule 3 back-propagation: the original (and its uncertain
+  // ancestors) belong to the unit test.
+  if (session_->conf_to_node.count(orig_id) == 0) {
+    PromoteToUnitTestLocked(orig_id);
+    session_->report.conf_sharing_detected = true;
+  } else {
+    ZLOG_WARN << "refToCloneConf original already belongs to a node; leaving mapping";
+  }
+}
+
+std::optional<std::string> ConfAgent::ResolveEntityLocked(uint64_t conf_id,
+                                                          int* node_index) const {
+  if (node_index != nullptr) {
+    *node_index = -1;
+  }
+  auto node_it = session_->conf_to_node.find(conf_id);
+  if (node_it != session_->conf_to_node.end()) {
+    const NodeInfo& node = session_->node_table.at(node_it->second);
+    if (node_index != nullptr) {
+      *node_index = node.node_index;
+    }
+    return node.node_type;
+  }
+  if (session_->unit_test_conf_ids.count(conf_id) > 0) {
+    return std::string(kClientEntity);
+  }
+  if (session_->uncertain_conf_ids.count(conf_id) > 0) {
+    return std::string(kUncertainEntity);
+  }
+  return std::nullopt;
+}
+
+std::string ConfAgent::InterceptGet(uint64_t conf_id, const std::string& name,
+                                    std::string current) {
+  if (!InSession()) {
+    return current;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    return current;
+  }
+  session_->report.any_conf_usage = true;
+  int node_index = -1;
+  std::optional<std::string> entity = ResolveEntityLocked(conf_id, &node_index);
+  if (!entity.has_value()) {
+    // A conf created outside the session (e.g. a process-global default);
+    // treated as uncertain usage.
+    session_->report.uncertain_params.insert(name);
+    return current;
+  }
+  if (*entity == kUncertainEntity) {
+    session_->report.uncertain_params.insert(name);
+    return current;
+  }
+  session_->report.reads[*entity].insert(name);
+
+  // Only node-owned and unit-test-owned confs receive plan values.
+  int index = (*entity == kClientEntity) ? 0 : node_index;
+  std::optional<std::string> assigned = session_->plan.Lookup(name, *entity, index);
+  if (assigned.has_value()) {
+    ++session_->report.override_hits;
+    return *assigned;
+  }
+  return current;
+}
+
+void ConfAgent::InterceptSet(uint64_t conf_id, const std::string& name,
+                             const std::string& value) {
+  if (!InSession()) {
+    return;
+  }
+  Configuration* parent = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (session_ == nullptr) {
+      return;
+    }
+    auto node_it = session_->conf_to_node.find(conf_id);
+    if (node_it == session_->conf_to_node.end()) {
+      return;
+    }
+    const NodeInfo& node = session_->node_table.at(node_it->second);
+    if (node.parent_conf_id == 0) {
+      return;
+    }
+    auto registry_it = conf_registry_.find(node.parent_conf_id);
+    if (registry_it == conf_registry_.end()) {
+      return;
+    }
+    parent = registry_it->second;
+  }
+  // Write back into the parent so that unit-test code which expects the node
+  // to fill values into the shared conf still observes them (paper §6.3).
+  // SetRaw bypasses interception to avoid recursion.
+  parent->SetRaw(name, value);
+}
+
+void ConfAgent::RegisterConfObject(uint64_t conf_id, Configuration* conf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  conf_registry_[conf_id] = conf;
+}
+
+void ConfAgent::UnregisterConfObject(uint64_t conf_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  conf_registry_.erase(conf_id);
+}
+
+std::optional<std::string> ConfAgent::EntityOf(uint64_t conf_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    return std::nullopt;
+  }
+  return ResolveEntityLocked(conf_id, nullptr);
+}
+
+int ConfAgent::NodeIndexOf(uint64_t conf_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    return -1;
+  }
+  int index = -1;
+  ResolveEntityLocked(conf_id, &index);
+  return index;
+}
+
+}  // namespace zebra

@@ -1,0 +1,205 @@
+// ConfAgent — the bottom layer of ZebraConf (paper §6).
+//
+// ConfAgent runs a given unit test with a given (possibly heterogeneous)
+// configuration. Its task is to map every Configuration object created during
+// the test to the entity that owns it — a node, the unit test itself, or
+// "uncertain" — and to intercept get/set so that different nodes observe
+// different values for the parameters under test.
+//
+// The implementation follows §6.2/§6.3 exactly:
+//
+//   Rule 1.1  A configuration object created on a thread that is currently
+//             executing a node initialization function belongs to that node.
+//   Rule 1.2  A configuration object created before any node has initialized
+//             belongs to the unit test.
+//   Rule 2    refToCloneConf: the clone belongs to the node whose init
+//             function is executing; the original belongs to the unit test.
+//   Rule 3    A clone belongs to the same entity as its original.
+//
+// Data structures mirror the paper: nodeTable, unitTestConfIDs,
+// uncertainConfIDs, parentToChild, threadContext.
+//
+// ConfAgent is a process-wide singleton because the Configuration constructors
+// must reach it. Outside an active session every hook is a no-op, so the
+// mini-applications remain usable as ordinary libraries.
+
+#ifndef SRC_CONF_CONF_AGENT_H_
+#define SRC_CONF_CONF_AGENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/conf/test_plan.h"
+
+namespace zebra {
+
+class Configuration;
+
+// What one ConfAgent session observed. TestGenerator's pre-run consumes this
+// to decide which (test, parameter, node type) combinations are effective.
+struct SessionReport {
+  // Node type -> number of node instances that ran startInit.
+  std::map<std::string, int> node_counts;
+
+  // Entity key ("DataNode", "Client", ...) -> parameters read through
+  // configuration objects belonging to that entity.
+  std::map<std::string, std::set<std::string>> reads;
+
+  // Parameters read through configuration objects that could not be mapped to
+  // any entity. Test instances combining this unit test with these parameters
+  // must be excluded (Observation 3).
+  std::set<std::string> uncertain_params;
+
+  int conf_objects_created = 0;
+  int clones = 0;
+  int ref_to_clones = 0;
+  int uncertain_conf_count = 0;
+
+  // A unit-test-owned configuration object was handed to at least one node
+  // initialization function (the paper's "configuration object sharing").
+  bool conf_sharing_detected = false;
+
+  // Any parameter read happened at all ("tests that involve configuration
+  // usage" in §6.1).
+  bool any_conf_usage = false;
+
+  // How many interceptGet calls returned a plan-assigned value.
+  int override_hits = 0;
+
+  bool StartedAnyNode() const { return !node_counts.empty(); }
+  int TotalNodes() const;
+  std::set<std::string> ParamsReadBy(const std::string& entity) const;
+  std::set<std::string> AllParamsRead() const;
+};
+
+class ConfAgent {
+ public:
+  static ConfAgent& Instance();
+
+  ConfAgent(const ConfAgent&) = delete;
+  ConfAgent& operator=(const ConfAgent&) = delete;
+
+  // ---- Session control (harness side) --------------------------------------
+
+  // Starts a session. `plan` may be empty (pre-run / record-only). Only one
+  // session may be active at a time; test executions are serialized.
+  void BeginSession(TestPlan plan);
+
+  // Ends the session and returns everything it observed.
+  SessionReport EndSession();
+
+  bool InSession() const { return in_session_.load(std::memory_order_acquire); }
+
+  // ---- Annotation API (application side, paper §6.3) ------------------------
+
+  // Brackets a node initialization function. `node_ptr` identifies the node
+  // object (its address), `node_type` is e.g. "DataNode".
+  void StartInit(uint64_t node_ptr, const std::string& node_type);
+  void StopInit();
+
+  // Configuration-class hooks.
+  void NewConf(uint64_t conf_id);
+  void CloneConf(uint64_t orig_id, uint64_t clone_id);
+  // Returns the node id the clone was attached to (0 if none).
+  void RefToCloneConf(uint64_t orig_id, uint64_t clone_id);
+
+  // Interception of Configuration::Get: may replace `current` with the value
+  // the plan assigns to the conf's owning entity.
+  std::string InterceptGet(uint64_t conf_id, const std::string& name,
+                           std::string current);
+
+  // Interception of Configuration::Set: propagates the write to the parent
+  // configuration object when the conf belongs to a node that was initialized
+  // from a unit-test conf (paper: interceptSet parent write-back).
+  void InterceptSet(uint64_t conf_id, const std::string& name, const std::string& value);
+
+  // ---- Configuration-object registry ----------------------------------------
+
+  // Configuration registers/unregisters itself so interceptSet can write back
+  // into parent objects. Safe to call outside a session.
+  void RegisterConfObject(uint64_t conf_id, Configuration* conf);
+  void UnregisterConfObject(uint64_t conf_id);
+
+  // Allocates a process-unique configuration-object id.
+  uint64_t NextConfId() { return next_conf_id_.fetch_add(1) + 1; }
+
+  // ---- Introspection (used by tests and the reporting layer) ----------------
+
+  // Entity key the conf currently maps to: node type, kClientEntity,
+  // "@uncertain", or nullopt if unknown. Only valid during a session.
+  std::optional<std::string> EntityOf(uint64_t conf_id) const;
+
+  // Node index of the node owning this conf (-1 if not node-owned).
+  int NodeIndexOf(uint64_t conf_id) const;
+
+ private:
+  ConfAgent() = default;
+
+  struct NodeInfo {
+    uint64_t node_id = 0;  // hashCode analog: the node object's address
+    std::string node_type;
+    int node_index = 0;  // i-th node of this type in this session
+    std::vector<uint64_t> conf_ids;
+    uint64_t parent_conf_id = 0;  // conf passed into the init function, if any
+  };
+
+  struct Session {
+    TestPlan plan;
+    std::map<uint64_t, NodeInfo> node_table;           // node_id -> info
+    std::map<uint64_t, uint64_t> conf_to_node;         // conf_id -> node_id
+    std::set<uint64_t> unit_test_conf_ids;
+    std::set<uint64_t> uncertain_conf_ids;
+    std::map<uint64_t, uint64_t> child_to_parent;      // clone -> original
+    std::map<std::thread::id, std::vector<uint64_t>> thread_context;
+    std::map<std::string, int> type_counts;            // node_type -> next index
+    SessionReport report;
+  };
+
+  // Resolves a conf id to its entity key; records nothing. Caller holds mutex.
+  std::optional<std::string> ResolveEntityLocked(uint64_t conf_id, int* node_index) const;
+
+  // Moves `conf_id` and its transitive parents from uncertain to unit-test
+  // ownership (used by Rule 2 + Rule 3 back-propagation). Caller holds mutex.
+  void PromoteToUnitTestLocked(uint64_t conf_id);
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<Session> session_;
+  std::atomic<bool> in_session_{false};
+  std::atomic<uint64_t> next_conf_id_{0};
+  std::map<uint64_t, Configuration*> conf_registry_;
+};
+
+// RAII session guard used by the harness.
+class ConfAgentSession {
+ public:
+  explicit ConfAgentSession(TestPlan plan) {
+    ConfAgent::Instance().BeginSession(std::move(plan));
+  }
+  ~ConfAgentSession() {
+    if (!ended_) {
+      ConfAgent::Instance().EndSession();
+    }
+  }
+  ConfAgentSession(const ConfAgentSession&) = delete;
+  ConfAgentSession& operator=(const ConfAgentSession&) = delete;
+
+  SessionReport End() {
+    ended_ = true;
+    return ConfAgent::Instance().EndSession();
+  }
+
+ private:
+  bool ended_ = false;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CONF_CONF_AGENT_H_

@@ -1,0 +1,246 @@
+#include "src/conf/conf_file.h"
+
+#include "src/common/error.h"
+#include "src/common/strings.h"
+
+namespace zebra {
+
+std::map<std::string, std::string> ParseProperties(const std::string& text) {
+  std::map<std::string, std::string> properties;
+  int line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string line = StrTrim(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw Error("malformed properties line " + std::to_string(line_number) + ": '" +
+                  line + "' (expected key = value)");
+    }
+    std::string key = StrTrim(line.substr(0, eq));
+    std::string value = StrTrim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw Error("empty key on properties line " + std::to_string(line_number));
+    }
+    properties[key] = value;
+  }
+  return properties;
+}
+
+std::string RenderProperties(const std::map<std::string, std::string>& properties) {
+  std::string text;
+  for (const auto& [key, value] : properties) {
+    text += key + " = " + value + "\n";
+  }
+  return text;
+}
+
+namespace {
+
+// Minimal tag scanner for the Hadoop XML subset. Returns the content between
+// <tag> and </tag> starting the search at *pos; advances *pos past the close
+// tag. Returns false when no further <tag> exists.
+bool NextTag(const std::string& text, const std::string& tag, size_t* pos,
+             std::string* content) {
+  std::string open = "<" + tag + ">";
+  std::string close = "</" + tag + ">";
+  size_t begin = text.find(open, *pos);
+  if (begin == std::string::npos) {
+    return false;
+  }
+  size_t content_begin = begin + open.size();
+  size_t end = text.find(close, content_begin);
+  if (end == std::string::npos) {
+    throw Error("hadoop xml: unterminated <" + tag + ">");
+  }
+  *content = text.substr(content_begin, end - content_begin);
+  *pos = end + close.size();
+  return true;
+}
+
+std::string StripXmlComments(const std::string& text) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t begin = text.find("<!--", pos);
+    if (begin == std::string::npos) {
+      out.append(text, pos, std::string::npos);
+      break;
+    }
+    out.append(text, pos, begin - pos);
+    size_t end = text.find("-->", begin);
+    if (end == std::string::npos) {
+      throw Error("hadoop xml: unterminated comment");
+    }
+    pos = end + 3;
+  }
+  return out;
+}
+
+std::string XmlEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string XmlUnescape(const std::string& text) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    if (text.compare(pos, 5, "&amp;") == 0) {
+      out += '&';
+      pos += 5;
+    } else if (text.compare(pos, 4, "&lt;") == 0) {
+      out += '<';
+      pos += 4;
+    } else if (text.compare(pos, 4, "&gt;") == 0) {
+      out += '>';
+      pos += 4;
+    } else {
+      out += text[pos++];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> ParseHadoopXml(const std::string& text) {
+  std::string body = StripXmlComments(text);
+  size_t pos = 0;
+  std::string configuration;
+  if (!NextTag(body, "configuration", &pos, &configuration)) {
+    throw Error("hadoop xml: missing <configuration> root");
+  }
+
+  std::map<std::string, std::string> properties;
+  pos = 0;
+  std::string property;
+  while (NextTag(configuration, "property", &pos, &property)) {
+    size_t inner = 0;
+    std::string name;
+    if (!NextTag(property, "name", &inner, &name)) {
+      throw Error("hadoop xml: <property> without <name>");
+    }
+    inner = 0;
+    std::string value;
+    if (!NextTag(property, "value", &inner, &value)) {
+      throw Error("hadoop xml: <property> without <value>");
+    }
+    name = StrTrim(XmlUnescape(name));
+    if (name.empty()) {
+      throw Error("hadoop xml: empty property name");
+    }
+    if (!properties.emplace(name, XmlUnescape(value)).second) {
+      throw Error("hadoop xml: duplicate property " + name);
+    }
+  }
+  return properties;
+}
+
+std::string RenderHadoopXml(const std::map<std::string, std::string>& properties) {
+  std::string out = "<configuration>\n";
+  for (const auto& [name, value] : properties) {
+    out += "  <property>\n    <name>" + XmlEscape(name) + "</name>\n    <value>" +
+           XmlEscape(value) + "</value>\n  </property>\n";
+  }
+  out += "</configuration>\n";
+  return out;
+}
+
+std::map<std::string, std::string> ParseConfFile(const std::string& text) {
+  std::string trimmed = StrTrim(text);
+  if (!trimmed.empty() && trimmed[0] == '<') {
+    return ParseHadoopXml(text);
+  }
+  return ParseProperties(text);
+}
+
+void ApplyProperties(const std::map<std::string, std::string>& properties,
+                     Configuration& conf) {
+  for (const auto& [key, value] : properties) {
+    conf.Set(key, value);
+  }
+}
+
+void ConfFileSet::AddFile(const std::string& node_name,
+                          const std::string& properties_text) {
+  if (files_.count(node_name) > 0) {
+    throw Error("duplicate node in configuration file set: " + node_name);
+  }
+  files_[node_name] = ParseConfFile(properties_text);
+}
+
+std::vector<std::string> ConfFileSet::node_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, file] : files_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+const std::map<std::string, std::string>& ConfFileSet::FileFor(
+    const std::string& node) const {
+  auto it = files_.find(node);
+  if (it == files_.end()) {
+    throw Error("no configuration file for node " + node);
+  }
+  return it->second;
+}
+
+std::set<std::string> ConfFileSet::HeterogeneousParams(bool absent_is_distinct) const {
+  std::set<std::string> all_params;
+  for (const auto& [node, file] : files_) {
+    for (const auto& [key, value] : file) {
+      all_params.insert(key);
+    }
+  }
+
+  std::set<std::string> heterogeneous;
+  for (const std::string& param : all_params) {
+    std::set<std::string> values;
+    bool absent_somewhere = false;
+    for (const auto& [node, file] : files_) {
+      auto it = file.find(param);
+      if (it == file.end()) {
+        absent_somewhere = true;
+      } else {
+        values.insert(it->second);
+      }
+    }
+    if (values.size() > 1 || (absent_is_distinct && absent_somewhere && !values.empty())) {
+      heterogeneous.insert(param);
+    }
+  }
+  return heterogeneous;
+}
+
+std::map<std::string, std::string> ConfFileSet::ValuesOf(
+    const std::string& param) const {
+  std::map<std::string, std::string> values;
+  for (const auto& [node, file] : files_) {
+    auto it = file.find(param);
+    if (it != file.end()) {
+      values[node] = it->second;
+    }
+  }
+  return values;
+}
+
+}  // namespace zebra

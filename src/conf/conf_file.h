@@ -1,0 +1,77 @@
+// Configuration-file I/O: the F / HomoConf(F) / HeteroConf(F1..Fn) notation
+// of Definition 3.1, as loadable artifacts.
+//
+// Files use the Java-properties style Hadoop admins actually diff:
+//
+//   # comment
+//   dfs.heartbeat.interval = 3
+//   dfs.checksum.type = CRC32C
+//
+// A ConfFileSet holds one file per node and can answer the Definition 3.2
+// question structurally: which parameters differ across nodes?
+
+#ifndef SRC_CONF_CONF_FILE_H_
+#define SRC_CONF_CONF_FILE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/conf/configuration.h"
+
+namespace zebra {
+
+// Parses properties text into key/value pairs. Throws Error on malformed
+// lines (a line without '=' that is not blank/comment).
+std::map<std::string, std::string> ParseProperties(const std::string& text);
+
+// Renders pairs back to properties text (sorted, stable).
+std::string RenderProperties(const std::map<std::string, std::string>& properties);
+
+// Hadoop *-site.xml subset:
+//   <configuration>
+//     <property><name>k</name><value>v</value></property>
+//   </configuration>
+// Supports <!-- comments --> and <final>/<description> children (ignored).
+// Throws Error on malformed documents or duplicate names.
+std::map<std::string, std::string> ParseHadoopXml(const std::string& text);
+std::string RenderHadoopXml(const std::map<std::string, std::string>& properties);
+
+// Dispatches on content: documents starting with '<' parse as Hadoop XML,
+// anything else as properties.
+std::map<std::string, std::string> ParseConfFile(const std::string& text);
+
+// Loads properties into a Configuration object (Set per pair, so ConfAgent
+// sessions observe the values normally).
+void ApplyProperties(const std::map<std::string, std::string>& properties,
+                     Configuration& conf);
+
+// A named per-node configuration file set: HeteroConf(F1, ..., Fn).
+class ConfFileSet {
+ public:
+  // Adds node `node_name`'s file from properties or Hadoop-XML text (the
+  // format is auto-detected).
+  void AddFile(const std::string& node_name, const std::string& properties_text);
+
+  int size() const { return static_cast<int>(files_.size()); }
+  std::vector<std::string> node_names() const;
+  const std::map<std::string, std::string>& FileFor(const std::string& node) const;
+
+  // Parameters that appear with at least two distinct values across files
+  // (including "absent" as a distinct state when `absent_is_distinct`).
+  std::set<std::string> HeterogeneousParams(bool absent_is_distinct = false) const;
+
+  // True if every file agrees on every parameter (HomoConf).
+  bool IsHomogeneous() const { return HeterogeneousParams().empty(); }
+
+  // The distinct values (by node) of one parameter; absent files omitted.
+  std::map<std::string, std::string> ValuesOf(const std::string& param) const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> files_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CONF_CONF_FILE_H_

@@ -1,0 +1,93 @@
+#include "src/conf/conf_schema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/error.h"
+
+namespace zebra {
+
+const char* ParamTypeName(ParamType type) {
+  switch (type) {
+    case ParamType::kBool:
+      return "bool";
+    case ParamType::kInt:
+      return "int";
+    case ParamType::kDouble:
+      return "double";
+    case ParamType::kEnum:
+      return "enum";
+    case ParamType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+void ConfSchema::AddParam(ParamSpec spec) {
+  if (index_by_name_.count(spec.name) > 0) {
+    throw InternalError("duplicate parameter registered: " + spec.name);
+  }
+  if (spec.test_values.empty()) {
+    throw InternalError("parameter has no test values: " + spec.name);
+  }
+  index_by_name_[spec.name] = params_.size();
+  params_.push_back(std::move(spec));
+}
+
+void ConfSchema::AddDependencyRule(const std::string& param, const std::string& value,
+                                   const std::string& dep_param,
+                                   const std::string& dep_value) {
+  dependency_rules_[{param, value}].emplace_back(dep_param, dep_value);
+}
+
+const ParamSpec* ConfSchema::Find(const std::string& name) const {
+  auto it = index_by_name_.find(name);
+  if (it == index_by_name_.end()) {
+    return nullptr;
+  }
+  return &params_[it->second];
+}
+
+std::vector<const ParamSpec*> ConfSchema::ParamsForApp(const std::string& app) const {
+  std::vector<const ParamSpec*> result;
+  for (const ParamSpec& spec : params_) {
+    if (spec.app == app || spec.app == kSharedApp) {
+      result.push_back(&spec);
+    }
+  }
+  return result;
+}
+
+std::vector<const ParamSpec*> ConfSchema::ParamsOwnedBy(const std::string& app) const {
+  std::vector<const ParamSpec*> result;
+  for (const ParamSpec& spec : params_) {
+    if (spec.app == app) {
+      result.push_back(&spec);
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<std::string, std::string>> ConfSchema::DependencyOverrides(
+    const std::string& param, const std::string& value) const {
+  std::vector<std::pair<std::string, std::string>> overrides;
+  auto exact = dependency_rules_.find({param, value});
+  if (exact != dependency_rules_.end()) {
+    overrides.insert(overrides.end(), exact->second.begin(), exact->second.end());
+  }
+  auto wildcard = dependency_rules_.find({param, "*"});
+  if (wildcard != dependency_rules_.end()) {
+    overrides.insert(overrides.end(), wildcard->second.begin(), wildcard->second.end());
+  }
+  return overrides;
+}
+
+std::vector<std::string> ConfSchema::Apps() const {
+  std::set<std::string> apps;
+  for (const ParamSpec& spec : params_) {
+    apps.insert(spec.app);
+  }
+  return std::vector<std::string>(apps.begin(), apps.end());
+}
+
+}  // namespace zebra

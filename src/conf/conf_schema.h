@@ -1,0 +1,66 @@
+// ConfSchema: the registry of configuration parameters per application, plus
+// the developer-supplied dependency rules of §4 ("when testing parameter p1
+// with value v1, set p2's value to v2").
+//
+// The schema itself is application-agnostic; each mini-application populates
+// it via a Register<App>Schema() function, and the testkit aggregates all of
+// them (mirroring how the paper's TestGenerator is configured per target).
+
+#ifndef SRC_CONF_CONF_SCHEMA_H_
+#define SRC_CONF_CONF_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/conf/param_spec.h"
+
+namespace zebra {
+
+// Name of the shared-library pseudo-application whose parameters every real
+// application also uses (the Hadoop Common analog).
+inline constexpr char kSharedApp[] = "appcommon";
+
+class ConfSchema {
+ public:
+  ConfSchema() = default;
+
+  void AddParam(ParamSpec spec);
+
+  // Dependency rule: whenever `param`=`value` is under test, also set
+  // `dep_param`=`dep_value` homogeneously.
+  void AddDependencyRule(const std::string& param, const std::string& value,
+                         const std::string& dep_param, const std::string& dep_value);
+
+  const std::vector<ParamSpec>& params() const { return params_; }
+
+  const ParamSpec* Find(const std::string& name) const;
+
+  // Parameters testable for `app`: the app's own plus the shared-library
+  // parameters (Table 1: "All other applications ... share the Hadoop Common
+  // library").
+  std::vector<const ParamSpec*> ParamsForApp(const std::string& app) const;
+
+  // Parameters owned by exactly `app`.
+  std::vector<const ParamSpec*> ParamsOwnedBy(const std::string& app) const;
+
+  std::vector<std::pair<std::string, std::string>> DependencyOverrides(
+      const std::string& param, const std::string& value) const;
+
+  // Distinct applications owning at least one parameter.
+  std::vector<std::string> Apps() const;
+
+ private:
+  std::vector<ParamSpec> params_;
+  std::map<std::string, size_t> index_by_name_;
+  // (param, value) -> overrides. Value "*" matches any tested value.
+  std::map<std::pair<std::string, std::string>,
+           std::vector<std::pair<std::string, std::string>>>
+      dependency_rules_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CONF_CONF_SCHEMA_H_

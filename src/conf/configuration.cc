@@ -1,0 +1,126 @@
+#include "src/conf/configuration.h"
+
+#include "src/common/strings.h"
+#include "src/conf/annotations.h"
+#include "src/conf/conf_agent.h"
+
+namespace zebra {
+
+namespace {
+constexpr char kConfApp[] = "configuration";
+}  // namespace
+
+Configuration::Configuration() : id_(ConfAgent::Instance().NextConfId()) {
+  ZC_ANNOTATION_SITE(kConfApp, AnnotationKind::kConfHook);
+  ConfAgent::Instance().NewConf(id_);
+  ConfAgent::Instance().RegisterConfObject(id_, this);
+}
+
+Configuration::Configuration(const Configuration& other)
+    : id_(ConfAgent::Instance().NextConfId()) {
+  ZC_ANNOTATION_SITE(kConfApp, AnnotationKind::kConfHook);
+  ConfAgent::Instance().CloneConf(other.id_, id_);
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    properties_ = other.properties_;
+  }
+  ConfAgent::Instance().RegisterConfObject(id_, this);
+}
+
+Configuration::Configuration(RefCloneTag, const Configuration& source)
+    : id_(ConfAgent::Instance().NextConfId()) {
+  {
+    std::lock_guard<std::mutex> lock(source.mutex_);
+    properties_ = source.properties_;
+  }
+  ConfAgent::Instance().RefToCloneConf(source.id_, id_);
+  ConfAgent::Instance().RegisterConfObject(id_, this);
+}
+
+Configuration::~Configuration() { ConfAgent::Instance().UnregisterConfObject(id_); }
+
+Configuration Configuration::RefToClone(const Configuration& source) {
+  return Configuration(RefCloneTag{}, source);
+}
+
+std::string Configuration::GetStored(std::string_view name,
+                                     std::string_view default_value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = properties_.find(std::string(name));
+  if (it == properties_.end()) {
+    return std::string(default_value);
+  }
+  return it->second;
+}
+
+std::string Configuration::Get(std::string_view name,
+                               std::string_view default_value) const {
+  ZC_ANNOTATION_SITE(kConfApp, AnnotationKind::kConfHook);
+  return ConfAgent::Instance().InterceptGet(id_, std::string(name),
+                                            GetStored(name, default_value));
+}
+
+bool Configuration::GetBool(std::string_view name, bool default_value) const {
+  bool parsed = default_value;
+  std::string value = Get(name, BoolToString(default_value));
+  if (!ParseBool(value, &parsed)) {
+    return default_value;
+  }
+  return parsed;
+}
+
+int64_t Configuration::GetInt(std::string_view name, int64_t default_value) const {
+  int64_t parsed = default_value;
+  std::string value = Get(name, Int64ToString(default_value));
+  if (!ParseInt64(value, &parsed)) {
+    return default_value;
+  }
+  return parsed;
+}
+
+double Configuration::GetDouble(std::string_view name, double default_value) const {
+  double parsed = default_value;
+  std::string value = Get(name, DoubleToString(default_value));
+  if (!ParseDouble(value, &parsed)) {
+    return default_value;
+  }
+  return parsed;
+}
+
+bool Configuration::Has(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return properties_.count(std::string(name)) > 0;
+}
+
+void Configuration::Set(std::string_view name, std::string_view value) {
+  ZC_ANNOTATION_SITE(kConfApp, AnnotationKind::kConfHook);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    properties_[std::string(name)] = std::string(value);
+  }
+  ConfAgent::Instance().InterceptSet(id_, std::string(name), std::string(value));
+}
+
+void Configuration::SetBool(std::string_view name, bool value) {
+  Set(name, BoolToString(value));
+}
+
+void Configuration::SetInt(std::string_view name, int64_t value) {
+  Set(name, Int64ToString(value));
+}
+
+void Configuration::SetDouble(std::string_view name, double value) {
+  Set(name, DoubleToString(value));
+}
+
+void Configuration::SetRaw(std::string_view name, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  properties_[std::string(name)] = std::string(value);
+}
+
+std::map<std::string, std::string> Configuration::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return properties_;
+}
+
+}  // namespace zebra

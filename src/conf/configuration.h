@@ -1,0 +1,87 @@
+// Hadoop-style Configuration class shared by the mini-applications.
+//
+// Mirrors the structure in Figure 2a of the paper: a dedicated key/value
+// class with a blank constructor, a clone constructor, and get/set methods —
+// each instrumented with a ConfAgent hook. Nodes receive a Configuration from
+// whoever creates them (a real main() in production, the unit test body in a
+// whole-system unit test) and store a *clone* via RefToClone, the developer
+// modification Rule 2 requires.
+
+#ifndef SRC_CONF_CONFIGURATION_H_
+#define SRC_CONF_CONFIGURATION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace zebra {
+
+class Configuration {
+ public:
+  // Blank constructor (fires ConfAgent::NewConf).
+  Configuration();
+
+  // Clone constructor (fires ConfAgent::CloneConf).
+  Configuration(const Configuration& other);
+
+  Configuration& operator=(const Configuration&) = delete;
+  Configuration(Configuration&&) = delete;
+  Configuration& operator=(Configuration&&) = delete;
+
+  ~Configuration();
+
+  // Replaces "store the caller's reference" inside a node initialization
+  // function: returns a clone and fires ConfAgent::RefToCloneConf, which maps
+  // the clone to the initializing node and the source to the unit test
+  // (paper Rule 2, Figure 2b lines 16-17).
+  static Configuration RefToClone(const Configuration& source);
+
+  // ---- Getters (all funnel through ConfAgent::InterceptGet) -----------------
+
+  // Returns the stored value, or `default_value` if the key is absent; either
+  // may be overridden by the active test plan.
+  std::string Get(std::string_view name, std::string_view default_value = "") const;
+
+  // Typed getters parse the (possibly overridden) string value; malformed
+  // values fall back to the default, like Hadoop's Configuration.
+  bool GetBool(std::string_view name, bool default_value) const;
+  int64_t GetInt(std::string_view name, int64_t default_value) const;
+  double GetDouble(std::string_view name, double default_value) const;
+
+  // True if the key is present in this object (ignores plan overrides).
+  bool Has(std::string_view name) const;
+
+  // ---- Setters (funnel through ConfAgent::InterceptSet) ---------------------
+
+  void Set(std::string_view name, std::string_view value);
+  void SetBool(std::string_view name, bool value);
+  void SetInt(std::string_view name, int64_t value);
+  void SetDouble(std::string_view name, double value);
+
+  // Writes without interception. Used by ConfAgent's parent write-back; not
+  // for application code.
+  void SetRaw(std::string_view name, std::string_view value);
+
+  // Stable process-unique identity (the "hashCode" the paper keys its tables
+  // by — an address would be unsafe under allocator reuse).
+  uint64_t id() const { return id_; }
+
+  // Copy of the raw stored properties (no interception).
+  std::map<std::string, std::string> Snapshot() const;
+
+ private:
+  struct RefCloneTag {};
+  Configuration(RefCloneTag, const Configuration& source);
+
+  std::string GetStored(std::string_view name, std::string_view default_value) const;
+
+  uint64_t id_ = 0;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> properties_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CONF_CONFIGURATION_H_

@@ -1,0 +1,39 @@
+// Parameter metadata: the per-application configuration inventory that
+// TestGenerator enumerates (paper Table 1 / §4 "Select parameter values to
+// test").
+
+#ifndef SRC_CONF_PARAM_SPEC_H_
+#define SRC_CONF_PARAM_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace zebra {
+
+enum class ParamType {
+  kBool,
+  kInt,
+  kDouble,
+  kEnum,
+  kString,
+};
+
+const char* ParamTypeName(ParamType type);
+
+struct ParamSpec {
+  std::string name;
+  std::string app;  // owning application ("appcommon" params are shared by all)
+  ParamType type = ParamType::kString;
+  std::string default_value;
+
+  // Candidate values selected per §4: booleans get {true,false}; numerics get
+  // the default plus a much larger and a much smaller value plus any special
+  // sentinel; enums/strings get the documented values.
+  std::vector<std::string> test_values;
+
+  std::string description;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CONF_PARAM_SPEC_H_

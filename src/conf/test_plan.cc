@@ -1,0 +1,104 @@
+#include "src/conf/test_plan.h"
+
+#include <sstream>
+
+namespace zebra {
+
+const char* AssignStrategyName(AssignStrategy strategy) {
+  switch (strategy) {
+    case AssignStrategy::kHomogeneous:
+      return "homogeneous";
+    case AssignStrategy::kUniformGroup:
+      return "uniform-group";
+    case AssignStrategy::kRoundRobinGroup:
+      return "round-robin-group";
+  }
+  return "unknown";
+}
+
+std::string ValueAssigner::ValueFor(const std::string& node_type, int node_index) const {
+  switch (strategy) {
+    case AssignStrategy::kHomogeneous:
+      return group_value;
+    case AssignStrategy::kUniformGroup:
+      return node_type == group_type ? group_value : other_value;
+    case AssignStrategy::kRoundRobinGroup:
+      if (node_type != group_type) {
+        return other_value;
+      }
+      return node_index % 2 == 0 ? group_value : other_value;
+  }
+  return group_value;
+}
+
+std::vector<std::string> ValueAssigner::DistinctValues() const {
+  if (strategy == AssignStrategy::kHomogeneous || group_value == other_value) {
+    return {group_value};
+  }
+  return {group_value, other_value};
+}
+
+ValueAssigner ValueAssigner::Homogeneous(std::string value) {
+  ValueAssigner assigner;
+  assigner.strategy = AssignStrategy::kHomogeneous;
+  assigner.group_value = std::move(value);
+  return assigner;
+}
+
+ValueAssigner ValueAssigner::UniformGroup(std::string group_type, std::string group_value,
+                                          std::string other_value) {
+  ValueAssigner assigner;
+  assigner.strategy = AssignStrategy::kUniformGroup;
+  assigner.group_type = std::move(group_type);
+  assigner.group_value = std::move(group_value);
+  assigner.other_value = std::move(other_value);
+  return assigner;
+}
+
+ValueAssigner ValueAssigner::RoundRobinGroup(std::string group_type,
+                                             std::string group_value,
+                                             std::string other_value) {
+  ValueAssigner assigner;
+  assigner.strategy = AssignStrategy::kRoundRobinGroup;
+  assigner.group_type = std::move(group_type);
+  assigner.group_value = std::move(group_value);
+  assigner.other_value = std::move(other_value);
+  return assigner;
+}
+
+std::optional<std::string> TestPlan::Lookup(const std::string& param,
+                                            const std::string& node_type,
+                                            int node_index) const {
+  for (const ParamPlan& plan : params) {
+    if (plan.param == param) {
+      return plan.assigner.ValueFor(node_type, node_index);
+    }
+    for (const auto& [extra_param, extra_value] : plan.extra_overrides) {
+      if (extra_param == param) {
+        return extra_value;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string TestPlan::Describe() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < params.size(); ++i) {
+    const ParamPlan& plan = params[i];
+    if (i > 0) {
+      out << ", ";
+    }
+    out << plan.param << "{" << AssignStrategyName(plan.assigner.strategy);
+    if (plan.assigner.strategy == AssignStrategy::kHomogeneous) {
+      out << " " << plan.assigner.group_value;
+    } else {
+      out << " " << plan.assigner.group_type << "=" << plan.assigner.group_value
+          << " others=" << plan.assigner.other_value;
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+}  // namespace zebra

@@ -1,0 +1,79 @@
+// Test-plan types: how TestGenerator tells ConfAgent which configuration value
+// each node should observe for each parameter under test (paper §4).
+//
+// A plan assigns a value to every (node type, node index, parameter) triple.
+// The unit test itself is treated as a client node (type kClientEntity), as in
+// the paper. A plan may carry several ParamPlans at once — that is pooled
+// testing.
+
+#ifndef SRC_CONF_TEST_PLAN_H_
+#define SRC_CONF_TEST_PLAN_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace zebra {
+
+// Entity name used for configuration objects owned by the unit test body.
+inline constexpr char kClientEntity[] = "Client";
+
+// The representative value-assignment strategies from §4.
+enum class AssignStrategy {
+  // Every entity sees the same value (used for the homogeneous control runs).
+  kHomogeneous,
+  // All nodes in the target type group get `group_value`; every other entity
+  // (other node types and the unit-test client) gets `other_value`.
+  kUniformGroup,
+  // Within the target group values alternate by node index starting with
+  // `group_value`; every other entity gets `other_value`.
+  kRoundRobinGroup,
+};
+
+const char* AssignStrategyName(AssignStrategy strategy);
+
+// Assigns one parameter's value per entity.
+struct ValueAssigner {
+  AssignStrategy strategy = AssignStrategy::kHomogeneous;
+  std::string group_type;   // target node-type group (unused for homogeneous)
+  std::string group_value;  // value for the group (or the whole system)
+  std::string other_value;  // value for everyone else
+
+  std::string ValueFor(const std::string& node_type, int node_index) const;
+
+  // The distinct values this assigner can hand out; the TestRunner runs one
+  // homogeneous control per distinct value (Definition 3.1).
+  std::vector<std::string> DistinctValues() const;
+
+  static ValueAssigner Homogeneous(std::string value);
+  static ValueAssigner UniformGroup(std::string group_type, std::string group_value,
+                                    std::string other_value);
+  static ValueAssigner RoundRobinGroup(std::string group_type, std::string group_value,
+                                       std::string other_value);
+};
+
+// One parameter under test plus any dependency overrides (§4: "when testing
+// parameter p1 with value v1, we should set p2's value to v2"). Overrides are
+// applied homogeneously.
+struct ParamPlan {
+  std::string param;
+  ValueAssigner assigner;
+  std::vector<std::pair<std::string, std::string>> extra_overrides;
+};
+
+// A full plan for one unit-test execution. Multiple entries = pooled testing.
+struct TestPlan {
+  std::vector<ParamPlan> params;
+
+  // Value the given entity should observe for `param`, if the plan covers it.
+  std::optional<std::string> Lookup(const std::string& param,
+                                    const std::string& node_type, int node_index) const;
+
+  bool empty() const { return params.empty(); }
+  std::string Describe() const;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CONF_TEST_PLAN_H_

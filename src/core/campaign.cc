@@ -1,0 +1,225 @@
+#include "src/core/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace zebra {
+
+namespace {
+
+int64_t SumField(const std::map<std::string, AppStageCounts>& per_app,
+                 int64_t AppStageCounts::*field) {
+  int64_t total = 0;
+  for (const auto& [app, counts] : per_app) {
+    total += counts.*field;
+  }
+  return total;
+}
+
+}  // namespace
+
+int64_t CampaignReport::TotalOriginal() const {
+  return SumField(per_app, &AppStageCounts::original);
+}
+int64_t CampaignReport::TotalAfterPrerun() const {
+  return SumField(per_app, &AppStageCounts::after_prerun);
+}
+int64_t CampaignReport::TotalAfterUncertainty() const {
+  return SumField(per_app, &AppStageCounts::after_uncertainty);
+}
+int64_t CampaignReport::TotalExecuted() const {
+  return SumField(per_app, &AppStageCounts::executed_runs);
+}
+
+Campaign::Campaign(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                   CampaignOptions options)
+    : schema_(schema),
+      corpus_(corpus),
+      options_(std::move(options)),
+      generator_(schema, corpus, GeneratorOptions{options_.enable_round_robin}),
+      runner_(options_.significance, options_.first_trials) {
+  if (options_.apps.empty()) {
+    std::set<std::string> apps;
+    for (const UnitTestDef& test : corpus_.tests()) {
+      apps.insert(test.app);
+    }
+    options_.apps.assign(apps.begin(), apps.end());
+  }
+}
+
+bool Campaign::VerifyInstance(const GeneratedInstance& instance, AppStageCounts* counts,
+                              CampaignReport* report,
+                              std::set<std::string>* confirmed_in_test) {
+  Verdict verdict = runner_.Verify(instance, &counts->executed_runs);
+  if (verdict.kind == Verdict::Kind::kNotCandidate) {
+    return false;
+  }
+  ++report->first_trial_candidates;
+  if (verdict.kind == Verdict::Kind::kFilteredFlaky) {
+    ++report->filtered_by_hypothesis;
+    return false;
+  }
+
+  // Confirmed unsafe.
+  const std::string& param = instance.plan.param;
+  confirmed_in_test->insert(param);
+  ParamFinding& finding = report->findings[param];
+  if (finding.param.empty()) {
+    finding.param = param;
+    const ParamSpec* spec = schema_.Find(param);
+    finding.owning_app = spec != nullptr ? spec->app : "unknown";
+  }
+  finding.witness_tests.insert(instance.test->id);
+  if (finding.example_failure.empty()) {
+    finding.example_failure = verdict.witness_failure;
+  }
+  finding.best_p_value = std::min(finding.best_p_value, verdict.p_value);
+
+  confirmed_tests_per_param_[param].insert(instance.test->id);
+  if (static_cast<int>(confirmed_tests_per_param_[param].size()) >=
+      options_.frequent_failure_threshold) {
+    globally_unsafe_.insert(param);
+  }
+  return true;
+}
+
+void Campaign::BisectPool(const UnitTestDef& test, std::vector<GeneratedInstance> pool,
+                          AppStageCounts* counts, CampaignReport* report,
+                          std::set<std::string>* confirmed_in_test) {
+  if (pool.empty()) {
+    return;
+  }
+  if (pool.size() == 1) {
+    VerifyInstance(pool.front(), counts, report, confirmed_in_test);
+    return;
+  }
+  size_t half = pool.size() / 2;
+  std::vector<GeneratedInstance> left(pool.begin(), pool.begin() + half);
+  std::vector<GeneratedInstance> right(pool.begin() + half, pool.end());
+  for (auto* side : {&left, &right}) {
+    TestPlan plan;
+    for (const GeneratedInstance& instance : *side) {
+      plan.params.push_back(instance.plan);
+    }
+    ++counts->executed_runs;
+    TestResult result = RunUnitTest(test, plan, /*trial=*/0);
+    if (!result.passed) {
+      BisectPool(test, *side, counts, report, confirmed_in_test);
+    }
+  }
+}
+
+void Campaign::RunPooledForTest(
+    const UnitTestDef& test,
+    std::map<std::string, std::vector<GeneratedInstance>> by_param,
+    AppStageCounts* counts, CampaignReport* report) {
+  std::set<std::string> confirmed_in_test;
+  size_t max_rounds = 0;
+  for (const auto& [param, instances] : by_param) {
+    max_rounds = std::max(max_rounds, instances.size());
+  }
+
+  for (size_t round = 0; round < max_rounds; ++round) {
+    // Pool the round-th instance of every parameter that still has one and
+    // is not already settled.
+    std::vector<GeneratedInstance> pool;
+    for (const auto& [param, instances] : by_param) {
+      if (round >= instances.size() || GloballyUnsafe(param) ||
+          confirmed_in_test.count(param) > 0) {
+        continue;
+      }
+      pool.push_back(instances[round]);
+    }
+    if (pool.empty()) {
+      continue;
+    }
+    TestPlan plan;
+    for (const GeneratedInstance& instance : pool) {
+      plan.params.push_back(instance.plan);
+    }
+    ++counts->executed_runs;
+    TestResult result = RunUnitTest(test, plan, /*trial=*/0);
+    if (result.passed) {
+      continue;  // every pooled parameter assumed safe for this instance
+    }
+    BisectPool(test, std::move(pool), counts, report, &confirmed_in_test);
+  }
+}
+
+CampaignReport Campaign::Run() {
+  CampaignReport report;
+  SetRunDurationCollector(&report.run_durations_seconds);
+  auto start = std::chrono::steady_clock::now();
+
+  for (const std::string& app : options_.apps) {
+    AppStageCounts& counts = report.per_app[app];
+    SharingStats& sharing = report.sharing[app];
+    counts.original = generator_.OriginalInstanceCount(app);
+
+    std::vector<PreRunRecord> records = generator_.PreRunApp(app, &counts.executed_runs);
+    counts.tests_total = static_cast<int>(records.size());
+
+    for (const PreRunRecord& record : records) {
+      const SessionReport& session = record.result.report;
+      if (session.any_conf_usage) {
+        ++sharing.tests_with_conf_usage;
+        if (session.conf_sharing_detected) {
+          ++sharing.tests_with_sharing;
+        }
+      }
+      if (session.StartedAnyNode()) {
+        ++counts.tests_with_nodes;
+      }
+
+      int64_t before_uncertainty = 0;
+      std::vector<GeneratedInstance> instances =
+          generator_.Generate(record, &before_uncertainty);
+      counts.after_prerun += before_uncertainty;
+      counts.after_uncertainty += static_cast<int64_t>(instances.size());
+      if (instances.empty()) {
+        continue;
+      }
+
+      std::map<std::string, std::vector<GeneratedInstance>> by_param;
+      for (GeneratedInstance& instance : instances) {
+        const std::string& param = instance.plan.param;
+        if (!options_.only_params.empty() && options_.only_params.count(param) == 0) {
+          continue;
+        }
+        if (options_.exclude_params.count(param) > 0) {
+          continue;
+        }
+        by_param[param].push_back(std::move(instance));
+      }
+
+      if (options_.enable_pooling) {
+        RunPooledForTest(*record.test, std::move(by_param), &counts, &report);
+      } else {
+        // Ablation: verify every instance individually (stop per parameter
+        // once confirmed in this test).
+        std::set<std::string> confirmed_in_test;
+        for (const auto& [param, param_instances] : by_param) {
+          for (const GeneratedInstance& instance : param_instances) {
+            if (GloballyUnsafe(param) || confirmed_in_test.count(param) > 0) {
+              break;
+            }
+            VerifyInstance(instance, &counts, &report, &confirmed_in_test);
+          }
+        }
+      }
+    }
+
+    report.total_unit_test_runs += counts.executed_runs;
+    ZLOG_INFO << "campaign: app " << app << " done, runs so far "
+              << report.total_unit_test_runs;
+  }
+
+  auto end = std::chrono::steady_clock::now();
+  SetRunDurationCollector(nullptr);
+  report.wall_seconds = std::chrono::duration<double>(end - start).count();
+  return report;
+}
+
+}  // namespace zebra

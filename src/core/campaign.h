@@ -1,0 +1,134 @@
+// Campaign: the end-to-end ZebraConf pipeline (Figure 1).
+//
+//   TestGenerator  ->  pooled testing  ->  TestRunner  ->  report
+//
+// Pooled testing (§4): all surviving parameters of a unit test are tested
+// together; a failing pool is bisected recursively until the failing
+// parameters are isolated, which then go through TestRunner verification.
+// Parameters that keep failing across tests are marked unsafe early and
+// excluded from further pools (the paper's frequent-failure rule).
+
+#ifndef SRC_CORE_CAMPAIGN_H_
+#define SRC_CORE_CAMPAIGN_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/test_generator.h"
+#include "src/core/test_runner.h"
+
+namespace zebra {
+
+struct CampaignOptions {
+  // Applications to test; empty = every application in the corpus.
+  std::vector<std::string> apps;
+
+  double significance = 1e-4;
+
+  // How many times each heterogeneous instance is tried before being
+  // dismissed as passing (§5 false-negative mitigation; 1 = the paper's
+  // time-saving mode).
+  int first_trials = 1;
+
+  // A parameter confirmed unsafe in this many distinct unit tests is marked
+  // unsafe globally and removed from future pools.
+  int frequent_failure_threshold = 3;
+
+  // Pooled testing on/off (off = verify every instance individually; used by
+  // the ablation bench).
+  bool enable_pooling = true;
+
+  // §4's round-robin-within-group assignment strategy on/off (ablation).
+  bool enable_round_robin = true;
+
+  // When non-empty, only these parameters are tested (focused re-testing,
+  // e.g. re-verifying a parameter after an application upgrade). Parameters
+  // listed in `exclude_params` are skipped (e.g. already-triaged false
+  // positives).
+  std::set<std::string> only_params;
+  std::set<std::string> exclude_params;
+};
+
+struct AppStageCounts {
+  int64_t original = 0;           // Table 5 row 1
+  int64_t after_prerun = 0;       // Table 5 row 2
+  int64_t after_uncertainty = 0;  // Table 5 row 3
+  int64_t executed_runs = 0;      // Table 5 row 4 (actual unit-test executions)
+  int tests_total = 0;
+  int tests_with_nodes = 0;
+};
+
+struct ParamFinding {
+  std::string param;
+  std::string owning_app;
+  std::set<std::string> witness_tests;
+  std::string example_failure;
+  double best_p_value = 1.0;
+};
+
+struct SharingStats {
+  int tests_with_conf_usage = 0;
+  int tests_with_sharing = 0;
+};
+
+struct CampaignReport {
+  std::map<std::string, AppStageCounts> per_app;
+  std::map<std::string, ParamFinding> findings;  // reported unsafe parameters
+  std::map<std::string, SharingStats> sharing;   // per app (§6.1 prevalence)
+  int first_trial_candidates = 0;                // §7.2 hypothesis-testing stats
+  int filtered_by_hypothesis = 0;
+  int64_t total_unit_test_runs = 0;
+  double wall_seconds = 0.0;
+
+  // Wall-clock duration of every unit-test execution, in order — the input
+  // to the fleet cost model (core/fleet_model.h).
+  std::vector<double> run_durations_seconds;
+
+  int64_t TotalOriginal() const;
+  int64_t TotalAfterPrerun() const;
+  int64_t TotalAfterUncertainty() const;
+  int64_t TotalExecuted() const;
+};
+
+class Campaign {
+ public:
+  Campaign(const ConfSchema& schema, const UnitTestRegistry& corpus,
+           CampaignOptions options);
+
+  CampaignReport Run();
+
+ private:
+  // Per-test pooled phase over this test's instances, grouped by parameter.
+  void RunPooledForTest(const UnitTestDef& test,
+                        std::map<std::string, std::vector<GeneratedInstance>> by_param,
+                        AppStageCounts* counts, CampaignReport* report);
+
+  // Recursive bisection of a failing pool (one instance per parameter).
+  void BisectPool(const UnitTestDef& test, std::vector<GeneratedInstance> pool,
+                  AppStageCounts* counts, CampaignReport* report,
+                  std::set<std::string>* confirmed_in_test);
+
+  // Verifies one instance through TestRunner and folds the verdict into the
+  // report. Returns true if the parameter was confirmed unsafe.
+  bool VerifyInstance(const GeneratedInstance& instance, AppStageCounts* counts,
+                      CampaignReport* report, std::set<std::string>* confirmed_in_test);
+
+  bool GloballyUnsafe(const std::string& param) const {
+    return globally_unsafe_.count(param) > 0;
+  }
+
+  const ConfSchema& schema_;
+  const UnitTestRegistry& corpus_;
+  CampaignOptions options_;
+  TestGenerator generator_;
+  TestRunner runner_;
+  std::map<std::string, std::set<std::string>> confirmed_tests_per_param_;
+  std::set<std::string> globally_unsafe_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_CAMPAIGN_H_

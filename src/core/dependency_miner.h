@@ -1,0 +1,64 @@
+// DependencyMiner — an implementation of the paper's §4 future-work item:
+// "Future work could extract the relationship between different parameters
+// automatically, by relying on parameter dependence analysis."
+//
+// The miner discovers value-conditional dependencies dynamically: for every
+// enum parameter it re-runs each unit test homogeneously under each candidate
+// value and diffs the parameter-read sets. A parameter read *only* under a
+// particular value is a dependency of that value — e.g. the HTTPS address
+// parameter is only read when the http policy is HTTPS_ONLY, which is
+// exactly the manual rule the paper's authors wrote by hand.
+
+#ifndef SRC_CORE_DEPENDENCY_MINER_H_
+#define SRC_CORE_DEPENDENCY_MINER_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/conf/conf_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+struct MinedRule {
+  std::string param;      // parameter whose value gates the dependency
+  std::string value;      // gating value
+  std::string dep_param;  // parameter read only under that value
+
+  bool operator==(const MinedRule& other) const {
+    return param == other.param && value == other.value &&
+           dep_param == other.dep_param;
+  }
+  bool operator<(const MinedRule& other) const {
+    return std::tie(param, value, dep_param) <
+           std::tie(other.param, other.value, other.dep_param);
+  }
+};
+
+class DependencyMiner {
+ public:
+  DependencyMiner(const ConfSchema& schema, const UnitTestRegistry& corpus);
+
+  // Mines rules for every enum parameter testable in `app`. Each unit test
+  // of the app is executed once per (enum param, candidate value);
+  // *executions counts the runs.
+  std::vector<MinedRule> MineApp(const std::string& app, int64_t* executions) const;
+
+  // Mines rules for a single parameter across the app's unit tests.
+  std::vector<MinedRule> MineParam(const std::string& app, const ParamSpec& spec,
+                                   int64_t* executions) const;
+
+  // Installs mined rules into a schema as dependency overrides, using each
+  // dependency parameter's default value.
+  static void InstallRules(const std::vector<MinedRule>& rules, ConfSchema& schema);
+
+ private:
+  const ConfSchema& schema_;
+  const UnitTestRegistry& corpus_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_DEPENDENCY_MINER_H_

@@ -1,0 +1,35 @@
+#include "src/core/deployment_checker.h"
+
+namespace zebra {
+
+DeploymentChecker::DeploymentChecker(const CampaignReport& report) {
+  for (const auto& [param, finding] : report.findings) {
+    std::string reason = finding.example_failure.empty()
+                             ? "confirmed heterogeneous-unsafe by campaign"
+                             : finding.example_failure;
+    unsafe_params_[param] = reason;
+  }
+}
+
+DeploymentChecker::DeploymentChecker(std::map<std::string, std::string> unsafe_params)
+    : unsafe_params_(std::move(unsafe_params)) {}
+
+DeploymentVerdict DeploymentChecker::Check(const ConfFileSet& proposal) const {
+  DeploymentVerdict verdict;
+  for (const std::string& param : proposal.HeterogeneousParams()) {
+    auto it = unsafe_params_.find(param);
+    if (it == unsafe_params_.end()) {
+      verdict.unknown_heterogeneous.insert(param);
+      continue;
+    }
+    DeploymentWarning warning;
+    warning.param = param;
+    warning.reason = it->second;
+    warning.values = proposal.ValuesOf(param);
+    verdict.warnings.push_back(std::move(warning));
+    verdict.safe = false;
+  }
+  return verdict;
+}
+
+}  // namespace zebra

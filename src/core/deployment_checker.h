@@ -1,0 +1,56 @@
+// DeploymentChecker: the operator-facing payoff of a ZebraConf campaign.
+//
+// Given a proposed deployment — one configuration file per node
+// (HeteroConf(F1..Fn) of Definition 3.1) — and a knowledge base of
+// heterogeneous-unsafe parameters (from a campaign report, or any curated
+// list), the checker flags every parameter that is about to be deployed with
+// different values on different nodes even though it is known to be unsafe.
+
+#ifndef SRC_CORE_DEPLOYMENT_CHECKER_H_
+#define SRC_CORE_DEPLOYMENT_CHECKER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/conf/conf_file.h"
+#include "src/core/campaign.h"
+
+namespace zebra {
+
+struct DeploymentWarning {
+  std::string param;
+  std::string reason;                          // why the parameter is unsafe
+  std::map<std::string, std::string> values;   // node -> proposed value
+};
+
+struct DeploymentVerdict {
+  bool safe = true;
+  std::vector<DeploymentWarning> warnings;     // unsafe heterogeneous params
+  std::set<std::string> unknown_heterogeneous; // heterogeneous but not in the KB
+};
+
+class DeploymentChecker {
+ public:
+  // Builds the knowledge base from a campaign report (parameter -> witness).
+  explicit DeploymentChecker(const CampaignReport& report);
+
+  // Or from an explicit parameter -> reason table.
+  explicit DeploymentChecker(std::map<std::string, std::string> unsafe_params);
+
+  // Checks a proposed per-node file set. `safe` is false iff a known-unsafe
+  // parameter is heterogeneous in the proposal. Parameters heterogeneous in
+  // the proposal but absent from the knowledge base are listed separately —
+  // the operator must judge them (or run a campaign that covers them).
+  DeploymentVerdict Check(const ConfFileSet& proposal) const;
+
+  int knowledge_base_size() const { return static_cast<int>(unsafe_params_.size()); }
+
+ private:
+  std::map<std::string, std::string> unsafe_params_;  // param -> reason
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_DEPLOYMENT_CHECKER_H_

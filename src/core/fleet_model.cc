@@ -1,0 +1,50 @@
+#include "src/core/fleet_model.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/error.h"
+
+namespace zebra {
+
+FleetEstimate EstimateFleet(const std::vector<double>& run_durations_seconds,
+                            int machines, int containers_per_machine) {
+  if (machines < 1 || containers_per_machine < 1) {
+    throw InternalError("fleet model requires at least one machine and container");
+  }
+
+  FleetEstimate estimate;
+  estimate.machines = machines;
+  estimate.containers_per_machine = containers_per_machine;
+  estimate.runs = static_cast<int64_t>(run_durations_seconds.size());
+
+  const int64_t slots = static_cast<int64_t>(machines) * containers_per_machine;
+
+  // LPT: place each job (longest first) on the least-loaded slot.
+  std::vector<double> sorted = run_durations_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  std::priority_queue<double, std::vector<double>, std::greater<double>> loads;
+  for (int64_t i = 0; i < slots; ++i) {
+    loads.push(0.0);
+  }
+  for (double duration : sorted) {
+    estimate.total_cpu_seconds += duration;
+    double least = loads.top();
+    loads.pop();
+    loads.push(least + duration);
+  }
+  double makespan = 0.0;
+  while (!loads.empty()) {
+    makespan = std::max(makespan, loads.top());
+    loads.pop();
+  }
+  estimate.makespan_seconds = makespan;
+  estimate.machine_seconds = makespan * machines;
+  estimate.utilization =
+      makespan > 0.0
+          ? estimate.total_cpu_seconds / (makespan * static_cast<double>(slots))
+          : 0.0;
+  return estimate;
+}
+
+}  // namespace zebra

@@ -1,0 +1,36 @@
+// Fleet cost model: translates a campaign's per-run durations into the
+// machine-time accounting the paper reports ("all tests can finish within
+// 4,652 machine hours ... we used up to 100 machines [with] 20 Docker
+// containers each").
+//
+// Test instances are embarrassingly parallel; the model schedules the
+// measured run durations onto machines x containers-per-machine slots with
+// the LPT (longest processing time first) greedy heuristic, which is within
+// 4/3 of the optimal makespan.
+
+#ifndef SRC_CORE_FLEET_MODEL_H_
+#define SRC_CORE_FLEET_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace zebra {
+
+struct FleetEstimate {
+  int machines = 0;
+  int containers_per_machine = 0;
+  int64_t runs = 0;
+  double total_cpu_seconds = 0.0;      // sum of run durations
+  double machine_seconds = 0.0;        // makespan x machines
+  double makespan_seconds = 0.0;       // wall-clock on the fleet
+  double utilization = 0.0;            // cpu / (makespan x slots)
+};
+
+// Schedules `run_durations_seconds` onto machines x containers slots with the
+// LPT heuristic. machines and containers must be >= 1.
+FleetEstimate EstimateFleet(const std::vector<double>& run_durations_seconds,
+                            int machines, int containers_per_machine);
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_FLEET_MODEL_H_

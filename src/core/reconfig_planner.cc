@@ -1,0 +1,242 @@
+#include "src/core/reconfig_planner.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace zebra {
+
+const char* ReconfigCategoryName(ReconfigCategory category) {
+  switch (category) {
+    case ReconfigCategory::kSafe:
+      return "safe";
+    case ReconfigCategory::kHeartbeatLike:
+      return "heartbeat-like";
+    case ReconfigCategory::kMaxLimitLike:
+      return "max-limit-like";
+    case ReconfigCategory::kWireFormatLike:
+      return "wire-format-like";
+    case ReconfigCategory::kCountLike:
+      return "count-like";
+    case ReconfigCategory::kConsistencyLike:
+      return "consistency-like";
+  }
+  return "safe";
+}
+
+const std::map<std::string, ParamGuidance>& ReconfigGuidance() {
+  static const auto* kGuidance = new std::map<std::string, ParamGuidance>{
+      // ---- heartbeat-like -----------------------------------------------------
+      {"dfs.heartbeat.interval",
+       {ReconfigCategory::kHeartbeatLike,
+        {"DataNode"},
+        {"NameNode"},
+        "decrease: senders first; increase: receivers first (§7.1)"}},
+      {"dfs.namenode.heartbeat.recheck-interval",
+       {ReconfigCategory::kHeartbeatLike,
+        {"DataNode"},
+        {"NameNode"},
+        "the receiver-side tolerance window; treat like the interval"}},
+
+      // ---- max-limit-like -----------------------------------------------------
+      {"dfs.namenode.fs-limits.max-component-length",
+       {ReconfigCategory::kMaxLimitLike, {}, {}, "never decrease below live state"}},
+      {"dfs.namenode.fs-limits.max-directory-items",
+       {ReconfigCategory::kMaxLimitLike, {}, {}, "never decrease below live state"}},
+      {"yarn.scheduler.maximum-allocation-mb",
+       {ReconfigCategory::kMaxLimitLike, {}, {}, "RM disallows value decreasement"}},
+      {"yarn.scheduler.maximum-allocation-vcores",
+       {ReconfigCategory::kMaxLimitLike, {}, {}, "RM disallows value decreasement"}},
+
+      // ---- wire-format-like ---------------------------------------------------
+      {"dfs.encrypt.data.transfer",
+       {ReconfigCategory::kWireFormatLike, {}, {},
+        "store the format per channel/file instead (§7.3)"}},
+      {"dfs.checksum.type", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"dfs.bytes-per-checksum", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"dfs.data.transfer.protection", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"dfs.block.access.token.enable",
+       {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"dfs.http.policy", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"dfs.ha.tail-edits.in-progress",
+       {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"hadoop.rpc.protection", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"mapreduce.map.output.compress", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"mapreduce.map.output.compress.codec",
+       {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"mapreduce.job.encrypted-intermediate-data",
+       {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"mapreduce.shuffle.ssl.enabled", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"mapreduce.fileoutputcommitter.algorithm.version",
+       {ReconfigCategory::kWireFormatLike, {}, {},
+        "commit-protocol version; never mix within a job"}},
+      {"akka.ssl.enabled", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"taskmanager.data.ssl.enabled", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"hbase.regionserver.thrift.compact",
+       {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"hbase.regionserver.thrift.framed",
+       {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"yarn.http.policy", {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"yarn.timeline-service.enabled",
+       {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+
+      // ---- count-like ---------------------------------------------------------
+      {"mapreduce.job.maps", {ReconfigCategory::kCountLike, {}, {}, ""}},
+      {"mapreduce.job.reduces", {ReconfigCategory::kCountLike, {}, {}, ""}},
+      {"taskmanager.numberOfTaskSlots",
+       {ReconfigCategory::kCountLike, {}, {},
+        "better: JobManager should ask each TaskManager (§7.3)"}},
+      {"dfs.datanode.balance.max.concurrent.moves",
+       {ReconfigCategory::kCountLike, {}, {},
+        "better: Balancer should fetch per-DataNode values (HDFS-7466)"}},
+      {"dfs.namenode.upgrade.domain.factor",
+       {ReconfigCategory::kCountLike, {}, {},
+        "better: Balancer should fetch the factor from the NameNode (§7.1)"}},
+
+      // ---- consistency-like ---------------------------------------------------
+      {"dfs.blockreport.incremental.intervalMsec",
+       {ReconfigCategory::kConsistencyLike, {}, {},
+        "clients may briefly observe stale block counts"}},
+      {"dfs.namenode.stale.datanode.interval",
+       {ReconfigCategory::kConsistencyLike, {}, {}, ""}},
+      {"dfs.namenode.max-corrupt-file-blocks-returned",
+       {ReconfigCategory::kConsistencyLike, {}, {}, ""}},
+      {"dfs.datanode.du.reserved", {ReconfigCategory::kConsistencyLike, {}, {}, ""}},
+      {"mapreduce.output.fileoutputformat.compress",
+       {ReconfigCategory::kConsistencyLike, {}, {},
+        "output names change; drain running jobs first"}},
+      {"yarn.resourcemanager.delegation.token.renew-interval",
+       {ReconfigCategory::kConsistencyLike, {}, {},
+        "newly issued tokens may expire before older ones"}},
+
+      // Remaining Table 3 entries treated individually:
+      {"dfs.datanode.balance.bandwidthPerSec",
+       {ReconfigCategory::kConsistencyLike, {}, {},
+        "reserve bandwidth for control traffic before diverging limits (§7.1)"}},
+      {"dfs.client.socket-timeout",
+       {ReconfigCategory::kHeartbeatLike,
+        {"DataNode"},
+        {"Client"},
+        "the reader's patience must cover the server's pacing"}},
+      {"ipc.client.rpc-timeout.ms",
+       {ReconfigCategory::kHeartbeatLike,
+        {"NameNode", "DataNode", "ResourceManager"},
+        {"Client"},
+        "the client timeout must cover the server's progress pacing"}},
+      {"dfs.client.block.write.replace-datanode-on-failure.enable",
+       {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+      {"dfs.namenode.snapshotdiff.allow.snap-root-descendant",
+       {ReconfigCategory::kWireFormatLike, {}, {}, ""}},
+  };
+  return *kGuidance;
+}
+
+namespace {
+
+bool NumericDecrease(const std::string& old_value, const std::string& new_value,
+                     bool* is_numeric) {
+  int64_t old_number = 0;
+  int64_t new_number = 0;
+  *is_numeric = ParseInt64(old_value, &old_number) && ParseInt64(new_value, &new_number);
+  return *is_numeric && new_number < old_number;
+}
+
+void AppendByTypes(const std::vector<NodeRef>& nodes,
+                   const std::vector<std::string>& types, ReconfigPlan* plan) {
+  for (const NodeRef& node : nodes) {
+    if (std::find(types.begin(), types.end(), node.type) != types.end()) {
+      plan->steps.push_back(ReconfigStep{node.name, node.type});
+    }
+  }
+}
+
+void AppendRemaining(const std::vector<NodeRef>& nodes, ReconfigPlan* plan) {
+  for (const NodeRef& node : nodes) {
+    bool already = false;
+    for (const ReconfigStep& step : plan->steps) {
+      already |= step.node_name == node.name;
+    }
+    if (!already) {
+      plan->steps.push_back(ReconfigStep{node.name, node.type});
+    }
+  }
+}
+
+}  // namespace
+
+ReconfigPlan PlanReconfiguration(const std::string& param, const std::string& old_value,
+                                 const std::string& new_value,
+                                 const std::vector<NodeRef>& nodes) {
+  ReconfigPlan plan;
+  auto it = ReconfigGuidance().find(param);
+  ParamGuidance guidance = it != ReconfigGuidance().end() ? it->second : ParamGuidance{};
+  plan.category = guidance.category;
+
+  switch (guidance.category) {
+    case ReconfigCategory::kSafe:
+    case ReconfigCategory::kConsistencyLike: {
+      plan.feasible = true;
+      AppendRemaining(nodes, &plan);
+      plan.rationale =
+          guidance.category == ReconfigCategory::kSafe
+              ? "parameter is heterogeneous-safe; any order works"
+              : "any order works; clients may observe transient inconsistency" +
+                    (guidance.note.empty() ? std::string() : " (" + guidance.note + ")");
+      return plan;
+    }
+
+    case ReconfigCategory::kHeartbeatLike: {
+      bool is_numeric = false;
+      bool decrease = NumericDecrease(old_value, new_value, &is_numeric);
+      if (!is_numeric) {
+        plan.feasible = false;
+        plan.rationale = "heartbeat-like parameter with non-numeric values; "
+                         "cannot derive a safe order";
+        return plan;
+      }
+      plan.feasible = true;
+      if (decrease) {
+        AppendByTypes(nodes, guidance.sender_types, &plan);
+        AppendRemaining(nodes, &plan);
+        plan.rationale = "decreasing: update senders first so the sender interval "
+                         "never exceeds the receiver's tolerance (§7.1)";
+      } else {
+        AppendByTypes(nodes, guidance.receiver_types, &plan);
+        AppendRemaining(nodes, &plan);
+        plan.rationale = "increasing: update receivers first so the receiver "
+                         "tolerance always covers the sender interval (§7.1)";
+      }
+      return plan;
+    }
+
+    case ReconfigCategory::kMaxLimitLike: {
+      bool is_numeric = false;
+      bool decrease = NumericDecrease(old_value, new_value, &is_numeric);
+      if (decrease) {
+        plan.feasible = false;
+        plan.rationale = "max-limit decrease refused: live state may already exceed "
+                         "the smaller limit (§7.1: do not decrease max limits)";
+        return plan;
+      }
+      plan.feasible = true;
+      AppendRemaining(nodes, &plan);
+      plan.rationale = "increasing a max limit is safe in any order";
+      return plan;
+    }
+
+    case ReconfigCategory::kWireFormatLike:
+    case ReconfigCategory::kCountLike: {
+      plan.feasible = false;
+      plan.rationale =
+          std::string("no safe node-by-node order exists for this parameter; ") +
+          (guidance.note.empty()
+               ? "use a stop-the-world restart or embed the value in the "
+                 "communication/file format (§7.3)"
+               : guidance.note);
+      return plan;
+    }
+  }
+  return plan;
+}
+
+}  // namespace zebra

@@ -1,0 +1,80 @@
+// ReconfigPlanner: turns the paper's per-category guidance (§7.1 workarounds,
+// §7.3 lessons) into an executable rolling-reconfiguration plan.
+//
+// The paper's categories of heterogeneous-unsafe parameters admit different
+// online-reconfiguration strategies:
+//
+//  * heartbeat-like   — order matters: when DECREASING the interval update the
+//                       sender(s) first; when INCREASING it update the
+//                       receiver(s) first, so the sender's interval never
+//                       exceeds the receiver's tolerance (§7.1 workaround).
+//  * max-limit-like   — increases are safe in any order; decreases are
+//                       rejected ("the administrator should simply not try to
+//                       reconfigure a node to decrease the max limit").
+//  * wire-format-like — no per-node order is safe (encryption, compression,
+//                       checksums, protocols); requires a stop-the-world
+//                       restart or per-channel format versioning (§7.3).
+//  * count-like       — task/slot counts must stay consistent; same as wire.
+//  * consistency-like — user-visible-only inconsistency; any order works but
+//                       clients may observe stale semantics until convergence.
+//  * safe             — any order.
+
+#ifndef SRC_CORE_RECONFIG_PLANNER_H_
+#define SRC_CORE_RECONFIG_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zebra {
+
+enum class ReconfigCategory {
+  kSafe,
+  kHeartbeatLike,
+  kMaxLimitLike,
+  kWireFormatLike,
+  kCountLike,
+  kConsistencyLike,
+};
+
+const char* ReconfigCategoryName(ReconfigCategory category);
+
+struct ParamGuidance {
+  ReconfigCategory category = ReconfigCategory::kSafe;
+  // For heartbeat-like parameters: which node types send/receive.
+  std::vector<std::string> sender_types;
+  std::vector<std::string> receiver_types;
+  std::string note;
+};
+
+// Curated guidance for the Table 3 parameters (anything absent is kSafe).
+const std::map<std::string, ParamGuidance>& ReconfigGuidance();
+
+struct NodeRef {
+  std::string name;  // e.g. "dn-3"
+  std::string type;  // e.g. "DataNode"
+};
+
+struct ReconfigStep {
+  std::string node_name;
+  std::string node_type;
+};
+
+struct ReconfigPlan {
+  bool feasible = false;
+  ReconfigCategory category = ReconfigCategory::kSafe;
+  std::vector<ReconfigStep> steps;  // node-by-node order to apply the change
+  std::string rationale;            // why this order / why refused
+};
+
+// Plans a rolling reconfiguration of `param` from `old_value` to `new_value`
+// across `nodes`. For numeric heartbeat-like parameters the direction of
+// change picks the §7.1 ordering. Refuses (feasible=false) for categories
+// with no safe incremental order, and for max-limit decreases.
+ReconfigPlan PlanReconfiguration(const std::string& param, const std::string& old_value,
+                                 const std::string& new_value,
+                                 const std::vector<NodeRef>& nodes);
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_RECONFIG_PLANNER_H_

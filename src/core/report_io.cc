@@ -1,0 +1,200 @@
+#include "src/core/report_io.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+#include "src/common/strings.h"
+#include "src/conf/conf_file.h"
+
+namespace zebra {
+
+namespace {
+
+std::string EscapeText(const std::string& text) {
+  std::string escaped;
+  for (char c : text) {
+    if (c == '\n') {
+      escaped += "\\n";
+    } else if (c == '\\') {
+      escaped += "\\\\";
+    } else {
+      escaped += c;
+    }
+  }
+  return escaped;
+}
+
+std::string UnescapeText(const std::string& text) {
+  std::string plain;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      ++i;
+      plain += text[i] == 'n' ? '\n' : text[i];
+    } else {
+      plain += text[i];
+    }
+  }
+  return plain;
+}
+
+int64_t RequireInt(const std::map<std::string, std::string>& properties,
+                   const std::string& key) {
+  auto it = properties.find(key);
+  int64_t value = 0;
+  if (it == properties.end() || !ParseInt64(it->second, &value)) {
+    throw Error("report deserialization: missing or malformed key " + key);
+  }
+  return value;
+}
+
+std::string GetOr(const std::map<std::string, std::string>& properties,
+                  const std::string& key, const std::string& fallback) {
+  auto it = properties.find(key);
+  return it == properties.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+std::string SerializeReport(const CampaignReport& report) {
+  std::map<std::string, std::string> properties;
+  std::vector<std::string> apps;
+  for (const auto& [app, counts] : report.per_app) {
+    apps.push_back(app);
+    std::string prefix = "app." + app + ".";
+    properties[prefix + "original"] = Int64ToString(counts.original);
+    properties[prefix + "after_prerun"] = Int64ToString(counts.after_prerun);
+    properties[prefix + "after_uncertainty"] = Int64ToString(counts.after_uncertainty);
+    properties[prefix + "executed_runs"] = Int64ToString(counts.executed_runs);
+    properties[prefix + "tests_total"] = Int64ToString(counts.tests_total);
+    properties[prefix + "tests_with_nodes"] = Int64ToString(counts.tests_with_nodes);
+  }
+  properties["apps"] = StrJoin(apps, ",");
+
+  std::vector<std::string> params;
+  for (const auto& [param, finding] : report.findings) {
+    params.push_back(param);
+    std::string prefix = "finding." + param + ".";
+    properties[prefix + "app"] = finding.owning_app;
+    properties[prefix + "p_value"] = DoubleToString(finding.best_p_value);
+    properties[prefix + "witnesses"] =
+        StrJoin(std::vector<std::string>(finding.witness_tests.begin(),
+                                         finding.witness_tests.end()),
+                ",");
+    properties[prefix + "failure"] = EscapeText(finding.example_failure);
+  }
+  properties["findings"] = StrJoin(params, ",");
+
+  properties["first_trial_candidates"] = Int64ToString(report.first_trial_candidates);
+  properties["filtered_by_hypothesis"] = Int64ToString(report.filtered_by_hypothesis);
+  properties["total_unit_test_runs"] = Int64ToString(report.total_unit_test_runs);
+  properties["wall_seconds"] = DoubleToString(report.wall_seconds);
+  properties["run_count"] = Int64ToString(
+      static_cast<int64_t>(report.run_durations_seconds.size()));
+  double total_run_seconds = 0;
+  for (double duration : report.run_durations_seconds) {
+    total_run_seconds += duration;
+  }
+  properties["run_seconds_total"] = DoubleToString(total_run_seconds);
+  return RenderProperties(properties);
+}
+
+CampaignReport DeserializeReport(const std::string& text) {
+  std::map<std::string, std::string> properties = ParseProperties(text);
+  CampaignReport report;
+
+  for (const std::string& app : StrSplit(GetOr(properties, "apps", ""), ',')) {
+    if (app.empty()) {
+      continue;
+    }
+    std::string prefix = "app." + app + ".";
+    AppStageCounts counts;
+    counts.original = RequireInt(properties, prefix + "original");
+    counts.after_prerun = RequireInt(properties, prefix + "after_prerun");
+    counts.after_uncertainty = RequireInt(properties, prefix + "after_uncertainty");
+    counts.executed_runs = RequireInt(properties, prefix + "executed_runs");
+    counts.tests_total = static_cast<int>(RequireInt(properties, prefix + "tests_total"));
+    counts.tests_with_nodes =
+        static_cast<int>(RequireInt(properties, prefix + "tests_with_nodes"));
+    report.per_app[app] = counts;
+  }
+
+  for (const std::string& param : StrSplit(GetOr(properties, "findings", ""), ',')) {
+    if (param.empty()) {
+      continue;
+    }
+    std::string prefix = "finding." + param + ".";
+    ParamFinding finding;
+    finding.param = param;
+    finding.owning_app = GetOr(properties, prefix + "app", "unknown");
+    double p_value = 1.0;
+    ParseDouble(GetOr(properties, prefix + "p_value", "1"), &p_value);
+    finding.best_p_value = p_value;
+    for (const std::string& witness :
+         StrSplit(GetOr(properties, prefix + "witnesses", ""), ',')) {
+      if (!witness.empty()) {
+        finding.witness_tests.insert(witness);
+      }
+    }
+    finding.example_failure = UnescapeText(GetOr(properties, prefix + "failure", ""));
+    report.findings[param] = std::move(finding);
+  }
+
+  report.first_trial_candidates =
+      static_cast<int>(RequireInt(properties, "first_trial_candidates"));
+  report.filtered_by_hypothesis =
+      static_cast<int>(RequireInt(properties, "filtered_by_hypothesis"));
+  report.total_unit_test_runs = RequireInt(properties, "total_unit_test_runs");
+  double wall = 0;
+  ParseDouble(GetOr(properties, "wall_seconds", "0"), &wall);
+  report.wall_seconds = wall;
+
+  // Run durations are summarized: reconstruct a flat profile so downstream
+  // fleet estimates stay usable.
+  int64_t run_count = RequireInt(properties, "run_count");
+  double run_seconds_total = 0;
+  ParseDouble(GetOr(properties, "run_seconds_total", "0"), &run_seconds_total);
+  if (run_count > 0) {
+    report.run_durations_seconds.assign(
+        static_cast<size_t>(run_count),
+        run_seconds_total / static_cast<double>(run_count));
+  }
+  return report;
+}
+
+CampaignReport MergeReports(const std::vector<CampaignReport>& reports) {
+  CampaignReport merged;
+  for (const CampaignReport& report : reports) {
+    for (const auto& [app, counts] : report.per_app) {
+      if (merged.per_app.count(app) > 0) {
+        throw Error("MergeReports: application " + app + " appears in two shards");
+      }
+      merged.per_app[app] = counts;
+    }
+    for (const auto& [param, finding] : report.findings) {
+      ParamFinding& target = merged.findings[param];
+      if (target.param.empty()) {
+        target = finding;
+      } else {
+        target.witness_tests.insert(finding.witness_tests.begin(),
+                                    finding.witness_tests.end());
+        target.best_p_value = std::min(target.best_p_value, finding.best_p_value);
+        if (target.example_failure.empty()) {
+          target.example_failure = finding.example_failure;
+        }
+      }
+    }
+    merged.first_trial_candidates += report.first_trial_candidates;
+    merged.filtered_by_hypothesis += report.filtered_by_hypothesis;
+    merged.total_unit_test_runs += report.total_unit_test_runs;
+    merged.wall_seconds = std::max(merged.wall_seconds, report.wall_seconds);
+    merged.run_durations_seconds.insert(merged.run_durations_seconds.end(),
+                                        report.run_durations_seconds.begin(),
+                                        report.run_durations_seconds.end());
+    for (const auto& [app, sharing] : report.sharing) {
+      merged.sharing[app] = sharing;
+    }
+  }
+  return merged;
+}
+
+}  // namespace zebra

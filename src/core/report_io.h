@@ -1,0 +1,30 @@
+// Report serialization: persist campaign results (the findings knowledge
+// base and stage counts) as properties text, reload them later, and merge
+// reports produced by parallel workers.
+
+#ifndef SRC_CORE_REPORT_IO_H_
+#define SRC_CORE_REPORT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.h"
+
+namespace zebra {
+
+// Serializes the report (stage counts, findings, hypothesis stats, run
+// totals) to properties text. Run durations are summarized as their count
+// and total seconds; newlines inside failure messages are escaped.
+std::string SerializeReport(const CampaignReport& report);
+
+// Parses text produced by SerializeReport. Throws Error on malformed input.
+CampaignReport DeserializeReport(const std::string& text);
+
+// Merges reports from disjoint application shards: per-app counts and
+// findings are unioned (same-param findings merge witnesses and keep the
+// best p-value), counters are summed.
+CampaignReport MergeReports(const std::vector<CampaignReport>& reports);
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_REPORT_IO_H_

@@ -1,0 +1,88 @@
+#include "src/core/report_writer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/core/fleet_model.h"
+#include "src/testkit/ground_truth.h"
+
+namespace zebra {
+
+namespace {
+
+std::string Scientific(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2e", value);
+  return buffer;
+}
+
+const char* Classify(const std::string& param) {
+  if (ExpectedUnsafeParams().count(param) > 0) {
+    return "true-unsafe";
+  }
+  if (ProbabilisticUnsafeParams().count(param) > 0) {
+    return "true-unsafe (probabilistic)";
+  }
+  if (KnownFalsePositiveSources().count(param) > 0) {
+    return "false-positive source";
+  }
+  return "unclassified";
+}
+
+}  // namespace
+
+std::string RenderMarkdownReport(const CampaignReport& report,
+                                 const ReportWriterOptions& options) {
+  std::ostringstream out;
+  out << "# ZebraConf campaign report\n\n";
+
+  out << "## Test-instance stages\n\n";
+  out << "| application | original | after pre-run | after uncertainty | executed "
+         "runs |\n";
+  out << "|---|---|---|---|---|\n";
+  for (const auto& [app, counts] : report.per_app) {
+    out << "| " << app << " | " << counts.original << " | " << counts.after_prerun
+        << " | " << counts.after_uncertainty << " | " << counts.executed_runs
+        << " |\n";
+  }
+  out << "| **total** | " << report.TotalOriginal() << " | "
+      << report.TotalAfterPrerun() << " | " << report.TotalAfterUncertainty()
+      << " | " << report.TotalExecuted() << " |\n\n";
+
+  out << "## Heterogeneous-unsafe parameters (" << report.findings.size() << ")\n\n";
+  for (const auto& [param, finding] : report.findings) {
+    out << "### `" << param << "`\n\n";
+    out << "* owning application: " << finding.owning_app << "\n";
+    out << "* best p-value: " << Scientific(finding.best_p_value) << "\n";
+    if (options.annotate_ground_truth) {
+      out << "* ground truth: " << Classify(param) << "\n";
+    }
+    out << "* witness tests:";
+    for (const std::string& test : finding.witness_tests) {
+      out << " `" << test << "`";
+    }
+    out << "\n* example failure: " << finding.example_failure << "\n\n";
+  }
+
+  out << "## Nondeterminism filtering\n\n";
+  out << "* first-trial candidates: " << report.first_trial_candidates << "\n";
+  out << "* filtered by hypothesis testing: " << report.filtered_by_hypothesis
+      << "\n\n";
+
+  out << "## Cost\n\n";
+  out << "* unit-test executions: " << report.total_unit_test_runs << "\n";
+  out << "* sequential wall-clock: " << report.wall_seconds << " s\n";
+  if (options.fleet_machines > 0 && options.fleet_containers > 0 &&
+      !report.run_durations_seconds.empty()) {
+    FleetEstimate fleet = EstimateFleet(report.run_durations_seconds,
+                                        options.fleet_machines,
+                                        options.fleet_containers);
+    out << "* fleet (" << fleet.machines << " x " << fleet.containers_per_machine
+        << " slots): makespan " << fleet.makespan_seconds << " s, "
+        << fleet.machine_seconds << " machine-seconds, utilization "
+        << static_cast<int>(100.0 * fleet.utilization) << "%\n";
+  }
+  return out.str();
+}
+
+}  // namespace zebra

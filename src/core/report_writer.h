@@ -1,0 +1,32 @@
+// ReportWriter: renders a CampaignReport as human-readable markdown — the
+// artifact an operator files alongside a reconfiguration plan ("which of my
+// parameters must stay homogeneous?").
+
+#ifndef SRC_CORE_REPORT_WRITER_H_
+#define SRC_CORE_REPORT_WRITER_H_
+
+#include <string>
+
+#include "src/core/campaign.h"
+
+namespace zebra {
+
+struct ReportWriterOptions {
+  // Annotate findings against the seeded ground truth (off for a real
+  // deployment, where no ground truth exists).
+  bool annotate_ground_truth = false;
+
+  // Include the fleet cost estimate for this many machines x containers
+  // (0 machines = omit).
+  int fleet_machines = 0;
+  int fleet_containers = 0;
+};
+
+// Renders the full report (stage counts per application, findings with
+// witnesses and p-values, hypothesis-testing stats, cost accounting).
+std::string RenderMarkdownReport(const CampaignReport& report,
+                                 const ReportWriterOptions& options = {});
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_REPORT_WRITER_H_

@@ -1,0 +1,128 @@
+#include "src/core/sharded_campaign.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "src/common/error.h"
+#include "src/core/report_io.h"
+
+namespace zebra {
+
+namespace {
+
+// Writes the whole buffer to fd, retrying on short writes.
+void WriteAll(int fd, const std::string& text) {
+  size_t written = 0;
+  while (written < text.size()) {
+    ssize_t n = ::write(fd, text.data() + written, text.size() - written);
+    if (n <= 0) {
+      std::_Exit(3);  // child: cannot report; fail hard
+    }
+    written += static_cast<size_t>(n);
+  }
+}
+
+std::string ReadAll(int fd) {
+  std::string text;
+  char buffer[4096];
+  while (true) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      throw Error("sharded campaign: pipe read failed");
+    }
+    if (n == 0) {
+      return text;
+    }
+    text.append(buffer, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+CampaignReport RunShardedCampaign(const ConfSchema& schema,
+                                  const UnitTestRegistry& corpus,
+                                  CampaignOptions options, int workers) {
+  if (workers < 1) {
+    throw Error("sharded campaign requires at least one worker");
+  }
+
+  // Resolve the app list exactly as Campaign would.
+  std::vector<std::string> apps = options.apps;
+  if (apps.empty()) {
+    std::set<std::string> discovered;
+    for (const UnitTestDef& test : corpus.tests()) {
+      discovered.insert(test.app);
+    }
+    apps.assign(discovered.begin(), discovered.end());
+  }
+  if (workers > static_cast<int>(apps.size())) {
+    workers = static_cast<int>(apps.size());
+  }
+
+  // Round-robin partition of apps over workers.
+  std::vector<std::vector<std::string>> shards(static_cast<size_t>(workers));
+  for (size_t i = 0; i < apps.size(); ++i) {
+    shards[i % static_cast<size_t>(workers)].push_back(apps[i]);
+  }
+
+  struct Worker {
+    pid_t pid = -1;
+    int read_fd = -1;
+  };
+  std::vector<Worker> children;
+
+  for (const std::vector<std::string>& shard : shards) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw Error("sharded campaign: pipe() failed");
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw Error("sharded campaign: fork() failed");
+    }
+    if (pid == 0) {
+      // Child: run the shard in this (isolated) address space and stream the
+      // serialized report back. _Exit avoids running the parent's atexit
+      // hooks twice.
+      ::close(fds[0]);
+      CampaignOptions shard_options = options;
+      shard_options.apps = shard;
+      Campaign campaign(schema, corpus, shard_options);
+      CampaignReport report = campaign.Run();
+      WriteAll(fds[1], SerializeReport(report));
+      ::close(fds[1]);
+      std::_Exit(0);
+    }
+    ::close(fds[1]);
+    children.push_back(Worker{pid, fds[0]});
+  }
+
+  // Parent: collect every shard, then reap.
+  std::vector<CampaignReport> reports;
+  std::string first_error;
+  for (Worker& worker : children) {
+    std::string text = ReadAll(worker.read_fd);
+    ::close(worker.read_fd);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      if (first_error.empty()) {
+        first_error = "sharded campaign: worker exited abnormally (status " +
+                      std::to_string(status) + ")";
+      }
+      continue;
+    }
+    reports.push_back(DeserializeReport(text));
+  }
+  if (!first_error.empty()) {
+    throw Error(first_error);
+  }
+  return MergeReports(reports);
+}
+
+}  // namespace zebra

@@ -1,0 +1,27 @@
+// Sharded campaign: the paper's "test in parallel" (§4) on one machine.
+//
+// Test instances are independent, but ConfAgent sessions are process-global,
+// so intra-process parallelism is impossible by design — exactly why the
+// paper runs one test per Docker container. We reproduce that isolation with
+// worker *processes*: applications are partitioned across forked workers,
+// each worker runs its shard's campaign in its own address space, serializes
+// its report over a pipe, and the parent merges the shards.
+
+#ifndef SRC_CORE_SHARDED_CAMPAIGN_H_
+#define SRC_CORE_SHARDED_CAMPAIGN_H_
+
+#include "src/core/campaign.h"
+
+namespace zebra {
+
+// Runs the campaign with apps partitioned over up to `workers` forked child
+// processes. Results are bitwise-identical to a sequential run (campaigns
+// are deterministic and shards are independent); wall-clock shrinks with the
+// slowest shard. Throws Error if a worker fails.
+CampaignReport RunShardedCampaign(const ConfSchema& schema,
+                                  const UnitTestRegistry& corpus,
+                                  CampaignOptions options, int workers);
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_SHARDED_CAMPAIGN_H_

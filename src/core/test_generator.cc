@@ -1,0 +1,133 @@
+#include "src/core/test_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/runtime/node_types.h"
+
+namespace zebra {
+
+TestGenerator::TestGenerator(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                             GeneratorOptions options)
+    : schema_(schema), corpus_(corpus), options_(options) {}
+
+std::vector<PreRunRecord> TestGenerator::PreRunApp(const std::string& app,
+                                                   int64_t* executions) const {
+  std::vector<PreRunRecord> records;
+  for (const UnitTestDef* test : corpus_.ForApp(app)) {
+    PreRunRecord record;
+    record.test = test;
+    record.result = RunUnitTest(*test, TestPlan{}, /*trial=*/0);
+    if (executions != nullptr) {
+      ++*executions;
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<std::pair<std::string, std::string>> TestGenerator::ValuePairs(
+    const ParamSpec& spec) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (size_t i = 0; i < spec.test_values.size(); ++i) {
+    for (size_t j = i + 1; j < spec.test_values.size(); ++j) {
+      pairs.emplace_back(spec.test_values[i], spec.test_values[j]);
+    }
+  }
+  return pairs;
+}
+
+std::vector<ValueAssigner> TestGenerator::AssignersFor(const std::string& group,
+                                                       int group_count,
+                                                       const std::string& v1,
+                                                       const std::string& v2) const {
+  std::vector<ValueAssigner> assigners;
+  assigners.push_back(ValueAssigner::UniformGroup(group, v1, v2));
+  assigners.push_back(ValueAssigner::UniformGroup(group, v2, v1));
+  if (options_.enable_round_robin && group_count >= 2) {
+    assigners.push_back(ValueAssigner::RoundRobinGroup(group, v1, v2));
+    assigners.push_back(ValueAssigner::RoundRobinGroup(group, v2, v1));
+  }
+  return assigners;
+}
+
+int64_t TestGenerator::OriginalInstanceCount(const std::string& app) const {
+  int64_t tests = static_cast<int64_t>(corpus_.ForApp(app).size());
+  int64_t node_types = static_cast<int64_t>(NodeTypesForApp(app).size());
+  if (node_types == 0) {
+    return 0;
+  }
+  int64_t per_test = 0;
+  for (const ParamSpec* spec : schema_.ParamsForApp(app)) {
+    // Without pre-run knowledge the user must assume every node type may use
+    // the parameter and that every group may contain several nodes (so all
+    // four assignment strategies apply).
+    per_test += static_cast<int64_t>(ValuePairs(*spec).size()) * node_types * 4;
+  }
+  return tests * per_test;
+}
+
+std::vector<std::pair<std::string, std::string>> TestGenerator::OverridesFor(
+    const std::string& param, const std::string& v1, const std::string& v2) const {
+  std::vector<std::pair<std::string, std::string>> merged;
+  std::set<std::string> seen;
+  for (const std::string& value : {v1, v2}) {
+    for (const auto& [dep_param, dep_value] : schema_.DependencyOverrides(param, value)) {
+      if (seen.insert(dep_param + "=" + dep_value).second) {
+        merged.emplace_back(dep_param, dep_value);
+      }
+    }
+  }
+  return merged;
+}
+
+std::vector<GeneratedInstance> TestGenerator::Generate(
+    const PreRunRecord& record, int64_t* count_before_uncertainty) const {
+  std::vector<GeneratedInstance> instances;
+  int64_t before_uncertainty = 0;
+
+  const SessionReport& report = record.result.report;
+  if (!report.StartedAnyNode()) {
+    // Function-level tests cannot exercise heterogeneous configurations.
+    if (count_before_uncertainty != nullptr) {
+      *count_before_uncertainty = 0;
+    }
+    return instances;
+  }
+
+  for (const ParamSpec* spec : schema_.ParamsForApp(record.test->app)) {
+    bool uncertain = report.uncertain_params.count(spec->name) > 0;
+    auto pairs = ValuePairs(*spec);
+    for (const auto& [entity, params_read] : report.reads) {
+      if (params_read.count(spec->name) == 0) {
+        continue;
+      }
+      int group_count = 1;
+      auto count_it = report.node_counts.find(entity);
+      if (count_it != report.node_counts.end()) {
+        group_count = count_it->second;
+      }
+      for (const auto& [v1, v2] : pairs) {
+        for (ValueAssigner& assigner : AssignersFor(entity, group_count, v1, v2)) {
+          ++before_uncertainty;
+          if (uncertain) {
+            continue;  // excluded: reads through unmappable conf objects
+          }
+          GeneratedInstance instance;
+          instance.test = record.test;
+          instance.plan.param = spec->name;
+          instance.plan.assigner = std::move(assigner);
+          instance.plan.extra_overrides = OverridesFor(spec->name, v1, v2);
+          instances.push_back(std::move(instance));
+        }
+      }
+    }
+  }
+
+  if (count_before_uncertainty != nullptr) {
+    *count_before_uncertainty = before_uncertainty;
+  }
+  return instances;
+}
+
+}  // namespace zebra

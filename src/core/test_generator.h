@@ -1,0 +1,99 @@
+// TestGenerator (paper §4): decides which unit tests to run with which
+// heterogeneous configurations.
+//
+// Implements, in order:
+//  * independent-parameter testing with developer dependency rules,
+//  * candidate-value selection from the schema,
+//  * representative value assignments (per-type-group uniform and
+//    round-robin, both polarities),
+//  * pre-running unit tests to record which node type reads which parameter
+//    (instances targeting nodes that never read the parameter are never
+//    generated),
+//  * exclusion of parameters read through unmappable ("uncertain")
+//    configuration objects.
+//
+// It also computes the stage-by-stage instance counts that reproduce the
+// paper's Table 5.
+
+#ifndef SRC_CORE_TEST_GENERATOR_H_
+#define SRC_CORE_TEST_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/conf/conf_schema.h"
+#include "src/conf/test_plan.h"
+#include "src/testkit/test_execution.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+// One (unit test, single-parameter heterogeneous configuration) pair.
+struct GeneratedInstance {
+  const UnitTestDef* test = nullptr;
+  ParamPlan plan;
+};
+
+// The pre-run of one unit test.
+struct PreRunRecord {
+  const UnitTestDef* test = nullptr;
+  TestResult result;
+};
+
+struct GeneratorOptions {
+  // §4's second assignment strategy: round-robin values within a node-type
+  // group. Disabling it (ablation) loses every unsafety that only manifests
+  // *between nodes of the same type* — e.g. TaskManager-to-TaskManager SSL.
+  bool enable_round_robin = true;
+};
+
+class TestGenerator {
+ public:
+  TestGenerator(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                GeneratorOptions options = {});
+
+  const ConfSchema& schema() const { return schema_; }
+  const UnitTestRegistry& corpus() const { return corpus_; }
+
+  // Runs every unit test of `app` once with an empty plan, recording node
+  // types started and parameter reads per entity. Increments *executions per
+  // run.
+  std::vector<PreRunRecord> PreRunApp(const std::string& app, int64_t* executions) const;
+
+  // Table 5 row 1: what a user with our expertise but no pre-run information
+  // would enumerate — every test x every app parameter x every value pair x
+  // every assignment over all of the app's node types.
+  int64_t OriginalInstanceCount(const std::string& app) const;
+
+  // Instances for one pre-run record. `*count_before_uncertainty` receives
+  // the Table 5 row 2 contribution (instances before dropping parameters read
+  // through uncertain configuration objects); the returned vector is the
+  // row 3 set.
+  std::vector<GeneratedInstance> Generate(const PreRunRecord& record,
+                                          int64_t* count_before_uncertainty) const;
+
+  // All unordered pairs of a parameter's candidate values.
+  static std::vector<std::pair<std::string, std::string>> ValuePairs(
+      const ParamSpec& spec);
+
+ private:
+  // Assigners for one (group, pair): uniform both polarities, plus
+  // round-robin both polarities when enabled and the group has at least two
+  // nodes.
+  std::vector<ValueAssigner> AssignersFor(const std::string& group, int group_count,
+                                          const std::string& v1,
+                                          const std::string& v2) const;
+
+  std::vector<std::pair<std::string, std::string>> OverridesFor(
+      const std::string& param, const std::string& v1, const std::string& v2) const;
+
+  const ConfSchema& schema_;
+  const UnitTestRegistry& corpus_;
+  GeneratorOptions options_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_TEST_GENERATOR_H_

@@ -1,0 +1,32 @@
+#include "src/runtime/node_types.h"
+
+namespace zebra {
+
+const std::map<std::string, std::vector<std::string>>& NodeTypesByApp() {
+  static const auto* kTypes = new std::map<std::string, std::vector<std::string>>{
+      {"ministream", {"JobManager", "TaskManager"}},
+      {"minikv", {"HMaster", "HRegionServer", "ThriftServer", "RESTServer"}},
+      {"minidfs",
+       {"NameNode", "DataNode", "SecondaryNameNode", "JournalNode", "Balancer", "Mover"}},
+      {"minimr", {"MapTask", "ReduceTask", "JobHistoryServer"}},
+      {"miniyarn", {"ResourceManager", "NodeManager", "ApplicationHistoryServer"}},
+      {"appcommon", {}},  // shared library: no node types of its own
+      // Tools (Hadoop-Tools analog) have no parameters of their own and run
+      // against MiniDFS clusters, so a user planning by hand would assume the
+      // MiniDFS node types.
+      {"apptools",
+       {"NameNode", "DataNode", "SecondaryNameNode", "JournalNode", "Balancer", "Mover"}},
+  };
+  return *kTypes;
+}
+
+std::vector<std::string> NodeTypesForApp(const std::string& app) {
+  const auto& table = NodeTypesByApp();
+  auto it = table.find(app);
+  if (it == table.end()) {
+    return {};
+  }
+  return it->second;
+}
+
+}  // namespace zebra

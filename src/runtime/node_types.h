@@ -1,0 +1,20 @@
+// Node-type inventory per application (the paper's Table 2).
+
+#ifndef SRC_RUNTIME_NODE_TYPES_H_
+#define SRC_RUNTIME_NODE_TYPES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zebra {
+
+// Returns app -> node types, mirroring Table 2 for the mini-applications.
+const std::map<std::string, std::vector<std::string>>& NodeTypesByApp();
+
+// Node types for one application (empty vector if unknown).
+std::vector<std::string> NodeTypesForApp(const std::string& app);
+
+}  // namespace zebra
+
+#endif  // SRC_RUNTIME_NODE_TYPES_H_

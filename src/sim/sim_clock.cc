@@ -1,0 +1,101 @@
+#include "src/sim/sim_clock.h"
+
+#include "src/common/error.h"
+
+namespace zebra {
+
+int64_t SimClock::NowMs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_ms_;
+}
+
+void SimClock::AdvanceBy(int64_t delta_ms) {
+  int64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    target = now_ms_ + delta_ms;
+  }
+  AdvanceTo(target);
+}
+
+void SimClock::AdvanceTo(int64_t time_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (advancing_) {
+      throw InternalError("SimClock::AdvanceTo called from within a timer callback");
+    }
+    advancing_ = true;
+  }
+
+  while (true) {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = queue_.begin();
+      if (it == queue_.end() || it->first.first > time_ms) {
+        now_ms_ = std::max(now_ms_, time_ms);
+        advancing_ = false;
+        return;
+      }
+      int64_t due = it->first.first;
+      task = std::move(it->second);
+      queue_.erase(it);
+      if (cancelled_.count(task.id) > 0) {
+        cancelled_.erase(task.id);
+        continue;
+      }
+      now_ms_ = std::max(now_ms_, due);
+      if (task.period_ms > 0) {
+        // Re-arm before running so the callback can Cancel() itself.
+        queue_[{now_ms_ + task.period_ms, next_seq_++}] =
+            Task{task.id, task.period_ms, task.fn};
+      }
+    }
+    task.fn();
+  }
+}
+
+SimClock::TaskId SimClock::ScheduleAt(int64_t time_ms, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskId id = next_task_id_++;
+  queue_[{time_ms, next_seq_++}] = Task{id, 0, std::move(fn)};
+  return id;
+}
+
+SimClock::TaskId SimClock::ScheduleAfter(int64_t delay_ms, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskId id = next_task_id_++;
+  queue_[{now_ms_ + delay_ms, next_seq_++}] = Task{id, 0, std::move(fn)};
+  return id;
+}
+
+SimClock::TaskId SimClock::SchedulePeriodic(int64_t initial_delay_ms, int64_t period_ms,
+                                            std::function<void()> fn) {
+  if (period_ms <= 0) {
+    throw InternalError("SimClock::SchedulePeriodic requires period > 0");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskId id = next_task_id_++;
+  queue_[{now_ms_ + initial_delay_ms, next_seq_++}] = Task{id, period_ms, std::move(fn)};
+  return id;
+}
+
+void SimClock::Cancel(TaskId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->second.id == id) {
+      queue_.erase(it);
+      return;
+    }
+  }
+  // Might be mid-flight (periodic re-arm raced with a running callback); mark
+  // cancelled so the next firing is suppressed.
+  cancelled_.insert(id);
+}
+
+size_t SimClock::PendingTasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace zebra

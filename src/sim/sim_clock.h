@@ -1,0 +1,72 @@
+// SimClock: deterministic virtual time.
+//
+// All time-dependent behaviour in the mini-applications (heartbeats, dead-node
+// detection, delayed block reports, balancer congestion backoff, throttling)
+// runs against a SimClock owned by the cluster. Unit tests pump the clock
+// explicitly (cluster.AdvanceTime(ms)), which fires due timers in timestamp
+// order on the pumping thread. This keeps hour-scale timeout scenarios both
+// fast and reproducible.
+
+#ifndef SRC_SIM_SIM_CLOCK_H_
+#define SRC_SIM_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace zebra {
+
+class SimClock {
+ public:
+  using TaskId = uint64_t;
+
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  int64_t NowMs() const;
+
+  // Runs every task due in (now, now + delta_ms], advancing `now` to each
+  // task's due time in order, then sets now = old now + delta_ms. Tasks may
+  // schedule further tasks (including at already-passed times; those run
+  // before the advance returns). Recursive advancing is an error.
+  void AdvanceBy(int64_t delta_ms);
+  void AdvanceTo(int64_t time_ms);
+
+  // One-shot task at an absolute / relative time.
+  TaskId ScheduleAt(int64_t time_ms, std::function<void()> fn);
+  TaskId ScheduleAfter(int64_t delay_ms, std::function<void()> fn);
+
+  // Periodic task: first fires at now + initial_delay_ms, then every
+  // period_ms. period_ms must be > 0.
+  TaskId SchedulePeriodic(int64_t initial_delay_ms, int64_t period_ms,
+                          std::function<void()> fn);
+
+  // Cancels a pending task. Safe to call for already-fired one-shot tasks.
+  void Cancel(TaskId id);
+
+  // Number of pending (scheduled, uncancelled) tasks.
+  size_t PendingTasks() const;
+
+ private:
+  struct Task {
+    TaskId id = 0;
+    int64_t period_ms = 0;  // 0 = one-shot
+    std::function<void()> fn;
+  };
+
+  mutable std::mutex mutex_;
+  int64_t now_ms_ = 0;
+  uint64_t next_task_id_ = 1;
+  uint64_t next_seq_ = 1;
+  bool advancing_ = false;
+  // Ordered by (due time, insertion sequence) for deterministic FIFO ties.
+  std::map<std::pair<int64_t, uint64_t>, Task> queue_;
+  std::set<TaskId> cancelled_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_SIM_SIM_CLOCK_H_

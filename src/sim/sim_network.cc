@@ -1,0 +1,65 @@
+#include "src/sim/sim_network.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace zebra {
+
+InboundQueue::InboundQueue(int64_t rate_bytes_per_sec)
+    : rate_bytes_per_sec_(rate_bytes_per_sec) {
+  if (rate_bytes_per_sec_ <= 0) {
+    throw InternalError("InboundQueue requires a positive drain rate");
+  }
+}
+
+uint64_t InboundQueue::Enqueue(int64_t bytes, int64_t now_ms) {
+  if (bytes < 0) {
+    throw InternalError("InboundQueue::Enqueue with negative size");
+  }
+  int64_t start_ms = std::max(now_ms, busy_until_ms_);
+  int64_t drain_ms = (bytes * 1000 + rate_bytes_per_sec_ - 1) / rate_bytes_per_sec_;
+  busy_until_ms_ = start_ms + drain_ms;
+
+  MessageRecord record;
+  record.enqueue_ms = now_ms;
+  record.delivery_ms = busy_until_ms_;
+  uint64_t id = next_message_id_++;
+  messages_[id] = record;
+  return id;
+}
+
+int64_t InboundQueue::DeliveryTimeMs(uint64_t message_id) const {
+  auto it = messages_.find(message_id);
+  if (it == messages_.end()) {
+    throw InternalError("unknown message id in InboundQueue");
+  }
+  return it->second.delivery_ms;
+}
+
+int64_t InboundQueue::DeliveryDelayMs(uint64_t message_id) const {
+  auto it = messages_.find(message_id);
+  if (it == messages_.end()) {
+    throw InternalError("unknown message id in InboundQueue");
+  }
+  return it->second.delivery_ms - it->second.enqueue_ms;
+}
+
+int64_t InboundQueue::BacklogBytes(int64_t now_ms) const {
+  if (busy_until_ms_ <= now_ms) {
+    return 0;
+  }
+  return (busy_until_ms_ - now_ms) * rate_bytes_per_sec_ / 1000;
+}
+
+void InboundQueue::ForgetDelivered(int64_t now_ms) {
+  for (auto it = messages_.begin(); it != messages_.end();) {
+    if (it->second.delivery_ms <= now_ms) {
+      it = messages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace zebra

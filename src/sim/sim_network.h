@@ -1,0 +1,53 @@
+// SimNetwork: rate-limited inbound queues.
+//
+// Each node's inbound link drains at a configured rate against virtual time;
+// messages are delivered FIFO, so a small control message (heartbeat,
+// progress report) queued behind a data backlog is delayed by exactly the
+// time the backlog takes to drain — the mechanism behind the paper's
+// dfs.datanode.balance.bandwidthPerSec finding.
+
+#ifndef SRC_SIM_SIM_NETWORK_H_
+#define SRC_SIM_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+
+namespace zebra {
+
+// FIFO inbound queue draining at a fixed rate.
+class InboundQueue {
+ public:
+  explicit InboundQueue(int64_t rate_bytes_per_sec);
+
+  int64_t rate_bytes_per_sec() const { return rate_bytes_per_sec_; }
+
+  // Enqueues a message at virtual time `now_ms`; returns its id.
+  uint64_t Enqueue(int64_t bytes, int64_t now_ms);
+
+  // The virtual time at which the message finishes draining (is delivered).
+  int64_t DeliveryTimeMs(uint64_t message_id) const;
+
+  // Convenience: delivery delay relative to the enqueue time.
+  int64_t DeliveryDelayMs(uint64_t message_id) const;
+
+  // Bytes still queued (not yet drained) at `now_ms`.
+  int64_t BacklogBytes(int64_t now_ms) const;
+
+  // Drops bookkeeping for messages already delivered by `now_ms`.
+  void ForgetDelivered(int64_t now_ms);
+
+ private:
+  struct MessageRecord {
+    int64_t enqueue_ms = 0;
+    int64_t delivery_ms = 0;
+  };
+
+  int64_t rate_bytes_per_sec_;
+  int64_t busy_until_ms_ = 0;  // when the last queued byte drains
+  uint64_t next_message_id_ = 1;
+  std::map<uint64_t, MessageRecord> messages_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_SIM_SIM_NETWORK_H_

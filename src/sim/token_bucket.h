@@ -1,0 +1,79 @@
+// Token-bucket bandwidth model used by DataNode balancing transfers
+// (dfs.datanode.balance.bandwidthPerSec).
+
+#ifndef SRC_SIM_TOKEN_BUCKET_H_
+#define SRC_SIM_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+namespace zebra {
+
+// Accumulates `rate_bytes_per_sec` tokens per virtual second up to one second
+// of burst. Callers pass the current SimClock time.
+class TokenBucket {
+ public:
+  explicit TokenBucket(int64_t rate_bytes_per_sec)
+      : rate_(rate_bytes_per_sec), tokens_(rate_bytes_per_sec) {}
+
+  int64_t rate() const { return rate_; }
+
+  // Refill according to elapsed virtual time, then try to take `bytes`.
+  bool TryConsume(int64_t bytes, int64_t now_ms) {
+    Refill(now_ms);
+    if (tokens_ >= bytes) {
+      tokens_ -= bytes;
+      return true;
+    }
+    return false;
+  }
+
+  // Consume unconditionally; the deficit delays future sends. Returns the
+  // virtual time when the bucket becomes non-negative again.
+  int64_t ForceConsume(int64_t bytes, int64_t now_ms) {
+    Refill(now_ms);
+    tokens_ -= bytes;
+    if (tokens_ >= 0 || rate_ <= 0) {
+      return now_ms;
+    }
+    return now_ms + (-tokens_ * 1000 + rate_ - 1) / rate_;
+  }
+
+  // Milliseconds until `bytes` tokens are available (0 if available now).
+  int64_t MsUntilAvailable(int64_t bytes, int64_t now_ms) {
+    Refill(now_ms);
+    if (tokens_ >= bytes) {
+      return 0;
+    }
+    if (rate_ <= 0) {
+      return -1;  // never
+    }
+    int64_t deficit = bytes - tokens_;
+    return (deficit * 1000 + rate_ - 1) / rate_;
+  }
+
+  int64_t AvailableTokens(int64_t now_ms) {
+    Refill(now_ms);
+    return tokens_;
+  }
+
+ private:
+  void Refill(int64_t now_ms) {
+    if (now_ms <= last_refill_ms_) {
+      return;
+    }
+    int64_t earned = (now_ms - last_refill_ms_) * rate_ / 1000;
+    tokens_ = tokens_ + earned;
+    if (tokens_ > rate_) {
+      tokens_ = rate_;  // at most one second of burst
+    }
+    last_refill_ms_ = now_ms;
+  }
+
+  int64_t rate_;
+  int64_t tokens_;
+  int64_t last_refill_ms_ = 0;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_SIM_TOKEN_BUCKET_H_

@@ -1,0 +1,97 @@
+// Wire formats: checksums, compression, encryption, framing.
+//
+// Deliberately, frames carry no self-describing metadata: the sender encodes
+// according to *its* configuration and the receiver decodes according to
+// *its own*. This is exactly the property that makes compression-, encryption-
+// and checksum-related parameters heterogeneous-unsafe in the paper's targets
+// (Table 3), and the mismatches fail here for the same mechanical reasons —
+// garbage headers, failed checksum verification, truncated buffers.
+
+#ifndef SRC_SIM_WIRE_H_
+#define SRC_SIM_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+
+namespace zebra {
+
+// ---- Checksums --------------------------------------------------------------
+
+enum class ChecksumType {
+  kNone,
+  kCrc32,
+  kCrc32c,
+};
+
+// Parses "NONE" / "CRC32" / "CRC32C" (the HDFS dfs.checksum.type values).
+// Unknown strings map to kCrc32 (the HDFS fallback behaviour).
+ChecksumType ParseChecksumType(std::string_view text);
+const char* ChecksumTypeName(ChecksumType type);
+
+uint32_t Crc32(const uint8_t* data, size_t size);
+uint32_t Crc32c(const uint8_t* data, size_t size);
+uint32_t ComputeChecksum(ChecksumType type, const uint8_t* data, size_t size);
+
+// ---- Compression codecs ------------------------------------------------------
+
+// Supported codec names: "none", "rle", "xor8".
+Bytes CompressPayload(std::string_view codec, const Bytes& payload);
+// Throws DecodeError if the bytes are not a valid stream for `codec`.
+Bytes DecompressPayload(std::string_view codec, const Bytes& payload);
+
+// ---- Encryption ---------------------------------------------------------------
+
+// XOR keystream derived from a shared secret; symmetric.
+Bytes EncryptPayload(const Bytes& payload, uint64_t key);
+Bytes DecryptPayload(const Bytes& payload, uint64_t key);
+
+// Default data-transfer key shared by all nodes of a cluster (key agreement is
+// out of scope; mismatched *enablement* is what we test).
+inline constexpr uint64_t kClusterDataKey = 0x5EB7A0DECAFBEEFULL;
+
+// ---- Framing ------------------------------------------------------------------
+
+struct WireConfig {
+  bool encrypt = false;
+  uint64_t encrypt_key = kClusterDataKey;
+  std::string compression = "none";
+  ChecksumType checksum = ChecksumType::kCrc32;
+  int64_t bytes_per_checksum = 512;
+};
+
+// Encode pipeline: payload -> [magic|len|payload] -> append per-chunk
+// checksums + chunk count -> compress -> encrypt.
+Bytes EncodeFrame(const WireConfig& config, const Bytes& payload);
+
+// Decode pipeline (receiver-side config): decrypt -> decompress -> verify
+// chunk count and per-chunk checksums -> check magic and length -> payload.
+// Throws DecodeError / ChecksumError on any mismatch.
+Bytes DecodeFrame(const WireConfig& config, const Bytes& frame);
+
+// ---- Handshakes -----------------------------------------------------------------
+
+// Opaque token derived from a parameter value. Two endpoints can only
+// establish a connection if their tokens match — modeling SASL/SSL/protocol
+// negotiation failures without leaking the value itself into the protocol.
+std::string WireToken(std::string_view value);
+
+// Throws HandshakeError mentioning `channel` if tokens differ.
+void RequireMatchingTokens(std::string_view channel, std::string_view initiator_token,
+                           std::string_view acceptor_token);
+
+// ---- Timeout pacing ---------------------------------------------------------------
+
+// Models a long-running server-side operation of `total_ms` virtual
+// milliseconds observed by a client that aborts after `client_timeout_ms` of
+// silence. The server emits progress/keepalive messages every
+// `server_pace_ms` (servers derive this from their *own* timeout parameter).
+// Throws TimeoutError when the client's silence window elapses first.
+void SimulatePacedWait(std::string_view operation, int64_t total_ms,
+                       int64_t client_timeout_ms, int64_t server_pace_ms);
+
+}  // namespace zebra
+
+#endif  // SRC_SIM_WIRE_H_

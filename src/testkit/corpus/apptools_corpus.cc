@@ -1,0 +1,98 @@
+// "apptools" corpus: the Hadoop-Tools analog. These tests have no parameters
+// of their own (Table 1) — they exercise the shared appcommon parameters by
+// running tools against MiniDFS clusters, the way Hadoop Tools tests do.
+
+#include "src/apps/appcommon/common_params.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/apps/apptools/dfs_tools.h"
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_client.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/strings.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+namespace {
+
+constexpr char kApp[] = "apptools";
+
+void TestDistCpSmall(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  client.WriteFile("/src/one", "tool payload");
+  client.WriteFile("/src/two", "second file");
+  DistCpTool distcp(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+  ctx.CheckEq(distcp.Copy({"/src/one", "/src/two"}, "/dst/"), 2, "files copied");
+  ctx.CheckEq(client.ReadFile("/dst/one"), std::string("tool payload"),
+              "copied contents");
+}
+
+void TestArchiveLongOperation(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  for (int i = 0; i < 10; ++i) {
+    client.WriteFile("/arch/f" + std::to_string(i), "member");
+  }
+  // Archiving scans the namespace server-side (10 members x 500 ms); the
+  // tool waits under its RPC timeout while the NameNode paces from its own.
+  HadoopArchiveTool har(&ctx.cluster(), &nn, {&dn}, conf);
+  std::vector<std::string> sources;
+  for (int i = 0; i < 10; ++i) {
+    sources.push_back("/arch/f" + std::to_string(i));
+  }
+  size_t bytes = har.Archive(sources, "/out/all.har");
+  ctx.CheckEq(static_cast<int>(bytes), 60, "archive payload size");
+  ctx.CheckEq(static_cast<int>(har.ListMembers("/out/all.har").size()), 10,
+              "archive index entries");
+}
+
+void TestIpcKeepaliveAcrossNodes(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  // Repeated tool RPCs keep the shared IPC component busy across nodes.
+  client.WriteFile("/ka", "x");
+  ctx.CheckEq(client.ReadFile("/ka"), std::string("x"), "keepalive round-trip");
+  ctx.CheckEq(client.NumLiveDataNodes(), 1, "DataNode alive");
+}
+
+void TestConfShellParseNoNodes(TestContext& ctx) {
+  Configuration conf;
+  conf.Set("tool.flag", "true");
+  ctx.Check(conf.GetBool("tool.flag", false), "flag parsed");
+  int64_t parsed = 0;
+  ctx.Check(ParseInt64(" 42 ", &parsed) && parsed == 42, "int parsed with spaces");
+}
+
+void TestFlakyToolRetry(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  client.WriteFile("/tool", "retry");
+  ctx.MaybeFlakyFail(0.3, "tool lost its connection and gave up before retrying");
+  ctx.CheckEq(client.ReadFile("/tool"), std::string("retry"), "tool output");
+}
+
+}  // namespace
+
+void RegisterAppToolsCorpus(UnitTestRegistry& registry) {
+  registry.Add(kApp, "TestDistCpSmall", TestDistCpSmall);
+  registry.Add(kApp, "TestArchiveLongOperation", TestArchiveLongOperation);
+  registry.Add(kApp, "TestIpcKeepaliveAcrossNodes", TestIpcKeepaliveAcrossNodes);
+  registry.Add(kApp, "TestConfShellParseNoNodes", TestConfShellParseNoNodes);
+  registry.Add(kApp, "TestFlakyToolRetry", TestFlakyToolRetry);
+}
+
+}  // namespace zebra

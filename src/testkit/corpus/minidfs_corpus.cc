@@ -1,0 +1,497 @@
+// MiniDFS corpus: whole-system unit tests in the style of HDFS's
+// MiniDFSCluster tests. Every Figure 2 pattern appears here: a unit-test
+// Configuration shared across nodes, nodes creating sub-configurations,
+// tests calling node internals from the test thread, tests that start no
+// nodes, seeded nondeterminism, and the seeded false-positive sources.
+
+#include <string>
+#include <vector>
+
+#include "src/apps/minidfs/balancer.h"
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_client.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/journal_node.h"
+#include "src/apps/minidfs/mover.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/apps/minidfs/secondary_name_node.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+namespace {
+
+constexpr char kApp[] = "minidfs";
+
+void TestWriteReadSmallFile(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  // Long enough that per-chunk checksumming spans several chunks (so that
+  // bytes-per-checksum disagreements actually change the frame layout).
+  std::string data;
+  for (int i = 0; i < 20; ++i) {
+    data += "hello heterogeneous world of configurations #" + std::to_string(i) + "; ";
+  }
+  client.WriteFile("/f1", data);
+  ctx.CheckEq(client.ReadFile("/f1"), data, "read-back contents");
+}
+
+void TestDataNodeRegistration(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  ctx.CheckEq(nn.NumRegisteredDataNodes(), 1, "registered DataNodes");
+}
+
+void TestPipelineReplication(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 2);
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  client.WriteFile("/rep", "abcabcabc");
+  ctx.Check(dn1.BlockCount() > 0, "first replica stored");
+  ctx.Check(dn2.BlockCount() > 0, "second replica stored");
+}
+
+void TestHeartbeatLiveness(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kDfsHeartbeatRecheck, 10000);
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  ctx.cluster().AdvanceTime(130000);
+  ctx.CheckEq(client.NumLiveDataNodes(), 2, "live DataNodes after heartbeats");
+}
+
+void TestDeadNodeDetection(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  dn2.Stop();
+  // The user computes the expected detection latency from *their* copy of the
+  // configuration — the inconsistency the paper reports for
+  // dfs.namenode.heartbeat.recheck-interval.
+  int64_t recheck = conf.GetInt(kDfsHeartbeatRecheck, kDfsHeartbeatRecheckDefault);
+  int64_t heartbeat_s = conf.GetInt(kDfsHeartbeatInterval, kDfsHeartbeatIntervalDefault);
+  int64_t wait_ms = 2 * recheck + 10 * heartbeat_s * 1000 + recheck + 1000;
+  ctx.cluster().AdvanceTime(wait_ms);
+  ctx.CheckEq(client.NumDeadDataNodes(), 1, "dead DataNodes after silence");
+}
+
+void TestStaleNodeReporting(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  dn2.Stop();
+  int64_t stale_ms = conf.GetInt(kDfsStaleInterval, kDfsStaleIntervalDefault);
+  ctx.cluster().AdvanceTime(stale_ms + 3000);
+  ctx.CheckEq(client.NumStaleDataNodes(), 1, "stale DataNodes after silence");
+}
+
+void TestBalancerCongestion(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  Balancer balancer(&ctx.cluster(), &nn, conf);
+
+  // The HDFS unit test that reports timeout (100 s) when the Balancer's and
+  // the DataNodes' max.concurrent.moves disagree.
+  BalanceResult result = balancer.RunMoves(&dn1, 150, 100000);
+  ctx.CheckEq(result.completed_moves, 150, "balancing moves completed");
+}
+
+void TestBalancerUpgradeDomains(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 2);
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn0(&ctx.cluster(), &nn, conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn0, &dn1, &dn2}, conf);
+  Balancer balancer(&ctx.cluster(), &nn, conf);
+
+  client.WriteFile("/dom", "zzzz");  // one block, replicas on dn0 and dn1
+  uint64_t block = nn.BlocksOf("/dom").front();
+  balancer.RunDomainMoves({block}, &dn1, &dn2, 30000);
+  ctx.CheckEq(nn.TotalBlocks(), 1, "block survived rebalancing");
+}
+
+void TestBalancerBandwidthThrottling(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  Balancer balancer(&ctx.cluster(), &nn, conf);
+
+  int64_t total = dn1.BalanceBandwidthPerSec() * 5;
+  int64_t max_delay = balancer.RunThrottledTransfer(&dn1, &dn2, total);
+  ctx.Check(max_delay <= 2000, "progress reports delivered promptly");
+}
+
+void TestFsLimitsComponentLength(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  // Build a name exactly at the limit the *user's* configuration documents.
+  int64_t limit = conf.GetInt(kDfsMaxComponentLength, kDfsMaxComponentLengthDefault);
+  std::string name(static_cast<size_t>(limit), 'a');
+  client.WriteFile("/" + name, "x");
+  ctx.Check(nn.FileExists("/" + name), "file created at limit length");
+}
+
+void TestFsLimitsDirectoryItems(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  int64_t limit = conf.GetInt(kDfsMaxDirectoryItems, kDfsMaxDirectoryItemsDefault);
+  int64_t to_create = limit < 8 ? limit : 8;
+  for (int64_t i = 0; i < to_create; ++i) {
+    client.WriteFile("/dir/f" + std::to_string(i), "x");
+  }
+  ctx.CheckEq(nn.TotalBlocks(), static_cast<int>(to_create), "files created");
+}
+
+void TestIncrementalBlockReportVisibility(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  client.WriteFile("/del", "data");
+  ctx.CheckEq(client.TotalBlocks(), 1, "block present before delete");
+  client.DeleteFile("/del");
+  // The user expects deletions to become visible per *their* configuration.
+  int64_t interval =
+      conf.GetInt(kDfsIncrementalBrInterval, kDfsIncrementalBrIntervalDefault);
+  if (interval > 0) {
+    ctx.cluster().AdvanceTime(interval + 100);
+  }
+  ctx.CheckEq(client.TotalBlocks(), 0, "block gone after delete");
+}
+
+void TestFsckOverHttp(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  client.WriteFile("/fsck", "check me");
+  std::string status = client.Fsck();
+  ctx.Check(StartsWith(status, "Status: HEALTHY"), "fsck reports healthy");
+}
+
+void TestSlowReadSocketTimeout(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  client.WriteFile("/slow", "slow data");
+  std::string data = client.ReadFileSlow("/slow", 5000);
+  ctx.CheckEq(data, std::string("slow data"), "slow read contents");
+}
+
+void TestSnapshotDiffDescendant(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  nn.AllowSnapshot("/snap");
+  client.WriteFile("/snap/sub/f", "v1");
+  int diff = client.SnapshotDiff("/snap", "/snap/sub");
+  ctx.Check(diff >= 1, "snapshot diff computed");
+}
+
+void TestCorruptBlockReporting(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  for (int i = 0; i < 12; ++i) {
+    std::string path = "/corrupt/f" + std::to_string(i);
+    client.WriteFile(path, "x");
+    client.ReportBadBlock(nn.BlocksOf(path).front());
+  }
+  int64_t expected_limit =
+      conf.GetInt(kDfsMaxCorruptFileBlocks, kDfsMaxCorruptFileBlocksDefault);
+  int expected = static_cast<int>(expected_limit < 12 ? expected_limit : 12);
+  ctx.CheckEq(static_cast<int>(client.ListCorruptBlocks().size()), expected,
+              "corrupt blocks returned");
+}
+
+void TestReservedSpaceReporting(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  int64_t expected = 2 * conf.GetInt(kDfsDuReserved, kDfsDuReservedDefault);
+  ctx.CheckEq(client.TotalReservedBytes(), expected, "cluster reserved bytes");
+}
+
+void TestPipelineRecoveryReplaceDatanode(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  client.WriteFileWithPipelineFailure("/recover", "pipeline data");
+  ctx.Check(nn.FileExists("/recover"), "file exists after pipeline recovery");
+}
+
+void TestTailEditsInProgress(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  JournalNode jn(&ctx.cluster(), conf);
+
+  jn.AppendEdits(5);
+  int edits = nn.TailEdits(&jn);
+  ctx.Check(edits == 0 || edits == 5, "tailing returned a consistent edit count");
+}
+
+void TestSecondaryCheckpointImageMatch(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  SecondaryNameNode snn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  client.WriteFile("/img/a", "alpha");
+  client.WriteFile("/img/b", "beta");
+  snn.DoCheckpoint();
+  // Overly strict: comparing the on-disk image *lengths* first (the seeded
+  // false-positive pattern of §7.1) before the meaningful content check.
+  ctx.CheckEq(nn.SaveImage().size(), snn.ImageBytes().size(),
+              "checkpoint image file lengths");
+  ctx.Check(nn.CanonicalImage() == snn.CanonicalImage(),
+            "checkpoint image contents match");
+}
+
+void TestDataNodeScannerInternal(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+
+  // The seeded false-positive pattern: poking DataNode-private state with the
+  // *client's* configuration object — only possible inside a unit test.
+  dn.TriggerScanForTest(conf);
+  ctx.Check(true, "scanner triggered");
+}
+
+void TestFlakyReplicationMonitor(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+
+  client.WriteFile("/flaky", "racy");
+  ctx.cluster().AdvanceTime(5000);
+  // Seeded nondeterminism: the replication monitor loses a (simulated) race
+  // in ~30% of trials regardless of configuration.
+  ctx.MaybeFlakyFail(0.3, "replication monitor observed a transient under-replication");
+  ctx.CheckEq(client.ReadFile("/flaky"), std::string("racy"), "read-back");
+}
+
+void TestClientRetriesRead(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+
+  conf.GetInt(kDfsClientRetries, kDfsClientRetriesDefault);
+  conf.GetInt(kDfsStreamBufferSize, kDfsStreamBufferSizeDefault);
+  client.WriteFile("/retry", "retry me");
+  ctx.CheckEq(client.ReadFile("/retry"), std::string("retry me"), "read-back");
+}
+
+void TestMoverStorageMigration(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn1, &dn2}, conf);
+  Mover mover(&ctx.cluster(), &nn, conf);
+
+  // Collect all blocks currently hosted on dn1 and migrate them to dn2
+  // (a storage-tier change).
+  std::vector<uint64_t> on_dn1;
+  for (int i = 0; i < 6; ++i) {
+    std::string path = "/tier/f" + std::to_string(i);
+    client.WriteFile(path, "tiered");
+    for (uint64_t block : nn.BlocksOf(path)) {
+      for (uint64_t location : nn.LocationsOf(block)) {
+        if (location == dn1.id()) {
+          on_dn1.push_back(block);
+        }
+      }
+    }
+  }
+  MoveResult result = mover.MigrateBlocks(on_dn1, &dn1, &dn2, 60000);
+  ctx.CheckEq(result.migrated_blocks, static_cast<int>(on_dn1.size()),
+              "all blocks migrated");
+  for (uint64_t block : on_dn1) {
+    ctx.Check(dn2.HasBlock(block), "migrated replica present on target");
+  }
+}
+
+void TestMetricsSubsystemLazyConf(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+  client.WriteFile("/metrics", "observed");
+
+  // A metrics helper lazily creates its own Configuration object outside any
+  // node initialization function. ConfAgent cannot map it to an entity
+  // (Observation 3), so the parameters it reads are excluded from
+  // heterogeneous testing of this unit test.
+  Configuration metrics_conf;
+  metrics_conf.GetInt(kDfsStreamBufferSize, kDfsStreamBufferSizeDefault);
+  metrics_conf.Get(kDfsChecksumType, kDfsChecksumTypeDefault);
+  ctx.CheckEq(client.ReadFile("/metrics"), std::string("observed"), "read-back");
+}
+
+void TestSafemodeExitAfterReports(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn(&ctx.cluster(), &nn, conf);
+  DfsClient client(&ctx.cluster(), &nn, {&dn}, conf);
+  for (int i = 0; i < 4; ++i) {
+    client.WriteFile("/safe/f" + std::to_string(i), "x");
+  }
+
+  // Simulated NameNode restart: the namespace is known, replica locations
+  // are not, and mutations are refused until DataNodes report.
+  NameNode restarted(&ctx.cluster(), conf);
+  DataNode dn2(&ctx.cluster(), &restarted, conf);
+  restarted.EnterSafeMode(4);
+  ctx.Check(restarted.InSafeMode(), "restarted NameNode starts in safe mode");
+  dn.ReRegister(&restarted);
+  dn.SendFullBlockReport(&restarted);
+  ctx.Check(!restarted.InSafeMode(), "block reports lift safe mode");
+}
+
+void TestConcurrentClientsWorkload(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 2);
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  DataNode dn2(&ctx.cluster(), &nn, conf);
+  DataNode dn3(&ctx.cluster(), &nn, conf);
+  // Two independent clients (both on the unit test's configuration) mixing
+  // writes and reads across a shared namespace.
+  DfsClient alice(&ctx.cluster(), &nn, {&dn1, &dn2, &dn3}, conf);
+  DfsClient bob(&ctx.cluster(), &nn, {&dn1, &dn2, &dn3}, conf);
+
+  for (int i = 0; i < 6; ++i) {
+    alice.WriteFile("/shared/a" + std::to_string(i), "alice-" + std::to_string(i));
+    bob.WriteFile("/shared/b" + std::to_string(i), "bob-" + std::to_string(i));
+  }
+  for (int i = 0; i < 6; ++i) {
+    ctx.CheckEq(bob.ReadFile("/shared/a" + std::to_string(i)),
+                "alice-" + std::to_string(i), "cross-client read");
+  }
+  ctx.CheckEq(nn.TotalBlocks(), 12, "all blocks tracked");
+}
+
+void TestDataNodeRestartReRegisters(TestContext& ctx) {
+  Configuration conf;
+  NameNode nn(&ctx.cluster(), conf);
+  DataNode dn1(&ctx.cluster(), &nn, conf);
+  {
+    DataNode transient(&ctx.cluster(), &nn, conf);
+    ctx.CheckEq(nn.NumRegisteredDataNodes(), 2, "two DataNodes registered");
+    transient.Stop();
+  }
+  // A "restarted" DataNode registers anew (it may reuse the old node's
+  // identity, as a restarted process reuses its address).
+  DataNode restarted(&ctx.cluster(), &nn, conf);
+  ctx.Check(nn.NumRegisteredDataNodes() >= 2, "restart re-registers");
+  ctx.cluster().AdvanceTime(10000);
+  ctx.Check(nn.NumLiveDataNodes() >= 2, "live nodes keep heartbeating");
+}
+
+void TestBlockIdUtilsNoNodes(TestContext& ctx) {
+  // A classic function-level unit test: starts no nodes; pre-running filters
+  // it out of heterogeneous testing entirely.
+  ctx.CheckEq(Fnv1a64("block-1"), Fnv1a64("block-1"), "hash is deterministic");
+  ctx.Check(Fnv1a64("block-1") != Fnv1a64("block-2"), "hashes differ");
+}
+
+void TestPathUtilsNoNodes(TestContext& ctx) {
+  Configuration conf;
+  conf.Set("dfs.test.path", "/a/b/c");
+  std::vector<std::string> parts = StrSplit(conf.Get("dfs.test.path"), '/');
+  ctx.CheckEq(static_cast<int>(parts.size()), 4, "path component count");
+}
+
+}  // namespace
+
+void RegisterMiniDfsCorpus(UnitTestRegistry& registry) {
+  registry.Add(kApp, "TestWriteReadSmallFile", TestWriteReadSmallFile);
+  registry.Add(kApp, "TestDataNodeRegistration", TestDataNodeRegistration);
+  registry.Add(kApp, "TestPipelineReplication", TestPipelineReplication);
+  registry.Add(kApp, "TestHeartbeatLiveness", TestHeartbeatLiveness);
+  registry.Add(kApp, "TestDeadNodeDetection", TestDeadNodeDetection);
+  registry.Add(kApp, "TestStaleNodeReporting", TestStaleNodeReporting);
+  registry.Add(kApp, "TestBalancerCongestion", TestBalancerCongestion);
+  registry.Add(kApp, "TestBalancerUpgradeDomains", TestBalancerUpgradeDomains);
+  registry.Add(kApp, "TestBalancerBandwidthThrottling", TestBalancerBandwidthThrottling);
+  registry.Add(kApp, "TestFsLimitsComponentLength", TestFsLimitsComponentLength);
+  registry.Add(kApp, "TestFsLimitsDirectoryItems", TestFsLimitsDirectoryItems);
+  registry.Add(kApp, "TestIncrementalBlockReportVisibility",
+               TestIncrementalBlockReportVisibility);
+  registry.Add(kApp, "TestFsckOverHttp", TestFsckOverHttp);
+  registry.Add(kApp, "TestSlowReadSocketTimeout", TestSlowReadSocketTimeout);
+  registry.Add(kApp, "TestSnapshotDiffDescendant", TestSnapshotDiffDescendant);
+  registry.Add(kApp, "TestCorruptBlockReporting", TestCorruptBlockReporting);
+  registry.Add(kApp, "TestReservedSpaceReporting", TestReservedSpaceReporting);
+  registry.Add(kApp, "TestPipelineRecoveryReplaceDatanode",
+               TestPipelineRecoveryReplaceDatanode);
+  registry.Add(kApp, "TestTailEditsInProgress", TestTailEditsInProgress);
+  registry.Add(kApp, "TestSecondaryCheckpointImageMatch",
+               TestSecondaryCheckpointImageMatch);
+  registry.Add(kApp, "TestDataNodeScannerInternal", TestDataNodeScannerInternal);
+  registry.Add(kApp, "TestFlakyReplicationMonitor", TestFlakyReplicationMonitor);
+  registry.Add(kApp, "TestClientRetriesRead", TestClientRetriesRead);
+  registry.Add(kApp, "TestMoverStorageMigration", TestMoverStorageMigration);
+  registry.Add(kApp, "TestSafemodeExitAfterReports", TestSafemodeExitAfterReports);
+  registry.Add(kApp, "TestConcurrentClientsWorkload", TestConcurrentClientsWorkload);
+  registry.Add(kApp, "TestDataNodeRestartReRegisters", TestDataNodeRestartReRegisters);
+  registry.Add(kApp, "TestMetricsSubsystemLazyConf", TestMetricsSubsystemLazyConf);
+  registry.Add(kApp, "TestBlockIdUtilsNoNodes", TestBlockIdUtilsNoNodes);
+  registry.Add(kApp, "TestPathUtilsNoNodes", TestPathUtilsNoNodes);
+}
+
+}  // namespace zebra

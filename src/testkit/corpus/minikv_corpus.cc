@@ -1,0 +1,138 @@
+// MiniKV corpus: region-server row operations, the thrift gateway, and the
+// REST server.
+
+#include "src/apps/minikv/kv_params.h"
+#include "src/apps/minikv/kv_store.h"
+#include "src/apps/minikv/thrift_server.h"
+#include "src/common/strings.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+namespace {
+
+constexpr char kApp[] = "minikv";
+
+void TestPutGet(TestContext& ctx) {
+  Configuration conf;
+  HMaster master(&ctx.cluster(), conf);
+  HRegionServer rs1(&ctx.cluster(), &master, conf);
+  HRegionServer rs2(&ctx.cluster(), &master, conf);
+  KvClient client(&ctx.cluster(), &master, conf);
+
+  client.CreateTable("t");
+  client.Put("t", "row1", "value1");
+  ctx.CheckEq(client.Get("t", "row1"), std::string("value1"), "round-trip value");
+}
+
+void TestThriftAdminCreateTable(TestContext& ctx) {
+  Configuration conf;
+  HMaster master(&ctx.cluster(), conf);
+  HRegionServer rs(&ctx.cluster(), &master, conf);
+  ThriftServer thrift(&ctx.cluster(), &master, conf);
+  ThriftAdmin admin(&thrift, conf);
+
+  admin.CreateTable("thrift_t");
+  ctx.CheckEq(admin.NumTables(), 1, "tables visible through thrift");
+}
+
+void TestRestStatus(TestContext& ctx) {
+  Configuration conf;
+  HMaster master(&ctx.cluster(), conf);
+  RESTServer rest(&ctx.cluster(), &master, conf);
+
+  ctx.Check(StartsWith(rest.Status(), "rest-ok"), "REST status served");
+}
+
+void TestRegionDistribution(TestContext& ctx) {
+  Configuration conf;
+  HMaster master(&ctx.cluster(), conf);
+  HRegionServer rs1(&ctx.cluster(), &master, conf);
+  HRegionServer rs2(&ctx.cluster(), &master, conf);
+  HRegionServer rs3(&ctx.cluster(), &master, conf);
+  KvClient client(&ctx.cluster(), &master, conf);
+
+  client.CreateTable("dist");
+  for (int i = 0; i < 10; ++i) {
+    client.Put("dist", "row" + std::to_string(i), "v");
+  }
+  ctx.CheckEq(rs1.NumRows() + rs2.NumRows() + rs3.NumRows(), 10, "rows stored");
+}
+
+void TestClientRetriesConfig(TestContext& ctx) {
+  Configuration conf;
+  HMaster master(&ctx.cluster(), conf);
+  HRegionServer rs(&ctx.cluster(), &master, conf);
+  KvClient client(&ctx.cluster(), &master, conf);
+
+  client.CreateTable("cfg");
+  client.Put("cfg", "k", "v");
+  ctx.CheckEq(client.Get("cfg", "k"), std::string("v"), "value after retries config");
+}
+
+void TestThriftBulkAdministration(TestContext& ctx) {
+  Configuration conf;
+  HMaster master(&ctx.cluster(), conf);
+  HRegionServer rs(&ctx.cluster(), &master, conf);
+  ThriftServer thrift(&ctx.cluster(), &master, conf);
+  ThriftAdmin admin(&thrift, conf);
+
+  for (int i = 0; i < 5; ++i) {
+    admin.CreateTable("bulk_" + std::to_string(i));
+  }
+  ctx.CheckEq(admin.NumTables(), 5, "all tables created over thrift");
+}
+
+void TestMixedGatewayAccess(TestContext& ctx) {
+  // Data written through the native client is visible through the thrift and
+  // REST gateways.
+  Configuration conf;
+  HMaster master(&ctx.cluster(), conf);
+  HRegionServer rs1(&ctx.cluster(), &master, conf);
+  HRegionServer rs2(&ctx.cluster(), &master, conf);
+  ThriftServer thrift(&ctx.cluster(), &master, conf);
+  RESTServer rest(&ctx.cluster(), &master, conf);
+  KvClient client(&ctx.cluster(), &master, conf);
+  ThriftAdmin admin(&thrift, conf);
+
+  client.CreateTable("native");
+  admin.CreateTable("gateway");
+  client.Put("native", "row", "value");
+  ctx.CheckEq(admin.NumTables(), 2, "both tables visible over thrift");
+  ctx.CheckEq(rest.Status(), std::string("rest-ok tables=2"), "REST sees both");
+  ctx.CheckEq(client.Get("native", "row"), std::string("value"), "native read");
+}
+
+void TestRegionSplitMathNoNodes(TestContext& ctx) {
+  int64_t region_size = 512;
+  int64_t max_size = 1024;
+  ctx.Check(region_size < max_size, "region below split threshold");
+}
+
+void TestFlakyMasterFailover(TestContext& ctx) {
+  Configuration conf;
+  HMaster master(&ctx.cluster(), conf);
+  HRegionServer rs(&ctx.cluster(), &master, conf);
+  KvClient client(&ctx.cluster(), &master, conf);
+
+  client.CreateTable("ha");
+  ctx.MaybeFlakyFail(0.3, "master failover left the region transiently unassigned");
+  client.Put("ha", "k", "v");
+  ctx.CheckEq(client.Get("ha", "k"), std::string("v"), "value after failover");
+}
+
+}  // namespace
+
+void RegisterMiniKvCorpus(UnitTestRegistry& registry) {
+  registry.Add(kApp, "TestPutGet", TestPutGet);
+  registry.Add(kApp, "TestThriftAdminCreateTable", TestThriftAdminCreateTable);
+  registry.Add(kApp, "TestRestStatus", TestRestStatus);
+  registry.Add(kApp, "TestRegionDistribution", TestRegionDistribution);
+  registry.Add(kApp, "TestClientRetriesConfig", TestClientRetriesConfig);
+  registry.Add(kApp, "TestThriftBulkAdministration", TestThriftBulkAdministration);
+  registry.Add(kApp, "TestMixedGatewayAccess", TestMixedGatewayAccess);
+  registry.Add(kApp, "TestRegionSplitMathNoNodes", TestRegionSplitMathNoNodes);
+  registry.Add(kApp, "TestFlakyMasterFailover", TestFlakyMasterFailover);
+}
+
+}  // namespace zebra

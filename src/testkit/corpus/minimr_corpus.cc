@@ -1,0 +1,169 @@
+// MiniMR corpus: word-count jobs exercising partitioning, shuffle wire
+// formats, committer algorithms, and output naming.
+
+#include <string>
+#include <vector>
+
+#include "src/apps/minimr/job_history_server.h"
+#include "src/apps/minimr/map_task.h"
+#include "src/apps/minimr/mr_job.h"
+#include "src/apps/minimr/mr_params.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+namespace {
+
+constexpr char kApp[] = "minimr";
+
+const std::vector<std::string>& SampleRecords() {
+  static const std::vector<std::string>* kRecords = new std::vector<std::string>{
+      "alpha beta alpha", "beta gamma", "alpha delta gamma gamma"};
+  return *kRecords;
+}
+
+void CheckWordCounts(TestContext& ctx, const WordCountResult& result) {
+  ctx.CheckEq(result.counts.at("alpha"), 3, "count of 'alpha'");
+  ctx.CheckEq(result.counts.at("beta"), 2, "count of 'beta'");
+  ctx.CheckEq(result.counts.at("gamma"), 3, "count of 'gamma'");
+  ctx.CheckEq(result.counts.at("delta"), 1, "count of 'delta'");
+}
+
+void TestWordCountBasic(TestContext& ctx) {
+  Configuration conf;
+  WordCountResult result = RunWordCountJob(ctx.cluster(), conf, SampleRecords());
+  CheckWordCounts(ctx, result);
+}
+
+void TestWordCountMultiReduce(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kMrJobReduces, 2);
+  WordCountResult result = RunWordCountJob(ctx.cluster(), conf, SampleRecords());
+  CheckWordCounts(ctx, result);
+  // The user expects one part file per reducer *their* configuration says ran.
+  int expected_files = static_cast<int>(conf.GetInt(kMrJobReduces, kMrJobReducesDefault));
+  ctx.CheckEq(static_cast<int>(result.output_files.size()), expected_files,
+              "output part files");
+}
+
+void TestOutputFileNames(TestContext& ctx) {
+  Configuration conf;
+  WordCountResult result = RunWordCountJob(ctx.cluster(), conf, SampleRecords());
+  // End users derive the expected file names from *their* configuration —
+  // the inconsistency Table 3 reports for fileoutputformat.compress.
+  bool expect_compressed = conf.GetBool(kMrOutputCompress, kMrOutputCompressDefault);
+  for (const std::string& name : result.output_files) {
+    ctx.CheckEq(EndsWith(name, ".rle"), expect_compressed,
+                "output file suffix for " + name);
+  }
+}
+
+void TestCommitterV1Job(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kMrCommitterVersion, 1);
+  WordCountResult result = RunWordCountJob(ctx.cluster(), conf, SampleRecords());
+  CheckWordCounts(ctx, result);
+  ctx.Check(result.store.temporary.empty(), "no staged output after job commit");
+}
+
+void TestShuffleEncryption(TestContext& ctx) {
+  Configuration conf;
+  conf.SetBool(kMrEncryptedIntermediate, true);
+  WordCountResult result = RunWordCountJob(ctx.cluster(), conf, SampleRecords());
+  CheckWordCounts(ctx, result);
+}
+
+void TestCompressedShuffle(TestContext& ctx) {
+  Configuration conf;
+  conf.SetBool(kMrMapOutputCompress, true);
+  WordCountResult result = RunWordCountJob(ctx.cluster(), conf, SampleRecords());
+  CheckWordCounts(ctx, result);
+}
+
+void TestHistoryServerQuery(TestContext& ctx) {
+  Configuration conf;
+  JobHistoryServer history(&ctx.cluster(), conf);
+  history.RecordJob("job-1");
+  history.RecordJob("job-2");
+  ctx.CheckEq(history.NumJobs(conf), 2, "recorded jobs");
+}
+
+void TestMapperPartitionCount(TestContext& ctx) {
+  Configuration conf;
+  MapTask map(&ctx.cluster(), conf, 0);
+  map.Run({"one two three"});
+  // The user's expectation comes from their own copy of job.reduces.
+  int expected = static_cast<int>(conf.GetInt(kMrJobReduces, kMrJobReducesDefault));
+  ctx.CheckEq(map.NumPartitions(), expected, "partitions produced by the mapper");
+}
+
+void TestSpeculativeExecutionFlaky(TestContext& ctx) {
+  Configuration conf;
+  conf.GetBool(kMrMapSpeculative, kMrMapSpeculativeDefault);
+  WordCountResult result = RunWordCountJob(ctx.cluster(), conf, SampleRecords());
+  ctx.MaybeFlakyFail(0.25, "speculative attempt committed out of order");
+  CheckWordCounts(ctx, result);
+}
+
+void TestSingleMapperManyReducers(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kMrJobMaps, 1);
+  conf.SetInt(kMrJobReduces, 4);
+  WordCountResult result = RunWordCountJob(ctx.cluster(), conf, SampleRecords());
+  CheckWordCounts(ctx, result);
+  int expected_files =
+      static_cast<int>(conf.GetInt(kMrJobReduces, kMrJobReducesDefault));
+  ctx.CheckEq(static_cast<int>(result.output_files.size()), expected_files,
+              "one part file per reducer");
+}
+
+void TestEmptyInputJob(TestContext& ctx) {
+  Configuration conf;
+  WordCountResult result = RunWordCountJob(ctx.cluster(), conf, {});
+  ctx.Check(result.counts.empty(), "no counts from empty input");
+  ctx.Check(!result.output_files.empty(), "committer still produces part files");
+}
+
+void TestChainedJobs(TestContext& ctx) {
+  // Job 1 counts words; job 2 re-counts job 1's rendered output lines —
+  // a two-stage pipeline over the same cluster substrate.
+  Configuration conf;
+  WordCountResult first = RunWordCountJob(ctx.cluster(), conf, SampleRecords());
+
+  std::vector<std::string> second_input;
+  for (const auto& [word, count] : first.counts) {
+    second_input.push_back(word + " appeared");
+  }
+  WordCountResult second = RunWordCountJob(ctx.cluster(), conf, second_input);
+  ctx.CheckEq(second.counts.at("appeared"), static_cast<int>(first.counts.size()),
+              "every distinct word produced one 'appeared' token");
+}
+
+void TestPartitionerNoNodes(TestContext& ctx) {
+  // Pure partitioner math; no nodes started.
+  uint64_t h1 = Fnv1a64("alpha") % 4;
+  uint64_t h2 = Fnv1a64("alpha") % 4;
+  ctx.CheckEq(static_cast<int>(h1), static_cast<int>(h2), "stable partitioning");
+}
+
+}  // namespace
+
+void RegisterMiniMrCorpus(UnitTestRegistry& registry) {
+  registry.Add(kApp, "TestWordCountBasic", TestWordCountBasic);
+  registry.Add(kApp, "TestWordCountMultiReduce", TestWordCountMultiReduce);
+  registry.Add(kApp, "TestOutputFileNames", TestOutputFileNames);
+  registry.Add(kApp, "TestCommitterV1Job", TestCommitterV1Job);
+  registry.Add(kApp, "TestShuffleEncryption", TestShuffleEncryption);
+  registry.Add(kApp, "TestCompressedShuffle", TestCompressedShuffle);
+  registry.Add(kApp, "TestHistoryServerQuery", TestHistoryServerQuery);
+  registry.Add(kApp, "TestMapperPartitionCount", TestMapperPartitionCount);
+  registry.Add(kApp, "TestSpeculativeExecutionFlaky", TestSpeculativeExecutionFlaky);
+  registry.Add(kApp, "TestSingleMapperManyReducers", TestSingleMapperManyReducers);
+  registry.Add(kApp, "TestEmptyInputJob", TestEmptyInputJob);
+  registry.Add(kApp, "TestChainedJobs", TestChainedJobs);
+  registry.Add(kApp, "TestPartitionerNoNodes", TestPartitionerNoNodes);
+}
+
+}  // namespace zebra

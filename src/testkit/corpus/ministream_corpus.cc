@@ -1,0 +1,217 @@
+// MiniStream corpus. Flink quirk reproduced throughout: these unit tests
+// inline (copy!) the TaskManager initialization code into each test body
+// instead of calling a node init function, so the ConfAgent annotations
+// (NodeInitScope + refToCloneConf) appear once per copy — which is exactly
+// why Flink needed the most annotation lines in the paper's Table 4 (§7.2:
+// "it required additional effort on our part to identify and annotate the
+// copied initialization code").
+
+#include <memory>
+
+#include "src/apps/ministream/job_manager.h"
+#include "src/apps/ministream/stream_params.h"
+#include "src/apps/ministream/task_manager.h"
+#include "src/runtime/node_init.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+namespace {
+
+constexpr char kApp[] = "ministream";
+
+void TestTaskManagerRegistration(TestContext& ctx) {
+  Configuration conf;
+  JobManager jm(&ctx.cluster(), conf);
+  // Inlined TaskManager bring-up (copied, Flink-style).
+  std::unique_ptr<TaskManager> tm1;
+  {
+    NodeInitScope scope(kApp, &tm1, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    tm1 = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+  std::unique_ptr<TaskManager> tm2;
+  {
+    NodeInitScope scope(kApp, &tm2, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    tm2 = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+
+  jm.RegisterTaskManager(tm1.get());
+  jm.RegisterTaskManager(tm2.get());
+  ctx.CheckEq(jm.NumTaskManagers(), 2, "registered TaskManagers");
+}
+
+void TestJobSubmissionSlots(TestContext& ctx) {
+  Configuration conf;
+  JobManager jm(&ctx.cluster(), conf);
+  // Another copy of the inlined bring-up.
+  std::unique_ptr<TaskManager> tm1;
+  {
+    NodeInitScope scope(kApp, &tm1, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    tm1 = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+  std::unique_ptr<TaskManager> tm2;
+  {
+    NodeInitScope scope(kApp, &tm2, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    tm2 = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+  jm.RegisterTaskManager(tm1.get());
+  jm.RegisterTaskManager(tm2.get());
+
+  jm.SubmitJob(2);
+  ctx.CheckEq(tm1->DeployedTasks() + tm2->DeployedTasks(), 2, "tasks deployed");
+}
+
+void TestDataExchange(TestContext& ctx) {
+  Configuration conf;
+  std::unique_ptr<TaskManager> sender;
+  {
+    NodeInitScope scope(kApp, &sender, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    sender = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+  std::unique_ptr<TaskManager> receiver;
+  {
+    NodeInitScope scope(kApp, &receiver, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    receiver = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+
+  sender->SendRecords(receiver.get(), {"r1", "r2", "r3"});
+  ctx.CheckEq(static_cast<int>(receiver->received_records().size()), 3,
+              "records received");
+  ctx.CheckEq(receiver->received_records().front(), std::string("r1"),
+              "first record intact");
+}
+
+void TestParallelismDefaults(TestContext& ctx) {
+  Configuration conf;
+  JobManager jm(&ctx.cluster(), conf);
+  std::unique_ptr<TaskManager> tm;
+  {
+    NodeInitScope scope(kApp, &tm, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    tm = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+  jm.RegisterTaskManager(tm.get());
+
+  int parallelism =
+      static_cast<int>(conf.GetInt(kStreamParallelism, kStreamParallelismDefault));
+  jm.SubmitJob(parallelism);
+  ctx.CheckEq(tm->DeployedTasks(), parallelism, "default-parallelism job deployed");
+}
+
+void TestTwoJobsSequential(TestContext& ctx) {
+  Configuration conf;
+  JobManager jm(&ctx.cluster(), conf);
+  std::unique_ptr<TaskManager> tm1;
+  {
+    NodeInitScope scope(kApp, &tm1, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    tm1 = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+  std::unique_ptr<TaskManager> tm2;
+  {
+    NodeInitScope scope(kApp, &tm2, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    tm2 = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+  jm.RegisterTaskManager(tm1.get());
+  jm.RegisterTaskManager(tm2.get());
+
+  // Two back-to-back jobs; the JobManager's slot bookkeeping spreads them.
+  jm.SubmitJob(1);
+  jm.SubmitJob(1);
+  ctx.CheckEq(tm1->DeployedTasks() + tm2->DeployedTasks(), 2, "both jobs deployed");
+}
+
+void TestLargeRecordExchange(TestContext& ctx) {
+  Configuration conf;
+  std::unique_ptr<TaskManager> sender;
+  {
+    NodeInitScope scope(kApp, &sender, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    sender = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+  std::unique_ptr<TaskManager> receiver;
+  {
+    NodeInitScope scope(kApp, &receiver, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    receiver = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+
+  std::vector<std::string> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back("record-" + std::to_string(i));
+  }
+  sender->SendRecords(receiver.get(), records);
+  ctx.CheckEq(static_cast<int>(receiver->received_records().size()), 100,
+              "all records received");
+  ctx.CheckEq(receiver->received_records().back(), std::string("record-99"),
+              "ordering preserved");
+}
+
+void TestJobManagerStandalone(TestContext& ctx) {
+  Configuration conf;
+  JobManager jm(&ctx.cluster(), conf);
+  ctx.CheckEq(jm.NumTaskManagers(), 0, "fresh JobManager has no TaskManagers");
+}
+
+void TestOperatorChainNoNodes(TestContext& ctx) {
+  // Operator-graph arithmetic; no nodes started.
+  int operators = 5;
+  int chainable = 3;
+  ctx.CheckEq(operators - chainable + 1, 3, "chained operator count");
+}
+
+void TestFlakyCheckpointBarrier(TestContext& ctx) {
+  Configuration conf;
+  std::unique_ptr<TaskManager> tm1;
+  {
+    NodeInitScope scope(kApp, &tm1, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    tm1 = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+  std::unique_ptr<TaskManager> tm2;
+  {
+    NodeInitScope scope(kApp, &tm2, "TaskManager", __FILE__, __LINE__);
+    Configuration tm_conf = AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__);
+    tm2 = std::make_unique<TaskManager>(&ctx.cluster(), tm_conf);
+    scope.Finish();
+  }
+
+  tm1->SendRecords(tm2.get(), {"barrier-1"});
+  ctx.MaybeFlakyFail(0.3, "checkpoint barrier overtaken by records");
+  ctx.CheckEq(static_cast<int>(tm2->received_records().size()), 1, "barrier delivered");
+}
+
+}  // namespace
+
+void RegisterMiniStreamCorpus(UnitTestRegistry& registry) {
+  registry.Add(kApp, "TestTaskManagerRegistration", TestTaskManagerRegistration);
+  registry.Add(kApp, "TestJobSubmissionSlots", TestJobSubmissionSlots);
+  registry.Add(kApp, "TestDataExchange", TestDataExchange);
+  registry.Add(kApp, "TestParallelismDefaults", TestParallelismDefaults);
+  registry.Add(kApp, "TestTwoJobsSequential", TestTwoJobsSequential);
+  registry.Add(kApp, "TestLargeRecordExchange", TestLargeRecordExchange);
+  registry.Add(kApp, "TestJobManagerStandalone", TestJobManagerStandalone);
+  registry.Add(kApp, "TestOperatorChainNoNodes", TestOperatorChainNoNodes);
+  registry.Add(kApp, "TestFlakyCheckpointBarrier", TestFlakyCheckpointBarrier);
+}
+
+}  // namespace zebra

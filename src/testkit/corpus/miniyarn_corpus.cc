@@ -1,0 +1,201 @@
+// MiniYARN corpus: container allocation, NodeManager liveness, delegation
+// tokens, and the timeline service.
+
+#include "src/apps/miniyarn/app_history_server.h"
+#include "src/apps/miniyarn/application.h"
+#include "src/apps/miniyarn/node_manager.h"
+#include "src/apps/miniyarn/resource_manager.h"
+#include "src/apps/miniyarn/yarn_client.h"
+#include "src/apps/miniyarn/yarn_params.h"
+#include "src/common/strings.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+namespace {
+
+constexpr char kApp[] = "miniyarn";
+
+void TestContainerAllocationAtMax(TestContext& ctx) {
+  Configuration conf;
+  ResourceManager rm(&ctx.cluster(), conf);
+  NodeManager nm1(&ctx.cluster(), &rm, conf);
+  NodeManager nm2(&ctx.cluster(), &rm, conf);
+  YarnClient client(&ctx.cluster(), &rm, conf);
+
+  // Applications routinely request the documented scheduler maximum.
+  uint64_t container = client.RequestMaxContainer();
+  ctx.Check(container > 0, "container allocated at the scheduler maximum");
+}
+
+void TestContainerWithinLimits(TestContext& ctx) {
+  Configuration conf;
+  ResourceManager rm(&ctx.cluster(), conf);
+  NodeManager nm(&ctx.cluster(), &rm, conf);
+  YarnClient client(&ctx.cluster(), &rm, conf);
+
+  ctx.Check(client.RequestContainer(512, 1) > 0, "small container allocated");
+}
+
+void TestNodeManagerRegistration(TestContext& ctx) {
+  Configuration conf;
+  ResourceManager rm(&ctx.cluster(), conf);
+  NodeManager nm1(&ctx.cluster(), &rm, conf);
+  NodeManager nm2(&ctx.cluster(), &rm, conf);
+
+  ctx.CheckEq(rm.NumRegisteredNodeManagers(), 2, "registered NodeManagers");
+  // Both NodeManagers heartbeat at the RM-provided interval; heterogeneous
+  // values of the interval parameter are harmless because only the RM's copy
+  // is ever consulted (the §7.3 embed-in-communication pattern).
+  ctx.cluster().AdvanceTime(5000);
+  ctx.CheckEq(nm1.effective_heartbeat_interval_ms(),
+              nm2.effective_heartbeat_interval_ms(),
+              "RM-provided heartbeat intervals agree");
+}
+
+void TestTokenExpiryMonotonic(TestContext& ctx) {
+  Configuration conf;
+  ResourceManager rm1(&ctx.cluster(), conf);
+  ResourceManager rm2(&ctx.cluster(), conf);
+  YarnClient client(&ctx.cluster(), &rm1, conf);
+
+  DelegationToken first = client.GetDelegationTokenFrom(&rm1);
+  ctx.cluster().AdvanceTime(50);
+  DelegationToken second = client.GetDelegationTokenFrom(&rm2);
+  ctx.Check(second.expiry_ms >= first.expiry_ms,
+            "newer token must not expire before the older token");
+}
+
+void TestTimelinePublish(TestContext& ctx) {
+  Configuration conf;
+  conf.SetBool(kYarnTimelineEnabled, true);
+  ResourceManager rm(&ctx.cluster(), conf);
+  AppHistoryServer ahs(&ctx.cluster(), conf);
+  YarnClient client(&ctx.cluster(), &rm, conf);
+
+  bool sent = client.PublishTimelineEvent(&ahs, "app-started");
+  if (sent) {
+    ctx.CheckEq(ahs.NumTimelineEvents(), 1, "timeline event stored");
+  }
+}
+
+void TestTimelineWebQuery(TestContext& ctx) {
+  Configuration conf;
+  conf.SetBool(kYarnTimelineEnabled, true);
+  ResourceManager rm(&ctx.cluster(), conf);
+  AppHistoryServer ahs(&ctx.cluster(), conf);
+  YarnClient client(&ctx.cluster(), &rm, conf);
+
+  std::string reply = client.QueryTimelineWeb(&ahs);
+  ctx.Check(StartsWith(reply, "timeline-events="), "web query answered");
+}
+
+void TestHeterogeneousNodeCapacities(TestContext& ctx) {
+  Configuration conf;
+  ResourceManager rm(&ctx.cluster(), conf);
+  NodeManager nm1(&ctx.cluster(), &rm, conf);
+  NodeManager nm2(&ctx.cluster(), &rm, conf);
+  YarnClient client(&ctx.cluster(), &rm, conf);
+
+  // Capacity parameters are heterogeneous by design: allocation succeeds
+  // regardless of each node's advertised size.
+  ctx.Check(client.RequestContainer(1024, 1) > 0, "first container");
+  ctx.Check(client.RequestContainer(1024, 1) > 0, "second container");
+}
+
+void TestRmWorkPreservingRecovery(TestContext& ctx) {
+  Configuration conf;
+  ResourceManager rm(&ctx.cluster(), conf);
+  NodeManager nm(&ctx.cluster(), &rm, conf);
+
+  // Simulated RM restart: the NodeManager re-syncs. With mismatched
+  // work-preserving flags the resync loses container state in ~60% of runs.
+  rm.RecoverNodeManager(nm.id(), nm.conf(), ctx.rng());
+  ctx.CheckEq(rm.NumRegisteredNodeManagers(), 1, "NodeManager survived recovery");
+}
+
+void TestMetricsPublisherLazyConf(TestContext& ctx) {
+  Configuration conf;
+  ResourceManager rm(&ctx.cluster(), conf);
+  NodeManager nm(&ctx.cluster(), &rm, conf);
+
+  // A JMX-style metrics publisher builds its own Configuration lazily, after
+  // the cluster is up — unmappable by ConfAgent (Observation 3).
+  Configuration metrics_conf;
+  metrics_conf.GetInt(kYarnLogRetainSeconds, kYarnLogRetainSecondsDefault);
+  metrics_conf.GetInt(kYarnMaxAllocMb, kYarnMaxAllocMbDefault);
+  ctx.CheckEq(rm.NumRegisteredNodeManagers(), 1, "NodeManager registered");
+}
+
+void TestApplicationLifecycle(TestContext& ctx) {
+  Configuration conf;
+  conf.SetBool(kYarnTimelineEnabled, true);
+  ResourceManager rm(&ctx.cluster(), conf);
+  NodeManager nm(&ctx.cluster(), &rm, conf);
+  AppHistoryServer ahs(&ctx.cluster(), conf);
+  AppManager apps(&ctx.cluster(), &rm);
+
+  uint64_t app = apps.SubmitApplication("pipeline", 2, 1024, 1);
+  ctx.CheckEq(apps.NumRunning(), 1, "application running");
+  bool published = apps.PublishHistory(app, &ahs, conf);
+  if (published) {
+    ctx.CheckEq(ahs.NumTimelineEvents(), 2, "lifecycle events stored");
+  }
+  apps.CompleteApplication(app);
+  ctx.CheckEq(apps.NumCompletedRetained(), 1, "completed app retained");
+}
+
+void TestManyContainersWorkload(TestContext& ctx) {
+  Configuration conf;
+  conf.SetInt(kYarnNmMemoryMb, 4096);
+  ResourceManager rm(&ctx.cluster(), conf);
+  NodeManager nm1(&ctx.cluster(), &rm, conf);
+  NodeManager nm2(&ctx.cluster(), &rm, conf);
+  YarnClient client(&ctx.cluster(), &rm, conf);
+
+  // Fill the cluster with minimum-sized containers.
+  int64_t min_alloc = conf.GetInt(kYarnMinAllocMb, kYarnMinAllocMbDefault);
+  int allocated = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (client.RequestContainer(min_alloc, 1) > 0) {
+      ++allocated;
+    }
+  }
+  ctx.CheckEq(allocated, 8, "cluster fits eight minimum containers");
+  ctx.cluster().AdvanceTime(3000);  // heartbeats keep flowing under load
+}
+
+void TestSchedulerQueueParsingNoNodes(TestContext& ctx) {
+  std::vector<std::string> queues = StrSplit("root.default,root.batch", ',');
+  ctx.CheckEq(static_cast<int>(queues.size()), 2, "queue list parsed");
+}
+
+void TestFlakyNodeManagerReconnect(TestContext& ctx) {
+  Configuration conf;
+  ResourceManager rm(&ctx.cluster(), conf);
+  NodeManager nm(&ctx.cluster(), &rm, conf);
+
+  ctx.cluster().AdvanceTime(3000);
+  ctx.MaybeFlakyFail(0.3, "NodeManager reconnect raced with the liveness monitor");
+  ctx.CheckEq(rm.NumRegisteredNodeManagers(), 1, "NodeManager still registered");
+}
+
+}  // namespace
+
+void RegisterMiniYarnCorpus(UnitTestRegistry& registry) {
+  registry.Add(kApp, "TestContainerAllocationAtMax", TestContainerAllocationAtMax);
+  registry.Add(kApp, "TestContainerWithinLimits", TestContainerWithinLimits);
+  registry.Add(kApp, "TestNodeManagerRegistration", TestNodeManagerRegistration);
+  registry.Add(kApp, "TestTokenExpiryMonotonic", TestTokenExpiryMonotonic);
+  registry.Add(kApp, "TestTimelinePublish", TestTimelinePublish);
+  registry.Add(kApp, "TestTimelineWebQuery", TestTimelineWebQuery);
+  registry.Add(kApp, "TestHeterogeneousNodeCapacities", TestHeterogeneousNodeCapacities);
+  registry.Add(kApp, "TestRmWorkPreservingRecovery", TestRmWorkPreservingRecovery);
+  registry.Add(kApp, "TestMetricsPublisherLazyConf", TestMetricsPublisherLazyConf);
+  registry.Add(kApp, "TestApplicationLifecycle", TestApplicationLifecycle);
+  registry.Add(kApp, "TestManyContainersWorkload", TestManyContainersWorkload);
+  registry.Add(kApp, "TestSchedulerQueueParsingNoNodes", TestSchedulerQueueParsingNoNodes);
+  registry.Add(kApp, "TestFlakyNodeManagerReconnect", TestFlakyNodeManagerReconnect);
+}
+
+}  // namespace zebra

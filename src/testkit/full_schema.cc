@@ -1,0 +1,26 @@
+#include "src/testkit/full_schema.h"
+
+#include "src/apps/appcommon/common_schema.h"
+#include "src/apps/minidfs/dfs_schema.h"
+#include "src/apps/minikv/kv_schema.h"
+#include "src/apps/minimr/mr_schema.h"
+#include "src/apps/ministream/stream_schema.h"
+#include "src/apps/miniyarn/yarn_schema.h"
+
+namespace zebra {
+
+const ConfSchema& FullSchema() {
+  static const ConfSchema* schema = [] {
+    auto* s = new ConfSchema();
+    RegisterCommonSchema(*s);
+    RegisterMiniDfsSchema(*s);
+    RegisterMiniMrSchema(*s);
+    RegisterMiniYarnSchema(*s);
+    RegisterMiniStreamSchema(*s);
+    RegisterMiniKvSchema(*s);
+    return s;
+  }();
+  return *schema;
+}
+
+}  // namespace zebra

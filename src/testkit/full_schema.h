@@ -1,0 +1,15 @@
+// Aggregated configuration schema across all mini-applications.
+
+#ifndef SRC_TESTKIT_FULL_SCHEMA_H_
+#define SRC_TESTKIT_FULL_SCHEMA_H_
+
+#include "src/conf/conf_schema.h"
+
+namespace zebra {
+
+// The full schema (lazily built process-wide singleton).
+const ConfSchema& FullSchema();
+
+}  // namespace zebra
+
+#endif  // SRC_TESTKIT_FULL_SCHEMA_H_

@@ -1,0 +1,118 @@
+#include "src/testkit/ground_truth.h"
+
+namespace zebra {
+
+const std::map<std::string, std::string>& ExpectedUnsafeParams() {
+  static const auto* kTable = new std::map<std::string, std::string>{
+      // Flink analog
+      {"akka.ssl.enabled", "TaskManager fails to connect to ResourceManager."},
+      {"taskmanager.data.ssl.enabled",
+       "TaskManager fails to decode peer message due to invalid SSL/TLS record."},
+      {"taskmanager.numberOfTaskSlots",
+       "JobManager fails to allocate slot from TaskManager."},
+      // Hadoop Common analog
+      {"hadoop.rpc.protection", "RPC client fails to connect to RPC servers."},
+      {"ipc.client.rpc-timeout.ms", "Socket connection timeouts."},
+      // HBase analog
+      {"hbase.regionserver.thrift.compact",
+       "Thrift Admin fails to communicate with Thrift Server."},
+      {"hbase.regionserver.thrift.framed",
+       "Thrift Admin fails to communicate with Thrift Server."},
+      // HDFS analog
+      {"dfs.block.access.token.enable", "DataNode fails to register block pools."},
+      {"dfs.bytes-per-checksum", "Checksum verification fails on DataNode."},
+      {"dfs.blockreport.incremental.intervalMsec",
+       "End users may observe inconsistent number of blocks."},
+      {"dfs.checksum.type", "Checksum verification fails on DataNode."},
+      {"dfs.client.block.write.replace-datanode-on-failure.enable",
+       "NameNode reports Exception when Client tries to find additional DataNode."},
+      {"dfs.client.socket-timeout", "Socket connection timeouts."},
+      {"dfs.datanode.balance.bandwidthPerSec",
+       "Balancer timeouts because DataNode fails to reply in time."},
+      {"dfs.datanode.balance.max.concurrent.moves",
+       "Balancer becomes 10x slower due to DataNode congestion control."},
+      {"dfs.datanode.du.reserved",
+       "End users may observe inconsistent size of reserved space."},
+      {"dfs.data.transfer.protection",
+       "Sasl handshake fails between Client and DataNode."},
+      {"dfs.encrypt.data.transfer",
+       "DataNode fails to re-compute encryption key as block key is missing."},
+      {"dfs.ha.tail-edits.in-progress",
+       "JournalNode declines NameNode's request to fetch journaled edits."},
+      {"dfs.heartbeat.interval",
+       "NameNode falsely identifies alive DataNode as crashed."},
+      {"dfs.http.policy", "Tool DFSck fails to connect to HTTP server."},
+      {"dfs.namenode.fs-limits.max-component-length",
+       "Length of component name path exceeds maximum limit on NameNode."},
+      {"dfs.namenode.fs-limits.max-directory-items",
+       "Directory item number exceeds maximum limit on NameNode."},
+      {"dfs.namenode.heartbeat.recheck-interval",
+       "End users may observe inconsistent number of dead DataNodes."},
+      {"dfs.namenode.max-corrupt-file-blocks-returned",
+       "End users may observe inconsistent number of corrupted blocks."},
+      {"dfs.namenode.snapshotdiff.allow.snap-root-descendant",
+       "NameNode declines Client's request to do snapshot."},
+      {"dfs.namenode.stale.datanode.interval",
+       "End users may observe inconsistent number of stale DataNodes."},
+      {"dfs.namenode.upgrade.domain.factor",
+       "Balancer hangs because of block placement policy violation on NameNode."},
+      // MapReduce analog
+      {"mapreduce.fileoutputcommitter.algorithm.version",
+       "Different Mapper/Reducer output commit dirs cause Hadoop Archive error."},
+      {"mapreduce.job.encrypted-intermediate-data",
+       "Reducer fails during shuffling due to checksum error."},
+      {"mapreduce.job.maps", "Reducer fails when copying Mapper output."},
+      {"mapreduce.job.reduces", "Reducer fails when copying Mapper output."},
+      {"mapreduce.map.output.compress",
+       "Reducer fails during shuffling due to incorrect header."},
+      {"mapreduce.map.output.compress.codec",
+       "Reducer fails during shuffling due to incorrect header."},
+      {"mapreduce.output.fileoutputformat.compress",
+       "End users may observe inconsistent names of output files."},
+      {"mapreduce.shuffle.ssl.enabled",
+       "NodeManager's Pluggable Shuffle fails to decode messages."},
+      // YARN analog
+      {"yarn.http.policy", "Client fails to connect with Timeline web services."},
+      {"yarn.resourcemanager.delegation.token.renew-interval",
+       "End users may observe newer tokens expire earlier than prior tokens."},
+      {"yarn.scheduler.maximum-allocation-mb",
+       "ResourceManager disallows value decreasement."},
+      {"yarn.scheduler.maximum-allocation-vcores",
+       "ResourceManager disallows value decreasement."},
+      {"yarn.timeline-service.enabled", "Client fails to connect to Timeline Server."},
+  };
+  return *kTable;
+}
+
+const std::map<std::string, std::string>& KnownFalsePositiveSources() {
+  static const auto* kTable = new std::map<std::string, std::string>{
+      {"dfs.datanode.scan.period.hours",
+       "unit test manipulates DataNode-private state with the client's conf "
+       "(setting cannot happen in a real distributed system)"},
+      {"dfs.image.compress",
+       "overly strict assertion: test compares checkpoint image lengths, but the "
+       "decompressed contents are identical"},
+      {"ipc.ping.interval",
+       "nodes share the IPC component, which reads from both its own and external "
+       "configuration objects (violates the no-shared-objects assumption)"},
+      {"ipc.client.connect.max.retries",
+       "nodes share the IPC component, which reads from both its own and external "
+       "configuration objects (violates the no-shared-objects assumption)"},
+  };
+  return *kTable;
+}
+
+const std::map<std::string, std::string>& ProbabilisticUnsafeParams() {
+  static const auto* kTable = new std::map<std::string, std::string>{
+      {"yarn.resourcemanager.work-preserving-recovery.enabled",
+       "RM recovery resync loses container state in ~60% of runs when the "
+       "NodeManager's flag disagrees (a single first trial can miss it — §5)"},
+  };
+  return *kTable;
+}
+
+bool IsExpectedUnsafe(const std::string& param) {
+  return ExpectedUnsafeParams().count(param) > 0;
+}
+
+}  // namespace zebra

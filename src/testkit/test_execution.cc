@@ -1,0 +1,43 @@
+#include "src/testkit/test_execution.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace zebra {
+
+namespace {
+std::vector<double>* g_duration_collector = nullptr;
+}  // namespace
+
+void SetRunDurationCollector(std::vector<double>* collector) {
+  g_duration_collector = collector;
+}
+
+TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
+  auto start = std::chrono::steady_clock::now();
+  TestResult result;
+  // Fold the plan into the trial seed: in a real system, nondeterminism is
+  // independent across runs with different configurations; re-running the
+  // same (test, plan, trial) triple stays reproducible.
+  uint64_t effective_trial = HashCombine(trial, Fnv1a64(plan.Describe()));
+  ConfAgentSession session(std::move(plan));
+  try {
+    TestContext context(test.id, effective_trial);
+    test.body(context);
+    result.passed = true;
+  } catch (const std::exception& e) {
+    result.passed = false;
+    result.failure = e.what();
+    ZLOG_DEBUG << test.id << " failed: " << e.what();
+  }
+  result.report = session.End();
+  if (g_duration_collector != nullptr) {
+    g_duration_collector->push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return result;
+}
+
+}  // namespace zebra

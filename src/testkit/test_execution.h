@@ -1,0 +1,38 @@
+// RunUnitTest: executes one corpus unit test under a ConfAgent session with a
+// given test plan, converting assertion failures and application errors into
+// a TestResult (the atomic operation everything in the ZebraConf pipeline is
+// built from).
+
+#ifndef SRC_TESTKIT_TEST_EXECUTION_H_
+#define SRC_TESTKIT_TEST_EXECUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/conf/conf_agent.h"
+#include "src/conf/test_plan.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+struct TestResult {
+  bool passed = false;
+  std::string failure;    // first failure message (empty when passed)
+  SessionReport report;   // what ConfAgent observed during the run
+};
+
+// Runs `test` with `plan` injected through ConfAgent. `trial` seeds the
+// test-local RNG, so re-running with a different trial re-rolls any seeded
+// nondeterminism. Exactly one execution may run at a time (ConfAgent sessions
+// are serialized).
+TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial);
+
+// Installs a collector that receives the wall-clock duration (seconds) of
+// every subsequent RunUnitTest call; pass nullptr to uninstall. Used by the
+// campaign to feed the fleet cost model. Not thread-safe — executions are
+// serialized anyway (ConfAgent sessions are exclusive).
+void SetRunDurationCollector(std::vector<double>* collector);
+
+}  // namespace zebra
+
+#endif  // SRC_TESTKIT_TEST_EXECUTION_H_

@@ -1,0 +1,60 @@
+#include "src/testkit/unit_test_registry.h"
+
+#include "src/common/error.h"
+
+namespace zebra {
+
+void UnitTestRegistry::Add(std::string app, std::string name,
+                           std::function<void(TestContext&)> body) {
+  UnitTestDef def;
+  def.id = app + "." + name;
+  def.app = std::move(app);
+  def.body = std::move(body);
+  if (Find(def.id) != nullptr) {
+    throw InternalError("duplicate unit test registered: " + def.id);
+  }
+  tests_.push_back(std::move(def));
+}
+
+std::vector<const UnitTestDef*> UnitTestRegistry::ForApp(const std::string& app) const {
+  std::vector<const UnitTestDef*> result;
+  for (const UnitTestDef& test : tests_) {
+    if (test.app == app) {
+      result.push_back(&test);
+    }
+  }
+  return result;
+}
+
+const UnitTestDef* UnitTestRegistry::Find(const std::string& id) const {
+  for (const UnitTestDef& test : tests_) {
+    if (test.id == id) {
+      return &test;
+    }
+  }
+  return nullptr;
+}
+
+std::map<std::string, int> UnitTestRegistry::CountsByApp() const {
+  std::map<std::string, int> counts;
+  for (const UnitTestDef& test : tests_) {
+    counts[test.app] += 1;
+  }
+  return counts;
+}
+
+const UnitTestRegistry& FullCorpus() {
+  static const UnitTestRegistry* registry = [] {
+    auto* r = new UnitTestRegistry();
+    RegisterMiniDfsCorpus(*r);
+    RegisterMiniMrCorpus(*r);
+    RegisterMiniYarnCorpus(*r);
+    RegisterMiniStreamCorpus(*r);
+    RegisterMiniKvCorpus(*r);
+    RegisterAppToolsCorpus(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace zebra

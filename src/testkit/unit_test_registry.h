@@ -1,0 +1,48 @@
+// The corpus registry: every whole-system unit test of the mini-applications,
+// addressable by id, grouped by application (paper Table 1's test counts).
+
+#ifndef SRC_TESTKIT_UNIT_TEST_REGISTRY_H_
+#define SRC_TESTKIT_UNIT_TEST_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/testkit/test_context.h"
+
+namespace zebra {
+
+struct UnitTestDef {
+  std::string id;   // "<app>.TestName"
+  std::string app;  // owning application
+  std::function<void(TestContext&)> body;
+};
+
+class UnitTestRegistry {
+ public:
+  void Add(std::string app, std::string name, std::function<void(TestContext&)> body);
+
+  const std::vector<UnitTestDef>& tests() const { return tests_; }
+  std::vector<const UnitTestDef*> ForApp(const std::string& app) const;
+  const UnitTestDef* Find(const std::string& id) const;
+  std::map<std::string, int> CountsByApp() const;
+
+ private:
+  std::vector<UnitTestDef> tests_;
+};
+
+// Per-application corpus registration (defined in corpus/*.cc).
+void RegisterMiniDfsCorpus(UnitTestRegistry& registry);
+void RegisterMiniMrCorpus(UnitTestRegistry& registry);
+void RegisterMiniYarnCorpus(UnitTestRegistry& registry);
+void RegisterMiniStreamCorpus(UnitTestRegistry& registry);
+void RegisterMiniKvCorpus(UnitTestRegistry& registry);
+void RegisterAppToolsCorpus(UnitTestRegistry& registry);
+
+// The full corpus (lazily built process-wide singleton).
+const UnitTestRegistry& FullCorpus();
+
+}  // namespace zebra
+
+#endif  // SRC_TESTKIT_UNIT_TEST_REGISTRY_H_

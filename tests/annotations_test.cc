@@ -1,0 +1,69 @@
+// Tests for the annotation-site registry behind Table 4.
+
+#include "src/conf/annotations.h"
+
+#include <gtest/gtest.h>
+
+namespace zebra {
+namespace {
+
+TEST(AnnotationsTest, RegistrationIsIdempotentPerSite) {
+  for (int i = 0; i < 5; ++i) {
+    ZC_ANNOTATION_SITE("annot-test-app", AnnotationKind::kNodeInit);
+  }
+  AnnotationCounts counts = GetAnnotationCounts("annot-test-app");
+  EXPECT_EQ(counts.node_init_sites, 1);
+}
+
+TEST(AnnotationsTest, DistinctLinesAreDistinctSites) {
+  ZC_ANNOTATION_SITE("annot-test-app2", AnnotationKind::kRefToClone);
+  ZC_ANNOTATION_SITE("annot-test-app2", AnnotationKind::kRefToClone);
+  AnnotationCounts counts = GetAnnotationCounts("annot-test-app2");
+  EXPECT_EQ(counts.ref_to_clone_sites, 2);
+}
+
+TEST(AnnotationsTest, KindsAreCountedSeparately) {
+  ZC_ANNOTATION_SITE("annot-test-app3", AnnotationKind::kNodeInit);
+  ZC_ANNOTATION_SITE("annot-test-app3", AnnotationKind::kRefToClone);
+  ZC_ANNOTATION_SITE("annot-test-app3", AnnotationKind::kConfHook);
+  AnnotationCounts counts = GetAnnotationCounts("annot-test-app3");
+  EXPECT_EQ(counts.node_init_sites, 1);
+  EXPECT_EQ(counts.ref_to_clone_sites, 1);
+  EXPECT_EQ(counts.conf_hook_sites, 1);
+  EXPECT_EQ(counts.node_class_lines(), 4);  // 2 per init bracket + 2 per ref-clone
+  EXPECT_EQ(counts.conf_class_lines(), 1);
+}
+
+TEST(AnnotationsTest, UnknownAppHasZeroCounts) {
+  AnnotationCounts counts = GetAnnotationCounts("never-registered");
+  EXPECT_EQ(counts.node_init_sites, 0);
+  EXPECT_EQ(counts.ref_to_clone_sites, 0);
+  EXPECT_EQ(counts.conf_hook_sites, 0);
+}
+
+TEST(AnnotationsTest, AnnotatedAppsListed) {
+  ZC_ANNOTATION_SITE("annot-test-app4", AnnotationKind::kConfHook);
+  bool found = false;
+  for (const std::string& app : GetAnnotatedApps()) {
+    if (app == "annot-test-app4") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AnnotationsTest, SitesCarryFileAndLine) {
+  ZC_ANNOTATION_SITE("annot-test-app5", AnnotationKind::kNodeInit);
+  bool found = false;
+  for (const AnnotationSite& site : GetAnnotationSites()) {
+    if (site.app == "annot-test-app5") {
+      found = true;
+      EXPECT_NE(site.file.find("annotations_test.cc"), std::string::npos);
+      EXPECT_GT(site.line, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace zebra

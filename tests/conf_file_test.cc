@@ -1,0 +1,156 @@
+// Tests for configuration-file parsing and HeteroConf file sets.
+
+#include "src/conf/conf_file.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace zebra {
+namespace {
+
+TEST(ParsePropertiesTest, BasicFile) {
+  auto properties = ParseProperties(
+      "# cluster defaults\n"
+      "dfs.heartbeat.interval = 3\n"
+      "dfs.checksum.type=CRC32C\n"
+      "\n"
+      "  dfs.replication =  2  \n");
+  EXPECT_EQ(properties.size(), 3u);
+  EXPECT_EQ(properties.at("dfs.heartbeat.interval"), "3");
+  EXPECT_EQ(properties.at("dfs.checksum.type"), "CRC32C");
+  EXPECT_EQ(properties.at("dfs.replication"), "2");
+}
+
+TEST(ParsePropertiesTest, ValueMayContainSpacesAndEquals) {
+  auto properties = ParseProperties("addr = host:1234\nexpr = a=b\n");
+  EXPECT_EQ(properties.at("addr"), "host:1234");
+  EXPECT_EQ(properties.at("expr"), "a=b");
+}
+
+TEST(ParsePropertiesTest, MalformedLinesRejected) {
+  EXPECT_THROW(ParseProperties("just-a-token\n"), Error);
+  EXPECT_THROW(ParseProperties("= value-without-key\n"), Error);
+}
+
+TEST(ParsePropertiesTest, EmptyAndCommentOnlyFilesAreEmpty) {
+  EXPECT_TRUE(ParseProperties("").empty());
+  EXPECT_TRUE(ParseProperties("# only\n# comments\n").empty());
+}
+
+TEST(RenderPropertiesTest, RoundTripsThroughParse) {
+  std::map<std::string, std::string> properties{{"b.key", "2"}, {"a.key", "1"}};
+  EXPECT_EQ(ParseProperties(RenderProperties(properties)), properties);
+}
+
+TEST(ApplyPropertiesTest, PopulatesConfiguration) {
+  Configuration conf;
+  ApplyProperties(ParseProperties("x = 1\ny = true\n"), conf);
+  EXPECT_EQ(conf.GetInt("x", 0), 1);
+  EXPECT_TRUE(conf.GetBool("y", false));
+}
+
+TEST(ParseHadoopXmlTest, BasicSiteFile) {
+  auto properties = ParseHadoopXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<configuration>\n"
+      "  <!-- cluster defaults -->\n"
+      "  <property>\n"
+      "    <name>dfs.heartbeat.interval</name>\n"
+      "    <value>3</value>\n"
+      "    <description>seconds between beats</description>\n"
+      "  </property>\n"
+      "  <property><name>dfs.checksum.type</name><value>CRC32C</value></property>\n"
+      "</configuration>\n");
+  EXPECT_EQ(properties.size(), 2u);
+  EXPECT_EQ(properties.at("dfs.heartbeat.interval"), "3");
+  EXPECT_EQ(properties.at("dfs.checksum.type"), "CRC32C");
+}
+
+TEST(ParseHadoopXmlTest, EscapedEntitiesRoundTrip) {
+  std::map<std::string, std::string> properties{{"expr", "a<b && b>c"}};
+  EXPECT_EQ(ParseHadoopXml(RenderHadoopXml(properties)), properties);
+}
+
+TEST(ParseHadoopXmlTest, MalformedDocumentsRejected) {
+  EXPECT_THROW(ParseHadoopXml("<configuration>"), Error);
+  EXPECT_THROW(ParseHadoopXml("<property><name>x</name></property>"), Error);
+  EXPECT_THROW(ParseHadoopXml("<configuration><property><value>v</value>"
+                              "</property></configuration>"),
+               Error);
+  EXPECT_THROW(
+      ParseHadoopXml("<configuration><property><name>a</name><value>1</value>"
+                     "</property><property><name>a</name><value>2</value>"
+                     "</property></configuration>"),
+      Error) << "duplicate names";
+  EXPECT_THROW(ParseHadoopXml("<configuration><!-- open</configuration>"), Error);
+}
+
+TEST(ParseConfFileTest, AutoDetectsFormat) {
+  EXPECT_EQ(ParseConfFile("k = v\n").at("k"), "v");
+  EXPECT_EQ(ParseConfFile("<configuration><property><name>k</name>"
+                          "<value>v</value></property></configuration>")
+                .at("k"),
+            "v");
+}
+
+TEST(ConfFileSetTest, MixedFormatsInOneSet) {
+  ConfFileSet set;
+  set.AddFile("nn-1", "dfs.checksum.type = CRC32C\n");
+  set.AddFile("dn-1",
+              "<configuration><property><name>dfs.checksum.type</name>"
+              "<value>CRC32</value></property></configuration>");
+  auto hetero = set.HeterogeneousParams();
+  EXPECT_EQ(hetero.size(), 1u);
+}
+
+TEST(ConfFileSetTest, HomogeneousSetHasNoHeterogeneousParams) {
+  ConfFileSet set;
+  set.AddFile("nn-1", "dfs.checksum.type = CRC32C\n");
+  set.AddFile("dn-1", "dfs.checksum.type = CRC32C\n");
+  EXPECT_TRUE(set.IsHomogeneous());
+  EXPECT_TRUE(set.HeterogeneousParams().empty());
+}
+
+TEST(ConfFileSetTest, DetectsDifferingValues) {
+  ConfFileSet set;
+  set.AddFile("dn-1", "dfs.datanode.balance.bandwidthPerSec = 1048576\n");
+  set.AddFile("dn-2", "dfs.datanode.balance.bandwidthPerSec = 10485760\n");
+  auto hetero = set.HeterogeneousParams();
+  ASSERT_EQ(hetero.size(), 1u);
+  EXPECT_EQ(*hetero.begin(), "dfs.datanode.balance.bandwidthPerSec");
+
+  auto values = set.ValuesOf("dfs.datanode.balance.bandwidthPerSec");
+  EXPECT_EQ(values.at("dn-1"), "1048576");
+  EXPECT_EQ(values.at("dn-2"), "10485760");
+}
+
+TEST(ConfFileSetTest, AbsentKeysAreHomogeneousByDefault) {
+  ConfFileSet set;
+  set.AddFile("nn-1", "dfs.checksum.type = CRC32C\n");
+  set.AddFile("dn-1", "");
+  EXPECT_TRUE(set.IsHomogeneous());
+  EXPECT_FALSE(set.HeterogeneousParams(/*absent_is_distinct=*/true).empty());
+}
+
+TEST(ConfFileSetTest, DuplicateNodeRejected) {
+  ConfFileSet set;
+  set.AddFile("dn-1", "");
+  EXPECT_THROW(set.AddFile("dn-1", ""), Error);
+}
+
+TEST(ConfFileSetTest, FileForUnknownNodeThrows) {
+  ConfFileSet set;
+  EXPECT_THROW(set.FileFor("ghost"), Error);
+}
+
+TEST(ConfFileSetTest, NodeNamesListed) {
+  ConfFileSet set;
+  set.AddFile("a", "");
+  set.AddFile("b", "");
+  EXPECT_EQ(set.node_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(set.size(), 2);
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,127 @@
+// Tests for ConfSchema and the aggregated full schema.
+
+#include "src/conf/conf_schema.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/ground_truth.h"
+
+namespace zebra {
+namespace {
+
+TEST(ConfSchemaTest, AddAndFind) {
+  ConfSchema schema;
+  schema.AddParam({"a.b", "app1", ParamType::kBool, "false", {"true", "false"}, "d"});
+  ASSERT_NE(schema.Find("a.b"), nullptr);
+  EXPECT_EQ(schema.Find("a.b")->app, "app1");
+  EXPECT_EQ(schema.Find("missing"), nullptr);
+}
+
+TEST(ConfSchemaTest, DuplicateParamRejected) {
+  ConfSchema schema;
+  schema.AddParam({"a.b", "app1", ParamType::kBool, "false", {"true"}, "d"});
+  EXPECT_THROW(
+      schema.AddParam({"a.b", "app2", ParamType::kBool, "false", {"true"}, "d"}),
+      InternalError);
+}
+
+TEST(ConfSchemaTest, EmptyTestValuesRejected) {
+  ConfSchema schema;
+  EXPECT_THROW(schema.AddParam({"a.b", "app1", ParamType::kBool, "false", {}, "d"}),
+               InternalError);
+}
+
+TEST(ConfSchemaTest, ParamsForAppIncludesSharedLibrary) {
+  ConfSchema schema;
+  schema.AddParam({"own", "app1", ParamType::kBool, "false", {"true"}, "d"});
+  schema.AddParam({"shared", kSharedApp, ParamType::kBool, "false", {"true"}, "d"});
+  schema.AddParam({"other", "app2", ParamType::kBool, "false", {"true"}, "d"});
+
+  auto params = schema.ParamsForApp("app1");
+  std::set<std::string> names;
+  for (const ParamSpec* spec : params) {
+    names.insert(spec->name);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"own", "shared"}));
+  EXPECT_EQ(schema.ParamsOwnedBy("app1").size(), 1u);
+}
+
+TEST(ConfSchemaTest, DependencyRulesExactAndWildcard) {
+  ConfSchema schema;
+  schema.AddDependencyRule("policy", "HTTPS_ONLY", "https.addr", "h:1");
+  schema.AddDependencyRule("policy", "*", "always", "yes");
+
+  auto https = schema.DependencyOverrides("policy", "HTTPS_ONLY");
+  ASSERT_EQ(https.size(), 2u);
+  EXPECT_EQ(https[0], (std::pair<std::string, std::string>{"https.addr", "h:1"}));
+  EXPECT_EQ(https[1], (std::pair<std::string, std::string>{"always", "yes"}));
+
+  auto http = schema.DependencyOverrides("policy", "HTTP_ONLY");
+  ASSERT_EQ(http.size(), 1u);
+  EXPECT_EQ(http[0].first, "always");
+
+  EXPECT_TRUE(schema.DependencyOverrides("unrelated", "v").empty());
+}
+
+TEST(FullSchemaTest, CoversAllSixApplications) {
+  const ConfSchema& schema = FullSchema();
+  std::set<std::string> apps;
+  for (const std::string& app : schema.Apps()) {
+    apps.insert(app);
+  }
+  EXPECT_EQ(apps, (std::set<std::string>{"appcommon", "minidfs", "minikv", "minimr",
+                                         "ministream", "miniyarn"}));
+}
+
+TEST(FullSchemaTest, EveryGroundTruthParamIsRegistered) {
+  const ConfSchema& schema = FullSchema();
+  for (const auto& [param, why] : ExpectedUnsafeParams()) {
+    EXPECT_NE(schema.Find(param), nullptr) << "missing ground-truth param " << param;
+  }
+  for (const auto& [param, why] : KnownFalsePositiveSources()) {
+    EXPECT_NE(schema.Find(param), nullptr) << "missing FP-source param " << param;
+  }
+}
+
+TEST(FullSchemaTest, GroundTruthMatchesThePapersFortyOne) {
+  EXPECT_EQ(ExpectedUnsafeParams().size(), 41u);
+}
+
+TEST(FullSchemaTest, EveryParamHasAtLeastTwoTestValues) {
+  for (const ParamSpec& spec : FullSchema().params()) {
+    EXPECT_GE(spec.test_values.size(), 2u) << spec.name;
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+  }
+}
+
+TEST(FullSchemaTest, DefaultsAreAmongTestValues) {
+  for (const ParamSpec& spec : FullSchema().params()) {
+    bool found = false;
+    for (const std::string& value : spec.test_values) {
+      if (value == spec.default_value) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << spec.name << " default " << spec.default_value
+                       << " not among its test values";
+  }
+}
+
+TEST(FullSchemaTest, HttpPolicyRulesArePresent) {
+  const ConfSchema& schema = FullSchema();
+  EXPECT_FALSE(schema.DependencyOverrides("dfs.http.policy", "HTTPS_ONLY").empty());
+  EXPECT_FALSE(schema.DependencyOverrides("yarn.http.policy", "HTTP_ONLY").empty());
+}
+
+TEST(ParamTypeTest, Names) {
+  EXPECT_STREQ(ParamTypeName(ParamType::kBool), "bool");
+  EXPECT_STREQ(ParamTypeName(ParamType::kInt), "int");
+  EXPECT_STREQ(ParamTypeName(ParamType::kEnum), "enum");
+}
+
+}  // namespace
+}  // namespace zebra

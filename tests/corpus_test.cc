@@ -1,0 +1,168 @@
+// Tests for the unit-test corpus itself: every test must pass under its
+// original (homogeneous) configuration, flaky tests must actually be flaky,
+// and the pre-run reports must expose the structure the generator relies on.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/testkit/ground_truth.h"
+#include "src/testkit/test_execution.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+namespace {
+
+bool IsFlakyTest(const std::string& id) {
+  return id.find("Flaky") != std::string::npos;
+}
+
+TEST(CorpusTest, RegistryCoversSixApps) {
+  auto counts = FullCorpus().CountsByApp();
+  EXPECT_EQ(counts.size(), 6u);
+  EXPECT_GT(counts.at("minidfs"), 20);
+  EXPECT_GT(counts.at("minimr"), 8);
+  EXPECT_GT(counts.at("miniyarn"), 7);
+  EXPECT_GT(counts.at("ministream"), 5);
+  EXPECT_GT(counts.at("minikv"), 5);
+  EXPECT_GT(counts.at("apptools"), 3);
+}
+
+TEST(CorpusTest, IdsAreUniqueAndPrefixed) {
+  std::set<std::string> ids;
+  for (const UnitTestDef& test : FullCorpus().tests()) {
+    EXPECT_TRUE(ids.insert(test.id).second) << "duplicate id " << test.id;
+    EXPECT_EQ(test.id.rfind(test.app + ".", 0), 0u) << test.id;
+  }
+}
+
+// Every deterministic corpus test passes with its original configuration.
+class CorpusPassesTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusPassesTest, PassesWithOriginalConfiguration) {
+  const UnitTestDef* test = FullCorpus().Find(GetParam());
+  ASSERT_NE(test, nullptr);
+  if (IsFlakyTest(test->id)) {
+    GTEST_SKIP() << "flaky by design; covered by FlakyTestsAreFlaky";
+  }
+  TestResult result = RunUnitTest(*test, TestPlan{}, /*trial=*/0);
+  EXPECT_TRUE(result.passed) << result.failure;
+}
+
+std::vector<std::string> AllCorpusIds() {
+  std::vector<std::string> ids;
+  for (const UnitTestDef& test : FullCorpus().tests()) {
+    ids.push_back(test.id);
+  }
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTests, CorpusPassesTest, ::testing::ValuesIn(AllCorpusIds()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(CorpusTest, FlakyTestsAreFlaky) {
+  for (const UnitTestDef& test : FullCorpus().tests()) {
+    if (!IsFlakyTest(test.id)) {
+      continue;
+    }
+    int failures = 0;
+    for (uint64_t trial = 0; trial < 40; ++trial) {
+      if (!RunUnitTest(test, TestPlan{}, trial).passed) {
+        ++failures;
+      }
+    }
+    EXPECT_GT(failures, 0) << test.id << " never failed in 40 trials";
+    EXPECT_LT(failures, 40) << test.id << " always failed in 40 trials";
+  }
+}
+
+TEST(CorpusTest, SameTrialIsDeterministic) {
+  for (const UnitTestDef& test : FullCorpus().tests()) {
+    if (!IsFlakyTest(test.id)) {
+      continue;
+    }
+    TestResult a = RunUnitTest(test, TestPlan{}, 7);
+    TestResult b = RunUnitTest(test, TestPlan{}, 7);
+    EXPECT_EQ(a.passed, b.passed) << test.id;
+  }
+}
+
+TEST(CorpusTest, NoNodeTestsReportNoNodes) {
+  for (const UnitTestDef& test : FullCorpus().tests()) {
+    TestResult result = RunUnitTest(test, TestPlan{}, 0);
+    bool expects_nodes = test.id.find("NoNodes") == std::string::npos;
+    EXPECT_EQ(result.report.StartedAnyNode(), expects_nodes) << test.id;
+  }
+}
+
+TEST(CorpusTest, NodeTestsShareConfigurationObjects) {
+  // §6.1: sharing occurs in the overwhelming majority of tests that involve
+  // configuration usage and start nodes.
+  int with_nodes = 0;
+  int with_sharing = 0;
+  for (const UnitTestDef& test : FullCorpus().tests()) {
+    TestResult result = RunUnitTest(test, TestPlan{}, 0);
+    if (result.report.StartedAnyNode()) {
+      ++with_nodes;
+      if (result.report.conf_sharing_detected) {
+        ++with_sharing;
+      }
+    }
+  }
+  EXPECT_GT(with_nodes, 0);
+  EXPECT_GE(with_sharing * 100, with_nodes * 85)
+      << "at least ~85% of node tests share conf objects (paper: 88.5-100%)";
+}
+
+TEST(CorpusTest, DfsClusterTestRecordsExpectedStructure) {
+  const UnitTestDef* test = FullCorpus().Find("minidfs.TestWriteReadSmallFile");
+  ASSERT_NE(test, nullptr);
+  TestResult result = RunUnitTest(*test, TestPlan{}, 0);
+  ASSERT_TRUE(result.passed) << result.failure;
+  EXPECT_EQ(result.report.node_counts.at("NameNode"), 1);
+  EXPECT_EQ(result.report.node_counts.at("DataNode"), 2);
+  // The data-path parameters are read by both the client and the DataNodes.
+  EXPECT_TRUE(result.report.ParamsReadBy("DataNode").count("dfs.checksum.type") > 0);
+  EXPECT_TRUE(result.report.ParamsReadBy("Client").count("dfs.checksum.type") > 0);
+  // The NameNode reads its liveness parameters.
+  EXPECT_TRUE(result.report.ParamsReadBy("NameNode")
+                  .count("dfs.namenode.heartbeat.recheck-interval") > 0);
+  EXPECT_TRUE(result.report.conf_sharing_detected);
+}
+
+TEST(CorpusTest, FlinkStyleInlineInitStillMapsTaskManagers) {
+  const UnitTestDef* test = FullCorpus().Find("ministream.TestDataExchange");
+  ASSERT_NE(test, nullptr);
+  TestResult result = RunUnitTest(*test, TestPlan{}, 0);
+  ASSERT_TRUE(result.passed) << result.failure;
+  EXPECT_EQ(result.report.node_counts.at("TaskManager"), 2);
+  EXPECT_TRUE(result.report.ParamsReadBy("TaskManager")
+                  .count("taskmanager.data.ssl.enabled") > 0);
+}
+
+TEST(CorpusTest, GroundTruthParamsAreReadSomewhere) {
+  // Every seeded-unsafe parameter must be read by at least one entity in at
+  // least one corpus test — otherwise the pipeline could never find it.
+  std::set<std::string> read_params;
+  for (const UnitTestDef& test : FullCorpus().tests()) {
+    TestResult result = RunUnitTest(test, TestPlan{}, 0);
+    for (const std::string& param : result.report.AllParamsRead()) {
+      read_params.insert(param);
+    }
+  }
+  for (const auto& [param, why] : ExpectedUnsafeParams()) {
+    EXPECT_TRUE(read_params.count(param) > 0) << "never read: " << param;
+  }
+}
+
+}  // namespace
+}  // namespace zebra

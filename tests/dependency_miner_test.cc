@@ -1,0 +1,82 @@
+// Tests for the automatic dependency-rule miner (§4 future work).
+
+#include "src/core/dependency_miner.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/testkit/full_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+namespace {
+
+TEST(DependencyMinerTest, RecoversTheHandWrittenHttpPolicyRules) {
+  DependencyMiner miner(FullSchema(), FullCorpus());
+  const ParamSpec* spec = FullSchema().Find("dfs.http.policy");
+  ASSERT_NE(spec, nullptr);
+
+  int64_t executions = 0;
+  std::vector<MinedRule> rules = miner.MineParam("minidfs", *spec, &executions);
+  EXPECT_GT(executions, 0);
+
+  std::set<MinedRule> rule_set(rules.begin(), rules.end());
+  EXPECT_TRUE(rule_set.count(
+      MinedRule{"dfs.http.policy", "HTTPS_ONLY", "dfs.namenode.https-address"}) > 0)
+      << "the https address must be identified as HTTPS_ONLY-conditional";
+  EXPECT_TRUE(rule_set.count(
+      MinedRule{"dfs.http.policy", "HTTP_ONLY", "dfs.namenode.http-address"}) > 0)
+      << "the http address must be identified as HTTP_ONLY-conditional";
+}
+
+TEST(DependencyMinerTest, UnconditionalParamsProduceNoRules) {
+  DependencyMiner miner(FullSchema(), FullCorpus());
+  const ParamSpec* spec = FullSchema().Find("dfs.checksum.type");
+  ASSERT_NE(spec, nullptr);
+
+  int64_t executions = 0;
+  std::vector<MinedRule> rules = miner.MineParam("minidfs", *spec, &executions);
+  // The checksum type never gates which *other* parameters are read.
+  for (const MinedRule& rule : rules) {
+    EXPECT_NE(rule.dep_param, "dfs.bytes-per-checksum") << "read under every value";
+    EXPECT_NE(rule.dep_param, "dfs.encrypt.data.transfer") << "read under every value";
+  }
+}
+
+TEST(DependencyMinerTest, MineAppCoversYarnHttpPolicy) {
+  DependencyMiner miner(FullSchema(), FullCorpus());
+  int64_t executions = 0;
+  std::vector<MinedRule> rules = miner.MineApp("miniyarn", &executions);
+
+  std::set<MinedRule> rule_set(rules.begin(), rules.end());
+  EXPECT_TRUE(rule_set.count(MinedRule{"yarn.http.policy", "HTTPS_ONLY",
+                                       "yarn.timeline-service.webapp.https.address"}) >
+              0);
+  EXPECT_GT(executions, 0);
+}
+
+TEST(DependencyMinerTest, InstallRulesMakesThemQueryable) {
+  ConfSchema schema;
+  schema.AddParam({"p", "app", ParamType::kEnum, "a", {"a", "b"}, "gate"});
+  schema.AddParam({"dep", "app", ParamType::kString, "x", {"x", "y"}, "gated"});
+
+  DependencyMiner::InstallRules({MinedRule{"p", "b", "dep"}}, schema);
+  auto overrides = schema.DependencyOverrides("p", "b");
+  ASSERT_EQ(overrides.size(), 1u);
+  EXPECT_EQ(overrides[0].first, "dep");
+  EXPECT_EQ(overrides[0].second, "x") << "installed with the dependency's default";
+  EXPECT_TRUE(schema.DependencyOverrides("p", "a").empty());
+}
+
+TEST(DependencyMinerTest, RuleOrderingAndEquality) {
+  MinedRule a{"p", "v", "d1"};
+  MinedRule b{"p", "v", "d2"};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE((a == MinedRule{"p", "v", "d1"}));
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace zebra

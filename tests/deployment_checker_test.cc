@@ -1,0 +1,80 @@
+// Tests for the deployment safety checker.
+
+#include "src/core/deployment_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace zebra {
+namespace {
+
+DeploymentChecker KnownBase() {
+  return DeploymentChecker(std::map<std::string, std::string>{
+      {"dfs.checksum.type", "checksum verification fails on DataNode"},
+      {"dfs.heartbeat.interval", "NameNode falsely declares DataNodes dead"},
+  });
+}
+
+TEST(DeploymentCheckerTest, HomogeneousDeploymentIsSafe) {
+  ConfFileSet proposal;
+  proposal.AddFile("nn-1", "dfs.checksum.type = CRC32C\ndfs.replication = 2\n");
+  proposal.AddFile("dn-1", "dfs.checksum.type = CRC32C\ndfs.replication = 2\n");
+  DeploymentVerdict verdict = KnownBase().Check(proposal);
+  EXPECT_TRUE(verdict.safe);
+  EXPECT_TRUE(verdict.warnings.empty());
+  EXPECT_TRUE(verdict.unknown_heterogeneous.empty());
+}
+
+TEST(DeploymentCheckerTest, KnownUnsafeHeterogeneityIsFlagged) {
+  ConfFileSet proposal;
+  proposal.AddFile("dn-1", "dfs.checksum.type = CRC32\n");
+  proposal.AddFile("dn-2", "dfs.checksum.type = CRC32C\n");
+  DeploymentVerdict verdict = KnownBase().Check(proposal);
+  EXPECT_FALSE(verdict.safe);
+  ASSERT_EQ(verdict.warnings.size(), 1u);
+  EXPECT_EQ(verdict.warnings[0].param, "dfs.checksum.type");
+  EXPECT_EQ(verdict.warnings[0].values.at("dn-1"), "CRC32");
+  EXPECT_EQ(verdict.warnings[0].values.at("dn-2"), "CRC32C");
+  EXPECT_NE(verdict.warnings[0].reason.find("checksum"), std::string::npos);
+}
+
+TEST(DeploymentCheckerTest, UnknownHeterogeneityIsSeparated) {
+  ConfFileSet proposal;
+  proposal.AddFile("dn-1", "dfs.datanode.data.dir = /disk1\n");
+  proposal.AddFile("dn-2", "dfs.datanode.data.dir = /disk2\n");
+  DeploymentVerdict verdict = KnownBase().Check(proposal);
+  EXPECT_TRUE(verdict.safe) << "unknown parameters do not fail the check";
+  EXPECT_EQ(verdict.unknown_heterogeneous.size(), 1u);
+  EXPECT_TRUE(verdict.unknown_heterogeneous.count("dfs.datanode.data.dir") > 0);
+}
+
+TEST(DeploymentCheckerTest, BuildsFromCampaignReport) {
+  CampaignReport report;
+  ParamFinding finding;
+  finding.param = "akka.ssl.enabled";
+  finding.owning_app = "ministream";
+  finding.example_failure = "HandshakeError: akka-control-plane";
+  report.findings[finding.param] = finding;
+
+  DeploymentChecker checker(report);
+  EXPECT_EQ(checker.knowledge_base_size(), 1);
+
+  ConfFileSet proposal;
+  proposal.AddFile("jm-1", "akka.ssl.enabled = true\n");
+  proposal.AddFile("tm-1", "akka.ssl.enabled = false\n");
+  DeploymentVerdict verdict = checker.Check(proposal);
+  EXPECT_FALSE(verdict.safe);
+  ASSERT_EQ(verdict.warnings.size(), 1u);
+  EXPECT_NE(verdict.warnings[0].reason.find("HandshakeError"), std::string::npos);
+}
+
+TEST(DeploymentCheckerTest, MultipleWarningsReported) {
+  ConfFileSet proposal;
+  proposal.AddFile("a", "dfs.checksum.type = CRC32\ndfs.heartbeat.interval = 1\n");
+  proposal.AddFile("b", "dfs.checksum.type = CRC32C\ndfs.heartbeat.interval = 100\n");
+  DeploymentVerdict verdict = KnownBase().Check(proposal);
+  EXPECT_FALSE(verdict.safe);
+  EXPECT_EQ(verdict.warnings.size(), 2u);
+}
+
+}  // namespace
+}  // namespace zebra

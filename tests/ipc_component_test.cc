@@ -1,0 +1,134 @@
+// Tests for the shared IPC component — the seeded false-positive mechanism —
+// and the RPC gate built on it.
+
+#include "src/apps/appcommon/ipc_component.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/appcommon/common_params.h"
+#include "src/apps/appcommon/rpc_gate.h"
+#include "src/common/error.h"
+#include "src/conf/conf_agent.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+namespace {
+
+TEST(IpcComponentTest, SharedInstanceIsReusedAcrossNodes) {
+  Cluster cluster;
+  int node_a = 0, node_b = 0;
+  IpcComponent& ipc1 = GetIpc(cluster, &node_a);
+  IpcComponent& ipc2 = GetIpc(cluster, &node_b);
+  EXPECT_EQ(&ipc1, &ipc2);
+}
+
+TEST(IpcComponentTest, DisabledSharingGivesPrivateInstances) {
+  Cluster cluster;
+  cluster.SetFlag(kFlagIpcSharingDisabled, true);
+  int node_a = 0, node_b = 0;
+  IpcComponent& ipc1 = GetIpc(cluster, &node_a);
+  IpcComponent& ipc2 = GetIpc(cluster, &node_b);
+  EXPECT_NE(&ipc1, &ipc2);
+  EXPECT_EQ(&GetIpc(cluster, &node_a), &ipc1);
+}
+
+TEST(IpcComponentTest, ConsistentConfigsPing) {
+  Cluster cluster;
+  int node = 0;
+  IpcComponent& ipc = GetIpc(cluster, &node);
+  Configuration conf;
+  EXPECT_NO_THROW(ipc.Ping(conf));
+  EXPECT_EQ(ipc.ping_count(), 1);
+}
+
+TEST(IpcComponentTest, DisagreeingPingIntervalFails) {
+  Cluster cluster;
+  int node = 0;
+  IpcComponent& ipc = GetIpc(cluster, &node);
+  Configuration conf;
+  conf.SetInt(kIpcPingInterval, 12345);
+  EXPECT_THROW(ipc.Ping(conf), RpcError);
+}
+
+TEST(IpcComponentTest, DisagreeingRetriesFail) {
+  Cluster cluster;
+  int node = 0;
+  IpcComponent& ipc = GetIpc(cluster, &node);
+  Configuration conf;
+  conf.SetInt(kIpcConnectMaxRetries, 1);
+  EXPECT_THROW(ipc.Ping(conf), RpcError);
+}
+
+TEST(RpcGateTest, MatchedProtectionPasses) {
+  Cluster cluster;
+  int server = 0;
+  Configuration caller;
+  Configuration callee;
+  EXPECT_NO_THROW(RpcGate(cluster, &server, caller, callee, "svc"));
+}
+
+TEST(RpcGateTest, MismatchedProtectionFailsHandshake) {
+  Cluster cluster;
+  int server = 0;
+  Configuration caller;
+  caller.Set(kRpcProtection, "privacy");
+  Configuration callee;
+  callee.Set(kRpcProtection, "authentication");
+  EXPECT_THROW(RpcGate(cluster, &server, caller, callee, "svc"), HandshakeError);
+}
+
+TEST(RpcGateTest, HeterogeneousPingIntervalTriggersTheFalsePositive) {
+  // The §7.1 mechanism: the shared component's own conf belongs to node A
+  // ("ServerA", which initialized it), while the conf it is asked to honor
+  // carries a different node's assigned value.
+  TestPlan plan;
+  ParamPlan p;
+  p.param = kIpcPingInterval;
+  p.assigner = ValueAssigner::UniformGroup("ServerA", "10000", "60000");
+  plan.params.push_back(p);
+
+  ConfAgentSession session(std::move(plan));
+  Cluster cluster;
+  int server_a = 0;
+  {
+    NodeInitScope scope("annot-ipc-test", &server_a, "ServerA", __FILE__, __LINE__);
+    GetIpc(cluster, &server_a);  // own conf created inside ServerA's init
+    scope.Finish();
+  }
+  Configuration other_conf;  // belongs to... no node context, nodes exist
+  // ServerA's component conf reads 10000; a conf carrying the other value
+  // (here the default 60000) disagrees -> the keepalive negotiation fails.
+  IpcComponent& ipc = GetIpc(cluster, &server_a);
+  EXPECT_THROW(ipc.Ping(other_conf), RpcError);
+  session.End();
+}
+
+TEST(RpcLongOperationTest, MatchedTimeoutsComplete) {
+  Cluster cluster;
+  Configuration caller;
+  Configuration callee;
+  EXPECT_NO_THROW(RpcLongOperation(cluster, "op", caller, callee, 5000));
+  EXPECT_EQ(cluster.NowMs(), 5000);
+}
+
+TEST(RpcLongOperationTest, ShortClientTimeoutAgainstSlowPacingFails) {
+  Cluster cluster;
+  Configuration caller;
+  caller.SetInt(kRpcTimeoutMs, 1000);
+  Configuration callee;
+  callee.SetInt(kRpcTimeoutMs, 300000);
+  EXPECT_THROW(RpcLongOperation(cluster, "op", caller, callee, 5000), TimeoutError);
+}
+
+TEST(RpcLongOperationTest, HomogeneousShortTimeoutStillCompletes) {
+  Cluster cluster;
+  Configuration caller;
+  caller.SetInt(kRpcTimeoutMs, 1000);
+  Configuration callee;
+  callee.SetInt(kRpcTimeoutMs, 1000);
+  EXPECT_NO_THROW(RpcLongOperation(cluster, "op", caller, callee, 5000));
+}
+
+}  // namespace
+}  // namespace zebra

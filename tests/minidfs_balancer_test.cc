@@ -1,0 +1,202 @@
+// Tests for the Balancer: the concurrent-moves congestion collapse, the
+// upgrade-domain stall, and the bandwidth/progress-report starvation — the
+// three §7.1 case studies.
+
+#include "src/apps/minidfs/balancer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_client.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+namespace {
+
+class BalancerTest : public ::testing::Test {
+ protected:
+  Cluster cluster_;
+};
+
+// The in-text numbers: (DataNode:50, Balancer:50) ~14 s, (1,1) ~16.7 s,
+// (1,50) ~154 s. We check the *shape*: the two matched configurations are
+// within 2x of each other; the mismatched one is ~10x slower.
+TEST_F(BalancerTest, CongestionCollapseShape) {
+  auto run = [&](int64_t dn_moves, int64_t bal_moves) {
+    Cluster cluster;
+    Configuration nn_conf;
+    NameNode nn(&cluster, nn_conf);
+    Configuration dn_conf;
+    dn_conf.SetInt(kDfsBalanceMaxMoves, dn_moves);
+    DataNode dn(&cluster, &nn, dn_conf);
+    Configuration bal_conf;
+    bal_conf.SetInt(kDfsBalanceMaxMoves, bal_moves);
+    Balancer balancer(&cluster, &nn, bal_conf);
+    BalanceResult result = balancer.RunMoves(&dn, 150, 1000000);
+    EXPECT_EQ(result.completed_moves, 150);
+    return result.elapsed_ms;
+  };
+
+  int64_t matched_high = run(50, 50);
+  int64_t matched_low = run(1, 1);
+  int64_t mismatched = run(1, 50);
+
+  EXPECT_LT(matched_high, 2 * matched_low);
+  EXPECT_LT(matched_low, 2 * matched_high);
+  EXPECT_GT(mismatched, 5 * matched_low) << "the paper reports ~10x";
+  EXPECT_GT(mismatched, 100000) << "exceeds the unit test's 100 s timeout";
+}
+
+TEST_F(BalancerTest, MismatchedMovesTimeOutAtTestThreshold) {
+  Configuration nn_conf;
+  NameNode nn(&cluster_, nn_conf);
+  Configuration dn_conf;
+  dn_conf.SetInt(kDfsBalanceMaxMoves, 1);
+  DataNode dn(&cluster_, &nn, dn_conf);
+  Configuration bal_conf;
+  bal_conf.SetInt(kDfsBalanceMaxMoves, 50);
+  Balancer balancer(&cluster_, &nn, bal_conf);
+
+  EXPECT_THROW(balancer.RunMoves(&dn, 150, 100000), TimeoutError);
+}
+
+TEST_F(BalancerTest, DeclinesAreCountedUnderMismatch) {
+  Configuration nn_conf;
+  NameNode nn(&cluster_, nn_conf);
+  Configuration dn_conf;
+  dn_conf.SetInt(kDfsBalanceMaxMoves, 1);
+  DataNode dn(&cluster_, &nn, dn_conf);
+  Configuration bal_conf;
+  bal_conf.SetInt(kDfsBalanceMaxMoves, 10);
+  Balancer balancer(&cluster_, &nn, bal_conf);
+
+  BalanceResult result = balancer.RunMoves(&dn, 10, 1000000);
+  EXPECT_EQ(result.completed_moves, 10);
+  EXPECT_GT(result.declined_dispatches, 0);
+}
+
+TEST_F(BalancerTest, MatchedMovesNeverDecline) {
+  Configuration conf;
+  NameNode nn(&cluster_, conf);
+  DataNode dn(&cluster_, &nn, conf);
+  Balancer balancer(&cluster_, &nn, conf);
+
+  BalanceResult result = balancer.RunMoves(&dn, 100, 1000000);
+  EXPECT_EQ(result.completed_moves, 100);
+  EXPECT_EQ(result.declined_dispatches, 0);
+}
+
+TEST_F(BalancerTest, DomainFactorMismatchStallsRebalance) {
+  Configuration nn_conf;
+  nn_conf.SetInt(kDfsUpgradeDomainFactor, 2);
+  nn_conf.SetInt(kDfsReplication, 2);
+  NameNode nn(&cluster_, nn_conf);
+  DataNode dn0(&cluster_, &nn, nn_conf);
+  DataNode dn1(&cluster_, &nn, nn_conf);
+  DataNode dn2(&cluster_, &nn, nn_conf);
+  DfsClient client(&cluster_, &nn, {&dn0, &dn1, &dn2}, nn_conf);
+  Configuration bal_conf;
+  bal_conf.SetInt(kDfsUpgradeDomainFactor, 3);
+  Balancer balancer(&cluster_, &nn, bal_conf);
+
+  client.WriteFile("/d", "abcd");  // replicas on dn0 and dn1
+  uint64_t block = nn.BlocksOf("/d").front();
+  // Balancer (factor 3) believes dn1 -> dn2 is valid; the NameNode (factor 2)
+  // sees dn2 in dn0's domain and declines forever.
+  EXPECT_THROW(balancer.RunDomainMoves({block}, &dn1, &dn2, 30000), TimeoutError);
+}
+
+TEST_F(BalancerTest, MatchedDomainFactorMoves) {
+  Configuration conf;
+  conf.SetInt(kDfsUpgradeDomainFactor, 3);
+  conf.SetInt(kDfsReplication, 2);
+  NameNode nn(&cluster_, conf);
+  DataNode dn0(&cluster_, &nn, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  DfsClient client(&cluster_, &nn, {&dn0, &dn1, &dn2}, conf);
+  Balancer balancer(&cluster_, &nn, conf);
+
+  client.WriteFile("/d", "abcd");
+  uint64_t block = nn.BlocksOf("/d").front();
+  BalanceResult result = balancer.RunDomainMoves({block}, &dn1, &dn2, 30000);
+  EXPECT_EQ(result.completed_moves, 1);
+  EXPECT_TRUE(dn2.HasBlock(block));
+}
+
+TEST_F(BalancerTest, ConservativeBalancerSkipsInvalidMoves) {
+  Configuration conf;
+  conf.SetInt(kDfsUpgradeDomainFactor, 2);
+  conf.SetInt(kDfsReplication, 2);
+  NameNode nn(&cluster_, conf);
+  DataNode dn0(&cluster_, &nn, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  DfsClient client(&cluster_, &nn, {&dn0, &dn1, &dn2}, conf);
+  Balancer balancer(&cluster_, &nn, conf);
+
+  client.WriteFile("/d", "abcd");
+  uint64_t block = nn.BlocksOf("/d").front();
+  // With factor 2 everywhere, dn1 -> dn2 would collide with dn0's domain; the
+  // balancer itself skips it, finishing without moves and without errors.
+  BalanceResult result = balancer.RunDomainMoves({block}, &dn1, &dn2, 30000);
+  EXPECT_EQ(result.completed_moves, 0);
+  EXPECT_EQ(result.declined_dispatches, 0);
+}
+
+TEST_F(BalancerTest, ThrottledTransferStarvesProgressReports) {
+  Configuration nn_conf;
+  NameNode nn(&cluster_, nn_conf);
+  Configuration fast_conf;
+  fast_conf.SetInt(kDfsBalanceBandwidth, 10485760);  // 10 MiB/s sender
+  DataNode fast(&cluster_, &nn, fast_conf);
+  Configuration slow_conf;
+  slow_conf.SetInt(kDfsBalanceBandwidth, 1048576);  // 1 MiB/s receiver
+  DataNode slow(&cluster_, &nn, slow_conf);
+  Balancer balancer(&cluster_, &nn, nn_conf);
+
+  EXPECT_THROW(
+      balancer.RunThrottledTransfer(&fast, &slow, fast.BalanceBandwidthPerSec() * 5),
+      TimeoutError);
+}
+
+class ThrottledHomogeneousTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ThrottledHomogeneousTest, MatchedBandwidthDeliversReportsPromptly) {
+  Cluster cluster;
+  Configuration conf;
+  conf.SetInt(kDfsBalanceBandwidth, GetParam());
+  NameNode nn(&cluster, conf);
+  DataNode a(&cluster, &nn, conf);
+  DataNode b(&cluster, &nn, conf);
+  Balancer balancer(&cluster, &nn, conf);
+
+  int64_t delay =
+      balancer.RunThrottledTransfer(&a, &b, a.BalanceBandwidthPerSec() * 5);
+  EXPECT_LE(delay, 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, ThrottledHomogeneousTest,
+                         ::testing::Values(1048576, 10485760));
+
+TEST_F(BalancerTest, SlowSenderToFastReceiverIsHarmless) {
+  Configuration nn_conf;
+  NameNode nn(&cluster_, nn_conf);
+  Configuration slow_conf;
+  slow_conf.SetInt(kDfsBalanceBandwidth, 1048576);
+  DataNode slow(&cluster_, &nn, slow_conf);
+  Configuration fast_conf;
+  fast_conf.SetInt(kDfsBalanceBandwidth, 10485760);
+  DataNode fast(&cluster_, &nn, fast_conf);
+  Balancer balancer(&cluster_, &nn, nn_conf);
+
+  int64_t delay =
+      balancer.RunThrottledTransfer(&slow, &fast, slow.BalanceBandwidthPerSec() * 5);
+  EXPECT_LE(delay, 1000);
+}
+
+}  // namespace
+}  // namespace zebra

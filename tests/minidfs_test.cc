@@ -1,0 +1,441 @@
+// Tests for the MiniDFS substrate: every Table 3 HDFS failure mechanism is
+// exercised here directly (without the ZebraConf pipeline), by configuring
+// nodes with explicitly different Configuration objects — the ground truth
+// the pipeline is later expected to rediscover.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_client.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/journal_node.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/apps/minidfs/secondary_name_node.h"
+#include "src/common/error.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+namespace {
+
+std::string LongData() {
+  std::string data;
+  for (int i = 0; i < 40; ++i) {
+    data += "payload block contents segment " + std::to_string(i) + " ";
+  }
+  return data;
+}
+
+class MiniDfsTest : public ::testing::Test {
+ protected:
+  Cluster cluster_;
+};
+
+TEST_F(MiniDfsTest, WriteReadRoundTrip) {
+  Configuration conf;
+  NameNode nn(&cluster_, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  DfsClient client(&cluster_, &nn, {&dn1, &dn2}, conf);
+
+  client.WriteFile("/a", LongData());
+  EXPECT_EQ(client.ReadFile("/a"), LongData());
+  EXPECT_GT(nn.TotalBlocks(), 1) << "multi-block file expected";
+}
+
+TEST_F(MiniDfsTest, EncryptionMismatchBreaksDataTransfer) {
+  Configuration conf;
+  NameNode nn(&cluster_, conf);
+  Configuration dn_conf;
+  dn_conf.SetBool(kDfsEncryptDataTransfer, true);
+  DataNode dn(&cluster_, &nn, dn_conf);
+  DfsClient client(&cluster_, &nn, {&dn}, conf);  // client does not encrypt
+
+  EXPECT_THROW(client.WriteFile("/enc", LongData()), Error);
+}
+
+TEST_F(MiniDfsTest, ChecksumTypeMismatchBreaksDataTransfer) {
+  Configuration conf;
+  conf.Set(kDfsChecksumType, "CRC32C");
+  NameNode nn(&cluster_, conf);
+  Configuration dn_conf;
+  dn_conf.Set(kDfsChecksumType, "CRC32");
+  DataNode dn(&cluster_, &nn, dn_conf);
+  DfsClient client(&cluster_, &nn, {&dn}, conf);
+
+  EXPECT_THROW(client.WriteFile("/cs", LongData()), ChecksumError);
+}
+
+TEST_F(MiniDfsTest, BytesPerChecksumMismatchBreaksDataTransfer) {
+  Configuration conf;
+  conf.SetInt(kDfsBytesPerChecksum, 128);
+  NameNode nn(&cluster_, conf);
+  Configuration dn_conf;
+  dn_conf.SetInt(kDfsBytesPerChecksum, 4096);
+  DataNode dn(&cluster_, &nn, dn_conf);
+  DfsClient client(&cluster_, &nn, {&dn}, conf);
+
+  EXPECT_THROW(client.WriteFile("/bpc", LongData()), ChecksumError);
+}
+
+TEST_F(MiniDfsTest, DataTransferProtectionMismatchFailsHandshake) {
+  Configuration conf;
+  conf.Set(kDfsDataTransferProtection, "privacy");
+  NameNode nn(&cluster_, conf);
+  Configuration dn_conf;
+  DataNode dn(&cluster_, &nn, dn_conf);  // protection "none"
+  DfsClient client(&cluster_, &nn, {&dn}, conf);
+
+  EXPECT_THROW(client.WriteFile("/sasl", "x"), HandshakeError);
+}
+
+TEST_F(MiniDfsTest, AccessTokenMismatchBlocksRegistration) {
+  Configuration nn_conf;
+  nn_conf.SetBool(kDfsBlockAccessToken, true);
+  NameNode nn(&cluster_, nn_conf);
+  Configuration dn_conf;  // tokens disabled on the DataNode
+  EXPECT_THROW(DataNode(&cluster_, &nn, dn_conf), HandshakeError);
+}
+
+TEST_F(MiniDfsTest, MatchedAccessTokensRegister) {
+  Configuration conf;
+  conf.SetBool(kDfsBlockAccessToken, true);
+  NameNode nn(&cluster_, conf);
+  DataNode dn(&cluster_, &nn, conf);
+  EXPECT_EQ(nn.NumRegisteredDataNodes(), 1);
+}
+
+TEST_F(MiniDfsTest, HeartbeatIntervalMismatchDeclaresNodeDead) {
+  Configuration nn_conf;
+  nn_conf.SetInt(kDfsHeartbeatRecheck, 10000);
+  nn_conf.SetInt(kDfsHeartbeatInterval, 1);  // NN expects 1 s beats
+  NameNode nn(&cluster_, nn_conf);
+  Configuration dn_conf;
+  dn_conf.SetInt(kDfsHeartbeatInterval, 100);  // DN beats every 100 s
+  DataNode dn(&cluster_, &nn, dn_conf);
+
+  // Dead window = 2*10s + 10*1s = 30 s; the DataNode's first beat at 100 s is
+  // rejected because the NameNode already declared it dead.
+  EXPECT_THROW(cluster_.AdvanceTime(130000), RpcError);
+}
+
+TEST_F(MiniDfsTest, MatchedHeartbeatsStayAlive) {
+  Configuration conf;
+  conf.SetInt(kDfsHeartbeatRecheck, 10000);
+  NameNode nn(&cluster_, conf);
+  DataNode dn(&cluster_, &nn, conf);
+  cluster_.AdvanceTime(130000);
+  EXPECT_EQ(nn.NumLiveDataNodes(), 1);
+}
+
+TEST_F(MiniDfsTest, StoppedNodeEventuallyDeclaredDead) {
+  Configuration conf;
+  conf.SetInt(kDfsHeartbeatRecheck, 5000);
+  NameNode nn(&cluster_, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  dn2.Stop();
+  cluster_.AdvanceTime(2 * 5000 + 10 * 3000 + 5000 + 1000);
+  EXPECT_EQ(nn.NumDeadDataNodes(), 1);
+  EXPECT_EQ(nn.NumLiveDataNodes(), 1);
+}
+
+TEST_F(MiniDfsTest, StaleWindowUsesNameNodeConfig) {
+  Configuration conf;
+  NameNode nn(&cluster_, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  dn2.Stop();
+  cluster_.AdvanceTime(kDfsStaleIntervalDefault + 3000);
+  EXPECT_EQ(nn.NumStaleDataNodes(), 1);
+}
+
+TEST_F(MiniDfsTest, FsLimitsComponentLengthEnforcedByNameNode) {
+  Configuration nn_conf;
+  nn_conf.SetInt(kDfsMaxComponentLength, 16);
+  NameNode nn(&cluster_, nn_conf);
+  Configuration client_conf;
+  client_conf.SetInt(kDfsMaxComponentLength, 1024);
+  DataNode dn(&cluster_, &nn, nn_conf);
+  DfsClient client(&cluster_, &nn, {&dn}, client_conf);
+
+  std::string long_name(100, 'a');
+  EXPECT_THROW(client.WriteFile("/" + long_name, "x"), LimitError);
+  EXPECT_NO_THROW(client.WriteFile("/shortname", "x"));
+}
+
+TEST_F(MiniDfsTest, FsLimitsDirectoryItemsEnforcedByNameNode) {
+  Configuration nn_conf;
+  nn_conf.SetInt(kDfsMaxDirectoryItems, 4);
+  NameNode nn(&cluster_, nn_conf);
+  DataNode dn(&cluster_, &nn, nn_conf);
+  Configuration client_conf;
+  DfsClient client(&cluster_, &nn, {&dn}, client_conf);
+
+  for (int i = 0; i < 4; ++i) {
+    client.WriteFile("/d/f" + std::to_string(i), "x");
+  }
+  EXPECT_THROW(client.WriteFile("/d/f4", "x"), LimitError);
+}
+
+TEST_F(MiniDfsTest, IncrementalReportDelaysDeletionVisibility) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&cluster_, conf);
+  Configuration dn_conf;
+  dn_conf.SetInt(kDfsIncrementalBrInterval, 10000);
+  DataNode dn(&cluster_, &nn, dn_conf);
+  DfsClient client(&cluster_, &nn, {&dn}, conf);
+
+  client.WriteFile("/v", "x");
+  client.DeleteFile("/v");
+  EXPECT_EQ(nn.TotalBlocks(), 1) << "deletion not yet reported";
+  cluster_.AdvanceTime(10100);
+  EXPECT_EQ(nn.TotalBlocks(), 0) << "deletion visible after the interval";
+}
+
+TEST_F(MiniDfsTest, ImmediateReportMakesDeletionVisibleAtOnce) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&cluster_, conf);
+  DataNode dn(&cluster_, &nn, conf);  // interval 0 by default
+  DfsClient client(&cluster_, &nn, {&dn}, conf);
+
+  client.WriteFile("/v", "x");
+  client.DeleteFile("/v");
+  EXPECT_EQ(nn.TotalBlocks(), 0);
+}
+
+TEST_F(MiniDfsTest, HttpPolicyMismatchBreaksFsck) {
+  Configuration nn_conf;
+  nn_conf.Set(kDfsHttpPolicy, "HTTPS_ONLY");
+  NameNode nn(&cluster_, nn_conf);
+  Configuration client_conf;  // HTTP_ONLY by default
+  DataNode dn(&cluster_, &nn, nn_conf);
+  DfsClient client(&cluster_, &nn, {&dn}, client_conf);
+
+  EXPECT_THROW(client.Fsck(), HandshakeError);
+}
+
+TEST_F(MiniDfsTest, SocketTimeoutMismatchAbortsSlowRead) {
+  Configuration client_conf;
+  client_conf.SetInt(kDfsClientSocketTimeout, 1000);
+  Configuration dn_conf;
+  dn_conf.SetInt(kDfsClientSocketTimeout, 300000);
+  NameNode nn(&cluster_, client_conf);
+  DataNode dn(&cluster_, &nn, dn_conf);
+  DfsClient client(&cluster_, &nn, {&dn}, client_conf);
+
+  client.WriteFile("/s", "x");
+  EXPECT_THROW(client.ReadFileSlow("/s", 5000), TimeoutError);
+}
+
+TEST_F(MiniDfsTest, SnapshotDescendantPolicyEnforcedByNameNode) {
+  Configuration nn_conf;
+  nn_conf.SetBool(kDfsSnapshotDescendant, false);
+  NameNode nn(&cluster_, nn_conf);
+  DataNode dn(&cluster_, &nn, nn_conf);
+  Configuration client_conf;
+  client_conf.SetBool(kDfsSnapshotDescendant, true);
+  DfsClient client(&cluster_, &nn, {&dn}, client_conf);
+
+  nn.AllowSnapshot("/snap");
+  client.WriteFile("/snap/sub/f", "x");
+  EXPECT_THROW(client.SnapshotDiff("/snap", "/snap/sub"), RpcError);
+}
+
+TEST_F(MiniDfsTest, ReplaceDatanodePolicyEnforcedByNameNode) {
+  Configuration nn_conf;
+  nn_conf.SetBool(kDfsReplaceDnOnFailure, false);
+  NameNode nn(&cluster_, nn_conf);
+  DataNode dn1(&cluster_, &nn, nn_conf);
+  DataNode dn2(&cluster_, &nn, nn_conf);
+  Configuration client_conf;
+  client_conf.SetBool(kDfsReplaceDnOnFailure, true);
+  DfsClient client(&cluster_, &nn, {&dn1, &dn2}, client_conf);
+
+  EXPECT_THROW(client.WriteFileWithPipelineFailure("/p", "x"), RpcError);
+}
+
+TEST_F(MiniDfsTest, CorruptBlockListTruncatedByNameNodeLimit) {
+  Configuration nn_conf;
+  nn_conf.SetInt(kDfsMaxCorruptFileBlocks, 5);
+  nn_conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&cluster_, nn_conf);
+  DataNode dn(&cluster_, &nn, nn_conf);
+  DfsClient client(&cluster_, &nn, {&dn}, nn_conf);
+
+  for (int i = 0; i < 12; ++i) {
+    std::string path = "/c/f" + std::to_string(i);
+    client.WriteFile(path, "x");
+    client.ReportBadBlock(nn.BlocksOf(path).front());
+  }
+  EXPECT_EQ(client.ListCorruptBlocks().size(), 5u);
+}
+
+TEST_F(MiniDfsTest, TailEditsDeclinedByJournalNode) {
+  Configuration nn_conf;
+  nn_conf.SetBool(kDfsHaTailEditsInProgress, true);
+  NameNode nn(&cluster_, nn_conf);
+  Configuration jn_conf;  // serving disabled
+  JournalNode jn(&cluster_, jn_conf);
+  jn.AppendEdits(3);
+  EXPECT_THROW(nn.TailEdits(&jn), RpcError);
+}
+
+TEST_F(MiniDfsTest, TailEditsServedWhenBothAgree) {
+  Configuration conf;
+  conf.SetBool(kDfsHaTailEditsInProgress, true);
+  NameNode nn(&cluster_, conf);
+  JournalNode jn(&cluster_, conf);
+  jn.AppendEdits(3);
+  EXPECT_EQ(nn.TailEdits(&jn), 3);
+}
+
+TEST_F(MiniDfsTest, CheckpointImagesDivergeInLengthUnderMixedCompression) {
+  Configuration nn_conf;
+  nn_conf.SetBool(kDfsImageCompress, true);
+  NameNode nn(&cluster_, nn_conf);
+  DataNode dn(&cluster_, &nn, nn_conf);
+  Configuration snn_conf;  // compression off
+  SecondaryNameNode snn(&cluster_, &nn, snn_conf);
+  DfsClient client(&cluster_, &nn, {&dn}, nn_conf);
+
+  client.WriteFile("/i/a", "aaaaaaaaaaaaaaaa");
+  snn.DoCheckpoint();
+  EXPECT_NE(nn.SaveImage().size(), snn.ImageBytes().size())
+      << "lengths differ (the overly strict assertion would fire)";
+  EXPECT_EQ(nn.CanonicalImage(), snn.CanonicalImage())
+      << "yet the semantic contents are identical — a false positive";
+}
+
+TEST_F(MiniDfsTest, ScannerInternalPokeFailsAcrossConfigs) {
+  Configuration nn_conf;
+  NameNode nn(&cluster_, nn_conf);
+  Configuration dn_conf;
+  dn_conf.SetInt(kDfsScanPeriodHours, 1);
+  DataNode dn(&cluster_, &nn, dn_conf);
+
+  Configuration external;
+  external.SetInt(kDfsScanPeriodHours, 504);
+  EXPECT_THROW(dn.TriggerScanForTest(external), Error);
+  EXPECT_NO_THROW(dn.TriggerScanForTest(dn_conf));
+}
+
+TEST_F(MiniDfsTest, ReservedBytesComeFromEachDataNode) {
+  Configuration conf;
+  NameNode nn(&cluster_, conf);
+  Configuration dn1_conf;
+  dn1_conf.SetInt(kDfsDuReserved, 1000);
+  Configuration dn2_conf;
+  dn2_conf.SetInt(kDfsDuReserved, 2000);
+  DataNode dn1(&cluster_, &nn, dn1_conf);
+  DataNode dn2(&cluster_, &nn, dn2_conf);
+  DfsClient client(&cluster_, &nn, {&dn1, &dn2}, conf);
+
+  EXPECT_EQ(client.TotalReservedBytes(), 3000);
+}
+
+TEST_F(MiniDfsTest, UpgradeDomainComputedFromNameNodeFactor) {
+  Configuration conf;
+  conf.SetInt(kDfsUpgradeDomainFactor, 2);
+  NameNode nn(&cluster_, conf);
+  DataNode dn0(&cluster_, &nn, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  EXPECT_EQ(nn.UpgradeDomainOf(dn0.id()), 0);
+  EXPECT_EQ(nn.UpgradeDomainOf(dn1.id()), 1);
+  EXPECT_EQ(nn.UpgradeDomainOf(dn2.id()), 0);
+}
+
+TEST_F(MiniDfsTest, PipelineReplicationReachesAllTargets) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 3);
+  NameNode nn(&cluster_, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  DataNode dn3(&cluster_, &nn, conf);
+  DfsClient client(&cluster_, &nn, {&dn1, &dn2, &dn3}, conf);
+
+  client.WriteFile("/r3", "abc");
+  EXPECT_EQ(dn1.BlockCount() + dn2.BlockCount() + dn3.BlockCount(), 3);
+}
+
+TEST_F(MiniDfsTest, SafeModeBlocksMutationsUntilReportsArrive) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&cluster_, conf);
+  DataNode dn(&cluster_, &nn, conf);
+  DfsClient client(&cluster_, &nn, {&dn}, conf);
+  for (int i = 0; i < 4; ++i) {
+    client.WriteFile("/sm/f" + std::to_string(i), "x");
+  }
+
+  // A "restarted" NameNode: same namespace, no replica locations yet.
+  Configuration nn2_conf(conf);
+  NameNode nn2(&cluster_, nn2_conf);
+  DataNode dn2(&cluster_, &nn2, nn2_conf);
+  nn2.EnterSafeMode(/*expected_blocks=*/4);
+  EXPECT_TRUE(nn2.InSafeMode());
+  DfsClient client2(&cluster_, &nn2, {&dn2}, nn2_conf);
+  EXPECT_THROW(client2.WriteFile("/sm/new", "x"), RpcError);
+
+  // The old DataNode re-registers with the new NameNode and reports.
+  dn.ReRegister(&nn2);
+  dn.SendFullBlockReport(&nn2);
+  EXPECT_FALSE(nn2.InSafeMode()) << "threshold reached; safe mode exits";
+  EXPECT_NO_THROW(client2.WriteFile("/sm/new", "x"));
+}
+
+TEST_F(MiniDfsTest, SafeModeThresholdComesFromTheNameNode) {
+  Configuration nn_conf;
+  nn_conf.SetDouble(kDfsSafemodeThreshold, 0.5);
+  NameNode nn(&cluster_, nn_conf);
+  DataNode dn(&cluster_, &nn, nn_conf);
+  nn.EnterSafeMode(/*expected_blocks=*/4);
+  EXPECT_TRUE(nn.InSafeMode());
+  // Report half the expected blocks: threshold 0.5 is satisfied.
+  nn.ProcessBlockReport(dn.id(), {101, 102});
+  EXPECT_FALSE(nn.InSafeMode());
+}
+
+TEST_F(MiniDfsTest, BlockReportFromStrangerRejected) {
+  Configuration conf;
+  NameNode nn(&cluster_, conf);
+  EXPECT_THROW(nn.ProcessBlockReport(12345, {1}), RpcError);
+}
+
+TEST_F(MiniDfsTest, SecondaryCheckpointsPeriodically) {
+  Configuration conf;
+  conf.SetInt(kDfsCheckpointPeriod, 60);  // every virtual minute
+  NameNode nn(&cluster_, conf);
+  DataNode dn(&cluster_, &nn, conf);
+  SecondaryNameNode snn(&cluster_, &nn, conf);
+  DfsClient client(&cluster_, &nn, {&dn}, conf);
+
+  client.WriteFile("/ckpt/a", "alpha");
+  cluster_.AdvanceTime(3 * 60000 + 1000);
+  EXPECT_GE(snn.checkpoints_taken(), 3);
+  EXPECT_EQ(snn.CanonicalImage(), nn.CanonicalImage())
+      << "the periodic checkpoint tracks the live namespace";
+}
+
+TEST_F(MiniDfsTest, ReadFromNonexistentFileFails) {
+  Configuration conf;
+  NameNode nn(&cluster_, conf);
+  DataNode dn(&cluster_, &nn, conf);
+  DfsClient client(&cluster_, &nn, {&dn}, conf);
+  EXPECT_THROW(client.ReadFile("/missing"), RpcError);
+}
+
+TEST_F(MiniDfsTest, WriteWithoutDataNodesFails) {
+  Configuration conf;
+  NameNode nn(&cluster_, conf);
+  DfsClient client(&cluster_, &nn, {}, conf);
+  EXPECT_THROW(client.WriteFile("/nodn", "x"), RpcError);
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,233 @@
+// Tests for the MiniKV substrate: row storage, region location, and the
+// thrift compact/framed protocol mechanisms.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/minikv/kv_params.h"
+#include "src/apps/minikv/kv_store.h"
+#include "src/apps/minikv/thrift_server.h"
+#include "src/common/error.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+namespace {
+
+class MiniKvTest : public ::testing::Test {
+ protected:
+  Cluster cluster_;
+};
+
+TEST_F(MiniKvTest, PutGetRoundTrip) {
+  Configuration conf;
+  HMaster master(&cluster_, conf);
+  HRegionServer rs(&cluster_, &master, conf);
+  KvClient client(&cluster_, &master, conf);
+
+  client.CreateTable("t");
+  client.Put("t", "r", "v");
+  EXPECT_EQ(client.Get("t", "r"), "v");
+}
+
+TEST_F(MiniKvTest, MissingRowAndTableFail) {
+  Configuration conf;
+  HMaster master(&cluster_, conf);
+  HRegionServer rs(&cluster_, &master, conf);
+  KvClient client(&cluster_, &master, conf);
+
+  client.CreateTable("t");
+  EXPECT_THROW(client.Get("t", "missing"), RpcError);
+  EXPECT_THROW(client.Get("absent", "r"), RpcError);
+}
+
+TEST_F(MiniKvTest, DuplicateTableRejected) {
+  Configuration conf;
+  HMaster master(&cluster_, conf);
+  HRegionServer rs(&cluster_, &master, conf);
+  KvClient client(&cluster_, &master, conf);
+  client.CreateTable("t");
+  EXPECT_THROW(client.CreateTable("t"), RpcError);
+}
+
+TEST_F(MiniKvTest, RowsSpreadAcrossRegionServers) {
+  Configuration conf;
+  HMaster master(&cluster_, conf);
+  HRegionServer rs1(&cluster_, &master, conf);
+  HRegionServer rs2(&cluster_, &master, conf);
+  HRegionServer rs3(&cluster_, &master, conf);
+  KvClient client(&cluster_, &master, conf);
+
+  client.CreateTable("t");
+  for (int i = 0; i < 30; ++i) {
+    client.Put("t", "row" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(rs1.NumRows() + rs2.NumRows() + rs3.NumRows(), 30);
+  EXPECT_GT(rs1.NumRows(), 0);
+  EXPECT_GT(rs2.NumRows(), 0);
+  EXPECT_GT(rs3.NumRows(), 0);
+}
+
+// Thrift round-trips under every matched (compact, framed) combination.
+class ThriftMatchedSweep
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(ThriftMatchedSweep, EncodeDecodeRoundTrips) {
+  auto [compact, framed] = GetParam();
+  std::string message = "createTable demo_table";
+  Bytes encoded = ThriftEncode(message, compact, framed);
+  EXPECT_EQ(ThriftDecode(encoded, compact, framed), message);
+}
+
+TEST_P(ThriftMatchedSweep, AdminTalksToServer) {
+  auto [compact, framed] = GetParam();
+  Cluster cluster;
+  Configuration conf;
+  conf.SetBool(kKvThriftCompact, compact);
+  conf.SetBool(kKvThriftFramed, framed);
+  HMaster master(&cluster, conf);
+  HRegionServer rs(&cluster, &master, conf);
+  ThriftServer thrift(&cluster, &master, conf);
+  ThriftAdmin admin(&thrift, conf);
+
+  admin.CreateTable("t1");
+  admin.CreateTable("t2");
+  EXPECT_EQ(admin.NumTables(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ThriftMatchedSweep,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+TEST_F(MiniKvTest, CompactMismatchFailsDecode) {
+  Bytes compact_msg = ThriftEncode("listTables", /*compact=*/true, /*framed=*/false);
+  EXPECT_THROW(ThriftDecode(compact_msg, /*compact=*/false, /*framed=*/false),
+               DecodeError);
+  Bytes binary_msg = ThriftEncode("listTables", false, false);
+  EXPECT_THROW(ThriftDecode(binary_msg, true, false), DecodeError);
+}
+
+TEST_F(MiniKvTest, FramedMismatchFailsDecode) {
+  Bytes framed_msg = ThriftEncode("listTables", false, /*framed=*/true);
+  EXPECT_THROW(ThriftDecode(framed_msg, false, /*framed=*/false), DecodeError);
+  Bytes unframed_msg = ThriftEncode("listTables", false, false);
+  EXPECT_THROW(ThriftDecode(unframed_msg, false, true), DecodeError);
+}
+
+TEST_F(MiniKvTest, AdminServerProtocolMismatchFails) {
+  Configuration server_conf;
+  server_conf.SetBool(kKvThriftCompact, true);
+  HMaster master(&cluster_, server_conf);
+  HRegionServer rs(&cluster_, &master, server_conf);
+  ThriftServer thrift(&cluster_, &master, server_conf);
+  Configuration admin_conf;  // binary protocol
+  ThriftAdmin admin(&thrift, admin_conf);
+
+  EXPECT_THROW(admin.CreateTable("t"), DecodeError);
+}
+
+TEST_F(MiniKvTest, AdminServerFramingMismatchFails) {
+  Configuration server_conf;
+  server_conf.SetBool(kKvThriftFramed, true);
+  HMaster master(&cluster_, server_conf);
+  HRegionServer rs(&cluster_, &master, server_conf);
+  ThriftServer thrift(&cluster_, &master, server_conf);
+  Configuration admin_conf;  // unframed
+  ThriftAdmin admin(&thrift, admin_conf);
+
+  EXPECT_THROW(admin.NumTables(), DecodeError);
+}
+
+TEST_F(MiniKvTest, ThriftLongMessagesUseVarintLengths) {
+  std::string long_message = "createTable ";
+  long_message += std::string(300, 'x');  // length needs 2 varint bytes
+  Bytes encoded = ThriftEncode(long_message, /*compact=*/true, /*framed=*/true);
+  EXPECT_EQ(ThriftDecode(encoded, true, true), long_message);
+}
+
+TEST_F(MiniKvTest, RegionsSplitUnderWriteLoad) {
+  Configuration conf;
+  conf.SetInt(kKvRegionMaxFilesize, 1073741824);  // 1 GiB -> splits every ~4 rows
+  HMaster master(&cluster_, conf);
+  HRegionServer rs(&cluster_, &master, conf);
+  KvClient client(&cluster_, &master, conf);
+
+  client.CreateTable("hot");
+  for (int i = 0; i < 16; ++i) {
+    client.Put("hot", "row" + std::to_string(i), "v");
+  }
+  EXPECT_GT(rs.TotalSplits(), 1);
+  EXPECT_GT(rs.NumRegions("hot"), 2);
+  EXPECT_EQ(rs.NumRows(), 16) << "splits never lose rows";
+}
+
+TEST_F(MiniKvTest, LargerMaxFilesizeSplitsLess) {
+  auto splits_with = [this](int64_t max_filesize) {
+    Cluster cluster;
+    Configuration conf;
+    conf.SetInt(kKvRegionMaxFilesize, max_filesize);
+    HMaster master(&cluster, conf);
+    HRegionServer rs(&cluster, &master, conf);
+    KvClient client(&cluster, &master, conf);
+    client.CreateTable("t");
+    for (int i = 0; i < 30; ++i) {
+      client.Put("t", "row" + std::to_string(i), "v");
+    }
+    return rs.TotalSplits();
+  };
+  EXPECT_GT(splits_with(1073741824), splits_with(10737418240));
+}
+
+TEST_F(MiniKvTest, SplitDecisionsAreServerLocal) {
+  // Two RegionServers with *different* max.filesize settings split at
+  // different rates — and nothing breaks: the parameter is legitimately
+  // per-node (it never crosses the wire).
+  Configuration master_conf;
+  HMaster master(&cluster_, master_conf);
+  Configuration small_conf;
+  small_conf.SetInt(kKvRegionMaxFilesize, 1073741824);
+  HRegionServer eager(&cluster_, &master, small_conf);
+  Configuration large_conf;
+  large_conf.SetInt(kKvRegionMaxFilesize, 10737418240);
+  HRegionServer lazy(&cluster_, &master, large_conf);
+  KvClient client(&cluster_, &master, master_conf);
+
+  client.CreateTable("t");
+  for (int i = 0; i < 40; ++i) {
+    client.Put("t", "row" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(eager.NumRows() + lazy.NumRows(), 40);
+  EXPECT_GT(eager.NumRows(), 0);
+  EXPECT_GT(lazy.NumRows(), 0);
+  EXPECT_GT(eager.TotalSplits(), lazy.TotalSplits())
+      << "the smaller threshold splits more, harmlessly";
+}
+
+TEST_F(MiniKvTest, RestStatusReportsTables) {
+  Configuration conf;
+  HMaster master(&cluster_, conf);
+  HRegionServer rs(&cluster_, &master, conf);
+  RESTServer rest(&cluster_, &master, conf);
+  KvClient client(&cluster_, &master, conf);
+
+  EXPECT_EQ(rest.Status(), "rest-ok tables=0");
+  client.CreateTable("t");
+  EXPECT_EQ(rest.Status(), "rest-ok tables=1");
+}
+
+TEST_F(MiniKvTest, CreateTableWithoutRegionServersFails) {
+  Configuration conf;
+  HMaster master(&cluster_, conf);
+  KvClient client(&cluster_, &master, conf);
+  EXPECT_THROW(client.CreateTable("t"), RpcError);
+}
+
+TEST_F(MiniKvTest, UnknownThriftCommandRejected) {
+  Configuration conf;
+  HMaster master(&cluster_, conf);
+  HRegionServer rs(&cluster_, &master, conf);
+  ThriftServer thrift(&cluster_, &master, conf);
+
+  Bytes request = ThriftEncode("dropEverything now", false, false);
+  EXPECT_THROW(thrift.Handle(request), RpcError);
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,231 @@
+// Tests for the MiniMR substrate: partitioning, shuffle wire formats,
+// committer versions, output naming — each Table 3 mechanism directly.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/minimr/job_history_server.h"
+#include "src/apps/minimr/map_task.h"
+#include "src/apps/minimr/mr_job.h"
+#include "src/apps/minimr/mr_params.h"
+#include "src/apps/minimr/reduce_task.h"
+#include "src/common/error.h"
+#include "src/common/strings.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+namespace {
+
+const std::vector<std::string>& Records() {
+  static const auto* kRecords = new std::vector<std::string>{
+      "alpha beta alpha", "beta gamma", "alpha delta gamma gamma"};
+  return *kRecords;
+}
+
+class MiniMrTest : public ::testing::Test {
+ protected:
+  Cluster cluster_;
+};
+
+TEST_F(MiniMrTest, WordCountProducesCorrectTotals) {
+  Configuration conf;
+  WordCountResult result = RunWordCountJob(cluster_, conf, Records());
+  EXPECT_EQ(result.counts.at("alpha"), 3);
+  EXPECT_EQ(result.counts.at("beta"), 2);
+  EXPECT_EQ(result.counts.at("gamma"), 3);
+  EXPECT_EQ(result.counts.at("delta"), 1);
+  EXPECT_EQ(result.output_files.size(), 1u);
+}
+
+class WordCountConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool, bool, int>> {};
+
+TEST_P(WordCountConfigSweep, HomogeneousConfigsAllWork) {
+  auto [maps, reduces, compress, encrypted, committer] = GetParam();
+  Cluster cluster;
+  Configuration conf;
+  conf.SetInt(kMrJobMaps, maps);
+  conf.SetInt(kMrJobReduces, reduces);
+  conf.SetBool(kMrMapOutputCompress, compress);
+  conf.SetBool(kMrEncryptedIntermediate, encrypted);
+  conf.SetInt(kMrCommitterVersion, committer);
+
+  WordCountResult result = RunWordCountJob(cluster, conf, Records());
+  EXPECT_EQ(result.counts.at("alpha"), 3);
+  EXPECT_EQ(result.counts.at("gamma"), 3);
+  EXPECT_EQ(result.output_files.size(), static_cast<size_t>(reduces));
+  EXPECT_TRUE(result.store.temporary.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, WordCountConfigSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(1, 2, 4),
+                       ::testing::Bool(), ::testing::Bool(), ::testing::Values(1, 2)));
+
+TEST_F(MiniMrTest, ReducerWithLargerJobMapsFailsToCopy) {
+  Configuration driver_conf;
+  driver_conf.SetInt(kMrJobMaps, 2);
+  std::vector<std::unique_ptr<MapTask>> maps;
+  for (int m = 0; m < 2; ++m) {
+    maps.push_back(std::make_unique<MapTask>(&cluster_, driver_conf, m));
+    maps.back()->Run(Records());
+  }
+  std::vector<MapTask*> map_ptrs{maps[0].get(), maps[1].get()};
+
+  Configuration reducer_conf;
+  reducer_conf.SetInt(kMrJobMaps, 4);  // believes 4 mappers ran
+  ReduceTask reducer(&cluster_, reducer_conf, 0);
+  MrOutputStore store;
+  EXPECT_THROW(reducer.Run(map_ptrs, &store), RpcError);
+}
+
+TEST_F(MiniMrTest, ReducerWithSmallerJobMapsLosesData) {
+  Configuration driver_conf;
+  driver_conf.SetInt(kMrJobMaps, 2);
+  std::vector<std::unique_ptr<MapTask>> maps;
+  for (int m = 0; m < 2; ++m) {
+    maps.push_back(std::make_unique<MapTask>(&cluster_, driver_conf, m));
+    maps.back()->Run({Records()[m]});
+  }
+  std::vector<MapTask*> map_ptrs{maps[0].get(), maps[1].get()};
+
+  Configuration reducer_conf;
+  reducer_conf.SetInt(kMrJobMaps, 1);  // copies only mapper 0
+  ReduceTask reducer(&cluster_, reducer_conf, 0);
+  MrOutputStore store;
+  reducer.Run(map_ptrs, &store);
+  // "alpha beta alpha" alone: alpha=2 (missing mapper 1's contribution).
+  EXPECT_EQ(reducer.counts().at("alpha"), 2);
+  EXPECT_EQ(reducer.counts().count("gamma"), 0u);
+}
+
+TEST_F(MiniMrTest, PartitionCountMismatchBreaksShuffle) {
+  Configuration map_conf;
+  map_conf.SetInt(kMrJobReduces, 1);  // mapper produces one partition
+  MapTask map(&cluster_, map_conf, 0);
+  map.Run(Records());
+
+  Configuration reducer_conf;
+  reducer_conf.SetInt(kMrJobMaps, 1);
+  reducer_conf.SetInt(kMrJobReduces, 2);
+  ReduceTask reducer(&cluster_, reducer_conf, 1);  // asks for partition 1
+  MrOutputStore store;
+  EXPECT_THROW(reducer.Run({&map}, &store), RpcError);
+}
+
+TEST_F(MiniMrTest, CompressionMismatchBreaksShuffleDecode) {
+  Configuration map_conf;
+  map_conf.SetBool(kMrMapOutputCompress, true);
+  MapTask map(&cluster_, map_conf, 0);
+  map.Run(Records());
+
+  Configuration reducer_conf;  // expects uncompressed
+  reducer_conf.SetInt(kMrJobMaps, 1);
+  ReduceTask reducer(&cluster_, reducer_conf, 0);
+  MrOutputStore store;
+  EXPECT_THROW(reducer.Run({&map}, &store), Error);
+}
+
+TEST_F(MiniMrTest, CodecMismatchBreaksShuffleDecode) {
+  Configuration map_conf;
+  map_conf.SetBool(kMrMapOutputCompress, true);
+  map_conf.Set(kMrMapOutputCodec, "rle");
+  MapTask map(&cluster_, map_conf, 0);
+  map.Run(Records());
+
+  Configuration reducer_conf;
+  reducer_conf.SetInt(kMrJobMaps, 1);
+  reducer_conf.SetBool(kMrMapOutputCompress, true);
+  reducer_conf.Set(kMrMapOutputCodec, "xor8");
+  ReduceTask reducer(&cluster_, reducer_conf, 0);
+  MrOutputStore store;
+  EXPECT_THROW(reducer.Run({&map}, &store), DecodeError);
+}
+
+TEST_F(MiniMrTest, EncryptionMismatchBreaksShuffleDecode) {
+  Configuration map_conf;
+  map_conf.SetBool(kMrEncryptedIntermediate, true);
+  MapTask map(&cluster_, map_conf, 0);
+  map.Run(Records());
+
+  Configuration reducer_conf;
+  reducer_conf.SetInt(kMrJobMaps, 1);
+  ReduceTask reducer(&cluster_, reducer_conf, 0);
+  MrOutputStore store;
+  EXPECT_THROW(reducer.Run({&map}, &store), Error);
+}
+
+TEST_F(MiniMrTest, ShuffleSslMismatchFailsHandshake) {
+  Configuration map_conf;
+  map_conf.SetBool(kMrShuffleSsl, true);
+  MapTask map(&cluster_, map_conf, 0);
+  map.Run(Records());
+
+  Configuration reducer_conf;  // SSL off
+  EXPECT_THROW(map.FetchShuffle(0, reducer_conf), HandshakeError);
+}
+
+TEST_F(MiniMrTest, MixedCommitterVersionsFailArchiveValidation) {
+  // Reducer commits v1 (stages in _temporary); the driver commits v2 (never
+  // relocates) -> the archive step reports the missing part file.
+  Configuration driver_conf;
+  driver_conf.SetInt(kMrCommitterVersion, 2);
+  driver_conf.SetInt(kMrJobMaps, 1);
+  MapTask map(&cluster_, driver_conf, 0);
+  map.Run(Records());
+
+  Configuration reducer_conf;
+  reducer_conf.SetInt(kMrCommitterVersion, 1);
+  reducer_conf.SetInt(kMrJobMaps, 1);
+  ReduceTask reducer(&cluster_, reducer_conf, 0);
+  MrOutputStore store;
+  reducer.Run({&map}, &store);
+  EXPECT_EQ(store.final_dir.size(), 0u);
+  EXPECT_EQ(store.temporary.size(), 1u);
+}
+
+TEST_F(MiniMrTest, OutputFileNamesFollowReducerCompressionFlag) {
+  Configuration reducer_conf;
+  reducer_conf.SetBool(kMrOutputCompress, true);
+  reducer_conf.SetInt(kMrJobMaps, 1);
+  Configuration map_conf;
+  MapTask map(&cluster_, map_conf, 0);
+  map.Run(Records());
+
+  ReduceTask reducer(&cluster_, reducer_conf, 0);
+  MrOutputStore store;
+  reducer.Run({&map}, &store);
+  EXPECT_TRUE(EndsWith(reducer.output_file(), ".rle")) << reducer.output_file();
+}
+
+TEST_F(MiniMrTest, HistoryServerCountsJobs) {
+  Configuration conf;
+  JobHistoryServer history(&cluster_, conf);
+  history.RecordJob("a");
+  history.RecordJob("b");
+  history.RecordJob("c");
+  EXPECT_EQ(history.NumJobs(conf), 3);
+}
+
+TEST_F(MiniMrTest, EmptyInputStillProducesOutputFiles) {
+  Configuration conf;
+  WordCountResult result = RunWordCountJob(cluster_, conf, {});
+  EXPECT_TRUE(result.counts.empty());
+  EXPECT_EQ(result.output_files.size(), 1u);
+}
+
+TEST_F(MiniMrTest, WordsSplitConsistentlyAcrossPartitions) {
+  Configuration conf;
+  conf.SetInt(kMrJobReduces, 4);
+  WordCountResult result = RunWordCountJob(cluster_, conf, Records());
+  int total = 0;
+  for (const auto& [word, count] : result.counts) {
+    total += count;
+  }
+  EXPECT_EQ(total, 9) << "every token counted exactly once across partitions";
+}
+
+}  // namespace
+}  // namespace zebra

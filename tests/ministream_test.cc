@@ -1,0 +1,130 @@
+// Tests for the MiniStream substrate: control-plane SSL, data-plane SSL,
+// slot accounting — Flink's three Table 3 parameters.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/ministream/job_manager.h"
+#include "src/apps/ministream/stream_params.h"
+#include "src/apps/ministream/task_manager.h"
+#include "src/common/error.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+namespace {
+
+class MiniStreamTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<TaskManager> MakeTm(const Configuration& conf) {
+    return std::make_unique<TaskManager>(&cluster_, conf);
+  }
+  Cluster cluster_;
+};
+
+TEST_F(MiniStreamTest, RegistrationWorksWithMatchedSsl) {
+  Configuration conf;
+  conf.SetBool(kStreamAkkaSsl, true);
+  JobManager jm(&cluster_, conf);
+  auto tm = MakeTm(conf);
+  jm.RegisterTaskManager(tm.get());
+  EXPECT_EQ(jm.NumTaskManagers(), 1);
+}
+
+TEST_F(MiniStreamTest, AkkaSslMismatchFailsRegistration) {
+  Configuration jm_conf;
+  jm_conf.SetBool(kStreamAkkaSsl, true);
+  JobManager jm(&cluster_, jm_conf);
+  Configuration tm_conf;  // SSL off
+  auto tm = MakeTm(tm_conf);
+  EXPECT_THROW(jm.RegisterTaskManager(tm.get()), HandshakeError);
+}
+
+TEST_F(MiniStreamTest, DataExchangeRoundTrips) {
+  Configuration conf;
+  auto sender = MakeTm(conf);
+  auto receiver = MakeTm(conf);
+  sender->SendRecords(receiver.get(), {"a", "b", "c"});
+  EXPECT_EQ(receiver->received_records(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(MiniStreamTest, DataSslMismatchBreaksDecode) {
+  Configuration sender_conf;
+  sender_conf.SetBool(kStreamDataSsl, true);
+  auto sender = MakeTm(sender_conf);
+  Configuration receiver_conf;  // SSL off
+  auto receiver = MakeTm(receiver_conf);
+  EXPECT_THROW(sender->SendRecords(receiver.get(), {"x"}), Error);
+}
+
+TEST_F(MiniStreamTest, MatchedDataSslRoundTrips) {
+  Configuration conf;
+  conf.SetBool(kStreamDataSsl, true);
+  auto sender = MakeTm(conf);
+  auto receiver = MakeTm(conf);
+  sender->SendRecords(receiver.get(), {"secure"});
+  EXPECT_EQ(receiver->received_records().front(), "secure");
+}
+
+TEST_F(MiniStreamTest, SlotMismatchBreaksScheduling) {
+  Configuration jm_conf;
+  jm_conf.SetInt(kStreamTaskSlots, 4);  // JM believes 4 slots per TM
+  JobManager jm(&cluster_, jm_conf);
+  Configuration tm_conf;
+  tm_conf.SetInt(kStreamTaskSlots, 1);  // TM offers 1
+  auto tm = MakeTm(tm_conf);
+  jm.RegisterTaskManager(tm.get());
+  EXPECT_THROW(jm.SubmitJob(2), RpcError);
+}
+
+class SlotSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotSweepTest, MatchedSlotsSchedule) {
+  const int slots = GetParam();
+  Cluster cluster;
+  Configuration conf;
+  conf.SetInt(kStreamTaskSlots, slots);
+  JobManager jm(&cluster, conf);
+  TaskManager tm1(&cluster, conf);
+  TaskManager tm2(&cluster, conf);
+  jm.RegisterTaskManager(&tm1);
+  jm.RegisterTaskManager(&tm2);
+
+  jm.SubmitJob(2 * slots);  // exactly saturates the cluster
+  EXPECT_EQ(tm1.DeployedTasks(), slots);
+  EXPECT_EQ(tm2.DeployedTasks(), slots);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, SlotSweepTest, ::testing::Values(1, 2, 4));
+
+TEST_F(MiniStreamTest, OversubmissionRejectedEvenWhenMatched) {
+  Configuration conf;
+  JobManager jm(&cluster_, conf);
+  auto tm = MakeTm(conf);
+  jm.RegisterTaskManager(tm.get());
+  EXPECT_THROW(jm.SubmitJob(5), RpcError);
+}
+
+TEST_F(MiniStreamTest, SubmitWithoutTaskManagersFails) {
+  Configuration conf;
+  JobManager jm(&cluster_, conf);
+  EXPECT_THROW(jm.SubmitJob(1), RpcError);
+}
+
+TEST_F(MiniStreamTest, JmWithFewerAssumedSlotsIsMerelyConservative) {
+  Configuration jm_conf;
+  jm_conf.SetInt(kStreamTaskSlots, 1);
+  JobManager jm(&cluster_, jm_conf);
+  Configuration tm_conf;
+  tm_conf.SetInt(kStreamTaskSlots, 4);
+  auto tm1 = MakeTm(tm_conf);
+  auto tm2 = MakeTm(tm_conf);
+  jm.RegisterTaskManager(tm1.get());
+  jm.RegisterTaskManager(tm2.get());
+  jm.SubmitJob(2);  // 1 per TM under the JM's assumption; TMs have room
+  EXPECT_EQ(tm1->DeployedTasks() + tm2->DeployedTasks(), 2);
+}
+
+}  // namespace
+}  // namespace zebra

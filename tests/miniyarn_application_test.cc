@@ -1,0 +1,115 @@
+// Tests for the MiniYARN application lifecycle.
+
+#include "src/apps/miniyarn/application.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/miniyarn/app_history_server.h"
+#include "src/apps/miniyarn/node_manager.h"
+#include "src/apps/miniyarn/yarn_params.h"
+#include "src/common/error.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+namespace {
+
+class AppLifecycleTest : public ::testing::Test {
+ protected:
+  Cluster cluster_;
+};
+
+TEST_F(AppLifecycleTest, SubmitRunComplete) {
+  Configuration conf;
+  ResourceManager rm(&cluster_, conf);
+  NodeManager nm(&cluster_, &rm, conf);
+  AppManager apps(&cluster_, &rm);
+
+  uint64_t app = apps.SubmitApplication("wordcount", 2, 1024, 1);
+  EXPECT_EQ(apps.NumRunning(), 1);
+  ASSERT_NE(apps.Find(app), nullptr);
+  EXPECT_EQ(apps.Find(app)->containers.size(), 2u);
+
+  apps.CompleteApplication(app);
+  EXPECT_EQ(apps.NumRunning(), 0);
+  EXPECT_EQ(apps.NumCompletedRetained(), 1);
+}
+
+TEST_F(AppLifecycleTest, SubmissionFailsWhenSchedulerRejects) {
+  Configuration rm_conf;
+  rm_conf.SetInt(kYarnMaxAllocMb, 1024);
+  ResourceManager rm(&cluster_, rm_conf);
+  NodeManager nm(&cluster_, &rm, rm_conf);
+  AppManager apps(&cluster_, &rm);
+
+  EXPECT_THROW(apps.SubmitApplication("big", 1, 8192, 1), LimitError);
+  EXPECT_EQ(apps.NumRunning(), 0);
+}
+
+TEST_F(AppLifecycleTest, CompletedRetentionBounded) {
+  Configuration conf;
+  conf.SetInt(kYarnMaxCompletedApps, 2);
+  ResourceManager rm(&cluster_, conf);
+  NodeManager nm(&cluster_, &rm, conf);
+  AppManager apps(&cluster_, &rm);
+
+  for (int i = 0; i < 5; ++i) {
+    uint64_t app = apps.SubmitApplication("job" + std::to_string(i), 0, 0, 0);
+    apps.CompleteApplication(app);
+  }
+  EXPECT_EQ(apps.NumCompletedRetained(), 2) << "oldest completed apps evicted";
+}
+
+TEST_F(AppLifecycleTest, DoubleCompletionRejected) {
+  Configuration conf;
+  ResourceManager rm(&cluster_, conf);
+  NodeManager nm(&cluster_, &rm, conf);
+  AppManager apps(&cluster_, &rm);
+
+  uint64_t app = apps.SubmitApplication("once", 0, 0, 0);
+  apps.CompleteApplication(app);
+  EXPECT_THROW(apps.CompleteApplication(app), RpcError);
+  EXPECT_THROW(apps.CompleteApplication(9999), RpcError);
+}
+
+TEST_F(AppLifecycleTest, HistoryPublishedWhenTimelineEnabled) {
+  Configuration conf;
+  conf.SetBool(kYarnTimelineEnabled, true);
+  ResourceManager rm(&cluster_, conf);
+  NodeManager nm(&cluster_, &rm, conf);
+  AppHistoryServer ahs(&cluster_, conf);
+  AppManager apps(&cluster_, &rm);
+
+  uint64_t app = apps.SubmitApplication("traced", 1, 512, 1);
+  EXPECT_TRUE(apps.PublishHistory(app, &ahs, conf));
+  EXPECT_EQ(ahs.NumTimelineEvents(), 2);
+}
+
+TEST_F(AppLifecycleTest, HistorySkippedWhenClientTimelineDisabled) {
+  Configuration server_conf;
+  server_conf.SetBool(kYarnTimelineEnabled, true);
+  ResourceManager rm(&cluster_, server_conf);
+  NodeManager nm(&cluster_, &rm, server_conf);
+  AppHistoryServer ahs(&cluster_, server_conf);
+  AppManager apps(&cluster_, &rm);
+
+  Configuration client_conf;  // timeline disabled on the client
+  uint64_t app = apps.SubmitApplication("silent", 0, 0, 0);
+  EXPECT_FALSE(apps.PublishHistory(app, &ahs, client_conf));
+  EXPECT_EQ(ahs.NumTimelineEvents(), 0);
+}
+
+TEST_F(AppLifecycleTest, HistoryFailsWhenServerTimelineDisabled) {
+  Configuration server_conf;  // timeline NOT running
+  ResourceManager rm(&cluster_, server_conf);
+  NodeManager nm(&cluster_, &rm, server_conf);
+  AppHistoryServer ahs(&cluster_, server_conf);
+  AppManager apps(&cluster_, &rm);
+
+  Configuration client_conf;
+  client_conf.SetBool(kYarnTimelineEnabled, true);
+  uint64_t app = apps.SubmitApplication("refused", 0, 0, 0);
+  EXPECT_THROW(apps.PublishHistory(app, &ahs, client_conf), RpcError);
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,196 @@
+// Tests for the MiniYARN substrate: scheduler maximums, delegation tokens,
+// the timeline service, and the safe-by-design parameters.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/miniyarn/app_history_server.h"
+#include "src/apps/miniyarn/node_manager.h"
+#include "src/apps/miniyarn/resource_manager.h"
+#include "src/apps/miniyarn/yarn_client.h"
+#include "src/apps/miniyarn/yarn_params.h"
+#include "src/common/error.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+namespace {
+
+class MiniYarnTest : public ::testing::Test {
+ protected:
+  Cluster cluster_;
+};
+
+TEST_F(MiniYarnTest, RegistrationAndHeartbeatsWork) {
+  Configuration conf;
+  ResourceManager rm(&cluster_, conf);
+  NodeManager nm1(&cluster_, &rm, conf);
+  NodeManager nm2(&cluster_, &rm, conf);
+  EXPECT_EQ(rm.NumRegisteredNodeManagers(), 2);
+  cluster_.AdvanceTime(10000);  // heartbeats run without error
+}
+
+TEST_F(MiniYarnTest, HeartbeatIntervalComesFromTheRegistrationResponse) {
+  Configuration rm_conf;
+  rm_conf.SetInt(kYarnNmHeartbeatMs, 250);
+  ResourceManager rm(&cluster_, rm_conf);
+  Configuration nm_conf;
+  nm_conf.SetInt(kYarnNmHeartbeatMs, 99999);  // ignored: RM's value wins
+  NodeManager nm(&cluster_, &rm, nm_conf);
+  EXPECT_EQ(nm.effective_heartbeat_interval_ms(), 250)
+      << "the §7.3 embed-in-communication pattern keeps this parameter safe";
+}
+
+TEST_F(MiniYarnTest, AllocationAtRmMaximumSucceeds) {
+  Configuration conf;
+  ResourceManager rm(&cluster_, conf);
+  NodeManager nm(&cluster_, &rm, conf);
+  YarnClient client(&cluster_, &rm, conf);
+  EXPECT_GT(client.RequestMaxContainer(), 0u);
+}
+
+TEST_F(MiniYarnTest, OversizedMemoryRequestRejected) {
+  Configuration rm_conf;
+  rm_conf.SetInt(kYarnMaxAllocMb, 1024);
+  ResourceManager rm(&cluster_, rm_conf);
+  NodeManager nm(&cluster_, &rm, rm_conf);
+  Configuration client_conf;
+  client_conf.SetInt(kYarnMaxAllocMb, 8192);  // client believes 8 GiB is fine
+  YarnClient client(&cluster_, &rm, client_conf);
+  EXPECT_THROW(client.RequestMaxContainer(), LimitError);
+}
+
+TEST_F(MiniYarnTest, OversizedVcoreRequestRejected) {
+  Configuration rm_conf;
+  rm_conf.SetInt(kYarnMaxAllocVcores, 1);
+  ResourceManager rm(&cluster_, rm_conf);
+  NodeManager nm(&cluster_, &rm, rm_conf);
+  Configuration client_conf;
+  client_conf.SetInt(kYarnMaxAllocVcores, 4);
+  YarnClient client(&cluster_, &rm, client_conf);
+  EXPECT_THROW(client.RequestMaxContainer(), LimitError);
+}
+
+TEST_F(MiniYarnTest, AllocationExhaustsNodeCapacity) {
+  Configuration conf;
+  conf.SetInt(kYarnNmMemoryMb, 2048);
+  conf.SetInt(kYarnMaxAllocMb, 2048);
+  ResourceManager rm(&cluster_, conf);
+  NodeManager nm(&cluster_, &rm, conf);
+  YarnClient client(&cluster_, &rm, conf);
+
+  EXPECT_GT(client.RequestContainer(2048, 1), 0u);
+  EXPECT_THROW(client.RequestContainer(2048, 1), RpcError) << "capacity exhausted";
+}
+
+TEST_F(MiniYarnTest, HeterogeneousNodeCapacitiesAreFine) {
+  Configuration rm_conf;
+  ResourceManager rm(&cluster_, rm_conf);
+  Configuration small_conf;
+  small_conf.SetInt(kYarnNmMemoryMb, 2048);
+  NodeManager small(&cluster_, &rm, small_conf);
+  Configuration large_conf;
+  large_conf.SetInt(kYarnNmMemoryMb, 16384);
+  NodeManager large(&cluster_, &rm, large_conf);
+  YarnClient client(&cluster_, &rm, rm_conf);
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(client.RequestContainer(4096, 1), 0u);
+  }
+}
+
+TEST_F(MiniYarnTest, TokenExpiryFollowsIssuingRmInterval) {
+  Configuration rm1_conf;
+  rm1_conf.SetInt(kYarnTokenRenewInterval, 86400000);
+  ResourceManager rm1(&cluster_, rm1_conf);
+  Configuration rm2_conf;
+  rm2_conf.SetInt(kYarnTokenRenewInterval, 3600000);
+  ResourceManager rm2(&cluster_, rm2_conf);
+  Configuration client_conf;
+  YarnClient client(&cluster_, &rm1, client_conf);
+
+  DelegationToken first = client.GetDelegationTokenFrom(&rm1);
+  cluster_.AdvanceTime(50);
+  DelegationToken second = client.GetDelegationTokenFrom(&rm2);
+  EXPECT_LT(second.expiry_ms, first.expiry_ms)
+      << "the newer token expires earlier — the Table 3 anomaly";
+}
+
+TEST_F(MiniYarnTest, HomogeneousTokenExpiryIsMonotonic) {
+  Configuration conf;
+  ResourceManager rm1(&cluster_, conf);
+  ResourceManager rm2(&cluster_, conf);
+  YarnClient client(&cluster_, &rm1, conf);
+
+  DelegationToken first = client.GetDelegationTokenFrom(&rm1);
+  cluster_.AdvanceTime(50);
+  DelegationToken second = client.GetDelegationTokenFrom(&rm2);
+  EXPECT_GE(second.expiry_ms, first.expiry_ms);
+}
+
+TEST_F(MiniYarnTest, TimelinePublishFailsWhenServerDisabled) {
+  Configuration server_conf;  // timeline disabled
+  AppHistoryServer ahs(&cluster_, server_conf);
+  Configuration client_conf;
+  client_conf.SetBool(kYarnTimelineEnabled, true);
+  ResourceManager rm(&cluster_, server_conf);
+  YarnClient client(&cluster_, &rm, client_conf);
+
+  EXPECT_THROW(client.PublishTimelineEvent(&ahs, "e"), RpcError);
+}
+
+TEST_F(MiniYarnTest, TimelinePublishNoOpWhenClientDisabled) {
+  Configuration server_conf;
+  server_conf.SetBool(kYarnTimelineEnabled, true);
+  AppHistoryServer ahs(&cluster_, server_conf);
+  Configuration client_conf;  // client disabled
+  ResourceManager rm(&cluster_, server_conf);
+  YarnClient client(&cluster_, &rm, client_conf);
+
+  EXPECT_FALSE(client.PublishTimelineEvent(&ahs, "e"));
+  EXPECT_EQ(ahs.NumTimelineEvents(), 0);
+}
+
+TEST_F(MiniYarnTest, TimelinePublishWorksWhenBothEnabled) {
+  Configuration conf;
+  conf.SetBool(kYarnTimelineEnabled, true);
+  AppHistoryServer ahs(&cluster_, conf);
+  ResourceManager rm(&cluster_, conf);
+  YarnClient client(&cluster_, &rm, conf);
+
+  EXPECT_TRUE(client.PublishTimelineEvent(&ahs, "e"));
+  EXPECT_EQ(ahs.NumTimelineEvents(), 1);
+}
+
+TEST_F(MiniYarnTest, HttpPolicyMismatchBreaksTimelineWeb) {
+  Configuration server_conf;
+  server_conf.SetBool(kYarnTimelineEnabled, true);
+  server_conf.Set(kYarnHttpPolicy, "HTTPS_ONLY");
+  AppHistoryServer ahs(&cluster_, server_conf);
+  Configuration client_conf;  // HTTP_ONLY
+  ResourceManager rm(&cluster_, server_conf);
+  YarnClient client(&cluster_, &rm, client_conf);
+
+  EXPECT_THROW(client.QueryTimelineWeb(&ahs), HandshakeError);
+}
+
+TEST_F(MiniYarnTest, MatchedHttpPolicyServesTimelineWeb) {
+  Configuration conf;
+  conf.SetBool(kYarnTimelineEnabled, true);
+  conf.Set(kYarnHttpPolicy, "HTTPS_ONLY");
+  AppHistoryServer ahs(&cluster_, conf);
+  ResourceManager rm(&cluster_, conf);
+  YarnClient client(&cluster_, &rm, conf);
+
+  EXPECT_EQ(client.QueryTimelineWeb(&ahs), "timeline-events=0");
+}
+
+TEST_F(MiniYarnTest, StoppedNodeManagerStopsHeartbeating) {
+  Configuration conf;
+  ResourceManager rm(&cluster_, conf);
+  NodeManager nm(&cluster_, &rm, conf);
+  nm.Stop();
+  cluster_.AdvanceTime(10000);  // no exception: heartbeats silenced
+  EXPECT_EQ(rm.NumRegisteredNodeManagers(), 1);
+}
+
+}  // namespace
+}  // namespace zebra

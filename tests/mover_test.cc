@@ -1,0 +1,126 @@
+// Tests for the MiniDFS Mover (storage-tier migration).
+
+#include "src/apps/minidfs/mover.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_client.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+namespace {
+
+class MoverTest : public ::testing::Test {
+ protected:
+  std::vector<uint64_t> WriteBlocksOn(DfsClient& client, NameNode& nn, DataNode& dn,
+                                      int files) {
+    std::vector<uint64_t> blocks;
+    for (int i = 0; i < files; ++i) {
+      std::string path = "/mv/f" + std::to_string(i);
+      client.WriteFile(path, "block");
+      for (uint64_t block : nn.BlocksOf(path)) {
+        for (uint64_t location : nn.LocationsOf(block)) {
+          if (location == dn.id()) {
+            blocks.push_back(block);
+          }
+        }
+      }
+    }
+    return blocks;
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(MoverTest, MigratesAllBlocks) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&cluster_, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  DfsClient client(&cluster_, &nn, {&dn1, &dn2}, conf);
+  Mover mover(&cluster_, &nn, conf);
+
+  std::vector<uint64_t> blocks = WriteBlocksOn(client, nn, dn1, 8);
+  ASSERT_FALSE(blocks.empty());
+
+  MoveResult result = mover.MigrateBlocks(blocks, &dn1, &dn2, 600000);
+  EXPECT_EQ(result.migrated_blocks, static_cast<int>(blocks.size()));
+  for (uint64_t block : blocks) {
+    EXPECT_TRUE(dn2.HasBlock(block));
+    std::vector<uint64_t> locations = nn.LocationsOf(block);
+    EXPECT_NE(std::find(locations.begin(), locations.end(), dn2.id()),
+              locations.end());
+  }
+}
+
+TEST_F(MoverTest, MatchedConcurrencyNeverDeclines) {
+  Configuration conf;
+  conf.SetInt(kDfsReplication, 1);
+  conf.SetInt(kDfsBalanceMaxMoves, 4);
+  NameNode nn(&cluster_, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  DfsClient client(&cluster_, &nn, {&dn1, &dn2}, conf);
+  Mover mover(&cluster_, &nn, conf);
+
+  std::vector<uint64_t> blocks = WriteBlocksOn(client, nn, dn1, 10);
+  MoveResult result = mover.MigrateBlocks(blocks, &dn1, &dn2, 600000);
+  EXPECT_EQ(result.declined_dispatches, 0);
+}
+
+TEST_F(MoverTest, MismatchedConcurrencyCausesBackoffs) {
+  Configuration nn_conf;
+  nn_conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&cluster_, nn_conf);
+  Configuration dn_conf(nn_conf);
+  dn_conf.SetInt(kDfsBalanceMaxMoves, 1);
+  DataNode dn1(&cluster_, &nn, dn_conf);
+  DataNode dn2(&cluster_, &nn, dn_conf);
+  DfsClient client(&cluster_, &nn, {&dn1, &dn2}, nn_conf);
+  Configuration mover_conf(nn_conf);
+  mover_conf.SetInt(kDfsBalanceMaxMoves, 50);
+  Mover mover(&cluster_, &nn, mover_conf);
+
+  std::vector<uint64_t> blocks = WriteBlocksOn(client, nn, dn1, 10);
+  MoveResult result = mover.MigrateBlocks(blocks, &dn1, &dn2, 600000);
+  EXPECT_EQ(result.migrated_blocks, static_cast<int>(blocks.size()));
+  EXPECT_GT(result.declined_dispatches, 0) << "flooding a 1-slot DataNode declines";
+  EXPECT_GT(result.elapsed_ms, 1100) << "backoffs dominate the elapsed time";
+}
+
+TEST_F(MoverTest, TimesOutUnderTightDeadline) {
+  Configuration nn_conf;
+  nn_conf.SetInt(kDfsReplication, 1);
+  NameNode nn(&cluster_, nn_conf);
+  Configuration dn_conf(nn_conf);
+  dn_conf.SetInt(kDfsBalanceMaxMoves, 1);
+  DataNode dn1(&cluster_, &nn, dn_conf);
+  DataNode dn2(&cluster_, &nn, dn_conf);
+  DfsClient client(&cluster_, &nn, {&dn1, &dn2}, nn_conf);
+  Configuration mover_conf(nn_conf);
+  mover_conf.SetInt(kDfsBalanceMaxMoves, 50);
+  Mover mover(&cluster_, &nn, mover_conf);
+
+  std::vector<uint64_t> blocks = WriteBlocksOn(client, nn, dn1, 10);
+  EXPECT_THROW(mover.MigrateBlocks(blocks, &dn1, &dn2, 2000), TimeoutError);
+}
+
+TEST_F(MoverTest, EmptyBlockListIsANoOp) {
+  Configuration conf;
+  NameNode nn(&cluster_, conf);
+  DataNode dn1(&cluster_, &nn, conf);
+  DataNode dn2(&cluster_, &nn, conf);
+  Mover mover(&cluster_, &nn, conf);
+
+  MoveResult result = mover.MigrateBlocks({}, &dn1, &dn2, 1000);
+  EXPECT_EQ(result.migrated_blocks, 0);
+  EXPECT_EQ(result.elapsed_ms, 0);
+}
+
+}  // namespace
+}  // namespace zebra

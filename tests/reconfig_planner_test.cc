@@ -1,0 +1,142 @@
+// Tests for the rolling-reconfiguration planner (§7.1 workarounds, §7.3
+// lessons) and the live online reconfiguration of MiniDFS nodes.
+
+#include "src/core/reconfig_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/minidfs/data_node.h"
+#include "src/apps/minidfs/dfs_params.h"
+#include "src/apps/minidfs/name_node.h"
+#include "src/common/error.h"
+#include "src/runtime/cluster.h"
+
+namespace zebra {
+namespace {
+
+std::vector<NodeRef> DfsNodes() {
+  return {{"nn-1", "NameNode"}, {"dn-1", "DataNode"}, {"dn-2", "DataNode"}};
+}
+
+TEST(ReconfigPlannerTest, HeartbeatDecreaseUpdatesSendersFirst) {
+  ReconfigPlan plan =
+      PlanReconfiguration("dfs.heartbeat.interval", "100", "1", DfsNodes());
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.steps.size(), 3u);
+  EXPECT_EQ(plan.steps[0].node_type, "DataNode");
+  EXPECT_EQ(plan.steps[1].node_type, "DataNode");
+  EXPECT_EQ(plan.steps[2].node_type, "NameNode");
+}
+
+TEST(ReconfigPlannerTest, HeartbeatIncreaseUpdatesReceiversFirst) {
+  ReconfigPlan plan =
+      PlanReconfiguration("dfs.heartbeat.interval", "1", "100", DfsNodes());
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.steps.size(), 3u);
+  EXPECT_EQ(plan.steps[0].node_type, "NameNode");
+}
+
+TEST(ReconfigPlannerTest, MaxLimitIncreaseAllowedDecreaseRefused) {
+  std::vector<NodeRef> nodes{{"rm-1", "ResourceManager"}};
+  ReconfigPlan grow = PlanReconfiguration("yarn.scheduler.maximum-allocation-mb",
+                                          "1024", "8192", nodes);
+  EXPECT_TRUE(grow.feasible);
+
+  ReconfigPlan shrink = PlanReconfiguration("yarn.scheduler.maximum-allocation-mb",
+                                            "8192", "1024", nodes);
+  EXPECT_FALSE(shrink.feasible);
+  EXPECT_NE(shrink.rationale.find("decrease"), std::string::npos);
+}
+
+TEST(ReconfigPlannerTest, WireFormatParamsHaveNoSafeOrder) {
+  for (const char* param :
+       {"dfs.encrypt.data.transfer", "dfs.checksum.type", "hadoop.rpc.protection",
+        "hbase.regionserver.thrift.framed", "akka.ssl.enabled"}) {
+    ReconfigPlan plan = PlanReconfiguration(param, "false", "true", DfsNodes());
+    EXPECT_FALSE(plan.feasible) << param;
+    EXPECT_EQ(plan.category, ReconfigCategory::kWireFormatLike) << param;
+  }
+}
+
+TEST(ReconfigPlannerTest, CountParamsHaveNoSafeOrder) {
+  ReconfigPlan plan = PlanReconfiguration("taskmanager.numberOfTaskSlots", "1", "4",
+                                          {{"tm-1", "TaskManager"}});
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.rationale.find("§7.3"), std::string::npos);
+}
+
+TEST(ReconfigPlannerTest, ConsistencyParamsAllowAnyOrderWithNote) {
+  ReconfigPlan plan = PlanReconfiguration("dfs.namenode.stale.datanode.interval",
+                                          "30000", "5000", DfsNodes());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.steps.size(), 3u);
+  EXPECT_EQ(plan.category, ReconfigCategory::kConsistencyLike);
+}
+
+TEST(ReconfigPlannerTest, UnknownParamsAreSafe) {
+  ReconfigPlan plan = PlanReconfiguration("dfs.replication", "2", "3", DfsNodes());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.category, ReconfigCategory::kSafe);
+}
+
+TEST(ReconfigPlannerTest, GuidanceCoversEveryTableThreeCategoryExample) {
+  const auto& guidance = ReconfigGuidance();
+  EXPECT_GT(guidance.size(), 30u);
+  EXPECT_EQ(guidance.at("dfs.heartbeat.interval").category,
+            ReconfigCategory::kHeartbeatLike);
+  EXPECT_EQ(guidance.at("mapreduce.job.maps").category, ReconfigCategory::kCountLike);
+}
+
+// ---- Live online reconfiguration on a running MiniDFS cluster ---------------
+
+TEST(LiveReconfigTest, SenderFirstDecreaseKeepsTheClusterHealthy) {
+  Cluster cluster;
+  Configuration conf;
+  conf.SetInt(kDfsHeartbeatRecheck, 1000);
+  conf.SetInt(kDfsHeartbeatInterval, 100);
+  NameNode nn(&cluster, conf);
+  DataNode dn(&cluster, &nn, conf);
+
+  // Planner says: decrease 100 -> 1 updates the sender (DataNode) first.
+  dn.Reconfigure(kDfsHeartbeatInterval, "1");
+  cluster.AdvanceTime(60000);  // transient heterogeneity: sender faster — fine
+  nn.Reconfigure(kDfsHeartbeatInterval, "1");
+  cluster.AdvanceTime(60000);
+  EXPECT_EQ(nn.NumLiveDataNodes(), 1);
+}
+
+TEST(LiveReconfigTest, ReceiverFirstDecreaseKillsTheDataNode) {
+  Cluster cluster;
+  Configuration conf;
+  conf.SetInt(kDfsHeartbeatRecheck, 1000);
+  conf.SetInt(kDfsHeartbeatInterval, 100);
+  NameNode nn(&cluster, conf);
+  DataNode dn(&cluster, &nn, conf);
+
+  // Wrong order: the receiver now expects 1 s beats while the sender still
+  // beats every 100 s; the dead window (2 s + 10 s) expires first.
+  nn.Reconfigure(kDfsHeartbeatInterval, "1");
+  EXPECT_THROW(cluster.AdvanceTime(120000), RpcError);
+}
+
+TEST(LiveReconfigTest, BandwidthIsReconfigurableOnline) {
+  Cluster cluster;
+  Configuration conf;
+  NameNode nn(&cluster, conf);
+  DataNode dn(&cluster, &nn, conf);
+  EXPECT_EQ(dn.BalanceBandwidthPerSec(), kDfsBalanceBandwidthDefault);
+  dn.Reconfigure(kDfsBalanceBandwidth, "10485760");
+  EXPECT_EQ(dn.BalanceBandwidthPerSec(), 10485760);
+}
+
+TEST(LiveReconfigTest, UnsupportedParamsAreRefused) {
+  Cluster cluster;
+  Configuration conf;
+  NameNode nn(&cluster, conf);
+  DataNode dn(&cluster, &nn, conf);
+  EXPECT_THROW(dn.Reconfigure("dfs.checksum.type", "CRC32"), RpcError);
+  EXPECT_THROW(nn.Reconfigure("dfs.http.policy", "HTTPS_ONLY"), RpcError);
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,112 @@
+// Tests for report serialization and shard merging.
+
+#include "src/core/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace zebra {
+namespace {
+
+CampaignReport SampleReport(const std::string& app) {
+  CampaignReport report;
+  AppStageCounts counts;
+  counts.original = 5000;
+  counts.after_prerun = 400;
+  counts.after_uncertainty = 390;
+  counts.executed_runs = 120;
+  counts.tests_total = 9;
+  counts.tests_with_nodes = 7;
+  report.per_app[app] = counts;
+
+  ParamFinding finding;
+  finding.param = app + ".some.param";
+  finding.owning_app = app;
+  finding.best_p_value = 5.4e-5;
+  finding.witness_tests = {app + ".TestA", app + ".TestB"};
+  finding.example_failure = "line one\nline two = with equals";
+  report.findings[finding.param] = finding;
+
+  report.first_trial_candidates = 7;
+  report.filtered_by_hypothesis = 2;
+  report.total_unit_test_runs = 121;
+  report.wall_seconds = 0.25;
+  report.run_durations_seconds.assign(121, 0.002);
+  return report;
+}
+
+TEST(ReportIoTest, RoundTripPreservesEverything) {
+  CampaignReport original = SampleReport("minikv");
+  CampaignReport restored = DeserializeReport(SerializeReport(original));
+
+  const AppStageCounts& counts = restored.per_app.at("minikv");
+  EXPECT_EQ(counts.original, 5000);
+  EXPECT_EQ(counts.after_prerun, 400);
+  EXPECT_EQ(counts.after_uncertainty, 390);
+  EXPECT_EQ(counts.executed_runs, 120);
+  EXPECT_EQ(counts.tests_total, 9);
+  EXPECT_EQ(counts.tests_with_nodes, 7);
+
+  const ParamFinding& finding = restored.findings.at("minikv.some.param");
+  EXPECT_EQ(finding.owning_app, "minikv");
+  EXPECT_NEAR(finding.best_p_value, 5.4e-5, 1e-9);
+  EXPECT_EQ(finding.witness_tests.size(), 2u);
+  EXPECT_EQ(finding.example_failure, "line one\nline two = with equals")
+      << "newlines and equals signs survive escaping";
+
+  EXPECT_EQ(restored.first_trial_candidates, 7);
+  EXPECT_EQ(restored.filtered_by_hypothesis, 2);
+  EXPECT_EQ(restored.total_unit_test_runs, 121);
+  EXPECT_EQ(restored.run_durations_seconds.size(), 121u);
+}
+
+TEST(ReportIoTest, EmptyReportRoundTrips) {
+  CampaignReport restored = DeserializeReport(SerializeReport(CampaignReport{}));
+  EXPECT_TRUE(restored.per_app.empty());
+  EXPECT_TRUE(restored.findings.empty());
+  EXPECT_EQ(restored.total_unit_test_runs, 0);
+}
+
+TEST(ReportIoTest, MalformedTextRejected) {
+  EXPECT_THROW(DeserializeReport("apps = minikv\n"), Error)
+      << "announced app without its counts";
+  EXPECT_THROW(DeserializeReport("not properties at all"), Error);
+}
+
+TEST(ReportIoTest, MergeDisjointShards) {
+  CampaignReport merged =
+      MergeReports({SampleReport("minikv"), SampleReport("ministream")});
+  EXPECT_EQ(merged.per_app.size(), 2u);
+  EXPECT_EQ(merged.findings.size(), 2u);
+  EXPECT_EQ(merged.first_trial_candidates, 14);
+  EXPECT_EQ(merged.total_unit_test_runs, 242);
+  EXPECT_EQ(merged.run_durations_seconds.size(), 242u);
+}
+
+TEST(ReportIoTest, MergeUnionsWitnessesForSharedParams) {
+  CampaignReport a = SampleReport("minikv");
+  CampaignReport b = SampleReport("ministream");
+  // The same (shared-library) parameter found in both shards.
+  ParamFinding shared;
+  shared.param = "hadoop.rpc.protection";
+  shared.owning_app = "appcommon";
+  shared.best_p_value = 1e-5;
+  shared.witness_tests = {"minikv.TestPutGet"};
+  a.findings[shared.param] = shared;
+  shared.best_p_value = 1e-6;
+  shared.witness_tests = {"ministream.TestDataExchange"};
+  b.findings[shared.param] = shared;
+
+  CampaignReport merged = MergeReports({a, b});
+  const ParamFinding& finding = merged.findings.at("hadoop.rpc.protection");
+  EXPECT_EQ(finding.witness_tests.size(), 2u);
+  EXPECT_NEAR(finding.best_p_value, 1e-6, 1e-12);
+}
+
+TEST(ReportIoTest, MergeRejectsDuplicateApps) {
+  EXPECT_THROW(MergeReports({SampleReport("minikv"), SampleReport("minikv")}), Error);
+}
+
+}  // namespace
+}  // namespace zebra

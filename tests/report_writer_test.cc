@@ -1,0 +1,88 @@
+// Tests for the markdown report writer.
+
+#include "src/core/report_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace zebra {
+namespace {
+
+CampaignReport SampleReport() {
+  CampaignReport report;
+  AppStageCounts counts;
+  counts.original = 1000;
+  counts.after_prerun = 100;
+  counts.after_uncertainty = 95;
+  counts.executed_runs = 40;
+  report.per_app["minikv"] = counts;
+
+  ParamFinding finding;
+  finding.param = "hbase.regionserver.thrift.compact";
+  finding.owning_app = "minikv";
+  finding.witness_tests.insert("minikv.TestThriftAdminCreateTable");
+  finding.example_failure = "DecodeError: thrift: expected compact protocol id";
+  finding.best_p_value = 5.4e-5;
+  report.findings[finding.param] = finding;
+
+  report.first_trial_candidates = 3;
+  report.filtered_by_hypothesis = 1;
+  report.total_unit_test_runs = 41;
+  report.wall_seconds = 0.5;
+  report.run_durations_seconds.assign(41, 0.01);
+  return report;
+}
+
+TEST(ReportWriterTest, ContainsStagesFindingsAndCost) {
+  std::string markdown = RenderMarkdownReport(SampleReport());
+  EXPECT_NE(markdown.find("| minikv | 1000 | 100 | 95 | 40 |"), std::string::npos);
+  EXPECT_NE(markdown.find("### `hbase.regionserver.thrift.compact`"),
+            std::string::npos);
+  EXPECT_NE(markdown.find("`minikv.TestThriftAdminCreateTable`"), std::string::npos);
+  EXPECT_NE(markdown.find("5.40e-05"), std::string::npos);
+  EXPECT_NE(markdown.find("first-trial candidates: 3"), std::string::npos);
+  EXPECT_NE(markdown.find("unit-test executions: 41"), std::string::npos);
+}
+
+TEST(ReportWriterTest, GroundTruthAnnotationIsOptIn) {
+  std::string plain = RenderMarkdownReport(SampleReport());
+  EXPECT_EQ(plain.find("ground truth:"), std::string::npos);
+
+  ReportWriterOptions options;
+  options.annotate_ground_truth = true;
+  std::string annotated = RenderMarkdownReport(SampleReport(), options);
+  EXPECT_NE(annotated.find("ground truth: true-unsafe"), std::string::npos);
+}
+
+TEST(ReportWriterTest, FleetEstimateIsOptIn) {
+  ReportWriterOptions options;
+  options.fleet_machines = 10;
+  options.fleet_containers = 2;
+  std::string markdown = RenderMarkdownReport(SampleReport(), options);
+  EXPECT_NE(markdown.find("fleet (10 x 2 slots)"), std::string::npos);
+
+  std::string without = RenderMarkdownReport(SampleReport());
+  EXPECT_EQ(without.find("fleet ("), std::string::npos);
+}
+
+TEST(ReportWriterTest, UnknownParamsAreUnclassified) {
+  CampaignReport report = SampleReport();
+  ParamFinding odd;
+  odd.param = "made.up.parameter";
+  odd.owning_app = "minikv";
+  odd.example_failure = "x";
+  report.findings[odd.param] = odd;
+
+  ReportWriterOptions options;
+  options.annotate_ground_truth = true;
+  std::string markdown = RenderMarkdownReport(report, options);
+  EXPECT_NE(markdown.find("ground truth: unclassified"), std::string::npos);
+}
+
+TEST(ReportWriterTest, EmptyReportRenders) {
+  CampaignReport report;
+  std::string markdown = RenderMarkdownReport(report);
+  EXPECT_NE(markdown.find("Heterogeneous-unsafe parameters (0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,98 @@
+// Tests for the runtime layer: the node-type inventory (Table 2), cluster
+// facilities/flags, and SessionReport helpers.
+
+#include <gtest/gtest.h>
+
+#include "src/conf/conf_agent.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/node_types.h"
+
+namespace zebra {
+namespace {
+
+TEST(NodeTypesTest, MatchesTableTwo) {
+  EXPECT_EQ(NodeTypesForApp("ministream"),
+            (std::vector<std::string>{"JobManager", "TaskManager"}));
+  EXPECT_EQ(NodeTypesForApp("minikv"),
+            (std::vector<std::string>{"HMaster", "HRegionServer", "ThriftServer",
+                                      "RESTServer"}));
+  EXPECT_EQ(NodeTypesForApp("minidfs"),
+            (std::vector<std::string>{"NameNode", "DataNode", "SecondaryNameNode",
+                                      "JournalNode", "Balancer", "Mover"}));
+  EXPECT_EQ(NodeTypesForApp("minimr"),
+            (std::vector<std::string>{"MapTask", "ReduceTask", "JobHistoryServer"}));
+  EXPECT_EQ(NodeTypesForApp("miniyarn"),
+            (std::vector<std::string>{"ResourceManager", "NodeManager",
+                                      "ApplicationHistoryServer"}));
+}
+
+TEST(NodeTypesTest, SharedLibraryHasNoNodeTypes) {
+  EXPECT_TRUE(NodeTypesForApp("appcommon").empty());
+  EXPECT_TRUE(NodeTypesForApp("nonexistent").empty());
+  EXPECT_FALSE(NodeTypesForApp("apptools").empty())
+      << "tools plan against the MiniDFS node types";
+}
+
+TEST(ClusterTest, FacilitiesAreMemoizedPerKey) {
+  Cluster cluster;
+  int& a = cluster.GetFacility<int>("counter", [] { return std::make_unique<int>(7); });
+  int& b = cluster.GetFacility<int>("counter", [] { return std::make_unique<int>(9); });
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b, 7) << "the second factory never runs";
+  int& other =
+      cluster.GetFacility<int>("other", [] { return std::make_unique<int>(9); });
+  EXPECT_NE(&a, &other);
+}
+
+TEST(ClusterTest, FlagsDefaultToFalse) {
+  Cluster cluster;
+  EXPECT_FALSE(cluster.GetFlag("anything"));
+  cluster.SetFlag("anything", true);
+  EXPECT_TRUE(cluster.GetFlag("anything"));
+  cluster.SetFlag("anything", false);
+  EXPECT_FALSE(cluster.GetFlag("anything"));
+}
+
+TEST(ClusterTest, TimeStartsAtZero) {
+  Cluster cluster;
+  EXPECT_EQ(cluster.NowMs(), 0);
+  cluster.AdvanceTime(500);
+  EXPECT_EQ(cluster.NowMs(), 500);
+}
+
+TEST(SessionReportTest, HelpersAggregateReads) {
+  SessionReport report;
+  report.node_counts["DataNode"] = 2;
+  report.node_counts["NameNode"] = 1;
+  report.reads["DataNode"] = {"a", "b"};
+  report.reads["Client"] = {"b", "c"};
+  report.uncertain_params = {"d"};
+
+  EXPECT_TRUE(report.StartedAnyNode());
+  EXPECT_EQ(report.TotalNodes(), 3);
+  EXPECT_EQ(report.ParamsReadBy("DataNode").size(), 2u);
+  EXPECT_TRUE(report.ParamsReadBy("Balancer").empty());
+  EXPECT_EQ(report.AllParamsRead(),
+            (std::set<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(SessionReportTest, OverrideHitsAreCounted) {
+  TestPlan plan;
+  ParamPlan p;
+  p.param = "counted.param";
+  p.assigner = ValueAssigner::Homogeneous("v");
+  plan.params.push_back(p);
+
+  ConfAgentSession session(std::move(plan));
+  Configuration conf;
+  conf.Get("counted.param", "d");
+  conf.Get("counted.param", "d");
+  conf.Get("other.param", "d");
+  SessionReport report = session.End();
+  EXPECT_EQ(report.override_hits, 2);
+  EXPECT_EQ(report.conf_objects_created, 1);
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,72 @@
+// Tests for the fork-based sharded campaign: process isolation must not
+// change any result relative to the sequential run.
+
+#include "src/core/sharded_campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+namespace {
+
+TEST(ShardedCampaignTest, MatchesSequentialResults) {
+  CampaignOptions options;
+  options.apps = {"minikv", "ministream"};
+
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+
+  CampaignReport sharded =
+      RunShardedCampaign(FullSchema(), FullCorpus(), options, /*workers=*/2);
+
+  EXPECT_EQ(sharded.findings.size(), expected.findings.size());
+  for (const auto& [param, finding] : expected.findings) {
+    ASSERT_TRUE(sharded.findings.count(param) > 0) << param;
+    EXPECT_EQ(sharded.findings.at(param).witness_tests, finding.witness_tests)
+        << param;
+  }
+  EXPECT_EQ(sharded.TotalExecuted(), expected.TotalExecuted());
+  EXPECT_EQ(sharded.per_app.at("minikv").after_prerun,
+            expected.per_app.at("minikv").after_prerun);
+  EXPECT_EQ(sharded.first_trial_candidates, expected.first_trial_candidates);
+}
+
+TEST(ShardedCampaignTest, SingleWorkerDegeneratesToSequential) {
+  CampaignOptions options;
+  options.apps = {"minikv"};
+  CampaignReport sharded =
+      RunShardedCampaign(FullSchema(), FullCorpus(), options, /*workers=*/1);
+  EXPECT_TRUE(sharded.findings.count("hbase.regionserver.thrift.compact") > 0);
+  EXPECT_TRUE(sharded.findings.count("hbase.regionserver.thrift.framed") > 0);
+}
+
+TEST(ShardedCampaignTest, MoreWorkersThanAppsIsClamped) {
+  CampaignOptions options;
+  options.apps = {"ministream"};
+  CampaignReport sharded =
+      RunShardedCampaign(FullSchema(), FullCorpus(), options, /*workers=*/8);
+  EXPECT_EQ(sharded.per_app.size(), 1u);
+  EXPECT_TRUE(sharded.findings.count("akka.ssl.enabled") > 0);
+}
+
+TEST(ShardedCampaignTest, ZeroWorkersRejected) {
+  CampaignOptions options;
+  options.apps = {"minikv"};
+  EXPECT_THROW(RunShardedCampaign(FullSchema(), FullCorpus(), options, 0), Error);
+}
+
+TEST(ShardedCampaignTest, FullCorpusAcrossThreeWorkers) {
+  CampaignOptions options;  // all apps
+  CampaignReport sharded =
+      RunShardedCampaign(FullSchema(), FullCorpus(), options, /*workers=*/3);
+  EXPECT_EQ(sharded.per_app.size(), 6u);
+  // The shared-library finding must merge witnesses from several shards.
+  ASSERT_TRUE(sharded.findings.count("hadoop.rpc.protection") > 0);
+  EXPECT_GE(sharded.findings.at("hadoop.rpc.protection").witness_tests.size(), 2u);
+}
+
+}  // namespace
+}  // namespace zebra

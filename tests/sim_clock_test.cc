@@ -1,0 +1,173 @@
+// Tests for the virtual clock: ordering, periodic tasks, cancellation,
+// reentrancy.
+
+#include "src/sim/sim_clock.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace zebra {
+namespace {
+
+TEST(SimClockTest, StartsAtZeroAndAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMs(), 0);
+  clock.AdvanceBy(100);
+  EXPECT_EQ(clock.NowMs(), 100);
+  clock.AdvanceTo(250);
+  EXPECT_EQ(clock.NowMs(), 250);
+}
+
+TEST(SimClockTest, AdvanceToThePastIsANoOpForNow) {
+  SimClock clock;
+  clock.AdvanceBy(100);
+  clock.AdvanceTo(50);
+  EXPECT_EQ(clock.NowMs(), 100);
+}
+
+TEST(SimClockTest, OneShotTasksFireInTimestampOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.ScheduleAt(30, [&] { order.push_back(3); });
+  clock.ScheduleAt(10, [&] { order.push_back(1); });
+  clock.ScheduleAt(20, [&] { order.push_back(2); });
+  clock.AdvanceBy(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimClockTest, TiesFireInScheduleOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.ScheduleAt(10, [&] { order.push_back(1); });
+  clock.ScheduleAt(10, [&] { order.push_back(2); });
+  clock.ScheduleAt(10, [&] { order.push_back(3); });
+  clock.AdvanceBy(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimClockTest, TaskSeesItsDueTimeAsNow) {
+  SimClock clock;
+  int64_t observed = -1;
+  clock.ScheduleAt(42, [&] { observed = clock.NowMs(); });
+  clock.AdvanceBy(100);
+  EXPECT_EQ(observed, 42);
+  EXPECT_EQ(clock.NowMs(), 100);
+}
+
+TEST(SimClockTest, TasksPastTheTargetDoNotFire) {
+  SimClock clock;
+  int fired = 0;
+  clock.ScheduleAt(100, [&] { ++fired; });
+  clock.AdvanceBy(99);
+  EXPECT_EQ(fired, 0);
+  clock.AdvanceBy(1);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimClockTest, PeriodicTaskFiresRepeatedly) {
+  SimClock clock;
+  std::vector<int64_t> fire_times;
+  clock.SchedulePeriodic(10, 10, [&] { fire_times.push_back(clock.NowMs()); });
+  clock.AdvanceBy(45);
+  EXPECT_EQ(fire_times, (std::vector<int64_t>{10, 20, 30, 40}));
+}
+
+TEST(SimClockTest, PeriodicWithInitialDelayDifferentFromPeriod) {
+  SimClock clock;
+  std::vector<int64_t> fire_times;
+  clock.SchedulePeriodic(5, 20, [&] { fire_times.push_back(clock.NowMs()); });
+  clock.AdvanceBy(70);
+  EXPECT_EQ(fire_times, (std::vector<int64_t>{5, 25, 45, 65}));
+}
+
+TEST(SimClockTest, CancelPendingOneShot) {
+  SimClock clock;
+  int fired = 0;
+  SimClock::TaskId id = clock.ScheduleAt(10, [&] { ++fired; });
+  clock.Cancel(id);
+  clock.AdvanceBy(100);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimClockTest, CancelPeriodicStopsFutureFirings) {
+  SimClock clock;
+  int fired = 0;
+  SimClock::TaskId id = clock.SchedulePeriodic(10, 10, [&] { ++fired; });
+  clock.AdvanceBy(25);
+  EXPECT_EQ(fired, 2);
+  clock.Cancel(id);
+  clock.AdvanceBy(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimClockTest, PeriodicTaskCanCancelItself) {
+  SimClock clock;
+  int fired = 0;
+  SimClock::TaskId id = 0;
+  id = clock.SchedulePeriodic(10, 10, [&] {
+    ++fired;
+    if (fired == 3) {
+      clock.Cancel(id);
+    }
+  });
+  clock.AdvanceBy(1000);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimClockTest, TaskMayScheduleAnotherTaskWithinTheWindow) {
+  SimClock clock;
+  std::vector<int64_t> fire_times;
+  clock.ScheduleAt(10, [&] {
+    fire_times.push_back(clock.NowMs());
+    clock.ScheduleAfter(5, [&] { fire_times.push_back(clock.NowMs()); });
+  });
+  clock.AdvanceBy(100);
+  EXPECT_EQ(fire_times, (std::vector<int64_t>{10, 15}));
+}
+
+TEST(SimClockTest, RecursiveAdvanceThrows) {
+  SimClock clock;
+  bool threw = false;
+  clock.ScheduleAt(10, [&] {
+    try {
+      clock.AdvanceBy(1);
+    } catch (const InternalError&) {
+      threw = true;
+    }
+  });
+  clock.AdvanceBy(20);
+  EXPECT_TRUE(threw);
+}
+
+TEST(SimClockTest, ScheduleAfterIsRelativeToNow) {
+  SimClock clock;
+  clock.AdvanceBy(100);
+  int64_t fired_at = -1;
+  clock.ScheduleAfter(50, [&] { fired_at = clock.NowMs(); });
+  clock.AdvanceBy(50);
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimClockTest, PendingTasksCount) {
+  SimClock clock;
+  EXPECT_EQ(clock.PendingTasks(), 0u);
+  clock.ScheduleAt(10, [] {});
+  clock.SchedulePeriodic(5, 5, [] {});
+  EXPECT_EQ(clock.PendingTasks(), 2u);
+  clock.AdvanceBy(10);
+  EXPECT_EQ(clock.PendingTasks(), 1u);  // the periodic task re-armed
+}
+
+TEST(SimClockPropertyTest, LongPeriodicRunFiresExactly) {
+  SimClock clock;
+  int64_t count = 0;
+  clock.SchedulePeriodic(1000, 1000, [&] { ++count; });
+  clock.AdvanceBy(931000);
+  EXPECT_EQ(count, 931);
+}
+
+}  // namespace
+}  // namespace zebra

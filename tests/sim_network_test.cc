@@ -1,0 +1,95 @@
+// Tests for the rate-limited inbound queue.
+
+#include "src/sim/sim_network.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace zebra {
+namespace {
+
+TEST(InboundQueueTest, EmptyQueueDeliversAtLineRate) {
+  InboundQueue queue(1000);  // 1000 B/s
+  uint64_t id = queue.Enqueue(500, 0);
+  EXPECT_EQ(queue.DeliveryTimeMs(id), 500);
+  EXPECT_EQ(queue.DeliveryDelayMs(id), 500);
+}
+
+TEST(InboundQueueTest, FifoOrderingDelaysLaterMessages) {
+  InboundQueue queue(1000);
+  uint64_t first = queue.Enqueue(1000, 0);   // drains at 1000 ms
+  uint64_t second = queue.Enqueue(100, 0);   // behind it
+  EXPECT_EQ(queue.DeliveryTimeMs(first), 1000);
+  EXPECT_EQ(queue.DeliveryTimeMs(second), 1100);
+}
+
+TEST(InboundQueueTest, SmallControlMessageStuckBehindBacklog) {
+  InboundQueue queue(1000);
+  queue.Enqueue(10000, 0);  // 10 s of backlog
+  uint64_t report = queue.Enqueue(1, 0);
+  EXPECT_GE(queue.DeliveryDelayMs(report), 10000);
+}
+
+TEST(InboundQueueTest, IdleGapsDoNotAccumulateCredit) {
+  InboundQueue queue(1000);
+  uint64_t first = queue.Enqueue(1000, 0);
+  EXPECT_EQ(queue.DeliveryTimeMs(first), 1000);
+  // Enqueued long after the queue drained: starts fresh at `now`.
+  uint64_t second = queue.Enqueue(1000, 5000);
+  EXPECT_EQ(queue.DeliveryTimeMs(second), 6000);
+}
+
+TEST(InboundQueueTest, BacklogTracksUndrainedBytes) {
+  InboundQueue queue(1000);
+  queue.Enqueue(3000, 0);
+  EXPECT_EQ(queue.BacklogBytes(0), 3000);
+  EXPECT_EQ(queue.BacklogBytes(1000), 2000);
+  EXPECT_EQ(queue.BacklogBytes(3000), 0);
+  EXPECT_EQ(queue.BacklogBytes(9999), 0);
+}
+
+TEST(InboundQueueTest, SteadyOverloadGrowsDelayLinearly) {
+  InboundQueue queue(1000);
+  int64_t previous_delay = -1;
+  for (int64_t second = 0; second < 5; ++second) {
+    uint64_t report = queue.Enqueue(1, second * 1000);
+    queue.Enqueue(2000, second * 1000);  // 2x the drain rate
+    int64_t delay = queue.DeliveryDelayMs(report);
+    EXPECT_GT(delay, previous_delay);
+    previous_delay = delay;
+  }
+  EXPECT_GE(previous_delay, 4000) << "~1 s of extra backlog per second";
+}
+
+TEST(InboundQueueTest, MatchedRateKeepsDelayBounded) {
+  InboundQueue queue(1000);
+  for (int64_t second = 0; second < 10; ++second) {
+    uint64_t report = queue.Enqueue(1, second * 1000);
+    queue.Enqueue(1000, second * 1000);  // exactly the drain rate
+    EXPECT_LE(queue.DeliveryDelayMs(report), 1001);
+  }
+}
+
+TEST(InboundQueueTest, ForgetDeliveredDropsOnlyDeliveredMessages) {
+  InboundQueue queue(1000);
+  uint64_t early = queue.Enqueue(100, 0);    // delivered at 100
+  uint64_t late = queue.Enqueue(10000, 0);   // delivered at 10100
+  queue.ForgetDelivered(5000);
+  EXPECT_THROW(queue.DeliveryTimeMs(early), InternalError);
+  EXPECT_EQ(queue.DeliveryTimeMs(late), 10100);
+}
+
+TEST(InboundQueueTest, InvalidConstruction) {
+  EXPECT_THROW(InboundQueue(0), InternalError);
+  EXPECT_THROW(InboundQueue(-5), InternalError);
+}
+
+TEST(InboundQueueTest, ZeroByteMessageDeliversImmediatelyWhenIdle) {
+  InboundQueue queue(1000);
+  uint64_t id = queue.Enqueue(0, 42);
+  EXPECT_EQ(queue.DeliveryTimeMs(id), 42);
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,110 @@
+// Tests for the statistics primitives behind TestRunner's hypothesis testing.
+
+#include "src/common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace zebra {
+namespace {
+
+TEST(LogFactorialTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(2), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-6);
+}
+
+TEST(LogChooseTest, MatchesDirectComputation) {
+  EXPECT_NEAR(std::exp(LogChoose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogChoose(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogChoose(20, 10)), 184756.0, 1e-3);
+}
+
+TEST(LogChooseTest, OutOfRangeIsZeroProbability) {
+  EXPECT_LT(LogChoose(5, 6), -1e200);
+  EXPECT_LT(LogChoose(5, -1), -1e200);
+}
+
+TEST(HypergeometricTest, PmfSumsToOne) {
+  const int64_t total = 20, successes = 8, draws = 6;
+  double sum = 0.0;
+  for (int64_t k = 0; k <= draws; ++k) {
+    sum += HypergeometricPmf(total, successes, draws, k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HypergeometricTest, ImpossibleOutcomesAreZero) {
+  EXPECT_DOUBLE_EQ(HypergeometricPmf(10, 3, 5, 4), 0.0);  // only 3 successes exist
+  EXPECT_DOUBLE_EQ(HypergeometricPmf(10, 3, 5, -1), 0.0);
+  // 5 draws, 7 non-successes: k=0 would need 5 failures, fine; but with only
+  // 2 non-successes, k=1 (4 failures needed) is impossible:
+  EXPECT_DOUBLE_EQ(HypergeometricPmf(10, 8, 5, 1), 0.0);
+}
+
+TEST(FisherExactTest, NoFailuresMeansNoEvidence) {
+  EXPECT_DOUBLE_EQ(FisherExactOneSided(0, 5, 0, 10), 1.0);
+}
+
+TEST(FisherExactTest, PerfectSplitIsSignificant) {
+  // Hetero 9/9 failed, homo 0/18 passed: p = 1 / C(27, 9).
+  double p = FisherExactOneSided(9, 9, 0, 18);
+  EXPECT_LT(p, 1e-4);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(FisherExactTest, SmallSamplesAreNotSignificant) {
+  // Hetero 1/1 failed, homo 0/2 passed: p = 1/3.
+  EXPECT_NEAR(FisherExactOneSided(1, 1, 0, 2), 1.0 / 3.0, 1e-9);
+}
+
+TEST(FisherExactTest, BalancedFailuresAreNotSignificant) {
+  // Failures split evenly between rows: no evidence heterogeneity matters.
+  double p = FisherExactOneSided(5, 10, 5, 10);
+  EXPECT_GT(p, 0.05);
+}
+
+TEST(FisherExactTest, MonotonicInHeteroFailures) {
+  double p_weak = FisherExactOneSided(3, 10, 0, 10);
+  double p_strong = FisherExactOneSided(8, 10, 0, 10);
+  EXPECT_LT(p_strong, p_weak);
+}
+
+TEST(SignificantlyWorseTest, ThresholdBehaviour) {
+  EXPECT_TRUE(SignificantlyWorse(9, 9, 0, 18, 1e-4));
+  EXPECT_FALSE(SignificantlyWorse(1, 1, 0, 1, 1e-4));
+}
+
+TEST(MinTrialsTest, MatchesClosedForm) {
+  // 1/C(2n,n) < 1e-4 first holds at n = 8 (C(16,8) = 12870).
+  EXPECT_EQ(MinTrialsForSignificance(1e-4), 8);
+  // Stricter significance needs more trials.
+  EXPECT_GT(MinTrialsForSignificance(1e-8), MinTrialsForSignificance(1e-4));
+}
+
+// Property sweep: the one-sided p-value is always within (0, 1] and decreases
+// as hetero failures concentrate.
+class FisherSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FisherSweepTest, PValueInRangeAndMonotonic) {
+  const int n = GetParam();
+  double previous = 1.1;
+  for (int k = 0; k <= n; ++k) {
+    double p = FisherExactOneSided(k, n, 0, n);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    if (k > 0) {
+      EXPECT_LE(p, previous);
+    }
+    previous = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TrialCounts, FisherSweepTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,103 @@
+// Tests for string helpers and strict parsing.
+
+#include "src/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace zebra {
+namespace {
+
+TEST(StrSplitTest, BasicAndEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("/a/b", '/'), (std::vector<std::string>{"", "a", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StrJoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> pieces{"x", "y", "z"};
+  EXPECT_EQ(StrJoin(pieces, ","), "x,y,z");
+  EXPECT_EQ(StrSplit(StrJoin(pieces, ","), ','), pieces);
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StrTrimTest, Whitespace) {
+  EXPECT_EQ(StrTrim("  abc  "), "abc");
+  EXPECT_EQ(StrTrim("\t\nabc"), "abc");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("a b"), "a b");
+}
+
+TEST(AffixTest, StartsAndEnds) {
+  EXPECT_TRUE(StartsWith("part-r-00001.rle", "part-r-"));
+  EXPECT_FALSE(StartsWith("p", "part"));
+  EXPECT_TRUE(EndsWith("part-r-00001.rle", ".rle"));
+  EXPECT_FALSE(EndsWith("part-r-00001", ".rle"));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  int64_t value = -1;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_TRUE(ParseInt64("1048576", &value));
+  EXPECT_EQ(value, 1048576);
+
+  value = 99;
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("abc", &value));
+  EXPECT_FALSE(ParseInt64("12abc", &value));
+  EXPECT_FALSE(ParseInt64("1.5", &value));
+  EXPECT_EQ(value, 99) << "failed parse must not clobber the output";
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double value = -1.0;
+  EXPECT_TRUE(ParseDouble("0.999", &value));
+  EXPECT_DOUBLE_EQ(value, 0.999);
+  EXPECT_TRUE(ParseDouble("2.1", &value));
+  EXPECT_DOUBLE_EQ(value, 2.1);
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("x1.0", &value));
+}
+
+TEST(ParseBoolTest, AcceptedSpellings) {
+  bool value = false;
+  EXPECT_TRUE(ParseBool("true", &value));
+  EXPECT_TRUE(value);
+  EXPECT_TRUE(ParseBool("TRUE", &value));
+  EXPECT_TRUE(value);
+  EXPECT_TRUE(ParseBool("false", &value));
+  EXPECT_FALSE(value);
+  EXPECT_TRUE(ParseBool("1", &value));
+  EXPECT_TRUE(value);
+  EXPECT_TRUE(ParseBool("no", &value));
+  EXPECT_FALSE(value);
+  EXPECT_FALSE(ParseBool("maybe", &value));
+}
+
+TEST(RenderTest, CanonicalForms) {
+  EXPECT_EQ(BoolToString(true), "true");
+  EXPECT_EQ(BoolToString(false), "false");
+  EXPECT_EQ(Int64ToString(-5), "-5");
+  EXPECT_EQ(DoubleToString(0.5), "0.5");
+}
+
+// Property: ParseInt64(Int64ToString(x)) == x across a sweep.
+class IntRoundTripTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(IntRoundTripTest, RoundTrips) {
+  int64_t parsed = 0;
+  ASSERT_TRUE(ParseInt64(Int64ToString(GetParam()), &parsed));
+  EXPECT_EQ(parsed, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, IntRoundTripTest,
+                         ::testing::Values(0, 1, -1, 512, -4096, 1048576,
+                                           9223372036854775807LL,
+                                           -9223372036854775807LL));
+
+}  // namespace
+}  // namespace zebra

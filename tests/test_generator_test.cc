@@ -1,0 +1,179 @@
+// Tests for TestGenerator: value pairs, assignment strategies, pre-run
+// filtering, uncertainty exclusion, and the stage counts of Table 5.
+
+#include "src/core/test_generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/testkit/full_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+namespace {
+
+class TestGeneratorTest : public ::testing::Test {
+ protected:
+  TestGeneratorTest() : generator_(FullSchema(), FullCorpus()) {}
+
+  PreRunRecord PreRunOne(const std::string& id) {
+    const UnitTestDef* test = FullCorpus().Find(id);
+    EXPECT_NE(test, nullptr);
+    PreRunRecord record;
+    record.test = test;
+    record.result = RunUnitTest(*test, TestPlan{}, 0);
+    return record;
+  }
+
+  TestGenerator generator_;
+};
+
+TEST_F(TestGeneratorTest, ValuePairsAreAllUnorderedPairs) {
+  ParamSpec spec;
+  spec.test_values = {"a", "b", "c"};
+  auto pairs = TestGenerator::ValuePairs(spec);
+  EXPECT_EQ(pairs.size(), 3u);  // C(3,2)
+
+  spec.test_values = {"true", "false"};
+  EXPECT_EQ(TestGenerator::ValuePairs(spec).size(), 1u);
+
+  spec.test_values = {"1", "2", "3", "4"};
+  EXPECT_EQ(TestGenerator::ValuePairs(spec).size(), 6u);
+}
+
+TEST_F(TestGeneratorTest, OriginalCountsAreLargeAndPositive) {
+  for (const char* app :
+       {"minidfs", "minimr", "miniyarn", "ministream", "minikv", "apptools"}) {
+    EXPECT_GT(generator_.OriginalInstanceCount(app), 1000) << app;
+  }
+}
+
+TEST_F(TestGeneratorTest, NoNodeTestGeneratesNothing) {
+  PreRunRecord record = PreRunOne("minidfs.TestBlockIdUtilsNoNodes");
+  int64_t before = -1;
+  auto instances = generator_.Generate(record, &before);
+  EXPECT_TRUE(instances.empty());
+  EXPECT_EQ(before, 0);
+}
+
+TEST_F(TestGeneratorTest, InstancesOnlyTargetReadingEntities) {
+  PreRunRecord record = PreRunOne("minidfs.TestWriteReadSmallFile");
+  int64_t before = -1;
+  auto instances = generator_.Generate(record, &before);
+  ASSERT_FALSE(instances.empty());
+  EXPECT_EQ(before, static_cast<int64_t>(instances.size()))
+      << "no uncertainty in this test";
+
+  for (const GeneratedInstance& instance : instances) {
+    const std::string& group = instance.plan.assigner.group_type;
+    const std::set<std::string> reads =
+        record.result.report.ParamsReadBy(group);
+    EXPECT_TRUE(reads.count(instance.plan.param) > 0)
+        << group << " never read " << instance.plan.param;
+  }
+
+  // dfs.datanode.balance.bandwidthPerSec is never read in this test: no
+  // instance may target it (the NameNode example from §4).
+  for (const GeneratedInstance& instance : instances) {
+    EXPECT_NE(instance.plan.param, "dfs.datanode.balance.bandwidthPerSec");
+  }
+}
+
+TEST_F(TestGeneratorTest, RoundRobinOnlyForGroupsWithMultipleNodes) {
+  PreRunRecord record = PreRunOne("minidfs.TestWriteReadSmallFile");
+  auto instances = generator_.Generate(record, nullptr);
+  for (const GeneratedInstance& instance : instances) {
+    if (instance.plan.assigner.strategy == AssignStrategy::kRoundRobinGroup) {
+      EXPECT_EQ(instance.plan.assigner.group_type, "DataNode")
+          << "only the DataNode group has two nodes in this test";
+    }
+  }
+  // And round-robin instances do exist for the DataNode group.
+  bool found_rr = false;
+  for (const GeneratedInstance& instance : instances) {
+    found_rr |= instance.plan.assigner.strategy == AssignStrategy::kRoundRobinGroup;
+  }
+  EXPECT_TRUE(found_rr);
+}
+
+TEST_F(TestGeneratorTest, BothPolaritiesGenerated) {
+  PreRunRecord record = PreRunOne("minikv.TestThriftAdminCreateTable");
+  auto instances = generator_.Generate(record, nullptr);
+  int compact_uniform = 0;
+  for (const GeneratedInstance& instance : instances) {
+    if (instance.plan.param == "hbase.regionserver.thrift.compact" &&
+        instance.plan.assigner.group_type == "ThriftServer") {
+      ++compact_uniform;
+    }
+  }
+  EXPECT_EQ(compact_uniform, 2) << "one pair x two polarities (single-node group)";
+}
+
+TEST_F(TestGeneratorTest, DependencyOverridesAttachToHttpPolicy) {
+  PreRunRecord record = PreRunOne("minidfs.TestFsckOverHttp");
+  auto instances = generator_.Generate(record, nullptr);
+  bool found_policy = false;
+  for (const GeneratedInstance& instance : instances) {
+    if (instance.plan.param == "dfs.http.policy") {
+      found_policy = true;
+      std::set<std::string> override_params;
+      for (const auto& [param, value] : instance.plan.extra_overrides) {
+        override_params.insert(param);
+      }
+      EXPECT_TRUE(override_params.count("dfs.namenode.http-address") > 0);
+      EXPECT_TRUE(override_params.count("dfs.namenode.https-address") > 0);
+    }
+  }
+  EXPECT_TRUE(found_policy);
+}
+
+TEST_F(TestGeneratorTest, PreRunAppCountsExecutions) {
+  int64_t executions = 0;
+  auto records = generator_.PreRunApp("minikv", &executions);
+  EXPECT_EQ(static_cast<int64_t>(records.size()), executions);
+  EXPECT_EQ(records.size(), FullCorpus().ForApp("minikv").size());
+}
+
+TEST_F(TestGeneratorTest, PreRunReducesInstancesByOrdersOfMagnitude) {
+  int64_t original = generator_.OriginalInstanceCount("minikv");
+  int64_t after = 0;
+  int64_t executions = 0;
+  for (const PreRunRecord& record : generator_.PreRunApp("minikv", &executions)) {
+    int64_t before = 0;
+    generator_.Generate(record, &before);
+    after += before;
+  }
+  EXPECT_LT(after * 10, original) << "pre-running must cut at least 10x";
+  EXPECT_GT(after, 0);
+}
+
+TEST_F(TestGeneratorTest, RoundRobinCanBeDisabled) {
+  GeneratorOptions options;
+  options.enable_round_robin = false;
+  TestGenerator uniform_only(FullSchema(), FullCorpus(), options);
+
+  PreRunRecord record = PreRunOne("minidfs.TestWriteReadSmallFile");
+  for (const GeneratedInstance& instance : uniform_only.Generate(record, nullptr)) {
+    EXPECT_NE(instance.plan.assigner.strategy, AssignStrategy::kRoundRobinGroup);
+  }
+  // And the instance count shrinks relative to the full strategy set.
+  EXPECT_LT(uniform_only.Generate(record, nullptr).size(),
+            generator_.Generate(record, nullptr).size());
+}
+
+TEST_F(TestGeneratorTest, SharedLibraryParamsGeneratedForApps) {
+  PreRunRecord record = PreRunOne("minikv.TestPutGet");
+  auto instances = generator_.Generate(record, nullptr);
+  bool found_common = false;
+  for (const GeneratedInstance& instance : instances) {
+    if (instance.plan.param == "hadoop.rpc.protection") {
+      found_common = true;
+    }
+  }
+  EXPECT_TRUE(found_common)
+      << "appcommon parameters must be testable through minikv tests";
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,94 @@
+// Tests for the value-assignment strategies of §4.
+
+#include "src/conf/test_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace zebra {
+namespace {
+
+TEST(ValueAssignerTest, HomogeneousGivesEveryoneTheSameValue) {
+  ValueAssigner assigner = ValueAssigner::Homogeneous("v");
+  EXPECT_EQ(assigner.ValueFor("DataNode", 0), "v");
+  EXPECT_EQ(assigner.ValueFor("NameNode", 3), "v");
+  EXPECT_EQ(assigner.ValueFor(kClientEntity, 0), "v");
+  EXPECT_EQ(assigner.DistinctValues(), (std::vector<std::string>{"v"}));
+}
+
+TEST(ValueAssignerTest, UniformGroupSplitsByType) {
+  ValueAssigner assigner = ValueAssigner::UniformGroup("DataNode", "a", "b");
+  EXPECT_EQ(assigner.ValueFor("DataNode", 0), "a");
+  EXPECT_EQ(assigner.ValueFor("DataNode", 5), "a");
+  EXPECT_EQ(assigner.ValueFor("NameNode", 0), "b");
+  EXPECT_EQ(assigner.ValueFor(kClientEntity, 0), "b");
+  EXPECT_EQ(assigner.DistinctValues(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ValueAssignerTest, RoundRobinAlternatesWithinGroup) {
+  ValueAssigner assigner = ValueAssigner::RoundRobinGroup("DataNode", "a", "b");
+  EXPECT_EQ(assigner.ValueFor("DataNode", 0), "a");
+  EXPECT_EQ(assigner.ValueFor("DataNode", 1), "b");
+  EXPECT_EQ(assigner.ValueFor("DataNode", 2), "a");
+  EXPECT_EQ(assigner.ValueFor("NameNode", 0), "b");
+}
+
+TEST(ValueAssignerTest, EqualValuesCollapseDistinctValues) {
+  ValueAssigner assigner = ValueAssigner::UniformGroup("T", "x", "x");
+  EXPECT_EQ(assigner.DistinctValues(), (std::vector<std::string>{"x"}));
+}
+
+TEST(TestPlanTest, LookupFindsParamAndOverrides) {
+  TestPlan plan;
+  ParamPlan p;
+  p.param = "main";
+  p.assigner = ValueAssigner::UniformGroup("NameNode", "1", "2");
+  p.extra_overrides.emplace_back("dep", "d");
+  plan.params.push_back(p);
+
+  EXPECT_EQ(plan.Lookup("main", "NameNode", 0), "1");
+  EXPECT_EQ(plan.Lookup("main", "DataNode", 0), "2");
+  EXPECT_EQ(plan.Lookup("dep", "DataNode", 0), "d");
+  EXPECT_EQ(plan.Lookup("absent", "DataNode", 0), std::nullopt);
+}
+
+TEST(TestPlanTest, PooledPlanCoversAllParams) {
+  TestPlan plan;
+  for (int i = 0; i < 3; ++i) {
+    ParamPlan p;
+    p.param = "p" + std::to_string(i);
+    p.assigner = ValueAssigner::Homogeneous(std::to_string(i));
+    plan.params.push_back(p);
+  }
+  EXPECT_EQ(plan.Lookup("p0", "X", 0), "0");
+  EXPECT_EQ(plan.Lookup("p2", "X", 0), "2");
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(TestPlanTest, DescribeIsStableAndDistinct) {
+  TestPlan a;
+  ParamPlan p;
+  p.param = "x";
+  p.assigner = ValueAssigner::UniformGroup("T", "1", "2");
+  a.params.push_back(p);
+
+  TestPlan b = a;
+  EXPECT_EQ(a.Describe(), b.Describe());
+
+  b.params[0].assigner = ValueAssigner::UniformGroup("T", "2", "1");
+  EXPECT_NE(a.Describe(), b.Describe());
+
+  TestPlan homo;
+  p.assigner = ValueAssigner::Homogeneous("1");
+  homo.params = {p};
+  EXPECT_NE(a.Describe(), homo.Describe());
+}
+
+TEST(AssignStrategyTest, Names) {
+  EXPECT_STREQ(AssignStrategyName(AssignStrategy::kHomogeneous), "homogeneous");
+  EXPECT_STREQ(AssignStrategyName(AssignStrategy::kUniformGroup), "uniform-group");
+  EXPECT_STREQ(AssignStrategyName(AssignStrategy::kRoundRobinGroup),
+               "round-robin-group");
+}
+
+}  // namespace
+}  // namespace zebra

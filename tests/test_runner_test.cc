@@ -1,0 +1,148 @@
+// Tests for TestRunner: candidate detection, homogeneous controls, and the
+// hypothesis-testing filter for nondeterministic failures.
+
+#include "src/core/test_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/testkit/full_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+namespace {
+
+GeneratedInstance MakeInstance(const std::string& test_id, const std::string& param,
+                               ValueAssigner assigner) {
+  GeneratedInstance instance;
+  instance.test = FullCorpus().Find(test_id);
+  EXPECT_NE(instance.test, nullptr) << test_id;
+  instance.plan.param = param;
+  instance.plan.assigner = std::move(assigner);
+  return instance;
+}
+
+TEST(TestRunnerTest, ConfirmsThriftProtocolMismatch) {
+  GeneratedInstance instance = MakeInstance(
+      "minikv.TestThriftAdminCreateTable", "hbase.regionserver.thrift.compact",
+      ValueAssigner::UniformGroup("ThriftServer", "true", "false"));
+  TestRunner runner;
+  int64_t executions = 0;
+  Verdict verdict = runner.Verify(instance, &executions);
+  EXPECT_EQ(verdict.kind, Verdict::Kind::kConfirmedUnsafe);
+  EXPECT_LT(verdict.p_value, 1e-4);
+  EXPECT_FALSE(verdict.witness_failure.empty());
+  EXPECT_GT(executions, 3);
+  EXPECT_EQ(verdict.hetero_failures, verdict.hetero_trials);
+  EXPECT_EQ(verdict.homo_failures, 0);
+}
+
+TEST(TestRunnerTest, ConfirmsSlotMismatch) {
+  GeneratedInstance instance = MakeInstance(
+      "ministream.TestJobSubmissionSlots", "taskmanager.numberOfTaskSlots",
+      ValueAssigner::UniformGroup("JobManager", "4", "1"));
+  TestRunner runner;
+  int64_t executions = 0;
+  Verdict verdict = runner.Verify(instance, &executions);
+  EXPECT_EQ(verdict.kind, Verdict::Kind::kConfirmedUnsafe);
+}
+
+TEST(TestRunnerTest, SafeParamIsNotACandidate) {
+  GeneratedInstance instance = MakeInstance(
+      "minikv.TestPutGet", "hbase.client.retries.number",
+      ValueAssigner::UniformGroup("HRegionServer", "1", "35"));
+  TestRunner runner;
+  int64_t executions = 0;
+  Verdict verdict = runner.Verify(instance, &executions);
+  EXPECT_EQ(verdict.kind, Verdict::Kind::kNotCandidate);
+  EXPECT_EQ(executions, 1) << "a passing hetero run needs no homogeneous controls";
+}
+
+TEST(TestRunnerTest, BenignPolarityOfUnsafeParamIsNotACandidate) {
+  // JobManager assuming *fewer* slots than TaskManagers offer is merely
+  // conservative; this polarity passes and must not be reported.
+  GeneratedInstance instance = MakeInstance(
+      "ministream.TestJobSubmissionSlots", "taskmanager.numberOfTaskSlots",
+      ValueAssigner::UniformGroup("JobManager", "1", "4"));
+  TestRunner runner;
+  int64_t executions = 0;
+  Verdict verdict = runner.Verify(instance, &executions);
+  EXPECT_EQ(verdict.kind, Verdict::Kind::kNotCandidate);
+}
+
+TEST(TestRunnerTest, FlakyTestIsNeverConfirmed) {
+  // The flaky corpus tests fail ~30% of trials regardless of configuration;
+  // whatever the first trial shows, hypothesis testing must not confirm.
+  for (const char* test_id :
+       {"minidfs.TestFlakyReplicationMonitor", "minikv.TestFlakyMasterFailover",
+        "ministream.TestFlakyCheckpointBarrier"}) {
+    GeneratedInstance instance =
+        MakeInstance(test_id, "hbase.client.retries.number",
+                     ValueAssigner::UniformGroup("Client", "1", "35"));
+    TestRunner runner;
+    int64_t executions = 0;
+    Verdict verdict = runner.Verify(instance, &executions);
+    EXPECT_NE(verdict.kind, Verdict::Kind::kConfirmedUnsafe) << test_id;
+  }
+}
+
+TEST(TestRunnerTest, HomogeneousControlFailureBlocksAttribution) {
+  // parallelism.default=2 breaks this test even homogeneously (1 TM with one
+  // slot); a candidate must not arise because the homo control fails too.
+  GeneratedInstance instance = MakeInstance(
+      "ministream.TestParallelismDefaults", "parallelism.default",
+      ValueAssigner::UniformGroup("Client", "2", "1"));
+  TestRunner runner;
+  int64_t executions = 0;
+  Verdict verdict = runner.Verify(instance, &executions);
+  EXPECT_EQ(verdict.kind, Verdict::Kind::kNotCandidate);
+  EXPECT_GT(verdict.homo_failures, 0);
+}
+
+TEST(TestRunnerTest, ExtraFirstTrialsCatchProbabilisticFailures) {
+  // The §5 mitigation: the work-preserving-recovery parameter fails
+  // heterogeneously in only ~60% of runs. Across its generated assignments,
+  // more first trials can only improve detection, and with three trials the
+  // miss probability (0.4^3) is gone for every assignment we generate.
+  std::vector<GeneratedInstance> instances;
+  for (const char* group : {"ResourceManager", "NodeManager"}) {
+    for (bool polarity : {true, false}) {
+      instances.push_back(MakeInstance(
+          "miniyarn.TestRmWorkPreservingRecovery",
+          "yarn.resourcemanager.work-preserving-recovery.enabled",
+          ValueAssigner::UniformGroup(group, polarity ? "true" : "false",
+                                      polarity ? "false" : "true")));
+    }
+  }
+
+  int detected_single = 0;
+  int detected_triple = 0;
+  for (const GeneratedInstance& instance : instances) {
+    int64_t executions = 0;
+    if (TestRunner(1e-4, 1).Verify(instance, &executions).kind ==
+        Verdict::Kind::kConfirmedUnsafe) {
+      ++detected_single;
+    }
+    executions = 0;
+    if (TestRunner(1e-4, 3).Verify(instance, &executions).kind ==
+        Verdict::Kind::kConfirmedUnsafe) {
+      ++detected_triple;
+    }
+  }
+  EXPECT_GE(detected_triple, detected_single);
+  EXPECT_EQ(detected_triple, static_cast<int>(instances.size()))
+      << "three first trials must catch the ~60% failure on every assignment";
+}
+
+TEST(TestRunnerTest, ExecutionCountingIsExact) {
+  GeneratedInstance instance = MakeInstance(
+      "minikv.TestThriftAdminCreateTable", "hbase.regionserver.thrift.framed",
+      ValueAssigner::UniformGroup("ThriftServer", "true", "false"));
+  TestRunner runner;
+  int64_t executions = 0;
+  Verdict verdict = runner.Verify(instance, &executions);
+  ASSERT_EQ(verdict.kind, Verdict::Kind::kConfirmedUnsafe);
+  EXPECT_EQ(executions, verdict.hetero_trials + verdict.homo_trials);
+}
+
+}  // namespace
+}  // namespace zebra

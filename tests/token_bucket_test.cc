@@ -1,0 +1,71 @@
+// Tests for the token-bucket bandwidth model.
+
+#include "src/sim/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace zebra {
+namespace {
+
+TEST(TokenBucketTest, StartsWithOneSecondOfBurst) {
+  TokenBucket bucket(1000);
+  EXPECT_TRUE(bucket.TryConsume(1000, 0));
+  EXPECT_FALSE(bucket.TryConsume(1, 0));
+}
+
+TEST(TokenBucketTest, RefillsOverTime) {
+  TokenBucket bucket(1000);
+  EXPECT_TRUE(bucket.TryConsume(1000, 0));
+  EXPECT_FALSE(bucket.TryConsume(500, 100));  // only 100 tokens earned
+  EXPECT_TRUE(bucket.TryConsume(500, 500));   // 100 + 400 more earned
+}
+
+TEST(TokenBucketTest, CapsAtOneSecondOfTokens) {
+  TokenBucket bucket(1000);
+  EXPECT_TRUE(bucket.TryConsume(1000, 10000));
+  EXPECT_FALSE(bucket.TryConsume(1, 10000));  // no accumulation beyond 1 s
+}
+
+TEST(TokenBucketTest, MsUntilAvailable) {
+  TokenBucket bucket(1000);
+  EXPECT_EQ(bucket.MsUntilAvailable(500, 0), 0);
+  ASSERT_TRUE(bucket.TryConsume(1000, 0));
+  EXPECT_EQ(bucket.MsUntilAvailable(500, 0), 500);
+  EXPECT_EQ(bucket.MsUntilAvailable(1, 0), 1);
+}
+
+TEST(TokenBucketTest, ForceConsumeReportsRecoveryTime) {
+  TokenBucket bucket(1000);
+  int64_t ready = bucket.ForceConsume(3000, 0);
+  EXPECT_EQ(ready, 2000);  // 2000-token deficit at 1000/s
+  EXPECT_FALSE(bucket.TryConsume(1, 1999));
+  EXPECT_TRUE(bucket.TryConsume(1, 2001));
+}
+
+TEST(TokenBucketTest, ZeroRateNeverRefills) {
+  TokenBucket bucket(0);
+  EXPECT_FALSE(bucket.TryConsume(1, 0));
+  EXPECT_EQ(bucket.MsUntilAvailable(1, 1000000), -1);
+}
+
+class TokenBucketRateSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TokenBucketRateSweep, SustainedThroughputMatchesRate) {
+  const int64_t rate = GetParam();
+  TokenBucket bucket(rate);
+  int64_t consumed = 0;
+  for (int64_t now = 0; now <= 10000; now += 100) {
+    while (bucket.TryConsume(rate / 10, now)) {
+      consumed += rate / 10;
+    }
+  }
+  // Over 10 s the bucket should deliver ~10x the per-second rate (+1 burst).
+  EXPECT_GE(consumed, 10 * rate);
+  EXPECT_LE(consumed, 11 * rate + rate / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TokenBucketRateSweep,
+                         ::testing::Values(1000, 1048576, 10485760));
+
+}  // namespace
+}  // namespace zebra
