@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assignment_ablation.dir/bench_assignment_ablation.cc.o"
+  "CMakeFiles/bench_assignment_ablation.dir/bench_assignment_ablation.cc.o.d"
+  "bench_assignment_ablation"
+  "bench_assignment_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assignment_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

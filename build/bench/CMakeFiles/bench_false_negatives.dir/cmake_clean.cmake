@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_negatives.dir/bench_false_negatives.cc.o"
+  "CMakeFiles/bench_false_negatives.dir/bench_false_negatives.cc.o.d"
+  "bench_false_negatives"
+  "bench_false_negatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypothesis_testing.dir/bench_hypothesis_testing.cc.o"
+  "CMakeFiles/bench_hypothesis_testing.dir/bench_hypothesis_testing.cc.o.d"
+  "bench_hypothesis_testing"
+  "bench_hypothesis_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypothesis_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

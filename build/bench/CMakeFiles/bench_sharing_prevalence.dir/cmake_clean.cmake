@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharing_prevalence.dir/bench_sharing_prevalence.cc.o"
+  "CMakeFiles/bench_sharing_prevalence.dir/bench_sharing_prevalence.cc.o.d"
+  "bench_sharing_prevalence"
+  "bench_sharing_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharing_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_node_types.dir/bench_table2_node_types.cc.o"
+  "CMakeFiles/bench_table2_node_types.dir/bench_table2_node_types.cc.o.d"
+  "bench_table2_node_types"
+  "bench_table2_node_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_node_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_annotations.dir/bench_table4_annotations.cc.o"
+  "CMakeFiles/bench_table4_annotations.dir/bench_table4_annotations.cc.o.d"
+  "bench_table4_annotations"
+  "bench_table4_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

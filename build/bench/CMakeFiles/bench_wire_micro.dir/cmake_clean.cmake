@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_micro.dir/bench_wire_micro.cc.o"
+  "CMakeFiles/bench_wire_micro.dir/bench_wire_micro.cc.o.d"
+  "bench_wire_micro"
+  "bench_wire_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balancer_case_study.dir/balancer_case_study.cpp.o"
+  "CMakeFiles/balancer_case_study.dir/balancer_case_study.cpp.o.d"
+  "balancer_case_study"
+  "balancer_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balancer_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

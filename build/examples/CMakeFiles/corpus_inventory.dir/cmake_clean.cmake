@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_inventory.dir/corpus_inventory.cpp.o"
+  "CMakeFiles/corpus_inventory.dir/corpus_inventory.cpp.o.d"
+  "corpus_inventory"
+  "corpus_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_mining.dir/dependency_mining.cpp.o"
+  "CMakeFiles/dependency_mining.dir/dependency_mining.cpp.o.d"
+  "dependency_mining"
+  "dependency_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_check.dir/deployment_check.cpp.o"
+  "CMakeFiles/deployment_check.dir/deployment_check.cpp.o.d"
+  "deployment_check"
+  "deployment_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

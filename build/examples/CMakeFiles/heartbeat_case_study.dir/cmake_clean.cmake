@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heartbeat_case_study.dir/heartbeat_case_study.cpp.o"
+  "CMakeFiles/heartbeat_case_study.dir/heartbeat_case_study.cpp.o.d"
+  "heartbeat_case_study"
+  "heartbeat_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heartbeat_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidfs_demo.dir/minidfs_demo.cpp.o"
+  "CMakeFiles/minidfs_demo.dir/minidfs_demo.cpp.o.d"
+  "minidfs_demo"
+  "minidfs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidfs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

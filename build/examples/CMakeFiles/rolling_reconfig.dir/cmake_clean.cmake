@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolling_reconfig.dir/rolling_reconfig.cpp.o"
+  "CMakeFiles/rolling_reconfig.dir/rolling_reconfig.cpp.o.d"
+  "rolling_reconfig"
+  "rolling_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolling_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

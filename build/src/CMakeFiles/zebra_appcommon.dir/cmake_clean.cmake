@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_appcommon.dir/apps/appcommon/common_schema.cc.o"
+  "CMakeFiles/zebra_appcommon.dir/apps/appcommon/common_schema.cc.o.d"
+  "CMakeFiles/zebra_appcommon.dir/apps/appcommon/ipc_component.cc.o"
+  "CMakeFiles/zebra_appcommon.dir/apps/appcommon/ipc_component.cc.o.d"
+  "CMakeFiles/zebra_appcommon.dir/apps/appcommon/rpc_gate.cc.o"
+  "CMakeFiles/zebra_appcommon.dir/apps/appcommon/rpc_gate.cc.o.d"
+  "libzebra_appcommon.a"
+  "libzebra_appcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_appcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_apptools.dir/apps/apptools/dfs_tools.cc.o"
+  "CMakeFiles/zebra_apptools.dir/apps/apptools/dfs_tools.cc.o.d"
+  "libzebra_apptools.a"
+  "libzebra_apptools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_apptools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

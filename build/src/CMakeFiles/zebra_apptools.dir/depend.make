@@ -1,0 +1,2 @@
+# Empty dependencies file for zebra_apptools.
+# This may be replaced when dependencies are built.

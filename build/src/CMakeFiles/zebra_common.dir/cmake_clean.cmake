@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_common.dir/common/logging.cc.o"
+  "CMakeFiles/zebra_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/zebra_common.dir/common/stats.cc.o"
+  "CMakeFiles/zebra_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/zebra_common.dir/common/strings.cc.o"
+  "CMakeFiles/zebra_common.dir/common/strings.cc.o.d"
+  "libzebra_common.a"
+  "libzebra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conf/annotations.cc" "src/CMakeFiles/zebra_conf.dir/conf/annotations.cc.o" "gcc" "src/CMakeFiles/zebra_conf.dir/conf/annotations.cc.o.d"
+  "/root/repo/src/conf/conf_agent.cc" "src/CMakeFiles/zebra_conf.dir/conf/conf_agent.cc.o" "gcc" "src/CMakeFiles/zebra_conf.dir/conf/conf_agent.cc.o.d"
+  "/root/repo/src/conf/conf_file.cc" "src/CMakeFiles/zebra_conf.dir/conf/conf_file.cc.o" "gcc" "src/CMakeFiles/zebra_conf.dir/conf/conf_file.cc.o.d"
+  "/root/repo/src/conf/conf_schema.cc" "src/CMakeFiles/zebra_conf.dir/conf/conf_schema.cc.o" "gcc" "src/CMakeFiles/zebra_conf.dir/conf/conf_schema.cc.o.d"
+  "/root/repo/src/conf/configuration.cc" "src/CMakeFiles/zebra_conf.dir/conf/configuration.cc.o" "gcc" "src/CMakeFiles/zebra_conf.dir/conf/configuration.cc.o.d"
+  "/root/repo/src/conf/test_plan.cc" "src/CMakeFiles/zebra_conf.dir/conf/test_plan.cc.o" "gcc" "src/CMakeFiles/zebra_conf.dir/conf/test_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zebra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

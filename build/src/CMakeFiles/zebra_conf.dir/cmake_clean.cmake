@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_conf.dir/conf/annotations.cc.o"
+  "CMakeFiles/zebra_conf.dir/conf/annotations.cc.o.d"
+  "CMakeFiles/zebra_conf.dir/conf/conf_agent.cc.o"
+  "CMakeFiles/zebra_conf.dir/conf/conf_agent.cc.o.d"
+  "CMakeFiles/zebra_conf.dir/conf/conf_file.cc.o"
+  "CMakeFiles/zebra_conf.dir/conf/conf_file.cc.o.d"
+  "CMakeFiles/zebra_conf.dir/conf/conf_schema.cc.o"
+  "CMakeFiles/zebra_conf.dir/conf/conf_schema.cc.o.d"
+  "CMakeFiles/zebra_conf.dir/conf/configuration.cc.o"
+  "CMakeFiles/zebra_conf.dir/conf/configuration.cc.o.d"
+  "CMakeFiles/zebra_conf.dir/conf/test_plan.cc.o"
+  "CMakeFiles/zebra_conf.dir/conf/test_plan.cc.o.d"
+  "libzebra_conf.a"
+  "libzebra_conf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_conf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

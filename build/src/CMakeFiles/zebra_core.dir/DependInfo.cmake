@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cc" "src/CMakeFiles/zebra_core.dir/core/campaign.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/campaign.cc.o.d"
+  "/root/repo/src/core/dependency_miner.cc" "src/CMakeFiles/zebra_core.dir/core/dependency_miner.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/dependency_miner.cc.o.d"
+  "/root/repo/src/core/deployment_checker.cc" "src/CMakeFiles/zebra_core.dir/core/deployment_checker.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/deployment_checker.cc.o.d"
+  "/root/repo/src/core/fleet_model.cc" "src/CMakeFiles/zebra_core.dir/core/fleet_model.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/fleet_model.cc.o.d"
+  "/root/repo/src/core/reconfig_planner.cc" "src/CMakeFiles/zebra_core.dir/core/reconfig_planner.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/reconfig_planner.cc.o.d"
+  "/root/repo/src/core/report_io.cc" "src/CMakeFiles/zebra_core.dir/core/report_io.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/report_io.cc.o.d"
+  "/root/repo/src/core/report_writer.cc" "src/CMakeFiles/zebra_core.dir/core/report_writer.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/report_writer.cc.o.d"
+  "/root/repo/src/core/sharded_campaign.cc" "src/CMakeFiles/zebra_core.dir/core/sharded_campaign.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/sharded_campaign.cc.o.d"
+  "/root/repo/src/core/test_generator.cc" "src/CMakeFiles/zebra_core.dir/core/test_generator.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/test_generator.cc.o.d"
+  "/root/repo/src/core/test_runner.cc" "src/CMakeFiles/zebra_core.dir/core/test_runner.cc.o" "gcc" "src/CMakeFiles/zebra_core.dir/core/test_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zebra_testkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_apptools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_minidfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_minimr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_miniyarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_ministream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_minikv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_appcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

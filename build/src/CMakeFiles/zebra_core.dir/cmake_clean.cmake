@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_core.dir/core/campaign.cc.o"
+  "CMakeFiles/zebra_core.dir/core/campaign.cc.o.d"
+  "CMakeFiles/zebra_core.dir/core/dependency_miner.cc.o"
+  "CMakeFiles/zebra_core.dir/core/dependency_miner.cc.o.d"
+  "CMakeFiles/zebra_core.dir/core/deployment_checker.cc.o"
+  "CMakeFiles/zebra_core.dir/core/deployment_checker.cc.o.d"
+  "CMakeFiles/zebra_core.dir/core/fleet_model.cc.o"
+  "CMakeFiles/zebra_core.dir/core/fleet_model.cc.o.d"
+  "CMakeFiles/zebra_core.dir/core/reconfig_planner.cc.o"
+  "CMakeFiles/zebra_core.dir/core/reconfig_planner.cc.o.d"
+  "CMakeFiles/zebra_core.dir/core/report_io.cc.o"
+  "CMakeFiles/zebra_core.dir/core/report_io.cc.o.d"
+  "CMakeFiles/zebra_core.dir/core/report_writer.cc.o"
+  "CMakeFiles/zebra_core.dir/core/report_writer.cc.o.d"
+  "CMakeFiles/zebra_core.dir/core/sharded_campaign.cc.o"
+  "CMakeFiles/zebra_core.dir/core/sharded_campaign.cc.o.d"
+  "CMakeFiles/zebra_core.dir/core/test_generator.cc.o"
+  "CMakeFiles/zebra_core.dir/core/test_generator.cc.o.d"
+  "CMakeFiles/zebra_core.dir/core/test_runner.cc.o"
+  "CMakeFiles/zebra_core.dir/core/test_runner.cc.o.d"
+  "libzebra_core.a"
+  "libzebra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/minidfs/balancer.cc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/balancer.cc.o" "gcc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/balancer.cc.o.d"
+  "/root/repo/src/apps/minidfs/data_node.cc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/data_node.cc.o" "gcc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/data_node.cc.o.d"
+  "/root/repo/src/apps/minidfs/dfs_client.cc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/dfs_client.cc.o" "gcc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/dfs_client.cc.o.d"
+  "/root/repo/src/apps/minidfs/dfs_schema.cc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/dfs_schema.cc.o" "gcc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/dfs_schema.cc.o.d"
+  "/root/repo/src/apps/minidfs/journal_node.cc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/journal_node.cc.o" "gcc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/journal_node.cc.o.d"
+  "/root/repo/src/apps/minidfs/mover.cc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/mover.cc.o" "gcc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/mover.cc.o.d"
+  "/root/repo/src/apps/minidfs/name_node.cc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/name_node.cc.o" "gcc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/name_node.cc.o.d"
+  "/root/repo/src/apps/minidfs/secondary_name_node.cc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/secondary_name_node.cc.o" "gcc" "src/CMakeFiles/zebra_minidfs.dir/apps/minidfs/secondary_name_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zebra_appcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

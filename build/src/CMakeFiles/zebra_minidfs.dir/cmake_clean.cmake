@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/balancer.cc.o"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/balancer.cc.o.d"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/data_node.cc.o"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/data_node.cc.o.d"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/dfs_client.cc.o"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/dfs_client.cc.o.d"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/dfs_schema.cc.o"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/dfs_schema.cc.o.d"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/journal_node.cc.o"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/journal_node.cc.o.d"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/mover.cc.o"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/mover.cc.o.d"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/name_node.cc.o"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/name_node.cc.o.d"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/secondary_name_node.cc.o"
+  "CMakeFiles/zebra_minidfs.dir/apps/minidfs/secondary_name_node.cc.o.d"
+  "libzebra_minidfs.a"
+  "libzebra_minidfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_minidfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

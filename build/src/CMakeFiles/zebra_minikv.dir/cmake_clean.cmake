@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_minikv.dir/apps/minikv/kv_schema.cc.o"
+  "CMakeFiles/zebra_minikv.dir/apps/minikv/kv_schema.cc.o.d"
+  "CMakeFiles/zebra_minikv.dir/apps/minikv/kv_store.cc.o"
+  "CMakeFiles/zebra_minikv.dir/apps/minikv/kv_store.cc.o.d"
+  "CMakeFiles/zebra_minikv.dir/apps/minikv/thrift_server.cc.o"
+  "CMakeFiles/zebra_minikv.dir/apps/minikv/thrift_server.cc.o.d"
+  "libzebra_minikv.a"
+  "libzebra_minikv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_minikv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/minimr/job_history_server.cc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/job_history_server.cc.o" "gcc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/job_history_server.cc.o.d"
+  "/root/repo/src/apps/minimr/map_task.cc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/map_task.cc.o" "gcc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/map_task.cc.o.d"
+  "/root/repo/src/apps/minimr/mr_job.cc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/mr_job.cc.o" "gcc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/mr_job.cc.o.d"
+  "/root/repo/src/apps/minimr/mr_schema.cc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/mr_schema.cc.o" "gcc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/mr_schema.cc.o.d"
+  "/root/repo/src/apps/minimr/reduce_task.cc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/reduce_task.cc.o" "gcc" "src/CMakeFiles/zebra_minimr.dir/apps/minimr/reduce_task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zebra_appcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/job_history_server.cc.o"
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/job_history_server.cc.o.d"
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/map_task.cc.o"
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/map_task.cc.o.d"
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/mr_job.cc.o"
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/mr_job.cc.o.d"
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/mr_schema.cc.o"
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/mr_schema.cc.o.d"
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/reduce_task.cc.o"
+  "CMakeFiles/zebra_minimr.dir/apps/minimr/reduce_task.cc.o.d"
+  "libzebra_minimr.a"
+  "libzebra_minimr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_minimr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

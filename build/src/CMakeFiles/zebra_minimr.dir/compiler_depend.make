@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zebra_minimr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ministream/job_manager.cc" "src/CMakeFiles/zebra_ministream.dir/apps/ministream/job_manager.cc.o" "gcc" "src/CMakeFiles/zebra_ministream.dir/apps/ministream/job_manager.cc.o.d"
+  "/root/repo/src/apps/ministream/stream_schema.cc" "src/CMakeFiles/zebra_ministream.dir/apps/ministream/stream_schema.cc.o" "gcc" "src/CMakeFiles/zebra_ministream.dir/apps/ministream/stream_schema.cc.o.d"
+  "/root/repo/src/apps/ministream/task_manager.cc" "src/CMakeFiles/zebra_ministream.dir/apps/ministream/task_manager.cc.o" "gcc" "src/CMakeFiles/zebra_ministream.dir/apps/ministream/task_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zebra_appcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

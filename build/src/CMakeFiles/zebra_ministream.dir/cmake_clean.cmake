@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_ministream.dir/apps/ministream/job_manager.cc.o"
+  "CMakeFiles/zebra_ministream.dir/apps/ministream/job_manager.cc.o.d"
+  "CMakeFiles/zebra_ministream.dir/apps/ministream/stream_schema.cc.o"
+  "CMakeFiles/zebra_ministream.dir/apps/ministream/stream_schema.cc.o.d"
+  "CMakeFiles/zebra_ministream.dir/apps/ministream/task_manager.cc.o"
+  "CMakeFiles/zebra_ministream.dir/apps/ministream/task_manager.cc.o.d"
+  "libzebra_ministream.a"
+  "libzebra_ministream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_ministream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzebra_ministream.a"
+)

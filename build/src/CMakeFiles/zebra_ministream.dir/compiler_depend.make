@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zebra_ministream.
+# This may be replaced when dependencies are built.

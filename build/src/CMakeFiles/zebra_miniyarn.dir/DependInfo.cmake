@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/miniyarn/app_history_server.cc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/app_history_server.cc.o" "gcc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/app_history_server.cc.o.d"
+  "/root/repo/src/apps/miniyarn/application.cc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/application.cc.o" "gcc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/application.cc.o.d"
+  "/root/repo/src/apps/miniyarn/node_manager.cc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/node_manager.cc.o" "gcc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/node_manager.cc.o.d"
+  "/root/repo/src/apps/miniyarn/resource_manager.cc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/resource_manager.cc.o" "gcc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/resource_manager.cc.o.d"
+  "/root/repo/src/apps/miniyarn/yarn_client.cc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/yarn_client.cc.o" "gcc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/yarn_client.cc.o.d"
+  "/root/repo/src/apps/miniyarn/yarn_schema.cc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/yarn_schema.cc.o" "gcc" "src/CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/yarn_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zebra_appcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/app_history_server.cc.o"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/app_history_server.cc.o.d"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/application.cc.o"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/application.cc.o.d"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/node_manager.cc.o"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/node_manager.cc.o.d"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/resource_manager.cc.o"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/resource_manager.cc.o.d"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/yarn_client.cc.o"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/yarn_client.cc.o.d"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/yarn_schema.cc.o"
+  "CMakeFiles/zebra_miniyarn.dir/apps/miniyarn/yarn_schema.cc.o.d"
+  "libzebra_miniyarn.a"
+  "libzebra_miniyarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_miniyarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_runtime.dir/runtime/node_types.cc.o"
+  "CMakeFiles/zebra_runtime.dir/runtime/node_types.cc.o.d"
+  "libzebra_runtime.a"
+  "libzebra_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/sim_clock.cc" "src/CMakeFiles/zebra_sim.dir/sim/sim_clock.cc.o" "gcc" "src/CMakeFiles/zebra_sim.dir/sim/sim_clock.cc.o.d"
+  "/root/repo/src/sim/sim_network.cc" "src/CMakeFiles/zebra_sim.dir/sim/sim_network.cc.o" "gcc" "src/CMakeFiles/zebra_sim.dir/sim/sim_network.cc.o.d"
+  "/root/repo/src/sim/wire.cc" "src/CMakeFiles/zebra_sim.dir/sim/wire.cc.o" "gcc" "src/CMakeFiles/zebra_sim.dir/sim/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zebra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_sim.dir/sim/sim_clock.cc.o"
+  "CMakeFiles/zebra_sim.dir/sim/sim_clock.cc.o.d"
+  "CMakeFiles/zebra_sim.dir/sim/sim_network.cc.o"
+  "CMakeFiles/zebra_sim.dir/sim/sim_network.cc.o.d"
+  "CMakeFiles/zebra_sim.dir/sim/wire.cc.o"
+  "CMakeFiles/zebra_sim.dir/sim/wire.cc.o.d"
+  "libzebra_sim.a"
+  "libzebra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testkit/corpus/apptools_corpus.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/apptools_corpus.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/apptools_corpus.cc.o.d"
+  "/root/repo/src/testkit/corpus/minidfs_corpus.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/minidfs_corpus.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/minidfs_corpus.cc.o.d"
+  "/root/repo/src/testkit/corpus/minikv_corpus.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/minikv_corpus.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/minikv_corpus.cc.o.d"
+  "/root/repo/src/testkit/corpus/minimr_corpus.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/minimr_corpus.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/minimr_corpus.cc.o.d"
+  "/root/repo/src/testkit/corpus/ministream_corpus.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/ministream_corpus.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/ministream_corpus.cc.o.d"
+  "/root/repo/src/testkit/corpus/miniyarn_corpus.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/miniyarn_corpus.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/corpus/miniyarn_corpus.cc.o.d"
+  "/root/repo/src/testkit/full_schema.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/full_schema.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/full_schema.cc.o.d"
+  "/root/repo/src/testkit/ground_truth.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/ground_truth.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/ground_truth.cc.o.d"
+  "/root/repo/src/testkit/test_execution.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/test_execution.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/test_execution.cc.o.d"
+  "/root/repo/src/testkit/unit_test_registry.cc" "src/CMakeFiles/zebra_testkit.dir/testkit/unit_test_registry.cc.o" "gcc" "src/CMakeFiles/zebra_testkit.dir/testkit/unit_test_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zebra_apptools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_minidfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_minimr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_miniyarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_ministream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_minikv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_appcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

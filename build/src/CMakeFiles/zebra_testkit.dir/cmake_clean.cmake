@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/apptools_corpus.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/apptools_corpus.cc.o.d"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/minidfs_corpus.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/minidfs_corpus.cc.o.d"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/minikv_corpus.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/minikv_corpus.cc.o.d"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/minimr_corpus.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/minimr_corpus.cc.o.d"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/ministream_corpus.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/ministream_corpus.cc.o.d"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/miniyarn_corpus.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/corpus/miniyarn_corpus.cc.o.d"
+  "CMakeFiles/zebra_testkit.dir/testkit/full_schema.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/full_schema.cc.o.d"
+  "CMakeFiles/zebra_testkit.dir/testkit/ground_truth.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/ground_truth.cc.o.d"
+  "CMakeFiles/zebra_testkit.dir/testkit/test_execution.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/test_execution.cc.o.d"
+  "CMakeFiles/zebra_testkit.dir/testkit/unit_test_registry.cc.o"
+  "CMakeFiles/zebra_testkit.dir/testkit/unit_test_registry.cc.o.d"
+  "libzebra_testkit.a"
+  "libzebra_testkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_testkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

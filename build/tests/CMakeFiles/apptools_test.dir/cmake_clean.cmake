@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apptools_test.dir/apptools_test.cc.o"
+  "CMakeFiles/apptools_test.dir/apptools_test.cc.o.d"
+  "apptools_test"
+  "apptools_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apptools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conf_agent_rules_test.dir/conf_agent_rules_test.cc.o"
+  "CMakeFiles/conf_agent_rules_test.dir/conf_agent_rules_test.cc.o.d"
+  "conf_agent_rules_test"
+  "conf_agent_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conf_agent_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

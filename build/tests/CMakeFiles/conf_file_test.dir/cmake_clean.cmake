@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conf_file_test.dir/conf_file_test.cc.o"
+  "CMakeFiles/conf_file_test.dir/conf_file_test.cc.o.d"
+  "conf_file_test"
+  "conf_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conf_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conf_schema_test.dir/conf_schema_test.cc.o"
+  "CMakeFiles/conf_schema_test.dir/conf_schema_test.cc.o.d"
+  "conf_schema_test"
+  "conf_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conf_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

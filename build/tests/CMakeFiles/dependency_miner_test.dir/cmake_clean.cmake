@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_miner_test.dir/dependency_miner_test.cc.o"
+  "CMakeFiles/dependency_miner_test.dir/dependency_miner_test.cc.o.d"
+  "dependency_miner_test"
+  "dependency_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_checker_test.dir/deployment_checker_test.cc.o"
+  "CMakeFiles/deployment_checker_test.dir/deployment_checker_test.cc.o.d"
+  "deployment_checker_test"
+  "deployment_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_model_test.dir/fleet_model_test.cc.o"
+  "CMakeFiles/fleet_model_test.dir/fleet_model_test.cc.o.d"
+  "fleet_model_test"
+  "fleet_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

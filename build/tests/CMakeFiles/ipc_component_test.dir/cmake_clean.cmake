@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_component_test.dir/ipc_component_test.cc.o"
+  "CMakeFiles/ipc_component_test.dir/ipc_component_test.cc.o.d"
+  "ipc_component_test"
+  "ipc_component_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

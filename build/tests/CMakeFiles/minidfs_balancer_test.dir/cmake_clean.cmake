@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidfs_balancer_test.dir/minidfs_balancer_test.cc.o"
+  "CMakeFiles/minidfs_balancer_test.dir/minidfs_balancer_test.cc.o.d"
+  "minidfs_balancer_test"
+  "minidfs_balancer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidfs_balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidfs_test.dir/minidfs_test.cc.o"
+  "CMakeFiles/minidfs_test.dir/minidfs_test.cc.o.d"
+  "minidfs_test"
+  "minidfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minikv_test.dir/minikv_test.cc.o"
+  "CMakeFiles/minikv_test.dir/minikv_test.cc.o.d"
+  "minikv_test"
+  "minikv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minikv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

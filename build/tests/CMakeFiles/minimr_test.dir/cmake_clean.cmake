@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimr_test.dir/minimr_test.cc.o"
+  "CMakeFiles/minimr_test.dir/minimr_test.cc.o.d"
+  "minimr_test"
+  "minimr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ministream_test.dir/ministream_test.cc.o"
+  "CMakeFiles/ministream_test.dir/ministream_test.cc.o.d"
+  "ministream_test"
+  "ministream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ministream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

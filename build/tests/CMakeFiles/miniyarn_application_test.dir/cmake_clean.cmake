@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniyarn_application_test.dir/miniyarn_application_test.cc.o"
+  "CMakeFiles/miniyarn_application_test.dir/miniyarn_application_test.cc.o.d"
+  "miniyarn_application_test"
+  "miniyarn_application_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniyarn_application_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniyarn_test.dir/miniyarn_test.cc.o"
+  "CMakeFiles/miniyarn_test.dir/miniyarn_test.cc.o.d"
+  "miniyarn_test"
+  "miniyarn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniyarn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mover_test.dir/mover_test.cc.o"
+  "CMakeFiles/mover_test.dir/mover_test.cc.o.d"
+  "mover_test"
+  "mover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

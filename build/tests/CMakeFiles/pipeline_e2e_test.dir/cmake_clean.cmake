@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_e2e_test.dir/pipeline_e2e_test.cc.o"
+  "CMakeFiles/pipeline_e2e_test.dir/pipeline_e2e_test.cc.o.d"
+  "pipeline_e2e_test"
+  "pipeline_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_planner_test.dir/reconfig_planner_test.cc.o"
+  "CMakeFiles/reconfig_planner_test.dir/reconfig_planner_test.cc.o.d"
+  "reconfig_planner_test"
+  "reconfig_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_io_test.dir/report_io_test.cc.o"
+  "CMakeFiles/report_io_test.dir/report_io_test.cc.o.d"
+  "report_io_test"
+  "report_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_writer_test.dir/report_writer_test.cc.o"
+  "CMakeFiles/report_writer_test.dir/report_writer_test.cc.o.d"
+  "report_writer_test"
+  "report_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_campaign_test.dir/sharded_campaign_test.cc.o"
+  "CMakeFiles/sharded_campaign_test.dir/sharded_campaign_test.cc.o.d"
+  "sharded_campaign_test"
+  "sharded_campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generator_test.dir/test_generator_test.cc.o"
+  "CMakeFiles/test_generator_test.dir/test_generator_test.cc.o.d"
+  "test_generator_test"
+  "test_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_test.dir/test_plan_test.cc.o"
+  "CMakeFiles/test_plan_test.dir/test_plan_test.cc.o.d"
+  "test_plan_test"
+  "test_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

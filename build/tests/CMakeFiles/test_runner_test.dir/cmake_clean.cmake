@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner_test.dir/test_runner_test.cc.o"
+  "CMakeFiles/test_runner_test.dir/test_runner_test.cc.o.d"
+  "test_runner_test"
+  "test_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wire_fuzz_test.cc" "tests/CMakeFiles/wire_fuzz_test.dir/wire_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/wire_fuzz_test.dir/wire_fuzz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zebra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_testkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_apptools.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_minidfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_minimr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_miniyarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_ministream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_minikv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_appcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/zebra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
