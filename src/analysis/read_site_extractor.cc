@@ -1,0 +1,441 @@
+#include "src/analysis/read_site_extractor.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace zebra {
+namespace analysis {
+
+namespace {
+
+bool IsUpperInitial(const std::string& s) {
+  return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+}
+
+// Keywords that can precede '(' without being a call or function name.
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "return" || s == "sizeof" || s == "catch" || s == "new" ||
+         s == "delete" || s == "throw" || s == "static_cast" ||
+         s == "dynamic_cast" || s == "reinterpret_cast" || s == "const_cast" ||
+         s == "alignof" || s == "decltype" || s == "noexcept" ||
+         s == "static_assert" || s == "defined" || s == "assert";
+}
+
+bool IsTypeNoise(const std::string& s) {
+  return s == "const" || s == "constexpr" || s == "inline" || s == "static" ||
+         s == "virtual" || s == "explicit" || s == "friend" ||
+         s == "volatile" || s == "mutable" || s == "typename" ||
+         s == "unsigned" || s == "signed" || s == "struct" || s == "class";
+}
+
+const std::string kGetMethods[] = {"Get", "GetBool", "GetInt", "GetDouble"};
+
+bool IsGetMethod(const std::string& s) {
+  for (const auto& m : kGetMethods) {
+    if (s == m) return true;
+  }
+  return false;
+}
+
+// Marker identifiers that count as a node-init annotation bracket.
+bool IsInitBracketIdent(const std::string& s) {
+  return s == "NodeInitScope" || s == "init_scope_" ||
+         s == "ZC_ANNOTATION_SITE";
+}
+
+// Finds the matching close for tokens[open] (one of "(", "{", "[").
+// Returns the index of the closer, or tokens.size() if unbalanced.
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open) {
+  const std::string& o = tokens[open].text;
+  std::string c = o == "(" ? ")" : (o == "{" ? "}" : "]");
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct) continue;
+    if (tokens[i].text == o) {
+      ++depth;
+    } else if (tokens[i].text == c) {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass } kind;
+  std::string name;   // class name for kClass
+  size_t close;       // token index of the scope's closing '}'
+};
+
+}  // namespace
+
+TuModel ExtractTu(std::string file, std::string_view source) {
+  TuModel tu;
+  tu.file = std::move(file);
+  tu.markers = CollectLintMarkers(source);
+  std::vector<Token> toks = LexCpp(source);
+  const size_t n = toks.size();
+
+  std::vector<Scope> scopes;
+  auto current_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+    }
+    return "";
+  };
+
+  // Pass A: declaration harvest over the whole token stream. This does not
+  // depend on scope structure except for class-member attribution, which is
+  // reconstructed again (cheaply) in pass B; here a simple heuristic
+  // suffices: `Type [*|&] name` pairs with Type upper-case initial.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const Token& t = toks[i];
+
+    // Param constant: ... char kFoo [ ] = "name" ;
+    if (t.Is("char") && toks[i + 1].IsIdent()) {
+      size_t j = i + 2;
+      if (j + 1 < n && toks[j].Is("[") && toks[j + 1].Is("]")) j += 2;
+      if (j + 1 < n && toks[j].Is("=") &&
+          toks[j + 1].kind == TokenKind::kString) {
+        tu.param_constants[toks[i + 1].text] = toks[j + 1].text;
+      }
+      continue;
+    }
+
+    // Type map: IDENT(Upper) [*|&] IDENT — declaration-shaped pairs.
+    if (t.IsIdent() && IsUpperInitial(t.text) && !IsControlKeyword(t.text)) {
+      size_t j = i + 1;
+      bool ptr_or_ref = false;
+      while (j < n && (toks[j].Is("*") || toks[j].Is("&") ||
+                       toks[j].Is("const"))) {
+        ptr_or_ref = ptr_or_ref || toks[j].Is("*") || toks[j].Is("&");
+        ++j;
+      }
+      if (j < n && toks[j].IsIdent() && !IsTypeNoise(toks[j].text) &&
+          !IsControlKeyword(toks[j].text)) {
+        // Avoid qualified names (A::B) and call shapes (Type name( handled
+        // below as a possible function — still a fine type binding for
+        // parameters, so keep it).
+        bool qualified_left = i > 0 && toks[i - 1].Is("::");
+        bool template_left = i > 0 && toks[i - 1].Is("<");
+        if (!qualified_left && !template_left) {
+          // Value members like `NodeInitScope init_scope_;` matter too, so
+          // record both pointer/ref and value declarations.
+          (void)ptr_or_ref;
+          tu.var_types.emplace(toks[j].text, t.text);
+        }
+      }
+    }
+  }
+
+  // Pass B: scope-aware walk — classes, functions, read sites, call facts.
+  for (size_t i = 0; i < n; ++i) {
+    // Pop finished scopes.
+    while (!scopes.empty() && i > scopes.back().close) scopes.pop_back();
+
+    const Token& t = toks[i];
+
+    // namespace NAME { ... }   (also anonymous: namespace { ... })
+    if (t.Is("namespace")) {
+      size_t j = i + 1;
+      if (j < n && toks[j].IsIdent()) ++j;
+      if (j < n && toks[j].Is("{")) {
+        size_t close = MatchingClose(toks, j);
+        scopes.push_back({Scope::kNamespace, "", close});
+        i = j;  // descend
+      }
+      continue;
+    }
+
+    // class/struct NAME ... { ... }  (skip forward declarations)
+    if ((t.Is("class") || t.Is("struct")) && i + 1 < n &&
+        toks[i + 1].IsIdent()) {
+      std::string name = toks[i + 1].text;
+      size_t j = i + 2;
+      // Skip "final" and base-class list up to '{' or ';'.
+      while (j < n && !toks[j].Is("{") && !toks[j].Is(";")) ++j;
+      if (j < n && toks[j].Is("{")) {
+        size_t close = MatchingClose(toks, j);
+        scopes.push_back({Scope::kClass, name, close});
+        // Scan class body (shallow) for a NodeInitScope member.
+        for (size_t k = j + 1; k < close; ++k) {
+          if (toks[k].Is("NodeInitScope") && k + 1 < close &&
+              toks[k + 1].IsIdent() && k + 2 < close &&
+              toks[k + 2].Is(";")) {
+            tu.classes_with_scope_member.insert(name);
+          }
+        }
+        i = j;  // descend into the class body
+      }
+      continue;
+    }
+
+    // Candidate function definition: IDENT '(' at namespace/class scope.
+    if (!t.IsIdent() || IsControlKeyword(t.text) || IsTypeNoise(t.text)) {
+      continue;
+    }
+    if (i + 1 >= n || !toks[i + 1].Is("(")) continue;
+
+    size_t close_paren = MatchingClose(toks, i + 1);
+    if (close_paren >= n) continue;
+
+    // After the parameter list: qualifiers, then '{' (def), ':' (ctor init
+    // list), or something else (declaration / expression — skip).
+    size_t j = close_paren + 1;
+    while (j < n && (toks[j].Is("const") || toks[j].Is("noexcept") ||
+                     toks[j].Is("override") || toks[j].Is("final"))) {
+      ++j;
+    }
+    bool has_init_list = j < n && toks[j].Is(":") &&
+                         !(j + 1 < n && toks[j + 1].Is(":"));
+    size_t body_open = n;
+    size_t init_begin = n, init_end = n;
+    if (j < n && toks[j].Is("{")) {
+      body_open = j;
+    } else if (has_init_list) {
+      // Walk the member-init list to the body '{' at paren depth 0.
+      init_begin = j + 1;
+      int depth = 0;
+      for (size_t k = j + 1; k < n; ++k) {
+        if (toks[k].kind != TokenKind::kPunct) continue;
+        if (toks[k].Is("(") || toks[k].Is("[")) ++depth;
+        if (toks[k].Is(")") || toks[k].Is("]")) --depth;
+        if (toks[k].Is("{") && depth == 0) {
+          body_open = k;
+          init_end = k;
+          break;
+        }
+        // Brace-init members: Foo{...} inside the list.
+        if (toks[k].Is("{") && depth > 0) ++depth;
+        if (toks[k].Is("}")) --depth;
+      }
+    }
+    if (body_open >= n) continue;
+
+    size_t body_close = MatchingClose(toks, body_open);
+    if (body_close >= n) continue;
+
+    // Resolve the function's name and class.
+    FunctionModel fn;
+    fn.name = t.text;
+    fn.file = tu.file;
+    fn.line = t.line;
+    if (i >= 2 && toks[i - 1].Is("::") && toks[i - 2].IsIdent()) {
+      fn.cls = toks[i - 2].text;  // out-of-line member: Class::Name(
+    } else {
+      fn.cls = current_class();  // inline member or free function
+    }
+    fn.is_constructor = !fn.cls.empty() && fn.cls == fn.name;
+    fn.qualified = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+
+    // Return type: nearest identifier to the left of the name, skipping
+    // qualifiers, '*', '&', and '::' chains. Constructors have none.
+    if (!fn.is_constructor) {
+      size_t k = i;
+      if (k >= 2 && toks[k - 1].Is("::")) k -= 2;  // hop over Class::
+      while (k > 0) {
+        const Token& p = toks[k - 1];
+        if (p.Is("*") || p.Is("&") || IsTypeNoise(p.text)) {
+          --k;
+          continue;
+        }
+        if (p.IsIdent()) {
+          fn.return_type = p.text;
+        }
+        break;
+      }
+      if (!fn.return_type.empty()) {
+        tu.fn_return_types.emplace(fn.name, fn.return_type);
+        tu.fn_return_types.emplace(fn.qualified, fn.return_type);
+      }
+    }
+
+    // Parameter types also feed the var-type map (already captured by pass A
+    // for `Type* name` shapes).
+
+    // Body tokens: member-init list (if any) + braces..body.
+    if (init_begin < init_end) {
+      fn.tokens.insert(fn.tokens.end(), toks.begin() + init_begin,
+                       toks.begin() + init_end);
+      // Split the init list on top-level ','.
+      int depth = 0;
+      size_t stmt_start = 0;
+      for (size_t k = 0; k < fn.tokens.size(); ++k) {
+        const Token& tk = fn.tokens[k];
+        if (tk.kind == TokenKind::kPunct) {
+          if (tk.Is("(") || tk.Is("{") || tk.Is("[")) ++depth;
+          if (tk.Is(")") || tk.Is("}") || tk.Is("]")) --depth;
+          if (tk.Is(",") && depth == 0) {
+            fn.statements.emplace_back(stmt_start, k);
+            stmt_start = k + 1;
+          }
+        }
+      }
+      fn.statements.emplace_back(stmt_start, fn.tokens.size());
+    }
+    size_t body_tok_base = fn.tokens.size();
+    fn.tokens.insert(fn.tokens.end(), toks.begin() + body_open,
+                     toks.begin() + body_close + 1);
+
+    // Split the body on ';' at paren depth 0. Brace depth is deliberately
+    // ignored so `if (...) { throw X(...); }` glues the condition and the
+    // throw into adjacent statements while keeping each ';' unit intact.
+    {
+      int depth = 0;
+      size_t stmt_start = body_tok_base + 1;  // skip opening '{'
+      for (size_t k = body_tok_base; k < fn.tokens.size(); ++k) {
+        const Token& tk = fn.tokens[k];
+        if (tk.kind != TokenKind::kPunct) continue;
+        if (tk.Is("(") || tk.Is("[")) ++depth;
+        if (tk.Is(")") || tk.Is("]")) --depth;
+        if (tk.Is(";") && depth == 0) {
+          if (k > stmt_start) fn.statements.emplace_back(stmt_start, k);
+          stmt_start = k + 1;
+        }
+      }
+      if (fn.tokens.size() > stmt_start + 1) {
+        fn.statements.emplace_back(stmt_start, fn.tokens.size() - 1);
+      }
+    }
+
+    // Per-function facts: read sites, callees, annotation brackets.
+    for (size_t k = 0; k < fn.tokens.size(); ++k) {
+      const Token& tk = fn.tokens[k];
+      if (!tk.IsIdent()) continue;
+
+      if (IsInitBracketIdent(tk.text)) fn.has_init_bracket = true;
+      if (tk.text == "AnnotatedRefToClone" || tk.text == "RefToClone") {
+        fn.uses_ref_to_clone = true;
+      }
+
+      bool is_call = k + 1 < fn.tokens.size() && fn.tokens[k + 1].Is("(");
+      if (is_call && !IsControlKeyword(tk.text)) {
+        fn.callees.insert(tk.text);
+      }
+
+      // Read site: [.|->] Get*( first-arg ...
+      if (is_call && IsGetMethod(tk.text) && k > 0 &&
+          (fn.tokens[k - 1].Is(".") || fn.tokens[k - 1].Is("->"))) {
+        ReadSite site;
+        site.method = tk.text;
+        site.file = tu.file;
+        site.line = tk.line;
+        site.function = fn.qualified;
+        site.enclosing_class = fn.cls;
+        if (k >= 2) {
+          site.accessor = fn.tokens[k - 2].text;
+        }
+        // First argument: single identifier or string literal; anything more
+        // complex is an unresolved (dynamic) read.
+        if (k + 2 < fn.tokens.size()) {
+          const Token& arg = fn.tokens[k + 2];
+          const Token* after =
+              k + 3 < fn.tokens.size() ? &fn.tokens[k + 3] : nullptr;
+          bool simple = after && (after->Is(",") || after->Is(")"));
+          if (arg.kind == TokenKind::kString && simple) {
+            site.arg_token = arg.text;
+            site.arg_is_literal = true;
+            site.param = arg.text;
+          } else if (arg.IsIdent() && simple) {
+            site.arg_token = arg.text;
+          } else {
+            ++tu.unresolved_reads;
+            continue;
+          }
+        }
+        fn.read_sites.push_back(std::move(site));
+      }
+    }
+
+    // Harvest node classes: init_scope_(kApp, this, "ClassName", ...) or
+    // NodeInitScope scope(kApp, this, "ClassName", ...) — the first string
+    // literal inside the bracket call's argument list. ZC_ANNOTATION_SITE is
+    // deliberately excluded: it also brackets conf hooks inside the
+    // Configuration library itself, which is not a node type.
+    for (size_t k = 0; k + 1 < fn.tokens.size(); ++k) {
+      if (!fn.tokens[k].IsIdent() ||
+          (!fn.tokens[k].Is("NodeInitScope") &&
+           !fn.tokens[k].Is("init_scope_"))) {
+        continue;
+      }
+      // Find the '(' that starts the argument list (possibly after a
+      // variable name for `NodeInitScope scope(...)`).
+      size_t p = k + 1;
+      if (p < fn.tokens.size() && fn.tokens[p].IsIdent()) ++p;
+      if (p >= fn.tokens.size() || !fn.tokens[p].Is("(")) continue;
+      int depth = 0;
+      bool found_literal = false;
+      for (size_t q = p; q < fn.tokens.size(); ++q) {
+        if (fn.tokens[q].Is("(")) ++depth;
+        if (fn.tokens[q].Is(")") && --depth == 0) break;
+        if (fn.tokens[q].kind == TokenKind::kString) {
+          tu.node_classes.insert(fn.tokens[q].text);
+          found_literal = true;
+          break;
+        }
+      }
+      if (found_literal && !fn.cls.empty()) tu.node_classes.insert(fn.cls);
+    }
+
+    tu.functions.push_back(std::move(fn));
+    i = body_close;  // resume after the function body
+  }
+
+  return tu;
+}
+
+void ProgramModel::Merge(TuModel tu) {
+  for (const auto& [k, v] : tu.param_constants) param_constants.emplace(k, v);
+  node_classes.insert(tu.node_classes.begin(), tu.node_classes.end());
+  for (const auto& [k, v] : tu.var_types) var_types.emplace(k, v);
+  for (const auto& [k, v] : tu.fn_return_types) fn_return_types.emplace(k, v);
+  classes_with_scope_member.insert(tu.classes_with_scope_member.begin(),
+                                   tu.classes_with_scope_member.end());
+  markers.insert(markers.end(), tu.markers.begin(), tu.markers.end());
+  unresolved_reads += tu.unresolved_reads;
+  tus.push_back(std::move(tu));
+}
+
+void ProgramModel::Resolve() {
+  for (TuModel& tu : tus) {
+    for (FunctionModel& fn : tu.functions) {
+      for (ReadSite& site : fn.read_sites) {
+        if (site.arg_is_literal || !site.param.empty()) continue;
+        auto it = param_constants.find(site.arg_token);
+        if (it != param_constants.end()) {
+          site.param = it->second;
+        } else {
+          ++unresolved_reads;
+        }
+      }
+    }
+  }
+}
+
+std::vector<const ReadSite*> ProgramModel::AllReadSites() const {
+  std::vector<const ReadSite*> sites;
+  for (const TuModel& tu : tus) {
+    for (const FunctionModel& fn : tu.functions) {
+      for (const ReadSite& site : fn.read_sites) {
+        if (!site.param.empty()) sites.push_back(&site);
+      }
+    }
+  }
+  return sites;
+}
+
+std::set<std::string> ProgramModel::ExternallyInitializedClasses() const {
+  std::set<std::string> classes;
+  for (const LintMarker& marker : markers) {
+    if (marker.tag != "external-init") continue;
+    // The class name is the first whitespace-delimited word of the argument.
+    std::string word = marker.argument;
+    size_t sp = word.find_first_of(" \t");
+    if (sp != std::string::npos) word = word.substr(0, sp);
+    if (!word.empty()) classes.insert(word);
+  }
+  return classes;
+}
+
+}  // namespace analysis
+}  // namespace zebra

@@ -1,0 +1,134 @@
+// zebralint's structural layer: turns one translation unit's token stream into
+// a model of function definitions, configuration read sites, call sites, and
+// annotation brackets.
+//
+// The extractor is deliberately lexical (no type checking, no template
+// instantiation): the properties ZebraConf's static prior needs — "which
+// parameter constants does this function read", "which node-class object does
+// this statement call into", "is this constructor bracketed with
+// NodeInitScope" — are all recoverable from token shapes in the coding style
+// this repository (and Hadoop-style C++ in general) uses. Everything the
+// later passes consume is recorded with file:line provenance so reports stay
+// clickable.
+
+#ifndef SRC_ANALYSIS_READ_SITE_EXTRACTOR_H_
+#define SRC_ANALYSIS_READ_SITE_EXTRACTOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/source_lexer.h"
+
+namespace zebra {
+namespace analysis {
+
+// One Configuration::Get* call site.
+struct ReadSite {
+  // The raw first argument: an identifier (a parameter-name constant such as
+  // kDfsHeartbeatInterval) or a string literal. Resolution against the
+  // program-wide constant table happens in ProgramModel::Resolve().
+  std::string arg_token;
+  bool arg_is_literal = false;
+
+  std::string param;     // resolved parameter name ("" if unresolvable)
+  std::string accessor;  // receiver expression's final identifier ("conf_")
+  std::string method;    // Get / GetBool / GetInt / GetDouble
+
+  std::string file;
+  int line = 0;
+  std::string function;         // qualified enclosing function
+  std::string enclosing_class;  // "" for free functions
+};
+
+// A function (or constructor) definition with its body tokens retained for
+// the statement-level taint pass.
+struct FunctionModel {
+  std::string cls;        // "" for free functions
+  std::string name;       // unqualified
+  std::string qualified;  // "Class::Name" or "Name"
+  std::string return_type;
+  bool is_constructor = false;
+
+  std::string file;
+  int line = 0;
+
+  // Body tokens: the constructor member-init list (if any) followed by the
+  // brace-enclosed body, braces included.
+  std::vector<Token> tokens;
+  // Half-open token ranges forming statements: split on ';' at parenthesis
+  // depth zero (so a whole call expression — lambdas included — stays in one
+  // statement) and on top-level ',' inside the member-init list.
+  std::vector<std::pair<size_t, size_t>> statements;
+
+  std::vector<ReadSite> read_sites;
+  std::set<std::string> callees;  // every name that appears as NAME(
+  bool has_init_bracket = false;  // NodeInitScope / init_scope_ / ZC_ANNOTATION_SITE
+  bool uses_ref_to_clone = false;
+};
+
+// Everything extracted from one file.
+struct TuModel {
+  std::string file;
+  std::vector<FunctionModel> functions;
+
+  // `inline constexpr char kFoo[] = "the.param.name";` declarations.
+  std::map<std::string, std::string> param_constants;
+
+  // Node-type names harvested from NodeInitScope brackets: the string literal
+  // argument, plus the enclosing class of the bracket.
+  std::set<std::string> node_classes;
+
+  // Best-effort identifier -> class-type map from declarations of the form
+  // `Type* name`, `Type& name`, `Type name` (Type upper-case initial). Covers
+  // members, locals, and parameters alike.
+  std::map<std::string, std::string> var_types;
+
+  // Function name (bare and qualified) -> return type identifier, for
+  // resolving chained receivers like ResolveDataNode(id)->DeleteBlock(...).
+  std::map<std::string, std::string> fn_return_types;
+
+  // Classes declaring a NodeInitScope member in this file.
+  std::set<std::string> classes_with_scope_member;
+
+  std::vector<LintMarker> markers;
+
+  // Get* calls whose first argument was neither an identifier nor a literal
+  // (dynamic parameter names); counted so reports can surface blind spots.
+  int unresolved_reads = 0;
+};
+
+// Extracts the model of one file. `file` is used for provenance only.
+TuModel ExtractTu(std::string file, std::string_view source);
+
+// The merged program-wide model over all scanned files.
+struct ProgramModel {
+  std::vector<TuModel> tus;
+
+  std::map<std::string, std::string> param_constants;
+  std::set<std::string> node_classes;
+  std::map<std::string, std::string> var_types;
+  std::map<std::string, std::string> fn_return_types;
+  std::set<std::string> classes_with_scope_member;
+  std::vector<LintMarker> markers;
+  int unresolved_reads = 0;
+
+  void Merge(TuModel tu);
+
+  // Fills ReadSite::param across all TUs from the merged constant table.
+  // Call once after every file has been merged.
+  void Resolve();
+
+  // All read sites across the program (valid after Resolve()).
+  std::vector<const ReadSite*> AllReadSites() const;
+
+  // Classes suppressed via `zebralint(external-init): <Class> ...` markers.
+  std::set<std::string> ExternallyInitializedClasses() const;
+};
+
+}  // namespace analysis
+}  // namespace zebra
+
+#endif  // SRC_ANALYSIS_READ_SITE_EXTRACTOR_H_

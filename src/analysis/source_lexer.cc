@@ -1,0 +1,249 @@
+#include "src/analysis/source_lexer.h"
+
+#include <cctype>
+
+namespace zebra {
+namespace analysis {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators the analyzer cares about keeping whole. Longest
+// match first within each leading character.
+const char* const kPuncts[] = {
+    "::", "->", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "...",
+};
+
+size_t MatchPunct(std::string_view source, size_t pos) {
+  for (const char* punct : kPuncts) {
+    std::string_view p(punct);
+    if (source.substr(pos, p.size()) == p) {
+      return p.size();
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<Token> LexCpp(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto advance_line = [&](char c) {
+    if (c == '\n') {
+      ++line;
+    }
+  };
+
+  while (i < n) {
+    char c = source[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        advance_line(source[i]);
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+
+    // Preprocessor directive: drop to end of line (honoring continuations).
+    if (c == '#' && (tokens.empty() || tokens.back().line != line ||
+                     true /* column-0 heuristic not needed */)) {
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+
+    // String literal (handles escapes; raw strings handled crudely but
+    // safely: R"( ... )" with empty delimiter).
+    if (c == '"' || (c == 'R' && i + 1 < n && source[i + 1] == '"')) {
+      Token token;
+      token.kind = TokenKind::kString;
+      token.line = line;
+      if (c == 'R') {
+        // Raw string: R"delim( ... )delim"
+        size_t paren = source.find('(', i + 2);
+        if (paren == std::string_view::npos) {
+          ++i;
+          continue;
+        }
+        std::string delim(source.substr(i + 2, paren - (i + 2)));
+        std::string closer = ")" + delim + "\"";
+        size_t end = source.find(closer, paren + 1);
+        if (end == std::string_view::npos) {
+          end = n;
+        }
+        token.text = std::string(source.substr(paren + 1, end - paren - 1));
+        for (char rc : source.substr(i, end - i)) {
+          advance_line(rc);
+        }
+        i = (end == n) ? n : end + closer.size();
+      } else {
+        ++i;  // opening quote
+        std::string value;
+        while (i < n && source[i] != '"') {
+          if (source[i] == '\\' && i + 1 < n) {
+            value.push_back(source[i + 1]);
+            i += 2;
+            continue;
+          }
+          advance_line(source[i]);
+          value.push_back(source[i]);
+          ++i;
+        }
+        ++i;  // closing quote
+        token.text = std::move(value);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Character literal.
+    if (c == '\'') {
+      Token token;
+      token.kind = TokenKind::kChar;
+      token.line = line;
+      ++i;
+      std::string value;
+      while (i < n && source[i] != '\'') {
+        if (source[i] == '\\' && i + 1 < n) {
+          value.push_back(source[i + 1]);
+          i += 2;
+          continue;
+        }
+        value.push_back(source[i]);
+        ++i;
+      }
+      ++i;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Number (digits plus the usual suffix/infix soup; precision is not
+    // needed, only that the blob stays one token).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token token;
+      token.kind = TokenKind::kNumber;
+      token.line = line;
+      size_t start = i;
+      while (i < n && (IsIdentChar(source[i]) || source[i] == '.' ||
+                       ((source[i] == '+' || source[i] == '-') && i > start &&
+                        (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        ++i;
+      }
+      token.text = std::string(source.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      Token token;
+      token.kind = TokenKind::kIdentifier;
+      token.line = line;
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) {
+        ++i;
+      }
+      token.text = std::string(source.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Punctuator.
+    Token token;
+    token.kind = TokenKind::kPunct;
+    token.line = line;
+    size_t len = MatchPunct(source, i);
+    token.text = std::string(source.substr(i, len));
+    i += len;
+    tokens.push_back(std::move(token));
+  }
+
+  return tokens;
+}
+
+std::vector<LintMarker> CollectLintMarkers(std::string_view source) {
+  std::vector<LintMarker> markers;
+  constexpr std::string_view kPrefix = "zebralint(";
+  int line = 1;
+  for (size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (source.compare(i, kPrefix.size(), kPrefix) != 0) {
+      continue;
+    }
+    size_t tag_start = i + kPrefix.size();
+    size_t tag_end = source.find(')', tag_start);
+    if (tag_end == std::string_view::npos) {
+      continue;
+    }
+    LintMarker marker;
+    marker.tag = std::string(source.substr(tag_start, tag_end - tag_start));
+    marker.line = line;
+    size_t rest = tag_end + 1;
+    if (rest < source.size() && source[rest] == ':') {
+      ++rest;
+    }
+    size_t eol = source.find('\n', rest);
+    if (eol == std::string_view::npos) {
+      eol = source.size();
+    }
+    std::string argument(source.substr(rest, eol - rest));
+    // Trim.
+    size_t first = argument.find_first_not_of(" \t");
+    size_t last = argument.find_last_not_of(" \t\r");
+    marker.argument = first == std::string::npos
+                          ? ""
+                          : argument.substr(first, last - first + 1);
+    markers.push_back(std::move(marker));
+    i = tag_end;
+  }
+  return markers;
+}
+
+}  // namespace analysis
+}  // namespace zebra

@@ -1,0 +1,57 @@
+// zebralint's lexical front end: a minimal C++ tokenizer (no libclang).
+//
+// The analyzer never needs a full parse — every property it extracts (read
+// sites, call sites, constant tables, annotation brackets) is visible at the
+// token level once comments, preprocessor lines, and literals are normalized.
+// The lexer therefore produces a flat token stream with line numbers, plus the
+// `// zebralint(tag): ...` suppression markers that live *inside* comments and
+// must be harvested before the comments are dropped.
+
+#ifndef SRC_ANALYSIS_SOURCE_LEXER_H_
+#define SRC_ANALYSIS_SOURCE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zebra {
+namespace analysis {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords
+  kString,      // string literal, text holds the unquoted contents
+  kChar,        // character literal
+  kNumber,      // numeric literal
+  kPunct,       // one operator/punctuator per token ("::", "->", "==", ...)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;
+
+  bool Is(std::string_view t) const { return text == t; }
+  bool IsIdent() const { return kind == TokenKind::kIdentifier; }
+};
+
+// Tokenizes C++ source. Comments and preprocessor directives are dropped;
+// adjacent string literals are NOT merged (call sites never need it). The
+// lexer is total: unknown bytes become single-character punctuators.
+std::vector<Token> LexCpp(std::string_view source);
+
+// A `zebralint(tag): argument` marker found in a comment, e.g.
+//   // zebralint(external-init): TaskManager is bracketed at call sites
+struct LintMarker {
+  std::string tag;       // "external-init"
+  std::string argument;  // free text after the colon
+  int line = 0;
+};
+
+// Harvests markers from comments (runs on the raw source, before LexCpp
+// consumers drop comments).
+std::vector<LintMarker> CollectLintMarkers(std::string_view source);
+
+}  // namespace analysis
+}  // namespace zebra
+
+#endif  // SRC_ANALYSIS_SOURCE_LEXER_H_

@@ -1,0 +1,321 @@
+#include "src/analysis/static_prior.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace zebra {
+namespace analysis {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// App attribution from a path: the component after "apps/", else "conf" for
+// the configuration library, else the first path component.
+std::string AppOfPath(const std::string& path) {
+  size_t pos = path.find("apps/");
+  if (pos != std::string::npos) {
+    size_t start = pos + 5;
+    size_t end = path.find('/', start);
+    if (end != std::string::npos) return path.substr(start, end - start);
+  }
+  if (path.find("/conf/") != std::string::npos ||
+      path.rfind("conf/", 0) == 0) {
+    return "conf";
+  }
+  return "other";
+}
+
+void JsonEscape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+const ParamProfile* StaticPriorReport::Find(const std::string& param) const {
+  auto it = params.find(param);
+  return it == params.end() ? nullptr : &it->second;
+}
+
+bool StaticPriorReport::IsWireTainted(const std::string& param) const {
+  const ParamProfile* profile = Find(param);
+  return profile != nullptr && profile->wire_tainted;
+}
+
+bool StaticPriorReport::IsNeverRead(const std::string& param) const {
+  const ParamProfile* profile = Find(param);
+  return profile != nullptr && profile->in_schema &&
+         profile->read_sites.empty();
+}
+
+double StaticPriorReport::PriorityOf(const std::string& param) const {
+  const ParamProfile* profile = Find(param);
+  return profile == nullptr ? kPriorityLocal : profile->priority;
+}
+
+std::vector<std::string> StaticPriorReport::WireTaintedParams() const {
+  std::vector<std::string> out;
+  for (const auto& [name, profile] : params) {
+    if (profile.wire_tainted) out.push_back(name);
+  }
+  return out;
+}
+
+void StaticAnalyzer::AddSource(const std::string& path,
+                               std::string_view content) {
+  sources_.emplace_back(path, std::string(content));
+}
+
+int StaticAnalyzer::AddTree(const std::string& root) {
+  int added = 0;
+  for (const char* subdir : {"src/apps", "src/conf"}) {
+    fs::path dir = fs::path(root) / subdir;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    std::vector<fs::path> files;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) continue;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      // Store paths relative to the root so reports are tree-relative.
+      std::string rel = fs::relative(file, root, ec).string();
+      if (ec || rel.empty()) rel = file.string();
+      AddSource(rel, buf.str());
+      ++added;
+    }
+  }
+  return added;
+}
+
+StaticPriorReport StaticAnalyzer::Analyze(const ConfSchema* schema) const {
+  ProgramModel program;
+  for (const auto& [path, content] : sources_) {
+    program.Merge(ExtractTu(path, content));
+  }
+  // Classes declared externally initialized behave as node classes for the
+  // taint pass (their methods are genuine cross-node surfaces) even though
+  // they lack the in-constructor bracket that normally reveals them.
+  std::set<std::string> external_init = program.ExternallyInitializedClasses();
+  program.node_classes.insert(external_init.begin(), external_init.end());
+  program.Resolve();
+
+  TaintReport taint = RunTaintPass(program);
+
+  StaticPriorReport report;
+  report.files_scanned = static_cast<int>(sources_.size());
+  report.unresolved_reads = program.unresolved_reads;
+  report.protocol_surfaces = taint.protocol_surfaces;
+
+  // Read-site inventory.
+  for (const ReadSite* site : program.AllReadSites()) {
+    ParamProfile& profile = report.params[site->param];
+    profile.param = site->param;
+    profile.read_sites.push_back(
+        {site->file, site->line, site->function, site->enclosing_class});
+    ++report.read_sites_per_app[AppOfPath(site->file)];
+  }
+
+  // Taint verdicts.
+  for (const auto& [param, verdict] : taint.params) {
+    ParamProfile& profile = report.params[param];
+    profile.param = param;
+    profile.wire_tainted = verdict.wire_tainted;
+    profile.taint_reasons = verdict.reasons;
+  }
+
+  // Schema cross-checks.
+  if (schema != nullptr) {
+    for (const ParamSpec& spec : schema->params()) {
+      ParamProfile& profile = report.params[spec.name];
+      profile.param = spec.name;
+      profile.in_schema = true;
+      if (profile.read_sites.empty()) {
+        report.never_read.push_back(spec.name);
+      }
+    }
+    for (auto& [param, profile] : report.params) {
+      if (!profile.in_schema && !profile.read_sites.empty()) {
+        const SiteRef& site = profile.read_sites.front();
+        report.errors.push_back(
+            {DriftKind::kReadNotInSchema, param,
+             "parameter `" + param + "` is read at " + site.file + ":" +
+                 std::to_string(site.line) + " (" + site.function +
+                 ") but is not registered in ConfSchema",
+             site.file, site.line});
+      }
+    }
+  }
+
+  // Annotation drift: a constructor that reads configuration (or clones a
+  // node ref) without any init bracket — no NodeInitScope/init_scope_/
+  // ZC_ANNOTATION_SITE in the body, no NodeInitScope member in the class,
+  // and no `zebralint(external-init)` suppression.
+  for (const TuModel& tu : program.tus) {
+    for (const FunctionModel& fn : tu.functions) {
+      if (!fn.is_constructor) continue;
+      bool reads_config = false;
+      for (const ReadSite& site : fn.read_sites) {
+        if (!site.param.empty()) reads_config = true;
+      }
+      if (!reads_config && !fn.uses_ref_to_clone) continue;
+      if (fn.has_init_bracket) continue;
+      if (program.classes_with_scope_member.count(fn.cls)) continue;
+      if (external_init.count(fn.cls)) continue;
+      report.errors.push_back(
+          {DriftKind::kAnnotationDrift, fn.qualified,
+           "constructor " + fn.qualified + " reads configuration at " +
+               fn.file + ":" + std::to_string(fn.line) +
+               " without a ZC_ANNOTATION_SITE / NodeInitScope bracket "
+               "(annotation drift; suppress with `zebralint(external-init): " +
+               fn.cls + " <why>` if node init happens elsewhere)",
+           fn.file, fn.line});
+    }
+  }
+
+  // Priorities.
+  for (auto& [param, profile] : report.params) {
+    if (profile.in_schema && profile.read_sites.empty()) {
+      profile.priority = kPriorityNeverRead;
+    } else if (profile.wire_tainted) {
+      profile.priority = kPriorityWire;
+    } else {
+      profile.priority = kPriorityLocal;
+    }
+  }
+
+  std::sort(report.never_read.begin(), report.never_read.end());
+  return report;
+}
+
+std::string ReportToJson(const StaticPriorReport& report) {
+  std::ostringstream out;
+  out << "{\n  \"files_scanned\": " << report.files_scanned
+      << ",\n  \"unresolved_reads\": " << report.unresolved_reads
+      << ",\n  \"read_sites_per_app\": {";
+  bool first = true;
+  for (const auto& [app, count] : report.read_sites_per_app) {
+    if (!first) out << ", ";
+    first = false;
+    JsonEscape(out, app);
+    out << ": " << count;
+  }
+  out << "},\n  \"params\": [\n";
+  first = true;
+  for (const auto& [name, profile] : report.params) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"name\": ";
+    JsonEscape(out, name);
+    out << ", \"in_schema\": " << (profile.in_schema ? "true" : "false")
+        << ", \"read_sites\": " << profile.read_sites.size()
+        << ", \"wire_tainted\": " << (profile.wire_tainted ? "true" : "false")
+        << ", \"priority\": " << profile.priority << ", \"sites\": [";
+    for (size_t i = 0; i < profile.read_sites.size(); ++i) {
+      if (i > 0) out << ", ";
+      const SiteRef& site = profile.read_sites[i];
+      JsonEscape(out, site.file + ":" + std::to_string(site.line));
+    }
+    out << "], \"reasons\": [";
+    for (size_t i = 0; i < profile.taint_reasons.size(); ++i) {
+      if (i > 0) out << ", ";
+      JsonEscape(out, profile.taint_reasons[i]);
+    }
+    out << "]}";
+  }
+  out << "\n  ],\n  \"never_read\": [";
+  for (size_t i = 0; i < report.never_read.size(); ++i) {
+    if (i > 0) out << ", ";
+    JsonEscape(out, report.never_read[i]);
+  }
+  out << "],\n  \"errors\": [\n";
+  for (size_t i = 0; i < report.errors.size(); ++i) {
+    if (i > 0) out << ",\n";
+    const DriftFinding& finding = report.errors[i];
+    out << "    {\"kind\": ";
+    JsonEscape(out, finding.kind == DriftKind::kReadNotInSchema
+                        ? "read-not-in-schema"
+                        : "annotation-drift");
+    out << ", \"subject\": ";
+    JsonEscape(out, finding.subject);
+    out << ", \"message\": ";
+    JsonEscape(out, finding.message);
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+std::string ReportToText(const StaticPriorReport& report) {
+  std::ostringstream out;
+  out << "zebralint: scanned " << report.files_scanned << " files, "
+      << report.params.size() << " parameters profiled\n";
+  out << "read sites per app:\n";
+  for (const auto& [app, count] : report.read_sites_per_app) {
+    out << "  " << app << ": " << count << "\n";
+  }
+  int wire = 0, local = 0;
+  for (const auto& [name, profile] : report.params) {
+    if (profile.read_sites.empty()) continue;
+    (profile.wire_tainted ? wire : local)++;
+  }
+  out << "wire-tainted: " << wire << "  node-local: " << local
+      << "  never-read (prune set): " << report.never_read.size()
+      << "  unresolved reads: " << report.unresolved_reads << "\n";
+  out << "\nWIRE-TAINTED PARAMETERS\n";
+  for (const auto& [name, profile] : report.params) {
+    if (!profile.wire_tainted) continue;
+    out << "  " << name << "  (" << profile.read_sites.size()
+        << " read sites)\n";
+    for (const std::string& reason : profile.taint_reasons) {
+      out << "      - " << reason << "\n";
+    }
+  }
+  out << "\nNODE-LOCAL PARAMETERS\n";
+  for (const auto& [name, profile] : report.params) {
+    if (profile.wire_tainted || profile.read_sites.empty()) continue;
+    out << "  " << name << "  (" << profile.read_sites.size()
+        << " read sites)\n";
+  }
+  if (!report.never_read.empty()) {
+    out << "\nNEVER-READ SCHEMA PARAMETERS (statically pruned)\n";
+    for (const std::string& name : report.never_read) {
+      out << "  " << name << "\n";
+    }
+  }
+  if (!report.errors.empty()) {
+    out << "\nERRORS\n";
+    for (const DriftFinding& finding : report.errors) {
+      out << "  " << finding.message << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace analysis
+}  // namespace zebra

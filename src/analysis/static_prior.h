@@ -1,0 +1,121 @@
+// zebralint's top layer: runs the extractor and taint pass over a source
+// tree (or in-memory fixtures), cross-checks the result against ConfSchema,
+// and packages everything as a StaticPriorReport — the static signal the
+// dynamic campaign consumes.
+//
+// The report plays two roles, mirroring ZebraConf §8's "static analysis can
+// shrink the dynamic search space" remark:
+//   * pruning  — schema parameters with zero read sites cannot influence any
+//     behavior, so TestGenerator drops them before enumeration (a Table-5
+//     style stage with its own instance count);
+//   * ranking  — wire-tainted parameters are tested first; they are where
+//     het-unsafe behavior can live, so true detections surface earlier.
+//
+// It also carries the lint findings proper (schema/annotation drift) for the
+// `zebralint --check` CI gate.
+
+#ifndef SRC_ANALYSIS_STATIC_PRIOR_H_
+#define SRC_ANALYSIS_STATIC_PRIOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/taint_pass.h"
+#include "src/conf/conf_schema.h"
+
+namespace zebra {
+namespace analysis {
+
+// Priority bands used by TestGenerator. Larger runs earlier.
+inline constexpr double kPriorityWire = 2.0;
+inline constexpr double kPriorityLocal = 1.0;
+inline constexpr double kPriorityNeverRead = 0.0;
+
+struct SiteRef {
+  std::string file;
+  int line = 0;
+  std::string function;
+  std::string enclosing_class;
+};
+
+struct ParamProfile {
+  std::string param;
+  std::vector<SiteRef> read_sites;
+  bool in_schema = false;
+  bool wire_tainted = false;
+  std::vector<std::string> taint_reasons;
+  double priority = kPriorityLocal;
+};
+
+enum class DriftKind {
+  kReadNotInSchema,   // a read site names a parameter the schema lacks
+  kAnnotationDrift,   // a constructor reads config without an init bracket
+};
+
+struct DriftFinding {
+  DriftKind kind;
+  std::string subject;  // parameter name or Class::Class
+  std::string message;
+  std::string file;
+  int line = 0;
+};
+
+struct StaticPriorReport {
+  // Every parameter that is in the schema or has a resolved read site.
+  std::map<std::string, ParamProfile> params;
+
+  // Hard findings: `zebralint --check` fails when non-empty.
+  std::vector<DriftFinding> errors;
+
+  // Schema parameters with zero read sites — the static prune set. A
+  // warning, not an error: unread parameters are legitimate (and are exactly
+  // what pruning removes).
+  std::vector<std::string> never_read;
+
+  std::set<std::string> protocol_surfaces;
+  std::map<std::string, int> read_sites_per_app;  // "minidfs" -> count
+  int files_scanned = 0;
+  int unresolved_reads = 0;
+
+  bool HasErrors() const { return !errors.empty(); }
+
+  const ParamProfile* Find(const std::string& param) const;
+  bool IsWireTainted(const std::string& param) const;
+  bool IsNeverRead(const std::string& param) const;
+  // kPriorityLocal for parameters the analysis has never heard of, so a
+  // missing profile never prunes anything.
+  double PriorityOf(const std::string& param) const;
+
+  std::vector<std::string> WireTaintedParams() const;
+};
+
+// Front end. Feed sources (from disk or as fixture strings), then Analyze.
+class StaticAnalyzer {
+ public:
+  // Registers an in-memory source (tests use this with synthetic paths like
+  // "src/apps/minidfs/data_node.cc" — app attribution comes from the path).
+  void AddSource(const std::string& path, std::string_view content);
+
+  // Scans `root`/src/apps and `root`/src/conf recursively for .h/.cc files.
+  // Returns the number of files read.
+  int AddTree(const std::string& root);
+
+  // Runs extraction + taint + schema cross-checks. `schema` may be null
+  // (analysis-only mode: no prune set, no read-not-in-schema findings).
+  StaticPriorReport Analyze(const ConfSchema* schema) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sources_;  // path, content
+};
+
+// Report serialization for the zebralint CLI.
+std::string ReportToJson(const StaticPriorReport& report);
+std::string ReportToText(const StaticPriorReport& report);
+
+}  // namespace analysis
+}  // namespace zebra
+
+#endif  // SRC_ANALYSIS_STATIC_PRIOR_H_

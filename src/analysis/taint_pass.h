@@ -1,0 +1,74 @@
+// zebralint's taint pass: classifies every configuration parameter with at
+// least one read site as WIRE-TAINTED (its value can influence bytes, tokens,
+// timing, or errors observed by another node) or NODE-LOCAL (it only shapes
+// state private to the reading node).
+//
+// This is the static realization of ZebraConf's core observation: a
+// heterogeneous-unsafe parameter must have a read site whose value escapes
+// the node through a protocol surface. The pass is per translation unit plus
+// a small program-wide fixpoint over function summaries:
+//
+//   R1 (statement co-occurrence) — a statement that reads a parameter (or
+//      uses a local previously assigned from one) and also
+//        a. calls a wire primitive (EncodeFrame, WireToken, RpcGate, ...),
+//        b. calls a method on a node-class-typed receiver (a cross-node
+//           call in the simulator's object model),
+//        c. calls a function whose own body reaches a wire sink
+//           (summary-propagated),
+//        d. calls a function whose name matches a protocol pattern
+//           (heartbeat/handshake/liveness/stale/token/wire), or
+//        e. throws a protocol-visible error (RpcError, HandshakeError, ...)
+//      taints that parameter. Because statements are split on ';' at paren
+//      depth 0, an `if (x > limit) { throw LimitError(...); }` keeps the
+//      guard and the throw together — a cheap control-dependence edge.
+//   R2 (protocol surface) — every parameter read inside a function that is
+//      itself a protocol surface (called cross-node, or name-matching, or
+//      transitively invoked from one) is tainted: its value shapes the
+//      behavior a *remote* caller observes.
+//   R3 (helper propagation) — when a sink statement calls a locally defined
+//      helper, the parameters that helper reads directly are tainted (the
+//      DfsDataWireConfig pattern: a struct-builder whose fields feed the
+//      wire).
+//
+// Everything else stays node-local. Each verdict carries human-readable
+// reasons with file:line so `zebralint` reports are auditable.
+
+#ifndef SRC_ANALYSIS_TAINT_PASS_H_
+#define SRC_ANALYSIS_TAINT_PASS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/read_site_extractor.h"
+
+namespace zebra {
+namespace analysis {
+
+struct TaintVerdict {
+  bool wire_tainted = false;
+  std::vector<std::string> reasons;  // "R1a wire primitive ... (file:line)"
+};
+
+struct TaintReport {
+  // Parameter name -> verdict, for every parameter with a resolved read site.
+  std::map<std::string, TaintVerdict> params;
+
+  // Functions classified as protocol surfaces (qualified names), for report
+  // output and tests.
+  std::set<std::string> protocol_surfaces;
+
+  bool IsWireTainted(const std::string& param) const {
+    auto it = params.find(param);
+    return it != params.end() && it->second.wire_tainted;
+  }
+};
+
+// Runs the taint pass over a resolved ProgramModel.
+TaintReport RunTaintPass(const ProgramModel& program);
+
+}  // namespace analysis
+}  // namespace zebra
+
+#endif  // SRC_ANALYSIS_TAINT_PASS_H_

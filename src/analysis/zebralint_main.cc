@@ -1,0 +1,78 @@
+// zebralint CLI: static config-flow report + CI drift gate.
+//
+//   zebralint [--root DIR] [--json] [--check] [--no-schema]
+//
+// Scans DIR/src/apps and DIR/src/conf (DIR defaults to the source tree this
+// binary was built from), cross-checks against the full registered schema,
+// and prints a text (default) or JSON report. With --check the exit code is
+// nonzero when schema or annotation drift is found, so CI can gate on it.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/analysis/static_prior.h"
+#include "src/testkit/full_schema.h"
+
+#ifndef ZEBRALINT_SOURCE_ROOT
+#define ZEBRALINT_SOURCE_ROOT "."
+#endif
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--json] [--check] [--no-schema]\n"
+               "  --root DIR   source tree to scan (default: %s)\n"
+               "  --json       emit the JSON report instead of text\n"
+               "  --check      exit 1 on schema/annotation drift (CI gate)\n"
+               "  --no-schema  skip ConfSchema cross-checks\n",
+               argv0, ZEBRALINT_SOURCE_ROOT);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ZEBRALINT_SOURCE_ROOT;
+  bool json = false;
+  bool check = false;
+  bool use_schema = true;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--no-schema") == 0) {
+      use_schema = false;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  zebra::analysis::StaticAnalyzer analyzer;
+  int files = analyzer.AddTree(root);
+  if (files == 0) {
+    std::fprintf(stderr, "zebralint: no sources found under %s/src\n",
+                 root.c_str());
+    return 2;
+  }
+
+  const zebra::ConfSchema* schema =
+      use_schema ? &zebra::FullSchema() : nullptr;
+  zebra::analysis::StaticPriorReport report = analyzer.Analyze(schema);
+
+  std::string out = json ? zebra::analysis::ReportToJson(report)
+                         : zebra::analysis::ReportToText(report);
+  std::fputs(out.c_str(), stdout);
+
+  if (check && report.HasErrors()) {
+    std::fprintf(stderr, "zebralint: %zu drift error(s) found\n",
+                 report.errors.size());
+    return 1;
+  }
+  return 0;
+}

@@ -19,6 +19,9 @@ WireConfig StreamDataWireConfig(const Configuration& conf) {
 
 }  // namespace
 
+// zebralint(external-init): TaskManager deliberately lacks a NodeInitScope —
+// it models Flink's pattern where the TM is constructed by the JM's deploy
+// path and node-init attribution happens at the call site (DESIGN.md Rule 3).
 TaskManager::TaskManager(Cluster* cluster, const Configuration& conf)
     : conf_(conf),  // plain clone: Rule 3 keeps it with the caller's entity
       cluster_(cluster) {

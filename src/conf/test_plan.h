@@ -60,6 +60,11 @@ struct ParamPlan {
   std::string param;
   ValueAssigner assigner;
   std::vector<std::pair<std::string, std::string>> extra_overrides;
+
+  // Static prior (zebralint): wire-tainted parameters carry 2.0, node-local
+  // 1.0, statically pruned 0.0. The campaign tests higher priorities first;
+  // 1.0 (the default) reproduces the prior-less behavior.
+  double static_priority = 1.0;
 };
 
 // A full plan for one unit-test execution. Multiple entries = pooled testing.

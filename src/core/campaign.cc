@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <random>
 
 #include "src/common/logging.h"
 
@@ -23,6 +24,9 @@ int64_t SumField(const std::map<std::string, AppStageCounts>& per_app,
 int64_t CampaignReport::TotalOriginal() const {
   return SumField(per_app, &AppStageCounts::original);
 }
+int64_t CampaignReport::TotalAfterStatic() const {
+  return SumField(per_app, &AppStageCounts::after_static);
+}
 int64_t CampaignReport::TotalAfterPrerun() const {
   return SumField(per_app, &AppStageCounts::after_prerun);
 }
@@ -38,7 +42,8 @@ Campaign::Campaign(const ConfSchema& schema, const UnitTestRegistry& corpus,
     : schema_(schema),
       corpus_(corpus),
       options_(std::move(options)),
-      generator_(schema, corpus, GeneratorOptions{options_.enable_round_robin}),
+      generator_(schema, corpus,
+                 GeneratorOptions{options_.enable_round_robin, options_.static_prior}),
       runner_(options_.significance, options_.first_trials) {
   if (options_.apps.empty()) {
     std::set<std::string> apps;
@@ -63,6 +68,10 @@ bool Campaign::VerifyInstance(const GeneratedInstance& instance, AppStageCounts*
   }
 
   // Confirmed unsafe.
+  if (report->runs_to_first_detection == 0) {
+    report->runs_to_first_detection = report->TotalExecuted();
+    report->first_detection_param = instance.plan.param;
+  }
   const std::string& param = instance.plan.param;
   confirmed_in_test->insert(param);
   ParamFinding& finding = report->findings[param];
@@ -111,11 +120,33 @@ void Campaign::BisectPool(const UnitTestDef& test, std::vector<GeneratedInstance
   }
 }
 
+std::vector<std::string> Campaign::ParamOrder(
+    const std::map<std::string, std::vector<GeneratedInstance>>& by_param) const {
+  std::vector<std::string> order;
+  order.reserve(by_param.size());
+  for (const auto& [param, instances] : by_param) {
+    order.push_back(param);
+  }
+  // Map iteration is name-sorted; a stable sort on priority keeps name order
+  // within each band.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return by_param.at(a).front().plan.static_priority >
+                            by_param.at(b).front().plan.static_priority;
+                   });
+  if (options_.shuffle_order_seed != 0) {
+    std::mt19937_64 rng(options_.shuffle_order_seed);
+    std::shuffle(order.begin(), order.end(), rng);
+  }
+  return order;
+}
+
 void Campaign::RunPooledForTest(
     const UnitTestDef& test,
     std::map<std::string, std::vector<GeneratedInstance>> by_param,
     AppStageCounts* counts, CampaignReport* report) {
   std::set<std::string> confirmed_in_test;
+  std::vector<std::string> order = ParamOrder(by_param);
   size_t max_rounds = 0;
   for (const auto& [param, instances] : by_param) {
     max_rounds = std::max(max_rounds, instances.size());
@@ -123,9 +154,11 @@ void Campaign::RunPooledForTest(
 
   for (size_t round = 0; round < max_rounds; ++round) {
     // Pool the round-th instance of every parameter that still has one and
-    // is not already settled.
+    // is not already settled. Pool order follows the static prior, so
+    // bisection descends into the wire-tainted half first.
     std::vector<GeneratedInstance> pool;
-    for (const auto& [param, instances] : by_param) {
+    for (const std::string& param : order) {
+      const std::vector<GeneratedInstance>& instances = by_param.at(param);
       if (round >= instances.size() || GloballyUnsafe(param) ||
           confirmed_in_test.count(param) > 0) {
         continue;
@@ -157,6 +190,7 @@ CampaignReport Campaign::Run() {
     AppStageCounts& counts = report.per_app[app];
     SharingStats& sharing = report.sharing[app];
     counts.original = generator_.OriginalInstanceCount(app);
+    counts.after_static = generator_.StaticPrunedInstanceCount(app);
 
     std::vector<PreRunRecord> records = generator_.PreRunApp(app, &counts.executed_runs);
     counts.tests_total = static_cast<int>(records.size());
@@ -200,7 +234,8 @@ CampaignReport Campaign::Run() {
         // Ablation: verify every instance individually (stop per parameter
         // once confirmed in this test).
         std::set<std::string> confirmed_in_test;
-        for (const auto& [param, param_instances] : by_param) {
+        for (const std::string& param : ParamOrder(by_param)) {
+          const std::vector<GeneratedInstance>& param_instances = by_param.at(param);
           for (const GeneratedInstance& instance : param_instances) {
             if (GloballyUnsafe(param) || confirmed_in_test.count(param) > 0) {
               break;

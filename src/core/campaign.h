@@ -50,10 +50,23 @@ struct CampaignOptions {
   // positives).
   std::set<std::string> only_params;
   std::set<std::string> exclude_params;
+
+  // zebralint static prior: prunes never-read parameters before enumeration
+  // and tests wire-tainted parameters first (see docs/ZEBRALINT.md). Not
+  // owned; may be null (prior-less campaign, the paper's baseline).
+  const analysis::StaticPriorReport* static_prior = nullptr;
+
+  // Nonzero: deterministically shuffle the per-test parameter order with
+  // this seed. Used by benchmarks as the honest "unprioritized" baseline
+  // (plain map order is alphabetical, which happens to front-load several
+  // unsafe dfs.* parameters).
+  uint64_t shuffle_order_seed = 0;
 };
 
 struct AppStageCounts {
   int64_t original = 0;           // Table 5 row 1
+  int64_t after_static = 0;       // after zebralint pruning (== original
+                                  // when no static prior is configured)
   int64_t after_prerun = 0;       // Table 5 row 2
   int64_t after_uncertainty = 0;  // Table 5 row 3
   int64_t executed_runs = 0;      // Table 5 row 4 (actual unit-test executions)
@@ -83,11 +96,18 @@ struct CampaignReport {
   int64_t total_unit_test_runs = 0;
   double wall_seconds = 0.0;
 
+  // Unit-test executions (pre-runs included) up to and including the run
+  // that confirmed the first unsafe parameter; 0 when nothing was detected.
+  // The static-prior prioritization exists to shrink this number.
+  int64_t runs_to_first_detection = 0;
+  std::string first_detection_param;
+
   // Wall-clock duration of every unit-test execution, in order — the input
   // to the fleet cost model (core/fleet_model.h).
   std::vector<double> run_durations_seconds;
 
   int64_t TotalOriginal() const;
+  int64_t TotalAfterStatic() const;
   int64_t TotalAfterPrerun() const;
   int64_t TotalAfterUncertainty() const;
   int64_t TotalExecuted() const;
@@ -119,6 +139,12 @@ class Campaign {
   bool GloballyUnsafe(const std::string& param) const {
     return globally_unsafe_.count(param) > 0;
   }
+
+  // Parameter visit order for one test: descending static priority
+  // (wire-tainted first), name for ties; shuffled when the options ask for
+  // the unprioritized baseline.
+  std::vector<std::string> ParamOrder(
+      const std::map<std::string, std::vector<GeneratedInstance>>& by_param) const;
 
   const ConfSchema& schema_;
   const UnitTestRegistry& corpus_;

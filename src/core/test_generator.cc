@@ -67,6 +67,25 @@ int64_t TestGenerator::OriginalInstanceCount(const std::string& app) const {
   return tests * per_test;
 }
 
+int64_t TestGenerator::StaticPrunedInstanceCount(const std::string& app) const {
+  if (options_.static_prior == nullptr) {
+    return OriginalInstanceCount(app);
+  }
+  int64_t tests = static_cast<int64_t>(corpus_.ForApp(app).size());
+  int64_t node_types = static_cast<int64_t>(NodeTypesForApp(app).size());
+  if (node_types == 0) {
+    return 0;
+  }
+  int64_t per_test = 0;
+  for (const ParamSpec* spec : schema_.ParamsForApp(app)) {
+    if (options_.static_prior->IsNeverRead(spec->name)) {
+      continue;  // statically pruned: no read site anywhere in the sources
+    }
+    per_test += static_cast<int64_t>(ValuePairs(*spec).size()) * node_types * 4;
+  }
+  return tests * per_test;
+}
+
 std::vector<std::pair<std::string, std::string>> TestGenerator::OverridesFor(
     const std::string& param, const std::string& v1, const std::string& v2) const {
   std::vector<std::pair<std::string, std::string>> merged;
@@ -96,6 +115,10 @@ std::vector<GeneratedInstance> TestGenerator::Generate(
   }
 
   for (const ParamSpec* spec : schema_.ParamsForApp(record.test->app)) {
+    if (options_.static_prior != nullptr &&
+        options_.static_prior->IsNeverRead(spec->name)) {
+      continue;  // statically pruned before enumeration
+    }
     bool uncertain = report.uncertain_params.count(spec->name) > 0;
     auto pairs = ValuePairs(*spec);
     for (const auto& [entity, params_read] : report.reads) {
@@ -118,6 +141,10 @@ std::vector<GeneratedInstance> TestGenerator::Generate(
           instance.plan.param = spec->name;
           instance.plan.assigner = std::move(assigner);
           instance.plan.extra_overrides = OverridesFor(spec->name, v1, v2);
+          if (options_.static_prior != nullptr) {
+            instance.plan.static_priority =
+                options_.static_prior->PriorityOf(spec->name);
+          }
           instances.push_back(std::move(instance));
         }
       }

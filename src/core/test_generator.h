@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/static_prior.h"
 #include "src/conf/conf_schema.h"
 #include "src/conf/test_plan.h"
 #include "src/testkit/test_execution.h"
@@ -47,6 +48,13 @@ struct GeneratorOptions {
   // group. Disabling it (ablation) loses every unsafety that only manifests
   // *between nodes of the same type* — e.g. TaskManager-to-TaskManager SSL.
   bool enable_round_robin = true;
+
+  // Optional zebralint prior (§8: static analysis shrinks the dynamic search
+  // space). When set, schema parameters with zero static read sites are
+  // dropped before enumeration (the "after_static" Table-5 stage) and every
+  // generated ParamPlan carries the parameter's static priority so the
+  // campaign can test wire-tainted parameters first. Not owned.
+  const analysis::StaticPriorReport* static_prior = nullptr;
 };
 
 class TestGenerator {
@@ -66,6 +74,11 @@ class TestGenerator {
   // would enumerate — every test x every app parameter x every value pair x
   // every assignment over all of the app's node types.
   int64_t OriginalInstanceCount(const std::string& app) const;
+
+  // The same enumeration after static pruning: parameters zebralint proves
+  // are never read cannot influence behavior and are dropped. Equals
+  // OriginalInstanceCount when no static prior is configured.
+  int64_t StaticPrunedInstanceCount(const std::string& app) const;
 
   // Instances for one pre-run record. `*count_before_uncertainty` receives
   // the Table 5 row 2 contribution (instances before dropping parameters read

@@ -1,0 +1,93 @@
+// Schema/ground-truth consistency: the campaign can only find what the
+// schema lets it enumerate. Every seeded het-unsafe parameter must be
+// registered with test values, names must be unique, and defaults must parse
+// for their declared type.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "src/testkit/full_schema.h"
+#include "src/testkit/ground_truth.h"
+
+namespace zebra {
+namespace {
+
+bool ParsesAsInt(const std::string& text) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  std::strtoll(text.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParsesAsDouble(const std::string& text) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+TEST(SchemaConsistency, EverySeededUnsafeParamIsRegisteredWithTestValues) {
+  const ConfSchema& schema = FullSchema();
+  for (const auto& [param, why] : ExpectedUnsafeParams()) {
+    const ParamSpec* spec = schema.Find(param);
+    ASSERT_NE(spec, nullptr) << param << " (" << why << ")";
+    EXPECT_FALSE(spec->test_values.empty()) << param;
+    EXPECT_GE(spec->test_values.size(), 2u)
+        << param << ": needs at least two values to form a value pair";
+  }
+}
+
+TEST(SchemaConsistency, ParamNamesAreUnique) {
+  std::set<std::string> seen;
+  for (const ParamSpec& spec : FullSchema().params()) {
+    EXPECT_TRUE(seen.insert(spec.name).second)
+        << "duplicate schema entry: " << spec.name;
+  }
+}
+
+TEST(SchemaConsistency, DefaultsParseForDeclaredType) {
+  for (const ParamSpec& spec : FullSchema().params()) {
+    SCOPED_TRACE(spec.name);
+    switch (spec.type) {
+      case ParamType::kBool:
+        EXPECT_TRUE(spec.default_value == "true" ||
+                    spec.default_value == "false")
+            << "bool default: " << spec.default_value;
+        break;
+      case ParamType::kInt:
+        EXPECT_TRUE(ParsesAsInt(spec.default_value))
+            << "int default: " << spec.default_value;
+        break;
+      case ParamType::kDouble:
+        EXPECT_TRUE(ParsesAsDouble(spec.default_value))
+            << "double default: " << spec.default_value;
+        break;
+      case ParamType::kEnum:
+      case ParamType::kString:
+        // Any literal is acceptable, but the default should be one of the
+        // advertised test values when those exist for enums.
+        if (spec.type == ParamType::kEnum && !spec.test_values.empty()) {
+          bool listed = false;
+          for (const std::string& value : spec.test_values) {
+            listed |= value == spec.default_value;
+          }
+          EXPECT_TRUE(listed) << "enum default " << spec.default_value
+                              << " not among test values";
+        }
+        break;
+    }
+  }
+}
+
+TEST(SchemaConsistency, EveryParamHasOwningAppAndDescription) {
+  for (const ParamSpec& spec : FullSchema().params()) {
+    EXPECT_FALSE(spec.app.empty()) << spec.name;
+    EXPECT_FALSE(spec.name.empty());
+  }
+}
+
+}  // namespace
+}  // namespace zebra

@@ -1,0 +1,121 @@
+// End-to-end: the zebralint static prior plugged into the campaign.
+//
+//  * pruning  — never-read schema parameters shrink the enumeration
+//    (after_static < original) without losing a single finding;
+//  * ranking  — wire-tainted-first ordering reaches the first true detection
+//    in strictly fewer unit-test executions than the expected unprioritized
+//    order (mean over seeded random param orders; plain alphabetical order
+//    is not an honest baseline because dfs.block.access.token.enable — a
+//    seeded-unsafe parameter — happens to sort nearly first).
+//
+// Everything here is deterministic: the simulator is virtual-time and the
+// baseline shuffles use fixed seeds.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/static_prior.h"
+#include "src/core/campaign.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/ground_truth.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+namespace {
+
+const analysis::StaticPriorReport& Prior() {
+  static const auto* kPrior = [] {
+    analysis::StaticAnalyzer analyzer;
+    EXPECT_GT(analyzer.AddTree(ZEBRALINT_SOURCE_ROOT), 0);
+    return new analysis::StaticPriorReport(analyzer.Analyze(&FullSchema()));
+  }();
+  return *kPrior;
+}
+
+CampaignReport RunMiniDfs(const analysis::StaticPriorReport* prior,
+                          uint64_t shuffle_seed) {
+  CampaignOptions options;
+  options.apps = {"minidfs"};
+  // Individual verification: with pooling every parameter shares the same
+  // pool run, so ordering cannot shorten time-to-first-detection there.
+  options.enable_pooling = false;
+  options.static_prior = prior;
+  options.shuffle_order_seed = shuffle_seed;
+  Campaign campaign(FullSchema(), FullCorpus(), options);
+  return campaign.Run();
+}
+
+TEST(StaticPriorCampaign, PruningShrinksEnumerationWithoutLosingFindings) {
+  CampaignReport with_prior = RunMiniDfs(&Prior(), 0);
+  CampaignReport without_prior = RunMiniDfs(nullptr, 0);
+
+  // The static stage sits between Table 5 row 1 and the pre-run row.
+  EXPECT_LT(with_prior.TotalAfterStatic(), with_prior.TotalOriginal());
+  EXPECT_GE(with_prior.TotalAfterStatic(), with_prior.TotalAfterPrerun());
+  // No prior => no pruning.
+  EXPECT_EQ(without_prior.TotalAfterStatic(), without_prior.TotalOriginal());
+
+  // Pruning must not cost findings.
+  std::set<std::string> pruned_findings, full_findings;
+  for (const auto& [param, finding] : with_prior.findings) {
+    pruned_findings.insert(param);
+  }
+  for (const auto& [param, finding] : without_prior.findings) {
+    full_findings.insert(param);
+  }
+  EXPECT_EQ(pruned_findings, full_findings);
+}
+
+TEST(StaticPriorCampaign, PrioritizedOrderDetectsFirstUnsafeSooner) {
+  CampaignReport prioritized = RunMiniDfs(&Prior(), 0);
+  ASSERT_GT(prioritized.runs_to_first_detection, 0);
+  // The first detection is a true positive, not a seeded false-positive.
+  EXPECT_TRUE(IsExpectedUnsafe(prioritized.first_detection_param))
+      << prioritized.first_detection_param;
+
+  int64_t baseline_total = 0;
+  const std::vector<uint64_t> kSeeds = {1, 2, 3, 4, 5};
+  for (uint64_t seed : kSeeds) {
+    CampaignReport baseline = RunMiniDfs(nullptr, seed);
+    ASSERT_GT(baseline.runs_to_first_detection, 0);
+    baseline_total += baseline.runs_to_first_detection;
+  }
+  double baseline_mean =
+      static_cast<double>(baseline_total) / static_cast<double>(kSeeds.size());
+
+  // Strictly fewer executions to the first true detection than the expected
+  // unprioritized cost.
+  EXPECT_LT(static_cast<double>(prioritized.runs_to_first_detection),
+            baseline_mean)
+      << "prioritized=" << prioritized.runs_to_first_detection
+      << " baseline mean=" << baseline_mean;
+}
+
+TEST(StaticPriorCampaign, GeneratedPlansCarryPriorities) {
+  TestGenerator generator(FullSchema(), FullCorpus(),
+                          GeneratorOptions{true, &Prior()});
+  int64_t executions = 0;
+  auto records = generator.PreRunApp("minidfs", &executions);
+  ASSERT_FALSE(records.empty());
+  bool saw_wire = false;
+  for (const PreRunRecord& record : records) {
+    int64_t before_uncertainty = 0;
+    for (const GeneratedInstance& instance :
+         generator.Generate(record, &before_uncertainty)) {
+      if (instance.plan.param == "dfs.heartbeat.interval") {
+        EXPECT_EQ(instance.plan.static_priority, analysis::kPriorityWire);
+        saw_wire = true;
+      }
+      EXPECT_GT(instance.plan.static_priority, 0.0)
+          << "never-read params must be pruned, not generated: "
+          << instance.plan.param;
+    }
+  }
+  EXPECT_TRUE(saw_wire);
+}
+
+}  // namespace
+}  // namespace zebra

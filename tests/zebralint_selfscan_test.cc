@@ -1,0 +1,135 @@
+// Self-scan smoke tests: zebralint run over this repository's own sources
+// (the tree the binary was built from) must reproduce the static profile the
+// campaign relies on — read sites in every mini-app, ≥80% of the seeded
+// het-unsafe minidfs parameters wire-tainted, node-local safe parameters
+// non-wire, and a clean drift gate that trips when a schema parameter is
+// deleted while its read sites remain.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/static_prior.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/ground_truth.h"
+
+#ifndef ZEBRALINT_SOURCE_ROOT
+#error "ZEBRALINT_SOURCE_ROOT must be defined by the build"
+#endif
+
+namespace zebra {
+namespace analysis {
+namespace {
+
+const StaticPriorReport& SelfScan() {
+  static const StaticPriorReport* kReport = [] {
+    StaticAnalyzer analyzer;
+    int files = analyzer.AddTree(ZEBRALINT_SOURCE_ROOT);
+    EXPECT_GT(files, 0) << "no sources under " << ZEBRALINT_SOURCE_ROOT;
+    return new StaticPriorReport(analyzer.Analyze(&FullSchema()));
+  }();
+  return *kReport;
+}
+
+TEST(ZebralintSelfScan, EveryMiniAppHasReadSites) {
+  const StaticPriorReport& report = SelfScan();
+  for (const char* app : {"minidfs", "minimr", "miniyarn", "ministream",
+                          "minikv", "appcommon"}) {
+    auto it = report.read_sites_per_app.find(app);
+    ASSERT_NE(it, report.read_sites_per_app.end()) << app;
+    EXPECT_GE(it->second, 1) << app;
+  }
+}
+
+TEST(ZebralintSelfScan, CleanTreeHasNoDrift) {
+  const StaticPriorReport& report = SelfScan();
+  EXPECT_FALSE(report.HasErrors()) << ReportToText(report);
+}
+
+TEST(ZebralintSelfScan, WireTaintCoversSeededUnsafeMiniDfsParams) {
+  const StaticPriorReport& report = SelfScan();
+  int dfs_total = 0, dfs_tainted = 0;
+  std::vector<std::string> missed;
+  for (const auto& [param, why] : ExpectedUnsafeParams()) {
+    if (param.rfind("dfs.", 0) != 0) continue;
+    ++dfs_total;
+    if (report.IsWireTainted(param)) {
+      ++dfs_tainted;
+    } else {
+      missed.push_back(param);
+    }
+  }
+  ASSERT_GT(dfs_total, 0);
+  std::string missed_list;
+  for (const std::string& param : missed) missed_list += param + " ";
+  // Acceptance bar: ≥80% of the seeded het-unsafe minidfs parameters.
+  EXPECT_GE(dfs_tainted * 100, dfs_total * 80) << "missed: " << missed_list;
+
+  // The issue's named examples must all be caught.
+  EXPECT_TRUE(report.IsWireTainted("dfs.encrypt.data.transfer"));
+  EXPECT_TRUE(report.IsWireTainted("dfs.checksum.type"));
+  EXPECT_TRUE(report.IsWireTainted("dfs.heartbeat.interval"));
+}
+
+TEST(ZebralintSelfScan, NodeLocalSafeParamsAreNotWireTainted) {
+  const StaticPriorReport& report = SelfScan();
+  for (const char* param :
+       {"dfs.datanode.handler.count", "dfs.namenode.handler.count",
+        "dfs.datanode.data.dir", "dfs.datanode.max.transfer.threads",
+        "hbase.regionserver.handler.count"}) {
+    const ParamProfile* profile = report.Find(param);
+    ASSERT_NE(profile, nullptr) << param;
+    EXPECT_FALSE(profile->read_sites.empty()) << param;
+    EXPECT_FALSE(profile->wire_tainted)
+        << param << ": " << (profile->taint_reasons.empty()
+                                 ? ""
+                                 : profile->taint_reasons.front());
+  }
+}
+
+TEST(ZebralintSelfScan, ReadSiteLinesAreClickable) {
+  const StaticPriorReport& report = SelfScan();
+  const ParamProfile* profile = report.Find("dfs.heartbeat.interval");
+  ASSERT_NE(profile, nullptr);
+  ASSERT_FALSE(profile->read_sites.empty());
+  for (const SiteRef& site : profile->read_sites) {
+    EXPECT_NE(site.file.find("src/"), std::string::npos);
+    EXPECT_GT(site.line, 0);
+    EXPECT_FALSE(site.function.empty());
+  }
+}
+
+TEST(ZebralintSelfScan, DeletingSchemaParamWithLiveReadsTripsCheck) {
+  // Rebuild the schema without dfs.heartbeat.interval: the read sites in
+  // data_node.cc/name_node.cc must now surface as read-not-in-schema drift —
+  // this is what `zebralint --check` exits nonzero on.
+  ConfSchema pruned;
+  for (const ParamSpec& spec : FullSchema().params()) {
+    if (spec.name == "dfs.heartbeat.interval") continue;
+    pruned.AddParam(spec);
+  }
+  StaticAnalyzer analyzer;
+  ASSERT_GT(analyzer.AddTree(ZEBRALINT_SOURCE_ROOT), 0);
+  StaticPriorReport report = analyzer.Analyze(&pruned);
+  ASSERT_TRUE(report.HasErrors());
+  bool found = false;
+  for (const DriftFinding& finding : report.errors) {
+    if (finding.kind == DriftKind::kReadNotInSchema &&
+        finding.subject == "dfs.heartbeat.interval") {
+      found = true;
+      EXPECT_GT(finding.line, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ZebralintSelfScan, ProtocolSurfacesIncludeKnownHandshakePaths) {
+  const StaticPriorReport& report = SelfScan();
+  EXPECT_TRUE(report.protocol_surfaces.count("NameNode::RegisterDataNode"))
+      << "cross-node-called registration should be a protocol surface";
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace zebra
