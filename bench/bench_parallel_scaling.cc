@@ -1,65 +1,254 @@
 // "Test in parallel" (§4): test instances are independent, so the paper runs
-// them across 100 machines x 20 containers. This bench runs the full
-// campaign sharded over worker *processes* (each the analog of a container)
-// and reports the wall-clock scaling, plus the fleet-model extrapolation.
+// them across 100 machines x 20 containers. This bench compares the three
+// single-machine parallelization strategies on the full campaign:
+//
+//   sharded   — static per-app sharding (sharded_campaign.h): hard-capped by
+//               the largest shard (minidfs alone is ~70% of the work),
+//   stealing  — work-stealing (app, unit-test) scheduler
+//               (parallel_scheduler.h): capped by the largest *unit*,
+//   stealing+cache — same, with the memoized run cache serving repeated
+//               bisection probes and homogeneous controls without executing.
+//
+// Two cost regimes are measured:
+//
+//   native     — runs cost microseconds of pure CPU. At this scale (and on a
+//                single-core CI box) fork/IPC overhead dominates and no
+//                scheduler can win; the numbers are reported for honesty.
+//   paper-cost — each real execution carries the configured synthetic harness
+//                latency (SetSyntheticRunLatencyUs), restoring the paper's
+//                cost shape where runs are wait-dominated, seconds-long
+//                JUnit invocations. Worker processes overlap waits even on
+//                one CPU — exactly how the paper's containers overlap
+//                I/O-bound runs — so this regime shows true scheduling
+//                quality: static sharding flattens at its largest shard
+//                while work-stealing keeps scaling, and the run cache
+//                removes executions outright.
+//
+// Every row yields bitwise-identical findings (enforced by
+// tests/parallel_scheduler_test.cc); only wall-clock differs. Results are
+// printed and emitted machine-readable to BENCH_parallel.json.
 
 #include <chrono>
+#include <cstdio>
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
 #include "src/core/fleet_model.h"
+#include "src/core/parallel_scheduler.h"
 #include "src/core/sharded_campaign.h"
+#include "src/testkit/test_execution.h"
 
 namespace zebra {
 namespace {
 
-double TimeShardedRun(int workers, CampaignReport* out) {
+constexpr int64_t kPaperCostLatencyUs = 500;
+
+enum class Mode { kSequential, kSharded, kStealing, kStealingCache };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kSequential:
+      return "sequential";
+    case Mode::kSharded:
+      return "sharded";
+    case Mode::kStealing:
+      return "stealing";
+    case Mode::kStealingCache:
+      return "stealing+cache";
+  }
+  return "?";
+}
+
+double TimeRun(Mode mode, int workers, CampaignReport* out) {
   CampaignOptions options;  // all apps
+  options.enable_run_cache = mode == Mode::kStealingCache;
   auto start = std::chrono::steady_clock::now();
-  CampaignReport report =
-      RunShardedCampaign(FullSchema(), FullCorpus(), options, workers);
-  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                 start)
-                       .count();
+  CampaignReport report;
+  switch (mode) {
+    case Mode::kSequential: {
+      Campaign campaign(FullSchema(), FullCorpus(), options);
+      report = campaign.Run();
+      break;
+    }
+    case Mode::kSharded:
+      report = RunShardedCampaign(FullSchema(), FullCorpus(), options, workers);
+      break;
+    case Mode::kStealing:
+    case Mode::kStealingCache:
+      report =
+          RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, workers);
+      break;
+  }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   if (out != nullptr) {
     *out = std::move(report);
   }
   return seconds;
 }
 
-void PrintScaling() {
-  PrintHeader("§4 — Test in parallel (worker processes as container analogs)");
-  std::printf("%10s %16s %12s %12s\n", "workers", "wall-clock", "speedup", "findings");
-  PrintRule('-', 56);
-  double baseline = 0;
-  for (int workers : {1, 2, 3, 6}) {
-    CampaignReport report;
-    double seconds = TimeShardedRun(workers, &report);
-    if (workers == 1) {
-      baseline = seconds;
+// Best-of-N wall-clock: fork jitter at this miniature scale is comparable to
+// the work itself, so the minimum is the honest capacity number.
+double BestOf(int repetitions, Mode mode, int workers, CampaignReport* out) {
+  double best = 0;
+  for (int i = 0; i < repetitions; ++i) {
+    double seconds = TimeRun(mode, workers, i == 0 ? out : nullptr);
+    if (i == 0 || seconds < best) {
+      best = seconds;
     }
-    std::printf("%10d %14.3f s %11.2fx %12zu\n", workers, seconds,
-                baseline > 0 ? baseline / seconds : 1.0, report.findings.size());
   }
-  PrintRule('-', 56);
+  return best;
+}
 
-  CampaignReport report;
-  TimeShardedRun(1, &report);
-  FleetEstimate fleet = EstimateFleet(report.run_durations_seconds, 100, 20);
+struct Row {
+  const char* regime;
+  Mode mode;
+  int workers;
+  double seconds;
+  double speedup_vs_sequential;
+  size_t findings;
+  int64_t cache_hits;
+  int64_t cache_misses;
+};
+
+// One regime (native or paper-cost): sequential baseline plus all three
+// strategies across worker counts. Returns sharded/stealing(+cache)
+// wall-clock at six workers through the out-params for the headline
+// comparison.
+void RunRegime(const char* regime, int repetitions, std::vector<Row>* rows,
+               double* sharded_at_6, double* stealing_at_6,
+               double* stealing_cache_at_6) {
+  CampaignReport sequential_report;
+  double sequential_seconds =
+      BestOf(repetitions, Mode::kSequential, 1, &sequential_report);
+  rows->push_back(Row{regime, Mode::kSequential, 1, sequential_seconds, 1.0,
+                      sequential_report.findings.size(), 0, 0});
+  std::printf("%s regime — sequential baseline: %.3f s, %zu findings\n\n",
+              regime, sequential_seconds, sequential_report.findings.size());
+
+  std::printf("%16s %8s %12s %9s %9s %12s\n", "mode", "workers", "wall-clock",
+              "speedup", "findings", "cache h/m");
+  PrintRule('-', 72);
+  for (Mode mode : {Mode::kSharded, Mode::kStealing, Mode::kStealingCache}) {
+    for (int workers : {1, 2, 3, 6}) {
+      CampaignReport report;
+      double seconds = BestOf(repetitions, mode, workers, &report);
+      double speedup = seconds > 0 ? sequential_seconds / seconds : 0.0;
+      rows->push_back(Row{regime, mode, workers, seconds, speedup,
+                          report.findings.size(), report.cache_hits,
+                          report.cache_misses});
+      char cache[32] = "-";
+      if (report.cache_hits + report.cache_misses > 0) {
+        std::snprintf(cache, sizeof(cache), "%lld/%lld",
+                      static_cast<long long>(report.cache_hits),
+                      static_cast<long long>(report.cache_misses));
+      }
+      std::printf("%16s %8d %10.3f s %8.2fx %9zu %12s\n", ModeName(mode),
+                  workers, seconds, speedup, report.findings.size(), cache);
+      if (workers == 6 && mode == Mode::kSharded) {
+        *sharded_at_6 = seconds;
+      }
+      if (workers == 6 && mode == Mode::kStealing) {
+        *stealing_at_6 = seconds;
+      }
+      if (workers == 6 && mode == Mode::kStealingCache) {
+        *stealing_cache_at_6 = seconds;
+      }
+    }
+    PrintRule('-', 72);
+  }
+  std::printf("\n");
+}
+
+void WriteJson(const std::vector<Row>& rows, double stealing_improvement,
+               double cache_improvement) {
+  std::FILE* file = std::fopen("BENCH_parallel.json", "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    return;
+  }
+  std::fprintf(file, "{\n  \"paper_cost_latency_us\": %lld,\n",
+               static_cast<long long>(kPaperCostLatencyUs));
+  std::fprintf(file,
+               "  \"paper_cost_stealing_vs_sharded_at_6_workers\": %.3f,\n",
+               stealing_improvement);
+  std::fprintf(file,
+               "  \"paper_cost_stealing_cache_vs_sharded_at_6_workers\": %.3f,\n",
+               cache_improvement);
+  std::fprintf(file, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(file,
+                 "    {\"regime\": \"%s\", \"mode\": \"%s\", \"workers\": %d, "
+                 "\"seconds\": %.6f, \"speedup_vs_sequential\": %.3f, "
+                 "\"findings\": %zu, \"cache_hits\": %lld, "
+                 "\"cache_misses\": %lld}%s\n",
+                 row.regime, ModeName(row.mode), row.workers, row.seconds,
+                 row.speedup_vs_sequential, row.findings,
+                 static_cast<long long>(row.cache_hits),
+                 static_cast<long long>(row.cache_misses),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote BENCH_parallel.json\n");
+}
+
+void PrintScaling() {
+  PrintHeader(
+      "§4 — Test in parallel: static sharding vs work-stealing vs +run-cache");
+
+  std::vector<Row> rows;
+  double native_sharded_6 = 0;
+  double native_stealing_6 = 0;
+  double native_cache_6 = 0;
+  RunRegime("native", /*repetitions=*/3, &rows, &native_sharded_6,
+            &native_stealing_6, &native_cache_6);
+
+  SetSyntheticRunLatencyUs(kPaperCostLatencyUs);
+  double paper_sharded_6 = 0;
+  double paper_stealing_6 = 0;
+  double paper_cache_6 = 0;
+  RunRegime("paper-cost", /*repetitions=*/2, &rows, &paper_sharded_6,
+            &paper_stealing_6, &paper_cache_6);
+  SetSyntheticRunLatencyUs(0);
+
+  double stealing_improvement =
+      paper_stealing_6 > 0 ? paper_sharded_6 / paper_stealing_6 : 0.0;
+  double cache_improvement =
+      paper_cache_6 > 0 ? paper_sharded_6 / paper_cache_6 : 0.0;
   std::printf(
-      "\nTwo honest observations, both consistent with the paper:\n"
-      "  1. Isolation is lossless: every worker count yields identical findings\n"
-      "     and counts (see tests/sharded_campaign_test.cc) — the property that\n"
-      "     makes the paper's container fan-out sound.\n"
-      "  2. At this miniature scale (~0.1 s of total work) fork+merge overhead\n"
-      "     eats the speedup, and the largest shard (minidfs, ~70%% of the work)\n"
-      "     bounds it anyway. The paper's workload is ~10^8x larger per the same\n"
-      "     structure, which is precisely why it parallelizes across 100 x 20\n"
-      "     containers; the per-run fleet model puts our %s measured runs\n"
-      "     (%.3f CPU-seconds) at a %.4f s makespan on that fleet shape.\n\n",
+      "paper-cost regime at 6 workers, vs static sharding:\n"
+      "  work-stealing alone:      %.2fx\n"
+      "  work-stealing + cache:    %.2fx   <- the full scheduler\n"
+      "Static sharding is bounded by its largest shard (minidfs, ~70%% of the\n"
+      "work); stealing is bounded by the largest single (app, unit-test)\n"
+      "unit. Stealing alone pays for exactness: frequent-failure threshold\n"
+      "crossings spread across the whole canonical order, so most\n"
+      "speculatively-dispatched units are re-run once to match the\n"
+      "sequential globally-unsafe set bit-for-bit; the memoized run cache\n"
+      "recoups exactly that duplicated work (the repeats are\n"
+      "cache-resident), which is why the full scheduler wins decisively. In\n"
+      "the native regime (microsecond-scale runs on this single-core box)\n"
+      "fork/IPC overhead swamps everything — reported for honesty. Findings\n"
+      "are bitwise-identical in every row "
+      "(tests/parallel_scheduler_test.cc).\n\n",
+      stealing_improvement, cache_improvement);
+
+  CampaignReport sequential_report;
+  TimeRun(Mode::kSequential, 1, &sequential_report);
+  FleetEstimate fleet =
+      EstimateFleet(sequential_report.run_durations_seconds, 100, 20);
+  std::printf(
+      "Fleet extrapolation: the paper's workload is ~10^8x larger with the\n"
+      "same structure; the per-run fleet model puts our %s measured runs\n"
+      "(%.3f CPU-seconds) at a %.4f s makespan on the paper's 100x20 fleet.\n\n",
       WithCommas(fleet.runs).c_str(), fleet.total_cpu_seconds,
       fleet.makespan_seconds);
+
+  WriteJson(rows, stealing_improvement, cache_improvement);
 }
 
 void BM_ShardedCampaign(benchmark::State& state) {
@@ -72,6 +261,35 @@ void BM_ShardedCampaign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShardedCampaign)->Arg(1)->Arg(3)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_WorkStealingCampaign(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CampaignOptions options;
+    CampaignReport report =
+        RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, workers);
+    benchmark::DoNotOptimize(report.findings.size());
+  }
+}
+BENCHMARK(BM_WorkStealingCampaign)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WorkStealingCampaignCached(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CampaignOptions options;
+    options.enable_run_cache = true;
+    CampaignReport report =
+        RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, workers);
+    benchmark::DoNotOptimize(report.findings.size());
+  }
+}
+BENCHMARK(BM_WorkStealingCampaignCached)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace zebra

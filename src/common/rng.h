@@ -19,12 +19,18 @@ class Rng {
   explicit Rng(uint64_t seed) : state_(seed) {}
 
   uint64_t NextU64() {
+    ++draws_;
     state_ += 0x9E3779B97F4A7C15ULL;
     uint64_t z = state_;
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     return z ^ (z >> 31);
   }
+
+  // Number of values drawn so far. A consumer that never draws is provably
+  // independent of the seed — the run cache uses this to recognize
+  // trial-insensitive unit-test executions.
+  uint64_t draws() const { return draws_; }
 
   // Uniform in [0, bound). bound must be > 0.
   uint64_t NextBelow(uint64_t bound) { return NextU64() % bound; }
@@ -44,6 +50,7 @@ class Rng {
 
  private:
   uint64_t state_;
+  uint64_t draws_ = 0;
 };
 
 // Stable 64-bit FNV-1a hash; used to derive seeds from string identifiers and

@@ -19,6 +19,17 @@ int64_t SumField(const std::map<std::string, AppStageCounts>& per_app,
   return total;
 }
 
+// RAII duration-collector installation (exception-safe around a work unit).
+class ScopedDurationCollector {
+ public:
+  explicit ScopedDurationCollector(std::vector<double>* collector) {
+    SetRunDurationCollector(collector);
+  }
+  ~ScopedDurationCollector() { SetRunDurationCollector(nullptr); }
+  ScopedDurationCollector(const ScopedDurationCollector&) = delete;
+  ScopedDurationCollector& operator=(const ScopedDurationCollector&) = delete;
+};
+
 }  // namespace
 
 int64_t CampaignReport::TotalOriginal() const {
@@ -37,6 +48,91 @@ int64_t CampaignReport::TotalExecuted() const {
   return SumField(per_app, &AppStageCounts::executed_runs);
 }
 
+// ---------------------------------------------------------------------------
+// CampaignFolder: canonical-order merge of unit results.
+// ---------------------------------------------------------------------------
+
+CampaignFolder::CampaignFolder(const ConfSchema& schema, const CampaignOptions& options)
+    : schema_(schema),
+      frequent_failure_threshold_(options.frequent_failure_threshold) {}
+
+void CampaignFolder::BeginApp(const std::string& app, int64_t original_count,
+                              int64_t after_static_count, int tests_total) {
+  AppStageCounts& counts = report_.per_app[app];
+  counts.original = original_count;
+  counts.after_static = after_static_count;
+  counts.tests_total = tests_total;
+  report_.sharing[app];  // the app appears in sharing stats even when all-zero
+
+  // Canonical execution order runs every pre-run of an app before any of its
+  // dynamic phases (exactly what the sequential campaign does), so all
+  // pre-runs count toward runs_to_first_detection of any unit in this app.
+  executed_before_ += tests_total;
+}
+
+void CampaignFolder::Fold(const UnitWorkResult& unit) {
+  AppStageCounts& counts = report_.per_app[unit.app];
+  counts.after_prerun += unit.after_prerun;
+  counts.after_uncertainty += unit.after_uncertainty;
+  counts.executed_runs += unit.prerun_executions + unit.executed_runs;
+  if (unit.started_any_node) {
+    ++counts.tests_with_nodes;
+  }
+
+  SharingStats& sharing = report_.sharing[unit.app];
+  if (unit.any_conf_usage) {
+    ++sharing.tests_with_conf_usage;
+    if (unit.conf_sharing_detected) {
+      ++sharing.tests_with_sharing;
+    }
+  }
+
+  report_.first_trial_candidates += unit.first_trial_candidates;
+  report_.filtered_by_hypothesis += unit.filtered_by_hypothesis;
+  report_.cache_hits += unit.cache_hits;
+  report_.cache_misses += unit.cache_misses;
+
+  if (report_.runs_to_first_detection == 0 && unit.runs_to_first_confirmation > 0) {
+    report_.runs_to_first_detection =
+        executed_before_ + unit.runs_to_first_confirmation;
+    report_.first_detection_param = unit.confirmations.front().param;
+  }
+  executed_before_ += unit.executed_runs;
+
+  for (const UnitConfirmation& confirmation : unit.confirmations) {
+    ParamFinding& finding = report_.findings[confirmation.param];
+    if (finding.param.empty()) {
+      finding.param = confirmation.param;
+      const ParamSpec* spec = schema_.Find(confirmation.param);
+      finding.owning_app = spec != nullptr ? spec->app : "unknown";
+    }
+    finding.witness_tests.insert(unit.test_id);
+    if (finding.example_failure.empty()) {
+      finding.example_failure = confirmation.witness_failure;
+    }
+    finding.best_p_value = std::min(finding.best_p_value, confirmation.p_value);
+
+    confirmed_tests_per_param_[confirmation.param].insert(unit.test_id);
+    if (static_cast<int>(confirmed_tests_per_param_[confirmation.param].size()) >=
+        frequent_failure_threshold_) {
+      globally_unsafe_.insert(confirmation.param);
+    }
+  }
+
+  report_.run_durations_seconds.insert(report_.run_durations_seconds.end(),
+                                       unit.run_durations.begin(),
+                                       unit.run_durations.end());
+}
+
+CampaignReport CampaignFolder::Finish() {
+  report_.total_unit_test_runs = report_.TotalExecuted();
+  return std::move(report_);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------------
+
 Campaign::Campaign(const ConfSchema& schema, const UnitTestRegistry& corpus,
                    CampaignOptions options)
     : schema_(schema),
@@ -52,56 +148,41 @@ Campaign::Campaign(const ConfSchema& schema, const UnitTestRegistry& corpus,
     }
     options_.apps.assign(apps.begin(), apps.end());
   }
+  if (options_.enable_run_cache) {
+    run_cache_ = std::make_unique<RunCache>();
+  }
 }
 
-bool Campaign::VerifyInstance(const GeneratedInstance& instance, AppStageCounts* counts,
-                              CampaignReport* report,
-                              std::set<std::string>* confirmed_in_test) {
-  Verdict verdict = runner_.Verify(instance, &counts->executed_runs);
+bool Campaign::VerifyInstance(const GeneratedInstance& instance, UnitWorkResult* unit,
+                              std::set<std::string>* confirmed_in_test) const {
+  Verdict verdict = runner_.Verify(instance, &unit->executed_runs);
   if (verdict.kind == Verdict::Kind::kNotCandidate) {
     return false;
   }
-  ++report->first_trial_candidates;
+  ++unit->first_trial_candidates;
   if (verdict.kind == Verdict::Kind::kFilteredFlaky) {
-    ++report->filtered_by_hypothesis;
+    ++unit->filtered_by_hypothesis;
     return false;
   }
 
   // Confirmed unsafe.
-  if (report->runs_to_first_detection == 0) {
-    report->runs_to_first_detection = report->TotalExecuted();
-    report->first_detection_param = instance.plan.param;
+  if (unit->runs_to_first_confirmation == 0) {
+    unit->runs_to_first_confirmation = unit->executed_runs;
   }
-  const std::string& param = instance.plan.param;
-  confirmed_in_test->insert(param);
-  ParamFinding& finding = report->findings[param];
-  if (finding.param.empty()) {
-    finding.param = param;
-    const ParamSpec* spec = schema_.Find(param);
-    finding.owning_app = spec != nullptr ? spec->app : "unknown";
-  }
-  finding.witness_tests.insert(instance.test->id);
-  if (finding.example_failure.empty()) {
-    finding.example_failure = verdict.witness_failure;
-  }
-  finding.best_p_value = std::min(finding.best_p_value, verdict.p_value);
-
-  confirmed_tests_per_param_[param].insert(instance.test->id);
-  if (static_cast<int>(confirmed_tests_per_param_[param].size()) >=
-      options_.frequent_failure_threshold) {
-    globally_unsafe_.insert(param);
-  }
+  confirmed_in_test->insert(instance.plan.param);
+  unit->confirmations.push_back(UnitConfirmation{
+      instance.plan.param, verdict.p_value, verdict.witness_failure});
   return true;
 }
 
 void Campaign::BisectPool(const UnitTestDef& test, std::vector<GeneratedInstance> pool,
-                          AppStageCounts* counts, CampaignReport* report,
-                          std::set<std::string>* confirmed_in_test) {
+                          UnitWorkResult* unit,
+                          std::set<std::string>* confirmed_in_test) const {
   if (pool.empty()) {
     return;
   }
   if (pool.size() == 1) {
-    VerifyInstance(pool.front(), counts, report, confirmed_in_test);
+    VerifyInstance(pool.front(), unit, confirmed_in_test);
     return;
   }
   size_t half = pool.size() / 2;
@@ -112,10 +193,10 @@ void Campaign::BisectPool(const UnitTestDef& test, std::vector<GeneratedInstance
     for (const GeneratedInstance& instance : *side) {
       plan.params.push_back(instance.plan);
     }
-    ++counts->executed_runs;
+    ++unit->executed_runs;
     TestResult result = RunUnitTest(test, plan, /*trial=*/0);
     if (!result.passed) {
-      BisectPool(test, *side, counts, report, confirmed_in_test);
+      BisectPool(test, *side, unit, confirmed_in_test);
     }
   }
 }
@@ -144,7 +225,7 @@ std::vector<std::string> Campaign::ParamOrder(
 void Campaign::RunPooledForTest(
     const UnitTestDef& test,
     std::map<std::string, std::vector<GeneratedInstance>> by_param,
-    AppStageCounts* counts, CampaignReport* report) {
+    const std::set<std::string>& globally_unsafe, UnitWorkResult* unit) const {
   std::set<std::string> confirmed_in_test;
   std::vector<std::string> order = ParamOrder(by_param);
   size_t max_rounds = 0;
@@ -159,7 +240,7 @@ void Campaign::RunPooledForTest(
     std::vector<GeneratedInstance> pool;
     for (const std::string& param : order) {
       const std::vector<GeneratedInstance>& instances = by_param.at(param);
-      if (round >= instances.size() || GloballyUnsafe(param) ||
+      if (round >= instances.size() || globally_unsafe.count(param) > 0 ||
           confirmed_in_test.count(param) > 0) {
         continue;
       }
@@ -172,89 +253,123 @@ void Campaign::RunPooledForTest(
     for (const GeneratedInstance& instance : pool) {
       plan.params.push_back(instance.plan);
     }
-    ++counts->executed_runs;
+    ++unit->executed_runs;
     TestResult result = RunUnitTest(test, plan, /*trial=*/0);
     if (result.passed) {
       continue;  // every pooled parameter assumed safe for this instance
     }
-    BisectPool(test, std::move(pool), counts, report, &confirmed_in_test);
+    BisectPool(test, std::move(pool), unit, &confirmed_in_test);
   }
 }
 
+UnitWorkResult Campaign::RunUnitDynamic(
+    const PreRunRecord& record, const std::set<std::string>& globally_unsafe) const {
+  UnitWorkResult unit;
+  unit.app = record.test->app;
+  unit.test_id = record.test->id;
+
+  const SessionReport& session = record.result.report;
+  unit.any_conf_usage = session.any_conf_usage;
+  unit.conf_sharing_detected = session.conf_sharing_detected;
+  unit.started_any_node = session.StartedAnyNode();
+
+  int64_t before_uncertainty = 0;
+  std::vector<GeneratedInstance> instances =
+      generator_.Generate(record, &before_uncertainty);
+  unit.after_prerun = before_uncertainty;
+  unit.after_uncertainty = static_cast<int64_t>(instances.size());
+  if (instances.empty()) {
+    return unit;
+  }
+
+  std::map<std::string, std::vector<GeneratedInstance>> by_param;
+  for (GeneratedInstance& instance : instances) {
+    const std::string& param = instance.plan.param;
+    if (!options_.only_params.empty() && options_.only_params.count(param) == 0) {
+      continue;
+    }
+    if (options_.exclude_params.count(param) > 0) {
+      continue;
+    }
+    by_param[param].push_back(std::move(instance));
+  }
+  for (const auto& [param, param_instances] : by_param) {
+    unit.params_tested.push_back(param);
+  }
+
+  if (options_.enable_pooling) {
+    RunPooledForTest(*record.test, std::move(by_param), globally_unsafe, &unit);
+  } else {
+    // Ablation: verify every instance individually (stop per parameter once
+    // confirmed in this test).
+    std::set<std::string> confirmed_in_test;
+    for (const std::string& param : ParamOrder(by_param)) {
+      const std::vector<GeneratedInstance>& param_instances = by_param.at(param);
+      for (const GeneratedInstance& instance : param_instances) {
+        if (globally_unsafe.count(param) > 0 || confirmed_in_test.count(param) > 0) {
+          break;
+        }
+        VerifyInstance(instance, &unit, &confirmed_in_test);
+      }
+    }
+  }
+  return unit;
+}
+
+UnitWorkResult Campaign::RunUnit(const UnitTestDef& test,
+                                 const std::set<std::string>& globally_unsafe) {
+  ScopedRunCache scoped_cache(run_cache_.get());
+  RunCache::Stats stats_before;
+  if (run_cache_ != nullptr) {
+    stats_before = run_cache_->stats();
+  }
+
+  std::vector<double> durations;
+  UnitWorkResult unit;
+  {
+    ScopedDurationCollector scoped_collector(&durations);
+    int64_t prerun_executions = 0;
+    PreRunRecord record = generator_.PreRunTest(test, &prerun_executions);
+    unit = RunUnitDynamic(record, globally_unsafe);
+    unit.prerun_executions = prerun_executions;
+  }
+  unit.run_durations = std::move(durations);
+  if (run_cache_ != nullptr) {
+    unit.cache_hits = run_cache_->stats().hits - stats_before.hits;
+    unit.cache_misses = run_cache_->stats().misses - stats_before.misses;
+  }
+  return unit;
+}
+
 CampaignReport Campaign::Run() {
-  CampaignReport report;
-  SetRunDurationCollector(&report.run_durations_seconds);
+  CampaignFolder folder(schema_, options_);
+  ScopedRunCache scoped_cache(run_cache_.get());
+  ScopedDurationCollector scoped_collector(&folder.report().run_durations_seconds);
   auto start = std::chrono::steady_clock::now();
 
   for (const std::string& app : options_.apps) {
-    AppStageCounts& counts = report.per_app[app];
-    SharingStats& sharing = report.sharing[app];
-    counts.original = generator_.OriginalInstanceCount(app);
-    counts.after_static = generator_.StaticPrunedInstanceCount(app);
-
-    std::vector<PreRunRecord> records = generator_.PreRunApp(app, &counts.executed_runs);
-    counts.tests_total = static_cast<int>(records.size());
+    std::vector<PreRunRecord> records = generator_.PreRunApp(app, nullptr);
+    folder.BeginApp(app, generator_.OriginalInstanceCount(app),
+                    generator_.StaticPrunedInstanceCount(app),
+                    static_cast<int>(records.size()));
 
     for (const PreRunRecord& record : records) {
-      const SessionReport& session = record.result.report;
-      if (session.any_conf_usage) {
-        ++sharing.tests_with_conf_usage;
-        if (session.conf_sharing_detected) {
-          ++sharing.tests_with_sharing;
-        }
-      }
-      if (session.StartedAnyNode()) {
-        ++counts.tests_with_nodes;
-      }
-
-      int64_t before_uncertainty = 0;
-      std::vector<GeneratedInstance> instances =
-          generator_.Generate(record, &before_uncertainty);
-      counts.after_prerun += before_uncertainty;
-      counts.after_uncertainty += static_cast<int64_t>(instances.size());
-      if (instances.empty()) {
-        continue;
-      }
-
-      std::map<std::string, std::vector<GeneratedInstance>> by_param;
-      for (GeneratedInstance& instance : instances) {
-        const std::string& param = instance.plan.param;
-        if (!options_.only_params.empty() && options_.only_params.count(param) == 0) {
-          continue;
-        }
-        if (options_.exclude_params.count(param) > 0) {
-          continue;
-        }
-        by_param[param].push_back(std::move(instance));
-      }
-
-      if (options_.enable_pooling) {
-        RunPooledForTest(*record.test, std::move(by_param), &counts, &report);
-      } else {
-        // Ablation: verify every instance individually (stop per parameter
-        // once confirmed in this test).
-        std::set<std::string> confirmed_in_test;
-        for (const std::string& param : ParamOrder(by_param)) {
-          const std::vector<GeneratedInstance>& param_instances = by_param.at(param);
-          for (const GeneratedInstance& instance : param_instances) {
-            if (GloballyUnsafe(param) || confirmed_in_test.count(param) > 0) {
-              break;
-            }
-            VerifyInstance(instance, &counts, &report, &confirmed_in_test);
-          }
-        }
-      }
+      UnitWorkResult unit = RunUnitDynamic(record, folder.globally_unsafe());
+      unit.prerun_executions = 1;  // the PreRunApp baseline for this record
+      folder.Fold(unit);
     }
 
-    report.total_unit_test_runs += counts.executed_runs;
     ZLOG_INFO << "campaign: app " << app << " done, runs so far "
-              << report.total_unit_test_runs;
+              << folder.report().TotalExecuted();
   }
 
   auto end = std::chrono::steady_clock::now();
-  SetRunDurationCollector(nullptr);
-  report.wall_seconds = std::chrono::duration<double>(end - start).count();
-  return report;
+  if (run_cache_ != nullptr) {
+    folder.report().cache_hits = run_cache_->stats().hits;
+    folder.report().cache_misses = run_cache_->stats().misses;
+  }
+  folder.report().wall_seconds = std::chrono::duration<double>(end - start).count();
+  return folder.Finish();
 }
 
 }  // namespace zebra

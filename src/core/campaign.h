@@ -7,18 +7,31 @@
 // parameters are isolated, which then go through TestRunner verification.
 // Parameters that keep failing across tests are marked unsafe early and
 // excluded from further pools (the paper's frequent-failure rule).
+//
+// The campaign is structured as a fold over independent *work units* — one
+// (app, unit test) pair each. Campaign::RunUnit executes a single unit given
+// the set of globally-unsafe parameters a sequential campaign would know at
+// that point; CampaignFolder merges unit results in the canonical order
+// (options.apps order, then corpus registration order) and owns all
+// cross-unit state (findings, the frequent-failure rule, Table-5 counters,
+// runs_to_first_detection). Campaign::Run is the sequential fold; the
+// parallel scheduler (core/parallel_scheduler.h) is the same fold fed by a
+// work-stealing worker pool — which is why its results are bitwise-identical
+// to the sequential run at every worker count.
 
 #ifndef SRC_CORE_CAMPAIGN_H_
 #define SRC_CORE_CAMPAIGN_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/core/test_generator.h"
 #include "src/core/test_runner.h"
+#include "src/testkit/run_cache.h"
 
 namespace zebra {
 
@@ -43,6 +56,13 @@ struct CampaignOptions {
 
   // §4's round-robin-within-group assignment strategy on/off (ablation).
   bool enable_round_robin = true;
+
+  // Memoized execution cache (testkit/run_cache.h): serve bitwise-identical
+  // re-runs (bisection re-probes, repeated homogeneous controls, trials of
+  // deterministic tests, pre-run baselines) from cache instead of executing.
+  // Findings and every stage counter are unchanged — only wall-clock and the
+  // run-duration profile shrink. Hit/miss totals surface in CampaignReport.
+  bool enable_run_cache = false;
 
   // When non-empty, only these parameters are tested (focused re-testing,
   // e.g. re-verifying a parameter after an application upgrade). Parameters
@@ -96,14 +116,23 @@ struct CampaignReport {
   int64_t total_unit_test_runs = 0;
   double wall_seconds = 0.0;
 
+  // Run-cache accounting (0/0 when the cache is disabled). Hits are logical
+  // unit-test runs served without execution; executed_runs counters include
+  // them, the run-duration profile does not.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
   // Unit-test executions (pre-runs included) up to and including the run
   // that confirmed the first unsafe parameter; 0 when nothing was detected.
-  // The static-prior prioritization exists to shrink this number.
+  // The static-prior prioritization exists to shrink this number. Derived
+  // from the canonical unit order, so it is identical however the campaign
+  // was actually scheduled.
   int64_t runs_to_first_detection = 0;
   std::string first_detection_param;
 
-  // Wall-clock duration of every unit-test execution, in order — the input
-  // to the fleet cost model (core/fleet_model.h).
+  // Wall-clock duration of every unit-test execution, in canonical order —
+  // the input to the fleet cost model (core/fleet_model.h). Cache hits do not
+  // appear here (nothing was executed).
   std::vector<double> run_durations_seconds;
 
   int64_t TotalOriginal() const;
@@ -113,6 +142,86 @@ struct CampaignReport {
   int64_t TotalExecuted() const;
 };
 
+// One parameter confirmed heterogeneous-unsafe within one work unit.
+struct UnitConfirmation {
+  std::string param;
+  double p_value = 1.0;
+  std::string witness_failure;
+};
+
+// Everything one (app, unit test) work unit contributes to the campaign
+// report. Produced by Campaign::RunUnit (in-process or in a scheduler
+// worker), consumed by CampaignFolder in canonical order.
+struct UnitWorkResult {
+  std::string app;
+  std::string test_id;
+
+  int64_t prerun_executions = 0;  // pre-run baselines executed (normally 1)
+  int64_t after_prerun = 0;       // Table 5 row 2 contribution
+  int64_t after_uncertainty = 0;  // Table 5 row 3 contribution
+  int64_t executed_runs = 0;      // dynamic-phase executions (pre-run excluded)
+
+  // Dynamic-phase executions up to and including the run that confirmed this
+  // unit's first unsafe parameter (0 = unit confirmed nothing).
+  int64_t runs_to_first_confirmation = 0;
+
+  bool any_conf_usage = false;
+  bool conf_sharing_detected = false;
+  bool started_any_node = false;
+
+  int first_trial_candidates = 0;
+  int filtered_by_hypothesis = 0;
+
+  // Parameters this unit pooled/verified (post only/exclude filtering). The
+  // scheduler uses this to decide whether a stale globally-unsafe snapshot
+  // could have influenced the unit (and must therefore be re-run).
+  std::vector<std::string> params_tested;
+
+  // In confirmation order (the order VerifyInstance confirmed them).
+  std::vector<UnitConfirmation> confirmations;
+
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  // Durations of this unit's real executions: pre-run first, then dynamic.
+  std::vector<double> run_durations;
+};
+
+// Merges UnitWorkResults into a CampaignReport. Folding must happen in the
+// canonical unit order — apps in options.apps order, units in corpus
+// registration order — with BeginApp called before an app's first unit. The
+// folder owns all cross-unit campaign state: findings, the frequent-failure
+// set (globally_unsafe), hypothesis-testing counters, and the canonical
+// runs_to_first_detection accounting (an app's pre-runs all precede its
+// dynamic runs, exactly as the sequential campaign executes them).
+class CampaignFolder {
+ public:
+  CampaignFolder(const ConfSchema& schema, const CampaignOptions& options);
+
+  void BeginApp(const std::string& app, int64_t original_count,
+                int64_t after_static_count, int tests_total);
+  void Fold(const UnitWorkResult& unit);
+
+  // Parameters the frequent-failure rule has excluded from future pools,
+  // given everything folded so far. This is exactly the set a sequential
+  // campaign would know when starting the next canonical unit.
+  const std::set<std::string>& globally_unsafe() const { return globally_unsafe_; }
+
+  // The in-progress report (e.g. to install a run-duration collector).
+  CampaignReport& report() { return report_; }
+
+  // Finalizes totals and returns the report. The folder is spent afterwards.
+  CampaignReport Finish();
+
+ private:
+  const ConfSchema& schema_;
+  int frequent_failure_threshold_;
+  CampaignReport report_;
+  int64_t executed_before_ = 0;  // canonical executions before the next unit
+  std::map<std::string, std::set<std::string>> confirmed_tests_per_param_;
+  std::set<std::string> globally_unsafe_;
+};
+
 class Campaign {
  public:
   Campaign(const ConfSchema& schema, const UnitTestRegistry& corpus,
@@ -120,25 +229,40 @@ class Campaign {
 
   CampaignReport Run();
 
+  // Executes one (app, unit test) work unit: pre-run, instance generation,
+  // pooled testing / bisection / verification. `globally_unsafe` must be the
+  // frequent-failure set a sequential campaign would know when reaching this
+  // unit (a stale subset yields a result the scheduler detects and re-runs).
+  // Installs this campaign's run cache and a unit-local duration collector
+  // for the duration of the call. Used by parallel-scheduler workers.
+  UnitWorkResult RunUnit(const UnitTestDef& test,
+                         const std::set<std::string>& globally_unsafe);
+
+  // Options with `apps` resolved (empty -> every corpus app, sorted).
+  const CampaignOptions& options() const { return options_; }
+  const TestGenerator& generator() const { return generator_; }
+
  private:
+  // Per-test dynamic phase over one pre-run record. Fills everything in the
+  // result except prerun_executions, run_durations, and cache counters
+  // (owned by the callers, who know what else ran).
+  UnitWorkResult RunUnitDynamic(const PreRunRecord& record,
+                                const std::set<std::string>& globally_unsafe) const;
+
   // Per-test pooled phase over this test's instances, grouped by parameter.
   void RunPooledForTest(const UnitTestDef& test,
                         std::map<std::string, std::vector<GeneratedInstance>> by_param,
-                        AppStageCounts* counts, CampaignReport* report);
+                        const std::set<std::string>& globally_unsafe,
+                        UnitWorkResult* unit) const;
 
   // Recursive bisection of a failing pool (one instance per parameter).
   void BisectPool(const UnitTestDef& test, std::vector<GeneratedInstance> pool,
-                  AppStageCounts* counts, CampaignReport* report,
-                  std::set<std::string>* confirmed_in_test);
+                  UnitWorkResult* unit, std::set<std::string>* confirmed_in_test) const;
 
   // Verifies one instance through TestRunner and folds the verdict into the
-  // report. Returns true if the parameter was confirmed unsafe.
-  bool VerifyInstance(const GeneratedInstance& instance, AppStageCounts* counts,
-                      CampaignReport* report, std::set<std::string>* confirmed_in_test);
-
-  bool GloballyUnsafe(const std::string& param) const {
-    return globally_unsafe_.count(param) > 0;
-  }
+  // unit result. Returns true if the parameter was confirmed unsafe.
+  bool VerifyInstance(const GeneratedInstance& instance, UnitWorkResult* unit,
+                      std::set<std::string>* confirmed_in_test) const;
 
   // Parameter visit order for one test: descending static priority
   // (wire-tainted first), name for ties; shuffled when the options ask for
@@ -151,8 +275,7 @@ class Campaign {
   CampaignOptions options_;
   TestGenerator generator_;
   TestRunner runner_;
-  std::map<std::string, std::set<std::string>> confirmed_tests_per_param_;
-  std::set<std::string> globally_unsafe_;
+  std::unique_ptr<RunCache> run_cache_;  // null unless options.enable_run_cache
 };
 
 }  // namespace zebra

@@ -1,0 +1,540 @@
+#include "src/core/parallel_scheduler.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+
+#include "src/common/error.h"
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/conf/conf_file.h"
+#include "src/core/report_io.h"
+#include "src/core/worker_ipc.h"
+
+namespace zebra {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire format: one properties frame per unit result. Doubles round-trip at
+// full precision ("%.17g") so the parent folds exactly the values a
+// sequential campaign would have computed.
+// ---------------------------------------------------------------------------
+
+std::string Double17(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string SerializeUnit(size_t unit_index, const UnitWorkResult& unit) {
+  std::map<std::string, std::string> properties;
+  properties["unit"] = Int64ToString(static_cast<int64_t>(unit_index));
+  properties["app"] = unit.app;
+  properties["test_id"] = unit.test_id;
+  properties["prerun_executions"] = Int64ToString(unit.prerun_executions);
+  properties["after_prerun"] = Int64ToString(unit.after_prerun);
+  properties["after_uncertainty"] = Int64ToString(unit.after_uncertainty);
+  properties["executed_runs"] = Int64ToString(unit.executed_runs);
+  properties["runs_to_first_confirmation"] =
+      Int64ToString(unit.runs_to_first_confirmation);
+  properties["any_conf_usage"] = unit.any_conf_usage ? "1" : "0";
+  properties["conf_sharing_detected"] = unit.conf_sharing_detected ? "1" : "0";
+  properties["started_any_node"] = unit.started_any_node ? "1" : "0";
+  properties["first_trial_candidates"] = Int64ToString(unit.first_trial_candidates);
+  properties["filtered_by_hypothesis"] = Int64ToString(unit.filtered_by_hypothesis);
+  properties["cache_hits"] = Int64ToString(unit.cache_hits);
+  properties["cache_misses"] = Int64ToString(unit.cache_misses);
+  properties["params_tested"] = StrJoin(unit.params_tested, ",");
+
+  properties["confirmations"] =
+      Int64ToString(static_cast<int64_t>(unit.confirmations.size()));
+  for (size_t i = 0; i < unit.confirmations.size(); ++i) {
+    const UnitConfirmation& confirmation = unit.confirmations[i];
+    std::string prefix = "confirmation." + std::to_string(i) + ".";
+    properties[prefix + "param"] = confirmation.param;
+    properties[prefix + "p_value"] = Double17(confirmation.p_value);
+    properties[prefix + "failure"] = EscapeReportText(confirmation.witness_failure);
+  }
+
+  std::vector<std::string> durations;
+  durations.reserve(unit.run_durations.size());
+  for (double duration : unit.run_durations) {
+    durations.push_back(Double17(duration));
+  }
+  properties["durations"] = StrJoin(durations, ",");
+  return RenderProperties(properties);
+}
+
+bool ParseUnit(const std::string& text, size_t* unit_index, UnitWorkResult* unit) {
+  std::map<std::string, std::string> properties;
+  try {
+    properties = ParseProperties(text);
+  } catch (const Error&) {
+    return false;
+  }
+  auto get = [&](const std::string& key) -> const std::string& {
+    static const std::string kEmpty;
+    auto it = properties.find(key);
+    return it == properties.end() ? kEmpty : it->second;
+  };
+  auto get_int = [&](const std::string& key, int64_t* out) {
+    return ParseInt64(get(key), out);
+  };
+
+  int64_t index = -1;
+  if (!get_int("unit", &index) || index < 0) {
+    return false;
+  }
+  *unit_index = static_cast<size_t>(index);
+  unit->app = get("app");
+  unit->test_id = get("test_id");
+  int64_t candidates = 0;
+  int64_t filtered = 0;
+  if (!get_int("prerun_executions", &unit->prerun_executions) ||
+      !get_int("after_prerun", &unit->after_prerun) ||
+      !get_int("after_uncertainty", &unit->after_uncertainty) ||
+      !get_int("executed_runs", &unit->executed_runs) ||
+      !get_int("runs_to_first_confirmation", &unit->runs_to_first_confirmation) ||
+      !get_int("first_trial_candidates", &candidates) ||
+      !get_int("filtered_by_hypothesis", &filtered) ||
+      !get_int("cache_hits", &unit->cache_hits) ||
+      !get_int("cache_misses", &unit->cache_misses)) {
+    return false;
+  }
+  unit->first_trial_candidates = static_cast<int>(candidates);
+  unit->filtered_by_hypothesis = static_cast<int>(filtered);
+  unit->any_conf_usage = get("any_conf_usage") == "1";
+  unit->conf_sharing_detected = get("conf_sharing_detected") == "1";
+  unit->started_any_node = get("started_any_node") == "1";
+
+  for (const std::string& param : StrSplit(get("params_tested"), ',')) {
+    if (!param.empty()) {
+      unit->params_tested.push_back(param);
+    }
+  }
+
+  int64_t confirmations = 0;
+  if (!get_int("confirmations", &confirmations) || confirmations < 0) {
+    return false;
+  }
+  for (int64_t i = 0; i < confirmations; ++i) {
+    std::string prefix = "confirmation." + std::to_string(i) + ".";
+    UnitConfirmation confirmation;
+    confirmation.param = get(prefix + "param");
+    if (confirmation.param.empty() ||
+        !ParseDouble(get(prefix + "p_value"), &confirmation.p_value)) {
+      return false;
+    }
+    confirmation.witness_failure = UnescapeReportText(get(prefix + "failure"));
+    unit->confirmations.push_back(std::move(confirmation));
+  }
+
+  for (const std::string& duration_text : StrSplit(get("durations"), ',')) {
+    if (duration_text.empty()) {
+      continue;
+    }
+    double duration = 0;
+    if (!ParseDouble(duration_text, &duration)) {
+      return false;
+    }
+    unit->run_durations.push_back(duration);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+struct WorkUnit {
+  size_t app_index = 0;
+  const UnitTestDef* test = nullptr;
+};
+
+// Request frames: "run <unit-index>\n<comma-joined globally-unsafe params>"
+// or "exit". Response frames: a serialized UnitWorkResult.
+[[noreturn]] void WorkerMain(int request_fd, int response_fd, Campaign& engine,
+                             const std::vector<WorkUnit>& units, int worker_index,
+                             const ParallelCampaignOptions& parallel) {
+  std::string request;
+  while (ReadFrame(request_fd, &request)) {
+    if (request == "exit") {
+      break;
+    }
+    size_t newline = request.find('\n');
+    std::string head = request.substr(0, newline);
+    if (head.rfind("run ", 0) != 0) {
+      std::_Exit(5);  // protocol error: nothing sane to report
+    }
+    int64_t index = -1;
+    if (!ParseInt64(head.substr(4), &index) || index < 0 ||
+        static_cast<size_t>(index) >= units.size()) {
+      std::_Exit(5);
+    }
+    std::set<std::string> globally_unsafe;
+    if (newline != std::string::npos) {
+      for (const std::string& param : StrSplit(request.substr(newline + 1), ',')) {
+        if (!param.empty()) {
+          globally_unsafe.insert(param);
+        }
+      }
+    }
+
+    const WorkUnit& work = units[static_cast<size_t>(index)];
+    if (worker_index == parallel.crash_worker_index &&
+        !parallel.crash_on_test_id.empty() &&
+        work.test->id == parallel.crash_on_test_id) {
+      std::_Exit(13);  // fault injection: simulate a worker crash
+    }
+
+    UnitWorkResult unit = engine.RunUnit(*work.test, globally_unsafe);
+    if (!WriteFrame(response_fd,
+                    SerializeUnit(static_cast<size_t>(index), unit))) {
+      std::_Exit(4);  // parent went away; nothing left to report to
+    }
+  }
+  std::_Exit(0);
+}
+
+// ---------------------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------------------
+
+struct WorkerHandle {
+  pid_t pid = -1;
+  int request_fd = -1;   // parent -> worker
+  int response_fd = -1;  // worker -> parent
+  int64_t in_flight = -1;
+  std::set<std::string> snapshot;  // globally-unsafe set the unit ran under
+  bool alive = false;
+};
+
+// Owns the pool for RAII cleanup: every exit path (including exceptions)
+// closes all pipe ends — unblocking children still waiting for requests —
+// and reaps every remaining child. No zombies, no stuck workers.
+class WorkerPool {
+ public:
+  ~WorkerPool() {
+    std::vector<pid_t> pending;
+    for (WorkerHandle& worker : workers) {
+      if (worker.request_fd >= 0) {
+        ::close(worker.request_fd);
+        worker.request_fd = -1;
+      }
+      if (worker.response_fd >= 0) {
+        ::close(worker.response_fd);
+        worker.response_fd = -1;
+      }
+      if (worker.pid > 0) {
+        pending.push_back(worker.pid);
+        worker.pid = -1;
+      }
+    }
+    ReapAll(pending);  // best effort; exit status no longer matters here
+  }
+
+  // Closes fds and reaps one worker immediately (crash handling).
+  void Retire(WorkerHandle& worker) {
+    if (worker.request_fd >= 0) {
+      ::close(worker.request_fd);
+      worker.request_fd = -1;
+    }
+    if (worker.response_fd >= 0) {
+      ::close(worker.response_fd);
+      worker.response_fd = -1;
+    }
+    if (worker.pid > 0) {
+      ReapAll({worker.pid});
+      worker.pid = -1;
+    }
+    worker.alive = false;
+  }
+
+  std::vector<WorkerHandle> workers;
+};
+
+// Writes on a pipe whose reader died must surface as errors, not SIGPIPE.
+class ScopedIgnoreSigPipe {
+ public:
+  ScopedIgnoreSigPipe() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    ::sigaction(SIGPIPE, &ignore, &previous_);
+  }
+  ~ScopedIgnoreSigPipe() { ::sigaction(SIGPIPE, &previous_, nullptr); }
+
+ private:
+  struct sigaction previous_ {};
+};
+
+}  // namespace
+
+CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
+                                       const UnitTestRegistry& corpus,
+                                       CampaignOptions options, int workers) {
+  ParallelCampaignOptions parallel;
+  parallel.workers = workers;
+  return RunWorkStealingCampaign(schema, corpus, std::move(options), parallel);
+}
+
+CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
+                                       const UnitTestRegistry& corpus,
+                                       CampaignOptions options,
+                                       const ParallelCampaignOptions& parallel) {
+  if (parallel.workers < 1) {
+    throw Error("work-stealing campaign requires at least one worker");
+  }
+  auto start = std::chrono::steady_clock::now();
+
+  // The engine resolves the canonical app order exactly as Campaign::Run
+  // would; the parent uses it only for enumeration-stage counts (no unit-test
+  // executions happen in the parent process).
+  Campaign engine(schema, corpus, std::move(options));
+  const std::vector<std::string>& apps = engine.options().apps;
+
+  std::vector<WorkUnit> units;
+  std::vector<int> units_per_app(apps.size(), 0);
+  for (size_t app_index = 0; app_index < apps.size(); ++app_index) {
+    for (const UnitTestDef* test : corpus.ForApp(apps[app_index])) {
+      units.push_back(WorkUnit{app_index, test});
+      ++units_per_app[app_index];
+    }
+  }
+
+  CampaignFolder folder(schema, engine.options());
+  size_t apps_begun = 0;
+  auto begin_apps_through = [&](size_t app_index_exclusive) {
+    while (apps_begun < app_index_exclusive) {
+      const std::string& app = apps[apps_begun];
+      folder.BeginApp(app, engine.generator().OriginalInstanceCount(app),
+                      engine.generator().StaticPrunedInstanceCount(app),
+                      units_per_app[apps_begun]);
+      ++apps_begun;
+    }
+  };
+
+  int worker_count =
+      std::min<int>(parallel.workers, std::max<size_t>(units.size(), 1));
+
+  ScopedIgnoreSigPipe sigpipe_guard;
+  WorkerPool pool;
+
+  for (int i = 0; i < worker_count && !units.empty(); ++i) {
+    int request_pipe[2];
+    int response_pipe[2];
+    if (::pipe(request_pipe) != 0 || ::pipe(response_pipe) != 0) {
+      throw Error("work-stealing campaign: pipe() failed");
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(request_pipe[0]);
+      ::close(request_pipe[1]);
+      ::close(response_pipe[0]);
+      ::close(response_pipe[1]);
+      throw Error("work-stealing campaign: fork() failed");
+    }
+    if (pid == 0) {
+      // Child: keep only its own worker-side ends. Parent-side ends of every
+      // pipe created so far (its own and earlier workers') must close, or a
+      // sibling holding them open would defeat EOF-based shutdown.
+      ::close(request_pipe[1]);
+      ::close(response_pipe[0]);
+      for (const WorkerHandle& sibling : pool.workers) {
+        ::close(sibling.request_fd);
+        ::close(sibling.response_fd);
+      }
+      WorkerMain(request_pipe[0], response_pipe[1], engine, units, i, parallel);
+    }
+    ::close(request_pipe[0]);
+    ::close(response_pipe[1]);
+    WorkerHandle handle;
+    handle.pid = pid;
+    handle.request_fd = request_pipe[1];
+    handle.response_fd = response_pipe[0];
+    handle.alive = true;
+    pool.workers.push_back(handle);
+  }
+
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < units.size(); ++i) {
+    queue.push_back(i);
+  }
+
+  struct BufferedResult {
+    UnitWorkResult unit;
+    std::set<std::string> snapshot;
+  };
+  std::map<size_t, BufferedResult> buffered;
+  size_t cursor = 0;
+
+  auto alive_workers = [&]() {
+    int alive = 0;
+    for (const WorkerHandle& worker : pool.workers) {
+      alive += worker.alive ? 1 : 0;
+    }
+    return alive;
+  };
+
+  auto retire_worker = [&](WorkerHandle& worker) {
+    if (worker.in_flight >= 0) {
+      // The survivors pick the lost unit up first: it is the most likely to
+      // be the fold cursor everyone else's results are waiting on.
+      queue.push_front(static_cast<size_t>(worker.in_flight));
+      worker.in_flight = -1;
+    }
+    pool.Retire(worker);
+    ZLOG_INFO << "work-stealing campaign: worker died, " << alive_workers()
+              << " remaining";
+  };
+
+  // A buffered result is stale when a parameter it actually tested has since
+  // become globally unsafe outside its dispatch snapshot: the exact
+  // sequential run would have excluded that parameter, so the speculative
+  // result cannot be folded and the unit must re-run.
+  auto is_stale = [&](const BufferedResult& result) {
+    for (const std::string& param : result.unit.params_tested) {
+      if (folder.globally_unsafe().count(param) > 0 &&
+          result.snapshot.count(param) == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Folds every buffered result the canonical order allows, then eagerly
+  // re-queues EVERY buffered result that is stale against the current
+  // globally-unsafe set — not just the one at the fold cursor. Staleness is
+  // monotone (the set only grows and a result's snapshot is frozen), so a
+  // result stale now is provably stale at its own fold turn; discarding the
+  // whole doomed wave at once lets idle workers re-run the units in parallel
+  // instead of serializing one re-run per fold step. The re-runs carry the
+  // freshest set (still a subset of each unit's exact sequential set — the
+  // invariant that keeps the fold bitwise-exact).
+  auto advance_fold = [&]() {
+    while (cursor < units.size()) {
+      auto it = buffered.find(cursor);
+      if (it == buffered.end() || is_stale(it->second)) {
+        break;
+      }
+      begin_apps_through(units[cursor].app_index + 1);
+      folder.Fold(it->second.unit);
+      buffered.erase(it);
+      ++cursor;
+    }
+    std::vector<size_t> stale_units;
+    for (const auto& [index, result] : buffered) {
+      if (is_stale(result)) {
+        stale_units.push_back(index);
+      }
+    }
+    // push_front in descending order keeps the re-queued wave in canonical
+    // order at the head of the queue (the fold is waiting on the smallest).
+    for (auto it = stale_units.rbegin(); it != stale_units.rend(); ++it) {
+      ZLOG_INFO << "work-stealing campaign: re-running unit "
+                << buffered.at(*it).unit.test_id
+                << " (stale globally-unsafe snapshot)";
+      buffered.erase(*it);
+      queue.push_front(*it);
+    }
+  };
+
+  while (cursor < units.size()) {
+    if (alive_workers() == 0) {
+      throw Error("work-stealing campaign: all workers died");
+    }
+
+    // Dispatch to idle workers. Each request carries the freshest
+    // globally-unsafe snapshot (the best-effort broadcast): canonical folding
+    // guarantees it is a subset of the exact sequential set for any unit
+    // still in the queue, so a prune can only ever be validated or redone —
+    // never silently wrong.
+    for (WorkerHandle& worker : pool.workers) {
+      if (!worker.alive || worker.in_flight >= 0 || queue.empty()) {
+        continue;
+      }
+      size_t unit_index = queue.front();
+      const std::set<std::string>& unsafe = folder.globally_unsafe();
+      std::string request =
+          "run " + std::to_string(unit_index) + "\n" +
+          StrJoin(std::vector<std::string>(unsafe.begin(), unsafe.end()), ",");
+      if (!WriteFrame(worker.request_fd, request)) {
+        retire_worker(worker);
+        continue;
+      }
+      queue.pop_front();
+      worker.in_flight = static_cast<int64_t>(unit_index);
+      worker.snapshot = unsafe;
+    }
+    if (alive_workers() == 0) {
+      continue;  // top of loop throws with the precise error
+    }
+
+    // Wait for any busy worker to report (or die).
+    std::vector<struct pollfd> poll_fds;
+    std::vector<size_t> poll_workers;
+    for (size_t i = 0; i < pool.workers.size(); ++i) {
+      if (pool.workers[i].alive && pool.workers[i].in_flight >= 0) {
+        poll_fds.push_back({pool.workers[i].response_fd, POLLIN, 0});
+        poll_workers.push_back(i);
+      }
+    }
+    if (poll_fds.empty()) {
+      throw Error("work-stealing campaign: scheduler stalled (internal error)");
+    }
+    int ready;
+    do {
+      ready = ::poll(poll_fds.data(), poll_fds.size(), -1);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      throw Error("work-stealing campaign: poll() failed");
+    }
+
+    for (size_t i = 0; i < poll_fds.size(); ++i) {
+      if (poll_fds[i].revents == 0) {
+        continue;
+      }
+      WorkerHandle& worker = pool.workers[poll_workers[i]];
+      std::string payload;
+      size_t unit_index = 0;
+      UnitWorkResult unit;
+      if (!ReadFrame(worker.response_fd, &payload) ||
+          !ParseUnit(payload, &unit_index, &unit) ||
+          unit_index != static_cast<size_t>(worker.in_flight)) {
+        retire_worker(worker);
+        continue;
+      }
+      buffered[unit_index] = BufferedResult{std::move(unit), worker.snapshot};
+      worker.in_flight = -1;
+    }
+
+    advance_fold();
+  }
+
+  // Apps with zero units (or nothing at all to run) still appear in the
+  // report with their enumeration-stage counts, as in the sequential run.
+  begin_apps_through(apps.size());
+
+  // Graceful shutdown; the pool destructor reaps.
+  for (WorkerHandle& worker : pool.workers) {
+    if (worker.alive) {
+      WriteFrame(worker.request_fd, "exit");
+    }
+  }
+
+  folder.report().wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return folder.Finish();
+}
+
+}  // namespace zebra

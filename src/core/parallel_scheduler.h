@@ -1,0 +1,70 @@
+// Work-stealing test-campaign scheduler: the paper's "test in parallel" (§4)
+// with dynamic load balancing and exact sequential semantics.
+//
+// The static per-app sharding in sharded_campaign.h is hard-capped by its
+// largest shard (minidfs alone is ~70% of the corpus work). This scheduler
+// instead fans out *(app, unit test)* work units: a persistent pool of forked
+// workers — fork-per-worker preserves the ConfAgent process-global-session
+// isolation the paper gets from containers — pulls units from a parent-owned
+// queue over pipes and streams per-unit shard reports back incrementally.
+//
+// Determinism. The parent merges unit results with CampaignFolder in the
+// canonical unit order (options.apps order, then corpus registration order),
+// the same fold Campaign::Run performs, so findings, Table-5 stage counts,
+// and runs_to_first_detection are bitwise-identical to the sequential
+// campaign at every worker count. The only cross-unit coupling is the
+// frequent-failure rule: each dispatch carries the parent's current
+// globally-unsafe snapshot (a best-effort broadcast of newly unsafe
+// parameters to idle workers). Because folding is canonical, a dispatched
+// snapshot is always a *subset* of the exact sequential set; if the
+// difference touches a parameter the unit actually tested, the parent
+// discards the speculative result and re-runs the unit with the exact set —
+// the prune accelerates, it never changes results.
+//
+// Fault tolerance. A worker that dies mid-unit (EOF / broken pipe) is
+// reaped, its in-flight unit is re-queued to the survivors, and the campaign
+// completes; the scheduler throws only when no workers remain. All children
+// are reaped on every exit path.
+//
+// Each worker keeps a process-local memoized run cache across the units it
+// executes when options.enable_run_cache is set (see testkit/run_cache.h);
+// hit/miss totals fold into CampaignReport.
+
+#ifndef SRC_CORE_PARALLEL_SCHEDULER_H_
+#define SRC_CORE_PARALLEL_SCHEDULER_H_
+
+#include <string>
+
+#include "src/core/campaign.h"
+
+namespace zebra {
+
+struct ParallelCampaignOptions {
+  // Worker processes to fork (clamped to the unit count).
+  int workers = 1;
+
+  // Fault-injection hook for tests: the worker with this index _Exits
+  // instead of executing whenever it is assigned the unit for this test id.
+  // Surviving workers pick the unit up. Empty = disabled.
+  std::string crash_on_test_id;
+  int crash_worker_index = 0;
+};
+
+// Runs the campaign over `workers` forked worker processes pulling (app,
+// unit-test) work units dynamically. Findings, stage counts, and
+// runs_to_first_detection are bitwise-identical to Campaign(...).Run() for
+// every worker count. Throws Error on invalid worker counts or when every
+// worker has died.
+CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
+                                       const UnitTestRegistry& corpus,
+                                       CampaignOptions options, int workers);
+
+// Full-control variant (fault-injection hooks for tests).
+CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
+                                       const UnitTestRegistry& corpus,
+                                       CampaignOptions options,
+                                       const ParallelCampaignOptions& parallel);
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_PARALLEL_SCHEDULER_H_

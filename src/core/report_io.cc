@@ -8,9 +8,7 @@
 
 namespace zebra {
 
-namespace {
-
-std::string EscapeText(const std::string& text) {
+std::string EscapeReportText(const std::string& text) {
   std::string escaped;
   for (char c : text) {
     if (c == '\n') {
@@ -24,7 +22,7 @@ std::string EscapeText(const std::string& text) {
   return escaped;
 }
 
-std::string UnescapeText(const std::string& text) {
+std::string UnescapeReportText(const std::string& text) {
   std::string plain;
   for (size_t i = 0; i < text.size(); ++i) {
     if (text[i] == '\\' && i + 1 < text.size()) {
@@ -36,6 +34,8 @@ std::string UnescapeText(const std::string& text) {
   }
   return plain;
 }
+
+namespace {
 
 int64_t RequireInt(const std::map<std::string, std::string>& properties,
                    const std::string& key) {
@@ -62,6 +62,7 @@ std::string SerializeReport(const CampaignReport& report) {
     apps.push_back(app);
     std::string prefix = "app." + app + ".";
     properties[prefix + "original"] = Int64ToString(counts.original);
+    properties[prefix + "after_static"] = Int64ToString(counts.after_static);
     properties[prefix + "after_prerun"] = Int64ToString(counts.after_prerun);
     properties[prefix + "after_uncertainty"] = Int64ToString(counts.after_uncertainty);
     properties[prefix + "executed_runs"] = Int64ToString(counts.executed_runs);
@@ -69,6 +70,12 @@ std::string SerializeReport(const CampaignReport& report) {
     properties[prefix + "tests_with_nodes"] = Int64ToString(counts.tests_with_nodes);
   }
   properties["apps"] = StrJoin(apps, ",");
+
+  for (const auto& [app, sharing] : report.sharing) {
+    std::string prefix = "sharing." + app + ".";
+    properties[prefix + "with_conf_usage"] = Int64ToString(sharing.tests_with_conf_usage);
+    properties[prefix + "with_sharing"] = Int64ToString(sharing.tests_with_sharing);
+  }
 
   std::vector<std::string> params;
   for (const auto& [param, finding] : report.findings) {
@@ -80,7 +87,7 @@ std::string SerializeReport(const CampaignReport& report) {
         StrJoin(std::vector<std::string>(finding.witness_tests.begin(),
                                          finding.witness_tests.end()),
                 ",");
-    properties[prefix + "failure"] = EscapeText(finding.example_failure);
+    properties[prefix + "failure"] = EscapeReportText(finding.example_failure);
   }
   properties["findings"] = StrJoin(params, ",");
 
@@ -88,6 +95,12 @@ std::string SerializeReport(const CampaignReport& report) {
   properties["filtered_by_hypothesis"] = Int64ToString(report.filtered_by_hypothesis);
   properties["total_unit_test_runs"] = Int64ToString(report.total_unit_test_runs);
   properties["wall_seconds"] = DoubleToString(report.wall_seconds);
+  properties["cache_hits"] = Int64ToString(report.cache_hits);
+  properties["cache_misses"] = Int64ToString(report.cache_misses);
+  properties["runs_to_first_detection"] = Int64ToString(report.runs_to_first_detection);
+  if (!report.first_detection_param.empty()) {
+    properties["first_detection_param"] = report.first_detection_param;
+  }
   properties["run_count"] = Int64ToString(
       static_cast<int64_t>(report.run_durations_seconds.size()));
   double total_run_seconds = 0;
@@ -115,7 +128,24 @@ CampaignReport DeserializeReport(const std::string& text) {
     counts.tests_total = static_cast<int>(RequireInt(properties, prefix + "tests_total"));
     counts.tests_with_nodes =
         static_cast<int>(RequireInt(properties, prefix + "tests_with_nodes"));
+    // Absent in pre-zebralint serializations: no static prior means the
+    // static stage equals the original enumeration.
+    int64_t after_static = counts.original;
+    ParseInt64(GetOr(properties, prefix + "after_static",
+                     Int64ToString(counts.original)),
+               &after_static);
+    counts.after_static = after_static;
     report.per_app[app] = counts;
+
+    std::string sharing_prefix = "sharing." + app + ".";
+    if (properties.count(sharing_prefix + "with_conf_usage") > 0) {
+      SharingStats sharing;
+      sharing.tests_with_conf_usage = static_cast<int>(
+          RequireInt(properties, sharing_prefix + "with_conf_usage"));
+      sharing.tests_with_sharing = static_cast<int>(
+          RequireInt(properties, sharing_prefix + "with_sharing"));
+      report.sharing[app] = sharing;
+    }
   }
 
   for (const std::string& param : StrSplit(GetOr(properties, "findings", ""), ',')) {
@@ -135,7 +165,8 @@ CampaignReport DeserializeReport(const std::string& text) {
         finding.witness_tests.insert(witness);
       }
     }
-    finding.example_failure = UnescapeText(GetOr(properties, prefix + "failure", ""));
+    finding.example_failure =
+        UnescapeReportText(GetOr(properties, prefix + "failure", ""));
     report.findings[param] = std::move(finding);
   }
 
@@ -147,6 +178,11 @@ CampaignReport DeserializeReport(const std::string& text) {
   double wall = 0;
   ParseDouble(GetOr(properties, "wall_seconds", "0"), &wall);
   report.wall_seconds = wall;
+  ParseInt64(GetOr(properties, "cache_hits", "0"), &report.cache_hits);
+  ParseInt64(GetOr(properties, "cache_misses", "0"), &report.cache_misses);
+  ParseInt64(GetOr(properties, "runs_to_first_detection", "0"),
+             &report.runs_to_first_detection);
+  report.first_detection_param = GetOr(properties, "first_detection_param", "");
 
   // Run durations are summarized: reconstruct a flat profile so downstream
   // fleet estimates stay usable.
@@ -163,6 +199,33 @@ CampaignReport DeserializeReport(const std::string& text) {
 
 CampaignReport MergeReports(const std::vector<CampaignReport>& reports) {
   CampaignReport merged;
+
+  // Canonical shard order: rank shards by their smallest app name so the
+  // merge is independent of arrival order. runs_to_first_detection then
+  // counts every execution of canonically-earlier shards plus the detecting
+  // shard's own count ("as if the shards ran back-to-back").
+  std::vector<const CampaignReport*> canonical;
+  canonical.reserve(reports.size());
+  for (const CampaignReport& report : reports) {
+    canonical.push_back(&report);
+  }
+  auto min_app = [](const CampaignReport* report) {
+    return report->per_app.empty() ? std::string() : report->per_app.begin()->first;
+  };
+  std::stable_sort(canonical.begin(), canonical.end(),
+                   [&](const CampaignReport* a, const CampaignReport* b) {
+                     return min_app(a) < min_app(b);
+                   });
+  int64_t executed_before = 0;
+  for (const CampaignReport* report : canonical) {
+    if (merged.runs_to_first_detection == 0 && report->runs_to_first_detection > 0) {
+      merged.runs_to_first_detection =
+          executed_before + report->runs_to_first_detection;
+      merged.first_detection_param = report->first_detection_param;
+    }
+    executed_before += report->TotalExecuted();
+  }
+
   for (const CampaignReport& report : reports) {
     for (const auto& [app, counts] : report.per_app) {
       if (merged.per_app.count(app) > 0) {
@@ -186,6 +249,8 @@ CampaignReport MergeReports(const std::vector<CampaignReport>& reports) {
     merged.first_trial_candidates += report.first_trial_candidates;
     merged.filtered_by_hypothesis += report.filtered_by_hypothesis;
     merged.total_unit_test_runs += report.total_unit_test_runs;
+    merged.cache_hits += report.cache_hits;
+    merged.cache_misses += report.cache_misses;
     merged.wall_seconds = std::max(merged.wall_seconds, report.wall_seconds);
     merged.run_durations_seconds.insert(merged.run_durations_seconds.end(),
                                         report.run_durations_seconds.begin(),

@@ -12,18 +12,35 @@
 
 namespace zebra {
 
-// Serializes the report (stage counts, findings, hypothesis stats, run
-// totals) to properties text. Run durations are summarized as their count
-// and total seconds; newlines inside failure messages are escaped.
+// Serializes the report (stage counts, findings, sharing stats, hypothesis
+// stats, run totals, cache counters, first-detection stats) to properties
+// text. Run durations are summarized as their count and total seconds;
+// newlines inside failure messages are escaped.
 std::string SerializeReport(const CampaignReport& report);
 
 // Parses text produced by SerializeReport. Throws Error on malformed input.
+// Fields absent from older serializations default to zero/empty.
 CampaignReport DeserializeReport(const std::string& text);
 
-// Merges reports from disjoint application shards: per-app counts and
-// findings are unioned (same-param findings merge witnesses and keep the
-// best p-value), counters are summed.
+// Merges reports from disjoint application shards: per-app counts, sharing
+// stats, and findings are unioned (same-param findings merge witnesses and
+// keep the best p-value), counters are summed.
+//
+// runs_to_first_detection merges deterministically regardless of the order
+// the shard reports arrive in: shards are ranked by their smallest app name
+// (the canonical shard order), and the merged value counts every execution
+// of canonically-earlier shards plus the detecting shard's own count — i.e.
+// "as if the shards had run back-to-back in canonical order". The
+// work-stealing scheduler (parallel_scheduler.h) does not use this
+// approximation; it folds per-unit results and reproduces the sequential
+// value exactly.
 CampaignReport MergeReports(const std::vector<CampaignReport>& reports);
+
+// Newline/backslash escaping for multi-line values (failure messages)
+// embedded in single-line properties values. Shared with the scheduler's
+// worker wire format.
+std::string EscapeReportText(const std::string& text);
+std::string UnescapeReportText(const std::string& text);
 
 }  // namespace zebra
 

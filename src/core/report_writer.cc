@@ -72,6 +72,17 @@ std::string RenderMarkdownReport(const CampaignReport& report,
   out << "## Cost\n\n";
   out << "* unit-test executions: " << report.total_unit_test_runs << "\n";
   out << "* sequential wall-clock: " << report.wall_seconds << " s\n";
+  if (report.runs_to_first_detection > 0) {
+    out << "* runs to first detection: " << report.runs_to_first_detection
+        << " (`" << report.first_detection_param << "`)\n";
+  }
+  if (report.cache_hits > 0 || report.cache_misses > 0) {
+    double hit_rate = 100.0 * static_cast<double>(report.cache_hits) /
+                      static_cast<double>(report.cache_hits + report.cache_misses);
+    out << "* run cache: " << report.cache_hits << " hits / "
+        << report.cache_misses << " misses ("
+        << static_cast<int>(hit_rate) << "% hit rate)\n";
+  }
   if (options.fleet_machines > 0 && options.fleet_containers > 0 &&
       !report.run_durations_seconds.empty()) {
     FleetEstimate fleet = EstimateFleet(report.run_durations_seconds,

@@ -3,44 +3,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdlib>
 #include <set>
 
 #include "src/common/error.h"
 #include "src/core/report_io.h"
+#include "src/core/worker_ipc.h"
 
 namespace zebra {
-
-namespace {
-
-// Writes the whole buffer to fd, retrying on short writes.
-void WriteAll(int fd, const std::string& text) {
-  size_t written = 0;
-  while (written < text.size()) {
-    ssize_t n = ::write(fd, text.data() + written, text.size() - written);
-    if (n <= 0) {
-      std::_Exit(3);  // child: cannot report; fail hard
-    }
-    written += static_cast<size_t>(n);
-  }
-}
-
-std::string ReadAll(int fd) {
-  std::string text;
-  char buffer[4096];
-  while (true) {
-    ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n < 0) {
-      throw Error("sharded campaign: pipe read failed");
-    }
-    if (n == 0) {
-      return text;
-    }
-    text.append(buffer, static_cast<size_t>(n));
-  }
-}
-
-}  // namespace
 
 CampaignReport RunShardedCampaign(const ConfSchema& schema,
                                   const UnitTestRegistry& corpus,
@@ -77,12 +48,30 @@ CampaignReport RunShardedCampaign(const ConfSchema& schema,
   for (const std::vector<std::string>& shard : shards) {
     int fds[2];
     if (::pipe(fds) != 0) {
+      // Children forked so far are healthy: let them finish, then reap,
+      // before surfacing the error. No zombies on any path.
+      std::vector<pid_t> started;
+      for (const Worker& worker : children) {
+        std::string discard;
+        ReadToEof(worker.read_fd, &discard);
+        ::close(worker.read_fd);
+        started.push_back(worker.pid);
+      }
+      ReapAll(started);
       throw Error("sharded campaign: pipe() failed");
     }
     pid_t pid = ::fork();
     if (pid < 0) {
       ::close(fds[0]);
       ::close(fds[1]);
+      std::vector<pid_t> started;
+      for (const Worker& worker : children) {
+        std::string discard;
+        ReadToEof(worker.read_fd, &discard);
+        ::close(worker.read_fd);
+        started.push_back(worker.pid);
+      }
+      ReapAll(started);
       throw Error("sharded campaign: fork() failed");
     }
     if (pid == 0) {
@@ -94,7 +83,10 @@ CampaignReport RunShardedCampaign(const ConfSchema& schema,
       shard_options.apps = shard;
       Campaign campaign(schema, corpus, shard_options);
       CampaignReport report = campaign.Run();
-      WriteAll(fds[1], SerializeReport(report));
+      std::string text = SerializeReport(report);
+      if (!WriteAll(fds[1], text.data(), text.size())) {
+        std::_Exit(3);  // cannot report; fail hard
+      }
       ::close(fds[1]);
       std::_Exit(0);
     }
@@ -102,22 +94,47 @@ CampaignReport RunShardedCampaign(const ConfSchema& schema,
     children.push_back(Worker{pid, fds[0]});
   }
 
-  // Parent: collect every shard, then reap.
+  // Parent: drain every shard pipe (EINTR-safe; a failed read marks the
+  // worker bad but never aborts the loop), close all fds, then reap ALL
+  // children before deciding whether to throw — an error in one shard must
+  // not leak the others as zombies.
+  std::vector<std::string> texts(children.size());
+  std::vector<bool> read_ok(children.size(), false);
+  std::vector<pid_t> pids;
+  for (size_t i = 0; i < children.size(); ++i) {
+    read_ok[i] = ReadToEof(children[i].read_fd, &texts[i]);
+    ::close(children[i].read_fd);
+    pids.push_back(children[i].pid);
+  }
+
+  std::vector<int> statuses(children.size(), -1);
+  for (size_t i = 0; i < children.size(); ++i) {
+    int status = 0;
+    pid_t reaped;
+    do {
+      reaped = ::waitpid(pids[i], &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    statuses[i] = reaped == pids[i] ? status : -1;
+  }
+
   std::vector<CampaignReport> reports;
   std::string first_error;
-  for (Worker& worker : children) {
-    std::string text = ReadAll(worker.read_fd);
-    ::close(worker.read_fd);
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
-    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!read_ok[i]) {
+      if (first_error.empty()) {
+        first_error = "sharded campaign: pipe read failed";
+      }
+      continue;
+    }
+    int status = statuses[i];
+    if (status < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
       if (first_error.empty()) {
         first_error = "sharded campaign: worker exited abnormally (status " +
                       std::to_string(status) + ")";
       }
       continue;
     }
-    reports.push_back(DeserializeReport(text));
+    reports.push_back(DeserializeReport(texts[i]));
   }
   if (!first_error.empty()) {
     throw Error(first_error);

@@ -15,15 +15,20 @@ std::vector<PreRunRecord> TestGenerator::PreRunApp(const std::string& app,
                                                    int64_t* executions) const {
   std::vector<PreRunRecord> records;
   for (const UnitTestDef* test : corpus_.ForApp(app)) {
-    PreRunRecord record;
-    record.test = test;
-    record.result = RunUnitTest(*test, TestPlan{}, /*trial=*/0);
-    if (executions != nullptr) {
-      ++*executions;
-    }
-    records.push_back(std::move(record));
+    records.push_back(PreRunTest(*test, executions));
   }
   return records;
+}
+
+PreRunRecord TestGenerator::PreRunTest(const UnitTestDef& test,
+                                       int64_t* executions) const {
+  PreRunRecord record;
+  record.test = &test;
+  record.result = RunUnitTest(test, TestPlan{}, /*trial=*/0);
+  if (executions != nullptr) {
+    ++*executions;
+  }
+  return record;
 }
 
 std::vector<std::pair<std::string, std::string>> TestGenerator::ValuePairs(

@@ -70,6 +70,11 @@ class TestGenerator {
   // run.
   std::vector<PreRunRecord> PreRunApp(const std::string& app, int64_t* executions) const;
 
+  // Pre-runs a single unit test (the per-work-unit variant used by parallel
+  // scheduler workers). Pre-runs are deterministic, so a worker re-running
+  // one reproduces exactly the record a whole-app pre-run would have built.
+  PreRunRecord PreRunTest(const UnitTestDef& test, int64_t* executions) const;
+
   // Table 5 row 1: what a user with our expertise but no pre-run information
   // would enumerate — every test x every app parameter x every value pair x
   // every assignment over all of the app's node types.

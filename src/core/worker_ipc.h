@@ -1,0 +1,45 @@
+// Hardened pipe plumbing shared by the parallel campaign runners
+// (core/sharded_campaign.cc and core/parallel_scheduler.cc).
+//
+// Every primitive is EINTR-safe and reports failure through its return value
+// instead of throwing: both sides of the pipe use these — a forked worker
+// cannot throw across _Exit, and the parent must keep going long enough to
+// reap every child before surfacing an error (no zombie leaks).
+
+#ifndef SRC_CORE_WORKER_IPC_H_
+#define SRC_CORE_WORKER_IPC_H_
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace zebra {
+
+// Writes the whole buffer, retrying on EINTR and short writes. Returns false
+// on any other error (e.g. EPIPE after the peer died).
+bool WriteAll(int fd, const void* data, size_t size);
+
+// Reads exactly `size` bytes, retrying on EINTR. Returns false on error or
+// premature EOF.
+bool ReadExact(int fd, void* data, size_t size);
+
+// Drains the fd to EOF, retrying on EINTR. Returns false on read error;
+// *out holds whatever arrived either way.
+bool ReadToEof(int fd, std::string* out);
+
+// Length-prefixed message framing (16-byte zero-padded decimal header).
+// A frame survives interleaving with nothing else on the pipe; ReadFrame
+// returns false on EOF, short read, or a malformed header — all of which the
+// schedulers treat as "this worker died".
+bool WriteFrame(int fd, const std::string& payload);
+bool ReadFrame(int fd, std::string* payload);
+
+// waitpid (EINTR-safe) on every pid, in order. Returns true iff every child
+// exited normally with status 0. Call this on *all* children before throwing
+// for any of them — reaping must not be short-circuited by one failure.
+bool ReapAll(const std::vector<pid_t>& pids);
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_WORKER_IPC_H_

@@ -1,0 +1,52 @@
+#include "src/testkit/run_cache.h"
+
+namespace zebra {
+
+namespace {
+RunCache* g_run_cache = nullptr;
+}  // namespace
+
+void SetGlobalRunCache(RunCache* cache) { g_run_cache = cache; }
+
+RunCache* GlobalRunCache() { return g_run_cache; }
+
+// '\x1f' (unit separator) cannot appear in test ids or plan descriptions, so
+// the concatenation is injective; the full string is the key — no hash
+// collisions can alias two distinct runs.
+std::string RunCache::ExactKey(const std::string& test_id, const std::string& plan_text,
+                               uint64_t trial) {
+  return test_id + '\x1f' + plan_text + '\x1f' + std::to_string(trial);
+}
+
+std::string RunCache::WildcardKey(const std::string& test_id,
+                                  const std::string& plan_text) {
+  return test_id + '\x1f' + plan_text + "\x1f*";
+}
+
+const TestResult* RunCache::Lookup(const std::string& test_id,
+                                   const std::string& plan_text, uint64_t trial) {
+  auto it = entries_.find(WildcardKey(test_id, plan_text));
+  if (it == entries_.end()) {
+    it = entries_.find(ExactKey(test_id, plan_text, trial));
+  }
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+void RunCache::Insert(const std::string& test_id, const std::string& plan_text,
+                      uint64_t trial, bool trial_insensitive,
+                      const TestResult& result) {
+  if (entries_.emplace(ExactKey(test_id, plan_text, trial), result).second) {
+    ++stats_.entries;
+  }
+  if (trial_insensitive &&
+      entries_.emplace(WildcardKey(test_id, plan_text), result).second) {
+    ++stats_.entries;
+  }
+}
+
+}  // namespace zebra

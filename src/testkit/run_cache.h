@@ -1,0 +1,105 @@
+// RunCache: memoized unit-test execution results.
+//
+// RunUnitTest is a pure function of the (test id, TestPlan, trial) triple —
+// all nondeterminism is injected through the RNG seeded from exactly that
+// triple (see test_context.h). The campaign nevertheless re-executes
+// bitwise-identical runs all the time:
+//
+//   * bisection re-probes: a failing pool half of size one is re-run by
+//     TestRunner::Verify with the very same single-parameter plan,
+//   * homogeneous controls: instances of the same parameter share distinct
+//     values, so Verify issues the same homogeneous control plan repeatedly,
+//   * first_trials repeats and hypothesis-testing rounds of *deterministic*
+//     tests: different trial numbers, provably identical results (the body
+//     never consumed the per-trial RNG),
+//   * pre-run baselines: every re-dispatch or repeated campaign pre-runs the
+//     test with the same empty plan.
+//
+// The cache keys results by a canonical fingerprint of the triple and serves
+// repeats without executing. Executions that provably never observed the
+// trial number are additionally stored under a trial-wildcard key, so later
+// trials of the same (test, plan) hit as well. Serving from cache never
+// changes campaign results: the stored TestResult is exactly what a real run
+// would return. Stage counters (executed_runs and friends) are incremented by
+// the call sites *before* RunUnitTest, so Table-5 accounting is identical
+// with the cache on or off; only wall-clock (and the run-duration profile)
+// shrinks.
+//
+// Ownership: one cache per process, installed via SetGlobalRunCache (RAII:
+// ScopedRunCache). Campaign owns a cache when CampaignOptions.enable_run_cache
+// is set; parallel-scheduler workers each own a per-process cache that
+// persists across the work units they execute. Not thread-safe — unit-test
+// executions are serialized by design (ConfAgent sessions are exclusive).
+
+#ifndef SRC_TESTKIT_RUN_CACHE_H_
+#define SRC_TESTKIT_RUN_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/testkit/test_execution.h"
+
+namespace zebra {
+
+class RunCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t entries = 0;
+
+    double HitRate() const {
+      return hits + misses == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    }
+  };
+
+  // Returns the cached result for the triple, or nullptr. A trial-wildcard
+  // entry (stored by a trial-insensitive execution) matches any trial.
+  // Counts a hit or a miss.
+  const TestResult* Lookup(const std::string& test_id, const std::string& plan_text,
+                           uint64_t trial);
+
+  // Stores the result of a real execution. `trial_insensitive` executions are
+  // stored under the wildcard key as well, so every future trial hits.
+  void Insert(const std::string& test_id, const std::string& plan_text,
+              uint64_t trial, bool trial_insensitive, const TestResult& result);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_.hits = stats_.misses = 0; }
+
+ private:
+  static std::string ExactKey(const std::string& test_id, const std::string& plan_text,
+                              uint64_t trial);
+  static std::string WildcardKey(const std::string& test_id,
+                                 const std::string& plan_text);
+
+  std::unordered_map<std::string, TestResult> entries_;
+  Stats stats_;
+};
+
+// Process-global cache consulted by RunUnitTest; nullptr disables memoization
+// (the default). The cache outlives the installation window; the installer
+// retains ownership.
+void SetGlobalRunCache(RunCache* cache);
+RunCache* GlobalRunCache();
+
+// RAII installation, exception-safe around a campaign run.
+class ScopedRunCache {
+ public:
+  explicit ScopedRunCache(RunCache* cache) : previous_(GlobalRunCache()) {
+    SetGlobalRunCache(cache);
+  }
+  ~ScopedRunCache() { SetGlobalRunCache(previous_); }
+  ScopedRunCache(const ScopedRunCache&) = delete;
+  ScopedRunCache& operator=(const ScopedRunCache&) = delete;
+
+ private:
+  RunCache* previous_;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_TESTKIT_RUN_CACHE_H_

@@ -39,7 +39,15 @@ class TestContext {
   TestContext& operator=(const TestContext&) = delete;
 
   const std::string& test_id() const { return test_id_; }
-  uint64_t trial() const { return trial_; }
+  uint64_t trial() const {
+    trial_observed_ = true;
+    return trial_;
+  }
+
+  // True if this execution could depend on the trial number: the body either
+  // drew from the per-trial RNG or read trial() directly. When false, the run
+  // cache may reuse the result across trials (the test is deterministic).
+  bool TrialSensitive() const { return trial_observed_ || rng_.draws() > 0; }
 
   Cluster& cluster() { return cluster_; }
   Rng& rng() { return rng_; }
@@ -77,6 +85,7 @@ class TestContext {
 
   std::string test_id_;
   uint64_t trial_;
+  mutable bool trial_observed_ = false;
   Cluster cluster_;
   Rng rng_;
 };

@@ -1,29 +1,54 @@
 #include "src/testkit/test_execution.h"
 
+#include <unistd.h>
+
 #include <chrono>
 
 #include "src/common/logging.h"
+#include "src/testkit/run_cache.h"
 
 namespace zebra {
 
 namespace {
 std::vector<double>* g_duration_collector = nullptr;
+int64_t g_synthetic_run_latency_us = 0;
 }  // namespace
 
 void SetRunDurationCollector(std::vector<double>* collector) {
   g_duration_collector = collector;
 }
 
+void SetSyntheticRunLatencyUs(int64_t micros) {
+  g_synthetic_run_latency_us = micros < 0 ? 0 : micros;
+}
+
+int64_t SyntheticRunLatencyUs() { return g_synthetic_run_latency_us; }
+
 TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
+  const std::string plan_text = plan.Describe();
+
+  // Memoization: identical (test, plan, trial) triples are reproducible by
+  // construction, so a cached result is exactly what a fresh execution would
+  // return. Cache hits record no duration — nothing actually ran.
+  RunCache* cache = GlobalRunCache();
+  if (cache != nullptr) {
+    if (const TestResult* cached = cache->Lookup(test.id, plan_text, trial)) {
+      return *cached;
+    }
+  }
+
   auto start = std::chrono::steady_clock::now();
+  if (g_synthetic_run_latency_us > 0) {
+    ::usleep(static_cast<useconds_t>(g_synthetic_run_latency_us));
+  }
   TestResult result;
   // Fold the plan into the trial seed: in a real system, nondeterminism is
   // independent across runs with different configurations; re-running the
   // same (test, plan, trial) triple stays reproducible.
-  uint64_t effective_trial = HashCombine(trial, Fnv1a64(plan.Describe()));
+  uint64_t effective_trial = HashCombine(trial, Fnv1a64(plan_text));
   ConfAgentSession session(std::move(plan));
+  TestContext context(test.id, effective_trial);
   try {
-    TestContext context(test.id, effective_trial);
     test.body(context);
     result.passed = true;
   } catch (const std::exception& e) {
@@ -36,6 +61,10 @@ TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
     g_duration_collector->push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count());
+  }
+  if (cache != nullptr) {
+    cache->Insert(test.id, plan_text, trial,
+                  /*trial_insensitive=*/!context.TrialSensitive(), result);
   }
   return result;
 }

@@ -6,6 +6,7 @@
 #ifndef SRC_TESTKIT_TEST_EXECUTION_H_
 #define SRC_TESTKIT_TEST_EXECUTION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,10 +29,32 @@ struct TestResult {
 TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial);
 
 // Installs a collector that receives the wall-clock duration (seconds) of
-// every subsequent RunUnitTest call; pass nullptr to uninstall. Used by the
-// campaign to feed the fleet cost model. Not thread-safe — executions are
-// serialized anyway (ConfAgent sessions are exclusive).
+// every subsequent *real* RunUnitTest execution (run-cache hits execute
+// nothing and record nothing); pass nullptr to uninstall. Used by the
+// campaign to feed the fleet cost model.
+//
+// Ownership and process model: the collector pointer is process-global state.
+// Exactly one campaign engine per process may install it at a time, and the
+// installer must uninstall (nullptr) before the pointed-to vector dies.
+// Under the parallel scheduler this is naturally safe: each forked worker is
+// its own process with its own copy of the global, and installs a collector
+// scoped to the work unit it is executing (see parallel_scheduler.cc), so
+// fleet-model inputs are per-run-accurate across the pool. Not thread-safe —
+// executions are serialized anyway (ConfAgent sessions are exclusive).
 void SetRunDurationCollector(std::vector<double>* collector);
+
+// Simulated per-run harness latency, in microseconds (default 0 = off).
+// The paper's unit-test runs cost seconds of wall-clock each, dominated by
+// harness waits (startup, RPC timeouts) rather than CPU; our miniature runs
+// cost microseconds. Benchmarks set a nonzero latency to restore the paper's
+// cost shape — every *real* execution sleeps this long inside its timed
+// window, while run-cache hits (which execute nothing) skip it. Sleeping
+// (not spinning) is deliberate: it models waits, which parallel worker
+// processes overlap even on a single CPU, exactly as the paper's containers
+// overlap I/O-bound test runs. Process-global; forked workers inherit the
+// value set before the fork. Never set this in correctness tests.
+void SetSyntheticRunLatencyUs(int64_t micros);
+int64_t SyntheticRunLatencyUs();
 
 }  // namespace zebra
 

@@ -1,0 +1,153 @@
+// Tests for the work-stealing scheduler: the whole point of the design is
+// that findings, Table-5 stage counts, and runs_to_first_detection are
+// bitwise-identical to the sequential campaign at every worker count — the
+// pool only changes wall-clock, never results.
+
+#include "src/core/parallel_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+namespace {
+
+// Full structural equality against the sequential reference. Durations and
+// wall-clock are timing, not results, and are deliberately not compared.
+void ExpectIdenticalResults(const CampaignReport& actual,
+                            const CampaignReport& expected,
+                            const std::string& label) {
+  SCOPED_TRACE(label);
+
+  ASSERT_EQ(actual.per_app.size(), expected.per_app.size());
+  for (const auto& [app, counts] : expected.per_app) {
+    ASSERT_TRUE(actual.per_app.count(app) > 0) << app;
+    const AppStageCounts& got = actual.per_app.at(app);
+    EXPECT_EQ(got.original, counts.original) << app;
+    EXPECT_EQ(got.after_static, counts.after_static) << app;
+    EXPECT_EQ(got.after_prerun, counts.after_prerun) << app;
+    EXPECT_EQ(got.after_uncertainty, counts.after_uncertainty) << app;
+    EXPECT_EQ(got.executed_runs, counts.executed_runs) << app;
+    EXPECT_EQ(got.tests_total, counts.tests_total) << app;
+    EXPECT_EQ(got.tests_with_nodes, counts.tests_with_nodes) << app;
+  }
+
+  ASSERT_EQ(actual.sharing.size(), expected.sharing.size());
+  for (const auto& [app, sharing] : expected.sharing) {
+    ASSERT_TRUE(actual.sharing.count(app) > 0) << app;
+    EXPECT_EQ(actual.sharing.at(app).tests_with_conf_usage,
+              sharing.tests_with_conf_usage)
+        << app;
+    EXPECT_EQ(actual.sharing.at(app).tests_with_sharing, sharing.tests_with_sharing)
+        << app;
+  }
+
+  ASSERT_EQ(actual.findings.size(), expected.findings.size());
+  for (const auto& [param, finding] : expected.findings) {
+    ASSERT_TRUE(actual.findings.count(param) > 0) << param;
+    const ParamFinding& got = actual.findings.at(param);
+    EXPECT_EQ(got.owning_app, finding.owning_app) << param;
+    EXPECT_EQ(got.witness_tests, finding.witness_tests) << param;
+    EXPECT_EQ(got.example_failure, finding.example_failure) << param;
+    // Bitwise: the wire format round-trips doubles at full precision.
+    EXPECT_EQ(got.best_p_value, finding.best_p_value) << param;
+  }
+
+  EXPECT_EQ(actual.first_trial_candidates, expected.first_trial_candidates);
+  EXPECT_EQ(actual.filtered_by_hypothesis, expected.filtered_by_hypothesis);
+  EXPECT_EQ(actual.total_unit_test_runs, expected.total_unit_test_runs);
+  EXPECT_EQ(actual.runs_to_first_detection, expected.runs_to_first_detection);
+  EXPECT_EQ(actual.first_detection_param, expected.first_detection_param);
+  if (actual.cache_hits == 0) {
+    // Without memoization every counted run executes, so the duration
+    // profile has exactly as many samples as the reference. Cache hits
+    // skip execution and legitimately record fewer.
+    EXPECT_EQ(actual.run_durations_seconds.size(),
+              expected.run_durations_seconds.size());
+  }
+}
+
+TEST(ParallelSchedulerTest, BitwiseIdenticalToSequentialAtEveryWorkerCount) {
+  CampaignOptions options;  // all apps: exercises cross-unit frequent-failure
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+  ASSERT_GT(expected.findings.size(), 0u);
+  ASSERT_GT(expected.runs_to_first_detection, 0);
+
+  for (int workers : {1, 2, 4, 8}) {
+    CampaignReport parallel =
+        RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, workers);
+    ExpectIdenticalResults(parallel, expected,
+                           "workers=" + std::to_string(workers));
+  }
+}
+
+TEST(ParallelSchedulerTest, SurvivesWorkerCrashMidCampaign) {
+  CampaignOptions options;
+  options.apps = {"minikv", "ministream"};
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+
+  // Worker 0 always receives the first unit first, so the crash triggers
+  // deterministically; worker 1 must pick the unit up and finish alone.
+  ParallelCampaignOptions parallel;
+  parallel.workers = 2;
+  parallel.crash_on_test_id = "minikv.TestPutGet";
+  parallel.crash_worker_index = 0;
+
+  CampaignReport report =
+      RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, parallel);
+  ExpectIdenticalResults(report, expected, "one worker crashed");
+}
+
+TEST(ParallelSchedulerTest, AllWorkersDeadThrows) {
+  CampaignOptions options;
+  options.apps = {"minikv"};
+  // A single worker that crashes on the very first unit leaves nobody to
+  // steal the work.
+  ParallelCampaignOptions parallel;
+  parallel.workers = 1;
+  parallel.crash_on_test_id = "minikv.TestPutGet";
+  parallel.crash_worker_index = 0;
+  EXPECT_THROW(
+      RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, parallel),
+      Error);
+}
+
+TEST(ParallelSchedulerTest, ZeroWorkersRejected) {
+  CampaignOptions options;
+  options.apps = {"minikv"};
+  EXPECT_THROW(RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, 0),
+               Error);
+}
+
+TEST(ParallelSchedulerTest, RunCacheDoesNotChangeResultsAndRecordsHits) {
+  CampaignOptions options;
+  options.apps = {"minikv", "ministream"};
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+  ASSERT_EQ(expected.cache_hits, 0);
+
+  CampaignOptions cached_options = options;
+  cached_options.enable_run_cache = true;
+  CampaignReport cached = RunWorkStealingCampaign(FullSchema(), FullCorpus(),
+                                                  cached_options, /*workers=*/2);
+  ExpectIdenticalResults(cached, expected, "cache enabled");
+  EXPECT_GT(cached.cache_hits, 0);
+  EXPECT_GT(cached.cache_misses, 0);
+}
+
+TEST(ParallelSchedulerTest, MoreWorkersThanUnitsIsClamped) {
+  CampaignOptions options;
+  options.apps = {"apptools"};  // smallest corpus
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+  CampaignReport parallel = RunWorkStealingCampaign(FullSchema(), FullCorpus(),
+                                                    options, /*workers=*/64);
+  ExpectIdenticalResults(parallel, expected, "clamped workers");
+}
+
+}  // namespace
+}  // namespace zebra

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/error.h"
+#include "src/common/strings.h"
 
 namespace zebra {
 namespace {
@@ -106,6 +107,73 @@ TEST(ReportIoTest, MergeUnionsWitnessesForSharedParams) {
 
 TEST(ReportIoTest, MergeRejectsDuplicateApps) {
   EXPECT_THROW(MergeReports({SampleReport("minikv"), SampleReport("minikv")}), Error);
+}
+
+TEST(ReportIoTest, RoundTripPreservesSharingCacheAndDetectionStats) {
+  CampaignReport original = SampleReport("minikv");
+  original.per_app.at("minikv").after_static = 4200;
+  SharingStats sharing;
+  sharing.tests_with_conf_usage = 8;
+  sharing.tests_with_sharing = 3;
+  original.sharing["minikv"] = sharing;
+  original.cache_hits = 17;
+  original.cache_misses = 104;
+  original.runs_to_first_detection = 33;
+  original.first_detection_param = "minikv.some.param";
+
+  CampaignReport restored = DeserializeReport(SerializeReport(original));
+  EXPECT_EQ(restored.per_app.at("minikv").after_static, 4200);
+  EXPECT_EQ(restored.sharing.at("minikv").tests_with_conf_usage, 8);
+  EXPECT_EQ(restored.sharing.at("minikv").tests_with_sharing, 3);
+  EXPECT_EQ(restored.cache_hits, 17);
+  EXPECT_EQ(restored.cache_misses, 104);
+  EXPECT_EQ(restored.runs_to_first_detection, 33);
+  EXPECT_EQ(restored.first_detection_param, "minikv.some.param");
+}
+
+TEST(ReportIoTest, OldSerializationsDefaultAfterStaticToOriginal) {
+  // Pre-zebralint serializations carry no after_static key.
+  CampaignReport original = SampleReport("minikv");
+  std::string text = SerializeReport(original);
+  std::string filtered;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (line.find("after_static") == std::string::npos) {
+      filtered += line + "\n";
+    }
+  }
+  CampaignReport restored = DeserializeReport(filtered);
+  EXPECT_EQ(restored.per_app.at("minikv").after_static, 5000);
+}
+
+TEST(ReportIoTest, MergedFirstDetectionIsShardOrderIndependent) {
+  // Regression: the merged runs_to_first_detection must not depend on which
+  // shard's report happens to arrive first. Shards are ranked canonically
+  // (by smallest app name), and the merged value counts all executions of
+  // canonically-earlier shards plus the detecting shard's own count.
+  CampaignReport apptools_shard = SampleReport("apptools");  // no detection
+  apptools_shard.runs_to_first_detection = 0;
+  CampaignReport minikv_shard = SampleReport("minikv");
+  minikv_shard.runs_to_first_detection = 40;
+  minikv_shard.first_detection_param = "minikv.some.param";
+  CampaignReport ministream_shard = SampleReport("ministream");
+  ministream_shard.runs_to_first_detection = 9;
+  ministream_shard.first_detection_param = "akka.ssl.enabled";
+
+  CampaignReport forward =
+      MergeReports({apptools_shard, minikv_shard, ministream_shard});
+  CampaignReport reversed =
+      MergeReports({ministream_shard, minikv_shard, apptools_shard});
+  CampaignReport shuffled =
+      MergeReports({minikv_shard, ministream_shard, apptools_shard});
+
+  // Canonical order: apptools (no detection, 120 executions), then minikv
+  // (detects after 40 of its own runs) -> 120 + 40.
+  EXPECT_EQ(forward.runs_to_first_detection, 160);
+  EXPECT_EQ(forward.first_detection_param, "minikv.some.param");
+  EXPECT_EQ(reversed.runs_to_first_detection, forward.runs_to_first_detection);
+  EXPECT_EQ(reversed.first_detection_param, forward.first_detection_param);
+  EXPECT_EQ(shuffled.runs_to_first_detection, forward.runs_to_first_detection);
+  EXPECT_EQ(shuffled.first_detection_param, forward.first_detection_param);
 }
 
 }  // namespace

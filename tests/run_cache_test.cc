@@ -1,0 +1,129 @@
+// Tests for the memoized run cache: keying (exact and trial-wildcard),
+// counters, and the end-to-end guarantee that memoization never changes
+// campaign results while actually getting hits.
+
+#include "src/testkit/run_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/campaign.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+namespace {
+
+TestResult MakeResult(bool passed, const std::string& failure) {
+  TestResult result;
+  result.passed = passed;
+  result.failure = failure;
+  return result;
+}
+
+TEST(RunCacheTest, ExactKeyRoundTrip) {
+  RunCache cache;
+  EXPECT_EQ(cache.Lookup("app.Test", "plan-a", 0), nullptr);
+  cache.Insert("app.Test", "plan-a", 0, /*trial_insensitive=*/false,
+               MakeResult(false, "boom"));
+
+  const TestResult* hit = cache.Lookup("app.Test", "plan-a", 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_FALSE(hit->passed);
+  EXPECT_EQ(hit->failure, "boom");
+
+  // A trial-sensitive entry must NOT serve other trials.
+  EXPECT_EQ(cache.Lookup("app.Test", "plan-a", 1), nullptr);
+  // Nor other plans or tests.
+  EXPECT_EQ(cache.Lookup("app.Test", "plan-b", 0), nullptr);
+  EXPECT_EQ(cache.Lookup("app.Other", "plan-a", 0), nullptr);
+
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 4);
+}
+
+TEST(RunCacheTest, TrialInsensitiveEntryServesEveryTrial) {
+  RunCache cache;
+  cache.Insert("app.Test", "plan", 7, /*trial_insensitive=*/true,
+               MakeResult(true, ""));
+  for (uint64_t trial : {0u, 1u, 7u, 42u}) {
+    const TestResult* hit = cache.Lookup("app.Test", "plan", trial);
+    ASSERT_NE(hit, nullptr) << trial;
+    EXPECT_TRUE(hit->passed);
+  }
+  EXPECT_EQ(cache.stats().hits, 4);
+}
+
+TEST(RunCacheTest, KeysAreNotAmbiguous) {
+  // The separator must prevent (id, plan) concatenation collisions.
+  RunCache cache;
+  cache.Insert("a", "b.plan", 0, /*trial_insensitive=*/true, MakeResult(true, ""));
+  EXPECT_EQ(cache.Lookup("a.b", "plan", 0), nullptr);
+  EXPECT_EQ(cache.Lookup("a", "b.plan.extra", 0), nullptr);
+}
+
+TEST(RunCacheTest, StatsTrackEntriesAndHitRate) {
+  RunCache cache;
+  cache.Lookup("x", "p", 0);  // miss
+  cache.Insert("x", "p", 0, /*trial_insensitive=*/false, MakeResult(true, ""));
+  cache.Lookup("x", "p", 0);  // hit
+  EXPECT_EQ(cache.stats().entries, 1);
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.5);
+}
+
+TEST(RunCacheTest, CampaignResultsIdenticalWithCacheEnabled) {
+  CampaignOptions plain_options;
+  plain_options.apps = {"minikv", "apptools"};
+  Campaign plain(FullSchema(), FullCorpus(), plain_options);
+  CampaignReport expected = plain.Run();
+  EXPECT_EQ(expected.cache_hits, 0);
+  EXPECT_EQ(expected.cache_misses, 0);
+
+  CampaignOptions cached_options = plain_options;
+  cached_options.enable_run_cache = true;
+  Campaign cached(FullSchema(), FullCorpus(), cached_options);
+  CampaignReport report = cached.Run();
+
+  // Table-5 accounting and findings are byte-for-byte the no-cache numbers.
+  EXPECT_EQ(report.TotalExecuted(), expected.TotalExecuted());
+  EXPECT_EQ(report.total_unit_test_runs, expected.total_unit_test_runs);
+  EXPECT_EQ(report.first_trial_candidates, expected.first_trial_candidates);
+  EXPECT_EQ(report.filtered_by_hypothesis, expected.filtered_by_hypothesis);
+  EXPECT_EQ(report.runs_to_first_detection, expected.runs_to_first_detection);
+  ASSERT_EQ(report.findings.size(), expected.findings.size());
+  for (const auto& [param, finding] : expected.findings) {
+    ASSERT_TRUE(report.findings.count(param) > 0) << param;
+    EXPECT_EQ(report.findings.at(param).witness_tests, finding.witness_tests);
+    EXPECT_EQ(report.findings.at(param).best_p_value, finding.best_p_value);
+  }
+  for (const auto& [app, counts] : expected.per_app) {
+    EXPECT_EQ(report.per_app.at(app).after_prerun, counts.after_prerun) << app;
+    EXPECT_EQ(report.per_app.at(app).executed_runs, counts.executed_runs) << app;
+  }
+
+  // ...but the cache did real work.
+  EXPECT_GT(report.cache_hits, 0);
+  EXPECT_GT(report.cache_misses, 0);
+  // Cache hits skip execution, so fewer durations are recorded than in the
+  // uncached run (which records one per real execution, pre-runs included).
+  EXPECT_LT(report.run_durations_seconds.size(),
+            expected.run_durations_seconds.size());
+}
+
+TEST(RunCacheTest, ScopedInstallRestoresPrevious) {
+  ASSERT_EQ(GlobalRunCache(), nullptr);
+  RunCache outer;
+  {
+    ScopedRunCache install_outer(&outer);
+    EXPECT_EQ(GlobalRunCache(), &outer);
+    RunCache inner;
+    {
+      ScopedRunCache install_inner(&inner);
+      EXPECT_EQ(GlobalRunCache(), &inner);
+    }
+    EXPECT_EQ(GlobalRunCache(), &outer);
+  }
+  EXPECT_EQ(GlobalRunCache(), nullptr);
+}
+
+}  // namespace
+}  // namespace zebra
