@@ -79,6 +79,103 @@ inline std::string WithCommas(int64_t value) {
   return out;
 }
 
+// Deterministic writer for the machine-readable BENCH_*.json artifacts:
+// commas, two-space indentation, and number formatting are handled centrally
+// so every bench emits byte-stable, diffable JSON. Keys and string values are
+// emitted verbatim (they are ASCII identifiers; no escaping is needed).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* file) : file_(file) {}
+
+  void BeginObject(const char* key = nullptr) { Prefix(key); Push('{'); }
+  void EndObject() { Pop('}'); }
+  void BeginArray(const char* key = nullptr) { Prefix(key); Push('['); }
+  void EndArray() { Pop(']'); }
+
+  void Field(const char* key, const char* value) {
+    Prefix(key);
+    std::fprintf(file_, "\"%s\"", value);
+  }
+  void Field(const char* key, const std::string& value) { Field(key, value.c_str()); }
+  void Field(const char* key, bool value) {
+    Prefix(key);
+    std::fputs(value ? "true" : "false", file_);
+  }
+  void Field(const char* key, int64_t value) {
+    Prefix(key);
+    std::fprintf(file_, "%" PRId64, value);
+  }
+  void Field(const char* key, uint64_t value) {
+    Prefix(key);
+    std::fprintf(file_, "%" PRIu64, value);
+  }
+  void Field(const char* key, int value) { Field(key, static_cast<int64_t>(value)); }
+  void Field(const char* key, double value, int precision = 3) {
+    Prefix(key);
+    std::fprintf(file_, "%.*f", precision, value);
+  }
+
+ private:
+  // Emits the separator + indentation owed before any value at the current
+  // depth, and the key when inside an object.
+  void Prefix(const char* key) {
+    if (!items_at_depth_.empty()) {
+      if (items_at_depth_.back() > 0) {
+        std::fputc(',', file_);
+      }
+      ++items_at_depth_.back();
+      std::fputc('\n', file_);
+      Indent();
+    }
+    if (key != nullptr) {
+      std::fprintf(file_, "\"%s\": ", key);
+    }
+  }
+  void Push(char open) {
+    std::fputc(open, file_);
+    items_at_depth_.push_back(0);
+  }
+  void Pop(char close) {
+    bool had_items = items_at_depth_.back() > 0;
+    items_at_depth_.pop_back();
+    if (had_items) {
+      std::fputc('\n', file_);
+      Indent();
+    }
+    std::fputc(close, file_);
+    if (items_at_depth_.empty()) {
+      std::fputc('\n', file_);
+    }
+  }
+  void Indent() {
+    for (size_t i = 0; i < items_at_depth_.size(); ++i) {
+      std::fputs("  ", file_);
+    }
+  }
+
+  std::FILE* file_;
+  std::vector<int> items_at_depth_;
+};
+
+// Opens `path`, hands `body` a JsonWriter rooted at one top-level object, and
+// announces the artifact on stdout. Returns false when the file cannot be
+// opened (the bench still prints its report).
+template <typename Body>
+bool WriteBenchJson(const char* path, Body&& body) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  JsonWriter json(file);
+  json.BeginObject();
+  body(json);
+  json.EndObject();
+  std::fclose(file);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
 inline CampaignReport RunCampaign(const std::vector<std::string>& apps,
                                   bool enable_pooling = true) {
   CampaignOptions options;

@@ -164,36 +164,27 @@ void RunRegime(const char* regime, int repetitions, std::vector<Row>* rows,
 
 void WriteJson(const std::vector<Row>& rows, double stealing_improvement,
                double cache_improvement) {
-  std::FILE* file = std::fopen("BENCH_parallel.json", "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
-    return;
-  }
-  std::fprintf(file, "{\n  \"paper_cost_latency_us\": %lld,\n",
-               static_cast<long long>(kPaperCostLatencyUs));
-  std::fprintf(file,
-               "  \"paper_cost_stealing_vs_sharded_at_6_workers\": %.3f,\n",
+  WriteBenchJson("BENCH_parallel.json", [&](JsonWriter& json) {
+    json.Field("paper_cost_latency_us", kPaperCostLatencyUs);
+    json.Field("paper_cost_stealing_vs_sharded_at_6_workers",
                stealing_improvement);
-  std::fprintf(file,
-               "  \"paper_cost_stealing_cache_vs_sharded_at_6_workers\": %.3f,\n",
+    json.Field("paper_cost_stealing_cache_vs_sharded_at_6_workers",
                cache_improvement);
-  std::fprintf(file, "  \"rows\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    std::fprintf(file,
-                 "    {\"regime\": \"%s\", \"mode\": \"%s\", \"workers\": %d, "
-                 "\"seconds\": %.6f, \"speedup_vs_sequential\": %.3f, "
-                 "\"findings\": %zu, \"cache_hits\": %lld, "
-                 "\"cache_misses\": %lld}%s\n",
-                 row.regime, ModeName(row.mode), row.workers, row.seconds,
-                 row.speedup_vs_sequential, row.findings,
-                 static_cast<long long>(row.cache_hits),
-                 static_cast<long long>(row.cache_misses),
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(file, "  ]\n}\n");
-  std::fclose(file);
-  std::printf("wrote BENCH_parallel.json\n");
+    json.BeginArray("rows");
+    for (const Row& row : rows) {
+      json.BeginObject();
+      json.Field("regime", row.regime);
+      json.Field("mode", ModeName(row.mode));
+      json.Field("workers", row.workers);
+      json.Field("seconds", row.seconds, 6);
+      json.Field("speedup_vs_sequential", row.speedup_vs_sequential);
+      json.Field("findings", static_cast<uint64_t>(row.findings));
+      json.Field("cache_hits", row.cache_hits);
+      json.Field("cache_misses", row.cache_misses);
+      json.EndObject();
+    }
+    json.EndArray();
+  });
 }
 
 void PrintScaling() {

@@ -6,6 +6,8 @@
 //   $ ./full_campaign --no-pooling minikv      # ablate pooled testing
 //   $ ./full_campaign --first-trials 3         # §5 false-negative mitigation
 //   $ ./full_campaign --report report.md       # write a markdown report
+//   $ ./full_campaign --cache-file runs.zc     # warm-start the run cache
+//   $ ./full_campaign --equiv-cache            # observational-equivalence dedup
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,23 +28,34 @@ int main(int argc, char** argv) {
 
   CampaignOptions options;
   std::string report_path;
+  std::string cache_file;
   int workers = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-pooling") == 0) {
       options.enable_pooling = false;
     } else if (std::strcmp(argv[i], "--no-round-robin") == 0) {
       options.enable_round_robin = false;
+    } else if (std::strcmp(argv[i], "--no-prerun-prune") == 0) {
+      options.prune_unread_instances = false;
     } else if (std::strcmp(argv[i], "--first-trials") == 0 && i + 1 < argc) {
       options.first_trials = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
+      cache_file = argv[++i];
+      options.enable_run_cache = true;
+    } else if (std::strcmp(argv[i], "--equiv-cache") == 0) {
+      options.enable_equiv_cache = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--no-pooling] [--no-round-robin] [--first-trials N]\n"
-          "          [--workers N] [--report FILE] [app ...]\n"
-          "apps: minidfs minimr miniyarn ministream minikv apptools\n",
+          "usage: %s [--no-pooling] [--no-round-robin] [--no-prerun-prune]\n"
+          "          [--first-trials N] [--workers N] [--report FILE]\n"
+          "          [--cache-file FILE] [--equiv-cache] [app ...]\n"
+          "apps: minidfs minimr miniyarn ministream minikv apptools\n"
+          "--cache-file warm-starts the run cache from FILE (if it exists)\n"
+          "and saves the cache back after the campaign (sequential runs only).\n",
           argv[0]);
       return 0;
     } else {
@@ -55,7 +68,20 @@ int main(int argc, char** argv) {
     report = RunShardedCampaign(FullSchema(), FullCorpus(), options, workers);
   } else {
     Campaign campaign(FullSchema(), FullCorpus(), options);
+    if (!cache_file.empty() && campaign.run_cache() != nullptr) {
+      if (campaign.run_cache()->LoadFromFile(cache_file)) {
+        std::printf("run cache warm-started from %s (%lld entries)\n",
+                    cache_file.c_str(),
+                    static_cast<long long>(campaign.run_cache()->stats().entries));
+      }
+    }
     report = campaign.Run();
+    if (!cache_file.empty() && campaign.run_cache() != nullptr) {
+      if (!campaign.run_cache()->SaveToFile(cache_file)) {
+        std::fprintf(stderr, "warning: could not save run cache to %s\n",
+                     cache_file.c_str());
+      }
+    }
   }
 
   std::printf("=== ZebraConf campaign report ===\n\n");
@@ -100,6 +126,16 @@ int main(int argc, char** argv) {
   std::printf("total unit-test executions: %lld in %.2f s\n",
               static_cast<long long>(report.total_unit_test_runs),
               report.wall_seconds);
+  if (report.cache_hits > 0 || report.equiv_hits > 0) {
+    std::printf(
+        "run cache: %lld exact hits, %lld equivalence hits, %lld plans "
+        "canonicalized, %lld mispredictions, %lld evictions\n",
+        static_cast<long long>(report.cache_hits),
+        static_cast<long long>(report.equiv_hits),
+        static_cast<long long>(report.canonicalized_plans),
+        static_cast<long long>(report.mispredictions),
+        static_cast<long long>(report.cache_evictions));
+  }
 
   if (!report_path.empty()) {
     ReportWriterOptions writer_options;

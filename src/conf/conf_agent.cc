@@ -3,6 +3,7 @@
 #include "src/common/error.h"
 #include "src/common/logging.h"
 #include "src/conf/configuration.h"
+#include "src/conf/plan_equiv.h"
 
 namespace zebra {
 
@@ -212,7 +213,15 @@ std::optional<std::string> ConfAgent::ResolveEntityLocked(uint64_t conf_id,
   return std::nullopt;
 }
 
-std::string ConfAgent::InterceptGet(uint64_t conf_id, const std::string& name,
+const std::string& ConfAgent::InternLocked(std::string_view name) {
+  auto it = session_->interned_params.find(name);
+  if (it == session_->interned_params.end()) {
+    it = session_->interned_params.emplace(name).first;
+  }
+  return *it;
+}
+
+std::string ConfAgent::InterceptGet(uint64_t conf_id, std::string_view name,
                                     std::string current) {
   if (!InSession()) {
     return current;
@@ -222,28 +231,50 @@ std::string ConfAgent::InterceptGet(uint64_t conf_id, const std::string& name,
     return current;
   }
   session_->report.any_conf_usage = true;
+  const std::string& interned = InternLocked(name);
   int node_index = -1;
   std::optional<std::string> entity = ResolveEntityLocked(conf_id, &node_index);
-  if (!entity.has_value()) {
-    // A conf created outside the session (e.g. a process-global default);
-    // treated as uncertain usage.
-    session_->report.uncertain_params.insert(name);
+  if (!entity.has_value() || *entity == kUncertainEntity) {
+    // Either a conf created outside the session (e.g. a process-global
+    // default) or one we could not map — both are uncertain usage. Uncertain
+    // confs never receive overrides, so the trace marker is plan-invariant.
+    session_->report.uncertain_params.insert(interned);
+    session_->report.trace_elements.insert(TraceUncertainElement(interned));
     return current;
   }
-  if (*entity == kUncertainEntity) {
-    session_->report.uncertain_params.insert(name);
-    return current;
-  }
-  session_->report.reads[*entity].insert(name);
+  session_->report.reads[*entity].insert(interned);
 
   // Only node-owned and unit-test-owned confs receive plan values.
   int index = (*entity == kClientEntity) ? 0 : node_index;
-  std::optional<std::string> assigned = session_->plan.Lookup(name, *entity, index);
+  std::optional<std::string> assigned = session_->plan.Lookup(interned, *entity, index);
+  session_->report.trace_elements.insert(TraceReadElement(
+      *entity, index, interned, assigned.has_value() ? &*assigned : nullptr));
   if (assigned.has_value()) {
     ++session_->report.override_hits;
     return *assigned;
   }
   return current;
+}
+
+void ConfAgent::InterceptHas(uint64_t conf_id, std::string_view name) {
+  if (!InSession()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ == nullptr) {
+    return;
+  }
+  const std::string& interned = InternLocked(name);
+  int node_index = -1;
+  std::optional<std::string> entity = ResolveEntityLocked(conf_id, &node_index);
+  if (!entity.has_value() || *entity == kUncertainEntity) {
+    session_->report.trace_elements.insert(TraceUncertainElement(interned));
+    return;
+  }
+  int index = (*entity == kClientEntity) ? 0 : node_index;
+  std::optional<std::string> assigned = session_->plan.Lookup(interned, *entity, index);
+  session_->report.trace_elements.insert(TraceHasElement(
+      *entity, index, interned, assigned.has_value() ? &*assigned : nullptr));
 }
 
 void ConfAgent::InterceptSet(uint64_t conf_id, const std::string& name,

@@ -34,6 +34,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -74,6 +75,12 @@ struct SessionReport {
   // How many interceptGet calls returned a plan-assigned value.
   int override_hits = 0;
 
+  // Canonical encoding of every observation this session made (see
+  // plan_equiv.h for the element grammar). Sorted + deduplicated by the set;
+  // ObservedTraceText() joins them into the cross-plan cache key. Purely
+  // additive: nothing in test generation or verification reads these.
+  std::set<std::string> trace_elements;
+
   bool StartedAnyNode() const { return !node_counts.empty(); }
   int TotalNodes() const;
   std::set<std::string> ParamsReadBy(const std::string& entity) const;
@@ -112,9 +119,18 @@ class ConfAgent {
   void RefToCloneConf(uint64_t orig_id, uint64_t clone_id);
 
   // Interception of Configuration::Get: may replace `current` with the value
-  // the plan assigns to the conf's owning entity.
-  std::string InterceptGet(uint64_t conf_id, const std::string& name,
+  // the plan assigns to the conf's owning entity. Takes a string_view so the
+  // caller never materializes a std::string for the name; the session keeps a
+  // single interned copy per parameter for its recording structures.
+  std::string InterceptGet(uint64_t conf_id, std::string_view name,
                            std::string current);
+
+  // Interception of Configuration::Has: records the presence check in the
+  // session trace (a plan override never changes what Has() returns, but the
+  // equivalence layer must still see that the parameter was observed).
+  // Deliberately does not touch `reads`/`uncertain_params`/`any_conf_usage`,
+  // so test generation is unchanged by presence checks.
+  void InterceptHas(uint64_t conf_id, std::string_view name);
 
   // Interception of Configuration::Set: propagates the write to the parent
   // configuration object when the conf belongs to a node that was initialized
@@ -160,8 +176,14 @@ class ConfAgent {
     std::map<uint64_t, uint64_t> child_to_parent;      // clone -> original
     std::map<std::thread::id, std::vector<uint64_t>> thread_context;
     std::map<std::string, int> type_counts;            // node_type -> next index
+    std::set<std::string, std::less<>> interned_params;  // one copy per param
     SessionReport report;
   };
+
+  // Returns the session-lifetime interned copy of `name` (heterogeneous
+  // lookup: no temporary std::string unless this is the first occurrence).
+  // Caller holds mutex.
+  const std::string& InternLocked(std::string_view name);
 
   // Resolves a conf id to its entity key; records nothing. Caller holds mutex.
   std::optional<std::string> ResolveEntityLocked(uint64_t conf_id, int* node_index) const;

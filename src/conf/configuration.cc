@@ -46,7 +46,7 @@ Configuration Configuration::RefToClone(const Configuration& source) {
 std::string Configuration::GetStored(std::string_view name,
                                      std::string_view default_value) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = properties_.find(std::string(name));
+  auto it = properties_.find(name);
   if (it == properties_.end()) {
     return std::string(default_value);
   }
@@ -56,8 +56,7 @@ std::string Configuration::GetStored(std::string_view name,
 std::string Configuration::Get(std::string_view name,
                                std::string_view default_value) const {
   ZC_ANNOTATION_SITE(kConfApp, AnnotationKind::kConfHook);
-  return ConfAgent::Instance().InterceptGet(id_, std::string(name),
-                                            GetStored(name, default_value));
+  return ConfAgent::Instance().InterceptGet(id_, name, GetStored(name, default_value));
 }
 
 bool Configuration::GetBool(std::string_view name, bool default_value) const {
@@ -88,8 +87,16 @@ double Configuration::GetDouble(std::string_view name, double default_value) con
 }
 
 bool Configuration::Has(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return properties_.count(std::string(name)) > 0;
+  // No ZC_ANNOTATION_SITE here: Has is not a get/set hook in the paper's
+  // annotation census. The equivalence layer still needs to see the
+  // observation, so the presence check is traced (and nothing else).
+  bool present;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    present = properties_.find(name) != properties_.end();
+  }
+  ConfAgent::Instance().InterceptHas(id_, name);
+  return present;
 }
 
 void Configuration::Set(std::string_view name, std::string_view value) {
@@ -120,7 +127,7 @@ void Configuration::SetRaw(std::string_view name, std::string_view value) {
 
 std::map<std::string, std::string> Configuration::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return properties_;
+  return {properties_.begin(), properties_.end()};
 }
 
 }  // namespace zebra

@@ -79,7 +79,9 @@ class Configuration {
 
   uint64_t id_ = 0;
   mutable std::mutex mutex_;
-  std::map<std::string, std::string> properties_;
+  // Transparent comparator: lookups take the caller's string_view directly,
+  // no temporary std::string per Get/Has.
+  std::map<std::string, std::string, std::less<>> properties_;
 };
 
 }  // namespace zebra

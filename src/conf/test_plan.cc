@@ -66,7 +66,7 @@ ValueAssigner ValueAssigner::RoundRobinGroup(std::string group_type,
   return assigner;
 }
 
-std::optional<std::string> TestPlan::Lookup(const std::string& param,
+std::optional<std::string> TestPlan::Lookup(std::string_view param,
                                             const std::string& node_type,
                                             int node_index) const {
   for (const ParamPlan& plan : params) {
@@ -80,6 +80,40 @@ std::optional<std::string> TestPlan::Lookup(const std::string& param,
     }
   }
   return std::nullopt;
+}
+
+std::string ParamPlan::Fingerprint() const {
+  std::ostringstream out;
+  out << param << "{" << AssignStrategyName(assigner.strategy);
+  if (assigner.strategy == AssignStrategy::kHomogeneous) {
+    out << " " << assigner.group_value;
+  } else {
+    out << " " << assigner.group_type << "=" << assigner.group_value
+        << " others=" << assigner.other_value;
+  }
+  out << "}";
+  if (!extra_overrides.empty()) {
+    out << "[";
+    for (size_t i = 0; i < extra_overrides.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      out << extra_overrides[i].first << "=" << extra_overrides[i].second;
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+std::string TestPlan::Fingerprint() const {
+  std::string text;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) {
+      text += ", ";
+    }
+    text += params[i].Fingerprint();
+  }
+  return text;
 }
 
 std::string TestPlan::Describe() const {

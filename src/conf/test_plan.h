@@ -12,6 +12,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace zebra {
@@ -65,6 +66,11 @@ struct ParamPlan {
   // 1.0, statically pruned 0.0. The campaign tests higher priorities first;
   // 1.0 (the default) reproduces the prior-less behavior.
   double static_priority = 1.0;
+
+  // Execution-relevant identity of this entry: parameter, assigner, and every
+  // dependency override — but not static_priority, which is scheduling
+  // metadata no execution can observe.
+  std::string Fingerprint() const;
 };
 
 // A full plan for one unit-test execution. Multiple entries = pooled testing.
@@ -72,11 +78,17 @@ struct TestPlan {
   std::vector<ParamPlan> params;
 
   // Value the given entity should observe for `param`, if the plan covers it.
-  std::optional<std::string> Lookup(const std::string& param,
+  std::optional<std::string> Lookup(std::string_view param,
                                     const std::string& node_type, int node_index) const;
 
   bool empty() const { return params.empty(); }
   std::string Describe() const;
+
+  // Cache-key identity. Unlike Describe() — which deliberately stays stable
+  // because RunUnitTest folds it into the per-trial RNG seed — this includes
+  // extra_overrides, so plans differing only in dependency overrides never
+  // alias in the run cache.
+  std::string Fingerprint() const;
 };
 
 }  // namespace zebra

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "src/common/logging.h"
+#include "src/conf/plan_equiv.h"
 
 namespace zebra {
 
@@ -91,6 +92,10 @@ void CampaignFolder::Fold(const UnitWorkResult& unit) {
   report_.filtered_by_hypothesis += unit.filtered_by_hypothesis;
   report_.cache_hits += unit.cache_hits;
   report_.cache_misses += unit.cache_misses;
+  report_.equiv_hits += unit.equiv_hits;
+  report_.canonicalized_plans += unit.canonicalized_plans;
+  report_.mispredictions += unit.mispredictions;
+  report_.cache_evictions += unit.cache_evictions;
 
   if (report_.runs_to_first_detection == 0 && unit.runs_to_first_confirmation > 0) {
     report_.runs_to_first_detection =
@@ -139,7 +144,9 @@ Campaign::Campaign(const ConfSchema& schema, const UnitTestRegistry& corpus,
       corpus_(corpus),
       options_(std::move(options)),
       generator_(schema, corpus,
-                 GeneratorOptions{options_.enable_round_robin, options_.static_prior}),
+                 GeneratorOptions{options_.enable_round_robin,
+                                  options_.prune_unread_instances,
+                                  options_.static_prior}),
       runner_(options_.significance, options_.first_trials) {
   if (options_.apps.empty()) {
     std::set<std::string> apps;
@@ -148,8 +155,12 @@ Campaign::Campaign(const ConfSchema& schema, const UnitTestRegistry& corpus,
     }
     options_.apps.assign(apps.begin(), apps.end());
   }
+  if (options_.enable_equiv_cache) {
+    options_.enable_run_cache = true;  // the equiv layer rides on the cache
+  }
   if (options_.enable_run_cache) {
-    run_cache_ = std::make_unique<RunCache>();
+    run_cache_ = std::make_unique<RunCache>(
+        RunCache::Limits{options_.cache_max_entries, options_.cache_max_bytes});
   }
 }
 
@@ -282,6 +293,15 @@ UnitWorkResult Campaign::RunUnitDynamic(
     return unit;
   }
 
+  // Observational-equivalence layer: the pre-run's read surface canonicalizes
+  // and trace-predicts every plan this unit's dynamic phase executes (see
+  // plan_equiv.h). Installed for this unit only — the surface is the promise
+  // of *this* test's pre-run. Works identically in-process and inside a
+  // forked scheduler worker (process-global scoped state, like the cache).
+  ReadSurface surface(session);
+  ScopedReadSurface scoped_surface(
+      options_.enable_equiv_cache && surface.usable() ? &surface : nullptr);
+
   std::map<std::string, std::vector<GeneratedInstance>> by_param;
   for (GeneratedInstance& instance : instances) {
     const std::string& param = instance.plan.param;
@@ -335,8 +355,14 @@ UnitWorkResult Campaign::RunUnit(const UnitTestDef& test,
   }
   unit.run_durations = std::move(durations);
   if (run_cache_ != nullptr) {
-    unit.cache_hits = run_cache_->stats().hits - stats_before.hits;
-    unit.cache_misses = run_cache_->stats().misses - stats_before.misses;
+    const RunCache::Stats& stats = run_cache_->stats();
+    unit.cache_hits = stats.hits - stats_before.hits;
+    unit.cache_misses = stats.misses - stats_before.misses;
+    unit.equiv_hits = stats.equiv_hits - stats_before.equiv_hits;
+    unit.canonicalized_plans =
+        stats.canonicalized_plans - stats_before.canonicalized_plans;
+    unit.mispredictions = stats.mispredictions - stats_before.mispredictions;
+    unit.cache_evictions = stats.evictions - stats_before.evictions;
   }
   return unit;
 }
@@ -365,8 +391,13 @@ CampaignReport Campaign::Run() {
 
   auto end = std::chrono::steady_clock::now();
   if (run_cache_ != nullptr) {
-    folder.report().cache_hits = run_cache_->stats().hits;
-    folder.report().cache_misses = run_cache_->stats().misses;
+    const RunCache::Stats& stats = run_cache_->stats();
+    folder.report().cache_hits = stats.hits;
+    folder.report().cache_misses = stats.misses;
+    folder.report().equiv_hits = stats.equiv_hits;
+    folder.report().canonicalized_plans = stats.canonicalized_plans;
+    folder.report().mispredictions = stats.mispredictions;
+    folder.report().cache_evictions = stats.evictions;
   }
   folder.report().wall_seconds = std::chrono::duration<double>(end - start).count();
   return folder.Finish();

@@ -57,12 +57,32 @@ struct CampaignOptions {
   // §4's round-robin-within-group assignment strategy on/off (ablation).
   bool enable_round_robin = true;
 
+  // Pre-run read-set instance pruning on/off (see GeneratorOptions). Off
+  // models a user without pre-run knowledge; with the equivalence cache the
+  // unread-target instances are recovered at the cache layer instead
+  // (bench_equiv_dedup's regime).
+  bool prune_unread_instances = true;
+
   // Memoized execution cache (testkit/run_cache.h): serve bitwise-identical
   // re-runs (bisection re-probes, repeated homogeneous controls, trials of
   // deterministic tests, pre-run baselines) from cache instead of executing.
   // Findings and every stage counter are unchanged — only wall-clock and the
   // run-duration profile shrink. Hit/miss totals surface in CampaignReport.
   bool enable_run_cache = false;
+
+  // Observational-equivalence layer on top of the run cache (plan_equiv.h):
+  // each unit's dynamic phase installs the pre-run ReadSurface, so plans
+  // that differ only in override entries no targeted conf ever reads — or
+  // whose predicted read trace matches a stored execution — are served
+  // without executing. Implies enable_run_cache. Findings, Table-5 stage
+  // counts, and runs_to_first_detection are provably unchanged (CI-gated);
+  // only executed runs and wall-clock shrink.
+  bool enable_equiv_cache = false;
+
+  // Run-cache growth budget, enforced by LRU eviction (0 = unbounded).
+  // Eviction can only re-execute, never change a served result.
+  int64_t cache_max_entries = 0;
+  int64_t cache_max_bytes = 0;
 
   // When non-empty, only these parameters are tested (focused re-testing,
   // e.g. re-verifying a parameter after an application upgrade). Parameters
@@ -121,6 +141,19 @@ struct CampaignReport {
   // them, the run-duration profile does not.
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+
+  // Observational-equivalence accounting (all 0 when the layer is off).
+  // equiv_hits are serves through the canonical-plan or read-trace index;
+  // canonicalized_plans counts plans rewritten to a smaller canonical form;
+  // mispredictions counts pre-run promises that did not survive validation
+  // (each fell back to a real execution); cache_evictions counts LRU
+  // evictions under the configured budget. Like cache_hits these depend on
+  // scheduling (per-worker caches), so they are accounting, not part of the
+  // bitwise determinism contract.
+  int64_t equiv_hits = 0;
+  int64_t canonicalized_plans = 0;
+  int64_t mispredictions = 0;
+  int64_t cache_evictions = 0;
 
   // Unit-test executions (pre-runs included) up to and including the run
   // that confirmed the first unsafe parameter; 0 when nothing was detected.
@@ -182,6 +215,10 @@ struct UnitWorkResult {
 
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  int64_t equiv_hits = 0;
+  int64_t canonicalized_plans = 0;
+  int64_t mispredictions = 0;
+  int64_t cache_evictions = 0;
 
   // Durations of this unit's real executions: pre-run first, then dynamic.
   std::vector<double> run_durations;
@@ -241,6 +278,11 @@ class Campaign {
   // Options with `apps` resolved (empty -> every corpus app, sorted).
   const CampaignOptions& options() const { return options_; }
   const TestGenerator& generator() const { return generator_; }
+
+  // The campaign's run cache (null unless a cache option is enabled). Exposed
+  // for persistence: the CLI warm-starts it via LoadFromFile before Run() and
+  // saves it after.
+  RunCache* run_cache() { return run_cache_.get(); }
 
  private:
   // Per-test dynamic phase over one pre-run record. Fills everything in the

@@ -53,6 +53,10 @@ std::string SerializeUnit(size_t unit_index, const UnitWorkResult& unit) {
   properties["filtered_by_hypothesis"] = Int64ToString(unit.filtered_by_hypothesis);
   properties["cache_hits"] = Int64ToString(unit.cache_hits);
   properties["cache_misses"] = Int64ToString(unit.cache_misses);
+  properties["equiv_hits"] = Int64ToString(unit.equiv_hits);
+  properties["canonicalized_plans"] = Int64ToString(unit.canonicalized_plans);
+  properties["mispredictions"] = Int64ToString(unit.mispredictions);
+  properties["cache_evictions"] = Int64ToString(unit.cache_evictions);
   properties["params_tested"] = StrJoin(unit.params_tested, ",");
 
   properties["confirmations"] =
@@ -107,7 +111,11 @@ bool ParseUnit(const std::string& text, size_t* unit_index, UnitWorkResult* unit
       !get_int("first_trial_candidates", &candidates) ||
       !get_int("filtered_by_hypothesis", &filtered) ||
       !get_int("cache_hits", &unit->cache_hits) ||
-      !get_int("cache_misses", &unit->cache_misses)) {
+      !get_int("cache_misses", &unit->cache_misses) ||
+      !get_int("equiv_hits", &unit->equiv_hits) ||
+      !get_int("canonicalized_plans", &unit->canonicalized_plans) ||
+      !get_int("mispredictions", &unit->mispredictions) ||
+      !get_int("cache_evictions", &unit->cache_evictions)) {
     return false;
   }
   unit->first_trial_candidates = static_cast<int>(candidates);

@@ -97,6 +97,10 @@ std::string SerializeReport(const CampaignReport& report) {
   properties["wall_seconds"] = DoubleToString(report.wall_seconds);
   properties["cache_hits"] = Int64ToString(report.cache_hits);
   properties["cache_misses"] = Int64ToString(report.cache_misses);
+  properties["equiv_hits"] = Int64ToString(report.equiv_hits);
+  properties["canonicalized_plans"] = Int64ToString(report.canonicalized_plans);
+  properties["mispredictions"] = Int64ToString(report.mispredictions);
+  properties["cache_evictions"] = Int64ToString(report.cache_evictions);
   properties["runs_to_first_detection"] = Int64ToString(report.runs_to_first_detection);
   if (!report.first_detection_param.empty()) {
     properties["first_detection_param"] = report.first_detection_param;
@@ -180,6 +184,12 @@ CampaignReport DeserializeReport(const std::string& text) {
   report.wall_seconds = wall;
   ParseInt64(GetOr(properties, "cache_hits", "0"), &report.cache_hits);
   ParseInt64(GetOr(properties, "cache_misses", "0"), &report.cache_misses);
+  // Absent in pre-equivalence serializations: the layer did not exist.
+  ParseInt64(GetOr(properties, "equiv_hits", "0"), &report.equiv_hits);
+  ParseInt64(GetOr(properties, "canonicalized_plans", "0"),
+             &report.canonicalized_plans);
+  ParseInt64(GetOr(properties, "mispredictions", "0"), &report.mispredictions);
+  ParseInt64(GetOr(properties, "cache_evictions", "0"), &report.cache_evictions);
   ParseInt64(GetOr(properties, "runs_to_first_detection", "0"),
              &report.runs_to_first_detection);
   report.first_detection_param = GetOr(properties, "first_detection_param", "");
@@ -251,6 +261,10 @@ CampaignReport MergeReports(const std::vector<CampaignReport>& reports) {
     merged.total_unit_test_runs += report.total_unit_test_runs;
     merged.cache_hits += report.cache_hits;
     merged.cache_misses += report.cache_misses;
+    merged.equiv_hits += report.equiv_hits;
+    merged.canonicalized_plans += report.canonicalized_plans;
+    merged.mispredictions += report.mispredictions;
+    merged.cache_evictions += report.cache_evictions;
     merged.wall_seconds = std::max(merged.wall_seconds, report.wall_seconds);
     merged.run_durations_seconds.insert(merged.run_durations_seconds.end(),
                                         report.run_durations_seconds.begin(),

@@ -127,7 +127,7 @@ std::vector<GeneratedInstance> TestGenerator::Generate(
     bool uncertain = report.uncertain_params.count(spec->name) > 0;
     auto pairs = ValuePairs(*spec);
     for (const auto& [entity, params_read] : report.reads) {
-      if (params_read.count(spec->name) == 0) {
+      if (options_.prune_unread_instances && params_read.count(spec->name) == 0) {
         continue;
       }
       int group_count = 1;

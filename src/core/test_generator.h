@@ -49,6 +49,14 @@ struct GeneratorOptions {
   // *between nodes of the same type* — e.g. TaskManager-to-TaskManager SSL.
   bool enable_round_robin = true;
 
+  // Pre-run read-set instance pruning (§4): only enumerate (parameter,
+  // entity) targets the pre-run saw that entity read. Disabling it models a
+  // user without pre-run knowledge — every started node group is targeted
+  // for every parameter — and is the regime where the observational-
+  // equivalence cache layer must recover the pruning dynamically
+  // (bench_equiv_dedup).
+  bool prune_unread_instances = true;
+
   // Optional zebralint prior (§8: static analysis shrinks the dynamic search
   // space). When set, schema parameters with zero static read sites are
   // dropped before enumeration (the "after_static" Table-5 stage) and every

@@ -1,18 +1,146 @@
 #include "src/testkit/run_cache.h"
 
+#include <fstream>
+#include <sstream>
+
+#include "src/common/strings.h"
+#include "src/conf/plan_equiv.h"
+
 namespace zebra {
 
 namespace {
+
 RunCache* g_run_cache = nullptr;
+
+// File-format escaping: entries are one logical value per line; only the
+// newline and the escape character itself need protection (cache keys carry
+// '\x1f'/'\x1e' separators, which are line-safe bytes).
+std::string EscapeLine(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLine(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      ++i;
+      out += text[i] == 'n' ? '\n' : text[i];
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+// SessionReport round-trip. Warm-started cache entries feed TestGenerator's
+// pre-run consumption, so every field must survive. The blob is a small
+// tag-prefixed line format; entities and parameter names never contain
+// spaces, values (the tail of each line) may.
+std::string SerializeSessionReport(const SessionReport& report) {
+  std::ostringstream out;
+  for (const auto& [type, count] : report.node_counts) {
+    out << "node " << count << ' ' << type << '\n';
+  }
+  for (const auto& [entity, params] : report.reads) {
+    for (const std::string& param : params) {
+      out << "read " << entity << ' ' << param << '\n';
+    }
+  }
+  for (const std::string& param : report.uncertain_params) {
+    out << "uncertain " << param << '\n';
+  }
+  for (const std::string& element : report.trace_elements) {
+    out << "trace " << element << '\n';
+  }
+  out << "counters " << report.conf_objects_created << ' ' << report.clones << ' '
+      << report.ref_to_clones << ' ' << report.uncertain_conf_count << ' '
+      << report.override_hits << '\n';
+  out << "flags " << (report.conf_sharing_detected ? 1 : 0) << ' '
+      << (report.any_conf_usage ? 1 : 0) << '\n';
+  return out.str();
+}
+
+bool DeserializeSessionReport(const std::string& blob, SessionReport* report) {
+  std::istringstream in(blob);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return false;
+    }
+    std::string tag = line.substr(0, space);
+    std::string rest = line.substr(space + 1);
+    if (tag == "node") {
+      size_t s = rest.find(' ');
+      if (s == std::string::npos) {
+        return false;
+      }
+      int64_t count = 0;
+      if (!ParseInt64(rest.substr(0, s), &count)) {
+        return false;
+      }
+      report->node_counts[rest.substr(s + 1)] = static_cast<int>(count);
+    } else if (tag == "read") {
+      size_t s = rest.find(' ');
+      if (s == std::string::npos) {
+        return false;
+      }
+      report->reads[rest.substr(0, s)].insert(rest.substr(s + 1));
+    } else if (tag == "uncertain") {
+      report->uncertain_params.insert(rest);
+    } else if (tag == "trace") {
+      report->trace_elements.insert(rest);
+    } else if (tag == "counters") {
+      std::istringstream fields(rest);
+      if (!(fields >> report->conf_objects_created >> report->clones >>
+            report->ref_to_clones >> report->uncertain_conf_count >>
+            report->override_hits)) {
+        return false;
+      }
+    } else if (tag == "flags") {
+      int sharing = 0;
+      int usage = 0;
+      std::istringstream fields(rest);
+      if (!(fields >> sharing >> usage)) {
+        return false;
+      }
+      report->conf_sharing_detected = sharing != 0;
+      report->any_conf_usage = usage != 0;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr char kCacheFileMagic[] = "zebra-run-cache-v1";
+
 }  // namespace
 
 void SetGlobalRunCache(RunCache* cache) { g_run_cache = cache; }
 
 RunCache* GlobalRunCache() { return g_run_cache; }
 
-// '\x1f' (unit separator) cannot appear in test ids or plan descriptions, so
+// '\x1f' (unit separator) cannot appear in test ids or plan fingerprints, so
 // the concatenation is injective; the full string is the key — no hash
-// collisions can alias two distinct runs.
+// collisions can alias two distinct runs. The equivalence namespaces get a
+// distinct tag prefix so a canonical fingerprint can never collide with a
+// plan fingerprint of the same text.
 std::string RunCache::ExactKey(const std::string& test_id, const std::string& plan_text,
                                uint64_t trial) {
   return test_id + '\x1f' + plan_text + '\x1f' + std::to_string(trial);
@@ -23,30 +151,278 @@ std::string RunCache::WildcardKey(const std::string& test_id,
   return test_id + '\x1f' + plan_text + "\x1f*";
 }
 
-const TestResult* RunCache::Lookup(const std::string& test_id,
-                                   const std::string& plan_text, uint64_t trial) {
-  auto it = entries_.find(WildcardKey(test_id, plan_text));
-  if (it == entries_.end()) {
-    it = entries_.find(ExactKey(test_id, plan_text, trial));
+std::string RunCache::CanonicalKey(const std::string& test_id,
+                                   const std::string& canonical_fingerprint) {
+  return std::string("C\x1f") + test_id + '\x1f' + canonical_fingerprint + "\x1f*";
+}
+
+std::string RunCache::TraceKey(const std::string& test_id, const std::string& trace) {
+  return std::string("T\x1f") + test_id + '\x1f' + trace + "\x1f*";
+}
+
+int64_t RunCache::EntryBytes(const std::string& key, const Entry& entry) {
+  const SessionReport& report = entry.result.report;
+  int64_t bytes = static_cast<int64_t>(sizeof(Entry) + key.size() +
+                                       entry.observed_trace.size() +
+                                       entry.result.failure.size());
+  for (const auto& [type, count] : report.node_counts) {
+    bytes += static_cast<int64_t>(type.size()) + 8;
   }
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  for (const auto& [entity, params] : report.reads) {
+    bytes += static_cast<int64_t>(entity.size());
+    for (const std::string& param : params) {
+      bytes += static_cast<int64_t>(param.size());
+    }
+  }
+  for (const std::string& param : report.uncertain_params) {
+    bytes += static_cast<int64_t>(param.size());
+  }
+  for (const std::string& element : report.trace_elements) {
+    bytes += static_cast<int64_t>(element.size());
+  }
+  return bytes;
+}
+
+RunCache::Entry* RunCache::Touch(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
     return nullptr;
   }
-  ++stats_.hits;
-  return &it->second;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &lru_.front().second;
+}
+
+bool RunCache::InsertEntry(std::string key, const Entry& entry) {
+  if (index_.count(key) > 0) {
+    return false;  // first result wins; identical by construction anyway
+  }
+  stats_.bytes += EntryBytes(key, entry);
+  lru_.emplace_front(std::move(key), entry);
+  index_[lru_.front().first] = lru_.begin();
+  ++stats_.entries;
+  EnforceLimits();
+  return true;
+}
+
+RunCache::Entry* RunCache::MatchByRestriction(const std::string& test_id,
+                                              const TestPlan& plan,
+                                              const std::string& predicted_trace) {
+  // Newest-first, bounded: the runs restriction matching exists to collapse
+  // (bisection re-probes, early-stopped failing paths) are re-queried shortly
+  // after they were stored, so scanning the most recent candidates catches
+  // them while keeping per-miss cost independent of corpus size. A candidate
+  // beyond the cap only costs a re-execution, never a wrong serve.
+  constexpr int kMaxCandidates = 64;
+  auto keys_it = trace_keys_by_test_.find(test_id);
+  if (keys_it == trace_keys_by_test_.end()) {
+    return nullptr;
+  }
+  const std::vector<std::string>& keys = keys_it->second;
+  int scanned = 0;
+  for (auto key = keys.rbegin(); key != keys.rend() && scanned < kMaxCandidates;
+       ++key) {
+    auto it = index_.find(*key);
+    if (it == index_.end()) {
+      continue;  // evicted since registration
+    }
+    ++scanned;
+    Entry& entry = it->second->second;
+    if (PlanReproducesObservedTrace(plan, entry.observed_trace, predicted_trace)) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return &lru_.front().second;
+    }
+  }
+  return nullptr;
+}
+
+void RunCache::EnforceLimits() {
+  while (!lru_.empty() &&
+         ((limits_.max_entries > 0 && stats_.entries > limits_.max_entries) ||
+          (limits_.max_bytes > 0 && stats_.bytes > limits_.max_bytes))) {
+    const auto& [key, entry] = lru_.back();
+    stats_.bytes -= EntryBytes(key, entry);
+    index_.erase(key);
+    lru_.pop_back();
+    --stats_.entries;
+    ++stats_.evictions;
+  }
+}
+
+const TestResult* RunCache::Lookup(const std::string& test_id,
+                                   const std::string& plan_text, uint64_t trial,
+                                   EquivQuery* equiv) {
+  if (Entry* entry = Touch(WildcardKey(test_id, plan_text))) {
+    ++stats_.hits;
+    return &entry->result;
+  }
+  if (Entry* entry = Touch(ExactKey(test_id, plan_text, trial))) {
+    ++stats_.hits;
+    return &entry->result;
+  }
+  if (equiv != nullptr && equiv->surface != nullptr && equiv->plan != nullptr) {
+    // Derive the equivalence keys only now, past the exact fast path, so
+    // exact hits pay nothing for the layer.
+    if (!equiv->computed) {
+      CanonicalPlan canonical = equiv->surface->Canonicalize(*equiv->plan);
+      equiv->canonical_fingerprint = std::move(canonical.fingerprint);
+      equiv->plan_canonicalized = canonical.changed;
+      equiv->has_trace =
+          equiv->surface->PredictTrace(*equiv->plan, &equiv->predicted_trace);
+      equiv->computed = true;
+      if (equiv->plan_canonicalized) {
+        ++stats_.canonicalized_plans;
+      }
+    }
+    // Canonical-fingerprint index: same canonical form implies the same
+    // served value at every promised read. Serving is still gated on the
+    // stored execution's observed trace matching this plan's prediction —
+    // if the pre-run promise was broken (a value-gated read appeared), the
+    // traces differ and the serve is refused.
+    if (Entry* entry = Touch(CanonicalKey(test_id, equiv->canonical_fingerprint))) {
+      if (equiv->has_trace && entry->observed_trace == equiv->predicted_trace) {
+        ++stats_.equiv_hits;
+        return &entry->result;
+      }
+      ++stats_.mispredictions;
+    }
+    if (equiv->has_trace) {
+      // Trace index fast path: the key *is* the stored execution's observed
+      // trace, so a hit is self-validating — predicted == observed by key
+      // equality.
+      if (Entry* entry = Touch(TraceKey(test_id, equiv->predicted_trace))) {
+        ++stats_.equiv_hits;
+        return &entry->result;
+      }
+      // Restriction matching: the full-trace key misses whenever the stored
+      // execution stopped early (its observed trace is a strict prefix of
+      // any full prediction), so scan this test's stored traces for one this
+      // plan reproduces element for element.
+      if (Entry* entry = MatchByRestriction(test_id, *equiv->plan,
+                                            equiv->predicted_trace)) {
+        ++stats_.equiv_hits;
+        return &entry->result;
+      }
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
 }
 
 void RunCache::Insert(const std::string& test_id, const std::string& plan_text,
                       uint64_t trial, bool trial_insensitive,
-                      const TestResult& result) {
-  if (entries_.emplace(ExactKey(test_id, plan_text, trial), result).second) {
-    ++stats_.entries;
+                      const TestResult& result, const EquivQuery* equiv,
+                      const std::string* observed_trace) {
+  Entry entry;
+  entry.result = result;
+  if (observed_trace != nullptr) {
+    entry.observed_trace = *observed_trace;
   }
-  if (trial_insensitive &&
-      entries_.emplace(WildcardKey(test_id, plan_text), result).second) {
-    ++stats_.entries;
+  InsertEntry(ExactKey(test_id, plan_text, trial), entry);
+  if (!trial_insensitive) {
+    // Trial-sensitive executions are never shared across trials or plans:
+    // the RNG seed folds in the plan description, so different descriptions
+    // legitimately diverge.
+    return;
   }
+  InsertEntry(WildcardKey(test_id, plan_text), entry);
+  if (observed_trace == nullptr || observed_trace->empty()) {
+    return;
+  }
+  // Index by what the execution actually observed — always truthful, and
+  // deliberately not gated on `equiv`: the pre-run baseline executes before
+  // the unit's ReadSurface exists, yet must be reachable by plans that later
+  // collapse to it.
+  if (InsertEntry(TraceKey(test_id, *observed_trace), entry)) {
+    trace_keys_by_test_[test_id].push_back(TraceKey(test_id, *observed_trace));
+  }
+  if (equiv == nullptr || !equiv->computed) {
+    return;
+  }
+  if (equiv->has_trace && equiv->predicted_trace != *observed_trace) {
+    // The pre-run promise was broken for this plan: a value-gated read
+    // appeared or a promised read vanished. The canonical index would
+    // conflate this run with plans it is not equivalent to, so skip it.
+    ++stats_.mispredictions;
+    return;
+  }
+  InsertEntry(CanonicalKey(test_id, equiv->canonical_fingerprint), entry);
+}
+
+bool RunCache::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << kCacheFileMagic << '\n' << lru_.size() << '\n';
+  // Front-to-back = most-to-least recent; LoadFromFile rebuilds in order.
+  for (const auto& [key, entry] : lru_) {
+    out << "K " << EscapeLine(key) << '\n';
+    out << "P " << (entry.result.passed ? 1 : 0) << '\n';
+    out << "F " << EscapeLine(entry.result.failure) << '\n';
+    out << "T " << EscapeLine(entry.observed_trace) << '\n';
+    out << "R " << EscapeLine(SerializeSessionReport(entry.result.report)) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool RunCache::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  lru_.clear();
+  index_.clear();
+  trace_keys_by_test_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheFileMagic) {
+    return false;
+  }
+  int64_t count = 0;
+  if (!std::getline(in, line) || !ParseInt64(line, &count) || count < 0) {
+    return false;
+  }
+  auto read_field = [&in, &line](char tag, std::string* value) {
+    if (!std::getline(in, line) || line.size() < 2 || line[0] != tag ||
+        line[1] != ' ') {
+      return false;
+    }
+    *value = UnescapeLine(line.substr(2));
+    return true;
+  };
+  for (int64_t i = 0; i < count; ++i) {
+    std::string key;
+    std::string passed;
+    Entry entry;
+    std::string blob;
+    if (!read_field('K', &key) || !read_field('P', &passed) ||
+        !read_field('F', &entry.result.failure) ||
+        !read_field('T', &entry.observed_trace) || !read_field('R', &blob) ||
+        !DeserializeSessionReport(blob, &entry.result.report)) {
+      lru_.clear();
+      index_.clear();
+      trace_keys_by_test_.clear();
+      return false;
+    }
+    entry.result.passed = passed == "1";
+    // File order is most-to-least recent; append keeps it.
+    stats_.bytes += EntryBytes(key, entry);
+    lru_.emplace_back(std::move(key), entry);
+    auto it = std::prev(lru_.end());
+    index_[it->first] = it;
+    ++stats_.entries;
+    // Re-register trace-indexed entries ("T\x1f" + test_id + '\x1f' + ...)
+    // for restriction matching.
+    if (it->first.rfind("T\x1f", 0) == 0) {
+      size_t id_end = it->first.find('\x1f', 2);
+      if (id_end != std::string::npos) {
+        trace_keys_by_test_[it->first.substr(2, id_end - 2)].push_back(it->first);
+      }
+    }
+  }
+  EnforceLimits();
+  return true;
 }
 
 }  // namespace zebra

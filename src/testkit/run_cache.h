@@ -18,12 +18,31 @@
 // The cache keys results by a canonical fingerprint of the triple and serves
 // repeats without executing. Executions that provably never observed the
 // trial number are additionally stored under a trial-wildcard key, so later
-// trials of the same (test, plan) hit as well. Serving from cache never
-// changes campaign results: the stored TestResult is exactly what a real run
-// would return. Stage counters (executed_runs and friends) are incremented by
-// the call sites *before* RunUnitTest, so Table-5 accounting is identical
-// with the cache on or off; only wall-clock (and the run-duration profile)
-// shrinks.
+// trials of the same (test, plan) hit as well.
+//
+// On top of exact matching sits the observational-equivalence layer (see
+// plan_equiv.h). Trial-insensitive executions are additionally indexed by
+//   * their canonical plan fingerprint (override entries no targeted conf
+//     ever reads dropped, entries sorted), and
+//   * the trace of (entity, param, value-served) observations they actually
+//     made,
+// so a later plan that is observationally identical reuses the result even
+// when its description differs. Serving through either key is gated on trace
+// validation: the stored execution's *observed* trace must be byte-identical
+// to the trace the current plan *predicts*, which proves by induction over
+// the read sequence that the stored execution is the one this plan would
+// have produced. Mispredictions (the pre-run promise was broken) are counted
+// and fall back to real execution — never trusted.
+//
+// Serving from cache never changes campaign results: the stored TestResult is
+// exactly what a real run would return. Stage counters (executed_runs and
+// friends) are incremented by the call sites *before* RunUnitTest, so Table-5
+// accounting is identical with the cache on or off; only wall-clock (and the
+// run-duration profile) shrinks.
+//
+// Growth is bounded: Limits sets an entry and/or byte budget enforced by LRU
+// eviction. Evicting can only turn future hits into misses (re-executions),
+// never change a served result, so findings are budget-invariant.
 //
 // Ownership: one cache per process, installed via SetGlobalRunCache (RAII:
 // ScopedRunCache). Campaign owns a cache when CampaignOptions.enable_run_cache
@@ -35,19 +54,56 @@
 #define SRC_TESTKIT_RUN_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/testkit/test_execution.h"
 
 namespace zebra {
 
+class ReadSurface;
+
+// The equivalence-layer context for one lookup/insert: the unit's pre-run
+// ReadSurface and the plan being run (neither owned; `plan` is dereferenced
+// only during Lookup, so the caller may move the plan away afterwards).
+// RunCache derives the canonical fingerprint and predicted trace lazily —
+// only once the exact keys have missed, so exact hits pay nothing for the
+// layer — and caches them here so the matching Insert can validate the
+// pre-run promise without recomputing. An empty canonical fingerprint is
+// meaningful (the plan collapsed to the homogeneous baseline).
+struct EquivQuery {
+  const ReadSurface* surface = nullptr;
+  const TestPlan* plan = nullptr;
+
+  // Filled by RunCache::Lookup on the first exact miss.
+  bool computed = false;
+  std::string canonical_fingerprint;
+  bool plan_canonicalized = false;  // canonical form differs from the plan's own
+  bool has_trace = false;
+  std::string predicted_trace;
+};
+
 class RunCache {
  public:
+  struct Limits {
+    int64_t max_entries = 0;  // 0 = unbounded
+    int64_t max_bytes = 0;    // 0 = unbounded (approximate resident bytes)
+  };
+
   struct Stats {
-    int64_t hits = 0;
+    int64_t hits = 0;    // exact (test, plan, trial) or trial-wildcard serves
     int64_t misses = 0;
     int64_t entries = 0;
+    int64_t bytes = 0;   // approximate resident bytes across all entries
+
+    // Observational-equivalence accounting.
+    int64_t equiv_hits = 0;            // serves via canonical or trace key
+    int64_t canonicalized_plans = 0;   // plans rewritten to a smaller canonical form
+    int64_t mispredictions = 0;        // predicted trace != observed/stored trace
+    int64_t evictions = 0;             // LRU evictions under Limits
 
     double HitRate() const {
       return hits + misses == 0
@@ -56,27 +112,86 @@ class RunCache {
     }
   };
 
+  RunCache() = default;
+  explicit RunCache(Limits limits) : limits_(limits) {}
+
   // Returns the cached result for the triple, or nullptr. A trial-wildcard
-  // entry (stored by a trial-insensitive execution) matches any trial.
-  // Counts a hit or a miss.
+  // entry (stored by a trial-insensitive execution) matches any trial; when
+  // `equiv` carries a surface and plan, the canonical-fingerprint and
+  // predicted-trace keys are consulted next — each serve gated on trace
+  // validation — and finally this test's stored traces are scanned for one
+  // the plan provably reproduces (restriction matching). Counts a hit, an
+  // equiv hit, or a miss.
   const TestResult* Lookup(const std::string& test_id, const std::string& plan_text,
-                           uint64_t trial);
+                           uint64_t trial, EquivQuery* equiv = nullptr);
 
   // Stores the result of a real execution. `trial_insensitive` executions are
-  // stored under the wildcard key as well, so every future trial hits.
+  // stored under the wildcard key as well, so every future trial hits, and
+  // additionally under their observed trace. When `equiv` carries the
+  // predictions the preceding Lookup derived and the prediction held, the
+  // result is also indexed by the canonical fingerprint; a broken prediction
+  // counts a misprediction and skips the canonical index.
   void Insert(const std::string& test_id, const std::string& plan_text,
-              uint64_t trial, bool trial_insensitive, const TestResult& result);
+              uint64_t trial, bool trial_insensitive, const TestResult& result,
+              const EquivQuery* equiv = nullptr,
+              const std::string* observed_trace = nullptr);
 
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_.hits = stats_.misses = 0; }
+  void ResetStats() {
+    stats_.hits = stats_.misses = 0;
+    stats_.equiv_hits = stats_.canonicalized_plans = stats_.mispredictions = 0;
+  }
+
+  const Limits& limits() const { return limits_; }
+  void set_limits(Limits limits) {
+    limits_ = limits;
+    EnforceLimits();
+  }
+
+  // Persistence, for warm-starting repeated campaign invocations. The file
+  // round-trips every entry (including the full SessionReport — warm-started
+  // pre-runs feed test generation) in recency order. Load replaces the
+  // current contents; stats are not persisted. Both return false on I/O or
+  // parse failure (a failed load leaves the cache empty, never half-loaded).
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
 
  private:
+  struct Entry {
+    TestResult result;
+    std::string observed_trace;  // empty when recorded without a surface
+  };
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
   static std::string ExactKey(const std::string& test_id, const std::string& plan_text,
                               uint64_t trial);
   static std::string WildcardKey(const std::string& test_id,
                                  const std::string& plan_text);
+  static std::string CanonicalKey(const std::string& test_id,
+                                  const std::string& canonical_fingerprint);
+  static std::string TraceKey(const std::string& test_id, const std::string& trace);
+  static int64_t EntryBytes(const std::string& key, const Entry& entry);
 
-  std::unordered_map<std::string, TestResult> entries_;
+  // Returns the entry for `key` and marks it most-recently-used.
+  Entry* Touch(const std::string& key);
+  bool InsertEntry(std::string key, const Entry& entry);
+  void EnforceLimits();
+
+  // Restriction matching: scans this test's trace-indexed entries for one
+  // whose *observed* elements all re-derive identically under `plan` (see
+  // PlanReproducesObservedTrace). Sufficient even for executions that
+  // stopped early, so this is what collapses failing-path re-runs. Any
+  // matching entry is provably the execution `plan` would produce, so first
+  // match serves.
+  Entry* MatchByRestriction(const std::string& test_id, const TestPlan& plan,
+                            const std::string& predicted_trace);
+
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  // Trace-key registry per test, in insertion order; evicted keys are skipped
+  // lazily (they no longer resolve through index_).
+  std::unordered_map<std::string, std::vector<std::string>> trace_keys_by_test_;
+  Limits limits_;
   Stats stats_;
 };
 

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "src/common/logging.h"
+#include "src/conf/plan_equiv.h"
 #include "src/testkit/run_cache.h"
 
 namespace zebra {
@@ -25,14 +26,32 @@ void SetSyntheticRunLatencyUs(int64_t micros) {
 int64_t SyntheticRunLatencyUs() { return g_synthetic_run_latency_us; }
 
 TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
+  // Two distinct identities: Describe() seeds the per-trial RNG (stable by
+  // contract — changing it would re-roll seeded nondeterminism campaign-wide),
+  // while Fingerprint() additionally covers extra_overrides and is the cache
+  // identity, so plans differing only in dependency overrides never alias.
   const std::string plan_text = plan.Describe();
+  const std::string plan_fp = plan.Fingerprint();
 
   // Memoization: identical (test, plan, trial) triples are reproducible by
   // construction, so a cached result is exactly what a fresh execution would
-  // return. Cache hits record no duration — nothing actually ran.
+  // return. Cache hits record no duration — nothing actually ran. With a
+  // pre-run ReadSurface installed, the lookup extends to observationally
+  // equivalent plans (see run_cache.h for the validation contract).
   RunCache* cache = GlobalRunCache();
+  EquivQuery equiv;
+  EquivQuery* equiv_query = nullptr;
   if (cache != nullptr) {
-    if (const TestResult* cached = cache->Lookup(test.id, plan_text, trial)) {
+    if (const ReadSurface* surface = GlobalReadSurface();
+        surface != nullptr && surface->usable()) {
+      equiv.surface = surface;
+      // Only dereferenced inside the Lookup below, before `plan` is moved
+      // into the session; the predictions Lookup derives stay cached in
+      // `equiv` for the Insert after execution.
+      equiv.plan = &plan;
+      equiv_query = &equiv;
+    }
+    if (const TestResult* cached = cache->Lookup(test.id, plan_fp, trial, equiv_query)) {
       return *cached;
     }
   }
@@ -63,8 +82,10 @@ TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
             .count());
   }
   if (cache != nullptr) {
-    cache->Insert(test.id, plan_text, trial,
-                  /*trial_insensitive=*/!context.TrialSensitive(), result);
+    const std::string observed_trace = ObservedTraceText(result.report);
+    cache->Insert(test.id, plan_fp, trial,
+                  /*trial_insensitive=*/!context.TrialSensitive(), result,
+                  equiv_query, &observed_trace);
   }
   return result;
 }

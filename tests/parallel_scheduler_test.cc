@@ -139,6 +139,64 @@ TEST(ParallelSchedulerTest, RunCacheDoesNotChangeResultsAndRecordsHits) {
   EXPECT_GT(cached.cache_misses, 0);
 }
 
+TEST(ParallelSchedulerTest, EquivCacheBitwiseIdenticalAtEveryWorkerCount) {
+  // The observational-equivalence layer serves results across *different*
+  // plans, so its determinism contract is stronger than the exact cache's:
+  // findings, Table-5 stage counts, and runs_to_first_detection must match
+  // the no-cache sequential reference bitwise — sequentially and at every
+  // worker count. Equiv counters themselves are accounting (scheduling-
+  // dependent) and are deliberately outside the contract, like cache_hits.
+  CampaignOptions options;  // all apps
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+  ASSERT_GT(expected.findings.size(), 0u);
+
+  CampaignOptions equiv_options = options;
+  equiv_options.enable_run_cache = true;
+  equiv_options.enable_equiv_cache = true;
+
+  Campaign seq_equiv(FullSchema(), FullCorpus(), equiv_options);
+  CampaignReport sequential_equiv = seq_equiv.Run();
+  ExpectIdenticalResults(sequential_equiv, expected, "sequential equiv");
+  EXPECT_GT(sequential_equiv.equiv_hits, 0);
+
+  for (int workers : {1, 2, 4, 8}) {
+    CampaignReport parallel = RunWorkStealingCampaign(FullSchema(), FullCorpus(),
+                                                      equiv_options, workers);
+    ExpectIdenticalResults(parallel, expected,
+                           "equiv workers=" + std::to_string(workers));
+  }
+}
+
+TEST(ParallelSchedulerTest, EquivCacheBitwiseIdenticalUnprunedRegime) {
+  // The regime where the layer actually collapses whole equivalence classes
+  // (generation without pre-run read pruning): most plans differ only in
+  // override entries no targeted conf reads, and the cache must dedup them
+  // without moving a single finding.
+  CampaignOptions options;
+  options.apps = {"minikv", "ministream", "apptools"};
+  options.prune_unread_instances = false;
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+  ASSERT_GT(expected.findings.size(), 0u);
+
+  CampaignOptions equiv_options = options;
+  equiv_options.enable_run_cache = true;
+  equiv_options.enable_equiv_cache = true;
+
+  Campaign seq_equiv(FullSchema(), FullCorpus(), equiv_options);
+  CampaignReport sequential_equiv = seq_equiv.Run();
+  ExpectIdenticalResults(sequential_equiv, expected, "sequential equiv unpruned");
+  EXPECT_GT(sequential_equiv.equiv_hits, 0);
+
+  for (int workers : {2, 4}) {
+    CampaignReport parallel = RunWorkStealingCampaign(FullSchema(), FullCorpus(),
+                                                      equiv_options, workers);
+    ExpectIdenticalResults(parallel, expected,
+                           "equiv unpruned workers=" + std::to_string(workers));
+  }
+}
+
 TEST(ParallelSchedulerTest, MoreWorkersThanUnitsIsClamped) {
   CampaignOptions options;
   options.apps = {"apptools"};  // smallest corpus

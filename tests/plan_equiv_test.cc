@@ -1,0 +1,229 @@
+// Tests for the observational-equivalence layer (plan_equiv.h): plan
+// canonicalization against a pre-run read surface, trace prediction, and the
+// restriction-matching soundness check. The edge cases here are exactly the
+// ones where collapsing would be unsound — each must stay distinct.
+
+#include "src/conf/plan_equiv.h"
+
+#include <gtest/gtest.h>
+
+#include "src/conf/conf_agent.h"
+#include "src/conf/configuration.h"
+#include "src/runtime/node_init.h"
+
+namespace zebra {
+namespace {
+
+constexpr char kApp[] = "equivapp";
+
+TestPlan PlanFor(const std::string& param, ValueAssigner assigner) {
+  TestPlan plan;
+  ParamPlan p;
+  p.param = param;
+  p.assigner = std::move(assigner);
+  plan.params.push_back(std::move(p));
+  return plan;
+}
+
+// A pre-run surface that saw Server#0 read `a.read` and nothing else.
+SessionReport PrerunReading(const std::string& param) {
+  SessionReport prerun;
+  prerun.trace_elements.insert(TraceReadElement("Server", 0, param, nullptr));
+  return prerun;
+}
+
+std::string Join(std::initializer_list<std::string> elements) {
+  std::string text;
+  for (const std::string& element : elements) {
+    if (!text.empty()) {
+      text += '\x1e';
+    }
+    text += element;
+  }
+  return text;
+}
+
+TEST(PlanEquivTest, UnreadOverrideEntryDropped) {
+  ReadSurface surface(PrerunReading("a.read"));
+  ASSERT_TRUE(surface.usable());
+
+  TestPlan plan = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
+  plan.params.push_back(
+      PlanFor("b.unread", ValueAssigner::UniformGroup("Server", "1", "0")).params[0]);
+
+  CanonicalPlan canonical = surface.Canonicalize(plan);
+  EXPECT_TRUE(canonical.changed);
+  EXPECT_EQ(canonical.dropped_entries, 1);
+  // The canonical fingerprint is the single-entry plan's own fingerprint.
+  TestPlan kept = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
+  EXPECT_EQ(canonical.fingerprint, kept.Fingerprint());
+}
+
+TEST(PlanEquivTest, FullyUnreadPlanCollapsesToBaseline) {
+  ReadSurface surface(PrerunReading("a.read"));
+  TestPlan plan = PlanFor("b.unread", ValueAssigner::UniformGroup("Server", "1", "0"));
+
+  CanonicalPlan canonical = surface.Canonicalize(plan);
+  EXPECT_TRUE(canonical.changed);
+  EXPECT_EQ(canonical.dropped_entries, 1);
+  // Collapses to the homogeneous baseline: the empty plan's fingerprint.
+  EXPECT_EQ(canonical.fingerprint, TestPlan{}.Fingerprint());
+}
+
+TEST(PlanEquivTest, UnreadDependencyOverrideDroppedEntryKept) {
+  ReadSurface surface(PrerunReading("a.read"));
+  TestPlan plan = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
+  plan.params[0].extra_overrides.emplace_back("b.unread", "off");
+
+  CanonicalPlan canonical = surface.Canonicalize(plan);
+  EXPECT_TRUE(canonical.changed);
+  EXPECT_EQ(canonical.dropped_entries, 0);
+  EXPECT_EQ(canonical.dropped_overrides, 1);
+  TestPlan kept = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
+  EXPECT_EQ(canonical.fingerprint, kept.Fingerprint());
+}
+
+TEST(PlanEquivTest, EntryOrderDoesNotSplitEquivalenceClasses) {
+  SessionReport prerun;
+  prerun.trace_elements.insert(TraceReadElement("Server", 0, "a.read", nullptr));
+  prerun.trace_elements.insert(TraceReadElement("Server", 0, "b.read", nullptr));
+  ReadSurface surface(prerun);
+
+  TestPlan forward = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
+  forward.params.push_back(
+      PlanFor("b.read", ValueAssigner::UniformGroup("Server", "1", "0")).params[0]);
+  TestPlan reversed;
+  reversed.params.push_back(forward.params[1]);
+  reversed.params.push_back(forward.params[0]);
+  ASSERT_NE(forward.Fingerprint(), reversed.Fingerprint());
+
+  EXPECT_EQ(surface.Canonicalize(forward).fingerprint,
+            surface.Canonicalize(reversed).fingerprint);
+}
+
+TEST(PlanEquivTest, HasOnlyParamIsNeverCollapsed) {
+  // The pre-run only presence-checked the parameter. Has() ignores plan
+  // overrides, but two plans assigning it differently may still diverge
+  // downstream — the poisoned trace element must keep them distinct, and
+  // neither may alias the baseline.
+  SessionReport prerun;
+  prerun.trace_elements.insert(TraceHasElement("Server", 0, "p.flag", nullptr));
+  ReadSurface surface(prerun);
+  ASSERT_TRUE(surface.usable());
+
+  TestPlan assign_on = PlanFor("p.flag", ValueAssigner::UniformGroup("Server", "on", "off"));
+  TestPlan assign_off = PlanFor("p.flag", ValueAssigner::UniformGroup("Server", "off", "on"));
+
+  // Canonicalization must keep the entry: the parameter *was* observed.
+  EXPECT_FALSE(surface.Canonicalize(assign_on).changed);
+
+  std::string baseline_trace, on_trace, off_trace;
+  ASSERT_TRUE(surface.PredictTrace(TestPlan{}, &baseline_trace));
+  ASSERT_TRUE(surface.PredictTrace(assign_on, &on_trace));
+  ASSERT_TRUE(surface.PredictTrace(assign_off, &off_trace));
+  EXPECT_NE(on_trace, baseline_trace);
+  EXPECT_NE(off_trace, baseline_trace);
+  EXPECT_NE(on_trace, off_trace);
+}
+
+TEST(PlanEquivTest, SubComponentCloneReadKeepsParamObserved) {
+  // Figure 2c shape: a node's sub-component creates its own blank conf during
+  // init; reads through it resolve to the owning node entity. A plan
+  // targeting a parameter read *only* that way must not be collapsed.
+  class Server {
+   public:
+    explicit Server(const Configuration& conf)
+        : init_scope_(kApp, this, "Server", __FILE__, __LINE__),
+          conf_(AnnotatedRefToClone(kApp, conf, __FILE__, __LINE__)) {
+      init_scope_.Finish();
+    }
+    std::string ReadComponent(const std::string& name) {
+      return component_conf_.Get(name, "default");
+    }
+
+   private:
+    NodeInitScope init_scope_;
+    Configuration conf_;
+    Configuration component_conf_;  // blank conf created during init
+  };
+
+  SessionReport prerun;
+  {
+    ConfAgentSession session(TestPlan{});
+    Configuration conf;
+    Server server(conf);
+    server.ReadComponent("component.only.param");
+    prerun = session.End();
+  }
+  ASSERT_EQ(prerun.ParamsReadBy("Server").count("component.only.param"), 1u);
+
+  ReadSurface surface(prerun);
+  ASSERT_TRUE(surface.usable());
+  TestPlan plan =
+      PlanFor("component.only.param", ValueAssigner::UniformGroup("Server", "7", "3"));
+  CanonicalPlan canonical = surface.Canonicalize(plan);
+  EXPECT_FALSE(canonical.changed);
+  EXPECT_EQ(canonical.dropped_entries, 0);
+
+  // And the prediction serves the plan's value at the clone's read site.
+  std::string trace;
+  ASSERT_TRUE(surface.PredictTrace(plan, &trace));
+  std::string assigned = "7";
+  EXPECT_EQ(trace, TraceReadElement("Server", 0, "component.only.param", &assigned));
+}
+
+TEST(PlanEquivTest, UncertainReadsArePlanInvariant) {
+  SessionReport prerun;
+  prerun.trace_elements.insert(TraceUncertainElement("u.param"));
+  prerun.trace_elements.insert(TraceReadElement("Server", 0, "a.read", nullptr));
+  ReadSurface surface(prerun);
+
+  // A plan targeting the uncertain parameter cannot reach it (uncertain confs
+  // never receive overrides), so its predicted trace keeps the bare marker.
+  TestPlan plan = PlanFor("u.param", ValueAssigner::UniformGroup("Server", "7", "3"));
+  std::string trace;
+  ASSERT_TRUE(surface.PredictTrace(plan, &trace));
+  EXPECT_NE(trace.find(TraceUncertainElement("u.param")), std::string::npos);
+  EXPECT_TRUE(PlanMatchesElement(plan, TraceUncertainElement("u.param")));
+}
+
+TEST(PlanEquivTest, ReproducesObservedPrefixOfPromise) {
+  // Early-stopped execution: the observed trace is a strict subset of the
+  // plan's full promise. Every observed element appears verbatim in the
+  // prediction, so the plan provably reproduces the stored run.
+  TestPlan plan = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
+  std::string assigned = "7";
+  std::string observed = TraceReadElement("Server", 0, "a.read", &assigned);
+  std::string predicted = Join({observed, TraceReadElement("Server", 0, "b.read", nullptr)});
+  EXPECT_TRUE(PlanReproducesObservedTrace(plan, observed, predicted));
+}
+
+TEST(PlanEquivTest, ReproducesValueGatedReadOutsidePromise) {
+  // The stored run observed a read the pre-run never promised (value-gated).
+  // It is not in the predicted trace, so it falls back to re-derivation —
+  // which succeeds when this plan serves the same (absent) override.
+  TestPlan plan = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
+  std::string assigned = "7";
+  std::string promised = TraceReadElement("Server", 0, "a.read", &assigned);
+  std::string gated = TraceReadElement("Server", 1, "x.gated", nullptr);
+  EXPECT_TRUE(PlanReproducesObservedTrace(plan, Join({promised, gated}), promised));
+}
+
+TEST(PlanEquivTest, RejectsContradictedObservation) {
+  // The stored run was served the stored value for a.read; this plan would
+  // override it — the executions diverge at that read, so no match.
+  TestPlan plan = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
+  std::string observed = TraceReadElement("Server", 0, "a.read", nullptr);
+  std::string assigned = "7";
+  std::string predicted = TraceReadElement("Server", 0, "a.read", &assigned);
+  EXPECT_FALSE(PlanReproducesObservedTrace(plan, observed, predicted));
+}
+
+TEST(PlanEquivTest, RejectsUnparseableElement) {
+  TestPlan plan;
+  EXPECT_FALSE(PlanMatchesElement(plan, "not-an-element"));
+  EXPECT_FALSE(PlanReproducesObservedTrace(plan, "not-an-element", ""));
+}
+
+}  // namespace
+}  // namespace zebra

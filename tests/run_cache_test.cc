@@ -1,11 +1,15 @@
 // Tests for the memoized run cache: keying (exact and trial-wildcard),
-// counters, and the end-to-end guarantee that memoization never changes
-// campaign results while actually getting hits.
+// counters, the observational-equivalence layer's serving rules, LRU budget
+// enforcement, persistence, and the end-to-end guarantee that memoization
+// never changes campaign results while actually getting hits.
 
 #include "src/testkit/run_cache.h"
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
+#include "src/conf/plan_equiv.h"
 #include "src/core/campaign.h"
 #include "src/testkit/full_schema.h"
 #include "src/testkit/unit_test_registry.h"
@@ -18,6 +22,15 @@ TestResult MakeResult(bool passed, const std::string& failure) {
   result.passed = passed;
   result.failure = failure;
   return result;
+}
+
+TestPlan SingleParamPlan(const std::string& param, const std::string& value) {
+  TestPlan plan;
+  ParamPlan p;
+  p.param = param;
+  p.assigner = ValueAssigner::UniformGroup("Server", value, "other");
+  plan.params.push_back(std::move(p));
+  return plan;
 }
 
 TEST(RunCacheTest, ExactKeyRoundTrip) {
@@ -107,6 +120,210 @@ TEST(RunCacheTest, CampaignResultsIdenticalWithCacheEnabled) {
   // uncached run (which records one per real execution, pre-runs included).
   EXPECT_LT(report.run_durations_seconds.size(),
             expected.run_durations_seconds.size());
+}
+
+TEST(RunCacheTest, EquivLayerServesAcrossPlansAndSurvivesRoundTrip) {
+  // Pre-run promise: Server#0 reads only a.read.
+  SessionReport prerun;
+  prerun.trace_elements.insert(TraceReadElement("Server", 0, "a.read", nullptr));
+  ReadSurface surface(prerun);
+  ASSERT_TRUE(surface.usable());
+
+  // The baseline execution: empty plan, observed exactly the promise.
+  const TestPlan baseline;
+  const std::string baseline_fp = baseline.Fingerprint();
+  const std::string observed = TraceReadElement("Server", 0, "a.read", nullptr);
+
+  RunCache cache;
+  EquivQuery baseline_query;
+  baseline_query.surface = &surface;
+  baseline_query.plan = &baseline;
+  EXPECT_EQ(cache.Lookup("t", baseline_fp, 0, &baseline_query), nullptr);
+  cache.Insert("t", baseline_fp, 0, /*trial_insensitive=*/true,
+               MakeResult(true, ""), &baseline_query, &observed);
+
+  // A plan flipping a parameter no conf reads is observationally the
+  // baseline: same predicted trace, so the stored run serves it.
+  const TestPlan unread = SingleParamPlan("b.unread", "42");
+  EquivQuery unread_query;
+  unread_query.surface = &surface;
+  unread_query.plan = &unread;
+  const TestResult* hit = cache.Lookup("t", unread.Fingerprint(), 5, &unread_query);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->passed);
+  EXPECT_EQ(cache.stats().equiv_hits, 1);
+  EXPECT_GT(cache.stats().canonicalized_plans, 0);
+  EXPECT_EQ(cache.stats().mispredictions, 0);
+
+  // ...while a plan that overrides the promised read is a different
+  // execution and must miss.
+  const TestPlan divergent = SingleParamPlan("a.read", "7");
+  EquivQuery divergent_query;
+  divergent_query.surface = &surface;
+  divergent_query.plan = &divergent;
+  EXPECT_EQ(cache.Lookup("t", divergent.Fingerprint(), 0, &divergent_query), nullptr);
+
+  // Persistence round-trips the equivalence indexes: after save + load into
+  // a fresh cache, the cross-plan serve still works.
+  const std::string path = ::testing::TempDir() + "/run_cache_roundtrip.zc";
+  ASSERT_TRUE(cache.SaveToFile(path));
+  RunCache reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(path));
+  EXPECT_EQ(reloaded.stats().entries, cache.stats().entries);
+  std::remove(path.c_str());
+
+  ASSERT_NE(reloaded.Lookup("t", baseline_fp, 3, nullptr), nullptr);  // wildcard
+  EquivQuery reloaded_query;
+  reloaded_query.surface = &surface;
+  reloaded_query.plan = &unread;
+  ASSERT_NE(reloaded.Lookup("t", unread.Fingerprint(), 5, &reloaded_query), nullptr);
+  EXPECT_EQ(reloaded.stats().equiv_hits, 1);
+}
+
+TEST(RunCacheTest, EquivLayerServesEarlyStoppedRestriction) {
+  // The stored failing run stopped at its first read — its observed trace is
+  // a strict subset of any full prediction, so only restriction matching can
+  // serve it. A plan agreeing on that read reproduces the failure.
+  SessionReport prerun;
+  prerun.trace_elements.insert(TraceReadElement("Server", 0, "a.read", nullptr));
+  prerun.trace_elements.insert(TraceReadElement("Server", 0, "b.read", nullptr));
+  ReadSurface surface(prerun);
+
+  std::string assigned = "7";
+  const TestPlan first = SingleParamPlan("a.read", assigned);
+  const std::string truncated = TraceReadElement("Server", 0, "a.read", &assigned);
+  RunCache cache;
+  EquivQuery first_query;
+  first_query.surface = &surface;
+  first_query.plan = &first;
+  EXPECT_EQ(cache.Lookup("t", first.Fingerprint(), 0, &first_query), nullptr);
+  // Observed != predicted (the run never reached b.read): counted as a
+  // misprediction at insert, indexed by its truthful observed trace anyway.
+  cache.Insert("t", first.Fingerprint(), 0, /*trial_insensitive=*/true,
+               MakeResult(false, "died at a.read"), &first_query, &truncated);
+  EXPECT_EQ(cache.stats().mispredictions, 1);
+
+  // Same a.read assignment pooled with an unread parameter: agrees on every
+  // value the stored run actually observed.
+  TestPlan pooled = SingleParamPlan("a.read", assigned);
+  pooled.params.push_back(SingleParamPlan("c.unread", "1").params[0]);
+  EquivQuery pooled_query;
+  pooled_query.surface = &surface;
+  pooled_query.plan = &pooled;
+  const TestResult* hit = cache.Lookup("t", pooled.Fingerprint(), 9, &pooled_query);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->failure, "died at a.read");
+  EXPECT_EQ(cache.stats().equiv_hits, 1);
+
+  // A plan serving a different value at that read must not match.
+  const TestPlan different = SingleParamPlan("a.read", "8");
+  EquivQuery different_query;
+  different_query.surface = &surface;
+  different_query.plan = &different;
+  EXPECT_EQ(cache.Lookup("t", different.Fingerprint(), 0, &different_query), nullptr);
+
+  // Restriction matching is the one equivalence path with out-of-band state
+  // (the per-test trace registry); a reloaded cache must rebuild it. The
+  // canonical index was skipped for this entry (misprediction), so this
+  // serve can only come from the rebuilt registry.
+  const std::string path = ::testing::TempDir() + "/run_cache_restriction.zc";
+  ASSERT_TRUE(cache.SaveToFile(path));
+  RunCache reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(path));
+  std::remove(path.c_str());
+  EquivQuery reloaded_query;
+  reloaded_query.surface = &surface;
+  reloaded_query.plan = &pooled;
+  const TestResult* reloaded_hit =
+      reloaded.Lookup("t", pooled.Fingerprint(), 9, &reloaded_query);
+  ASSERT_NE(reloaded_hit, nullptr);
+  EXPECT_EQ(reloaded_hit->failure, "died at a.read");
+}
+
+TEST(RunCacheTest, TrialSensitiveRunsAreNeverSharedAcrossPlans) {
+  // A run that consumed the per-trial RNG is only valid for its exact
+  // (plan, trial): the equivalence layer must never index it.
+  SessionReport prerun;
+  prerun.trace_elements.insert(TraceReadElement("Server", 0, "a.read", nullptr));
+  ReadSurface surface(prerun);
+
+  const TestPlan baseline;
+  const std::string observed = TraceReadElement("Server", 0, "a.read", nullptr);
+  RunCache cache;
+  EquivQuery query;
+  query.surface = &surface;
+  query.plan = &baseline;
+  EXPECT_EQ(cache.Lookup("t", baseline.Fingerprint(), 0, &query), nullptr);
+  cache.Insert("t", baseline.Fingerprint(), 0, /*trial_insensitive=*/false,
+               MakeResult(true, ""), &query, &observed);
+
+  const TestPlan unread = SingleParamPlan("b.unread", "42");
+  EquivQuery unread_query;
+  unread_query.surface = &surface;
+  unread_query.plan = &unread;
+  EXPECT_EQ(cache.Lookup("t", unread.Fingerprint(), 0, &unread_query), nullptr);
+  EXPECT_EQ(cache.Lookup("t", baseline.Fingerprint(), 1, nullptr), nullptr);
+  EXPECT_EQ(cache.stats().equiv_hits, 0);
+}
+
+TEST(RunCacheTest, LruBudgetEvictsOldestAndCounts) {
+  RunCache cache(RunCache::Limits{/*max_entries=*/2, /*max_bytes=*/0});
+  cache.Insert("t", "p1", 0, /*trial_insensitive=*/false, MakeResult(true, ""));
+  cache.Insert("t", "p2", 0, /*trial_insensitive=*/false, MakeResult(true, ""));
+  ASSERT_NE(cache.Lookup("t", "p1", 0), nullptr);  // p1 now most recent
+  cache.Insert("t", "p3", 0, /*trial_insensitive=*/false, MakeResult(true, ""));
+
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_NE(cache.Lookup("t", "p1", 0), nullptr);  // kept (recently used)
+  EXPECT_NE(cache.Lookup("t", "p3", 0), nullptr);  // kept (newest)
+  EXPECT_EQ(cache.Lookup("t", "p2", 0), nullptr);  // evicted
+}
+
+TEST(RunCacheTest, CacheBudgetNeverChangesFindings) {
+  CampaignOptions plain_options;
+  plain_options.apps = {"minikv", "apptools"};
+  Campaign plain(FullSchema(), FullCorpus(), plain_options);
+  CampaignReport expected = plain.Run();
+
+  // A budget small enough to evict constantly: hits become re-executions,
+  // findings and stage counts must not move.
+  CampaignOptions tight_options = plain_options;
+  tight_options.enable_run_cache = true;
+  tight_options.enable_equiv_cache = true;
+  tight_options.cache_max_entries = 8;
+  Campaign tight(FullSchema(), FullCorpus(), tight_options);
+  CampaignReport report = tight.Run();
+
+  EXPECT_GT(report.cache_evictions, 0);
+  EXPECT_EQ(report.total_unit_test_runs, expected.total_unit_test_runs);
+  EXPECT_EQ(report.runs_to_first_detection, expected.runs_to_first_detection);
+  ASSERT_EQ(report.findings.size(), expected.findings.size());
+  for (const auto& [param, finding] : expected.findings) {
+    ASSERT_TRUE(report.findings.count(param) > 0) << param;
+    EXPECT_EQ(report.findings.at(param).witness_tests, finding.witness_tests);
+    EXPECT_EQ(report.findings.at(param).best_p_value, finding.best_p_value);
+  }
+  for (const auto& [app, counts] : expected.per_app) {
+    EXPECT_EQ(report.per_app.at(app).executed_runs, counts.executed_runs) << app;
+  }
+}
+
+TEST(RunCacheTest, SaveLoadRejectsCorruptFile) {
+  const std::string path = ::testing::TempDir() + "/run_cache_corrupt.zc";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a cache file\n", f);
+    std::fclose(f);
+  }
+  RunCache cache;
+  cache.Insert("t", "p", 0, /*trial_insensitive=*/false, MakeResult(true, ""));
+  EXPECT_FALSE(cache.LoadFromFile(path));
+  // A failed load leaves the cache empty, never half-loaded.
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.Lookup("t", "p", 0), nullptr);
+  std::remove(path.c_str());
 }
 
 TEST(RunCacheTest, ScopedInstallRestoresPrevious) {

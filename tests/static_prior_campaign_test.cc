@@ -96,7 +96,7 @@ TEST(StaticPriorCampaign, PrioritizedOrderDetectsFirstUnsafeSooner) {
 
 TEST(StaticPriorCampaign, GeneratedPlansCarryPriorities) {
   TestGenerator generator(FullSchema(), FullCorpus(),
-                          GeneratorOptions{true, &Prior()});
+                          GeneratorOptions{true, true, &Prior()});
   int64_t executions = 0;
   auto records = generator.PreRunApp("minidfs", &executions);
   ASSERT_FALSE(records.empty());
