@@ -8,7 +8,15 @@
 //   $ ./full_campaign --report report.md       # write a markdown report
 //   $ ./full_campaign --cache-file runs.zc     # warm-start the run cache
 //   $ ./full_campaign --equiv-cache            # observational-equivalence dedup
+//   $ ./full_campaign --journal camp.zj        # crash-safe result journal
+//   $ ./full_campaign --journal camp.zj --resume   # pick up where it stopped
+//
+// SIGINT/SIGTERM request a graceful stop: the campaign halts at the next
+// unit boundary, the run cache (if any) is saved, and — when journaling —
+// the journal retains everything folded so far, so `--resume` continues the
+// run instead of restarting it.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,12 +24,30 @@
 #include <string>
 #include <vector>
 
+#include "src/common/error.h"
 #include "src/core/campaign.h"
+#include "src/core/parallel_scheduler.h"
 #include "src/core/report_writer.h"
 #include "src/core/sharded_campaign.h"
 #include "src/testkit/full_schema.h"
 #include "src/testkit/ground_truth.h"
 #include "src/testkit/unit_test_registry.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void HandleStopSignal(int) { g_stop = 1; }
+
+void InstallStopHandlers() {
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace zebra;
@@ -29,6 +55,8 @@ int main(int argc, char** argv) {
   CampaignOptions options;
   std::string report_path;
   std::string cache_file;
+  std::string journal_path;
+  bool resume = false;
   int workers = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-pooling") == 0) {
@@ -48,23 +76,53 @@ int main(int argc, char** argv) {
       options.enable_run_cache = true;
     } else if (std::strcmp(argv[i], "--equiv-cache") == 0) {
       options.enable_equiv_cache = true;
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--watchdog-floor") == 0 && i + 1 < argc) {
+      options.watchdog_floor_seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--no-pooling] [--no-round-robin] [--no-prerun-prune]\n"
           "          [--first-trials N] [--workers N] [--report FILE]\n"
-          "          [--cache-file FILE] [--equiv-cache] [app ...]\n"
+          "          [--cache-file FILE] [--equiv-cache]\n"
+          "          [--journal FILE] [--resume] [--watchdog-floor SECONDS]\n"
+          "          [app ...]\n"
           "apps: minidfs minimr miniyarn ministream minikv apptools\n"
           "--cache-file warm-starts the run cache from FILE (if it exists)\n"
-          "and saves the cache back after the campaign (sequential runs only).\n",
+          "and saves the cache back after the campaign (also on SIGINT/SIGTERM).\n"
+          "--journal appends every folded unit result to FILE (crash-safe);\n"
+          "--resume replays a journal's valid prefix instead of re-running it.\n"
+          "--watchdog-floor tunes the hung-worker deadline floor (0 disables;\n"
+          "see docs/ROBUSTNESS.md).\n",
           argv[0]);
       return 0;
     } else {
       options.apps.emplace_back(argv[i]);
     }
   }
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal FILE\n");
+    return 2;
+  }
+
+  InstallStopHandlers();
+  options.cancel_flag = &g_stop;
 
   CampaignReport report;
-  if (workers > 1) {
+  try {
+  if (!journal_path.empty()) {
+    // Journaling lives in the work-stealing scheduler; at --workers 1 it is
+    // bitwise-identical to the sequential campaign, so routing every
+    // journaled run through it costs nothing.
+    ParallelCampaignOptions parallel;
+    parallel.workers = workers < 1 ? 1 : workers;
+    parallel.journal_path = journal_path;
+    parallel.resume = resume;
+    report = RunWorkStealingCampaign(FullSchema(), FullCorpus(), options,
+                                     parallel);
+  } else if (workers > 1) {
     report = RunShardedCampaign(FullSchema(), FullCorpus(), options, workers);
   } else {
     Campaign campaign(FullSchema(), FullCorpus(), options);
@@ -73,14 +131,33 @@ int main(int argc, char** argv) {
         std::printf("run cache warm-started from %s (%lld entries)\n",
                     cache_file.c_str(),
                     static_cast<long long>(campaign.run_cache()->stats().entries));
+      } else if (campaign.run_cache()->stats().load_failures > 0) {
+        std::fprintf(stderr,
+                     "warning: run cache %s was corrupt; starting cold\n",
+                     cache_file.c_str());
       }
     }
     report = campaign.Run();
+    // Runs after graceful cancellation too: an interrupted campaign's cache
+    // still warm-starts the next invocation.
     if (!cache_file.empty() && campaign.run_cache() != nullptr) {
       if (!campaign.run_cache()->SaveToFile(cache_file)) {
         std::fprintf(stderr, "warning: could not save run cache to %s\n",
                      cache_file.c_str());
       }
+    }
+  }
+  } catch (const Error& error) {
+    // Setup failures (incompatible journal, unwritable file, fork trouble)
+    // are operator errors, not crashes: name the problem and exit cleanly.
+    std::fprintf(stderr, "full_campaign: %s\n", error.what());
+    return 2;
+  }
+
+  if (g_stop != 0) {
+    std::printf("\n*** campaign interrupted (partial results below) ***\n");
+    if (!journal_path.empty()) {
+      std::printf("resume with: --journal %s --resume\n", journal_path.c_str());
     }
   }
 
@@ -135,6 +212,21 @@ int main(int argc, char** argv) {
         static_cast<long long>(report.canonicalized_plans),
         static_cast<long long>(report.mispredictions),
         static_cast<long long>(report.cache_evictions));
+  }
+  if (report.hung_workers > 0 || report.requeued_units > 0 ||
+      report.resumed_units > 0 || report.cache_load_failures > 0) {
+    std::printf(
+        "fault tolerance: %lld workers SIGKILLed by watchdog, %lld units "
+        "re-queued, %lld units resumed from journal, %lld cache load "
+        "failures\n",
+        static_cast<long long>(report.hung_workers),
+        static_cast<long long>(report.requeued_units),
+        static_cast<long long>(report.resumed_units),
+        static_cast<long long>(report.cache_load_failures));
+  }
+  for (const std::string& unit : report.poisoned_units) {
+    std::printf("poisoned unit (hit the attempt limit; no results): %s\n",
+                unit.c_str());
   }
 
   if (!report_path.empty()) {

@@ -110,4 +110,20 @@ std::string DoubleToString(double value) {
   return buffer;
 }
 
+uint64_t HashFnv64(std::string_view text, uint64_t seed) {
+  uint64_t digest = seed;
+  for (unsigned char c : text) {
+    digest ^= static_cast<uint64_t>(c);
+    digest *= 0x100000001b3ull;
+  }
+  return digest;
+}
+
+std::string HashToHex(uint64_t digest) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buffer;
+}
+
 }  // namespace zebra

@@ -35,6 +35,17 @@ std::string BoolToString(bool value);
 std::string Int64ToString(int64_t value);
 std::string DoubleToString(double value);
 
+// FNV-1a over the bytes of `text`, folded from `seed` (pass kFnv64Seed for a
+// fresh hash, or a previous digest to chain). Used for record checksums in
+// the campaign journal and run-cache files and for the deterministic
+// fault-injection coin flips — stability across runs matters, stdlib
+// std::hash does not guarantee it.
+inline constexpr uint64_t kFnv64Seed = 0xcbf29ce484222325ull;
+uint64_t HashFnv64(std::string_view text, uint64_t seed = kFnv64Seed);
+
+// 16-hex-digit rendering of a 64-bit digest (zero-padded, lower case).
+std::string HashToHex(uint64_t digest);
+
 }  // namespace zebra
 
 #endif  // SRC_COMMON_STRINGS_H_

@@ -373,13 +373,28 @@ CampaignReport Campaign::Run() {
   ScopedDurationCollector scoped_collector(&folder.report().run_durations_seconds);
   auto start = std::chrono::steady_clock::now();
 
+  // Cancellation (SIGINT/SIGTERM via options_.cancel_flag) is honored at
+  // unit boundaries only: the report stays a valid fold prefix, and callers
+  // holding a run cache get the chance to persist it before exiting.
+  auto cancelled = [this]() {
+    return options_.cancel_flag != nullptr && *options_.cancel_flag != 0;
+  };
+
   for (const std::string& app : options_.apps) {
+    if (cancelled()) {
+      break;
+    }
     std::vector<PreRunRecord> records = generator_.PreRunApp(app, nullptr);
     folder.BeginApp(app, generator_.OriginalInstanceCount(app),
                     generator_.StaticPrunedInstanceCount(app),
                     static_cast<int>(records.size()));
 
     for (const PreRunRecord& record : records) {
+      if (cancelled()) {
+        ZLOG_WARN << "campaign: cancellation requested; stopping app " << app
+                  << " early";
+        break;
+      }
       UnitWorkResult unit = RunUnitDynamic(record, folder.globally_unsafe());
       unit.prerun_executions = 1;  // the PreRunApp baseline for this record
       folder.Fold(unit);
@@ -398,6 +413,7 @@ CampaignReport Campaign::Run() {
     folder.report().canonicalized_plans = stats.canonicalized_plans;
     folder.report().mispredictions = stats.mispredictions;
     folder.report().cache_evictions = stats.evictions;
+    folder.report().cache_load_failures = stats.load_failures;
   }
   folder.report().wall_seconds = std::chrono::duration<double>(end - start).count();
   return folder.Finish();

@@ -22,6 +22,7 @@
 #ifndef SRC_CORE_CAMPAIGN_H_
 #define SRC_CORE_CAMPAIGN_H_
 
+#include <csignal>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -101,6 +102,33 @@ struct CampaignOptions {
   // (plain map order is alphabetical, which happens to front-load several
   // unsafe dfs.* parameters).
   uint64_t shuffle_order_seed = 0;
+
+  // --- Fault tolerance (docs/ROBUSTNESS.md) ---
+
+  // Watchdog deadline for one in-flight work unit (or shard):
+  //   deadline = watchdog_floor_seconds
+  //            + watchdog_multiplier * p95(observed completion times)
+  // A worker past its deadline is SIGKILLed, reaped, and its unit re-queued
+  // to the survivors. The floor alone applies until the parent has observed
+  // completions, so keep it comfortably above the slowest legitimate unit;
+  // a floor <= 0 disables the watchdog entirely.
+  double watchdog_floor_seconds = 60.0;
+  double watchdog_multiplier = 8.0;
+
+  // Dispatch attempts per unit before the scheduler stops re-queuing it and
+  // records it in CampaignReport.poisoned_units instead (a unit that kills
+  // every worker it touches must not loop forever).
+  int unit_attempt_limit = 3;
+
+  // Re-queue backoff after a worker death/hang: base * 2^(attempt-1), capped.
+  double requeue_backoff_seconds = 0.05;
+  double requeue_backoff_cap_seconds = 2.0;
+
+  // When non-null, the campaign stops cleanly at the next unit boundary once
+  // *cancel_flag becomes nonzero (set it from a SIGINT/SIGTERM handler): the
+  // partial report is returned, caches can be saved, and a journaled
+  // campaign resumes from where it stopped. Not owned.
+  const volatile std::sig_atomic_t* cancel_flag = nullptr;
 };
 
 struct AppStageCounts {
@@ -154,6 +182,20 @@ struct CampaignReport {
   int64_t canonicalized_plans = 0;
   int64_t mispredictions = 0;
   int64_t cache_evictions = 0;
+
+  // Fault-tolerance accounting (all 0 on an undisturbed run; see
+  // docs/ROBUSTNESS.md). Like the cache counters these depend on scheduling
+  // and fault timing, so they are accounting, not part of the bitwise
+  // determinism contract.
+  int64_t hung_workers = 0;        // workers SIGKILLed past a watchdog deadline
+  int64_t requeued_units = 0;      // units re-dispatched after a worker died
+  int64_t resumed_units = 0;       // units replayed from a journal on --resume
+  int64_t cache_load_failures = 0; // corrupt cache files degraded to empty
+
+  // Units that exceeded CampaignOptions.unit_attempt_limit and were skipped
+  // (their canonical slot folds an empty result). Non-empty means findings
+  // are incomplete — a side note for triage, never silently dropped.
+  std::vector<std::string> poisoned_units;
 
   // Unit-test executions (pre-runs included) up to and including the run
   // that confirmed the first unsafe parameter; 0 when nothing was detected.

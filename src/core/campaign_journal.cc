@@ -1,0 +1,151 @@
+#include "src/core/campaign_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "src/common/error.h"
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/core/report_io.h"
+#include "src/core/worker_ipc.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+
+namespace {
+constexpr char kJournalMagic[] = "zebra-journal-v1";
+}  // namespace
+
+CampaignJournal::CampaignJournal(const std::string& path,
+                                 const std::string& fingerprint, bool resume) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw Error("campaign journal: cannot open " + path);
+  }
+  // Constructor throws must not leak the fd.
+  auto fail = [this](const std::string& message) -> Error {
+    ::close(fd_);
+    fd_ = -1;
+    return Error(message);
+  };
+
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  ::lseek(fd_, 0, SEEK_SET);
+  if (!resume || size <= 0) {
+    // Fresh journal (resume over a missing/empty file degenerates to fresh:
+    // there is nothing to replay, which is exactly what a first run wants).
+    if (::ftruncate(fd_, 0) != 0 ||
+        !WriteFrame(fd_, std::string(kJournalMagic) + "\n" + fingerprint)) {
+      throw fail("campaign journal: cannot initialize " + path);
+    }
+    ::fdatasync(fd_);
+    return;
+  }
+
+  std::string header;
+  if (!ReadFrame(fd_, &header)) {
+    throw fail("campaign journal: unreadable header in " + path +
+               " (not a journal?)");
+  }
+  size_t newline = header.find('\n');
+  if (newline == std::string::npos ||
+      header.substr(0, newline) != kJournalMagic) {
+    throw fail("campaign journal: " + path + " is not a campaign journal");
+  }
+  if (header.substr(newline + 1) != fingerprint) {
+    throw fail(
+        "campaign journal: " + path +
+        " was written by a different campaign (apps, corpus, or "
+        "result-affecting options changed); refusing to resume from it");
+  }
+
+  // Replay the valid record prefix; stop at the first torn or corrupt record
+  // and truncate the file there so the next append lands on a clean boundary.
+  off_t valid_end = ::lseek(fd_, 0, SEEK_CUR);
+  std::string payload;
+  while (ReadFrame(fd_, &payload)) {
+    size_t body_start = payload.find('\n');
+    if (body_start == std::string::npos) {
+      break;
+    }
+    std::string body = payload.substr(body_start + 1);
+    if (payload.substr(0, body_start) != HashToHex(HashFnv64(body))) {
+      break;
+    }
+    size_t unit_index = 0;
+    UnitWorkResult unit;
+    if (!ParseUnitResult(body, &unit_index, &unit)) {
+      break;
+    }
+    recovered_.emplace_back(unit_index, std::move(unit));
+    valid_end = ::lseek(fd_, 0, SEEK_CUR);
+  }
+  if (::lseek(fd_, 0, SEEK_END) != valid_end) {
+    ZLOG_WARN << "campaign journal: truncating torn tail of " << path << " at "
+              << valid_end << " bytes (" << recovered_.size()
+              << " records recovered)";
+    if (::ftruncate(fd_, valid_end) != 0) {
+      throw fail("campaign journal: cannot truncate torn tail of " + path);
+    }
+    ::lseek(fd_, valid_end, SEEK_SET);
+  }
+}
+
+CampaignJournal::~CampaignJournal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool CampaignJournal::Append(size_t unit_index, const UnitWorkResult& unit) {
+  if (fd_ < 0) {
+    return false;
+  }
+  std::string body = SerializeUnitResult(unit_index, unit);
+  if (!WriteFrame(fd_, HashToHex(HashFnv64(body)) + "\n" + body)) {
+    // Disk full / fd revoked: the campaign is worth more than its journal.
+    // Keep running un-journaled rather than aborting paid-for work.
+    ZLOG_WARN << "campaign journal: append failed; journaling disabled for "
+                 "the rest of this campaign";
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  ::fdatasync(fd_);
+  return true;
+}
+
+std::string CampaignJournal::Fingerprint(const CampaignOptions& options,
+                                         const UnitTestRegistry& corpus) {
+  std::string desc = "apps=" + StrJoin(options.apps, ",") + "\n";
+  for (const std::string& app : options.apps) {
+    for (const UnitTestDef* test : corpus.ForApp(app)) {
+      desc += test->id;
+      desc += '\n';
+    }
+  }
+  desc += "significance=" + DoubleToString(options.significance) + "\n";
+  desc += "first_trials=" + Int64ToString(options.first_trials) + "\n";
+  desc += "frequent_failure_threshold=" +
+          Int64ToString(options.frequent_failure_threshold) + "\n";
+  desc += "enable_pooling=" + BoolToString(options.enable_pooling) + "\n";
+  desc += "enable_round_robin=" + BoolToString(options.enable_round_robin) + "\n";
+  desc += "prune_unread_instances=" +
+          BoolToString(options.prune_unread_instances) + "\n";
+  desc += "only_params=" +
+          StrJoin(std::vector<std::string>(options.only_params.begin(),
+                                           options.only_params.end()),
+                  ",") +
+          "\n";
+  desc += "exclude_params=" +
+          StrJoin(std::vector<std::string>(options.exclude_params.begin(),
+                                           options.exclude_params.end()),
+                  ",") +
+          "\n";
+  desc += "static_prior=" + BoolToString(options.static_prior != nullptr) + "\n";
+  desc += "shuffle_order_seed=" +
+          Int64ToString(static_cast<int64_t>(options.shuffle_order_seed)) + "\n";
+  return HashToHex(HashFnv64(desc));
+}
+
+}  // namespace zebra

@@ -1,0 +1,88 @@
+#include "src/core/fault_injection.h"
+
+#include "src/common/strings.h"
+
+namespace zebra {
+
+namespace {
+
+bool SpecMatches(const FaultSpec& spec, int worker, const std::string& test_id,
+                 int attempt) {
+  if (!spec.test_id.empty() && spec.test_id != test_id) {
+    return false;
+  }
+  if (spec.worker >= 0 && spec.worker != worker) {
+    return false;
+  }
+  if (spec.attempt >= 0 && spec.attempt != attempt) {
+    return false;
+  }
+  return true;
+}
+
+// Stable coin flip in [0, 1): folds the coordinate into the plan seed. The
+// worker index is deliberately excluded so the flip replays identically
+// under any unit-to-worker assignment.
+double Coin(uint64_t seed, FaultKind kind, const std::string& test_id,
+            int attempt) {
+  uint64_t digest = HashFnv64(test_id, seed ^ 0x9e3779b97f4a7c15ull);
+  digest = HashFnv64(Int64ToString(static_cast<int64_t>(kind)), digest);
+  digest = HashFnv64(Int64ToString(attempt), digest);
+  // Top 53 bits -> exactly representable double in [0, 1).
+  return static_cast<double>(digest >> 11) / 9007199254740992.0;
+}
+
+}  // namespace
+
+bool FaultPlan::DecideKind(FaultKind kind, int worker, const std::string& test_id,
+                           int attempt, FaultSpec* out) const {
+  for (const FaultSpec& spec : specs) {
+    if (spec.kind == kind && SpecMatches(spec, worker, test_id, attempt)) {
+      *out = spec;
+      return true;
+    }
+  }
+  double rate = 0.0;
+  switch (kind) {
+    case FaultKind::kCrash:
+      rate = crash_rate;
+      break;
+    case FaultKind::kHang:
+      rate = hang_rate;
+      break;
+    case FaultKind::kGarbledFrame:
+      rate = garble_rate;
+      break;
+    case FaultKind::kSlowWorker:
+      rate = 0.0;  // random mode never slows; use an explicit spec
+      break;
+  }
+  if (rate > 0.0 && Coin(seed, kind, test_id, attempt) < rate) {
+    out->kind = kind;
+    out->test_id = test_id;
+    out->worker = worker;
+    out->attempt = attempt;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlan::Decide(int worker, const std::string& test_id, int attempt,
+                       FaultSpec* out) const {
+  // Explicit specs first, in plan order (most specific wins by convention).
+  for (const FaultSpec& spec : specs) {
+    if (SpecMatches(spec, worker, test_id, attempt)) {
+      *out = spec;
+      return true;
+    }
+  }
+  for (FaultKind kind :
+       {FaultKind::kCrash, FaultKind::kHang, FaultKind::kGarbledFrame}) {
+    if (DecideKind(kind, worker, test_id, attempt, out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace zebra

@@ -1,0 +1,82 @@
+// Deterministic fault-injection harness for the campaign runners.
+//
+// The paper's real campaigns survive on container-level isolation: a test
+// that crashes, hangs, or corrupts its output takes down one container, not
+// the campaign (§4, §7). Our runners reproduce that with process isolation —
+// and this header is how the recovery paths are *tested* rather than trusted
+// on inspection. A FaultPlan injects faults at chosen (worker, unit, attempt)
+// coordinates inside scheduler workers:
+//
+//   kCrash        worker _Exits instead of executing the unit
+//   kHang         worker blocks forever (exercises the watchdog deadline)
+//   kGarbledFrame worker writes a corrupt response frame, then exits
+//   kSlowWorker   worker sleeps `slow_seconds` before executing normally
+//
+// Plans are deterministic two ways: explicit specs pin exact coordinates, and
+// the seeded random mode derives each coin flip from a stable hash of
+// (seed, kind, test id, attempt) — deliberately *not* the worker index, so a
+// random plan replays identically regardless of how units land on workers.
+//
+// Every fault plan must leave findings, Table-5 stage counts, and
+// runs_to_first_detection bitwise-identical to the uninterrupted sequential
+// campaign (CI-gated; see tests/fault_tolerance_test.cc): faults change how
+// often units re-run, never what the campaign concludes.
+
+#ifndef SRC_CORE_FAULT_INJECTION_H_
+#define SRC_CORE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zebra {
+
+enum class FaultKind {
+  kCrash,
+  kHang,
+  kGarbledFrame,
+  kSlowWorker,
+};
+
+// One injection site. Wildcards widen the match: an empty test_id matches
+// every unit, worker = -1 every worker, attempt = -1 every dispatch attempt.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+  std::string test_id;        // unit-test id, empty = any
+  int worker = -1;            // worker index (shard index for the sharded
+                              // runner), -1 = any
+  int attempt = 0;            // 0-based dispatch attempt, -1 = any
+  double slow_seconds = 0.1;  // kSlowWorker only: pre-execution sleep
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  // Seeded random mode: independently of `specs`, each (kind, test id,
+  // attempt) coordinate fires with the matching rate, decided by a stable
+  // hash folded from `seed`. 0 disables a kind.
+  uint64_t seed = 0;
+  double crash_rate = 0.0;
+  double hang_rate = 0.0;
+  double garble_rate = 0.0;
+
+  bool empty() const {
+    return specs.empty() && crash_rate == 0.0 && hang_rate == 0.0 &&
+           garble_rate == 0.0;
+  }
+
+  // Returns true — filling *out — when a fault of any kind fires at this
+  // coordinate. Explicit specs win over random mode; the first matching spec
+  // decides, so order plans from most to least specific.
+  bool Decide(int worker, const std::string& test_id, int attempt,
+              FaultSpec* out) const;
+
+  // Decide() restricted to one kind (the sharded runner checks kinds at
+  // different points of the shard lifecycle).
+  bool DecideKind(FaultKind kind, int worker, const std::string& test_id,
+                  int attempt, FaultSpec* out) const;
+};
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_FAULT_INJECTION_H_

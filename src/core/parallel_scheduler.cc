@@ -3,161 +3,30 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
+#include <cmath>
 #include <cstdlib>
 #include <deque>
 #include <map>
+#include <memory>
+#include <set>
 
 #include "src/common/error.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/conf/conf_file.h"
+#include "src/core/campaign_journal.h"
 #include "src/core/report_io.h"
+#include "src/core/watchdog.h"
 #include "src/core/worker_ipc.h"
 
 namespace zebra {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Wire format: one properties frame per unit result. Doubles round-trip at
-// full precision ("%.17g") so the parent folds exactly the values a
-// sequential campaign would have computed.
-// ---------------------------------------------------------------------------
-
-std::string Double17(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
-
-std::string SerializeUnit(size_t unit_index, const UnitWorkResult& unit) {
-  std::map<std::string, std::string> properties;
-  properties["unit"] = Int64ToString(static_cast<int64_t>(unit_index));
-  properties["app"] = unit.app;
-  properties["test_id"] = unit.test_id;
-  properties["prerun_executions"] = Int64ToString(unit.prerun_executions);
-  properties["after_prerun"] = Int64ToString(unit.after_prerun);
-  properties["after_uncertainty"] = Int64ToString(unit.after_uncertainty);
-  properties["executed_runs"] = Int64ToString(unit.executed_runs);
-  properties["runs_to_first_confirmation"] =
-      Int64ToString(unit.runs_to_first_confirmation);
-  properties["any_conf_usage"] = unit.any_conf_usage ? "1" : "0";
-  properties["conf_sharing_detected"] = unit.conf_sharing_detected ? "1" : "0";
-  properties["started_any_node"] = unit.started_any_node ? "1" : "0";
-  properties["first_trial_candidates"] = Int64ToString(unit.first_trial_candidates);
-  properties["filtered_by_hypothesis"] = Int64ToString(unit.filtered_by_hypothesis);
-  properties["cache_hits"] = Int64ToString(unit.cache_hits);
-  properties["cache_misses"] = Int64ToString(unit.cache_misses);
-  properties["equiv_hits"] = Int64ToString(unit.equiv_hits);
-  properties["canonicalized_plans"] = Int64ToString(unit.canonicalized_plans);
-  properties["mispredictions"] = Int64ToString(unit.mispredictions);
-  properties["cache_evictions"] = Int64ToString(unit.cache_evictions);
-  properties["params_tested"] = StrJoin(unit.params_tested, ",");
-
-  properties["confirmations"] =
-      Int64ToString(static_cast<int64_t>(unit.confirmations.size()));
-  for (size_t i = 0; i < unit.confirmations.size(); ++i) {
-    const UnitConfirmation& confirmation = unit.confirmations[i];
-    std::string prefix = "confirmation." + std::to_string(i) + ".";
-    properties[prefix + "param"] = confirmation.param;
-    properties[prefix + "p_value"] = Double17(confirmation.p_value);
-    properties[prefix + "failure"] = EscapeReportText(confirmation.witness_failure);
-  }
-
-  std::vector<std::string> durations;
-  durations.reserve(unit.run_durations.size());
-  for (double duration : unit.run_durations) {
-    durations.push_back(Double17(duration));
-  }
-  properties["durations"] = StrJoin(durations, ",");
-  return RenderProperties(properties);
-}
-
-bool ParseUnit(const std::string& text, size_t* unit_index, UnitWorkResult* unit) {
-  std::map<std::string, std::string> properties;
-  try {
-    properties = ParseProperties(text);
-  } catch (const Error&) {
-    return false;
-  }
-  auto get = [&](const std::string& key) -> const std::string& {
-    static const std::string kEmpty;
-    auto it = properties.find(key);
-    return it == properties.end() ? kEmpty : it->second;
-  };
-  auto get_int = [&](const std::string& key, int64_t* out) {
-    return ParseInt64(get(key), out);
-  };
-
-  int64_t index = -1;
-  if (!get_int("unit", &index) || index < 0) {
-    return false;
-  }
-  *unit_index = static_cast<size_t>(index);
-  unit->app = get("app");
-  unit->test_id = get("test_id");
-  int64_t candidates = 0;
-  int64_t filtered = 0;
-  if (!get_int("prerun_executions", &unit->prerun_executions) ||
-      !get_int("after_prerun", &unit->after_prerun) ||
-      !get_int("after_uncertainty", &unit->after_uncertainty) ||
-      !get_int("executed_runs", &unit->executed_runs) ||
-      !get_int("runs_to_first_confirmation", &unit->runs_to_first_confirmation) ||
-      !get_int("first_trial_candidates", &candidates) ||
-      !get_int("filtered_by_hypothesis", &filtered) ||
-      !get_int("cache_hits", &unit->cache_hits) ||
-      !get_int("cache_misses", &unit->cache_misses) ||
-      !get_int("equiv_hits", &unit->equiv_hits) ||
-      !get_int("canonicalized_plans", &unit->canonicalized_plans) ||
-      !get_int("mispredictions", &unit->mispredictions) ||
-      !get_int("cache_evictions", &unit->cache_evictions)) {
-    return false;
-  }
-  unit->first_trial_candidates = static_cast<int>(candidates);
-  unit->filtered_by_hypothesis = static_cast<int>(filtered);
-  unit->any_conf_usage = get("any_conf_usage") == "1";
-  unit->conf_sharing_detected = get("conf_sharing_detected") == "1";
-  unit->started_any_node = get("started_any_node") == "1";
-
-  for (const std::string& param : StrSplit(get("params_tested"), ',')) {
-    if (!param.empty()) {
-      unit->params_tested.push_back(param);
-    }
-  }
-
-  int64_t confirmations = 0;
-  if (!get_int("confirmations", &confirmations) || confirmations < 0) {
-    return false;
-  }
-  for (int64_t i = 0; i < confirmations; ++i) {
-    std::string prefix = "confirmation." + std::to_string(i) + ".";
-    UnitConfirmation confirmation;
-    confirmation.param = get(prefix + "param");
-    if (confirmation.param.empty() ||
-        !ParseDouble(get(prefix + "p_value"), &confirmation.p_value)) {
-      return false;
-    }
-    confirmation.witness_failure = UnescapeReportText(get(prefix + "failure"));
-    unit->confirmations.push_back(std::move(confirmation));
-  }
-
-  for (const std::string& duration_text : StrSplit(get("durations"), ',')) {
-    if (duration_text.empty()) {
-      continue;
-    }
-    double duration = 0;
-    if (!ParseDouble(duration_text, &duration)) {
-      return false;
-    }
-    unit->run_durations.push_back(duration);
-  }
-  return true;
-}
 
 // ---------------------------------------------------------------------------
 // Worker side
@@ -168,11 +37,13 @@ struct WorkUnit {
   const UnitTestDef* test = nullptr;
 };
 
-// Request frames: "run <unit-index>\n<comma-joined globally-unsafe params>"
-// or "exit". Response frames: a serialized UnitWorkResult.
+// Request frames: "run <unit-index> <attempt>\n<comma-joined globally-unsafe
+// params>" or "exit". Response frames: a serialized UnitWorkResult
+// (report_io's SerializeUnitResult — the same payload campaign-journal
+// records carry).
 [[noreturn]] void WorkerMain(int request_fd, int response_fd, Campaign& engine,
                              const std::vector<WorkUnit>& units, int worker_index,
-                             const ParallelCampaignOptions& parallel) {
+                             const FaultPlan& faults) {
   std::string request;
   while (ReadFrame(request_fd, &request)) {
     if (request == "exit") {
@@ -183,9 +54,12 @@ struct WorkUnit {
     if (head.rfind("run ", 0) != 0) {
       std::_Exit(5);  // protocol error: nothing sane to report
     }
+    std::vector<std::string> head_fields = StrSplit(head.substr(4), ' ');
     int64_t index = -1;
-    if (!ParseInt64(head.substr(4), &index) || index < 0 ||
-        static_cast<size_t>(index) >= units.size()) {
+    int64_t attempt = 0;
+    if (head_fields.empty() || !ParseInt64(head_fields[0], &index) ||
+        index < 0 || static_cast<size_t>(index) >= units.size() ||
+        (head_fields.size() > 1 && !ParseInt64(head_fields[1], &attempt))) {
       std::_Exit(5);
     }
     std::set<std::string> globally_unsafe;
@@ -198,15 +72,34 @@ struct WorkUnit {
     }
 
     const WorkUnit& work = units[static_cast<size_t>(index)];
-    if (worker_index == parallel.crash_worker_index &&
-        !parallel.crash_on_test_id.empty() &&
-        work.test->id == parallel.crash_on_test_id) {
-      std::_Exit(13);  // fault injection: simulate a worker crash
+    FaultSpec fault;
+    if (!faults.empty() && faults.Decide(worker_index, work.test->id,
+                                         static_cast<int>(attempt), &fault)) {
+      switch (fault.kind) {
+        case FaultKind::kCrash:
+          std::_Exit(13);  // simulated worker crash
+        case FaultKind::kHang:
+          for (;;) {
+            ::pause();  // simulated deadlock; only SIGKILL gets us out
+          }
+        case FaultKind::kGarbledFrame:
+          // 16 junk bytes where ReadFrame expects a decimal length header.
+          WriteAll(response_fd, "!GARBLED-FRAME!!", 16);
+          std::_Exit(6);
+        case FaultKind::kSlowWorker: {
+          struct timespec delay;
+          delay.tv_sec = static_cast<time_t>(fault.slow_seconds);
+          delay.tv_nsec = static_cast<long>(
+              (fault.slow_seconds - static_cast<double>(delay.tv_sec)) * 1e9);
+          ::nanosleep(&delay, nullptr);
+          break;  // then execute normally
+        }
+      }
     }
 
     UnitWorkResult unit = engine.RunUnit(*work.test, globally_unsafe);
     if (!WriteFrame(response_fd,
-                    SerializeUnit(static_cast<size_t>(index), unit))) {
+                    SerializeUnitResult(static_cast<size_t>(index), unit))) {
       std::_Exit(4);  // parent went away; nothing left to report to
     }
   }
@@ -223,6 +116,8 @@ struct WorkerHandle {
   int response_fd = -1;  // worker -> parent
   int64_t in_flight = -1;
   std::set<std::string> snapshot;  // globally-unsafe set the unit ran under
+  double dispatch_seconds = 0.0;   // when the in-flight unit was dispatched
+  double deadline_seconds = 0.0;   // watchdog budget for it (0 = no deadline)
   bool alive = false;
 };
 
@@ -270,20 +165,11 @@ class WorkerPool {
   std::vector<WorkerHandle> workers;
 };
 
-// Writes on a pipe whose reader died must surface as errors, not SIGPIPE.
-class ScopedIgnoreSigPipe {
- public:
-  ScopedIgnoreSigPipe() {
-    struct sigaction ignore {};
-    ignore.sa_handler = SIG_IGN;
-    sigemptyset(&ignore.sa_mask);
-    ::sigaction(SIGPIPE, &ignore, &previous_);
-  }
-  ~ScopedIgnoreSigPipe() { ::sigaction(SIGPIPE, &previous_, nullptr); }
-
- private:
-  struct sigaction previous_ {};
-};
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -309,6 +195,19 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
   // executions happen in the parent process).
   Campaign engine(schema, corpus, std::move(options));
   const std::vector<std::string>& apps = engine.options().apps;
+  const CampaignOptions& resolved = engine.options();
+
+  // Effective fault plan: the legacy single-crash shorthand folds into it as
+  // an explicit spec, so both paths exercise the same recovery machinery.
+  FaultPlan faults = parallel.faults;
+  if (!parallel.crash_on_test_id.empty()) {
+    FaultSpec legacy;
+    legacy.kind = FaultKind::kCrash;
+    legacy.test_id = parallel.crash_on_test_id;
+    legacy.worker = parallel.crash_worker_index;
+    legacy.attempt = -1;  // whenever that worker is assigned the unit
+    faults.specs.push_back(legacy);
+  }
 
   std::vector<WorkUnit> units;
   std::vector<int> units_per_app(apps.size(), 0);
@@ -331,13 +230,44 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
     }
   };
 
+  size_t cursor = 0;
+  int64_t hung_workers = 0;
+  int64_t requeued_units = 0;
+  int64_t resumed_units = 0;
+
+  // Crash-safe journal: replay the recovered prefix through the canonical
+  // fold before any worker forks, so the remaining dispatch is exactly the
+  // uninterrupted campaign's suffix.
+  std::unique_ptr<CampaignJournal> journal;
+  if (!parallel.journal_path.empty()) {
+    journal = std::make_unique<CampaignJournal>(
+        parallel.journal_path, CampaignJournal::Fingerprint(resolved, corpus),
+        parallel.resume);
+    for (const auto& [index, unit] : journal->recovered()) {
+      if (index != cursor || cursor >= units.size()) {
+        ZLOG_WARN << "campaign journal: record out of canonical order; "
+                     "ignoring the rest of the recovered prefix";
+        break;
+      }
+      begin_apps_through(units[cursor].app_index + 1);
+      folder.Fold(unit);
+      ++cursor;
+      ++resumed_units;
+    }
+    if (resumed_units > 0) {
+      ZLOG_INFO << "campaign journal: resumed " << resumed_units << " of "
+                << units.size() << " units from " << parallel.journal_path;
+    }
+  }
+
+  size_t remaining = units.size() - cursor;
   int worker_count =
-      std::min<int>(parallel.workers, std::max<size_t>(units.size(), 1));
+      std::min<int>(parallel.workers, std::max<size_t>(remaining, 1));
 
   ScopedIgnoreSigPipe sigpipe_guard;
   WorkerPool pool;
 
-  for (int i = 0; i < worker_count && !units.empty(); ++i) {
+  for (int i = 0; i < worker_count && remaining > 0; ++i) {
     int request_pipe[2];
     int response_pipe[2];
     if (::pipe(request_pipe) != 0 || ::pipe(response_pipe) != 0) {
@@ -361,7 +291,7 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
         ::close(sibling.request_fd);
         ::close(sibling.response_fd);
       }
-      WorkerMain(request_pipe[0], response_pipe[1], engine, units, i, parallel);
+      WorkerMain(request_pipe[0], response_pipe[1], engine, units, i, faults);
     }
     ::close(request_pipe[0]);
     ::close(response_pipe[1]);
@@ -374,7 +304,7 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
   }
 
   std::deque<size_t> queue;
-  for (size_t i = 0; i < units.size(); ++i) {
+  for (size_t i = cursor; i < units.size(); ++i) {
     queue.push_back(i);
   }
 
@@ -383,7 +313,18 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
     std::set<std::string> snapshot;
   };
   std::map<size_t, BufferedResult> buffered;
-  size_t cursor = 0;
+
+  // Fault-tolerance bookkeeping: dispatch attempts per unit (failed attempts
+  // only; stale-snapshot re-runs are not failures), the earliest time a
+  // re-queued unit may be re-dispatched (capped exponential backoff), the
+  // quarantined units, and the parent-observed completion times feeding the
+  // watchdog's p95.
+  std::vector<int> attempts(units.size(), 0);
+  std::vector<double> not_before(units.size(), 0.0);
+  std::set<size_t> poisoned;
+  std::vector<double> completion_seconds;
+  int live_folds = 0;
+  bool stopped = false;  // abort_after_folds hook or cancel_flag
 
   auto alive_workers = [&]() {
     int alive = 0;
@@ -393,16 +334,37 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
     return alive;
   };
 
-  auto retire_worker = [&](WorkerHandle& worker) {
+  // Shared requeue path for every way a worker can fail its unit (crash EOF,
+  // garbled frame, dispatch-write failure, watchdog SIGKILL): bump the
+  // attempt count, quarantine the unit once it has killed
+  // unit_attempt_limit workers, otherwise re-queue it at the head — it is
+  // the most likely to be the fold cursor everyone else's results are
+  // waiting on — behind a capped exponential backoff so a transient
+  // environment problem (fd pressure, OOM killer sweep) gets time to clear.
+  auto retire_worker = [&](WorkerHandle& worker, const char* reason) {
     if (worker.in_flight >= 0) {
-      // The survivors pick the lost unit up first: it is the most likely to
-      // be the fold cursor everyone else's results are waiting on.
-      queue.push_front(static_cast<size_t>(worker.in_flight));
+      size_t unit_index = static_cast<size_t>(worker.in_flight);
       worker.in_flight = -1;
+      ++attempts[unit_index];
+      if (attempts[unit_index] >= resolved.unit_attempt_limit) {
+        ZLOG_WARN << "work-stealing campaign: unit "
+                  << units[unit_index].test->id << " failed "
+                  << attempts[unit_index]
+                  << " attempts; quarantining as poisoned";
+        poisoned.insert(unit_index);
+      } else {
+        double backoff =
+            std::min(resolved.requeue_backoff_cap_seconds,
+                     resolved.requeue_backoff_seconds *
+                         std::pow(2.0, attempts[unit_index] - 1));
+        not_before[unit_index] = NowSeconds() + std::max(0.0, backoff);
+        queue.push_front(unit_index);
+        ++requeued_units;
+      }
     }
     pool.Retire(worker);
-    ZLOG_INFO << "work-stealing campaign: worker died, " << alive_workers()
-              << " remaining";
+    ZLOG_INFO << "work-stealing campaign: worker " << reason << ", "
+              << alive_workers() << " remaining";
   };
 
   // A buffered result is stale when a parameter it actually tested has since
@@ -428,16 +390,43 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
   // instead of serializing one re-run per fold step. The re-runs carry the
   // freshest set (still a subset of each unit's exact sequential set — the
   // invariant that keeps the fold bitwise-exact).
+  //
+  // A poisoned unit at the cursor folds as an empty stub (the unit
+  // contributed nothing; its id is reported in poisoned_units) so the
+  // campaign completes instead of waiting forever on work that kills every
+  // worker it touches. Every fold — live, stub, or replayed — is what the
+  // journal records, so the journal always holds exactly the fold prefix.
   auto advance_fold = [&]() {
     while (cursor < units.size()) {
+      if (poisoned.count(cursor) > 0) {
+        begin_apps_through(units[cursor].app_index + 1);
+        UnitWorkResult stub;
+        stub.app = apps[units[cursor].app_index];
+        stub.test_id = units[cursor].test->id;
+        folder.Fold(stub);
+        if (journal) {
+          journal->Append(cursor, stub);
+        }
+        ++cursor;
+        continue;
+      }
       auto it = buffered.find(cursor);
       if (it == buffered.end() || is_stale(it->second)) {
         break;
       }
       begin_apps_through(units[cursor].app_index + 1);
       folder.Fold(it->second.unit);
+      if (journal) {
+        journal->Append(cursor, it->second.unit);
+      }
       buffered.erase(it);
       ++cursor;
+      ++live_folds;
+      if (parallel.abort_after_folds > 0 &&
+          live_folds >= parallel.abort_after_folds) {
+        stopped = true;  // simulated parent crash (test hook)
+        return;
+      }
     }
     std::vector<size_t> stale_units;
     for (const auto& [index, result] : buffered) {
@@ -456,7 +445,14 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
     }
   };
 
-  while (cursor < units.size()) {
+  while (cursor < units.size() && !stopped) {
+    if (resolved.cancel_flag != nullptr && *resolved.cancel_flag != 0) {
+      ZLOG_WARN << "work-stealing campaign: cancellation requested; stopping "
+                   "after "
+                << cursor << " of " << units.size() << " units";
+      stopped = true;
+      break;
+    }
     if (alive_workers() == 0) {
       throw Error("work-stealing campaign: all workers died");
     }
@@ -465,43 +461,87 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
     // globally-unsafe snapshot (the best-effort broadcast): canonical folding
     // guarantees it is a subset of the exact sequential set for any unit
     // still in the queue, so a prune can only ever be validated or redone —
-    // never silently wrong.
+    // never silently wrong. Units whose backoff has not elapsed are skipped
+    // (queue order is otherwise preserved).
     for (WorkerHandle& worker : pool.workers) {
       if (!worker.alive || worker.in_flight >= 0 || queue.empty()) {
         continue;
       }
-      size_t unit_index = queue.front();
+      double t = NowSeconds();
+      auto next = queue.begin();
+      while (next != queue.end() && not_before[*next] > t) {
+        ++next;
+      }
+      if (next == queue.end()) {
+        break;  // every queued unit is backing off
+      }
+      size_t unit_index = *next;
+      queue.erase(next);
       const std::set<std::string>& unsafe = folder.globally_unsafe();
       std::string request =
-          "run " + std::to_string(unit_index) + "\n" +
+          "run " + std::to_string(unit_index) + " " +
+          std::to_string(attempts[unit_index]) + "\n" +
           StrJoin(std::vector<std::string>(unsafe.begin(), unsafe.end()), ",");
-      if (!WriteFrame(worker.request_fd, request)) {
-        retire_worker(worker);
-        continue;
-      }
-      queue.pop_front();
       worker.in_flight = static_cast<int64_t>(unit_index);
       worker.snapshot = unsafe;
+      worker.dispatch_seconds = t;
+      worker.deadline_seconds = WatchdogDeadlineSeconds(
+          resolved.watchdog_floor_seconds, resolved.watchdog_multiplier,
+          completion_seconds);
+      if (!WriteFrame(worker.request_fd, request)) {
+        retire_worker(worker, "died at dispatch");
+      }
     }
     if (alive_workers() == 0) {
       continue;  // top of loop throws with the precise error
     }
 
-    // Wait for any busy worker to report (or die).
+    // Wait for any busy worker to report (or die), but never past the
+    // earliest watchdog deadline or backoff release.
     std::vector<struct pollfd> poll_fds;
     std::vector<size_t> poll_workers;
+    double wait_until = -1.0;  // absolute; < 0 = wait forever
+    double t = NowSeconds();
     for (size_t i = 0; i < pool.workers.size(); ++i) {
-      if (pool.workers[i].alive && pool.workers[i].in_flight >= 0) {
-        poll_fds.push_back({pool.workers[i].response_fd, POLLIN, 0});
+      const WorkerHandle& worker = pool.workers[i];
+      if (worker.alive && worker.in_flight >= 0) {
+        poll_fds.push_back({worker.response_fd, POLLIN, 0});
         poll_workers.push_back(i);
+        if (worker.deadline_seconds > 0) {
+          double deadline = worker.dispatch_seconds + worker.deadline_seconds;
+          wait_until =
+              wait_until < 0 ? deadline : std::min(wait_until, deadline);
+        }
       }
     }
+    bool any_idle = false;
+    for (const WorkerHandle& worker : pool.workers) {
+      any_idle = any_idle || (worker.alive && worker.in_flight < 0);
+    }
+    if (any_idle) {
+      for (size_t unit_index : queue) {
+        double release = not_before[unit_index];
+        wait_until = wait_until < 0 ? release : std::min(wait_until, release);
+      }
+    }
+    int timeout_ms = -1;
+    if (wait_until >= 0) {
+      timeout_ms = static_cast<int>(
+          std::ceil(std::max(0.0, wait_until - t) * 1000.0));
+      timeout_ms = std::max(timeout_ms, 1);
+    }
     if (poll_fds.empty()) {
+      if (!queue.empty() && timeout_ms > 0) {
+        // Every worker is idle and every queued unit is backing off: sleep
+        // until the earliest release.
+        ::poll(nullptr, 0, timeout_ms);
+        continue;
+      }
       throw Error("work-stealing campaign: scheduler stalled (internal error)");
     }
     int ready;
     do {
-      ready = ::poll(poll_fds.data(), poll_fds.size(), -1);
+      ready = ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
     } while (ready < 0 && errno == EINTR);
     if (ready < 0) {
       throw Error("work-stealing campaign: poll() failed");
@@ -516,21 +556,46 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
       size_t unit_index = 0;
       UnitWorkResult unit;
       if (!ReadFrame(worker.response_fd, &payload) ||
-          !ParseUnit(payload, &unit_index, &unit) ||
+          !ParseUnitResult(payload, &unit_index, &unit) ||
           unit_index != static_cast<size_t>(worker.in_flight)) {
-        retire_worker(worker);
+        retire_worker(worker, "died (EOF or corrupt response frame)");
         continue;
       }
+      completion_seconds.push_back(NowSeconds() - worker.dispatch_seconds);
       buffered[unit_index] = BufferedResult{std::move(unit), worker.snapshot};
       worker.in_flight = -1;
+    }
+
+    // Watchdog: SIGKILL any worker past its deadline. Retire() reaps it (a
+    // SIGKILLed child exits immediately) and the shared requeue path hands
+    // its unit to the survivors — a hang costs at most one deadline plus
+    // backoff, never the campaign.
+    double after = NowSeconds();
+    for (WorkerHandle& worker : pool.workers) {
+      if (!worker.alive || worker.in_flight < 0 ||
+          worker.deadline_seconds <= 0) {
+        continue;
+      }
+      if (after - worker.dispatch_seconds >= worker.deadline_seconds) {
+        ZLOG_WARN << "work-stealing campaign: watchdog SIGKILL — worker "
+                     "exceeded "
+                  << DoubleToString(worker.deadline_seconds)
+                  << "s deadline on unit "
+                  << units[static_cast<size_t>(worker.in_flight)].test->id;
+        ::kill(worker.pid, SIGKILL);
+        ++hung_workers;
+        retire_worker(worker, "hung (watchdog SIGKILL)");
+      }
     }
 
     advance_fold();
   }
 
-  // Apps with zero units (or nothing at all to run) still appear in the
-  // report with their enumeration-stage counts, as in the sequential run.
-  begin_apps_through(apps.size());
+  if (!stopped) {
+    // Apps with zero units (or nothing at all to run) still appear in the
+    // report with their enumeration-stage counts, as in the sequential run.
+    begin_apps_through(apps.size());
+  }
 
   // Graceful shutdown; the pool destructor reaps.
   for (WorkerHandle& worker : pool.workers) {
@@ -539,6 +604,12 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
     }
   }
 
+  folder.report().hung_workers = hung_workers;
+  folder.report().requeued_units = requeued_units;
+  folder.report().resumed_units = resumed_units;
+  for (size_t unit_index : poisoned) {
+    folder.report().poisoned_units.push_back(units[unit_index].test->id);
+  }
   folder.report().wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -21,10 +21,22 @@
 // discards the speculative result and re-runs the unit with the exact set —
 // the prune accelerates, it never changes results.
 //
-// Fault tolerance. A worker that dies mid-unit (EOF / broken pipe) is
-// reaped, its in-flight unit is re-queued to the survivors, and the campaign
-// completes; the scheduler throws only when no workers remain. All children
-// are reaped on every exit path.
+// Fault tolerance (docs/ROBUSTNESS.md). A worker that dies mid-unit (EOF /
+// broken pipe / garbled frame) is reaped and its unit re-queued to the
+// survivors after a capped exponential backoff; a worker that *hangs* is
+// caught by a watchdog deadline (CampaignOptions::watchdog_floor_seconds +
+// watchdog_multiplier * p95 of observed unit completions), SIGKILLed, and
+// treated the same way. A unit that keeps killing workers is quarantined
+// after CampaignOptions::unit_attempt_limit attempts and recorded in
+// CampaignReport::poisoned_units instead of looping forever. The scheduler
+// throws only when no workers remain. All children are reaped on every exit
+// path.
+//
+// Crash safety. With journal_path set, every folded unit result is appended
+// to a checksummed on-disk journal (campaign_journal.h) the moment it folds;
+// resume=true replays the journal's valid prefix through the same fold and
+// dispatches only the remaining units — the resumed report is
+// bitwise-identical to an uninterrupted run.
 //
 // Each worker keeps a process-local memoized run cache across the units it
 // executes when options.enable_run_cache is set (see testkit/run_cache.h);
@@ -36,6 +48,7 @@
 #include <string>
 
 #include "src/core/campaign.h"
+#include "src/core/fault_injection.h"
 
 namespace zebra {
 
@@ -43,11 +56,28 @@ struct ParallelCampaignOptions {
   // Worker processes to fork (clamped to the unit count).
   int workers = 1;
 
-  // Fault-injection hook for tests: the worker with this index _Exits
-  // instead of executing whenever it is assigned the unit for this test id.
-  // Surviving workers pick the unit up. Empty = disabled.
+  // Deterministic fault-injection plan evaluated inside each worker at
+  // (worker, test id, attempt) coordinates — see fault_injection.h. Empty =
+  // no injected faults.
+  FaultPlan faults;
+
+  // Legacy single-crash shorthand (folded into `faults` as an explicit
+  // crash spec): the worker with this index _Exits instead of executing
+  // whenever it is assigned the unit for this test id. Empty = disabled.
   std::string crash_on_test_id;
   int crash_worker_index = 0;
+
+  // Crash-safe journal (campaign_journal.h). Non-empty: append every folded
+  // unit result to this file. With resume=true an existing journal's valid
+  // prefix is replayed instead of re-executed; a fingerprint mismatch
+  // (different apps/corpus/result-affecting options) throws.
+  std::string journal_path;
+  bool resume = false;
+
+  // Test hook simulating a parent crash: stop dispatching and return after
+  // this many *live* folds (journal replay does not count). 0 = disabled.
+  // The returned report is partial; the journal retains the folded prefix.
+  int abort_after_folds = 0;
 };
 
 // Runs the campaign over `workers` forked worker processes pulling (app,
@@ -59,7 +89,7 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
                                        const UnitTestRegistry& corpus,
                                        CampaignOptions options, int workers);
 
-// Full-control variant (fault-injection hooks for tests).
+// Full-control variant (fault injection, journal/resume, abort hooks).
 CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
                                        const UnitTestRegistry& corpus,
                                        CampaignOptions options,

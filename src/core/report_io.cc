@@ -1,6 +1,7 @@
 #include "src/core/report_io.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/error.h"
 #include "src/common/strings.h"
@@ -53,7 +54,138 @@ std::string GetOr(const std::map<std::string, std::string>& properties,
   return it == properties.end() ? fallback : it->second;
 }
 
+std::string Double17(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
 }  // namespace
+
+std::string SerializeUnitResult(size_t unit_index, const UnitWorkResult& unit) {
+  std::map<std::string, std::string> properties;
+  properties["unit"] = Int64ToString(static_cast<int64_t>(unit_index));
+  properties["app"] = unit.app;
+  properties["test_id"] = unit.test_id;
+  properties["prerun_executions"] = Int64ToString(unit.prerun_executions);
+  properties["after_prerun"] = Int64ToString(unit.after_prerun);
+  properties["after_uncertainty"] = Int64ToString(unit.after_uncertainty);
+  properties["executed_runs"] = Int64ToString(unit.executed_runs);
+  properties["runs_to_first_confirmation"] =
+      Int64ToString(unit.runs_to_first_confirmation);
+  properties["any_conf_usage"] = unit.any_conf_usage ? "1" : "0";
+  properties["conf_sharing_detected"] = unit.conf_sharing_detected ? "1" : "0";
+  properties["started_any_node"] = unit.started_any_node ? "1" : "0";
+  properties["first_trial_candidates"] = Int64ToString(unit.first_trial_candidates);
+  properties["filtered_by_hypothesis"] = Int64ToString(unit.filtered_by_hypothesis);
+  properties["cache_hits"] = Int64ToString(unit.cache_hits);
+  properties["cache_misses"] = Int64ToString(unit.cache_misses);
+  properties["equiv_hits"] = Int64ToString(unit.equiv_hits);
+  properties["canonicalized_plans"] = Int64ToString(unit.canonicalized_plans);
+  properties["mispredictions"] = Int64ToString(unit.mispredictions);
+  properties["cache_evictions"] = Int64ToString(unit.cache_evictions);
+  properties["params_tested"] = StrJoin(unit.params_tested, ",");
+
+  properties["confirmations"] =
+      Int64ToString(static_cast<int64_t>(unit.confirmations.size()));
+  for (size_t i = 0; i < unit.confirmations.size(); ++i) {
+    const UnitConfirmation& confirmation = unit.confirmations[i];
+    std::string prefix = "confirmation." + std::to_string(i) + ".";
+    properties[prefix + "param"] = confirmation.param;
+    properties[prefix + "p_value"] = Double17(confirmation.p_value);
+    properties[prefix + "failure"] = EscapeReportText(confirmation.witness_failure);
+  }
+
+  std::vector<std::string> durations;
+  durations.reserve(unit.run_durations.size());
+  for (double duration : unit.run_durations) {
+    durations.push_back(Double17(duration));
+  }
+  properties["durations"] = StrJoin(durations, ",");
+  return RenderProperties(properties);
+}
+
+bool ParseUnitResult(const std::string& text, size_t* unit_index,
+                     UnitWorkResult* unit) {
+  std::map<std::string, std::string> properties;
+  try {
+    properties = ParseProperties(text);
+  } catch (const Error&) {
+    return false;
+  }
+  auto get = [&](const std::string& key) -> const std::string& {
+    static const std::string kEmpty;
+    auto it = properties.find(key);
+    return it == properties.end() ? kEmpty : it->second;
+  };
+  auto get_int = [&](const std::string& key, int64_t* out) {
+    return ParseInt64(get(key), out);
+  };
+
+  int64_t index = -1;
+  if (!get_int("unit", &index) || index < 0) {
+    return false;
+  }
+  *unit_index = static_cast<size_t>(index);
+  unit->app = get("app");
+  unit->test_id = get("test_id");
+  int64_t candidates = 0;
+  int64_t filtered = 0;
+  if (!get_int("prerun_executions", &unit->prerun_executions) ||
+      !get_int("after_prerun", &unit->after_prerun) ||
+      !get_int("after_uncertainty", &unit->after_uncertainty) ||
+      !get_int("executed_runs", &unit->executed_runs) ||
+      !get_int("runs_to_first_confirmation", &unit->runs_to_first_confirmation) ||
+      !get_int("first_trial_candidates", &candidates) ||
+      !get_int("filtered_by_hypothesis", &filtered) ||
+      !get_int("cache_hits", &unit->cache_hits) ||
+      !get_int("cache_misses", &unit->cache_misses) ||
+      !get_int("equiv_hits", &unit->equiv_hits) ||
+      !get_int("canonicalized_plans", &unit->canonicalized_plans) ||
+      !get_int("mispredictions", &unit->mispredictions) ||
+      !get_int("cache_evictions", &unit->cache_evictions)) {
+    return false;
+  }
+  unit->first_trial_candidates = static_cast<int>(candidates);
+  unit->filtered_by_hypothesis = static_cast<int>(filtered);
+  unit->any_conf_usage = get("any_conf_usage") == "1";
+  unit->conf_sharing_detected = get("conf_sharing_detected") == "1";
+  unit->started_any_node = get("started_any_node") == "1";
+
+  for (const std::string& param : StrSplit(get("params_tested"), ',')) {
+    if (!param.empty()) {
+      unit->params_tested.push_back(param);
+    }
+  }
+
+  int64_t confirmations = 0;
+  if (!get_int("confirmations", &confirmations) || confirmations < 0) {
+    return false;
+  }
+  for (int64_t i = 0; i < confirmations; ++i) {
+    std::string prefix = "confirmation." + std::to_string(i) + ".";
+    UnitConfirmation confirmation;
+    confirmation.param = get(prefix + "param");
+    if (confirmation.param.empty() ||
+        !ParseDouble(get(prefix + "p_value"), &confirmation.p_value)) {
+      return false;
+    }
+    confirmation.witness_failure = UnescapeReportText(get(prefix + "failure"));
+    unit->confirmations.push_back(std::move(confirmation));
+  }
+
+  for (const std::string& duration_text : StrSplit(get("durations"), ',')) {
+    if (duration_text.empty()) {
+      continue;
+    }
+    double duration = 0;
+    if (!ParseDouble(duration_text, &duration)) {
+      return false;
+    }
+    unit->run_durations.push_back(duration);
+  }
+  return true;
+}
 
 std::string SerializeReport(const CampaignReport& report) {
   std::map<std::string, std::string> properties;
@@ -101,6 +233,13 @@ std::string SerializeReport(const CampaignReport& report) {
   properties["canonicalized_plans"] = Int64ToString(report.canonicalized_plans);
   properties["mispredictions"] = Int64ToString(report.mispredictions);
   properties["cache_evictions"] = Int64ToString(report.cache_evictions);
+  properties["hung_workers"] = Int64ToString(report.hung_workers);
+  properties["requeued_units"] = Int64ToString(report.requeued_units);
+  properties["resumed_units"] = Int64ToString(report.resumed_units);
+  properties["cache_load_failures"] = Int64ToString(report.cache_load_failures);
+  if (!report.poisoned_units.empty()) {
+    properties["poisoned_units"] = StrJoin(report.poisoned_units, ",");
+  }
   properties["runs_to_first_detection"] = Int64ToString(report.runs_to_first_detection);
   if (!report.first_detection_param.empty()) {
     properties["first_detection_param"] = report.first_detection_param;
@@ -190,6 +329,18 @@ CampaignReport DeserializeReport(const std::string& text) {
              &report.canonicalized_plans);
   ParseInt64(GetOr(properties, "mispredictions", "0"), &report.mispredictions);
   ParseInt64(GetOr(properties, "cache_evictions", "0"), &report.cache_evictions);
+  // Absent in pre-fault-tolerance serializations.
+  ParseInt64(GetOr(properties, "hung_workers", "0"), &report.hung_workers);
+  ParseInt64(GetOr(properties, "requeued_units", "0"), &report.requeued_units);
+  ParseInt64(GetOr(properties, "resumed_units", "0"), &report.resumed_units);
+  ParseInt64(GetOr(properties, "cache_load_failures", "0"),
+             &report.cache_load_failures);
+  for (const std::string& unit :
+       StrSplit(GetOr(properties, "poisoned_units", ""), ',')) {
+    if (!unit.empty()) {
+      report.poisoned_units.push_back(unit);
+    }
+  }
   ParseInt64(GetOr(properties, "runs_to_first_detection", "0"),
              &report.runs_to_first_detection);
   report.first_detection_param = GetOr(properties, "first_detection_param", "");
@@ -265,6 +416,13 @@ CampaignReport MergeReports(const std::vector<CampaignReport>& reports) {
     merged.canonicalized_plans += report.canonicalized_plans;
     merged.mispredictions += report.mispredictions;
     merged.cache_evictions += report.cache_evictions;
+    merged.hung_workers += report.hung_workers;
+    merged.requeued_units += report.requeued_units;
+    merged.resumed_units += report.resumed_units;
+    merged.cache_load_failures += report.cache_load_failures;
+    merged.poisoned_units.insert(merged.poisoned_units.end(),
+                                 report.poisoned_units.begin(),
+                                 report.poisoned_units.end());
     merged.wall_seconds = std::max(merged.wall_seconds, report.wall_seconds);
     merged.run_durations_seconds.insert(merged.run_durations_seconds.end(),
                                         report.run_durations_seconds.begin(),

@@ -42,6 +42,16 @@ CampaignReport MergeReports(const std::vector<CampaignReport>& reports);
 std::string EscapeReportText(const std::string& text);
 std::string UnescapeReportText(const std::string& text);
 
+// One work unit's full contribution as properties text — the payload of the
+// work-stealing scheduler's response frames and of campaign-journal records
+// (both must fold to bitwise-identical reports, so they share one format).
+// Doubles round-trip at full precision ("%.17g"); ParseUnitResult returns
+// false on malformed input, which the scheduler treats as a dead worker and
+// the journal as a torn tail.
+std::string SerializeUnitResult(size_t unit_index, const UnitWorkResult& unit);
+bool ParseUnitResult(const std::string& text, size_t* unit_index,
+                     UnitWorkResult* unit);
+
 }  // namespace zebra
 
 #endif  // SRC_CORE_REPORT_IO_H_

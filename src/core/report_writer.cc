@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/common/strings.h"
 #include "src/core/fleet_model.h"
 #include "src/testkit/ground_truth.h"
 
@@ -92,6 +93,21 @@ std::string RenderMarkdownReport(const CampaignReport& report,
   }
   if (report.cache_evictions > 0) {
     out << "* run-cache evictions (LRU budget): " << report.cache_evictions << "\n";
+  }
+  if (report.hung_workers > 0 || report.requeued_units > 0 ||
+      report.resumed_units > 0) {
+    out << "* fault tolerance: " << report.hung_workers
+        << " workers SIGKILLed by watchdog, " << report.requeued_units
+        << " units re-queued after worker failure, " << report.resumed_units
+        << " units replayed from journal\n";
+  }
+  if (report.cache_load_failures > 0) {
+    out << "* run-cache load failures (corrupt file, started cold): "
+        << report.cache_load_failures << "\n";
+  }
+  if (!report.poisoned_units.empty()) {
+    out << "* poisoned units (hit the attempt limit; contributed no runs): "
+        << StrJoin(report.poisoned_units, ", ") << "\n";
   }
   if (options.fleet_machines > 0 && options.fleet_containers > 0 &&
       !report.run_durations_seconds.empty()) {

@@ -1,21 +1,90 @@
 #include "src/core/sharded_campaign.h"
 
+#include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <set>
 
 #include "src/common/error.h"
+#include "src/common/logging.h"
 #include "src/core/report_io.h"
+#include "src/core/watchdog.h"
 #include "src/core/worker_ipc.h"
 
 namespace zebra {
 
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Evaluates the fault plan inside a freshly forked shard child, before the
+// shard campaign runs. Coordinates are (shard index, test id, attempt 0):
+// the sharded runner has no per-unit dispatch, so the first matching unit
+// test in the shard decides. Crash and hang take the child down (the parent
+// recovers the whole shard); a garbled report exercises the parent's
+// deserialize-failure path; slow just delays the shard.
+void MaybeInjectShardFault(const FaultPlan& faults, int shard_index,
+                           const std::vector<std::string>& shard,
+                           const UnitTestRegistry& corpus, int report_fd) {
+  if (faults.empty()) {
+    return;
+  }
+  for (const std::string& app : shard) {
+    for (const UnitTestDef* test : corpus.ForApp(app)) {
+      FaultSpec fault;
+      if (!faults.Decide(shard_index, test->id, 0, &fault)) {
+        continue;
+      }
+      switch (fault.kind) {
+        case FaultKind::kCrash:
+          std::_Exit(13);  // simulated worker crash
+        case FaultKind::kHang:
+          for (;;) {
+            ::pause();  // simulated deadlock; only SIGKILL gets us out
+          }
+        case FaultKind::kGarbledFrame:
+          // A clean exit with a report DeserializeReport must reject.
+          WriteAll(report_fd, "!!not-a-report!!", 16);
+          std::_Exit(0);
+        case FaultKind::kSlowWorker: {
+          struct timespec delay;
+          delay.tv_sec = static_cast<time_t>(fault.slow_seconds);
+          delay.tv_nsec = static_cast<long>(
+              (fault.slow_seconds - static_cast<double>(delay.tv_sec)) * 1e9);
+          ::nanosleep(&delay, nullptr);
+          return;  // then run the shard normally
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 CampaignReport RunShardedCampaign(const ConfSchema& schema,
                                   const UnitTestRegistry& corpus,
                                   CampaignOptions options, int workers) {
+  ShardedCampaignOptions sharded;
+  sharded.workers = workers;
+  return RunShardedCampaign(schema, corpus, std::move(options), sharded);
+}
+
+CampaignReport RunShardedCampaign(const ConfSchema& schema,
+                                  const UnitTestRegistry& corpus,
+                                  CampaignOptions options,
+                                  const ShardedCampaignOptions& sharded) {
+  int workers = sharded.workers;
   if (workers < 1) {
     throw Error("sharded campaign requires at least one worker");
   }
@@ -39,23 +108,33 @@ CampaignReport RunShardedCampaign(const ConfSchema& schema,
     shards[i % static_cast<size_t>(workers)].push_back(apps[i]);
   }
 
-  struct Worker {
+  struct Child {
     pid_t pid = -1;
     int read_fd = -1;
+    double start_seconds = 0.0;
+    std::string text;
+    bool read_ok = true;
+    bool done = false;
+    bool killed = false;  // watchdog SIGKILL already delivered
   };
-  std::vector<Worker> children;
+  std::vector<Child> children;
 
-  for (const std::vector<std::string>& shard : shards) {
+  // Writes to a log fd (or anywhere else) while a shard pipe's reader is
+  // gone must surface as errors, not parent death.
+  ScopedIgnoreSigPipe sigpipe_guard;
+
+  for (size_t shard_index = 0; shard_index < shards.size(); ++shard_index) {
+    const std::vector<std::string>& shard = shards[shard_index];
     int fds[2];
     if (::pipe(fds) != 0) {
       // Children forked so far are healthy: let them finish, then reap,
       // before surfacing the error. No zombies on any path.
       std::vector<pid_t> started;
-      for (const Worker& worker : children) {
+      for (const Child& child : children) {
         std::string discard;
-        ReadToEof(worker.read_fd, &discard);
-        ::close(worker.read_fd);
-        started.push_back(worker.pid);
+        ReadToEof(child.read_fd, &discard);
+        ::close(child.read_fd);
+        started.push_back(child.pid);
       }
       ReapAll(started);
       throw Error("sharded campaign: pipe() failed");
@@ -65,11 +144,11 @@ CampaignReport RunShardedCampaign(const ConfSchema& schema,
       ::close(fds[0]);
       ::close(fds[1]);
       std::vector<pid_t> started;
-      for (const Worker& worker : children) {
+      for (const Child& child : children) {
         std::string discard;
-        ReadToEof(worker.read_fd, &discard);
-        ::close(worker.read_fd);
-        started.push_back(worker.pid);
+        ReadToEof(child.read_fd, &discard);
+        ::close(child.read_fd);
+        started.push_back(child.pid);
       }
       ReapAll(started);
       throw Error("sharded campaign: fork() failed");
@@ -79,6 +158,11 @@ CampaignReport RunShardedCampaign(const ConfSchema& schema,
       // serialized report back. _Exit avoids running the parent's atexit
       // hooks twice.
       ::close(fds[0]);
+      for (const Child& sibling : children) {
+        ::close(sibling.read_fd);
+      }
+      MaybeInjectShardFault(sharded.faults, static_cast<int>(shard_index),
+                            shard, corpus, fds[1]);
       CampaignOptions shard_options = options;
       shard_options.apps = shard;
       Campaign campaign(schema, corpus, shard_options);
@@ -91,55 +175,150 @@ CampaignReport RunShardedCampaign(const ConfSchema& schema,
       std::_Exit(0);
     }
     ::close(fds[1]);
-    children.push_back(Worker{pid, fds[0]});
+    Child child;
+    child.pid = pid;
+    child.read_fd = fds[0];
+    child.start_seconds = NowSeconds();
+    children.push_back(child);
   }
 
-  // Parent: drain every shard pipe (EINTR-safe; a failed read marks the
-  // worker bad but never aborts the loop), close all fds, then reap ALL
-  // children before deciding whether to throw — an error in one shard must
+  // Parent: poll-drain every shard pipe under a watchdog deadline (floor +
+  // multiplier * p95 of completed shard durations, adapting as shards
+  // finish). A hung shard is SIGKILLed — its EOF then arrives like any
+  // crashed worker's — so one deadlock delays the campaign by at most one
+  // deadline, never forever. A failed read marks the worker bad but never
+  // aborts the loop.
+  int64_t hung_workers = 0;
+  std::vector<double> shard_durations;
+  size_t open_children = children.size();
+  while (open_children > 0) {
+    std::vector<struct pollfd> poll_fds;
+    std::vector<size_t> poll_children;
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (!children[i].done) {
+        poll_fds.push_back({children[i].read_fd, POLLIN, 0});
+        poll_children.push_back(i);
+      }
+    }
+
+    double deadline = WatchdogDeadlineSeconds(options.watchdog_floor_seconds,
+                                              options.watchdog_multiplier,
+                                              shard_durations);
+    int timeout_ms = -1;
+    double t = NowSeconds();
+    if (deadline > 0) {
+      double earliest = -1.0;
+      for (size_t i : poll_children) {
+        double until = children[i].start_seconds + deadline;
+        earliest = earliest < 0 ? until : std::min(earliest, until);
+      }
+      timeout_ms = static_cast<int>(
+          std::ceil(std::max(0.0, earliest - t) * 1000.0));
+      timeout_ms = std::max(timeout_ms, 1);
+    }
+
+    int ready;
+    do {
+      ready = ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      // Keep draining with blocking reads rather than abandoning children.
+      for (size_t i : poll_children) {
+        Child& child = children[i];
+        child.read_ok = ReadToEof(child.read_fd, &child.text) && child.read_ok;
+        ::close(child.read_fd);
+        child.done = true;
+        --open_children;
+      }
+      break;
+    }
+
+    for (size_t slot = 0; slot < poll_fds.size(); ++slot) {
+      if (poll_fds[slot].revents == 0) {
+        continue;
+      }
+      Child& child = children[poll_children[slot]];
+      char buffer[65536];
+      ssize_t n;
+      do {
+        n = ::read(child.read_fd, buffer, sizeof(buffer));
+      } while (n < 0 && errno == EINTR);
+      if (n > 0) {
+        child.text.append(buffer, static_cast<size_t>(n));
+      } else {
+        if (n < 0) {
+          child.read_ok = false;
+        } else if (!child.killed) {
+          shard_durations.push_back(NowSeconds() - child.start_seconds);
+        }
+        ::close(child.read_fd);
+        child.done = true;
+        --open_children;
+      }
+    }
+
+    if (deadline > 0) {
+      double after = NowSeconds();
+      for (size_t i : poll_children) {
+        Child& child = children[i];
+        if (child.done || child.killed ||
+            after - child.start_seconds < deadline) {
+          continue;
+        }
+        ZLOG_WARN << "sharded campaign: watchdog SIGKILL — shard " << i
+                  << " exceeded " << deadline << "s deadline";
+        ::kill(child.pid, SIGKILL);
+        child.killed = true;  // EOF arrives on the next poll round
+        ++hung_workers;
+      }
+    }
+  }
+
+  // Reap ALL children before deciding anything — an error in one shard must
   // not leak the others as zombies.
-  std::vector<std::string> texts(children.size());
-  std::vector<bool> read_ok(children.size(), false);
-  std::vector<pid_t> pids;
-  for (size_t i = 0; i < children.size(); ++i) {
-    read_ok[i] = ReadToEof(children[i].read_fd, &texts[i]);
-    ::close(children[i].read_fd);
-    pids.push_back(children[i].pid);
-  }
-
   std::vector<int> statuses(children.size(), -1);
   for (size_t i = 0; i < children.size(); ++i) {
     int status = 0;
     pid_t reaped;
     do {
-      reaped = ::waitpid(pids[i], &status, 0);
+      reaped = ::waitpid(children[i].pid, &status, 0);
     } while (reaped < 0 && errno == EINTR);
-    statuses[i] = reaped == pids[i] ? status : -1;
+    statuses[i] = reaped == children[i].pid ? status : -1;
   }
 
+  // A shard is healthy only if its pipe drained cleanly, the child exited 0,
+  // and its report parses. Everything else — crash, watchdog kill, torn or
+  // garbled report — is recovered by re-running the shard's apps
+  // sequentially in this process: shard campaigns are deterministic, so the
+  // recovered report is exactly what the lost worker would have produced.
   std::vector<CampaignReport> reports;
-  std::string first_error;
+  int64_t requeued_units = 0;
   for (size_t i = 0; i < children.size(); ++i) {
-    if (!read_ok[i]) {
-      if (first_error.empty()) {
-        first_error = "sharded campaign: pipe read failed";
+    bool healthy = children[i].read_ok && !children[i].killed &&
+                   statuses[i] >= 0 && WIFEXITED(statuses[i]) &&
+                   WEXITSTATUS(statuses[i]) == 0;
+    if (healthy) {
+      try {
+        reports.push_back(DeserializeReport(children[i].text));
+        continue;
+      } catch (const Error&) {
+        healthy = false;  // garbled report: fall through to recovery
       }
-      continue;
     }
-    int status = statuses[i];
-    if (status < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      if (first_error.empty()) {
-        first_error = "sharded campaign: worker exited abnormally (status " +
-                      std::to_string(status) + ")";
-      }
-      continue;
-    }
-    reports.push_back(DeserializeReport(texts[i]));
+    ZLOG_WARN << "sharded campaign: shard " << i
+              << " failed (status " << statuses[i]
+              << "); re-running its apps in the parent";
+    CampaignOptions shard_options = options;
+    shard_options.apps = shards[i];
+    Campaign campaign(schema, corpus, shard_options);
+    reports.push_back(campaign.Run());
+    ++requeued_units;
   }
-  if (!first_error.empty()) {
-    throw Error(first_error);
-  }
-  return MergeReports(reports);
+
+  CampaignReport merged = MergeReports(reports);
+  merged.hung_workers += hung_workers;
+  merged.requeued_units += requeued_units;
+  return merged;
 }
 
 }  // namespace zebra

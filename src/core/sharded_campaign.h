@@ -6,21 +6,47 @@
 // worker *processes*: applications are partitioned across forked workers,
 // each worker runs its shard's campaign in its own address space, serializes
 // its report over a pipe, and the parent merges the shards.
+//
+// Fault tolerance (docs/ROBUSTNESS.md). The parent drains shard pipes with
+// poll() under a watchdog deadline (CampaignOptions::watchdog_floor_seconds +
+// watchdog_multiplier * p95 of completed shard durations); a hung shard is
+// SIGKILLed. Any failed shard — crash, hang, torn or garbled report — is
+// recovered by re-running its apps sequentially in the parent, so the merged
+// report is identical to a healthy run (shard campaigns are deterministic).
+// The runner throws only on setup errors (bad worker count, pipe/fork
+// failure), never on worker failure.
 
 #ifndef SRC_CORE_SHARDED_CAMPAIGN_H_
 #define SRC_CORE_SHARDED_CAMPAIGN_H_
 
 #include "src/core/campaign.h"
+#include "src/core/fault_injection.h"
 
 namespace zebra {
+
+struct ShardedCampaignOptions {
+  // Worker processes to fork (clamped to the app count).
+  int workers = 1;
+
+  // Deterministic fault-injection plan evaluated in each shard child before
+  // it runs, at (shard index, test id, attempt 0) coordinates — see
+  // fault_injection.h. Empty = no injected faults.
+  FaultPlan faults;
+};
 
 // Runs the campaign with apps partitioned over up to `workers` forked child
 // processes. Results are bitwise-identical to a sequential run (campaigns
 // are deterministic and shards are independent); wall-clock shrinks with the
-// slowest shard. Throws Error if a worker fails.
+// slowest shard.
 CampaignReport RunShardedCampaign(const ConfSchema& schema,
                                   const UnitTestRegistry& corpus,
                                   CampaignOptions options, int workers);
+
+// Full-control variant (fault-injection hooks for tests).
+CampaignReport RunShardedCampaign(const ConfSchema& schema,
+                                  const UnitTestRegistry& corpus,
+                                  CampaignOptions options,
+                                  const ShardedCampaignOptions& sharded);
 
 }  // namespace zebra
 

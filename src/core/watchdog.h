@@ -1,0 +1,45 @@
+// Watchdog deadline policy shared by the campaign runners (see
+// docs/ROBUSTNESS.md).
+//
+// A worker that hangs — a deadlocked unit test, a stuck syscall, a livelocked
+// mini-cluster — produces no EOF, so the crash-recovery path never fires and
+// a blocking read would stall the whole campaign forever. Instead the parent
+// gives every dispatch a deadline derived from what completions it has
+// actually observed:
+//
+//   deadline = floor + multiplier * p95(observed completion seconds)
+//
+// The p95 term adapts to the workload (units legitimately vary by orders of
+// magnitude across apps); the floor covers the cold start before any
+// completion has been observed and absorbs scheduling noise. A worker past
+// its deadline is SIGKILLed and its unit re-queued — at most one deadline +
+// backoff of delay per hang, never an indefinite stall.
+
+#ifndef SRC_CORE_WATCHDOG_H_
+#define SRC_CORE_WATCHDOG_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace zebra {
+
+// Returns the deadline in seconds for the next dispatch, or 0 when the
+// watchdog is disabled (floor_seconds <= 0). `samples` are the completion
+// times observed so far (taken by value: selection is destructive).
+inline double WatchdogDeadlineSeconds(double floor_seconds, double multiplier,
+                                      std::vector<double> samples) {
+  if (floor_seconds <= 0.0) {
+    return 0.0;
+  }
+  if (samples.empty() || multiplier <= 0.0) {
+    return floor_seconds;
+  }
+  size_t rank = (samples.size() * 95 + 99) / 100;  // ceil(0.95 * n), 1-based
+  rank = rank > 0 ? rank - 1 : 0;
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return floor_seconds + multiplier * samples[rank];
+}
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_WATCHDOG_H_

@@ -9,6 +9,7 @@
 #ifndef SRC_CORE_WORKER_IPC_H_
 #define SRC_CORE_WORKER_IPC_H_
 
+#include <signal.h>
 #include <sys/types.h>
 
 #include <string>
@@ -39,6 +40,26 @@ bool ReadFrame(int fd, std::string* payload);
 // exited normally with status 0. Call this on *all* children before throwing
 // for any of them — reaping must not be short-circuited by one failure.
 bool ReapAll(const std::vector<pid_t>& pids);
+
+// Scoped SIGPIPE suppression for the parent side of every runner: a write on
+// a pipe whose worker died must surface as a WriteAll/WriteFrame return-value
+// failure (EPIPE) the dispatch loop can retire-and-requeue on — never as
+// parent process death. Restores the previous disposition on scope exit.
+class ScopedIgnoreSigPipe {
+ public:
+  ScopedIgnoreSigPipe() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    ::sigaction(SIGPIPE, &ignore, &previous_);
+  }
+  ~ScopedIgnoreSigPipe() { ::sigaction(SIGPIPE, &previous_, nullptr); }
+  ScopedIgnoreSigPipe(const ScopedIgnoreSigPipe&) = delete;
+  ScopedIgnoreSigPipe& operator=(const ScopedIgnoreSigPipe&) = delete;
+
+ private:
+  struct sigaction previous_ {};
+};
 
 }  // namespace zebra
 

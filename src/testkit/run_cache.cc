@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/conf/plan_equiv.h"
 
@@ -128,7 +129,11 @@ bool DeserializeSessionReport(const std::string& blob, SessionReport* report) {
   return true;
 }
 
-constexpr char kCacheFileMagic[] = "zebra-run-cache-v1";
+// v2 added the trailing "C <fnv64 hex>" whole-file checksum line. v1 files
+// (no checksum) are rejected as corrupt: the cache is an optimization, so a
+// one-time cold start on upgrade is cheaper than trusting an unverifiable
+// file.
+constexpr char kCacheFileMagic[] = "zebra-run-cache-v2";
 
 }  // namespace
 
@@ -353,39 +358,72 @@ bool RunCache::SaveToFile(const std::string& path) const {
   if (!out) {
     return false;
   }
-  out << kCacheFileMagic << '\n' << lru_.size() << '\n';
+  // Every content line folds into a running digest; the trailing checksum
+  // line lets LoadFromFile reject a torn or bit-flipped file wholesale.
+  uint64_t digest = kFnv64Seed;
+  auto emit = [&out, &digest](const std::string& line) {
+    digest = HashFnv64(line, digest);
+    out << line << '\n';
+  };
+  emit(kCacheFileMagic);
+  emit(Int64ToString(static_cast<int64_t>(lru_.size())));
   // Front-to-back = most-to-least recent; LoadFromFile rebuilds in order.
   for (const auto& [key, entry] : lru_) {
-    out << "K " << EscapeLine(key) << '\n';
-    out << "P " << (entry.result.passed ? 1 : 0) << '\n';
-    out << "F " << EscapeLine(entry.result.failure) << '\n';
-    out << "T " << EscapeLine(entry.observed_trace) << '\n';
-    out << "R " << EscapeLine(SerializeSessionReport(entry.result.report)) << '\n';
+    emit("K " + EscapeLine(key));
+    emit(std::string("P ") + (entry.result.passed ? "1" : "0"));
+    emit("F " + EscapeLine(entry.result.failure));
+    emit("T " + EscapeLine(entry.observed_trace));
+    emit("R " + EscapeLine(SerializeSessionReport(entry.result.report)));
   }
+  out << "C " << HashToHex(digest) << '\n';
   return static_cast<bool>(out);
 }
 
 bool RunCache::LoadFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    return false;
+    return false;  // missing file: the normal cold start, not a failure
   }
   lru_.clear();
   index_.clear();
   trace_keys_by_test_.clear();
   stats_.entries = 0;
   stats_.bytes = 0;
-  std::string line;
-  if (!std::getline(in, line) || line != kCacheFileMagic) {
+
+  // Any defect — bad magic, torn tail, checksum mismatch, unparseable entry —
+  // lands here: the cache degrades to empty (a cold start) instead of
+  // throwing or keeping a half-loaded state.
+  auto reject = [this, &path](const char* why) {
+    ZLOG_WARN << "run cache: ignoring " << path << " (" << why
+              << "); starting cold";
+    lru_.clear();
+    index_.clear();
+    trace_keys_by_test_.clear();
+    stats_.entries = 0;
+    stats_.bytes = 0;
+    ++stats_.load_failures;
     return false;
+  };
+
+  uint64_t digest = kFnv64Seed;
+  std::string line;
+  auto next_line = [&in, &line, &digest]() {
+    if (!std::getline(in, line)) {
+      return false;
+    }
+    digest = HashFnv64(line, digest);
+    return true;
+  };
+
+  if (!next_line() || line != kCacheFileMagic) {
+    return reject("not a run-cache file or unsupported version");
   }
   int64_t count = 0;
-  if (!std::getline(in, line) || !ParseInt64(line, &count) || count < 0) {
-    return false;
+  if (!next_line() || !ParseInt64(line, &count) || count < 0) {
+    return reject("corrupt entry count");
   }
-  auto read_field = [&in, &line](char tag, std::string* value) {
-    if (!std::getline(in, line) || line.size() < 2 || line[0] != tag ||
-        line[1] != ' ') {
+  auto read_field = [&next_line, &line](char tag, std::string* value) {
+    if (!next_line() || line.size() < 2 || line[0] != tag || line[1] != ' ') {
       return false;
     }
     *value = UnescapeLine(line.substr(2));
@@ -400,10 +438,7 @@ bool RunCache::LoadFromFile(const std::string& path) {
         !read_field('F', &entry.result.failure) ||
         !read_field('T', &entry.observed_trace) || !read_field('R', &blob) ||
         !DeserializeSessionReport(blob, &entry.result.report)) {
-      lru_.clear();
-      index_.clear();
-      trace_keys_by_test_.clear();
-      return false;
+      return reject("truncated or corrupt entry");
     }
     entry.result.passed = passed == "1";
     // File order is most-to-least recent; append keeps it.
@@ -420,6 +455,12 @@ bool RunCache::LoadFromFile(const std::string& path) {
         trace_keys_by_test_[it->first.substr(2, id_end - 2)].push_back(it->first);
       }
     }
+  }
+  // The checksum line covers everything above it (it is not folded into the
+  // digest itself).
+  uint64_t content_digest = digest;
+  if (!std::getline(in, line) || line != "C " + HashToHex(content_digest)) {
+    return reject("checksum mismatch (torn or tampered file)");
   }
   EnforceLimits();
   return true;

@@ -105,6 +105,12 @@ class RunCache {
     int64_t mispredictions = 0;        // predicted trace != observed/stored trace
     int64_t evictions = 0;             // LRU evictions under Limits
 
+    // Corrupt/truncated cache files rejected by LoadFromFile. Deliberately
+    // NOT cleared by ResetStats: load failures are a per-process health
+    // signal (surfaced as CampaignReport::cache_load_failures), not a
+    // per-campaign counter.
+    int64_t load_failures = 0;
+
     double HitRate() const {
       return hits + misses == 0
                  ? 0.0
@@ -150,9 +156,14 @@ class RunCache {
 
   // Persistence, for warm-starting repeated campaign invocations. The file
   // round-trips every entry (including the full SessionReport — warm-started
-  // pre-runs feed test generation) in recency order. Load replaces the
-  // current contents; stats are not persisted. Both return false on I/O or
-  // parse failure (a failed load leaves the cache empty, never half-loaded).
+  // pre-runs feed test generation) in recency order, and ends with a
+  // whole-file checksum line so a torn write (crash mid-save, disk full)
+  // cannot masquerade as a valid cache. Load replaces the current contents;
+  // stats are not persisted. Both return false on I/O or parse failure; a
+  // failed load leaves the cache empty — never half-loaded, never throwing —
+  // logs a warning, and increments Stats::load_failures (except for a
+  // missing file, which is the normal cold-start case). A warm start is an
+  // optimization, so corruption degrades to a cold start, not a crash.
   bool SaveToFile(const std::string& path) const;
   bool LoadFromFile(const std::string& path);
 

@@ -6,6 +6,8 @@
 #include "src/testkit/run_cache.h"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -320,10 +322,83 @@ TEST(RunCacheTest, SaveLoadRejectsCorruptFile) {
   RunCache cache;
   cache.Insert("t", "p", 0, /*trial_insensitive=*/false, MakeResult(true, ""));
   EXPECT_FALSE(cache.LoadFromFile(path));
-  // A failed load leaves the cache empty, never half-loaded.
+  // A failed load leaves the cache empty, never half-loaded — and counts a
+  // load failure (the campaign surfaces it as cache_load_failures).
   EXPECT_EQ(cache.stats().entries, 0);
   EXPECT_EQ(cache.Lookup("t", "p", 0), nullptr);
+  EXPECT_EQ(cache.stats().load_failures, 1);
   std::remove(path.c_str());
+}
+
+TEST(RunCacheTest, LoadRejectsTruncatedRealFile) {
+  // A genuine save, torn mid-write (crash, disk full): the trailing
+  // checksum is gone, so the load must reject the file and start cold
+  // rather than trust a half-written cache.
+  const std::string path = ::testing::TempDir() + "/run_cache_torn.zc";
+  RunCache cache;
+  cache.Insert("alpha", "plan-a", 0, /*trial_insensitive=*/true,
+               MakeResult(true, ""));
+  cache.Insert("beta", "plan-b", 1, /*trial_insensitive=*/false,
+               MakeResult(false, "boom"));
+  ASSERT_TRUE(cache.SaveToFile(path));
+
+  std::string full;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    full = buffer.str();
+  }
+  ASSERT_GT(full.size(), 40u);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << full.substr(0, full.size() - 30);
+  }
+
+  RunCache reloaded;
+  EXPECT_FALSE(reloaded.LoadFromFile(path));
+  EXPECT_EQ(reloaded.stats().entries, 0);
+  EXPECT_EQ(reloaded.stats().load_failures, 1);
+  std::remove(path.c_str());
+}
+
+TEST(RunCacheTest, LoadRejectsBitFlippedFileByChecksum) {
+  // Same length, one byte flipped inside an entry: only the whole-file
+  // checksum can catch this.
+  const std::string path = ::testing::TempDir() + "/run_cache_bitflip.zc";
+  RunCache cache;
+  cache.Insert("alpha", "plan-a", 0, /*trial_insensitive=*/true,
+               MakeResult(true, "xyzzy-payload"));
+  ASSERT_TRUE(cache.SaveToFile(path));
+
+  std::string full;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    full = buffer.str();
+  }
+  size_t position = full.find("plan-a");
+  ASSERT_NE(position, std::string::npos);
+  full[position] = 'q';
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << full;
+  }
+
+  RunCache reloaded;
+  EXPECT_FALSE(reloaded.LoadFromFile(path));
+  EXPECT_EQ(reloaded.stats().entries, 0);
+  EXPECT_EQ(reloaded.stats().load_failures, 1);
+  std::remove(path.c_str());
+}
+
+TEST(RunCacheTest, MissingFileIsColdStartNotFailure) {
+  const std::string path = ::testing::TempDir() + "/run_cache_missing.zc";
+  std::remove(path.c_str());
+  RunCache cache;
+  EXPECT_FALSE(cache.LoadFromFile(path));
+  EXPECT_EQ(cache.stats().load_failures, 0);
 }
 
 TEST(RunCacheTest, ScopedInstallRestoresPrevious) {

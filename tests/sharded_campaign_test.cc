@@ -58,6 +58,89 @@ TEST(ShardedCampaignTest, ZeroWorkersRejected) {
   EXPECT_THROW(RunShardedCampaign(FullSchema(), FullCorpus(), options, 0), Error);
 }
 
+// Shared check for the fault-recovery tests below: every injected shard
+// failure must be recovered by an in-parent re-run, so the merged report
+// matches the sequential one finding-for-finding.
+void ExpectMatchesSequential(const CampaignReport& got,
+                             const CampaignReport& expected) {
+  ASSERT_EQ(got.findings.size(), expected.findings.size());
+  for (const auto& [param, finding] : expected.findings) {
+    ASSERT_TRUE(got.findings.count(param) > 0) << param;
+    EXPECT_EQ(got.findings.at(param).witness_tests, finding.witness_tests)
+        << param;
+  }
+  EXPECT_EQ(got.TotalExecuted(), expected.TotalExecuted());
+  for (const auto& [app, stage] : expected.per_app) {
+    ASSERT_TRUE(got.per_app.count(app) > 0) << app;
+    EXPECT_EQ(got.per_app.at(app).after_prerun, stage.after_prerun) << app;
+  }
+}
+
+TEST(ShardedCampaignTest, SurvivesWorkerCrash) {
+  CampaignOptions options;
+  options.apps = {"minikv", "ministream"};
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+
+  ShardedCampaignOptions sharded;
+  sharded.workers = 2;
+  FaultSpec crash;
+  crash.kind = FaultKind::kCrash;
+  crash.worker = 0;  // shard 0 _Exits before producing a report
+  sharded.faults.specs.push_back(crash);
+
+  CampaignReport got =
+      RunShardedCampaign(FullSchema(), FullCorpus(), options, sharded);
+  ExpectMatchesSequential(got, expected);
+  EXPECT_GE(got.requeued_units, 1);
+  EXPECT_EQ(got.hung_workers, 0);
+}
+
+TEST(ShardedCampaignTest, SurvivesGarbledShardReport) {
+  CampaignOptions options;
+  options.apps = {"minikv", "ministream"};
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+
+  ShardedCampaignOptions sharded;
+  sharded.workers = 2;
+  FaultSpec garble;
+  garble.kind = FaultKind::kGarbledFrame;
+  garble.worker = 1;  // shard 1 exits 0 but its report fails to parse
+  sharded.faults.specs.push_back(garble);
+
+  CampaignReport got =
+      RunShardedCampaign(FullSchema(), FullCorpus(), options, sharded);
+  ExpectMatchesSequential(got, expected);
+  EXPECT_GE(got.requeued_units, 1);
+}
+
+TEST(ShardedCampaignTest, WatchdogRecoversHungShard) {
+  CampaignOptions options;
+  options.apps = {"minikv", "ministream"};
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  CampaignReport expected = sequential.Run();
+
+  // Tight floor so the test stays fast; the healthy shard finishes well
+  // before the deadline and seeds the p95 term for the hung one.
+  options.watchdog_floor_seconds = 0.3;
+  options.watchdog_multiplier = 4.0;
+  ShardedCampaignOptions sharded;
+  sharded.workers = 2;
+  FaultSpec hang;
+  hang.kind = FaultKind::kHang;
+  hang.worker = 0;
+  sharded.faults.specs.push_back(hang);
+
+  CampaignReport got =
+      RunShardedCampaign(FullSchema(), FullCorpus(), options, sharded);
+  // The recovery re-run uses the same options, so compare against the
+  // unmodified sequential reference: watchdog tuning never changes findings.
+  ExpectMatchesSequential(got, expected);
+  EXPECT_GE(got.hung_workers, 1);
+  EXPECT_GE(got.requeued_units, 1);
+}
+
 TEST(ShardedCampaignTest, FullCorpusAcrossThreeWorkers) {
   CampaignOptions options;  // all apps
   CampaignReport sharded =

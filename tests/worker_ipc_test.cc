@@ -1,0 +1,133 @@
+// Tests for the hardened pipe plumbing both campaign runners share — frame
+// round-trips, malformed-header rejection, and the SIGPIPE regression: a
+// worker that dies between dispatch and the parent's write must surface as a
+// WriteFrame/WriteAll return-value failure, never as parent process death.
+
+#include "src/core/worker_ipc.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace zebra {
+namespace {
+
+class PipePair {
+ public:
+  PipePair() { EXPECT_EQ(::pipe(fds_), 0); }
+  ~PipePair() {
+    CloseRead();
+    CloseWrite();
+  }
+  int read_fd() const { return fds_[0]; }
+  int write_fd() const { return fds_[1]; }
+  void CloseRead() {
+    if (fds_[0] >= 0) {
+      ::close(fds_[0]);
+      fds_[0] = -1;
+    }
+  }
+  void CloseWrite() {
+    if (fds_[1] >= 0) {
+      ::close(fds_[1]);
+      fds_[1] = -1;
+    }
+  }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+TEST(WorkerIpcTest, FrameRoundTrip) {
+  PipePair pipe;
+  const std::string payload = "run 42 0\nparam.a,param.b";
+  ASSERT_TRUE(WriteFrame(pipe.write_fd(), payload));
+  std::string got;
+  ASSERT_TRUE(ReadFrame(pipe.read_fd(), &got));
+  EXPECT_EQ(got, payload);
+}
+
+TEST(WorkerIpcTest, EmptyAndBinaryPayloadsRoundTrip) {
+  PipePair pipe;
+  ASSERT_TRUE(WriteFrame(pipe.write_fd(), ""));
+  std::string binary("\x00\x01\xff\n\x1f", 5);
+  ASSERT_TRUE(WriteFrame(pipe.write_fd(), binary));
+  std::string got;
+  ASSERT_TRUE(ReadFrame(pipe.read_fd(), &got));
+  EXPECT_EQ(got, "");
+  ASSERT_TRUE(ReadFrame(pipe.read_fd(), &got));
+  EXPECT_EQ(got, binary);
+}
+
+TEST(WorkerIpcTest, ReadFrameFailsOnEof) {
+  PipePair pipe;
+  pipe.CloseWrite();
+  std::string got;
+  EXPECT_FALSE(ReadFrame(pipe.read_fd(), &got));
+}
+
+TEST(WorkerIpcTest, ReadFrameRejectsGarbledHeader) {
+  // Exactly what a kGarbledFrame fault injects: 16 junk bytes where the
+  // zero-padded decimal length header belongs.
+  PipePair pipe;
+  ASSERT_TRUE(WriteAll(pipe.write_fd(), "!GARBLED-FRAME!!", 16));
+  pipe.CloseWrite();
+  std::string got;
+  EXPECT_FALSE(ReadFrame(pipe.read_fd(), &got));
+}
+
+TEST(WorkerIpcTest, ReadFrameRejectsTruncatedPayload) {
+  PipePair pipe;
+  // A valid header promising more bytes than ever arrive (torn write).
+  ASSERT_TRUE(WriteAll(pipe.write_fd(), "0000000000000100", 16));
+  ASSERT_TRUE(WriteAll(pipe.write_fd(), "short", 5));
+  pipe.CloseWrite();
+  std::string got;
+  EXPECT_FALSE(ReadFrame(pipe.read_fd(), &got));
+}
+
+TEST(WorkerIpcTest, WriteToDeadReaderFailsWithoutKillingProcess) {
+  // Regression test for the dispatch-time race: the worker exits (its read
+  // end closes) after the parent decided to dispatch but before the write.
+  // With SIGPIPE ignored the write must return false — reaching the
+  // assertions below *is* the test; an unhandled SIGPIPE would kill us.
+  ScopedIgnoreSigPipe guard;
+
+  PipePair pipe;
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child plays the worker that dies immediately without reading.
+    std::_Exit(0);
+  }
+  pipe.CloseRead();  // parent's copy; the child's copy dies with the child
+  ASSERT_TRUE(ReapAll({pid}));
+
+  // Fill past the pipe buffer if needed: the first small write after the
+  // reader is gone already fails with EPIPE.
+  EXPECT_FALSE(WriteFrame(pipe.write_fd(), "run 0 0\n"));
+  EXPECT_FALSE(WriteAll(pipe.write_fd(), "x", 1));
+}
+
+TEST(WorkerIpcTest, ReapAllReportsNonZeroExit) {
+  pid_t ok = ::fork();
+  ASSERT_GE(ok, 0);
+  if (ok == 0) {
+    std::_Exit(0);
+  }
+  EXPECT_TRUE(ReapAll({ok}));
+
+  pid_t bad = ::fork();
+  ASSERT_GE(bad, 0);
+  if (bad == 0) {
+    std::_Exit(13);
+  }
+  EXPECT_FALSE(ReapAll({bad}));
+}
+
+}  // namespace
+}  // namespace zebra
