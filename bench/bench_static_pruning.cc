@@ -1,16 +1,27 @@
-// zebralint static pruning and prioritization (the §8 "static analysis can
-// shrink the dynamic search space" extension):
+// zebralint static pruning, prioritization, and incrementality (the §8
+// "static analysis can shrink the dynamic search space" extension):
 //
 //  * per-app instance counts with the static stage inserted between Table 5
 //    row 1 (original) and row 2 (after pre-run),
 //  * runs-to-first-true-detection for the wire-tainted-first order versus
 //    the expected unprioritized order (mean over seeded shuffles),
+//  * cold versus incremental analysis wall time — a warm summary cache with
+//    one touched TU must re-parse exactly that TU and come in at least an
+//    order of magnitude under a cold scan,
+//  * the coupling add-on's run overhead on a real app campaign,
 //  * analyzer throughput microbenchmark (it rescans the whole tree).
+//
+// Everything is also emitted as BENCH_static.json for machine consumption.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "src/analysis/static_prior.h"
+#include "src/analysis/summary_cache.h"
 #include "src/testkit/ground_truth.h"
 
 namespace zebra {
@@ -25,37 +36,65 @@ const analysis::StaticPriorReport& Prior() {
   return *kPrior;
 }
 
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
 CampaignReport RunApp(const std::string& app,
                       const analysis::StaticPriorReport* prior,
-                      uint64_t shuffle_seed, bool pooling) {
+                      uint64_t shuffle_seed, bool pooling,
+                      bool coupling = true) {
   CampaignOptions options;
   options.apps = {app};
   options.enable_pooling = pooling;
   options.static_prior = prior;
   options.shuffle_order_seed = shuffle_seed;
+  options.enable_coupling_plans = coupling;
   Campaign campaign(FullSchema(), FullCorpus(), options);
   return campaign.Run();
 }
 
-void PrintStaticStage() {
+// ---------------------------------------------------------------------------
+// Static pruning stage (Table 5 extension).
+
+struct StageRow {
+  std::string app;
+  int64_t original = 0;
+  int64_t after_static = 0;
+  int64_t after_prerun = 0;
+};
+
+std::vector<StageRow> CollectStageRows() {
+  std::vector<StageRow> rows;
+  for (const std::string& app : PaperAppOrder()) {
+    CampaignReport report = RunApp(app, &Prior(), 0, /*pooling=*/true);
+    const AppStageCounts& counts = report.per_app.at(app);
+    rows.push_back({app, counts.original, counts.after_static,
+                    counts.after_prerun});
+  }
+  return rows;
+}
+
+void PrintStaticStage(const std::vector<StageRow>& rows) {
   PrintHeader(
       "zebralint — static pruning stage (inserted before Table 5's pre-run)");
   std::printf("%-28s%14s%14s%14s%10s\n", "", "original", "after_static",
               "after_prerun", "pruned%");
   PrintRule('-', 80);
-  for (const std::string& app : PaperAppOrder()) {
-    CampaignReport report = RunApp(app, &Prior(), 0, /*pooling=*/true);
-    const AppStageCounts& counts = report.per_app.at(app);
-    double pct =
-        counts.original > 0
-            ? 100.0 *
-                  static_cast<double>(counts.original - counts.after_static) /
-                  static_cast<double>(counts.original)
-            : 0.0;
-    std::printf("%-28s%14s%14s%14s%9.2f%%\n", PaperName(app).c_str(),
-                WithCommas(counts.original).c_str(),
-                WithCommas(counts.after_static).c_str(),
-                WithCommas(counts.after_prerun).c_str(), pct);
+  for (const StageRow& row : rows) {
+    double pct = row.original > 0
+                     ? 100.0 *
+                           static_cast<double>(row.original - row.after_static) /
+                           static_cast<double>(row.original)
+                     : 0.0;
+    std::printf("%-28s%14s%14s%14s%9.2f%%\n", PaperName(row.app).c_str(),
+                WithCommas(row.original).c_str(),
+                WithCommas(row.after_static).c_str(),
+                WithCommas(row.after_prerun).c_str(), pct);
   }
   std::printf(
       "\nNever-read schema parameters pruned statically: %zu "
@@ -64,42 +103,254 @@ void PrintStaticStage() {
       Prior().never_read.size());
 }
 
-void PrintPrioritization() {
+// ---------------------------------------------------------------------------
+// Prioritization: wire-tainted-first versus seeded shuffles.
+
+struct PrioritizationResult {
+  int64_t prioritized_runs = 0;
+  std::string prioritized_first;
+  bool prioritized_true_positive = false;
+  std::vector<int64_t> shuffle_runs;  // one per seed
+  double shuffle_mean = 0.0;
+};
+
+PrioritizationResult CollectPrioritization() {
+  PrioritizationResult result;
+  CampaignReport prioritized =
+      RunApp("minidfs", &Prior(), 0, /*pooling=*/false);
+  result.prioritized_runs = prioritized.runs_to_first_detection;
+  result.prioritized_first = prioritized.first_detection_param;
+  result.prioritized_true_positive =
+      IsExpectedUnsafe(prioritized.first_detection_param);
+
+  int64_t total = 0;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    CampaignReport baseline =
+        RunApp("minidfs", nullptr, seed, /*pooling=*/false);
+    result.shuffle_runs.push_back(baseline.runs_to_first_detection);
+    total += baseline.runs_to_first_detection;
+  }
+  result.shuffle_mean =
+      static_cast<double>(total) / static_cast<double>(result.shuffle_runs.size());
+  return result;
+}
+
+void PrintPrioritization(const PrioritizationResult& result) {
   PrintHeader(
       "zebralint — wire-tainted-first ordering: unit-test runs to the first "
       "true detection");
   std::printf(
       "minidfs, individual verification (pooling shares one run across all\n"
       "parameters, so ordering only matters for the unpooled verifier):\n\n");
-
-  CampaignReport prioritized =
-      RunApp("minidfs", &Prior(), 0, /*pooling=*/false);
   std::printf("  prioritized (static prior):     %6s runs  (first: %s%s)\n",
-              WithCommas(prioritized.runs_to_first_detection).c_str(),
-              prioritized.first_detection_param.c_str(),
-              IsExpectedUnsafe(prioritized.first_detection_param)
-                  ? ", true positive"
-                  : "");
-
-  int64_t total = 0;
-  const uint64_t kSeeds[] = {1, 2, 3, 4, 5};
-  for (uint64_t seed : kSeeds) {
-    CampaignReport baseline =
-        RunApp("minidfs", nullptr, seed, /*pooling=*/false);
-    std::printf("  unprioritized shuffle seed %llu:  %6s runs  (first: %s)\n",
-                static_cast<unsigned long long>(seed),
-                WithCommas(baseline.runs_to_first_detection).c_str(),
-                baseline.first_detection_param.c_str());
-    total += baseline.runs_to_first_detection;
+              WithCommas(result.prioritized_runs).c_str(),
+              result.prioritized_first.c_str(),
+              result.prioritized_true_positive ? ", true positive" : "");
+  for (size_t i = 0; i < result.shuffle_runs.size(); ++i) {
+    std::printf("  unprioritized shuffle seed %zu:  %6s runs\n", i + 1,
+                WithCommas(result.shuffle_runs[i]).c_str());
   }
-  double mean = static_cast<double>(total) / 5.0;
   std::printf(
       "\n  unprioritized mean: %.1f runs -> prioritized saves %.1f runs "
       "(%.1f%%)\n",
-      mean, mean - static_cast<double>(prioritized.runs_to_first_detection),
+      result.shuffle_mean,
+      result.shuffle_mean - static_cast<double>(result.prioritized_runs),
       100.0 *
-          (mean - static_cast<double>(prioritized.runs_to_first_detection)) /
-          mean);
+          (result.shuffle_mean - static_cast<double>(result.prioritized_runs)) /
+          result.shuffle_mean);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental analysis: cold scan versus warm summary cache with one TU
+// touched. The touched TU keeps its declarations (same tables) and varies
+// only a statement body, mirroring the common edit during a lint-fix loop.
+
+struct IncrementalResult {
+  int tus_total = 0;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  double speedup = 0.0;
+  int warm_tus_parsed = 0;
+  int warm_tus_from_cache = 0;
+  bool table_hash_invalidated = false;
+};
+
+std::string TouchedTu(int revision) {
+  std::string body = "\nnamespace zebra {\n\nvoid BenchTouch::Spin() {\n";
+  body += "  int spins = " + std::to_string(1000 + revision) + ";\n";
+  body += "  spins_ = spins;\n}\n\n}  // namespace zebra\n";
+  return body;
+}
+
+void AddBenchTree(analysis::StaticAnalyzer* analyzer, int revision) {
+  analyzer->AddTree(ZEBRALINT_SOURCE_ROOT);
+  analyzer->AddSource("src/apps/minidfs/bench_touch.cc", TouchedTu(revision));
+}
+
+IncrementalResult MeasureIncremental() {
+  IncrementalResult result;
+
+  // Cold: full lex + extract of every TU. Best of three.
+  result.cold_ms = 1e18;
+  for (int i = 0; i < 3; ++i) {
+    analysis::StaticAnalyzer cold;
+    AddBenchTree(&cold, /*revision=*/0);
+    double ms = TimeMs([&] {
+      analysis::StaticPriorReport report = cold.Analyze(&FullSchema());
+      benchmark::DoNotOptimize(report.params.size());
+    });
+    result.cold_ms = std::min(result.cold_ms, ms);
+    result.tus_total = cold.stats().tus_total;
+  }
+
+  // Seed the cache with revision 0 of the touched TU, then time warm runs
+  // where only that TU's body changed (a fresh revision each iteration so
+  // exactly one TU misses the cache every time).
+  analysis::SummaryCache cache;
+  {
+    analysis::StaticAnalyzer seed;
+    AddBenchTree(&seed, /*revision=*/0);
+    seed.UseSummaryCache(&cache);
+    seed.Analyze(&FullSchema());
+  }
+  result.warm_ms = 1e18;
+  for (int revision = 1; revision <= 5; ++revision) {
+    analysis::StaticAnalyzer warm;
+    AddBenchTree(&warm, revision);
+    warm.UseSummaryCache(&cache);
+    double ms = TimeMs([&] {
+      analysis::StaticPriorReport report = warm.Analyze(&FullSchema());
+      benchmark::DoNotOptimize(report.params.size());
+    });
+    result.warm_ms = std::min(result.warm_ms, ms);
+    result.warm_tus_parsed = warm.stats().tus_parsed;
+    result.warm_tus_from_cache = warm.stats().tus_from_cache;
+    result.table_hash_invalidated = warm.stats().table_hash_invalidated;
+  }
+  result.speedup = result.warm_ms > 0.0 ? result.cold_ms / result.warm_ms : 0.0;
+  return result;
+}
+
+void PrintIncremental(const IncrementalResult& result) {
+  PrintHeader(
+      "zebralint — incremental re-analysis (summary cache, one TU touched)");
+  std::printf("  tree size:             %d TUs\n", result.tus_total);
+  std::printf("  cold analysis:         %8.2f ms  (every TU parsed)\n",
+              result.cold_ms);
+  std::printf(
+      "  incremental analysis:  %8.2f ms  (%d TU parsed, %d from cache%s)\n",
+      result.warm_ms, result.warm_tus_parsed, result.warm_tus_from_cache,
+      result.table_hash_invalidated ? ", TABLE HASH INVALIDATED" : "");
+  std::printf("  speedup:               %8.1fx  (target: >= 10x)%s\n",
+              result.speedup, result.speedup >= 10.0 ? "" : "  ** BELOW TARGET **");
+}
+
+// ---------------------------------------------------------------------------
+// Coupling add-on overhead: the pairwise combination phase on a real app.
+
+struct CouplingResult {
+  double baseline_ms = 0.0;
+  double coupled_ms = 0.0;
+  int64_t coupling_runs = 0;
+  int64_t coupling_confirmations = 0;
+  int64_t baseline_executed = 0;
+  int64_t coupled_executed = 0;
+  size_t baseline_findings = 0;
+  size_t coupled_findings = 0;
+};
+
+CouplingResult MeasureCoupling() {
+  CouplingResult result;
+  CampaignReport baseline;
+  result.baseline_ms = TimeMs([&] {
+    baseline = RunApp("minikv", &Prior(), 0, /*pooling=*/true,
+                      /*coupling=*/false);
+  });
+  CampaignReport coupled;
+  result.coupled_ms = TimeMs([&] {
+    coupled = RunApp("minikv", &Prior(), 0, /*pooling=*/true,
+                     /*coupling=*/true);
+  });
+  result.coupling_runs = coupled.coupling_runs;
+  result.coupling_confirmations = coupled.coupling_confirmations;
+  result.baseline_executed = baseline.TotalExecuted();
+  result.coupled_executed = coupled.TotalExecuted();
+  result.baseline_findings = baseline.findings.size();
+  result.coupled_findings = coupled.findings.size();
+  return result;
+}
+
+void PrintCoupling(const CouplingResult& result) {
+  PrintHeader("zebralint — coupling add-on overhead (minikv, pooled)");
+  std::printf("  coupling sets in prior:   %zu\n", Prior().coupling_sets.size());
+  std::printf("  baseline (add-on off):    %6s runs  %8.2f ms  %zu findings\n",
+              WithCommas(result.baseline_executed).c_str(), result.baseline_ms,
+              result.baseline_findings);
+  std::printf("  with coupling add-on:     %6s runs  %8.2f ms  %zu findings\n",
+              WithCommas(result.coupled_executed).c_str(), result.coupled_ms,
+              result.coupled_findings);
+  std::printf(
+      "  add-on cost:              %6s extra runs, %lld coupled "
+      "confirmations\n",
+      WithCommas(result.coupling_runs).c_str(),
+      static_cast<long long>(result.coupling_confirmations));
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable artifact.
+
+void WriteArtifact(const std::vector<StageRow>& rows,
+                   const PrioritizationResult& prioritization,
+                   const IncrementalResult& incremental,
+                   const CouplingResult& coupling) {
+  WriteBenchJson("BENCH_static.json", [&](JsonWriter& json) {
+    json.BeginArray("static_stage");
+    for (const StageRow& row : rows) {
+      json.BeginObject();
+      json.Field("app", row.app);
+      json.Field("original", row.original);
+      json.Field("after_static", row.after_static);
+      json.Field("after_prerun", row.after_prerun);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Field("never_read_pruned",
+               static_cast<int64_t>(Prior().never_read.size()));
+
+    json.BeginObject("prioritization");
+    json.Field("prioritized_runs_to_first_detection",
+               prioritization.prioritized_runs);
+    json.Field("prioritized_first_param", prioritization.prioritized_first);
+    json.Field("prioritized_first_is_true_positive",
+               prioritization.prioritized_true_positive);
+    json.Field("unprioritized_mean_runs", prioritization.shuffle_mean, 1);
+    json.EndObject();
+
+    json.BeginObject("incremental");
+    json.Field("tus_total", incremental.tus_total);
+    json.Field("cold_ms", incremental.cold_ms, 3);
+    json.Field("incremental_ms", incremental.warm_ms, 3);
+    json.Field("speedup", incremental.speedup, 1);
+    json.Field("tus_parsed", incremental.warm_tus_parsed);
+    json.Field("tus_from_cache", incremental.warm_tus_from_cache);
+    json.Field("table_hash_invalidated", incremental.table_hash_invalidated);
+    json.Field("meets_10x_target", incremental.speedup >= 10.0);
+    json.EndObject();
+
+    json.BeginObject("coupling");
+    json.Field("coupling_sets", static_cast<int64_t>(Prior().coupling_sets.size()));
+    json.Field("baseline_runs", coupling.baseline_executed);
+    json.Field("coupled_runs_total", coupling.coupled_executed);
+    json.Field("coupling_runs", coupling.coupling_runs);
+    json.Field("coupling_confirmations", coupling.coupling_confirmations);
+    json.Field("baseline_findings",
+               static_cast<int64_t>(coupling.baseline_findings));
+    json.Field("coupled_findings",
+               static_cast<int64_t>(coupling.coupled_findings));
+    json.Field("baseline_ms", coupling.baseline_ms, 3);
+    json.Field("coupled_ms", coupling.coupled_ms, 3);
+    json.EndObject();
+  });
 }
 
 void BM_SelfScan(benchmark::State& state) {
@@ -112,12 +363,39 @@ void BM_SelfScan(benchmark::State& state) {
 }
 BENCHMARK(BM_SelfScan)->Unit(benchmark::kMillisecond);
 
+void BM_IncrementalScan(benchmark::State& state) {
+  analysis::SummaryCache cache;
+  {
+    analysis::StaticAnalyzer seed;
+    AddBenchTree(&seed, 0);
+    seed.UseSummaryCache(&cache);
+    seed.Analyze(&FullSchema());
+  }
+  int revision = 0;
+  for (auto _ : state) {
+    ++revision;
+    analysis::StaticAnalyzer warm;
+    AddBenchTree(&warm, revision);
+    warm.UseSummaryCache(&cache);
+    analysis::StaticPriorReport report = warm.Analyze(&FullSchema());
+    benchmark::DoNotOptimize(report.params.size());
+  }
+}
+BENCHMARK(BM_IncrementalScan)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace zebra
 
 int main(int argc, char** argv) {
-  zebra::PrintStaticStage();
-  zebra::PrintPrioritization();
+  std::vector<zebra::StageRow> rows = zebra::CollectStageRows();
+  zebra::PrintStaticStage(rows);
+  zebra::PrioritizationResult prioritization = zebra::CollectPrioritization();
+  zebra::PrintPrioritization(prioritization);
+  zebra::IncrementalResult incremental = zebra::MeasureIncremental();
+  zebra::PrintIncremental(incremental);
+  zebra::CouplingResult coupling = zebra::MeasureCoupling();
+  zebra::PrintCoupling(coupling);
+  zebra::WriteArtifact(rows, prioritization, incremental, coupling);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,10 @@
 //   $ ./full_campaign --equiv-cache            # observational-equivalence dedup
 //   $ ./full_campaign --journal camp.zj        # crash-safe result journal
 //   $ ./full_campaign --journal camp.zj --resume   # pick up where it stopped
+//   $ ./full_campaign --static-prior           # zebralint prune/rank/couple
+//   $ ./full_campaign --static-prior --no-coupling-plans   # ablate coupling
+//   $ ./full_campaign --impacted-only diff.json    # re-test only tests whose
+//                                                  # reads intersect the diff
 //
 // SIGINT/SIGTERM request a graceful stop: the campaign halts at the next
 // unit boundary, the run cache (if any) is saved, and — when journaling —
@@ -24,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/prior_diff.h"
+#include "src/analysis/static_prior.h"
 #include "src/common/error.h"
 #include "src/core/campaign.h"
 #include "src/core/parallel_scheduler.h"
@@ -56,6 +62,8 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string cache_file;
   std::string journal_path;
+  std::string impacted_path;
+  bool use_static_prior = false;
   bool resume = false;
   int workers = 1;
   for (int i = 1; i < argc; ++i) {
@@ -82,20 +90,33 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (std::strcmp(argv[i], "--watchdog-floor") == 0 && i + 1 < argc) {
       options.watchdog_floor_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--static-prior") == 0) {
+      use_static_prior = true;
+    } else if (std::strcmp(argv[i], "--no-coupling-plans") == 0) {
+      options.enable_coupling_plans = false;
+    } else if (std::strcmp(argv[i], "--impacted-only") == 0 && i + 1 < argc) {
+      impacted_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--no-pooling] [--no-round-robin] [--no-prerun-prune]\n"
           "          [--first-trials N] [--workers N] [--report FILE]\n"
           "          [--cache-file FILE] [--equiv-cache]\n"
           "          [--journal FILE] [--resume] [--watchdog-floor SECONDS]\n"
-          "          [app ...]\n"
+          "          [--static-prior] [--no-coupling-plans]\n"
+          "          [--impacted-only DIFF.json] [app ...]\n"
           "apps: minidfs minimr miniyarn ministream minikv apptools\n"
           "--cache-file warm-starts the run cache from FILE (if it exists)\n"
           "and saves the cache back after the campaign (also on SIGINT/SIGTERM).\n"
           "--journal appends every folded unit result to FILE (crash-safe);\n"
           "--resume replays a journal's valid prefix instead of re-running it.\n"
           "--watchdog-floor tunes the hung-worker deadline floor (0 disables;\n"
-          "see docs/ROBUSTNESS.md).\n",
+          "see docs/ROBUSTNESS.md).\n"
+          "--static-prior runs zebralint over the build tree first: never-read\n"
+          "parameters are pruned, wire-tainted ones run first, and coupled\n"
+          "pairs get an add-on phase (--no-coupling-plans ablates it).\n"
+          "--impacted-only restricts the dynamic phase to tests whose pre-run\n"
+          "reads intersect the impacted list of a `zebralint --diff --json`\n"
+          "artifact (see docs/ZEBRALINT.md).\n",
           argv[0]);
       return 0;
     } else {
@@ -105,6 +126,41 @@ int main(int argc, char** argv) {
   if (resume && journal_path.empty()) {
     std::fprintf(stderr, "--resume requires --journal FILE\n");
     return 2;
+  }
+
+  analysis::StaticPriorReport prior;
+  if (use_static_prior) {
+    analysis::StaticAnalyzer analyzer;
+    if (analyzer.AddTree(ZEBRALINT_SOURCE_ROOT) == 0) {
+      std::fprintf(stderr, "full_campaign: no sources under %s/src\n",
+                   ZEBRALINT_SOURCE_ROOT);
+      return 2;
+    }
+    prior = analyzer.Analyze(&FullSchema());
+    options.static_prior = &prior;
+    std::printf("static prior: %zu params profiled, %zu never read, "
+                "%zu coupling sets\n",
+                prior.params.size(), prior.never_read.size(),
+                prior.coupling_sets.size());
+  }
+  if (!impacted_path.empty()) {
+    std::vector<std::string> impacted;
+    std::string error;
+    if (!analysis::LoadImpactedParams(impacted_path, &impacted, &error)) {
+      std::fprintf(stderr, "full_campaign: --impacted-only: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    options.impacted_params.insert(impacted.begin(), impacted.end());
+    std::printf("impacted-only: %zu parameters from %s\n",
+                options.impacted_params.size(), impacted_path.c_str());
+    if (options.impacted_params.empty()) {
+      std::printf("impacted set is empty: every dynamic phase will be "
+                  "skipped (nothing to re-test)\n");
+      // An empty set would mean "no restriction"; force a never-matching
+      // entry so the restriction stays active.
+      options.impacted_params.insert("\x01nothing-impacted");
+    }
   }
 
   InstallStopHandlers();
@@ -212,6 +268,14 @@ int main(int argc, char** argv) {
         static_cast<long long>(report.canonicalized_plans),
         static_cast<long long>(report.mispredictions),
         static_cast<long long>(report.cache_evictions));
+  }
+  if (report.coupling_runs > 0 || report.units_skipped > 0) {
+    std::printf(
+        "coupling add-on: %lld runs, %lld coupled confirmations; "
+        "%lld units skipped by restriction\n",
+        static_cast<long long>(report.coupling_runs),
+        static_cast<long long>(report.coupling_confirmations),
+        static_cast<long long>(report.units_skipped));
   }
   if (report.hung_workers > 0 || report.requeued_units > 0 ||
       report.resumed_units > 0 || report.cache_load_failures > 0) {

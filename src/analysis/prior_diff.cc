@@ -1,0 +1,332 @@
+#include "src/analysis/prior_diff.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace zebra {
+namespace analysis {
+
+namespace {
+
+void JsonEscape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Parses the JSON string starting at text[pos] (which must be '"'); advances
+// pos past the closing quote.
+bool ParseJsonString(const std::string& text, size_t* pos, std::string* out) {
+  if (*pos >= text.size() || text[*pos] != '"') return false;
+  out->clear();
+  for (size_t i = *pos + 1; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '"') {
+      *pos = i + 1;
+      return true;
+    }
+    if (c == '\\') {
+      if (i + 1 >= text.size()) return false;
+      char esc = text[++i];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        default: return false;
+      }
+      continue;
+    }
+    out->push_back(c);
+  }
+  return false;
+}
+
+// Expects `literal` at text[pos] (skipping nothing); advances past it.
+bool Expect(const std::string& text, size_t* pos, const std::string& literal) {
+  if (text.compare(*pos, literal.size(), literal) != 0) return false;
+  *pos += literal.size();
+  return true;
+}
+
+// Finds `field` ("\"in_schema\": ") at or after pos; advances past it.
+bool SeekField(const std::string& text, size_t* pos, const std::string& field,
+               size_t limit) {
+  size_t found = text.find(field, *pos);
+  if (found == std::string::npos || found >= limit) return false;
+  *pos = found + field.size();
+  return true;
+}
+
+bool ParseBool(const std::string& text, size_t* pos, bool* out) {
+  if (Expect(text, pos, "true")) {
+    *out = true;
+    return true;
+  }
+  if (Expect(text, pos, "false")) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool ParseInt(const std::string& text, size_t* pos, int* out) {
+  size_t i = *pos;
+  int value = 0;
+  bool any = false;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + (text[i] - '0');
+    any = true;
+    ++i;
+  }
+  if (!any) return false;
+  *pos = i;
+  *out = value;
+  return true;
+}
+
+bool ParseHex(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+// Parses a ["...", "..."] array of JSON strings starting at '['.
+bool ParseStringArray(const std::string& text, size_t* pos,
+                      std::vector<std::string>* out) {
+  if (!Expect(text, pos, "[")) return false;
+  out->clear();
+  // Skip whitespace.
+  while (*pos < text.size() && (text[*pos] == ' ' || text[*pos] == '\n')) {
+    ++*pos;
+  }
+  if (*pos < text.size() && text[*pos] == ']') {
+    ++*pos;
+    return true;
+  }
+  while (*pos < text.size()) {
+    std::string item;
+    if (!ParseJsonString(text, pos, &item)) return false;
+    out->push_back(std::move(item));
+    while (*pos < text.size() && (text[*pos] == ' ' || text[*pos] == '\n')) {
+      ++*pos;
+    }
+    if (*pos < text.size() && text[*pos] == ',') {
+      ++*pos;
+      while (*pos < text.size() && (text[*pos] == ' ' || text[*pos] == '\n')) {
+        ++*pos;
+      }
+      continue;
+    }
+    if (*pos < text.size() && text[*pos] == ']') {
+      ++*pos;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+void EmitStringArray(std::ostringstream& out,
+                     const std::vector<std::string>& items) {
+  out << "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out << ", ";
+    JsonEscape(out, items[i]);
+  }
+  out << "]";
+}
+
+}  // namespace
+
+bool ParsePriorJson(const std::string& json, PriorSnapshot* out) {
+  out->params.clear();
+  size_t params_start = json.find("\"params\": [");
+  if (params_start == std::string::npos) return false;
+  // Each param entry is one line of the emitter's output; parse the fields
+  // in their fixed emission order. The entry pattern never occurs elsewhere.
+  const std::string kEntry = "{\"name\": ";
+  size_t pos = params_start;
+  while (true) {
+    size_t entry = json.find(kEntry, pos);
+    if (entry == std::string::npos) break;
+    size_t cursor = entry + kEntry.size();
+    // Entries live on single lines; bound field seeks to this line.
+    size_t line_end = json.find('\n', entry);
+    if (line_end == std::string::npos) line_end = json.size();
+
+    std::string name;
+    PriorSnapshot::Param param;
+    if (!ParseJsonString(json, &cursor, &name)) return false;
+    if (!SeekField(json, &cursor, "\"in_schema\": ", line_end) ||
+        !ParseBool(json, &cursor, &param.in_schema)) {
+      return false;
+    }
+    if (!SeekField(json, &cursor, "\"read_sites\": ", line_end) ||
+        !ParseInt(json, &cursor, &param.read_sites)) {
+      return false;
+    }
+    if (!SeekField(json, &cursor, "\"wire_tainted\": ", line_end) ||
+        !ParseBool(json, &cursor, &param.wire_tainted)) {
+      return false;
+    }
+    std::string surface_hex;
+    if (!SeekField(json, &cursor, "\"surface\": ", line_end) ||
+        !ParseJsonString(json, &cursor, &surface_hex) ||
+        !ParseHex(surface_hex, &param.surface_hash)) {
+      return false;
+    }
+    out->params.emplace(std::move(name), param);
+    pos = line_end;
+  }
+  return !out->params.empty();
+}
+
+std::vector<std::string> StaticPriorDiff::ImpactedParams() const {
+  std::vector<std::string> all;
+  all.insert(all.end(), added.begin(), added.end());
+  all.insert(all.end(), removed.begin(), removed.end());
+  all.insert(all.end(), retainted.begin(), retainted.end());
+  all.insert(all.end(), read_surface_changed.begin(),
+             read_surface_changed.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+StaticPriorDiff DiffAgainstSnapshot(const PriorSnapshot& old_snapshot,
+                                    const StaticPriorReport& current) {
+  StaticPriorDiff diff;
+  for (const auto& [name, profile] : current.params) {
+    auto it = old_snapshot.params.find(name);
+    if (it == old_snapshot.params.end()) {
+      diff.added.push_back(name);
+      continue;
+    }
+    if (it->second.wire_tainted != profile.wire_tainted) {
+      diff.retainted.push_back(name);
+    }
+    if (it->second.surface_hash != profile.surface_hash) {
+      diff.read_surface_changed.push_back(name);
+    }
+  }
+  for (const auto& [name, param] : old_snapshot.params) {
+    if (current.params.find(name) == current.params.end()) {
+      diff.removed.push_back(name);
+    }
+  }
+  // current.params and old_snapshot.params are ordered maps, so every list
+  // is already sorted; keep that an explicit invariant.
+  std::sort(diff.added.begin(), diff.added.end());
+  std::sort(diff.removed.begin(), diff.removed.end());
+  std::sort(diff.retainted.begin(), diff.retainted.end());
+  std::sort(diff.read_surface_changed.begin(),
+            diff.read_surface_changed.end());
+  return diff;
+}
+
+std::string DiffToJson(const StaticPriorDiff& diff) {
+  std::ostringstream out;
+  out << "{\n  \"added\": ";
+  EmitStringArray(out, diff.added);
+  out << ",\n  \"removed\": ";
+  EmitStringArray(out, diff.removed);
+  out << ",\n  \"retainted\": ";
+  EmitStringArray(out, diff.retainted);
+  out << ",\n  \"read_surface_changed\": ";
+  EmitStringArray(out, diff.read_surface_changed);
+  out << ",\n  \"impacted\": ";
+  EmitStringArray(out, diff.ImpactedParams());
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string DiffToText(const StaticPriorDiff& diff) {
+  std::ostringstream out;
+  if (diff.Empty()) {
+    out << "zebralint diff: no static-prior changes\n";
+    return out.str();
+  }
+  auto section = [&out](const char* title,
+                        const std::vector<std::string>& items) {
+    if (items.empty()) return;
+    out << title << " (" << items.size() << ")\n";
+    for (const std::string& param : items) {
+      out << "  " << param << "\n";
+    }
+  };
+  section("ADDED PARAMETERS", diff.added);
+  section("REMOVED PARAMETERS", diff.removed);
+  section("RE-TAINTED PARAMETERS (verdict flipped)", diff.retainted);
+  section("READ-SURFACE-CHANGED PARAMETERS", diff.read_surface_changed);
+  out << "impacted: " << diff.ImpactedParams().size() << " parameters\n";
+  return out.str();
+}
+
+bool DiffAgainstFile(const std::string& path, const StaticPriorReport& current,
+                     StaticPriorDiff* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  PriorSnapshot snapshot;
+  if (!ParsePriorJson(buf.str(), &snapshot)) {
+    if (error != nullptr) *error = "cannot parse prior report " + path;
+    return false;
+  }
+  *out = DiffAgainstSnapshot(snapshot, current);
+  return true;
+}
+
+bool LoadImpactedParams(const std::string& path,
+                        std::vector<std::string>* params, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string kField = "\"impacted\": ";
+  size_t pos = text.find(kField);
+  if (pos == std::string::npos) {
+    if (error != nullptr) *error = "no \"impacted\" list in " + path;
+    return false;
+  }
+  pos += kField.size();
+  if (!ParseStringArray(text, &pos, params)) {
+    if (error != nullptr) *error = "malformed \"impacted\" list in " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace analysis
+}  // namespace zebra

@@ -1,0 +1,84 @@
+// StaticPriorDiff: what changed between two zebralint reports.
+//
+// `zebralint --diff old_prior.json` re-analyzes the tree and compares the
+// fresh report against a previously saved `zebralint --json` artifact. The
+// diff is the incremental-retesting primitive: a parameter whose verdict or
+// read surface is untouched cannot have gained new heterogeneous behavior
+// from this code change, so `full_campaign --impacted-only diff.json`
+// restricts the dynamic phase to tests whose recorded read traces intersect
+// the impacted parameters (and is provably identical to a full campaign
+// restricted to those tests — CI-gated).
+//
+// The parser reads exactly the JSON ReportToJson emits — it is a snapshot
+// loader for our own artifact, not a general JSON parser — and fails closed:
+// a malformed file yields a parse error, never a silently empty diff.
+
+#ifndef SRC_ANALYSIS_PRIOR_DIFF_H_
+#define SRC_ANALYSIS_PRIOR_DIFF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/static_prior.h"
+
+namespace zebra {
+namespace analysis {
+
+// The per-parameter fields of a saved report that the diff compares.
+struct PriorSnapshot {
+  struct Param {
+    bool in_schema = false;
+    bool wire_tainted = false;
+    int read_sites = 0;
+    uint64_t surface_hash = 0;
+  };
+  std::map<std::string, Param> params;
+};
+
+// Parses a `zebralint --json` artifact. Returns false (and leaves *out
+// empty) on any malformation.
+bool ParsePriorJson(const std::string& json, PriorSnapshot* out);
+
+struct StaticPriorDiff {
+  std::vector<std::string> added;     // profiled now, absent from the old report
+  std::vector<std::string> removed;   // in the old report, gone now
+  std::vector<std::string> retainted; // wire-taint verdict flipped (either way)
+  // Read surface (the file:line:function site fingerprint) changed — the
+  // parameter is read from different places than before. Disjoint from
+  // `retainted` only when the verdict held; a param may appear in both.
+  std::vector<std::string> read_surface_changed;
+
+  bool Empty() const {
+    return added.empty() && removed.empty() && retainted.empty() &&
+           read_surface_changed.empty();
+  }
+
+  // Union of all four lists, sorted, deduplicated: the parameters whose
+  // static profile this code change touched.
+  std::vector<std::string> ImpactedParams() const;
+};
+
+// Compares a fresh report against a parsed snapshot. All lists sorted.
+StaticPriorDiff DiffAgainstSnapshot(const PriorSnapshot& old_snapshot,
+                                    const StaticPriorReport& current);
+
+// Serialization (byte-stable, like the report itself).
+std::string DiffToJson(const StaticPriorDiff& diff);
+std::string DiffToText(const StaticPriorDiff& diff);
+
+// Convenience: loads `path`, parses it, diffs `current` against it. Returns
+// false on I/O or parse failure.
+bool DiffAgainstFile(const std::string& path, const StaticPriorReport& current,
+                     StaticPriorDiff* out, std::string* error);
+
+// Loads the impacted-parameter list from a `zebralint --diff --json`
+// artifact (a DiffToJson file). Returns false on failure.
+bool LoadImpactedParams(const std::string& path,
+                        std::vector<std::string>* params, std::string* error);
+
+}  // namespace analysis
+}  // namespace zebra
+
+#endif  // SRC_ANALYSIS_PRIOR_DIFF_H_

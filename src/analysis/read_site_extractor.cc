@@ -1,5 +1,7 @@
 #include "src/analysis/read_site_extractor.h"
 
+#include "src/analysis/flow_graph.h"
+
 #include <algorithm>
 #include <cctype>
 
@@ -310,7 +312,7 @@ TuModel ExtractTu(std::string file, std::string_view source) {
 
       bool is_call = k + 1 < fn.tokens.size() && fn.tokens[k + 1].Is("(");
       if (is_call && !IsControlKeyword(tk.text)) {
-        fn.callees.insert(tk.text);
+        fn.callees.push_back(tk.text);
       }
 
       // Read site: [.|->] Get*( first-arg ...
@@ -377,6 +379,10 @@ TuModel ExtractTu(std::string file, std::string_view source) {
       if (found_literal && !fn.cls.empty()) tu.node_classes.insert(fn.cls);
     }
 
+    std::sort(fn.callees.begin(), fn.callees.end());
+    fn.callees.erase(std::unique(fn.callees.begin(), fn.callees.end()),
+                     fn.callees.end());
+    fn.name_is_protocol = MatchesProtocolName(fn.name);
     tu.functions.push_back(std::move(fn));
     i = body_close;  // resume after the function body
   }
@@ -385,25 +391,51 @@ TuModel ExtractTu(std::string file, std::string_view source) {
 }
 
 void ProgramModel::Merge(TuModel tu) {
-  for (const auto& [k, v] : tu.param_constants) param_constants.emplace(k, v);
-  node_classes.insert(tu.node_classes.begin(), tu.node_classes.end());
-  for (const auto& [k, v] : tu.var_types) var_types.emplace(k, v);
-  for (const auto& [k, v] : tu.fn_return_types) fn_return_types.emplace(k, v);
-  classes_with_scope_member.insert(tu.classes_with_scope_member.begin(),
-                                   tu.classes_with_scope_member.end());
-  markers.insert(markers.end(), tu.markers.begin(), tu.markers.end());
-  unresolved_reads += tu.unresolved_reads;
+  MergeShared(std::make_shared<TuModel>(std::move(tu)));
+}
+
+void MergedTable::Seal() const {
+  if (sealed_) return;
+  // Stable sort + keep-first dedup reproduces std::map::emplace merge
+  // semantics: first appended occurrence of a key wins.
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.first < b.first;
+                   });
+  entries_.erase(std::unique(entries_.begin(), entries_.end(),
+                             [](const Entry& a, const Entry& b) {
+                               return a.first == b.first;
+                             }),
+                 entries_.end());
+  sealed_ = true;
+}
+
+void MergedSet::Seal() const {
+  if (sealed_) return;
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+  sealed_ = true;
+}
+
+void ProgramModel::MergeShared(std::shared_ptr<TuModel> tu) {
+  param_constants.AppendFrom(tu->param_constants);
+  node_classes.AppendFrom(tu->node_classes);
+  var_types.AppendFrom(tu->var_types);
+  fn_return_types.AppendFrom(tu->fn_return_types);
+  classes_with_scope_member.AppendFrom(tu->classes_with_scope_member);
+  markers.insert(markers.end(), tu->markers.begin(), tu->markers.end());
+  unresolved_reads += tu->unresolved_reads;
   tus.push_back(std::move(tu));
 }
 
 void ProgramModel::Resolve() {
-  for (TuModel& tu : tus) {
-    for (FunctionModel& fn : tu.functions) {
+  for (const std::shared_ptr<TuModel>& tu : tus) {
+    for (FunctionModel& fn : tu->functions) {
       for (ReadSite& site : fn.read_sites) {
         if (site.arg_is_literal || !site.param.empty()) continue;
-        auto it = param_constants.find(site.arg_token);
-        if (it != param_constants.end()) {
-          site.param = it->second;
+        const std::string_view* value = param_constants.Find(site.arg_token);
+        if (value != nullptr) {
+          site.param = std::string(*value);
         } else {
           ++unresolved_reads;
         }
@@ -414,8 +446,8 @@ void ProgramModel::Resolve() {
 
 std::vector<const ReadSite*> ProgramModel::AllReadSites() const {
   std::vector<const ReadSite*> sites;
-  for (const TuModel& tu : tus) {
-    for (const FunctionModel& fn : tu.functions) {
+  for (const std::shared_ptr<TuModel>& tu : tus) {
+    for (const FunctionModel& fn : tu->functions) {
       for (const ReadSite& site : fn.read_sites) {
         if (!site.param.empty()) sites.push_back(&site);
       }

@@ -32,6 +32,51 @@ size_t MatchPunct(std::string_view source, size_t pos) {
   return 1;
 }
 
+// Backslash-newline splice (physical line continuation). Splicing happens
+// before tokenization in real C++, so it may appear mid-identifier, inside a
+// string literal, or between tokens; everywhere it contributes one physical
+// line and zero characters. Returns the spliced length (2, or 3 for \r\n).
+bool IsSplice(std::string_view source, size_t pos, size_t* len) {
+  if (pos + 1 >= source.size() || source[pos] != '\\') {
+    return false;
+  }
+  if (source[pos + 1] == '\n') {
+    *len = 2;
+    return true;
+  }
+  if (pos + 2 < source.size() && source[pos + 1] == '\r' &&
+      source[pos + 2] == '\n') {
+    *len = 3;
+    return true;
+  }
+  return false;
+}
+
+// Recognizes a string-literal introducer at `pos`: an optional encoding
+// prefix (u8, u, U, L), an optional R (raw string), then the opening quote.
+// Only called at token boundaries, so an identifier merely *ending* in one of
+// the prefixes is never mistaken for an introducer. Sets *prefix_len to the
+// number of characters before the quote and *raw accordingly.
+bool MatchStringIntro(std::string_view source, size_t pos, size_t* prefix_len,
+                      bool* raw) {
+  size_t p = pos;
+  for (std::string_view enc : {"u8", "u", "U", "L"}) {
+    if (source.substr(p, enc.size()) == enc) {
+      p += enc.size();
+      break;
+    }
+  }
+  *raw = p < source.size() && source[p] == 'R';
+  if (*raw) {
+    ++p;
+  }
+  if (p >= source.size() || source[p] != '"') {
+    return false;
+  }
+  *prefix_len = p - pos;
+  return true;
+}
+
 }  // namespace
 
 std::vector<Token> LexCpp(std::string_view source) {
@@ -59,9 +104,25 @@ std::vector<Token> LexCpp(std::string_view source) {
       continue;
     }
 
-    // Line comment.
+    // Line continuation between tokens: consume, count the physical line.
+    {
+      size_t splice_len = 0;
+      if (IsSplice(source, i, &splice_len)) {
+        ++line;
+        i += splice_len;
+        continue;
+      }
+    }
+
+    // Line comment (a trailing splice continues the comment).
     if (c == '/' && i + 1 < n && source[i + 1] == '/') {
       while (i < n && source[i] != '\n') {
+        size_t splice_len = 0;
+        if (IsSplice(source, i, &splice_len)) {
+          ++line;
+          i += splice_len;
+          continue;
+        }
         ++i;
       }
       continue;
@@ -81,9 +142,10 @@ std::vector<Token> LexCpp(std::string_view source) {
     if (c == '#' && (tokens.empty() || tokens.back().line != line ||
                      true /* column-0 heuristic not needed */)) {
       while (i < n) {
-        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+        size_t splice_len = 0;
+        if (IsSplice(source, i, &splice_len)) {
           ++line;
-          i += 2;
+          i += splice_len;
           continue;
         }
         if (source[i] == '\n') {
@@ -94,48 +156,62 @@ std::vector<Token> LexCpp(std::string_view source) {
       continue;
     }
 
-    // String literal (handles escapes; raw strings handled crudely but
-    // safely: R"( ... )" with empty delimiter).
-    if (c == '"' || (c == 'R' && i + 1 < n && source[i + 1] == '"')) {
-      Token token;
-      token.kind = TokenKind::kString;
-      token.line = line;
-      if (c == 'R') {
-        // Raw string: R"delim( ... )delim"
-        size_t paren = source.find('(', i + 2);
-        if (paren == std::string_view::npos) {
-          ++i;
-          continue;
-        }
-        std::string delim(source.substr(i + 2, paren - (i + 2)));
-        std::string closer = ")" + delim + "\"";
-        size_t end = source.find(closer, paren + 1);
-        if (end == std::string_view::npos) {
-          end = n;
-        }
-        token.text = std::string(source.substr(paren + 1, end - paren - 1));
-        for (char rc : source.substr(i, end - i)) {
-          advance_line(rc);
-        }
-        i = (end == n) ? n : end + closer.size();
-      } else {
-        ++i;  // opening quote
-        std::string value;
-        while (i < n && source[i] != '"') {
-          if (source[i] == '\\' && i + 1 < n) {
-            value.push_back(source[i + 1]);
-            i += 2;
+    // String literal: optional encoding prefix, optional raw marker. The old
+    // lexer only recognized unprefixed R"..." — u8R/uR/UR/LR raw strings fell
+    // into the identifier path and their bodies were then lexed as code,
+    // fabricating tokens (and read sites) out of literal text.
+    {
+      size_t prefix_len = 0;
+      bool raw = false;
+      if (MatchStringIntro(source, i, &prefix_len, &raw)) {
+        Token token;
+        token.kind = TokenKind::kString;
+        token.line = line;
+        if (raw) {
+          // Raw string: [prefix]R"delim( ... )delim". No escapes, no
+          // splicing inside — the body is taken verbatim.
+          size_t delim_start = i + prefix_len + 1;  // past the opening quote
+          size_t paren = source.find('(', delim_start);
+          if (paren == std::string_view::npos) {
+            ++i;
             continue;
           }
-          advance_line(source[i]);
-          value.push_back(source[i]);
-          ++i;
+          std::string delim(source.substr(delim_start, paren - delim_start));
+          std::string closer = ")" + delim + "\"";
+          size_t end = source.find(closer, paren + 1);
+          if (end == std::string_view::npos) {
+            end = n;
+          }
+          token.text = std::string(source.substr(paren + 1, end - paren - 1));
+          for (char rc : source.substr(i, end - i)) {
+            advance_line(rc);
+          }
+          i = (end == n) ? n : end + closer.size();
+        } else {
+          i += prefix_len + 1;  // prefix and opening quote
+          std::string value;
+          while (i < n && source[i] != '"') {
+            if (source[i] == '\\' && i + 1 < n) {
+              size_t splice_len = 0;
+              if (IsSplice(source, i, &splice_len)) {
+                ++line;
+                i += splice_len;
+                continue;
+              }
+              value.push_back(source[i + 1]);
+              i += 2;
+              continue;
+            }
+            advance_line(source[i]);
+            value.push_back(source[i]);
+            ++i;
+          }
+          ++i;  // closing quote
+          token.text = std::move(value);
         }
-        ++i;  // closing quote
-        token.text = std::move(value);
+        tokens.push_back(std::move(token));
+        continue;
       }
-      tokens.push_back(std::move(token));
-      continue;
     }
 
     // Character literal.
@@ -147,6 +223,12 @@ std::vector<Token> LexCpp(std::string_view source) {
       std::string value;
       while (i < n && source[i] != '\'') {
         if (source[i] == '\\' && i + 1 < n) {
+          size_t splice_len = 0;
+          if (IsSplice(source, i, &splice_len)) {
+            ++line;
+            i += splice_len;
+            continue;
+          }
           value.push_back(source[i + 1]);
           i += 2;
           continue;
@@ -161,32 +243,54 @@ std::vector<Token> LexCpp(std::string_view source) {
     }
 
     // Number (digits plus the usual suffix/infix soup; precision is not
-    // needed, only that the blob stays one token).
+    // needed, only that the blob stays one token, even across a splice).
     if (std::isdigit(static_cast<unsigned char>(c))) {
       Token token;
       token.kind = TokenKind::kNumber;
       token.line = line;
-      size_t start = i;
-      while (i < n && (IsIdentChar(source[i]) || source[i] == '.' ||
-                       ((source[i] == '+' || source[i] == '-') && i > start &&
-                        (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+      std::string text;
+      while (i < n) {
+        size_t splice_len = 0;
+        if (IsSplice(source, i, &splice_len)) {
+          ++line;
+          i += splice_len;
+          continue;
+        }
+        char nc = source[i];
+        if (!(IsIdentChar(nc) || nc == '.' ||
+              ((nc == '+' || nc == '-') && !text.empty() &&
+               (text.back() == 'e' || text.back() == 'E')))) {
+          break;
+        }
+        text.push_back(nc);
         ++i;
       }
-      token.text = std::string(source.substr(start, i - start));
+      token.text = std::move(text);
       tokens.push_back(std::move(token));
       continue;
     }
 
-    // Identifier / keyword.
+    // Identifier / keyword. A splice mid-identifier joins the halves into one
+    // token (the old lexer split them, fabricating two bogus identifiers).
     if (IsIdentStart(c)) {
       Token token;
       token.kind = TokenKind::kIdentifier;
       token.line = line;
-      size_t start = i;
-      while (i < n && IsIdentChar(source[i])) {
+      std::string text;
+      while (i < n) {
+        size_t splice_len = 0;
+        if (IsSplice(source, i, &splice_len)) {
+          ++line;
+          i += splice_len;
+          continue;
+        }
+        if (!IsIdentChar(source[i])) {
+          break;
+        }
+        text.push_back(source[i]);
         ++i;
       }
-      token.text = std::string(source.substr(start, i - start));
+      token.text = std::move(text);
       tokens.push_back(std::move(token));
       continue;
     }

@@ -4,6 +4,9 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <tuple>
+
+#include "src/common/strings.h"
 
 namespace zebra {
 namespace analysis {
@@ -47,7 +50,32 @@ void JsonEscape(std::ostringstream& out, const std::string& s) {
   out << '"';
 }
 
+std::string HexU64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
 }  // namespace
+
+double SpectrumPriority(bool wire_tainted, SinkMask sink_mask) {
+  if (!wire_tainted) {
+    // Node-local band: persistence-fed parameters lead the locals — their
+    // effects at least reach durable state — but never touch the wire band.
+    return kPriorityLocal + ((sink_mask & kSinkPersistence) ? 0.05 : 0.0);
+  }
+  // Wire band: kPriorityWire floor plus per-sink-type bonuses. Timer and
+  // deadline flows rank highest (ZebraConf's canonical het-unsafe shape is a
+  // node timing out on a peer whose interval differs), then protocol errors
+  // and guards (directly observable divergence), then generic wire traffic.
+  double priority = kPriorityWire;
+  if (sink_mask & kSinkTimerDeadline) priority += 0.4;
+  if (sink_mask & kSinkProtocolError) priority += 0.2;
+  if (sink_mask & kSinkGuard) priority += 0.15;
+  if (sink_mask & kSinkCrossNode) priority += 0.1;
+  if (sink_mask & kSinkWireEncode) priority += 0.05;
+  return priority;  // bounded below kPriorityWireCeiling
+}
 
 const ParamProfile* StaticPriorReport::Find(const std::string& param) const {
   auto it = params.find(param);
@@ -77,6 +105,24 @@ std::vector<std::string> StaticPriorReport::WireTaintedParams() const {
   }
   return out;
 }
+
+std::vector<std::vector<std::string>> StaticPriorReport::CouplingSetsAmong(
+    const std::set<std::string>& restrict_to) const {
+  std::vector<std::vector<std::string>> out;
+  std::set<std::vector<std::string>> seen;
+  for (const auto& members : coupling_sets) {
+    std::vector<std::string> present;
+    for (const std::string& param : members) {
+      if (restrict_to.count(param)) present.push_back(param);
+    }
+    if (present.size() < 2) continue;
+    if (seen.insert(present).second) out.push_back(std::move(present));
+  }
+  return out;
+}
+
+StaticAnalyzer::StaticAnalyzer() = default;
+StaticAnalyzer::~StaticAnalyzer() = default;
 
 void StaticAnalyzer::AddSource(const std::string& path,
                                std::string_view content) {
@@ -113,24 +159,126 @@ int StaticAnalyzer::AddTree(const std::string& root) {
   return added;
 }
 
+bool StaticAnalyzer::EnableSummaryCache(const std::string& path) {
+  owned_cache_ = std::make_unique<SummaryCache>();
+  cache_path_ = path;
+  return owned_cache_->LoadFromFile(path);
+}
+
+void StaticAnalyzer::UseSummaryCache(SummaryCache* cache) {
+  external_cache_ = cache;
+}
+
 StaticPriorReport StaticAnalyzer::Analyze(const ConfSchema* schema) const {
+  SummaryCache* cache =
+      external_cache_ != nullptr ? external_cache_ : owned_cache_.get();
+  stats_ = AnalyzeStats{};
+  stats_.tus_total = static_cast<int>(sources_.size());
+
+  // Stage 1: per-TU models — borrowed from the summary cache when the
+  // content hash matches, from a full lex + extract otherwise. Cached models
+  // are shared, not copied: on a large tree, copying every unchanged TU back
+  // into the program used to dominate incremental runs.
   ProgramModel program;
-  for (const auto& [path, content] : sources_) {
-    program.Merge(ExtractTu(path, content));
+  std::vector<uint64_t> content_hashes(sources_.size(), 0);
+  std::vector<const SummaryCache::TuEntry*> cache_hits(sources_.size(),
+                                                       nullptr);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    const auto& [path, content] = sources_[i];
+    content_hashes[i] = HashContent64(content);
+    const SummaryCache::TuEntry* entry =
+        cache != nullptr ? cache->Lookup(path, content_hashes[i]) : nullptr;
+    if (entry != nullptr) {
+      cache_hits[i] = entry;
+      program.MergeShared(entry->model);
+      ++stats_.tus_from_cache;
+    } else {
+      program.Merge(ExtractTu(path, content));
+      ++stats_.tus_parsed;
+    }
   }
-  // Classes declared externally initialized behave as node classes for the
-  // taint pass (their methods are genuine cross-node surfaces) even though
-  // they lack the in-constructor bracket that normally reveals them.
+
+  // The table-hash gate runs BEFORE Resolve: cached summaries (and the
+  // resolved read sites stored inside them) are valid only under the table
+  // hash they were computed with — a constant or type harvested from one
+  // file changes what every other file's statements mean. Resolving first
+  // could also write into a *shared* cached model under foreign tables. On
+  // mismatch the cached models are unusable (they carry no tokens to
+  // recompute from), so degrade to a full cold re-parse: slower, never
+  // different. When the hash matches, Resolve is a no-op on cached TUs by
+  // construction — identical tables yield the identical resolution already
+  // stored — so sharing them stays safe.
   std::set<std::string> external_init = program.ExternallyInitializedClasses();
-  program.node_classes.insert(external_init.begin(), external_init.end());
+  for (const std::string& cls : external_init) {
+    program.node_classes.InsertOwned(cls);
+  }
+  uint64_t table_hash = ProgramTableHash(program);
+  if (cache != nullptr && stats_.tus_from_cache > 0 &&
+      cache->table_hash() != table_hash) {
+    stats_.table_hash_invalidated = true;
+    stats_.tus_from_cache = 0;
+    stats_.tus_parsed = static_cast<int>(sources_.size());
+    program = ProgramModel();
+    for (const auto& [path, content] : sources_) {
+      program.Merge(ExtractTu(path, content));
+    }
+    external_init = program.ExternallyInitializedClasses();
+    for (const std::string& cls : external_init) {
+      program.node_classes.InsertOwned(cls);
+    }
+    table_hash = ProgramTableHash(program);
+    std::fill(cache_hits.begin(), cache_hits.end(), nullptr);
+  }
   program.Resolve();
 
-  TaintReport taint = RunTaintPass(program);
+  // Stage 2: statement facts, borrowed per TU from surviving cache hits.
+  std::vector<const std::vector<std::vector<StmtFacts>>*> cached_tu_facts(
+      program.tus.size(), nullptr);
+  bool any_cached_facts = false;
+  for (size_t i = 0; i < cache_hits.size() && i < cached_tu_facts.size();
+       ++i) {
+    if (cache_hits[i] != nullptr) {
+      cached_tu_facts[i] = &cache_hits[i]->fn_facts;
+      any_cached_facts = true;
+    }
+  }
+  ProgramFacts facts = BuildProgramFacts(
+      program, any_cached_facts ? &cached_tu_facts : nullptr,
+      &stats_.facts_computed, &stats_.facts_from_cache, &table_hash);
+  FlowGraph graph = BuildFlowGraph(facts);
+
+  // Refresh the cache with the newly parsed TUs' summaries, then persist.
+  // TUs served from the cache are already stored verbatim — re-Putting them
+  // would only copy every model back in.
+  if (cache != nullptr) {
+    cache->set_table_hash(facts.table_hash);
+    size_t cursor = 0;  // facts.functions is in (tu, fn) order
+    for (size_t t = 0; t < program.tus.size(); ++t) {
+      const TuModel& tu = *program.tus[t];
+      if (cache_hits[t] != nullptr) {
+        cursor += tu.functions.size();
+        continue;
+      }
+      std::vector<std::vector<StmtFacts>> fn_facts;
+      fn_facts.reserve(tu.functions.size());
+      for (size_t f = 0; f < tu.functions.size(); ++f, ++cursor) {
+        fn_facts.push_back(*facts.functions[cursor].stmts);
+      }
+      cache->Put(tu.file, content_hashes[t], tu, std::move(fn_facts));
+    }
+    if (!cache_path_.empty()) cache->SaveToFile(cache_path_);
+    stats_.summary_load_failures = cache->stats().load_failures;
+  }
 
   StaticPriorReport report;
   report.files_scanned = static_cast<int>(sources_.size());
   report.unresolved_reads = program.unresolved_reads;
-  report.protocol_surfaces = taint.protocol_surfaces;
+  report.protocol_surfaces = graph.protocol_surfaces;
+  report.coupling_sets = graph.coupling_sets;
+  report.coupling_sets_dropped = graph.coupling_sets_dropped;
+  report.graph_nodes = graph.node_count;
+  report.graph_edges = graph.edge_count;
+  report.table_hash = facts.table_hash;
 
   // Read-site inventory.
   for (const ReadSite* site : program.AllReadSites()) {
@@ -140,13 +288,31 @@ StaticPriorReport StaticAnalyzer::Analyze(const ConfSchema* schema) const {
         {site->file, site->line, site->function, site->enclosing_class});
     ++report.read_sites_per_app[AppOfPath(site->file)];
   }
+  // Stable site order (and thus stable drift messages and surface hashes)
+  // regardless of the order sources were fed in.
+  for (auto& [param, profile] : report.params) {
+    std::sort(profile.read_sites.begin(), profile.read_sites.end(),
+              [](const SiteRef& a, const SiteRef& b) {
+                return std::tie(a.file, a.line, a.function, a.enclosing_class) <
+                       std::tie(b.file, b.line, b.function, b.enclosing_class);
+              });
+    uint64_t h = kFnv64Seed;
+    for (const SiteRef& site : profile.read_sites) {
+      h = HashFnv64(
+          site.file + ":" + std::to_string(site.line) + ":" + site.function,
+          h);
+    }
+    profile.surface_hash = h;
+  }
 
-  // Taint verdicts.
-  for (const auto& [param, verdict] : taint.params) {
+  // Flow verdicts.
+  for (const auto& [param, flow] : graph.params) {
     ParamProfile& profile = report.params[param];
     profile.param = param;
-    profile.wire_tainted = verdict.wire_tainted;
-    profile.taint_reasons = verdict.reasons;
+    profile.wire_tainted = flow.wire_tainted;
+    profile.taint_reasons = flow.reasons;
+    profile.sink_mask = flow.sink_mask;
+    profile.wire_paths = flow.wire_paths;
   }
 
   // Schema cross-checks.
@@ -176,8 +342,8 @@ StaticPriorReport StaticAnalyzer::Analyze(const ConfSchema* schema) const {
   // node ref) without any init bracket — no NodeInitScope/init_scope_/
   // ZC_ANNOTATION_SITE in the body, no NodeInitScope member in the class,
   // and no `zebralint(external-init)` suppression.
-  for (const TuModel& tu : program.tus) {
-    for (const FunctionModel& fn : tu.functions) {
+  for (const std::shared_ptr<TuModel>& tu : program.tus) {
+    for (const FunctionModel& fn : tu->functions) {
       if (!fn.is_constructor) continue;
       bool reads_config = false;
       for (const ReadSite& site : fn.read_sites) {
@@ -198,14 +364,13 @@ StaticPriorReport StaticAnalyzer::Analyze(const ConfSchema* schema) const {
     }
   }
 
-  // Priorities.
+  // Priorities: the sink-type spectrum.
   for (auto& [param, profile] : report.params) {
     if (profile.in_schema && profile.read_sites.empty()) {
       profile.priority = kPriorityNeverRead;
-    } else if (profile.wire_tainted) {
-      profile.priority = kPriorityWire;
     } else {
-      profile.priority = kPriorityLocal;
+      profile.priority = SpectrumPriority(profile.wire_tainted,
+                                          profile.sink_mask);
     }
   }
 
@@ -217,7 +382,10 @@ std::string ReportToJson(const StaticPriorReport& report) {
   std::ostringstream out;
   out << "{\n  \"files_scanned\": " << report.files_scanned
       << ",\n  \"unresolved_reads\": " << report.unresolved_reads
-      << ",\n  \"read_sites_per_app\": {";
+      << ",\n  \"graph_nodes\": " << report.graph_nodes
+      << ",\n  \"graph_edges\": " << report.graph_edges
+      << ",\n  \"table_hash\": \"" << HexU64(report.table_hash)
+      << "\",\n  \"read_sites_per_app\": {";
   bool first = true;
   for (const auto& [app, count] : report.read_sites_per_app) {
     if (!first) out << ", ";
@@ -235,7 +403,14 @@ std::string ReportToJson(const StaticPriorReport& report) {
     out << ", \"in_schema\": " << (profile.in_schema ? "true" : "false")
         << ", \"read_sites\": " << profile.read_sites.size()
         << ", \"wire_tainted\": " << (profile.wire_tainted ? "true" : "false")
-        << ", \"priority\": " << profile.priority << ", \"sites\": [";
+        << ", \"priority\": " << profile.priority << ", \"surface\": \""
+        << HexU64(profile.surface_hash) << "\", \"sink_types\": [";
+    std::vector<std::string> sink_names = SinkMaskNames(profile.sink_mask);
+    for (size_t i = 0; i < sink_names.size(); ++i) {
+      if (i > 0) out << ", ";
+      JsonEscape(out, sink_names[i]);
+    }
+    out << "], \"sites\": [";
     for (size_t i = 0; i < profile.read_sites.size(); ++i) {
       if (i > 0) out << ", ";
       const SiteRef& site = profile.read_sites[i];
@@ -248,7 +423,17 @@ std::string ReportToJson(const StaticPriorReport& report) {
     }
     out << "]}";
   }
-  out << "\n  ],\n  \"never_read\": [";
+  out << "\n  ],\n  \"coupling_sets\": [";
+  for (size_t i = 0; i < report.coupling_sets.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "[";
+    for (size_t j = 0; j < report.coupling_sets[i].size(); ++j) {
+      if (j > 0) out << ", ";
+      JsonEscape(out, report.coupling_sets[i][j]);
+    }
+    out << "]";
+  }
+  out << "],\n  \"never_read\": [";
   for (size_t i = 0; i < report.never_read.size(); ++i) {
     if (i > 0) out << ", ";
     JsonEscape(out, report.never_read[i]);
@@ -275,6 +460,8 @@ std::string ReportToText(const StaticPriorReport& report) {
   std::ostringstream out;
   out << "zebralint: scanned " << report.files_scanned << " files, "
       << report.params.size() << " parameters profiled\n";
+  out << "flow graph: " << report.graph_nodes << " nodes, "
+      << report.graph_edges << " edges\n";
   out << "read sites per app:\n";
   for (const auto& [app, count] : report.read_sites_per_app) {
     out << "  " << app << ": " << count << "\n";
@@ -291,7 +478,17 @@ std::string ReportToText(const StaticPriorReport& report) {
   for (const auto& [name, profile] : report.params) {
     if (!profile.wire_tainted) continue;
     out << "  " << name << "  (" << profile.read_sites.size()
-        << " read sites)\n";
+        << " read sites, priority " << profile.priority << ")";
+    std::vector<std::string> sink_names = SinkMaskNames(profile.sink_mask);
+    if (!sink_names.empty()) {
+      out << "  [";
+      for (size_t i = 0; i < sink_names.size(); ++i) {
+        if (i > 0) out << " ";
+        out << sink_names[i];
+      }
+      out << "]";
+    }
+    out << "\n";
     for (const std::string& reason : profile.taint_reasons) {
       out << "      - " << reason << "\n";
     }
@@ -301,6 +498,16 @@ std::string ReportToText(const StaticPriorReport& report) {
     if (profile.wire_tainted || profile.read_sites.empty()) continue;
     out << "  " << name << "  (" << profile.read_sites.size()
         << " read sites)\n";
+  }
+  if (!report.coupling_sets.empty()) {
+    out << "\nCOUPLING SETS (same sink statement or wire path)\n";
+    for (const auto& members : report.coupling_sets) {
+      out << " ";
+      for (const std::string& param : members) {
+        out << " " << param;
+      }
+      out << "\n";
+    }
   }
   if (!report.never_read.empty()) {
     out << "\nNEVER-READ SCHEMA PARAMETERS (statically pruned)\n";

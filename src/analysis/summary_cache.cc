@@ -1,0 +1,406 @@
+#include "src/analysis/summary_cache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace zebra {
+namespace analysis {
+
+namespace {
+
+// Field escaping for the line-oriented format: records are space-separated,
+// so spaces, percent signs, newlines, and the \x1f key separator are
+// percent-encoded. The empty string encodes as "%0" so a blank field still
+// occupies one token.
+std::string Esc(const std::string& s) {
+  if (s.empty()) return "%0";
+  std::string out;
+  out.reserve(s.size());
+  char buf[4];
+  for (unsigned char c : s) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\r' || c == '\t' ||
+        c == 0x1f) {
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+bool HexVal(char c, int* v) {
+  if (c >= '0' && c <= '9') { *v = c - '0'; return true; }
+  if (c >= 'A' && c <= 'F') { *v = c - 'A' + 10; return true; }
+  if (c >= 'a' && c <= 'f') { *v = c - 'a' + 10; return true; }
+  return false;
+}
+
+bool Unesc(const std::string& s, std::string* out) {
+  if (s == "%0") {
+    out->clear();
+    return true;
+  }
+  out->clear();
+  out->reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out->push_back(s[i]);
+      continue;
+    }
+    int hi = 0, lo = 0;
+    if (i + 2 >= s.size() || !HexVal(s[i + 1], &hi) || !HexVal(s[i + 2], &lo)) {
+      return false;
+    }
+    out->push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return true;
+}
+
+constexpr const char* kMagic = "zebra-summary-cache-v1";
+
+std::string HexU64(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool ParseHexU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    int d = 0;
+    if (!HexVal(c, &d)) return false;
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+// Reads the next space-separated raw token from the stream.
+bool NextTok(std::istringstream& in, std::string* out) {
+  return static_cast<bool>(in >> *out);
+}
+
+bool NextStr(std::istringstream& in, std::string* out) {
+  std::string raw;
+  return NextTok(in, &raw) && Unesc(raw, out);
+}
+
+bool NextInt(std::istringstream& in, int* out) {
+  return static_cast<bool>(in >> *out);
+}
+
+void WriteStmtFacts(std::ostringstream& out, const StmtFacts& st) {
+  out << "G " << st.first_line << ' ' << (st.has_wire_primitive ? 1 : 0)
+      << (st.has_protocol_throw ? 1 : 0) << (st.has_comparison ? 1 : 0)
+      << (st.has_persistence ? 1 : 0) << (st.has_timer ? 1 : 0)
+      << (st.first_protocol_is_timer ? 1 : 0) << ' '
+      << static_cast<int>(st.protocol_callee_mask) << ' '
+      << Esc(st.first_protocol_callee) << ' ' << Esc(st.assign_target);
+  out << ' ' << st.direct_params.size();
+  for (const std::string& p : st.direct_params) out << ' ' << Esc(p);
+  out << ' ' << st.callees.size();
+  for (const std::string& c : st.callees) out << ' ' << Esc(c);
+  out << ' ' << st.cross_node_methods.size();
+  for (const std::string& m : st.cross_node_methods) out << ' ' << Esc(m);
+  out << ' ' << st.used_locals.size();
+  for (const std::string& l : st.used_locals) out << ' ' << Esc(l);
+  out << '\n';
+}
+
+bool ReadStmtFacts(std::istringstream& in, StmtFacts* st) {
+  std::string flags;
+  if (!NextInt(in, &st->first_line) || !NextTok(in, &flags) ||
+      flags.size() != 6) {
+    return false;
+  }
+  st->has_wire_primitive = flags[0] == '1';
+  st->has_protocol_throw = flags[1] == '1';
+  st->has_comparison = flags[2] == '1';
+  st->has_persistence = flags[3] == '1';
+  st->has_timer = flags[4] == '1';
+  st->first_protocol_is_timer = flags[5] == '1';
+  int mask = 0;
+  if (!NextInt(in, &mask) || mask < 0 || mask > 255) return false;
+  st->protocol_callee_mask = static_cast<SinkMask>(mask);
+  if (!NextStr(in, &st->first_protocol_callee)) return false;
+  if (!NextStr(in, &st->assign_target)) return false;
+  int count = 0;
+  std::string item;
+  if (!NextInt(in, &count) || count < 0) return false;
+  for (int i = 0; i < count; ++i) {
+    if (!NextStr(in, &item)) return false;
+    st->direct_params.push_back(item);
+  }
+  if (!NextInt(in, &count) || count < 0) return false;
+  for (int i = 0; i < count; ++i) {
+    if (!NextStr(in, &item)) return false;
+    st->callees.push_back(item);
+  }
+  if (!NextInt(in, &count) || count < 0) return false;
+  for (int i = 0; i < count; ++i) {
+    if (!NextStr(in, &item)) return false;
+    st->cross_node_methods.push_back(item);
+  }
+  if (!NextInt(in, &count) || count < 0) return false;
+  for (int i = 0; i < count; ++i) {
+    if (!NextStr(in, &item)) return false;
+    st->used_locals.push_back(item);
+  }
+  return true;
+}
+
+}  // namespace
+
+const SummaryCache::TuEntry* SummaryCache::Lookup(const std::string& path,
+                                                  uint64_t content_hash) const {
+  auto it = entries_.find(path);
+  if (it == entries_.end() || it->second.content_hash != content_hash) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void SummaryCache::Put(const std::string& path, uint64_t content_hash,
+                       const TuModel& model,
+                       std::vector<std::vector<StmtFacts>> fn_facts) {
+  TuEntry& entry = entries_[path];
+  entry.content_hash = content_hash;
+  entry.model = std::make_shared<TuModel>(model);
+  entry.fn_facts = std::move(fn_facts);
+  // Strip what the cache must never serve: token streams and statement
+  // ranges. Resolved param names stay — resolution depends only on the
+  // merged tables, and entries are served only under the exact table hash
+  // they were stored with, so the stored resolution is always current.
+  for (FunctionModel& fn : entry.model->functions) {
+    fn.tokens.clear();
+    fn.statements.clear();
+  }
+}
+
+bool SummaryCache::SaveToFile(const std::string& path) const {
+  std::ostringstream body;
+  body << kMagic << '\n';
+  body << "H " << HexU64(table_hash_) << '\n';
+  for (const auto& [tu_path, entry] : entries_) {
+    const TuModel& model = *entry.model;
+    body << "U " << Esc(tu_path) << ' ' << HexU64(entry.content_hash) << ' '
+         << model.unresolved_reads << '\n';
+    for (const auto& [name, value] : model.param_constants) {
+      body << "P " << Esc(name) << ' ' << Esc(value) << '\n';
+    }
+    for (const std::string& cls : model.node_classes) {
+      body << "N " << Esc(cls) << '\n';
+    }
+    for (const auto& [name, type] : model.var_types) {
+      body << "V " << Esc(name) << ' ' << Esc(type) << '\n';
+    }
+    for (const auto& [name, type] : model.fn_return_types) {
+      body << "R " << Esc(name) << ' ' << Esc(type) << '\n';
+    }
+    for (const std::string& cls : model.classes_with_scope_member) {
+      body << "S " << Esc(cls) << '\n';
+    }
+    for (const LintMarker& marker : model.markers) {
+      body << "M " << marker.line << ' ' << Esc(marker.tag) << ' '
+           << Esc(marker.argument) << '\n';
+    }
+    for (size_t f = 0; f < model.functions.size(); ++f) {
+      const FunctionModel& fn = model.functions[f];
+      body << "F " << Esc(fn.cls) << ' ' << Esc(fn.name) << ' '
+           << Esc(fn.qualified) << ' ' << Esc(fn.return_type) << ' '
+           << (fn.is_constructor ? 1 : 0) << (fn.has_init_bracket ? 1 : 0)
+           << (fn.uses_ref_to_clone ? 1 : 0) << (fn.name_is_protocol ? 1 : 0)
+           << ' ' << Esc(fn.file) << ' '
+           << fn.line << '\n';
+      for (const ReadSite& site : fn.read_sites) {
+        body << "D " << Esc(site.arg_token) << ' '
+             << (site.arg_is_literal ? 1 : 0) << ' ' << Esc(site.accessor)
+             << ' ' << Esc(site.method) << ' ' << Esc(site.file) << ' '
+             << site.line << ' ' << Esc(site.function) << ' '
+             << Esc(site.enclosing_class) << ' ' << Esc(site.param) << '\n';
+      }
+      for (const std::string& callee : fn.callees) {
+        body << "E " << Esc(callee) << '\n';
+      }
+      if (f < entry.fn_facts.size()) {
+        for (const StmtFacts& st : entry.fn_facts[f]) {
+          WriteStmtFacts(body, st);
+        }
+      }
+    }
+  }
+
+  // Whole-file checksum, folded line by line like RunCache v2.
+  std::istringstream lines(body.str());
+  uint64_t digest = kFnv64Seed;
+  std::string line;
+  while (std::getline(lines, line)) {
+    digest = HashFnv64(line, digest);
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << body.str() << "C " << HexU64(digest) << '\n';
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool SummaryCache::LoadFromFile(const std::string& path) {
+  entries_.clear();
+  table_hash_ = 0;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // Missing file is the normal cold-start case, not corruption.
+    return false;
+  }
+
+  auto reject = [this](const char* why) {
+    std::fprintf(stderr, "zebralint: summary cache rejected (%s)\n", why);
+    entries_.clear();
+    table_hash_ = 0;
+    ++stats_.load_failures;
+    return false;
+  };
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  if (lines.empty() || lines.front() != kMagic) return reject("bad magic");
+  if (lines.size() < 2 || lines.back().rfind("C ", 0) != 0) {
+    return reject("missing checksum");
+  }
+  uint64_t stored = 0;
+  if (!ParseHexU64(lines.back().substr(2), &stored)) {
+    return reject("malformed checksum");
+  }
+  uint64_t digest = kFnv64Seed;
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    digest = HashFnv64(lines[i], digest);
+  }
+  if (digest != stored) return reject("checksum mismatch");
+
+  TuEntry* tu = nullptr;
+  std::string tu_path;
+  FunctionModel* fn = nullptr;
+  for (size_t i = 1; i + 1 < lines.size(); ++i) {
+    std::istringstream rec(lines[i]);
+    std::string tag;
+    if (!NextTok(rec, &tag)) return reject("empty record");
+    if (tag == "H") {
+      std::string hex;
+      if (!NextTok(rec, &hex) || !ParseHexU64(hex, &table_hash_)) {
+        return reject("bad table hash");
+      }
+      continue;
+    }
+    if (tag == "U") {
+      std::string hex;
+      TuEntry entry;
+      entry.model = std::make_shared<TuModel>();
+      if (!NextStr(rec, &tu_path) || !NextTok(rec, &hex) ||
+          !ParseHexU64(hex, &entry.content_hash) ||
+          !NextInt(rec, &entry.model->unresolved_reads)) {
+        return reject("bad TU record");
+      }
+      entry.model->file = tu_path;
+      tu = &entries_[tu_path];
+      *tu = std::move(entry);
+      fn = nullptr;
+      continue;
+    }
+    if (tu == nullptr) return reject("record before TU");
+    TuModel& model = *tu->model;
+    if (tag == "P") {
+      std::string name, value;
+      if (!NextStr(rec, &name) || !NextStr(rec, &value)) {
+        return reject("bad constant");
+      }
+      model.param_constants[name] = value;
+    } else if (tag == "N") {
+      std::string cls;
+      if (!NextStr(rec, &cls)) return reject("bad node class");
+      model.node_classes.insert(cls);
+    } else if (tag == "V") {
+      std::string name, type;
+      if (!NextStr(rec, &name) || !NextStr(rec, &type)) {
+        return reject("bad var type");
+      }
+      model.var_types[name] = type;
+    } else if (tag == "R") {
+      std::string name, type;
+      if (!NextStr(rec, &name) || !NextStr(rec, &type)) {
+        return reject("bad return type");
+      }
+      model.fn_return_types[name] = type;
+    } else if (tag == "S") {
+      std::string cls;
+      if (!NextStr(rec, &cls)) return reject("bad scope member");
+      model.classes_with_scope_member.insert(cls);
+    } else if (tag == "M") {
+      LintMarker marker;
+      if (!NextInt(rec, &marker.line) || !NextStr(rec, &marker.tag) ||
+          !NextStr(rec, &marker.argument)) {
+        return reject("bad marker");
+      }
+      model.markers.push_back(std::move(marker));
+    } else if (tag == "F") {
+      FunctionModel next;
+      std::string flags;
+      if (!NextStr(rec, &next.cls) || !NextStr(rec, &next.name) ||
+          !NextStr(rec, &next.qualified) || !NextStr(rec, &next.return_type) ||
+          !NextTok(rec, &flags) || flags.size() != 4 ||
+          !NextStr(rec, &next.file) || !NextInt(rec, &next.line)) {
+        return reject("bad function");
+      }
+      next.is_constructor = flags[0] == '1';
+      next.has_init_bracket = flags[1] == '1';
+      next.uses_ref_to_clone = flags[2] == '1';
+      next.name_is_protocol = flags[3] == '1';
+      model.functions.push_back(std::move(next));
+      tu->fn_facts.emplace_back();
+      fn = &model.functions.back();
+    } else if (tag == "D") {
+      if (fn == nullptr) return reject("read site before function");
+      ReadSite site;
+      int literal = 0;
+      if (!NextStr(rec, &site.arg_token) || !NextInt(rec, &literal) ||
+          !NextStr(rec, &site.accessor) || !NextStr(rec, &site.method) ||
+          !NextStr(rec, &site.file) || !NextInt(rec, &site.line) ||
+          !NextStr(rec, &site.function) ||
+          !NextStr(rec, &site.enclosing_class) ||
+          !NextStr(rec, &site.param)) {
+        return reject("bad read site");
+      }
+      site.arg_is_literal = literal != 0;
+      fn->read_sites.push_back(std::move(site));
+    } else if (tag == "E") {
+      if (fn == nullptr) return reject("callee before function");
+      std::string callee;
+      if (!NextStr(rec, &callee)) return reject("bad callee");
+      fn->callees.push_back(callee);
+    } else if (tag == "G") {
+      if (fn == nullptr || tu->fn_facts.empty()) {
+        return reject("facts before function");
+      }
+      StmtFacts st;
+      if (!ReadStmtFacts(rec, &st)) return reject("bad statement facts");
+      tu->fn_facts.back().push_back(std::move(st));
+    } else {
+      return reject("unknown record");
+    }
+  }
+  return true;
+}
+
+}  // namespace analysis
+}  // namespace zebra

@@ -1,0 +1,93 @@
+// SummaryCache: persistent per-TU analysis summaries for incremental
+// zebralint runs.
+//
+// Lexing and extraction dominate a cold self-scan; both are pure functions of
+// one file's bytes. The cache therefore keys each TU by the FNV-1a hash of
+// its content and stores
+//
+//   * the token-free TuModel — every field downstream passes consume
+//     (read sites with the *unresolved* argument token, callees, annotation
+//     flags, constant/type tables, markers) except the token stream itself,
+//   * the per-function statement facts (flow_graph.h StmtFacts), which are
+//     the only thing the flow graph ever derives from tokens.
+//
+// Statement facts additionally depend on the merged program tables (a new
+// param constant in file A can resolve a read in untouched file B), so the
+// whole cache is tagged with ProgramTableHash: summaries are served only
+// under the same table hash; a mismatch degrades to a full re-parse — the
+// cache can make analysis faster, never different.
+//
+// File format follows the RunCache v2 discipline: a magic line, line-oriented
+// records, and a trailing "C <fnv64 hex>" whole-file checksum. Any defect —
+// bad magic, torn write, checksum mismatch, malformed record — rejects the
+// file wholesale: the cache stays empty, Stats::load_failures increments, and
+// analysis proceeds cold. Corruption must never produce a wrong prior.
+
+#ifndef SRC_ANALYSIS_SUMMARY_CACHE_H_
+#define SRC_ANALYSIS_SUMMARY_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/flow_graph.h"
+#include "src/analysis/read_site_extractor.h"
+
+namespace zebra {
+namespace analysis {
+
+class SummaryCache {
+ public:
+  struct TuEntry {
+    uint64_t content_hash = 0;
+    // Token-free: tokens/statements of every function empty. Resolved param
+    // names are KEPT — they are valid exactly when the table hash matches,
+    // which is the only condition under which the entry is ever served. Held
+    // by shared pointer so ProgramModel::MergeShared can borrow it without
+    // copying; served models are never mutated (see MergeShared's contract).
+    std::shared_ptr<TuModel> model;
+    // Parallel to model->functions.
+    std::vector<std::vector<StmtFacts>> fn_facts;
+  };
+
+  struct Stats {
+    // Corrupt/truncated cache files rejected by LoadFromFile. Mirrors
+    // RunCache::Stats::load_failures: a health signal, never cleared.
+    int64_t load_failures = 0;
+  };
+
+  // Table hash the stored summaries were computed under.
+  uint64_t table_hash() const { return table_hash_; }
+  void set_table_hash(uint64_t hash) { table_hash_ = hash; }
+
+  // Returns the entry for `path` iff its content hash matches, else null.
+  const TuEntry* Lookup(const std::string& path, uint64_t content_hash) const;
+
+  // Replaces the entry for `path`. `model` is stripped of tokens/statements
+  // before storage.
+  void Put(const std::string& path, uint64_t content_hash, const TuModel& model,
+           std::vector<std::vector<StmtFacts>> fn_facts);
+
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+
+  // Persistence. Load replaces the current contents; a failed load leaves the
+  // cache empty and increments load_failures (except for a missing file — the
+  // normal cold-start case). Both return false on failure.
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::map<std::string, TuEntry> entries_;  // path -> entry, sorted for saves
+  uint64_t table_hash_ = 0;
+  Stats stats_;
+};
+
+}  // namespace analysis
+}  // namespace zebra
+
+#endif  // SRC_ANALYSIS_SUMMARY_CACHE_H_

@@ -1,400 +1,26 @@
+// The taint pass is now a thin view over the config-flow graph (see
+// flow_graph.h): BuildFlowGraph computes the R1a–R1e / R2 / R3 verdicts
+// documented in taint_pass.h — plus sink typing and coupling, which this
+// report shape predates and does not carry.
+
 #include "src/analysis/taint_pass.h"
 
-#include <algorithm>
-#include <cctype>
+#include "src/analysis/flow_graph.h"
 
 namespace zebra {
 namespace analysis {
 
-namespace {
-
-const char* const kWirePrimitives[] = {
-    "EncodeFrame",     "DecodeFrame",      "EncryptPayload",
-    "DecryptPayload",  "CompressPayload",  "DecompressPayload",
-    "ComputeChecksum", "WireToken",        "RequireMatchingTokens",
-    "SimulatePacedWait", "RpcGate",        "RpcLongOperation",
-};
-
-const char* const kProtocolErrors[] = {
-    "RpcError",      "HandshakeError", "TimeoutError",
-    "DecodeError",   "ChecksumError",  "LimitError",
-};
-
-// Lower-case substrings that mark a function name as protocol-flavored.
-const char* const kProtocolNamePatterns[] = {
-    "heartbeat", "handshake", "liveness", "stale", "token",
-};
-
-bool IsWirePrimitive(const std::string& name) {
-  for (const char* p : kWirePrimitives) {
-    if (name == p) return true;
-  }
-  return false;
-}
-
-bool IsProtocolError(const std::string& name) {
-  for (const char* p : kProtocolErrors) {
-    if (name == p) return true;
-  }
-  return false;
-}
-
-std::string Lower(const std::string& s) {
-  std::string out = s;
-  std::transform(out.begin(), out.end(), out.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return out;
-}
-
-bool MatchesProtocolName(const std::string& name) {
-  std::string low = Lower(name);
-  for (const char* p : kProtocolNamePatterns) {
-    if (low.find(p) != std::string::npos) return true;
-  }
-  return false;
-}
-
-std::string Loc(const FunctionModel& fn, int line) {
-  return fn.file + ":" + std::to_string(line);
-}
-
-// Per-statement facts, recomputed from the retained token range.
-struct StmtFacts {
-  std::set<std::string> direct_params;  // params read in this statement
-  int first_line = 0;
-  std::set<std::string> callees;
-  std::vector<std::string> cross_node_methods;  // methods called on node objs
-  bool has_wire_primitive = false;
-  bool has_protocol_throw = false;
-  std::string assign_target;             // lhs of the first top-level '='
-  std::set<std::string> idents;          // every identifier used
-};
-
-bool IsGetMethod(const std::string& s) {
-  return s == "Get" || s == "GetBool" || s == "GetInt" || s == "GetDouble";
-}
-
-// Config accessor names must never resolve through the bare-name function
-// index: `conf().GetInt(...)` would otherwise alias KvStore::Get and friends.
-bool ResolvableCallee(const std::string& s) { return !IsGetMethod(s); }
-
-StmtFacts AnalyzeStatement(const ProgramModel& program,
-                           const FunctionModel& fn, size_t begin, size_t end) {
-  StmtFacts facts;
-  const auto& toks = fn.tokens;
-  bool saw_throw = false;
-  int depth = 0;
-  for (size_t k = begin; k < end && k < toks.size(); ++k) {
-    const Token& tk = toks[k];
-    if (facts.first_line == 0 && tk.line > 0) facts.first_line = tk.line;
-
-    if (tk.kind == TokenKind::kPunct) {
-      if (tk.Is("(") || tk.Is("[")) ++depth;
-      if (tk.Is(")") || tk.Is("]")) --depth;
-      // First top-level assignment: the token to the left is the target.
-      if (tk.Is("=") && depth == 0 && facts.assign_target.empty() &&
-          k > begin && toks[k - 1].IsIdent()) {
-        facts.assign_target = toks[k - 1].text;
-      }
-      continue;
-    }
-    if (!tk.IsIdent()) continue;
-    facts.idents.insert(tk.text);
-
-    if (tk.Is("throw")) saw_throw = true;
-    if (saw_throw && IsProtocolError(tk.text)) facts.has_protocol_throw = true;
-
-    bool is_call = k + 1 < toks.size() && toks[k + 1].Is("(");
-    if (!is_call) continue;
-
-    if (IsWirePrimitive(tk.text)) facts.has_wire_primitive = true;
-    facts.callees.insert(tk.text);
-
-    // Member-init-list shape `member_(expr)` at depth 0 acts as an
-    // assignment into `member_`.
-    if (depth == 0 && facts.assign_target.empty() && k == begin &&
-        (k + 1 >= toks.size() || !toks[k].Is("if"))) {
-      // Only treat it as init-list assignment when the statement IS the
-      // call (ctor init entries); ordinary calls are still recorded above.
-      if (!fn.statements.empty() && tk.text.back() == '_') {
-        facts.assign_target = tk.text;
-      }
-    }
-
-    // Read site: [.|->] Get*( ARG ...
-    if (IsGetMethod(tk.text) && k > begin &&
-        (toks[k - 1].Is(".") || toks[k - 1].Is("->")) &&
-        k + 2 < toks.size()) {
-      const Token& arg = toks[k + 2];
-      if (arg.kind == TokenKind::kString) {
-        facts.direct_params.insert(arg.text);
-      } else if (arg.IsIdent()) {
-        auto it = program.param_constants.find(arg.text);
-        if (it != program.param_constants.end()) {
-          facts.direct_params.insert(it->second);
-        }
-      }
-    }
-
-    // Cross-node call: receiver typed as a node class (or a chained call
-    // returning one). `this->Foo()` is node-local by construction.
-    if (k > begin && (toks[k - 1].Is("->") || toks[k - 1].Is("."))) {
-      std::string receiver_type;
-      if (k >= 2) {
-        const Token& recv = toks[k - 2];
-        if (recv.IsIdent() && !recv.Is("this")) {
-          auto it = program.var_types.find(recv.text);
-          if (it != program.var_types.end()) receiver_type = it->second;
-        } else if (recv.Is(")")) {
-          // Chained: CALLEE(...)->Method(). Walk back to the matching '('.
-          int d = 0;
-          for (size_t q = k - 2;; --q) {
-            if (toks[q].Is(")")) ++d;
-            if (toks[q].Is("(") && --d == 0) {
-              if (q > 0 && toks[q - 1].IsIdent()) {
-                auto it = program.fn_return_types.find(toks[q - 1].text);
-                if (it != program.fn_return_types.end()) {
-                  receiver_type = it->second;
-                }
-              }
-              break;
-            }
-            if (q == 0) break;
-          }
-        }
-      }
-      if (!receiver_type.empty() && program.node_classes.count(receiver_type)) {
-        facts.cross_node_methods.push_back(tk.text);
-      }
-    }
-  }
-  return facts;
-}
-
-// Index of defined functions by bare and qualified name.
-struct FunctionIndex {
-  std::map<std::string, std::vector<const FunctionModel*>> by_name;
-
-  explicit FunctionIndex(const ProgramModel& program) {
-    for (const TuModel& tu : program.tus) {
-      for (const FunctionModel& fn : tu.functions) {
-        by_name[fn.name].push_back(&fn);
-        by_name[fn.qualified].push_back(&fn);
-      }
-    }
-  }
-
-  const std::vector<const FunctionModel*>* Lookup(
-      const std::string& name) const {
-    auto it = by_name.find(name);
-    return it == by_name.end() ? nullptr : &it->second;
-  }
-};
-
-}  // namespace
-
 TaintReport RunTaintPass(const ProgramModel& program) {
+  ProgramFacts facts = BuildProgramFacts(program);
+  FlowGraph graph = BuildFlowGraph(facts);
+
   TaintReport report;
-  FunctionIndex index(program);
-
-  // Seed a verdict for every resolved read site so node-local parameters
-  // appear in the report with an empty reason list.
-  for (const ReadSite* site : program.AllReadSites()) {
-    report.params[site->param];
+  report.protocol_surfaces = graph.protocol_surfaces;
+  for (const auto& [param, flow] : graph.params) {
+    TaintVerdict& verdict = report.params[param];
+    verdict.wire_tainted = flow.wire_tainted;
+    verdict.reasons = flow.reasons;
   }
-
-  // Precompute statement facts once per function.
-  std::map<const FunctionModel*, std::vector<StmtFacts>> facts_by_fn;
-  for (const TuModel& tu : program.tus) {
-    for (const FunctionModel& fn : tu.functions) {
-      auto& list = facts_by_fn[&fn];
-      list.reserve(fn.statements.size());
-      for (const auto& [b, e] : fn.statements) {
-        list.push_back(AnalyzeStatement(program, fn, b, e));
-      }
-    }
-  }
-
-  // Program-wide sets: methods observed being called on node-class objects,
-  // and direct reads per function.
-  std::set<std::string> cross_node_called;
-  std::map<const FunctionModel*, std::set<std::string>> direct_reads;
-  for (const auto& [fn, stmts] : facts_by_fn) {
-    for (const StmtFacts& facts : stmts) {
-      for (const std::string& method : facts.cross_node_methods) {
-        cross_node_called.insert(method);
-      }
-    }
-    std::set<std::string> reads;
-    for (const ReadSite& site : fn->read_sites) {
-      if (!site.param.empty()) reads.insert(site.param);
-    }
-    direct_reads[fn] = std::move(reads);
-  }
-
-  // Function sink summaries (fixpoint): does the body reach a wire sink?
-  std::map<const FunctionModel*, bool> reaches_sink;
-  for (const auto& [fn, stmts] : facts_by_fn) {
-    bool sink = false;
-    for (const StmtFacts& facts : stmts) {
-      if (facts.has_wire_primitive || facts.has_protocol_throw ||
-          !facts.cross_node_methods.empty()) {
-        sink = true;
-        break;
-      }
-      for (const std::string& callee : facts.callees) {
-        if (MatchesProtocolName(callee)) {
-          sink = true;
-          break;
-        }
-      }
-      if (sink) break;
-    }
-    reaches_sink[fn] = sink;
-  }
-  for (bool changed = true; changed;) {
-    changed = false;
-    for (const auto& [fn, stmts] : facts_by_fn) {
-      if (reaches_sink[fn]) continue;
-      for (const std::string& callee : fn->callees) {
-        if (!ResolvableCallee(callee)) continue;
-        const auto* defs = index.Lookup(callee);
-        if (!defs) continue;
-        for (const FunctionModel* def : *defs) {
-          if (reaches_sink[def]) {
-            reaches_sink[fn] = true;
-            changed = true;
-            break;
-          }
-        }
-        if (reaches_sink[fn]) break;
-      }
-    }
-  }
-
-  // Protocol surfaces: node-class methods called cross-node, name-pattern
-  // functions, plus everything they transitively invoke (within the corpus).
-  std::set<const FunctionModel*> surfaces;
-  for (const auto& [fn, stmts] : facts_by_fn) {
-    bool is_surface = false;
-    if (!fn->cls.empty() && program.node_classes.count(fn->cls) &&
-        !fn->is_constructor && cross_node_called.count(fn->name)) {
-      is_surface = true;
-    }
-    if (MatchesProtocolName(fn->name)) is_surface = true;
-    if (is_surface) surfaces.insert(fn);
-  }
-  for (bool changed = true; changed;) {
-    changed = false;
-    std::vector<const FunctionModel*> frontier(surfaces.begin(),
-                                               surfaces.end());
-    for (const FunctionModel* fn : frontier) {
-      for (const std::string& callee : fn->callees) {
-        if (!ResolvableCallee(callee)) continue;
-        const auto* defs = index.Lookup(callee);
-        if (!defs) continue;
-        for (const FunctionModel* def : *defs) {
-          if (def->is_constructor) continue;
-          if (surfaces.insert(def).second) changed = true;
-        }
-      }
-    }
-  }
-  for (const FunctionModel* fn : surfaces) {
-    report.protocol_surfaces.insert(fn->qualified);
-  }
-
-  auto taint = [&](const std::string& param, std::string reason) {
-    auto it = report.params.find(param);
-    if (it == report.params.end()) return;
-    it->second.wire_tainted = true;
-    if (it->second.reasons.size() < 8) {
-      it->second.reasons.push_back(std::move(reason));
-    }
-  };
-
-  // R2: every read inside a protocol surface is wire-tainted.
-  for (const FunctionModel* fn : surfaces) {
-    for (const std::string& param : direct_reads[fn]) {
-      taint(param, "R2 read inside protocol surface " + fn->qualified + " (" +
-                       Loc(*fn, fn->line) + ")");
-    }
-  }
-
-  // R1 + R3: statement-level co-occurrence with local-taint propagation.
-  for (const auto& [fn, stmts] : facts_by_fn) {
-    std::map<std::string, std::set<std::string>> local_taint;
-    for (const StmtFacts& facts : stmts) {
-      // Statement parameter set: direct reads, tainted locals used, and the
-      // direct reads of locally defined callees (R3's generalization — the
-      // DfsDataWireConfig helper pattern).
-      std::set<std::string> stmt_params = facts.direct_params;
-      std::map<std::string, std::string> origin;  // param -> short origin
-      for (const std::string& p : facts.direct_params) origin[p] = "read here";
-      for (const std::string& ident : facts.idents) {
-        auto it = local_taint.find(ident);
-        if (it == local_taint.end()) continue;
-        for (const std::string& p : it->second) {
-          stmt_params.insert(p);
-          origin.emplace(p, "via local `" + ident + "`");
-        }
-      }
-      for (const std::string& callee : facts.callees) {
-        if (!ResolvableCallee(callee)) continue;
-        const auto* defs = index.Lookup(callee);
-        if (!defs) continue;
-        for (const FunctionModel* def : *defs) {
-          for (const std::string& p : direct_reads[def]) {
-            stmt_params.insert(p);
-            origin.emplace(p, "via helper " + def->qualified + " (R3)");
-          }
-        }
-      }
-
-      // Sink classification for this statement.
-      std::string sink;
-      if (facts.has_wire_primitive) {
-        sink = "R1a wire primitive";
-      } else if (!facts.cross_node_methods.empty()) {
-        sink = "R1b cross-node call " + facts.cross_node_methods.front();
-      } else if (facts.has_protocol_throw) {
-        sink = "R1e protocol error throw";
-      } else {
-        for (const std::string& callee : facts.callees) {
-          if (!ResolvableCallee(callee)) continue;
-          const auto* defs = index.Lookup(callee);
-          if (defs) {
-            for (const FunctionModel* def : *defs) {
-              if (reaches_sink[def]) {
-                sink = "R1c sink-reaching callee " + callee;
-                break;
-              }
-            }
-          }
-          if (!sink.empty()) break;
-          if (MatchesProtocolName(callee)) {
-            sink = "R1d protocol-named callee " + callee;
-            break;
-          }
-        }
-      }
-
-      if (!sink.empty()) {
-        for (const std::string& p : stmt_params) {
-          taint(p, sink + ", " + origin[p] + " in " + fn->qualified + " (" +
-                       fn->file + ":" + std::to_string(facts.first_line) +
-                       ")");
-        }
-      }
-
-      // Propagate into the assignment target (or init-list member).
-      if (!facts.assign_target.empty() && !stmt_params.empty()) {
-        auto& slot = local_taint[facts.assign_target];
-        slot.insert(stmt_params.begin(), stmt_params.end());
-      }
-    }
-  }
-
   return report;
 }
 

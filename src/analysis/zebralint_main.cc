@@ -1,16 +1,29 @@
-// zebralint CLI: static config-flow report + CI drift gate.
+// zebralint CLI: static config-flow report + CI drift gate + prior diffing.
 //
 //   zebralint [--root DIR] [--json] [--check] [--no-schema]
+//             [--summary-cache FILE] [--diff OLD_PRIOR.json] [--stats]
 //
 // Scans DIR/src/apps and DIR/src/conf (DIR defaults to the source tree this
 // binary was built from), cross-checks against the full registered schema,
 // and prints a text (default) or JSON report. With --check the exit code is
 // nonzero when schema or annotation drift is found, so CI can gate on it.
+//
+// --summary-cache enables incremental analysis: per-TU summaries are loaded
+// from FILE (when present and valid) and rewritten afterwards, so re-running
+// after touching one file re-parses only that file.
+//
+// --diff compares the fresh analysis against a previously saved
+// `zebralint --json` artifact and prints a StaticPriorDiff (text, or JSON
+// with --json) instead of the full report. With --check the exit code is
+// nonzero when the diff is non-empty — the CI smoke gate asserts an empty
+// diff on an unchanged tree. The JSON diff's "impacted" list feeds
+// `full_campaign --impacted-only`.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "src/analysis/prior_diff.h"
 #include "src/analysis/static_prior.h"
 #include "src/testkit/full_schema.h"
 
@@ -21,13 +34,21 @@
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--root DIR] [--json] [--check] [--no-schema]\n"
-               "  --root DIR   source tree to scan (default: %s)\n"
-               "  --json       emit the JSON report instead of text\n"
-               "  --check      exit 1 on schema/annotation drift (CI gate)\n"
-               "  --no-schema  skip ConfSchema cross-checks\n",
-               argv0, ZEBRALINT_SOURCE_ROOT);
+  std::fprintf(
+      stderr,
+      "usage: %s [--root DIR] [--json] [--check] [--no-schema]\n"
+      "          [--summary-cache FILE] [--diff OLD_PRIOR.json] [--stats]\n"
+      "  --root DIR            source tree to scan (default: %s)\n"
+      "  --json                emit JSON instead of text (report or diff)\n"
+      "  --check               exit 1 on drift — or, with --diff, on a\n"
+      "                        non-empty diff (CI gates)\n"
+      "  --no-schema           skip ConfSchema cross-checks\n"
+      "  --summary-cache FILE  incremental analysis: load/store per-TU\n"
+      "                        summaries (corrupt files degrade to cold)\n"
+      "  --diff FILE           diff against a saved `zebralint --json`\n"
+      "                        artifact instead of printing the report\n"
+      "  --stats               print analysis accounting to stderr\n",
+      argv0, ZEBRALINT_SOURCE_ROOT);
   return 2;
 }
 
@@ -35,9 +56,12 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string root = ZEBRALINT_SOURCE_ROOT;
+  std::string cache_path;
+  std::string diff_path;
   bool json = false;
   bool check = false;
   bool use_schema = true;
+  bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
@@ -48,6 +72,12 @@ int main(int argc, char** argv) {
       check = true;
     } else if (std::strcmp(argv[i], "--no-schema") == 0) {
       use_schema = false;
+    } else if (std::strcmp(argv[i], "--summary-cache") == 0 && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
+      diff_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
     } else {
       return Usage(argv[0]);
     }
@@ -60,10 +90,42 @@ int main(int argc, char** argv) {
                  root.c_str());
     return 2;
   }
+  if (!cache_path.empty()) {
+    analyzer.EnableSummaryCache(cache_path);
+  }
 
   const zebra::ConfSchema* schema =
       use_schema ? &zebra::FullSchema() : nullptr;
   zebra::analysis::StaticPriorReport report = analyzer.Analyze(schema);
+
+  if (stats) {
+    const zebra::analysis::AnalyzeStats& s = analyzer.stats();
+    std::fprintf(stderr,
+                 "zebralint: %d TUs (%d parsed, %d from cache), "
+                 "%d facts computed, %d from cache%s%s\n",
+                 s.tus_total, s.tus_parsed, s.tus_from_cache, s.facts_computed,
+                 s.facts_from_cache,
+                 s.table_hash_invalidated ? ", table hash invalidated" : "",
+                 s.summary_load_failures > 0 ? ", cache load failure" : "");
+  }
+
+  if (!diff_path.empty()) {
+    zebra::analysis::StaticPriorDiff diff;
+    std::string error;
+    if (!zebra::analysis::DiffAgainstFile(diff_path, report, &diff, &error)) {
+      std::fprintf(stderr, "zebralint: %s\n", error.c_str());
+      return 2;
+    }
+    std::string out = json ? zebra::analysis::DiffToJson(diff)
+                           : zebra::analysis::DiffToText(diff);
+    std::fputs(out.c_str(), stdout);
+    if (check && !diff.Empty()) {
+      std::fprintf(stderr, "zebralint: static prior changed (%zu impacted)\n",
+                   diff.ImpactedParams().size());
+      return 1;
+    }
+    return 0;
+  }
 
   std::string out = json ? zebra::analysis::ReportToJson(report)
                          : zebra::analysis::ReportToText(report);

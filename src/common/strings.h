@@ -46,6 +46,14 @@ uint64_t HashFnv64(std::string_view text, uint64_t seed = kFnv64Seed);
 // 16-hex-digit rendering of a 64-bit digest (zero-padded, lower case).
 std::string HashToHex(uint64_t digest);
 
+// Content fingerprint for whole files: FNV-1a folded over 8-byte chunks
+// instead of single bytes, ~8x faster on large inputs. NOT interchangeable
+// with HashFnv64 — use only where every producer and consumer hashes with
+// this function (the analysis summary cache keys TU content with it; the
+// incremental path hashes every source on every run, so byte-at-a-time FNV
+// showed up as a fixed per-run cost).
+uint64_t HashContent64(std::string_view text);
+
 }  // namespace zebra
 
 #endif  // SRC_COMMON_STRINGS_H_

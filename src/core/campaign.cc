@@ -75,7 +75,8 @@ void CampaignFolder::Fold(const UnitWorkResult& unit) {
   AppStageCounts& counts = report_.per_app[unit.app];
   counts.after_prerun += unit.after_prerun;
   counts.after_uncertainty += unit.after_uncertainty;
-  counts.executed_runs += unit.prerun_executions + unit.executed_runs;
+  counts.executed_runs +=
+      unit.prerun_executions + unit.executed_runs + unit.coupling_runs;
   if (unit.started_any_node) {
     ++counts.tests_with_nodes;
   }
@@ -96,12 +97,20 @@ void CampaignFolder::Fold(const UnitWorkResult& unit) {
   report_.canonicalized_plans += unit.canonicalized_plans;
   report_.mispredictions += unit.mispredictions;
   report_.cache_evictions += unit.cache_evictions;
+  report_.coupling_runs += unit.coupling_runs;
+  report_.coupling_confirmations += unit.coupling_confirmations;
+  if (unit.dynamic_phase_skipped) {
+    ++report_.units_skipped;
+  }
 
   if (report_.runs_to_first_detection == 0 && unit.runs_to_first_confirmation > 0) {
     report_.runs_to_first_detection =
         executed_before_ + unit.runs_to_first_confirmation;
     report_.first_detection_param = unit.confirmations.front().param;
   }
+  // Coupling add-on runs are deliberately excluded: runs_to_first_detection
+  // measures the enumerative phase the prioritization optimizes, and must be
+  // identical with the add-on on or off.
   executed_before_ += unit.executed_runs;
 
   for (const UnitConfirmation& confirmation : unit.confirmations) {
@@ -146,7 +155,9 @@ Campaign::Campaign(const ConfSchema& schema, const UnitTestRegistry& corpus,
       generator_(schema, corpus,
                  GeneratorOptions{options_.enable_round_robin,
                                   options_.prune_unread_instances,
-                                  options_.static_prior}),
+                                  options_.static_prior,
+                                  options_.enable_coupling_plans,
+                                  options_.max_coupling_plans_per_test}),
       runner_(options_.significance, options_.first_trials) {
   if (options_.apps.empty()) {
     std::set<std::string> apps;
@@ -208,6 +219,80 @@ void Campaign::BisectPool(const UnitTestDef& test, std::vector<GeneratedInstance
     TestResult result = RunUnitTest(test, plan, /*trial=*/0);
     if (!result.passed) {
       BisectPool(test, *side, unit, confirmed_in_test);
+    }
+  }
+}
+
+void Campaign::RunCouplingForTest(const UnitTestDef& test,
+                                  const std::vector<CoupledInstance>& coupled,
+                                  const std::set<std::string>& globally_unsafe,
+                                  UnitWorkResult* unit) const {
+  if (coupled.empty()) {
+    return;
+  }
+  std::set<std::string> confirmed_in_test;
+  for (const UnitConfirmation& confirmation : unit->confirmations) {
+    confirmed_in_test.insert(confirmation.param);
+  }
+  for (const CoupledInstance& pair : coupled) {
+    // A pair with an already-confirmed member cannot be attributed cleanly
+    // (the known-unsafe member would explain any failure), so skip it.
+    bool any_settled = false;
+    for (const std::string& param : pair.params) {
+      if (globally_unsafe.count(param) > 0 || confirmed_in_test.count(param) > 0) {
+        any_settled = true;
+      }
+    }
+    if (any_settled) {
+      continue;
+    }
+
+    ++unit->coupling_runs;
+    TestResult hetero = RunUnitTest(test, pair.plan, /*trial=*/0);
+    if (hetero.passed) {
+      continue;
+    }
+
+    // Blame isolation: a member that fails heterogeneous on its own is the
+    // enumerative phase's business, not a coupling.
+    bool member_fails_alone = false;
+    for (const ParamPlan& member : pair.plan.params) {
+      TestPlan solo;
+      solo.params.push_back(member);
+      ++unit->coupling_runs;
+      if (!RunUnitTest(test, solo, /*trial=*/0).passed) {
+        member_fails_alone = true;
+        break;
+      }
+    }
+    if (member_fails_alone) {
+      continue;
+    }
+
+    // Definition 3.1 lifted to pairs: confirm only when every homogeneous
+    // control of the pair passes.
+    bool controls_pass = true;
+    for (int side = 0; side < 2 && controls_pass; ++side) {
+      TestPlan homo;
+      for (const ParamPlan& member : pair.plan.params) {
+        ParamPlan control = member;
+        control.assigner = ValueAssigner::Homogeneous(
+            side == 0 ? member.assigner.group_value : member.assigner.other_value);
+        homo.params.push_back(std::move(control));
+      }
+      ++unit->coupling_runs;
+      controls_pass = RunUnitTest(test, homo, /*trial=*/0).passed;
+    }
+    if (!controls_pass) {
+      continue;
+    }
+
+    for (const std::string& param : pair.params) {
+      confirmed_in_test.insert(param);
+      ++unit->coupling_confirmations;
+      unit->confirmations.push_back(UnitConfirmation{
+          param, options_.significance,
+          "coupled failure: " + hetero.failure});
     }
   }
 }
@@ -284,6 +369,27 @@ UnitWorkResult Campaign::RunUnitDynamic(
   unit.conf_sharing_detected = session.conf_sharing_detected;
   unit.started_any_node = session.StartedAnyNode();
 
+  // Impacted-only / only-tests restrictions: the pre-run (our read-trace
+  // probe) already ran; the dynamic phase is what gets skipped.
+  if (!options_.only_tests.empty() &&
+      options_.only_tests.count(unit.test_id) == 0) {
+    unit.dynamic_phase_skipped = true;
+    return unit;
+  }
+  if (!options_.impacted_params.empty()) {
+    bool intersects = false;
+    for (const std::string& param : session.AllParamsRead()) {
+      if (options_.impacted_params.count(param) > 0) {
+        intersects = true;
+        break;
+      }
+    }
+    if (!intersects) {
+      unit.dynamic_phase_skipped = true;
+      return unit;
+    }
+  }
+
   int64_t before_uncertainty = 0;
   std::vector<GeneratedInstance> instances =
       generator_.Generate(record, &before_uncertainty);
@@ -301,6 +407,26 @@ UnitWorkResult Campaign::RunUnitDynamic(
   ReadSurface surface(session);
   ScopedReadSurface scoped_surface(
       options_.enable_equiv_cache && surface.usable() ? &surface : nullptr);
+
+  // Coupled plans are derived from the generated instances before they are
+  // regrouped below; pairs with a filtered-out member are dropped.
+  std::vector<CoupledInstance> coupled =
+      generator_.GenerateCoupled(record, instances);
+  coupled.erase(
+      std::remove_if(coupled.begin(), coupled.end(),
+                     [this](const CoupledInstance& pair) {
+                       for (const std::string& param : pair.params) {
+                         if (!options_.only_params.empty() &&
+                             options_.only_params.count(param) == 0) {
+                           return true;
+                         }
+                         if (options_.exclude_params.count(param) > 0) {
+                           return true;
+                         }
+                       }
+                       return false;
+                     }),
+      coupled.end());
 
   std::map<std::string, std::vector<GeneratedInstance>> by_param;
   for (GeneratedInstance& instance : instances) {
@@ -333,6 +459,11 @@ UnitWorkResult Campaign::RunUnitDynamic(
       }
     }
   }
+
+  // Coupling add-on: strictly after the enumerative phase, so that phase's
+  // results (and runs_to_first accounting) are untouched whether or not the
+  // add-on runs.
+  RunCouplingForTest(*record.test, coupled, globally_unsafe, &unit);
   return unit;
 }
 

@@ -97,6 +97,29 @@ struct CampaignOptions {
   // owned; may be null (prior-less campaign, the paper's baseline).
   const analysis::StaticPriorReport* static_prior = nullptr;
 
+  // Coupling add-on phase (flow-graph layer): after a unit's enumerative
+  // phase, pairwise plans over the prior's coupling sets probe failures that
+  // only manifest when two coupled parameters are heterogeneous at once.
+  // Requires static_prior. The add-on runs strictly after — and never alters
+  // — the enumerative phase, so it can only ADD findings (superset gate,
+  // CI-enforced), and runs_to_first_detection is untouched by it. Ablatable
+  // via full_campaign --no-coupling-plans.
+  bool enable_coupling_plans = true;
+  int max_coupling_plans_per_test = 8;
+
+  // Impacted-only re-testing (`zebralint --diff` -> `full_campaign
+  // --impacted-only`): when non-empty, a unit whose pre-run read set does not
+  // intersect this set skips its dynamic phase entirely (the code change
+  // cannot have altered its behavior through configuration). Pre-runs still
+  // execute — they are the read-trace probes. Findings are identical to a
+  // full campaign restricted to the impacted tests (CI-gated).
+  std::set<std::string> impacted_params;
+
+  // When non-empty, only these unit-test ids run a dynamic phase (pre-runs
+  // still execute). The impacted-only identity gate uses this as its
+  // reference restriction.
+  std::set<std::string> only_tests;
+
   // Nonzero: deterministically shuffle the per-test parameter order with
   // this seed. Used by benchmarks as the honest "unprioritized" baseline
   // (plain map order is alphabetical, which happens to front-load several
@@ -183,6 +206,18 @@ struct CampaignReport {
   int64_t mispredictions = 0;
   int64_t cache_evictions = 0;
 
+  // Coupling add-on accounting (0/0 when the phase is off or no prior is
+  // configured). coupling_runs counts pairwise plans plus their blame-
+  // isolation and homogeneous-control executions; they are included in the
+  // executed_runs totals but never in runs_to_first_detection (the add-on
+  // must not perturb the enumerative prioritization metric).
+  int64_t coupling_runs = 0;
+  int64_t coupling_confirmations = 0;
+
+  // Units whose dynamic phase was skipped by impacted-only / only-tests
+  // restriction (their pre-runs still executed).
+  int64_t units_skipped = 0;
+
   // Fault-tolerance accounting (all 0 on an undisturbed run; see
   // docs/ROBUSTNESS.md). Like the cache counters these depend on scheduling
   // and fault timing, so they are accounting, not part of the bitwise
@@ -261,6 +296,15 @@ struct UnitWorkResult {
   int64_t canonicalized_plans = 0;
   int64_t mispredictions = 0;
   int64_t cache_evictions = 0;
+
+  // Coupling add-on (see CampaignReport). Confirmations found by the add-on
+  // are appended after the enumerative ones, so confirmations.front() is
+  // still the enumerative first when runs_to_first_confirmation > 0.
+  int64_t coupling_runs = 0;
+  int64_t coupling_confirmations = 0;
+
+  // The dynamic phase was skipped (impacted-only / only-tests restriction).
+  bool dynamic_phase_skipped = false;
 
   // Durations of this unit's real executions: pre-run first, then dynamic.
   std::vector<double> run_durations;
@@ -342,6 +386,15 @@ class Campaign {
   // Recursive bisection of a failing pool (one instance per parameter).
   void BisectPool(const UnitTestDef& test, std::vector<GeneratedInstance> pool,
                   UnitWorkResult* unit, std::set<std::string>* confirmed_in_test) const;
+
+  // Coupling add-on: runs each pairwise coupled plan once; a failing pair
+  // whose members pass alone and whose homogeneous controls pass confirms
+  // the (previously unconfirmed) members. Runs strictly after the
+  // enumerative phase and only ever appends confirmations.
+  void RunCouplingForTest(const UnitTestDef& test,
+                          const std::vector<CoupledInstance>& coupled,
+                          const std::set<std::string>& globally_unsafe,
+                          UnitWorkResult* unit) const;
 
   // Verifies one instance through TestRunner and folds the verdict into the
   // unit result. Returns true if the parameter was confirmed unsafe.

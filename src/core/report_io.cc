@@ -84,6 +84,10 @@ std::string SerializeUnitResult(size_t unit_index, const UnitWorkResult& unit) {
   properties["canonicalized_plans"] = Int64ToString(unit.canonicalized_plans);
   properties["mispredictions"] = Int64ToString(unit.mispredictions);
   properties["cache_evictions"] = Int64ToString(unit.cache_evictions);
+  properties["coupling_runs"] = Int64ToString(unit.coupling_runs);
+  properties["coupling_confirmations"] =
+      Int64ToString(unit.coupling_confirmations);
+  properties["dynamic_phase_skipped"] = unit.dynamic_phase_skipped ? "1" : "0";
   properties["params_tested"] = StrJoin(unit.params_tested, ",");
 
   properties["confirmations"] =
@@ -151,6 +155,10 @@ bool ParseUnitResult(const std::string& text, size_t* unit_index,
   unit->any_conf_usage = get("any_conf_usage") == "1";
   unit->conf_sharing_detected = get("conf_sharing_detected") == "1";
   unit->started_any_node = get("started_any_node") == "1";
+  // Absent in pre-coupling serializations: the add-on did not exist.
+  ParseInt64(get("coupling_runs"), &unit->coupling_runs);
+  ParseInt64(get("coupling_confirmations"), &unit->coupling_confirmations);
+  unit->dynamic_phase_skipped = get("dynamic_phase_skipped") == "1";
 
   for (const std::string& param : StrSplit(get("params_tested"), ',')) {
     if (!param.empty()) {
@@ -233,6 +241,10 @@ std::string SerializeReport(const CampaignReport& report) {
   properties["canonicalized_plans"] = Int64ToString(report.canonicalized_plans);
   properties["mispredictions"] = Int64ToString(report.mispredictions);
   properties["cache_evictions"] = Int64ToString(report.cache_evictions);
+  properties["coupling_runs"] = Int64ToString(report.coupling_runs);
+  properties["coupling_confirmations"] =
+      Int64ToString(report.coupling_confirmations);
+  properties["units_skipped"] = Int64ToString(report.units_skipped);
   properties["hung_workers"] = Int64ToString(report.hung_workers);
   properties["requeued_units"] = Int64ToString(report.requeued_units);
   properties["resumed_units"] = Int64ToString(report.resumed_units);
@@ -329,6 +341,11 @@ CampaignReport DeserializeReport(const std::string& text) {
              &report.canonicalized_plans);
   ParseInt64(GetOr(properties, "mispredictions", "0"), &report.mispredictions);
   ParseInt64(GetOr(properties, "cache_evictions", "0"), &report.cache_evictions);
+  // Absent in pre-coupling serializations.
+  ParseInt64(GetOr(properties, "coupling_runs", "0"), &report.coupling_runs);
+  ParseInt64(GetOr(properties, "coupling_confirmations", "0"),
+             &report.coupling_confirmations);
+  ParseInt64(GetOr(properties, "units_skipped", "0"), &report.units_skipped);
   // Absent in pre-fault-tolerance serializations.
   ParseInt64(GetOr(properties, "hung_workers", "0"), &report.hung_workers);
   ParseInt64(GetOr(properties, "requeued_units", "0"), &report.requeued_units);
@@ -416,6 +433,9 @@ CampaignReport MergeReports(const std::vector<CampaignReport>& reports) {
     merged.canonicalized_plans += report.canonicalized_plans;
     merged.mispredictions += report.mispredictions;
     merged.cache_evictions += report.cache_evictions;
+    merged.coupling_runs += report.coupling_runs;
+    merged.coupling_confirmations += report.coupling_confirmations;
+    merged.units_skipped += report.units_skipped;
     merged.hung_workers += report.hung_workers;
     merged.requeued_units += report.requeued_units;
     merged.resumed_units += report.resumed_units;

@@ -162,4 +162,48 @@ std::vector<GeneratedInstance> TestGenerator::Generate(
   return instances;
 }
 
+std::vector<CoupledInstance> TestGenerator::GenerateCoupled(
+    const PreRunRecord& record,
+    const std::vector<GeneratedInstance>& instances) const {
+  std::vector<CoupledInstance> coupled;
+  if (!options_.enable_coupling_plans || options_.static_prior == nullptr ||
+      options_.max_coupling_plans_per_test <= 0) {
+    return coupled;
+  }
+
+  // The first generated instance of each parameter is its canonical
+  // representative: the first value pair under the uniform assignment — the
+  // same ParamPlan the single-parameter phase runs first.
+  std::map<std::string, const GeneratedInstance*> representative;
+  std::set<std::string> surviving;
+  for (const GeneratedInstance& instance : instances) {
+    if (representative.emplace(instance.plan.param, &instance).second) {
+      surviving.insert(instance.plan.param);
+    }
+  }
+
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const std::vector<std::string>& group :
+       options_.static_prior->CouplingSetsAmong(surviving)) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        if (static_cast<int>(coupled.size()) >=
+            options_.max_coupling_plans_per_test) {
+          return coupled;
+        }
+        if (!seen.emplace(group[i], group[j]).second) {
+          continue;  // the pair already appeared through another set
+        }
+        CoupledInstance pair;
+        pair.test = record.test;
+        pair.plan.params.push_back(representative.at(group[i])->plan);
+        pair.plan.params.push_back(representative.at(group[j])->plan);
+        pair.params = {group[i], group[j]};
+        coupled.push_back(std::move(pair));
+      }
+    }
+  }
+  return coupled;
+}
+
 }  // namespace zebra

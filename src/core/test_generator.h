@@ -43,6 +43,16 @@ struct PreRunRecord {
   TestResult result;
 };
 
+// One pairwise coupled plan: two parameters the static prior placed in the
+// same coupling set (they reach the same sink statement or wire path), made
+// heterogeneous simultaneously. Exactly two ParamPlans — each the canonical
+// representative instance the single-parameter phase runs first.
+struct CoupledInstance {
+  const UnitTestDef* test = nullptr;
+  TestPlan plan;
+  std::vector<std::string> params;  // the two member parameters, plan order
+};
+
 struct GeneratorOptions {
   // §4's second assignment strategy: round-robin values within a node-type
   // group. Disabling it (ablation) loses every unsafety that only manifests
@@ -63,6 +73,17 @@ struct GeneratorOptions {
   // generated ParamPlan carries the parameter's static priority so the
   // campaign can test wire-tainted parameters first. Not owned.
   const analysis::StaticPriorReport* static_prior = nullptr;
+
+  // Coupling plans (flow-graph layer): parameters the static prior placed in
+  // one coupling set are additionally tested as pairwise combinations after
+  // the single-parameter phase. Requires static_prior; the campaign ablates
+  // it via --no-coupling-plans. Coupled plans can only ever ADD findings —
+  // the single-parameter phase is untouched (superset gate, CI-enforced).
+  bool enable_coupling_plans = true;
+
+  // Deterministic cap on coupled plans per unit test (the canonical prefix
+  // of the coupling-set pair order).
+  int max_coupling_plans_per_test = 8;
 };
 
 class TestGenerator {
@@ -99,6 +120,16 @@ class TestGenerator {
   // row 3 set.
   std::vector<GeneratedInstance> Generate(const PreRunRecord& record,
                                           int64_t* count_before_uncertainty) const;
+
+  // Pairwise coupled plans for one pre-run record, built from the instances
+  // Generate produced for it: every unordered pair within a static coupling
+  // set whose members both survived enumeration, capped at
+  // max_coupling_plans_per_test. Empty when the prior is absent or coupling
+  // plans are disabled. Deterministic: pair order follows the report's
+  // coupling-set order.
+  std::vector<CoupledInstance> GenerateCoupled(
+      const PreRunRecord& record,
+      const std::vector<GeneratedInstance>& instances) const;
 
   // All unordered pairs of a parameter's candidate values.
   static std::vector<std::pair<std::string, std::string>> ValuePairs(

@@ -56,6 +56,101 @@ TEST(SourceLexer, CollectsLintMarkers) {
   EXPECT_EQ(markers[0].line, 2);
 }
 
+TEST(SourceLexer, RawStringsLexAsOneLiteral) {
+  // The ')' and '"' inside the raw body must not terminate the literal, and
+  // the delimiter form must be honored.
+  auto tokens = LexCpp(
+      "auto a = R\"(quote \" and paren ) inside)\";\n"
+      "auto b = R\"sep(body with )\" fake close)sep\";\n");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, "quote \" and paren ) inside");
+  bool saw_delimited = false;
+  for (const Token& t : tokens) {
+    saw_delimited |= t.kind == TokenKind::kString &&
+                     t.text == "body with )\" fake close";
+  }
+  EXPECT_TRUE(saw_delimited);
+}
+
+TEST(SourceLexer, PrefixedRawAndEncodedStrings) {
+  // u8/u/U/L prefixes, with and without R. The prefix must not leak into an
+  // identifier token, and the contents must come through unquoted.
+  auto tokens = LexCpp(
+      "auto a = u8R\"(alpha)\";\n"
+      "auto b = LR\"(beta)\";\n"
+      "auto c = L\"gamma\";\n"
+      "auto d = u8\"delta\";\n");
+  std::vector<std::string> strings;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kString) {
+      strings.push_back(t.text);
+    }
+    // No residue identifiers from the prefixes.
+    EXPECT_FALSE(t.IsIdent() && (t.text == "u8R" || t.text == "LR" ||
+                                 t.text == "L" || t.text == "u8"))
+        << t.text;
+  }
+  EXPECT_EQ(strings,
+            (std::vector<std::string>{"alpha", "beta", "gamma", "delta"}));
+}
+
+TEST(SourceLexer, RawStringNewlinesCountLines) {
+  auto tokens = LexCpp(
+      "auto a = R\"(line one\n"
+      "line two\n"
+      "line three)\";\n"
+      "int after = 1;\n");
+  bool saw_after = false;
+  for (const Token& t : tokens) {
+    if (t.Is("after")) {
+      saw_after = true;
+      EXPECT_EQ(t.line, 4);
+    }
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(SourceLexer, BackslashContinuationSplicesTokens) {
+  // A backslash-newline splice is invisible to the token stream: the halves
+  // of an identifier join, and strings continue across it.
+  auto tokens = LexCpp(
+      "int hand\\\n"
+      "lers = conf.GetInt(\"dfs.han\\\n"
+      "dler.count\", 10);\n"
+      "int next = 2;\n");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[1].text, "handlers");
+  bool saw_param = false, saw_next = false;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_EQ(t.text, "dfs.handler.count");
+      saw_param = true;
+    }
+    if (t.Is("next")) {
+      saw_next = true;
+      EXPECT_EQ(t.line, 4);  // splices still advance the line counter
+    }
+  }
+  EXPECT_TRUE(saw_param);
+  EXPECT_TRUE(saw_next);
+}
+
+TEST(SourceLexer, ContinuedPreprocessorAndCommentLinesAreDropped) {
+  // A continued #define swallows its continuation lines; a line comment
+  // ending in a backslash swallows the next line too.
+  auto tokens = LexCpp(
+      "#define HELPER(x) \\\n"
+      "  do_something(x)\n"
+      "// trailing comment continues \\\n"
+      "still commented out\n"
+      "int real = 1;\n");
+  ASSERT_EQ(tokens.size(), 5u);  // int real = 1 ;
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[1].text, "real");
+  EXPECT_EQ(tokens[1].line, 5);
+}
+
 // ------------------------------------------------------------ extraction ---
 
 constexpr char kParamsHeader[] = R"(
@@ -119,7 +214,7 @@ TEST(ReadSiteExtractor, TracksConstructorBracketsAndStatements) {
   ProgramModel program;
   program.Merge(ExtractTu("src/apps/fix/fix_node.cc", kNodeSource));
   const FunctionModel* ctor = nullptr;
-  for (const FunctionModel& fn : program.tus[0].functions) {
+  for (const FunctionModel& fn : program.tus[0]->functions) {
     if (fn.is_constructor) ctor = &fn;
   }
   ASSERT_NE(ctor, nullptr);
@@ -308,8 +403,12 @@ FixRogue::FixRogue(const Configuration& conf) {
 TEST(StaticPrior, PrioritiesAndSerializationRoundTrip) {
   ConfSchema schema = FixtureSchema();
   StaticPriorReport report = AnalyzeFixture(&schema, nullptr);
-  EXPECT_EQ(report.PriorityOf("fix.encrypt.transfer"), kPriorityWire);
-  EXPECT_EQ(report.PriorityOf("fix.handler.count"), kPriorityLocal);
+  // Wire band: the sink-type spectrum sits on top of the kPriorityWire
+  // floor, strictly below the ceiling.
+  EXPECT_GE(report.PriorityOf("fix.encrypt.transfer"), kPriorityWire);
+  EXPECT_LT(report.PriorityOf("fix.encrypt.transfer"), kPriorityWireCeiling);
+  EXPECT_GE(report.PriorityOf("fix.handler.count"), kPriorityLocal);
+  EXPECT_LT(report.PriorityOf("fix.handler.count"), kPriorityWire);
   EXPECT_EQ(report.PriorityOf("param.nobody.knows"), kPriorityLocal);
 
   std::string json = ReportToJson(report);

@@ -1,0 +1,172 @@
+// StaticPriorDiff: the `zebralint --diff` primitive. An unchanged tree
+// yields an empty diff; moved reads change the surface; verdict flips are
+// retaints; schema growth/shrinkage shows up as added/removed; and the JSON
+// artifact round-trips through LoadImpactedParams. The parser fails closed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/prior_diff.h"
+#include "src/analysis/static_prior.h"
+
+namespace zebra {
+namespace analysis {
+namespace {
+
+constexpr char kParamsHeader[] = R"(
+inline constexpr char kDiffHeartbeat[] = "diff.heartbeat.interval";
+inline constexpr char kDiffHandlers[] = "diff.handler.count";
+)";
+
+constexpr char kNodeV1[] = R"(
+#include "diff_params.h"
+namespace zebra {
+
+void GammaNode::Tick() {
+  int interval = conf().GetInt(kDiffHeartbeat, 3);
+  handlers_ = conf().GetInt(kDiffHandlers, 10);
+}
+
+}  // namespace zebra
+)";
+
+// v2: the heartbeat read moved into a new function (surface change) and now
+// co-occurs with a wire primitive (verdict flip to wire-tainted).
+constexpr char kNodeV2[] = R"(
+#include "diff_params.h"
+namespace zebra {
+
+void GammaNode::Tick() {
+  // the heartbeat read moved into Announce (same line kept for handlers)
+  handlers_ = conf().GetInt(kDiffHandlers, 10);
+}
+
+Bytes GammaNode::Announce(const Bytes& payload) {
+  int interval = conf().GetInt(kDiffHeartbeat, 3);
+  return EncodeFrame(MakeWire(interval), payload);
+}
+
+}  // namespace zebra
+)";
+
+// v3: the handler read is gone; a brand-new parameter appears.
+constexpr char kNodeV3[] = R"(
+#include "diff_params.h"
+namespace zebra {
+
+void GammaNode::Tick() {
+  int interval = conf().GetInt(kDiffHeartbeat, 3);
+  retries_ = conf().GetInt("diff.retry.limit", 5);
+}
+
+}  // namespace zebra
+)";
+
+StaticPriorReport AnalyzeFixture(const char* node_source) {
+  StaticAnalyzer analyzer;
+  analyzer.AddSource("src/apps/fixdiff/diff_params.h", kParamsHeader);
+  analyzer.AddSource("src/apps/fixdiff/gamma_node.cc", node_source);
+  return analyzer.Analyze(nullptr);
+}
+
+PriorSnapshot SnapshotOf(const StaticPriorReport& report) {
+  PriorSnapshot snapshot;
+  EXPECT_TRUE(ParsePriorJson(ReportToJson(report), &snapshot));
+  return snapshot;
+}
+
+TEST(PriorDiff, UnchangedTreeYieldsEmptyDiff) {
+  StaticPriorReport report = AnalyzeFixture(kNodeV1);
+  StaticPriorDiff diff = DiffAgainstSnapshot(SnapshotOf(report), report);
+  EXPECT_TRUE(diff.Empty()) << DiffToText(diff);
+  EXPECT_TRUE(diff.ImpactedParams().empty());
+}
+
+TEST(PriorDiff, MovedReadChangesSurfaceAndFlipRetaints) {
+  PriorSnapshot old_snapshot = SnapshotOf(AnalyzeFixture(kNodeV1));
+  StaticPriorReport current = AnalyzeFixture(kNodeV2);
+  StaticPriorDiff diff = DiffAgainstSnapshot(old_snapshot, current);
+
+  ASSERT_EQ(diff.retainted,
+            std::vector<std::string>{"diff.heartbeat.interval"});
+  // The moved read changes the file:line:function fingerprint too.
+  ASSERT_EQ(diff.read_surface_changed,
+            std::vector<std::string>{"diff.heartbeat.interval"});
+  EXPECT_TRUE(diff.added.empty());
+  EXPECT_TRUE(diff.removed.empty());
+  // The untouched parameter is not impacted.
+  EXPECT_EQ(diff.ImpactedParams(),
+            std::vector<std::string>{"diff.heartbeat.interval"});
+}
+
+TEST(PriorDiff, AddedAndRemovedParams) {
+  PriorSnapshot old_snapshot = SnapshotOf(AnalyzeFixture(kNodeV1));
+  StaticPriorDiff diff =
+      DiffAgainstSnapshot(old_snapshot, AnalyzeFixture(kNodeV3));
+
+  EXPECT_EQ(diff.added, std::vector<std::string>{"diff.retry.limit"});
+  EXPECT_EQ(diff.removed, std::vector<std::string>{"diff.handler.count"});
+  std::vector<std::string> impacted = diff.ImpactedParams();
+  EXPECT_NE(std::find(impacted.begin(), impacted.end(), "diff.retry.limit"),
+            impacted.end());
+  EXPECT_NE(std::find(impacted.begin(), impacted.end(), "diff.handler.count"),
+            impacted.end());
+}
+
+TEST(PriorDiff, JsonArtifactRoundTripsImpactedList) {
+  PriorSnapshot old_snapshot = SnapshotOf(AnalyzeFixture(kNodeV1));
+  StaticPriorDiff diff =
+      DiffAgainstSnapshot(old_snapshot, AnalyzeFixture(kNodeV2));
+
+  const std::string path = ::testing::TempDir() + "prior_diff.json";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << DiffToJson(diff);
+  }
+  std::vector<std::string> impacted;
+  std::string error;
+  ASSERT_TRUE(LoadImpactedParams(path, &impacted, &error)) << error;
+  EXPECT_EQ(impacted, diff.ImpactedParams());
+  std::remove(path.c_str());
+}
+
+TEST(PriorDiff, SerializationIsByteStable) {
+  PriorSnapshot old_snapshot = SnapshotOf(AnalyzeFixture(kNodeV1));
+  StaticPriorDiff a =
+      DiffAgainstSnapshot(old_snapshot, AnalyzeFixture(kNodeV2));
+  StaticPriorDiff b =
+      DiffAgainstSnapshot(old_snapshot, AnalyzeFixture(kNodeV2));
+  EXPECT_EQ(DiffToJson(a), DiffToJson(b));
+  EXPECT_EQ(DiffToText(a), DiffToText(b));
+}
+
+TEST(PriorDiff, ParserFailsClosed) {
+  PriorSnapshot snapshot;
+  EXPECT_FALSE(ParsePriorJson("", &snapshot));
+  EXPECT_FALSE(ParsePriorJson("{\"not\": \"a prior\"}", &snapshot));
+  // A params list with a malformed entry is a parse error, not a silently
+  // shorter snapshot.
+  EXPECT_FALSE(ParsePriorJson(
+      "\"params\": [\n{\"name\": \"x\", \"in_schema\": maybe}\n]", &snapshot));
+  EXPECT_TRUE(snapshot.params.empty());
+
+  StaticPriorReport current = AnalyzeFixture(kNodeV1);
+  StaticPriorDiff diff;
+  std::string error;
+  EXPECT_FALSE(DiffAgainstFile("/nonexistent/prior.json", current, &diff,
+                               &error));
+  EXPECT_FALSE(error.empty());
+
+  std::vector<std::string> impacted;
+  EXPECT_FALSE(LoadImpactedParams("/nonexistent/diff.json", &impacted,
+                                  &error));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace zebra

@@ -1,0 +1,253 @@
+// Incremental-analysis summary cache: warm runs are byte-identical to cold
+// ones, touching one file re-parses only that TU, table changes invalidate
+// wholesale, and a corrupt or truncated cache file degrades to a cold
+// analysis (with the load-failure counter ticking) — never to a wrong prior.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/static_prior.h"
+#include "src/analysis/summary_cache.h"
+
+namespace zebra {
+namespace analysis {
+namespace {
+
+constexpr char kParamsHeader[] = R"(
+inline constexpr char kCacheHeartbeat[] = "cache.heartbeat.interval";
+inline constexpr char kCacheHandlers[] = "cache.handler.count";
+)";
+
+constexpr char kAlphaNode[] = R"(
+#include "cache_params.h"
+namespace zebra {
+
+AlphaNode::AlphaNode(Cluster* cluster, const Configuration& conf)
+    : init_scope_(kCacheApp, this, "AlphaNode", __FILE__, __LINE__) {}
+
+void AlphaNode::SendHeartbeat(AlphaMaster* master) {
+  int interval = conf().GetInt(kCacheHeartbeat, 3);
+  master->OnHeartbeat(interval);
+}
+
+}  // namespace zebra
+)";
+
+constexpr char kBetaNode[] = R"(
+#include "cache_params.h"
+namespace zebra {
+
+void BetaNode::Tune() {
+  handlers_ = conf().GetInt(kCacheHandlers, 10);
+}
+
+}  // namespace zebra
+)";
+
+// Same tables as kBetaNode (no new constants, classes, or types) but a
+// different body — the "touch one file without changing the tables" case.
+constexpr char kBetaNodeTouched[] = R"(
+#include "cache_params.h"
+namespace zebra {
+
+void BetaNode::Tune() {
+  handlers_ = conf().GetInt(kCacheHandlers, 16);
+  if (handlers_ < 1) {
+    handlers_ = 1;
+  }
+}
+
+}  // namespace zebra
+)";
+
+// Declares an extra param constant: the merged table hash must change.
+constexpr char kParamsHeaderGrown[] = R"(
+inline constexpr char kCacheHeartbeat[] = "cache.heartbeat.interval";
+inline constexpr char kCacheHandlers[] = "cache.handler.count";
+inline constexpr char kCacheTimeout[] = "cache.timeout.ms";
+)";
+
+void AddFixture(StaticAnalyzer* analyzer,
+                const char* header = kParamsHeader,
+                const char* beta = kBetaNode) {
+  analyzer->AddSource("src/apps/fixcache/cache_params.h", header);
+  analyzer->AddSource("src/apps/fixcache/alpha_node.cc", kAlphaNode);
+  analyzer->AddSource("src/apps/fixcache/beta_node.cc", beta);
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+TEST(SummaryCache, WarmAnalysisMatchesColdByteForByte) {
+  SummaryCache cache;
+
+  StaticAnalyzer cold;
+  AddFixture(&cold);
+  cold.UseSummaryCache(&cache);
+  StaticPriorReport cold_report = cold.Analyze(nullptr);
+  EXPECT_EQ(cold.stats().tus_parsed, 3);
+  EXPECT_EQ(cold.stats().tus_from_cache, 0);
+  EXPECT_EQ(cache.size(), 3u);
+
+  StaticAnalyzer warm;
+  AddFixture(&warm);
+  warm.UseSummaryCache(&cache);
+  StaticPriorReport warm_report = warm.Analyze(nullptr);
+  EXPECT_EQ(warm.stats().tus_parsed, 0);
+  EXPECT_EQ(warm.stats().tus_from_cache, 3);
+  EXPECT_EQ(warm.stats().facts_computed, 0);
+  EXPECT_FALSE(warm.stats().table_hash_invalidated);
+
+  EXPECT_EQ(ReportToJson(cold_report), ReportToJson(warm_report));
+  EXPECT_EQ(ReportToText(cold_report), ReportToText(warm_report));
+}
+
+TEST(SummaryCache, TouchingOneFileReparsesOnlyThatTu) {
+  SummaryCache cache;
+
+  StaticAnalyzer first;
+  AddFixture(&first);
+  first.UseSummaryCache(&cache);
+  first.Analyze(nullptr);
+
+  StaticAnalyzer second;
+  AddFixture(&second, kParamsHeader, kBetaNodeTouched);
+  second.UseSummaryCache(&cache);
+  StaticPriorReport warm_report = second.Analyze(nullptr);
+  EXPECT_EQ(second.stats().tus_parsed, 1);
+  EXPECT_EQ(second.stats().tus_from_cache, 2);
+  EXPECT_FALSE(second.stats().table_hash_invalidated);
+
+  // The warm result equals a cold analysis of the touched tree.
+  StaticAnalyzer cold;
+  AddFixture(&cold, kParamsHeader, kBetaNodeTouched);
+  StaticPriorReport cold_report = cold.Analyze(nullptr);
+  EXPECT_EQ(ReportToJson(cold_report), ReportToJson(warm_report));
+}
+
+TEST(SummaryCache, TableChangeInvalidatesWholesale) {
+  SummaryCache cache;
+
+  StaticAnalyzer first;
+  AddFixture(&first);
+  first.UseSummaryCache(&cache);
+  first.Analyze(nullptr);
+
+  // A new param constant changes the merged tables: statement facts computed
+  // under the old tables may be stale, so everything re-parses.
+  StaticAnalyzer second;
+  AddFixture(&second, kParamsHeaderGrown);
+  second.UseSummaryCache(&cache);
+  StaticPriorReport warm_report = second.Analyze(nullptr);
+  EXPECT_TRUE(second.stats().table_hash_invalidated);
+  EXPECT_EQ(second.stats().tus_parsed, 3);
+
+  StaticAnalyzer cold;
+  AddFixture(&cold, kParamsHeaderGrown);
+  StaticPriorReport cold_report = cold.Analyze(nullptr);
+  EXPECT_EQ(ReportToJson(cold_report), ReportToJson(warm_report));
+}
+
+TEST(SummaryCache, PersistedCacheRoundTrips) {
+  const std::string path = TempPath("summary_roundtrip.zsc");
+  std::remove(path.c_str());
+
+  StaticAnalyzer first;
+  AddFixture(&first);
+  // Missing file: a normal cold start, not a load failure.
+  EXPECT_FALSE(first.EnableSummaryCache(path));
+  StaticPriorReport cold_report = first.Analyze(nullptr);
+  EXPECT_EQ(first.stats().summary_load_failures, 0);
+  EXPECT_EQ(first.stats().tus_parsed, 3);
+
+  StaticAnalyzer second;
+  AddFixture(&second);
+  EXPECT_TRUE(second.EnableSummaryCache(path));
+  StaticPriorReport warm_report = second.Analyze(nullptr);
+  EXPECT_EQ(second.stats().tus_parsed, 0);
+  EXPECT_EQ(second.stats().tus_from_cache, 3);
+  EXPECT_EQ(ReportToJson(cold_report), ReportToJson(warm_report));
+  std::remove(path.c_str());
+}
+
+TEST(SummaryCache, CorruptFileDegradesToColdAndCounts) {
+  const std::string path = TempPath("summary_corrupt.zsc");
+  std::remove(path.c_str());
+
+  StaticAnalyzer first;
+  AddFixture(&first);
+  first.EnableSummaryCache(path);
+  StaticPriorReport cold_report = first.Analyze(nullptr);
+
+  // Flip one byte in the middle: the whole-file checksum must reject it.
+  std::string content = ReadFile(path);
+  ASSERT_GT(content.size(), 40u);
+  content[content.size() / 2] ^= 0x01;
+  WriteFile(path, content);
+
+  StaticAnalyzer second;
+  AddFixture(&second);
+  EXPECT_FALSE(second.EnableSummaryCache(path));
+  StaticPriorReport report = second.Analyze(nullptr);
+  EXPECT_EQ(second.stats().summary_load_failures, 1);
+  EXPECT_EQ(second.stats().tus_parsed, 3) << "corrupt cache must run cold";
+  EXPECT_EQ(second.stats().tus_from_cache, 0);
+  EXPECT_EQ(ReportToJson(cold_report), ReportToJson(report));
+  std::remove(path.c_str());
+}
+
+TEST(SummaryCache, TruncatedFileDegradesToColdAndCounts) {
+  const std::string path = TempPath("summary_truncated.zsc");
+  std::remove(path.c_str());
+
+  StaticAnalyzer first;
+  AddFixture(&first);
+  first.EnableSummaryCache(path);
+  StaticPriorReport cold_report = first.Analyze(nullptr);
+
+  // Torn write: keep the first half only (the trailing checksum is gone).
+  std::string content = ReadFile(path);
+  ASSERT_GT(content.size(), 40u);
+  WriteFile(path, content.substr(0, content.size() / 2));
+
+  StaticAnalyzer second;
+  AddFixture(&second);
+  EXPECT_FALSE(second.EnableSummaryCache(path));
+  StaticPriorReport report = second.Analyze(nullptr);
+  EXPECT_EQ(second.stats().summary_load_failures, 1);
+  EXPECT_EQ(second.stats().tus_parsed, 3);
+  EXPECT_EQ(ReportToJson(cold_report), ReportToJson(report));
+  std::remove(path.c_str());
+}
+
+TEST(SummaryCache, GarbageMagicRejectedWholesale) {
+  const std::string path = TempPath("summary_garbage.zsc");
+  WriteFile(path, "not a summary cache at all\nrandom bytes\n");
+
+  SummaryCache cache;
+  EXPECT_FALSE(cache.LoadFromFile(path));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().load_failures, 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace zebra

@@ -1,0 +1,132 @@
+// Byte-stability of StaticPriorReport serialization.
+//
+// Two guarantees, both load-bearing for `zebralint --diff` (which parses our
+// own artifact) and for the summary cache (whose warm results must be
+// indistinguishable from cold ones):
+//
+//  * golden file — a fixed fixture tree serializes to exactly the bytes in
+//    tests/golden/static_prior_fixture.json. Regenerate deliberately with
+//    ZEBRA_UPDATE_GOLDEN=1 after an intentional format change;
+//  * self-scan determinism — analyzing the live source tree twice (fresh
+//    analyzer each time) yields byte-identical JSON and text reports.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/static_prior.h"
+#include "src/testkit/full_schema.h"
+
+namespace zebra {
+namespace analysis {
+namespace {
+
+constexpr char kGoldenRelPath[] = "/tests/golden/static_prior_fixture.json";
+
+constexpr char kParamsHeader[] = R"(
+inline constexpr char kGoldHeartbeat[] = "gold.heartbeat.interval";
+inline constexpr char kGoldHandlers[] = "gold.handler.count";
+inline constexpr char kGoldEncrypt[] = "gold.encrypt.transfer";
+)";
+
+constexpr char kNodeSource[] = R"(
+#include "gold_params.h"
+namespace zebra {
+
+GoldNode::GoldNode(Cluster* cluster, const Configuration& conf)
+    : init_scope_(kGoldApp, this, "GoldNode", __FILE__, __LINE__) {
+  handlers_ = conf.GetInt(kGoldHandlers, 10);
+}
+
+void GoldNode::SendHeartbeat(GoldMaster* master) {
+  int interval = conf().GetInt(kGoldHeartbeat, 3);
+  master->OnHeartbeat(interval);
+}
+
+Bytes GoldNode::Encode(const Bytes& payload) {
+  bool encrypt = conf().GetBool(kGoldEncrypt, false);
+  return EncodeFrame(MakeWire(encrypt), payload);
+}
+
+GoldMaster::GoldMaster(Cluster* cluster)
+    : init_scope_(kGoldApp, this, "GoldMaster", __FILE__, __LINE__) {}
+
+}  // namespace zebra
+)";
+
+ConfSchema GoldenSchema() {
+  ConfSchema schema;
+  auto add = [&](const std::string& name) {
+    ParamSpec spec;
+    spec.name = name;
+    spec.app = "gold";
+    spec.type = ParamType::kString;
+    spec.default_value = "d";
+    spec.test_values = {"d", "e"};
+    schema.AddParam(std::move(spec));
+  };
+  add("gold.heartbeat.interval");
+  add("gold.handler.count");
+  add("gold.encrypt.transfer");
+  add("gold.never.read");
+  return schema;
+}
+
+StaticPriorReport AnalyzeGoldenFixture() {
+  StaticAnalyzer analyzer;
+  analyzer.AddSource("src/apps/gold/gold_params.h", kParamsHeader);
+  analyzer.AddSource("src/apps/gold/gold_node.cc", kNodeSource);
+  ConfSchema schema = GoldenSchema();
+  return analyzer.Analyze(&schema);
+}
+
+TEST(ZebralintGolden, FixtureReportMatchesGoldenFile) {
+  const std::string golden_path =
+      std::string(ZEBRALINT_SOURCE_ROOT) + kGoldenRelPath;
+  const std::string actual = ReportToJson(AnalyzeGoldenFixture());
+
+  if (std::getenv("ZEBRA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    GTEST_SKIP() << "golden file regenerated";
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing " << golden_path
+      << " — regenerate with ZEBRA_UPDATE_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(actual, golden.str())
+      << "StaticPriorReport serialization changed. If the format change is "
+         "intentional, regenerate with ZEBRA_UPDATE_GOLDEN=1 and review the "
+         "golden diff.";
+}
+
+TEST(ZebralintGolden, FixtureSerializationIsDeterministic) {
+  const std::string first = ReportToJson(AnalyzeGoldenFixture());
+  const std::string second = ReportToJson(AnalyzeGoldenFixture());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(ReportToText(AnalyzeGoldenFixture()),
+            ReportToText(AnalyzeGoldenFixture()));
+}
+
+TEST(ZebralintGolden, SelfScanSerializationIsDeterministic) {
+  auto analyze = [] {
+    StaticAnalyzer analyzer;
+    EXPECT_GT(analyzer.AddTree(ZEBRALINT_SOURCE_ROOT), 0);
+    return analyzer.Analyze(&FullSchema());
+  };
+  StaticPriorReport first = analyze();
+  StaticPriorReport second = analyze();
+  EXPECT_EQ(ReportToJson(first), ReportToJson(second));
+  EXPECT_EQ(ReportToText(first), ReportToText(second));
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace zebra
