@@ -1,42 +1,66 @@
 // "Test in parallel" (§4): test instances are independent, so the paper runs
-// them across 100 machines x 20 containers. This bench compares the three
+// them across 100 machines x 20 containers. This bench compares the
 // single-machine parallelization strategies on the full campaign:
 //
 //   sharded   — static per-app sharding (sharded_campaign.h): hard-capped by
 //               the largest shard (minidfs alone is ~70% of the work),
-//   stealing  — work-stealing (app, unit-test) scheduler
+//   stealing  — forked work-stealing (app, unit-test) scheduler
 //               (parallel_scheduler.h): capped by the largest *unit*,
 //   stealing+cache — same, with the memoized run cache serving repeated
-//               bisection probes and homogeneous controls without executing.
+//               bisection probes and homogeneous controls without executing,
+//   threadpool — in-process worker threads (thread_pool_scheduler.h): the
+//               same dynamic dispatch as stealing with zero fork/IPC cost —
+//               results travel by pointer, not by pipe,
+//   threadpool+cache — same, with one shared internally synchronized run
+//               cache across all workers (hits propagate cross-worker
+//               immediately instead of per-process).
 //
 // Two cost regimes are measured:
 //
-//   native     — runs cost microseconds of pure CPU. At this scale (and on a
-//                single-core CI box) fork/IPC overhead dominates and no
-//                scheduler can win; the numbers are reported for honesty.
+//   native     — runs cost microseconds of pure CPU. At this scale fork/IPC
+//                overhead dominates the forked schedulers; the thread pool
+//                exists to close exactly this gap. True CPU parallelism
+//                requires real cores — `hardware_cores` is emitted alongside
+//                the numbers, and the CI gate scales its expectation by it
+//                (a single-core box cannot speed up CPU-bound work, no
+//                matter the scheduler).
 //   paper-cost — each real execution carries the configured synthetic harness
 //                latency (SetSyntheticRunLatencyUs), restoring the paper's
 //                cost shape where runs are wait-dominated, seconds-long
-//                JUnit invocations. Worker processes overlap waits even on
-//                one CPU — exactly how the paper's containers overlap
-//                I/O-bound runs — so this regime shows true scheduling
-//                quality: static sharding flattens at its largest shard
-//                while work-stealing keeps scaling, and the run cache
-//                removes executions outright.
+//                JUnit invocations. Workers overlap waits even on one CPU —
+//                exactly how the paper's containers overlap I/O-bound runs —
+//                so this regime shows scheduling quality on any hardware.
 //
 // Every row yields bitwise-identical findings (enforced by
-// tests/parallel_scheduler_test.cc); only wall-clock differs. Results are
-// printed and emitted machine-readable to BENCH_parallel.json.
+// tests/parallel_scheduler_test.cc and tests/thread_pool_scheduler_test.cc);
+// only wall-clock differs. Results are printed and emitted machine-readable
+// to BENCH_parallel.json.
+//
+// `--ci-gate` runs a fast subset and exits nonzero unless (a) the thread
+// pool's findings serialize bitwise-identically to sequential and (b) its
+// native-regime speedup clears min(4.0, 0.75*cores) (0.5 on one core). The
+// speedup leg runs at clamp(cores, 2, 6) workers: oversubscribing CPU-bound threads
+// measures the kernel scheduler plus speculation re-runs, not the engine, so
+// the gate matches thread count to the hardware — 4x at 6 workers on the
+// ≥6-core hardware the engine targets, degrading to a "within 2x of
+// sequential" sanity bound on a single-core box, where the pool pays
+// speculation re-runs with no parallelism to recoup them.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <thread>
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
 #include "src/core/fleet_model.h"
 #include "src/core/parallel_scheduler.h"
+#include "src/core/report_io.h"
 #include "src/core/sharded_campaign.h"
+#include "src/core/thread_pool_scheduler.h"
 #include "src/testkit/test_execution.h"
 
 namespace zebra {
@@ -44,7 +68,14 @@ namespace {
 
 constexpr int64_t kPaperCostLatencyUs = 500;
 
-enum class Mode { kSequential, kSharded, kStealing, kStealingCache };
+enum class Mode {
+  kSequential,
+  kSharded,
+  kStealing,
+  kStealingCache,
+  kThreadPool,
+  kThreadPoolCache,
+};
 
 const char* ModeName(Mode mode) {
   switch (mode) {
@@ -56,13 +87,35 @@ const char* ModeName(Mode mode) {
       return "stealing";
     case Mode::kStealingCache:
       return "stealing+cache";
+    case Mode::kThreadPool:
+      return "threadpool";
+    case Mode::kThreadPoolCache:
+      return "threadpool+cache";
   }
   return "?";
 }
 
+int HardwareCores() {
+  unsigned cores = std::thread::hardware_concurrency();
+  return cores == 0 ? 1 : static_cast<int>(cores);
+}
+
+// The native-regime speedup the thread pool must clear: the 4x design
+// target on the ≥6-core hardware the engine is built for, scaling down with
+// the core count. On a single core no scheduler can make CPU-bound work
+// parallel and speculative dispatch still pays its re-runs, so the floor
+// bottoms out at a "within 2x of sequential" sanity bound there.
+double CoreScaledSpeedupFloor(int cores) {
+  if (cores <= 1) {
+    return 0.5;
+  }
+  return std::min(4.0, 0.75 * cores);
+}
+
 double TimeRun(Mode mode, int workers, CampaignReport* out) {
   CampaignOptions options;  // all apps
-  options.enable_run_cache = mode == Mode::kStealingCache;
+  options.enable_run_cache =
+      mode == Mode::kStealingCache || mode == Mode::kThreadPoolCache;
   auto start = std::chrono::steady_clock::now();
   CampaignReport report;
   switch (mode) {
@@ -78,6 +131,11 @@ double TimeRun(Mode mode, int workers, CampaignReport* out) {
     case Mode::kStealingCache:
       report =
           RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, workers);
+      break;
+    case Mode::kThreadPool:
+    case Mode::kThreadPoolCache:
+      report =
+          RunThreadPoolCampaign(FullSchema(), FullCorpus(), options, workers);
       break;
   }
   double seconds =
@@ -113,16 +171,15 @@ struct Row {
   int64_t cache_misses;
 };
 
-// One regime (native or paper-cost): sequential baseline plus all three
-// strategies across worker counts. Returns sharded/stealing(+cache)
-// wall-clock at six workers through the out-params for the headline
-// comparison.
+// One regime (native or paper-cost): sequential baseline plus every strategy
+// across worker counts. Records each strategy's six-worker wall-clock in
+// `at_6` for the headline comparisons.
 void RunRegime(const char* regime, int repetitions, std::vector<Row>* rows,
-               double* sharded_at_6, double* stealing_at_6,
-               double* stealing_cache_at_6) {
+               std::map<Mode, double>* at_6, double* sequential_out) {
   CampaignReport sequential_report;
   double sequential_seconds =
       BestOf(repetitions, Mode::kSequential, 1, &sequential_report);
+  *sequential_out = sequential_seconds;
   rows->push_back(Row{regime, Mode::kSequential, 1, sequential_seconds, 1.0,
                       sequential_report.findings.size(), 0, 0});
   std::printf("%s regime — sequential baseline: %.3f s, %zu findings\n\n",
@@ -131,7 +188,8 @@ void RunRegime(const char* regime, int repetitions, std::vector<Row>* rows,
   std::printf("%16s %8s %12s %9s %9s %12s\n", "mode", "workers", "wall-clock",
               "speedup", "findings", "cache h/m");
   PrintRule('-', 72);
-  for (Mode mode : {Mode::kSharded, Mode::kStealing, Mode::kStealingCache}) {
+  for (Mode mode : {Mode::kSharded, Mode::kStealing, Mode::kStealingCache,
+                    Mode::kThreadPool, Mode::kThreadPoolCache}) {
     for (int workers : {1, 2, 3, 6}) {
       CampaignReport report;
       double seconds = BestOf(repetitions, mode, workers, &report);
@@ -147,14 +205,8 @@ void RunRegime(const char* regime, int repetitions, std::vector<Row>* rows,
       }
       std::printf("%16s %8d %10.3f s %8.2fx %9zu %12s\n", ModeName(mode),
                   workers, seconds, speedup, report.findings.size(), cache);
-      if (workers == 6 && mode == Mode::kSharded) {
-        *sharded_at_6 = seconds;
-      }
-      if (workers == 6 && mode == Mode::kStealing) {
-        *stealing_at_6 = seconds;
-      }
-      if (workers == 6 && mode == Mode::kStealingCache) {
-        *stealing_cache_at_6 = seconds;
+      if (workers == 6) {
+        (*at_6)[mode] = seconds;
       }
     }
     PrintRule('-', 72);
@@ -162,14 +214,38 @@ void RunRegime(const char* regime, int repetitions, std::vector<Row>* rows,
   std::printf("\n");
 }
 
-void WriteJson(const std::vector<Row>& rows, double stealing_improvement,
-               double cache_improvement) {
+double Ratio(double numerator, double denominator) {
+  return denominator > 0 ? numerator / denominator : 0.0;
+}
+
+void WriteJson(const std::vector<Row>& rows,
+               const std::map<Mode, double>& native_at_6,
+               const std::map<Mode, double>& paper_at_6,
+               double native_sequential, double paper_sequential) {
+  const int cores = HardwareCores();
   WriteBenchJson("BENCH_parallel.json", [&](JsonWriter& json) {
     json.Field("paper_cost_latency_us", kPaperCostLatencyUs);
+    // True thread parallelism needs real cores; readers of the native-regime
+    // numbers must interpret them against this, and the CI gate does.
+    json.Field("hardware_cores", cores);
+    json.Field("ci_gate_workers", std::clamp(cores, 2, 6));
+    json.Field("native_threadpool_speedup_floor",
+               CoreScaledSpeedupFloor(cores));
+    json.Field("native_threadpool_speedup_at_6_workers",
+               Ratio(native_sequential, native_at_6.at(Mode::kThreadPool)));
+    json.Field(
+        "native_threadpool_vs_stealing_at_6_workers",
+        Ratio(native_at_6.at(Mode::kStealing), native_at_6.at(Mode::kThreadPool)));
     json.Field("paper_cost_stealing_vs_sharded_at_6_workers",
-               stealing_improvement);
-    json.Field("paper_cost_stealing_cache_vs_sharded_at_6_workers",
-               cache_improvement);
+               Ratio(paper_at_6.at(Mode::kSharded), paper_at_6.at(Mode::kStealing)));
+    json.Field(
+        "paper_cost_stealing_cache_vs_sharded_at_6_workers",
+        Ratio(paper_at_6.at(Mode::kSharded), paper_at_6.at(Mode::kStealingCache)));
+    json.Field("paper_cost_threadpool_speedup_at_6_workers",
+               Ratio(paper_sequential, paper_at_6.at(Mode::kThreadPool)));
+    json.Field(
+        "paper_cost_threadpool_cache_speedup_at_6_workers",
+        Ratio(paper_sequential, paper_at_6.at(Mode::kThreadPoolCache)));
     json.BeginArray("rows");
     for (const Row& row : rows) {
       json.BeginObject();
@@ -189,44 +265,46 @@ void WriteJson(const std::vector<Row>& rows, double stealing_improvement,
 
 void PrintScaling() {
   PrintHeader(
-      "§4 — Test in parallel: static sharding vs work-stealing vs +run-cache");
+      "§4 — Test in parallel: sharding vs work-stealing vs thread pool");
 
   std::vector<Row> rows;
-  double native_sharded_6 = 0;
-  double native_stealing_6 = 0;
-  double native_cache_6 = 0;
-  RunRegime("native", /*repetitions=*/3, &rows, &native_sharded_6,
-            &native_stealing_6, &native_cache_6);
+  std::map<Mode, double> native_at_6;
+  double native_sequential = 0;
+  RunRegime("native", /*repetitions=*/3, &rows, &native_at_6,
+            &native_sequential);
 
   SetSyntheticRunLatencyUs(kPaperCostLatencyUs);
-  double paper_sharded_6 = 0;
-  double paper_stealing_6 = 0;
-  double paper_cache_6 = 0;
-  RunRegime("paper-cost", /*repetitions=*/2, &rows, &paper_sharded_6,
-            &paper_stealing_6, &paper_cache_6);
+  std::map<Mode, double> paper_at_6;
+  double paper_sequential = 0;
+  RunRegime("paper-cost", /*repetitions=*/2, &rows, &paper_at_6,
+            &paper_sequential);
   SetSyntheticRunLatencyUs(0);
 
-  double stealing_improvement =
-      paper_stealing_6 > 0 ? paper_sharded_6 / paper_stealing_6 : 0.0;
-  double cache_improvement =
-      paper_cache_6 > 0 ? paper_sharded_6 / paper_cache_6 : 0.0;
+  const int cores = HardwareCores();
   std::printf(
       "paper-cost regime at 6 workers, vs static sharding:\n"
       "  work-stealing alone:      %.2fx\n"
-      "  work-stealing + cache:    %.2fx   <- the full scheduler\n"
+      "  work-stealing + cache:    %.2fx\n"
+      "  thread pool:              %.2fx\n"
+      "  thread pool + cache:      %.2fx   <- the full in-process engine\n"
       "Static sharding is bounded by its largest shard (minidfs, ~70%% of the\n"
-      "work); stealing is bounded by the largest single (app, unit-test)\n"
-      "unit. Stealing alone pays for exactness: frequent-failure threshold\n"
-      "crossings spread across the whole canonical order, so most\n"
-      "speculatively-dispatched units are re-run once to match the\n"
-      "sequential globally-unsafe set bit-for-bit; the memoized run cache\n"
-      "recoups exactly that duplicated work (the repeats are\n"
-      "cache-resident), which is why the full scheduler wins decisively. In\n"
-      "the native regime (microsecond-scale runs on this single-core box)\n"
-      "fork/IPC overhead swamps everything — reported for honesty. Findings\n"
-      "are bitwise-identical in every row "
-      "(tests/parallel_scheduler_test.cc).\n\n",
-      stealing_improvement, cache_improvement);
+      "work); dynamic dispatch is bounded by the largest single (app,\n"
+      "unit-test) unit. Exactness costs re-runs: frequent-failure threshold\n"
+      "crossings spread across the whole canonical order, so speculatively\n"
+      "dispatched units re-run to match the sequential globally-unsafe set\n"
+      "bit-for-bit; the run cache recoups exactly that duplicated work. The\n"
+      "thread pool runs the same dispatch with zero fork/exec/pipe cost and\n"
+      "a cache every worker shares, which is why it leads both regimes. In\n"
+      "the native regime thread parallelism is bounded by physical cores\n"
+      "(this box: %d); the forked schedulers lose outright to fork/IPC\n"
+      "overhead there — reported for honesty. Findings are bitwise-identical\n"
+      "in every row (tests/parallel_scheduler_test.cc,\n"
+      "tests/thread_pool_scheduler_test.cc).\n\n",
+      Ratio(paper_at_6[Mode::kSharded], paper_at_6[Mode::kStealing]),
+      Ratio(paper_at_6[Mode::kSharded], paper_at_6[Mode::kStealingCache]),
+      Ratio(paper_at_6[Mode::kSharded], paper_at_6[Mode::kThreadPool]),
+      Ratio(paper_at_6[Mode::kSharded], paper_at_6[Mode::kThreadPoolCache]),
+      cores);
 
   CampaignReport sequential_report;
   TimeRun(Mode::kSequential, 1, &sequential_report);
@@ -239,7 +317,62 @@ void PrintScaling() {
       WithCommas(fleet.runs).c_str(), fleet.total_cpu_seconds,
       fleet.makespan_seconds);
 
-  WriteJson(rows, stealing_improvement, cache_improvement);
+  WriteJson(rows, native_at_6, paper_at_6, native_sequential,
+            paper_sequential);
+}
+
+// Fast CI gate (no google-benchmark pass, no JSON): bitwise identity between
+// sequential and the thread pool at several thread counts, plus the
+// core-scaled native-regime speedup floor at 6 workers. Exits nonzero on the
+// first violation so the determinism contract breaks the build, not just a
+// dashboard.
+int RunCiGate() {
+  PrintHeader("thread-pool CI gate: bitwise identity + core-scaled speedup");
+  CampaignReport sequential;
+  double sequential_seconds = BestOf(3, Mode::kSequential, 1, &sequential);
+  const std::string expected = SerializeReport(sequential);
+
+  for (int workers : {2, 6}) {
+    for (Mode mode : {Mode::kThreadPool, Mode::kThreadPoolCache}) {
+      CampaignReport report;
+      BestOf(1, mode, workers, &report);
+      // Scheduling-dependent accounting differs legitimately; zero it out so
+      // the comparison covers findings, stage counts, and detection order.
+      report.wall_seconds = sequential.wall_seconds;
+      report.cache_hits = sequential.cache_hits;
+      report.cache_misses = sequential.cache_misses;
+      report.cache_evictions = sequential.cache_evictions;
+      report.run_durations_seconds = sequential.run_durations_seconds;
+      if (SerializeReport(report) != expected) {
+        std::fprintf(stderr,
+                     "FAIL: %s at %d workers is not bitwise-identical to the "
+                     "sequential campaign\n",
+                     ModeName(mode), workers);
+        return 1;
+      }
+      std::printf("identity: %s at %d workers OK\n", ModeName(mode), workers);
+    }
+  }
+
+  // More threads than cores measures timeslicing plus speculation re-runs,
+  // not the engine: match the gate's thread count to the hardware.
+  const int cores = HardwareCores();
+  const int gate_workers = std::clamp(cores, 2, 6);
+  const double floor = CoreScaledSpeedupFloor(cores);
+  double pool_seconds = BestOf(3, Mode::kThreadPool, gate_workers, nullptr);
+  double speedup = Ratio(sequential_seconds, pool_seconds);
+  std::printf(
+      "native speedup at %d workers: %.2fx (floor %.2fx on %d cores)\n",
+      gate_workers, speedup, floor, cores);
+  if (speedup < floor) {
+    std::fprintf(stderr,
+                 "FAIL: native thread-pool speedup %.2fx at %d workers below "
+                 "the core-scaled floor %.2fx\n",
+                 speedup, gate_workers, floor);
+    return 1;
+  }
+  std::printf("thread-pool CI gate passed\n");
+  return 0;
 }
 
 void BM_ShardedCampaign(benchmark::State& state) {
@@ -282,10 +415,44 @@ BENCHMARK(BM_WorkStealingCampaignCached)
     ->Arg(6)
     ->Unit(benchmark::kMillisecond);
 
+void BM_ThreadPoolCampaign(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CampaignOptions options;
+    CampaignReport report =
+        RunThreadPoolCampaign(FullSchema(), FullCorpus(), options, workers);
+    benchmark::DoNotOptimize(report.findings.size());
+  }
+}
+BENCHMARK(BM_ThreadPoolCampaign)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreadPoolCampaignCached(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CampaignOptions options;
+    options.enable_run_cache = true;
+    CampaignReport report =
+        RunThreadPoolCampaign(FullSchema(), FullCorpus(), options, workers);
+    benchmark::DoNotOptimize(report.findings.size());
+  }
+}
+BENCHMARK(BM_ThreadPoolCampaignCached)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace zebra
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ci-gate") == 0) {
+      return zebra::RunCiGate();
+    }
+  }
   zebra::PrintScaling();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -14,6 +14,8 @@
 //   $ ./full_campaign --static-prior --no-coupling-plans   # ablate coupling
 //   $ ./full_campaign --impacted-only diff.json    # re-test only tests whose
 //                                                  # reads intersect the diff
+//   $ ./full_campaign --engine threadpool --workers 4   # pick the execution
+//                                                       # backend explicitly
 //
 // SIGINT/SIGTERM request a graceful stop: the campaign halts at the next
 // unit boundary, the run cache (if any) is saved, and — when journaling —
@@ -25,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,7 @@
 #include "src/analysis/static_prior.h"
 #include "src/common/error.h"
 #include "src/core/campaign.h"
+#include "src/core/campaign_executor.h"
 #include "src/core/parallel_scheduler.h"
 #include "src/core/report_writer.h"
 #include "src/core/sharded_campaign.h"
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
   std::string cache_file;
   std::string journal_path;
   std::string impacted_path;
+  std::string engine_name;
   bool use_static_prior = false;
   bool resume = false;
   int workers = 1;
@@ -96,6 +101,8 @@ int main(int argc, char** argv) {
       options.enable_coupling_plans = false;
     } else if (std::strcmp(argv[i], "--impacted-only") == 0 && i + 1 < argc) {
       impacted_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine_name = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--no-pooling] [--no-round-robin] [--no-prerun-prune]\n"
@@ -103,7 +110,9 @@ int main(int argc, char** argv) {
           "          [--cache-file FILE] [--equiv-cache]\n"
           "          [--journal FILE] [--resume] [--watchdog-floor SECONDS]\n"
           "          [--static-prior] [--no-coupling-plans]\n"
-          "          [--impacted-only DIFF.json] [app ...]\n"
+          "          [--impacted-only DIFF.json]\n"
+          "          [--engine sequential|sharded|stealing|threadpool]\n"
+          "          [app ...]\n"
           "apps: minidfs minimr miniyarn ministream minikv apptools\n"
           "--cache-file warm-starts the run cache from FILE (if it exists)\n"
           "and saves the cache back after the campaign (also on SIGINT/SIGTERM).\n"
@@ -116,7 +125,11 @@ int main(int argc, char** argv) {
           "pairs get an add-on phase (--no-coupling-plans ablates it).\n"
           "--impacted-only restricts the dynamic phase to tests whose pre-run\n"
           "reads intersect the impacted list of a `zebralint --diff --json`\n"
-          "artifact (see docs/ZEBRALINT.md).\n",
+          "artifact (see docs/ZEBRALINT.md).\n"
+          "--engine picks the execution backend explicitly (all four produce\n"
+          "bitwise-identical findings; see docs/PARALLEL.md). Without it the\n"
+          "driver routes by flags: journaled runs use the work-stealing pool,\n"
+          "--workers N>1 uses per-app sharding, otherwise sequential.\n",
           argv[0]);
       return 0;
     } else {
@@ -126,6 +139,17 @@ int main(int argc, char** argv) {
   if (resume && journal_path.empty()) {
     std::fprintf(stderr, "--resume requires --journal FILE\n");
     return 2;
+  }
+  std::optional<ExecutorKind> engine;
+  if (!engine_name.empty()) {
+    engine = ParseExecutorKind(engine_name);
+    if (!engine) {
+      std::fprintf(stderr,
+                   "unknown --engine '%s' "
+                   "(sequential|sharded|stealing|threadpool)\n",
+                   engine_name.c_str());
+      return 2;
+    }
   }
 
   analysis::StaticPriorReport prior;
@@ -168,7 +192,18 @@ int main(int argc, char** argv) {
 
   CampaignReport report;
   try {
-  if (!journal_path.empty()) {
+  if (engine) {
+    // Explicit backend selection: every backend implements CampaignExecutor,
+    // so the driver hands over one ExecutorOptions and lets the backend
+    // throw on anything it cannot honor (e.g. --journal on sequential)
+    // instead of silently dropping the flag.
+    ExecutorOptions exec;
+    exec.workers = workers < 1 ? 1 : workers;
+    exec.journal_path = journal_path;
+    exec.resume = resume;
+    report = MakeExecutor(*engine)->Run(FullSchema(), FullCorpus(), options,
+                                        exec);
+  } else if (!journal_path.empty()) {
     // Journaling lives in the work-stealing scheduler; at --workers 1 it is
     // bitwise-identical to the sequential campaign, so routing every
     // journaled run through it costs nothing.

@@ -1,0 +1,44 @@
+#include "src/common/intern_arena.h"
+
+#include <cstring>
+
+namespace zebra {
+
+std::string_view InternArena::Intern(std::string_view text) {
+  auto it = index_.find(text);
+  if (it != index_.end()) {
+    return *it;
+  }
+  std::string_view stored(Copy(text), text.size());
+  index_.insert(stored);
+  return stored;
+}
+
+const char* InternArena::Copy(std::string_view text) {
+  if (text.size() > kChunkBytes) {
+    // Oversized string: dedicated chunk, current bump chunk untouched.
+    auto chunk = std::make_unique<char[]>(text.size());
+    char* dest = chunk.get();
+    std::memcpy(dest, text.data(), text.size());
+    arena_bytes_ += text.size();
+    chunks_.push_back(std::move(chunk));
+    // Keep the bump chunk (if any) as the last element so Copy stays O(1).
+    if (chunks_.size() >= 2 && chunk_used_ < kChunkBytes) {
+      std::swap(chunks_[chunks_.size() - 2], chunks_.back());
+    }
+    return dest;
+  }
+  if (chunk_used_ + text.size() > kChunkBytes) {
+    chunks_.push_back(std::make_unique<char[]>(kChunkBytes));
+    arena_bytes_ += kChunkBytes;
+    chunk_used_ = 0;
+  }
+  char* dest = chunks_.back().get() + chunk_used_;
+  if (!text.empty()) {
+    std::memcpy(dest, text.data(), text.size());
+  }
+  chunk_used_ += text.size();
+  return dest;
+}
+
+}  // namespace zebra

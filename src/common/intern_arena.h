@@ -1,0 +1,59 @@
+// InternArena: an arena-backed string intern table.
+//
+// Interning returns a stable view of the first copy ever seen of a string;
+// the bytes live in bump-allocated chunks owned by the arena, so repeated
+// occurrences of the same name (configuration parameters are read millions
+// of times per campaign, from a vocabulary of a few hundred names) cost one
+// hash probe and zero allocations after the first. Views stay valid for the
+// arena's lifetime — which is why ConfAgent keeps one arena per agent,
+// shared across every session that agent runs, instead of re-interning per
+// session.
+//
+// Not internally synchronized: the owner serializes access (ConfAgent calls
+// it under its own mutex; each worker thread owns its own agent, so there is
+// no cross-thread sharing to begin with).
+
+#ifndef SRC_COMMON_INTERN_ARENA_H_
+#define SRC_COMMON_INTERN_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace zebra {
+
+class InternArena {
+ public:
+  InternArena() = default;
+  InternArena(const InternArena&) = delete;
+  InternArena& operator=(const InternArena&) = delete;
+
+  // Returns the interned copy of `text`. The view (and its data() pointer,
+  // which callers may use as a cheap identity key) is stable for the arena's
+  // lifetime. O(1) amortized; allocates only on first occurrence.
+  std::string_view Intern(std::string_view text);
+
+  // Distinct strings interned.
+  size_t size() const { return index_.size(); }
+
+  // Bytes of arena chunk capacity allocated so far.
+  size_t arena_bytes() const { return arena_bytes_; }
+
+ private:
+  static constexpr size_t kChunkBytes = 16 * 1024;
+
+  // Chunked bump allocator; strings never straddle a chunk boundary, and a
+  // string larger than a whole chunk gets a dedicated allocation.
+  const char* Copy(std::string_view text);
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_used_ = kChunkBytes;  // forces allocation on first Intern
+  size_t arena_bytes_ = 0;
+  std::unordered_set<std::string_view> index_;  // views into chunks_
+};
+
+}  // namespace zebra
+
+#endif  // SRC_COMMON_INTERN_ARENA_H_

@@ -9,7 +9,11 @@ double LogFactorial(int64_t n) {
   if (n <= 1) {
     return 0.0;
   }
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  // lgamma_r, not std::lgamma: the latter writes the process-global
+  // `signgam`, a data race when campaign worker threads verify instances
+  // concurrently. The sign is irrelevant here (the argument is positive).
+  int sign = 0;
+  return ::lgamma_r(static_cast<double>(n) + 1.0, &sign);
 }
 
 double LogChoose(int64_t n, int64_t k) {

@@ -9,6 +9,14 @@ namespace zebra {
 
 namespace {
 constexpr char kUncertainEntity[] = "@uncertain";
+
+// Conf ids are allocated process-wide so they never collide across worker
+// agents (a conf created under one agent may be observed — as uncertain
+// usage — under another).
+std::atomic<uint64_t> g_next_conf_id{0};
+
+// The agent installed on this thread by ScopedThreadConfAgent, if any.
+thread_local ConfAgent* t_current_agent = nullptr;
 }  // namespace
 
 int SessionReport::TotalNodes() const {
@@ -40,6 +48,18 @@ ConfAgent& ConfAgent::Instance() {
   static ConfAgent* agent = new ConfAgent();
   return *agent;
 }
+
+ConfAgent& ConfAgent::Current() {
+  return t_current_agent != nullptr ? *t_current_agent : Instance();
+}
+
+uint64_t ConfAgent::NextConfId() { return g_next_conf_id.fetch_add(1) + 1; }
+
+ScopedThreadConfAgent::ScopedThreadConfAgent() : previous_(t_current_agent) {
+  t_current_agent = &agent_;
+}
+
+ScopedThreadConfAgent::~ScopedThreadConfAgent() { t_current_agent = previous_; }
 
 void ConfAgent::BeginSession(TestPlan plan) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -144,6 +164,12 @@ void ConfAgent::CloneConf(uint64_t orig_id, uint64_t clone_id) {
 }
 
 void ConfAgent::PromoteToUnitTestLocked(uint64_t conf_id) {
+  // Promotion changes the resolution of already-read confs: their memoized
+  // decisions (and recorded-presence markers) are stale. Promotions are a
+  // handful per run; dropping both memos wholesale is cheap and obviously
+  // correct.
+  session_->get_memo.clear();
+  session_->has_memo.clear();
   uint64_t current = conf_id;
   // Walk the clone chain upward, promoting any uncertain ancestor.
   for (int depth = 0; depth < 64; ++depth) {
@@ -213,12 +239,8 @@ std::optional<std::string> ConfAgent::ResolveEntityLocked(uint64_t conf_id,
   return std::nullopt;
 }
 
-const std::string& ConfAgent::InternLocked(std::string_view name) {
-  auto it = session_->interned_params.find(name);
-  if (it == session_->interned_params.end()) {
-    it = session_->interned_params.emplace(name).first;
-  }
-  return *it;
+std::string_view ConfAgent::InternLocked(std::string_view name) {
+  return intern_.Intern(name);
 }
 
 std::string ConfAgent::InterceptGet(uint64_t conf_id, std::string_view name,
@@ -231,24 +253,51 @@ std::string ConfAgent::InterceptGet(uint64_t conf_id, std::string_view name,
     return current;
   }
   session_->report.any_conf_usage = true;
-  const std::string& interned = InternLocked(name);
+  std::string_view interned = InternLocked(name);
+
+  // Steady state: every read after the first of a (conf, param) pair is one
+  // memo probe — no entity resolution, no plan lookup, no trace-element
+  // construction (set inserts are idempotent; only per-call counters remain).
+  auto memo_it = session_->get_memo.find({conf_id, interned.data()});
+  if (memo_it != session_->get_memo.end()) {
+    const ReadMemo& memo = memo_it->second;
+    if (memo.has_override) {
+      ++session_->report.override_hits;
+      return memo.override_value;
+    }
+    return current;
+  }
+
+  ReadMemo memo;
+  const std::string interned_str(interned);
   int node_index = -1;
   std::optional<std::string> entity = ResolveEntityLocked(conf_id, &node_index);
   if (!entity.has_value() || *entity == kUncertainEntity) {
     // Either a conf created outside the session (e.g. a process-global
     // default) or one we could not map — both are uncertain usage. Uncertain
-    // confs never receive overrides, so the trace marker is plan-invariant.
-    session_->report.uncertain_params.insert(interned);
-    session_->report.trace_elements.insert(TraceUncertainElement(interned));
+    // confs never receive overrides, so the trace marker is plan-invariant
+    // and the memoized decision is stable.
+    session_->report.uncertain_params.insert(interned_str);
+    session_->report.trace_elements.insert(TraceUncertainElement(interned_str));
+    memo.uncertain = true;
+    session_->get_memo.emplace(std::make_pair(conf_id, interned.data()),
+                               std::move(memo));
     return current;
   }
-  session_->report.reads[*entity].insert(interned);
+  session_->report.reads[*entity].insert(interned_str);
 
   // Only node-owned and unit-test-owned confs receive plan values.
   int index = (*entity == kClientEntity) ? 0 : node_index;
-  std::optional<std::string> assigned = session_->plan.Lookup(interned, *entity, index);
+  std::optional<std::string> assigned =
+      session_->plan.Lookup(interned_str, *entity, index);
   session_->report.trace_elements.insert(TraceReadElement(
-      *entity, index, interned, assigned.has_value() ? &*assigned : nullptr));
+      *entity, index, interned_str, assigned.has_value() ? &*assigned : nullptr));
+  memo.has_override = assigned.has_value();
+  if (assigned.has_value()) {
+    memo.override_value = *assigned;
+  }
+  session_->get_memo.emplace(std::make_pair(conf_id, interned.data()),
+                             std::move(memo));
   if (assigned.has_value()) {
     ++session_->report.override_hits;
     return *assigned;
@@ -264,17 +313,24 @@ void ConfAgent::InterceptHas(uint64_t conf_id, std::string_view name) {
   if (session_ == nullptr) {
     return;
   }
-  const std::string& interned = InternLocked(name);
+  std::string_view interned = InternLocked(name);
+  // A presence check is pure recording; once the trace element for this
+  // (conf, param) pair exists, repeats are no-ops.
+  if (!session_->has_memo.insert({conf_id, interned.data()}).second) {
+    return;
+  }
+  const std::string interned_str(interned);
   int node_index = -1;
   std::optional<std::string> entity = ResolveEntityLocked(conf_id, &node_index);
   if (!entity.has_value() || *entity == kUncertainEntity) {
-    session_->report.trace_elements.insert(TraceUncertainElement(interned));
+    session_->report.trace_elements.insert(TraceUncertainElement(interned_str));
     return;
   }
   int index = (*entity == kClientEntity) ? 0 : node_index;
-  std::optional<std::string> assigned = session_->plan.Lookup(interned, *entity, index);
+  std::optional<std::string> assigned =
+      session_->plan.Lookup(interned_str, *entity, index);
   session_->report.trace_elements.insert(TraceHasElement(
-      *entity, index, interned, assigned.has_value() ? &*assigned : nullptr));
+      *entity, index, interned_str, assigned.has_value() ? &*assigned : nullptr));
 }
 
 void ConfAgent::InterceptSet(uint64_t conf_id, const std::string& name,

@@ -19,9 +19,24 @@
 // Data structures mirror the paper: nodeTable, unitTestConfIDs,
 // uncertainConfIDs, parentToChild, threadContext.
 //
-// ConfAgent is a process-wide singleton because the Configuration constructors
-// must reach it. Outside an active session every hook is a no-op, so the
-// mini-applications remain usable as ordinary libraries.
+// Agent routing. The Configuration constructors must reach an agent without
+// being handed one, so resolution is ambient: ConfAgent::Current() returns
+// the agent installed on the calling thread (ScopedThreadConfAgent), falling
+// back to the process-wide singleton. The forked schedulers inherit the
+// singleton per process; the in-process thread-pool scheduler installs one
+// agent per worker thread, giving every worker the same isolation a fork
+// used to provide — sessions on different workers never share tables.
+// Outside an active session every hook is a no-op, so the mini-applications
+// remain usable as ordinary libraries.
+//
+// Hot path. InterceptGet is called for every configuration read a unit test
+// makes — millions per campaign. The agent keeps an arena-backed intern
+// table (common/intern_arena.h) shared across all sessions it runs, and a
+// per-session memo keyed by (conf object, interned name): the first read of
+// a (conf, param) pair resolves ownership, records the read and its trace
+// element, and caches the plan decision; every subsequent read is two hash
+// probes and the answer. Ownership-mutating events (new confs, clones,
+// promotions) are rare and simply clear the memo.
 
 #ifndef SRC_CONF_CONF_AGENT_H_
 #define SRC_CONF_CONF_AGENT_H_
@@ -36,8 +51,10 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/common/intern_arena.h"
 #include "src/conf/test_plan.h"
 
 namespace zebra {
@@ -89,7 +106,17 @@ struct SessionReport {
 
 class ConfAgent {
  public:
+  // The process-wide default agent (what Current() resolves to on threads
+  // with no scoped agent installed).
   static ConfAgent& Instance();
+
+  // The agent ambient on this thread: the ScopedThreadConfAgent installed
+  // here, else Instance(). All Configuration hooks route through this.
+  static ConfAgent& Current();
+
+  // Instantiable for per-worker isolation (see ScopedThreadConfAgent). Most
+  // code should use Current()/Instance() rather than constructing agents.
+  ConfAgent() = default;
 
   ConfAgent(const ConfAgent&) = delete;
   ConfAgent& operator=(const ConfAgent&) = delete;
@@ -144,8 +171,10 @@ class ConfAgent {
   void RegisterConfObject(uint64_t conf_id, Configuration* conf);
   void UnregisterConfObject(uint64_t conf_id);
 
-  // Allocates a process-unique configuration-object id.
-  uint64_t NextConfId() { return next_conf_id_.fetch_add(1) + 1; }
+  // Allocates a process-unique configuration-object id. Process-wide (not
+  // per-agent) so ids never collide across worker agents, whichever agent a
+  // conf object later reaches.
+  static uint64_t NextConfId();
 
   // ---- Introspection (used by tests and the reporting layer) ----------------
 
@@ -157,14 +186,21 @@ class ConfAgent {
   int NodeIndexOf(uint64_t conf_id) const;
 
  private:
-  ConfAgent() = default;
-
   struct NodeInfo {
     uint64_t node_id = 0;  // hashCode analog: the node object's address
     std::string node_type;
     int node_index = 0;  // i-th node of this type in this session
     std::vector<uint64_t> conf_ids;
     uint64_t parent_conf_id = 0;  // conf passed into the init function, if any
+  };
+
+  // Memoized outcome of one (conf object, parameter) read: the entity
+  // resolution, the plan decision, and whether the trace/report bookkeeping
+  // already happened. Valid until the next ownership-mutating event.
+  struct ReadMemo {
+    bool uncertain = false;      // unmapped or @uncertain: never overridden
+    bool has_override = false;   // the plan assigns a value for this read
+    std::string override_value;  // valid when has_override
   };
 
   struct Session {
@@ -176,14 +212,20 @@ class ConfAgent {
     std::map<uint64_t, uint64_t> child_to_parent;      // clone -> original
     std::map<std::thread::id, std::vector<uint64_t>> thread_context;
     std::map<std::string, int> type_counts;            // node_type -> next index
-    std::set<std::string, std::less<>> interned_params;  // one copy per param
+
+    // Hot-path memo, keyed by (conf id, interned-name identity). Cleared on
+    // every ownership mutation (NewConf/CloneConf/RefToCloneConf), which are
+    // a handful of events per run against millions of reads.
+    std::map<std::pair<uint64_t, const char*>, ReadMemo> get_memo;
+    std::set<std::pair<uint64_t, const char*>> has_memo;
+
     SessionReport report;
   };
 
-  // Returns the session-lifetime interned copy of `name` (heterogeneous
-  // lookup: no temporary std::string unless this is the first occurrence).
-  // Caller holds mutex.
-  const std::string& InternLocked(std::string_view name);
+  // Interns `name` in the agent-lifetime arena (no per-session re-interning;
+  // the vocabulary is shared by every session this agent runs). Caller holds
+  // mutex.
+  std::string_view InternLocked(std::string_view name);
 
   // Resolves a conf id to its entity key; records nothing. Caller holds mutex.
   std::optional<std::string> ResolveEntityLocked(uint64_t conf_id, int* node_index) const;
@@ -195,19 +237,21 @@ class ConfAgent {
   mutable std::mutex mutex_;
   std::unique_ptr<Session> session_;
   std::atomic<bool> in_session_{false};
-  std::atomic<uint64_t> next_conf_id_{0};
+  InternArena intern_;  // agent-lifetime; views outlive every session
   std::map<uint64_t, Configuration*> conf_registry_;
 };
 
-// RAII session guard used by the harness.
+// RAII session guard used by the harness. Binds to the thread-current agent
+// at construction so Begin and End always address the same agent, even if
+// the body migrates work across threads.
 class ConfAgentSession {
  public:
-  explicit ConfAgentSession(TestPlan plan) {
-    ConfAgent::Instance().BeginSession(std::move(plan));
+  explicit ConfAgentSession(TestPlan plan) : agent_(&ConfAgent::Current()) {
+    agent_->BeginSession(std::move(plan));
   }
   ~ConfAgentSession() {
     if (!ended_) {
-      ConfAgent::Instance().EndSession();
+      agent_->EndSession();
     }
   }
   ConfAgentSession(const ConfAgentSession&) = delete;
@@ -215,11 +259,33 @@ class ConfAgentSession {
 
   SessionReport End() {
     ended_ = true;
-    return ConfAgent::Instance().EndSession();
+    return agent_->EndSession();
   }
 
  private:
+  ConfAgent* agent_;
   bool ended_ = false;
+};
+
+// Installs a fresh agent as this thread's Current() for the scope — the
+// thread-pool scheduler's per-worker isolation (the in-process analog of the
+// address-space copy a forked worker used to get). Nesting restores the
+// previous agent on destruction. The agent must outlive every Configuration
+// object registered with it; worker threads guarantee this by construction
+// (all conf objects are created and destroyed inside unit-test bodies that
+// run within the scope).
+class ScopedThreadConfAgent {
+ public:
+  ScopedThreadConfAgent();
+  ~ScopedThreadConfAgent();
+  ScopedThreadConfAgent(const ScopedThreadConfAgent&) = delete;
+  ScopedThreadConfAgent& operator=(const ScopedThreadConfAgent&) = delete;
+
+  ConfAgent& agent() { return agent_; }
+
+ private:
+  ConfAgent agent_;
+  ConfAgent* previous_;
 };
 
 }  // namespace zebra

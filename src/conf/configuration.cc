@@ -10,34 +10,35 @@ namespace {
 constexpr char kConfApp[] = "configuration";
 }  // namespace
 
-Configuration::Configuration() : id_(ConfAgent::Instance().NextConfId()) {
+Configuration::Configuration()
+    : id_(ConfAgent::NextConfId()), agent_(&ConfAgent::Current()) {
   ZC_ANNOTATION_SITE(kConfApp, AnnotationKind::kConfHook);
-  ConfAgent::Instance().NewConf(id_);
-  ConfAgent::Instance().RegisterConfObject(id_, this);
+  agent_->NewConf(id_);
+  agent_->RegisterConfObject(id_, this);
 }
 
 Configuration::Configuration(const Configuration& other)
-    : id_(ConfAgent::Instance().NextConfId()) {
+    : id_(ConfAgent::NextConfId()), agent_(&ConfAgent::Current()) {
   ZC_ANNOTATION_SITE(kConfApp, AnnotationKind::kConfHook);
-  ConfAgent::Instance().CloneConf(other.id_, id_);
+  agent_->CloneConf(other.id_, id_);
   {
     std::lock_guard<std::mutex> lock(other.mutex_);
     properties_ = other.properties_;
   }
-  ConfAgent::Instance().RegisterConfObject(id_, this);
+  agent_->RegisterConfObject(id_, this);
 }
 
 Configuration::Configuration(RefCloneTag, const Configuration& source)
-    : id_(ConfAgent::Instance().NextConfId()) {
+    : id_(ConfAgent::NextConfId()), agent_(&ConfAgent::Current()) {
   {
     std::lock_guard<std::mutex> lock(source.mutex_);
     properties_ = source.properties_;
   }
-  ConfAgent::Instance().RefToCloneConf(source.id_, id_);
-  ConfAgent::Instance().RegisterConfObject(id_, this);
+  agent_->RefToCloneConf(source.id_, id_);
+  agent_->RegisterConfObject(id_, this);
 }
 
-Configuration::~Configuration() { ConfAgent::Instance().UnregisterConfObject(id_); }
+Configuration::~Configuration() { agent_->UnregisterConfObject(id_); }
 
 Configuration Configuration::RefToClone(const Configuration& source) {
   return Configuration(RefCloneTag{}, source);
@@ -56,7 +57,7 @@ std::string Configuration::GetStored(std::string_view name,
 std::string Configuration::Get(std::string_view name,
                                std::string_view default_value) const {
   ZC_ANNOTATION_SITE(kConfApp, AnnotationKind::kConfHook);
-  return ConfAgent::Instance().InterceptGet(id_, name, GetStored(name, default_value));
+  return ConfAgent::Current().InterceptGet(id_, name, GetStored(name, default_value));
 }
 
 bool Configuration::GetBool(std::string_view name, bool default_value) const {
@@ -95,7 +96,7 @@ bool Configuration::Has(std::string_view name) const {
     std::lock_guard<std::mutex> lock(mutex_);
     present = properties_.find(name) != properties_.end();
   }
-  ConfAgent::Instance().InterceptHas(id_, name);
+  ConfAgent::Current().InterceptHas(id_, name);
   return present;
 }
 
@@ -105,7 +106,7 @@ void Configuration::Set(std::string_view name, std::string_view value) {
     std::lock_guard<std::mutex> lock(mutex_);
     properties_[std::string(name)] = std::string(value);
   }
-  ConfAgent::Instance().InterceptSet(id_, std::string(name), std::string(value));
+  ConfAgent::Current().InterceptSet(id_, std::string(name), std::string(value));
 }
 
 void Configuration::SetBool(std::string_view name, bool value) {

@@ -18,6 +18,8 @@
 
 namespace zebra {
 
+class ConfAgent;
+
 class Configuration {
  public:
   // Blank constructor (fires ConfAgent::NewConf).
@@ -78,6 +80,12 @@ class Configuration {
   std::string GetStored(std::string_view name, std::string_view default_value) const;
 
   uint64_t id_ = 0;
+  // The agent this object registered with at construction (the creating
+  // thread's Current()); the destructor unregisters from the same agent even
+  // if destruction happens on another thread. Get/Set/Has hooks still route
+  // through the *calling* thread's Current(), so a conf created outside a
+  // worker's session is correctly observed there as uncertain usage.
+  ConfAgent* agent_ = nullptr;
   mutable std::mutex mutex_;
   // Transparent comparator: lookups take the caller's string_view directly,
   // no temporary std::string per Get/Has.

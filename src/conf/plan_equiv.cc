@@ -295,7 +295,7 @@ bool ReadSurface::PredictTrace(const TestPlan& plan, std::string* trace) const {
 // ---------------------------------------------------------------------------
 
 namespace {
-const ReadSurface* g_read_surface = nullptr;
+thread_local const ReadSurface* g_read_surface = nullptr;
 }  // namespace
 
 void SetGlobalReadSurface(const ReadSurface* surface) { g_read_surface = surface; }

@@ -469,10 +469,16 @@ UnitWorkResult Campaign::RunUnitDynamic(
 
 UnitWorkResult Campaign::RunUnit(const UnitTestDef& test,
                                  const std::set<std::string>& globally_unsafe) {
-  ScopedRunCache scoped_cache(run_cache_.get());
+  RunCache* cache = active_cache();
+  ScopedRunCache scoped_cache(cache);
+  // Per-unit stat deltas only make sense when this engine is the cache's
+  // sole user; under a shared cache, concurrent workers move the counters
+  // between our two reads, so the deltas are skipped and the scheduler
+  // fills report totals from the shared cache once at the end.
+  const bool track_unit_stats = cache != nullptr && shared_run_cache_ == nullptr;
   RunCache::Stats stats_before;
-  if (run_cache_ != nullptr) {
-    stats_before = run_cache_->stats();
+  if (track_unit_stats) {
+    stats_before = cache->stats();
   }
 
   std::vector<double> durations;
@@ -485,8 +491,8 @@ UnitWorkResult Campaign::RunUnit(const UnitTestDef& test,
     unit.prerun_executions = prerun_executions;
   }
   unit.run_durations = std::move(durations);
-  if (run_cache_ != nullptr) {
-    const RunCache::Stats& stats = run_cache_->stats();
+  if (track_unit_stats) {
+    RunCache::Stats stats = cache->stats();
     unit.cache_hits = stats.hits - stats_before.hits;
     unit.cache_misses = stats.misses - stats_before.misses;
     unit.equiv_hits = stats.equiv_hits - stats_before.equiv_hits;
@@ -537,7 +543,7 @@ CampaignReport Campaign::Run() {
 
   auto end = std::chrono::steady_clock::now();
   if (run_cache_ != nullptr) {
-    const RunCache::Stats& stats = run_cache_->stats();
+    RunCache::Stats stats = run_cache_->stats();
     folder.report().cache_hits = stats.hits;
     folder.report().cache_misses = stats.misses;
     folder.report().equiv_hits = stats.equiv_hits;

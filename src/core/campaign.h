@@ -370,6 +370,22 @@ class Campaign {
   // saves it after.
   RunCache* run_cache() { return run_cache_.get(); }
 
+  // Routes this engine's executions through an externally owned, internally
+  // synchronized cache instead of the campaign-owned one. The thread-pool
+  // scheduler hands every worker engine the same cache, so any worker's
+  // result is served to all. Per-unit cache-stat deltas are skipped in this
+  // mode (concurrent workers' activity would pollute them); the scheduler
+  // fills report totals once, from the shared cache, at the end. Pass
+  // nullptr to restore the owned cache. The caller keeps ownership and must
+  // outlive every RunUnit call.
+  void UseSharedRunCache(RunCache* cache) { shared_run_cache_ = cache; }
+
+  // The cache executions actually go through: shared if installed, else the
+  // campaign-owned one (possibly null).
+  RunCache* active_cache() const {
+    return shared_run_cache_ != nullptr ? shared_run_cache_ : run_cache_.get();
+  }
+
  private:
   // Per-test dynamic phase over one pre-run record. Fills everything in the
   // result except prerun_executions, run_durations, and cache counters
@@ -413,6 +429,7 @@ class Campaign {
   TestGenerator generator_;
   TestRunner runner_;
   std::unique_ptr<RunCache> run_cache_;  // null unless options.enable_run_cache
+  RunCache* shared_run_cache_ = nullptr;  // not owned; see UseSharedRunCache
 };
 
 }  // namespace zebra

@@ -1,0 +1,151 @@
+#include "src/core/campaign_executor.h"
+
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/core/parallel_scheduler.h"
+#include "src/core/sharded_campaign.h"
+#include "src/core/thread_pool_scheduler.h"
+
+namespace zebra {
+
+namespace {
+
+// Shared option validation: reject what the backend would otherwise silently
+// drop. `journal_ok`/`faults_ok` mirror the capability flags.
+void RequireHonorable(const char* name, const ExecutorOptions& exec,
+                      bool journal_ok, bool faults_ok) {
+  if (!journal_ok &&
+      (!exec.journal_path.empty() || exec.resume || exec.abort_after_folds > 0)) {
+    throw Error(std::string(name) +
+                " executor does not support journal/resume options");
+  }
+  if (!faults_ok && !exec.faults.empty()) {
+    throw Error(std::string(name) + " executor does not support fault injection");
+  }
+}
+
+class SequentialExecutor : public CampaignExecutor {
+ public:
+  const char* name() const override { return "sequential"; }
+  bool supports_process_faults() const override { return false; }
+  bool supports_journal() const override { return false; }
+  bool supports_fault_injection() const override { return false; }
+
+  CampaignReport Run(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                     CampaignOptions options,
+                     const ExecutorOptions& exec) override {
+    RequireHonorable(name(), exec, /*journal_ok=*/false, /*faults_ok=*/false);
+    if (exec.workers != 1) {
+      throw Error("sequential executor requires workers == 1");
+    }
+    return Campaign(schema, corpus, std::move(options)).Run();
+  }
+};
+
+class ShardedExecutor : public CampaignExecutor {
+ public:
+  const char* name() const override { return "sharded"; }
+  bool supports_process_faults() const override { return true; }
+  bool supports_journal() const override { return false; }
+  bool supports_fault_injection() const override { return true; }
+
+  CampaignReport Run(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                     CampaignOptions options,
+                     const ExecutorOptions& exec) override {
+    RequireHonorable(name(), exec, /*journal_ok=*/false, /*faults_ok=*/true);
+    ShardedCampaignOptions sharded;
+    sharded.workers = exec.workers;
+    sharded.faults = exec.faults;
+    return RunShardedCampaign(schema, corpus, std::move(options), sharded);
+  }
+};
+
+class StealingExecutor : public CampaignExecutor {
+ public:
+  const char* name() const override { return "stealing"; }
+  bool supports_process_faults() const override { return true; }
+  bool supports_journal() const override { return true; }
+  bool supports_fault_injection() const override { return true; }
+
+  CampaignReport Run(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                     CampaignOptions options,
+                     const ExecutorOptions& exec) override {
+    ParallelCampaignOptions parallel;
+    parallel.workers = exec.workers;
+    parallel.faults = exec.faults;
+    parallel.journal_path = exec.journal_path;
+    parallel.resume = exec.resume;
+    parallel.abort_after_folds = exec.abort_after_folds;
+    return RunWorkStealingCampaign(schema, corpus, std::move(options), parallel);
+  }
+};
+
+class ThreadPoolExecutor : public CampaignExecutor {
+ public:
+  const char* name() const override { return "threadpool"; }
+  bool supports_process_faults() const override { return false; }
+  bool supports_journal() const override { return true; }
+  bool supports_fault_injection() const override { return true; }
+
+  CampaignReport Run(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                     CampaignOptions options,
+                     const ExecutorOptions& exec) override {
+    ThreadPoolCampaignOptions pool;
+    pool.workers = exec.workers;
+    pool.faults = exec.faults;
+    pool.journal_path = exec.journal_path;
+    pool.resume = exec.resume;
+    pool.abort_after_folds = exec.abort_after_folds;
+    pool.share_run_cache = exec.share_run_cache;
+    return RunThreadPoolCampaign(schema, corpus, std::move(options), pool);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CampaignExecutor> MakeExecutor(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSequential:
+      return std::make_unique<SequentialExecutor>();
+    case ExecutorKind::kSharded:
+      return std::make_unique<ShardedExecutor>();
+    case ExecutorKind::kStealing:
+      return std::make_unique<StealingExecutor>();
+    case ExecutorKind::kThreadPool:
+      return std::make_unique<ThreadPoolExecutor>();
+  }
+  throw Error("unknown executor kind");
+}
+
+std::optional<ExecutorKind> ParseExecutorKind(const std::string& name) {
+  if (name == "sequential") {
+    return ExecutorKind::kSequential;
+  }
+  if (name == "sharded") {
+    return ExecutorKind::kSharded;
+  }
+  if (name == "stealing") {
+    return ExecutorKind::kStealing;
+  }
+  if (name == "threadpool") {
+    return ExecutorKind::kThreadPool;
+  }
+  return std::nullopt;
+}
+
+const char* ExecutorKindName(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSequential:
+      return "sequential";
+    case ExecutorKind::kSharded:
+      return "sharded";
+    case ExecutorKind::kStealing:
+      return "stealing";
+    case ExecutorKind::kThreadPool:
+      return "threadpool";
+  }
+  return "unknown";
+}
+
+}  // namespace zebra

@@ -222,7 +222,10 @@ std::string SerializeReport(const CampaignReport& report) {
     params.push_back(param);
     std::string prefix = "finding." + param + ".";
     properties[prefix + "app"] = finding.owning_app;
-    properties[prefix + "p_value"] = DoubleToString(finding.best_p_value);
+    // Full precision, like the unit-result wire format: the sharded merge
+    // path round-trips findings through this serialization, and the
+    // cross-backend determinism contract compares p-values bitwise.
+    properties[prefix + "p_value"] = Double17(finding.best_p_value);
     properties[prefix + "witnesses"] =
         StrJoin(std::vector<std::string>(finding.witness_tests.begin(),
                                          finding.witness_tests.end()),

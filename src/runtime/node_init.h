@@ -41,7 +41,7 @@ class NodeInitScope {
                 const char* file, int line)
       : finished_(false) {
     RegisterAnnotationSiteOnce(app, AnnotationKind::kNodeInit, file, line);
-    ConfAgent::Instance().StartInit(reinterpret_cast<uint64_t>(node), node_type);
+    ConfAgent::Current().StartInit(reinterpret_cast<uint64_t>(node), node_type);
   }
 
   NodeInitScope(const NodeInitScope&) = delete;
@@ -54,7 +54,7 @@ class NodeInitScope {
   void Finish() {
     if (!finished_) {
       finished_ = true;
-      ConfAgent::Instance().StopInit();
+      ConfAgent::Current().StopInit();
     }
   }
 

@@ -11,7 +11,7 @@ namespace zebra {
 
 namespace {
 
-RunCache* g_run_cache = nullptr;
+thread_local RunCache* g_run_cache = nullptr;
 
 // File-format escaping: entries are one logical value per line; only the
 // newline and the escape character itself need protection (cache keys carry
@@ -256,6 +256,24 @@ void RunCache::EnforceLimits() {
 const TestResult* RunCache::Lookup(const std::string& test_id,
                                    const std::string& plan_text, uint64_t trial,
                                    EquivQuery* equiv) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LookupLocked(test_id, plan_text, trial, equiv);
+}
+
+bool RunCache::Lookup(const std::string& test_id, const std::string& plan_text,
+                      uint64_t trial, EquivQuery* equiv, TestResult* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TestResult* result = LookupLocked(test_id, plan_text, trial, equiv);
+  if (result == nullptr) {
+    return false;
+  }
+  *out = *result;
+  return true;
+}
+
+const TestResult* RunCache::LookupLocked(const std::string& test_id,
+                                         const std::string& plan_text,
+                                         uint64_t trial, EquivQuery* equiv) {
   if (Entry* entry = Touch(WildcardKey(test_id, plan_text))) {
     ++stats_.hits;
     return &entry->result;
@@ -317,6 +335,7 @@ void RunCache::Insert(const std::string& test_id, const std::string& plan_text,
                       uint64_t trial, bool trial_insensitive,
                       const TestResult& result, const EquivQuery* equiv,
                       const std::string* observed_trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Entry entry;
   entry.result = result;
   if (observed_trace != nullptr) {
@@ -354,6 +373,7 @@ void RunCache::Insert(const std::string& test_id, const std::string& plan_text,
 }
 
 bool RunCache::SaveToFile(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return false;
@@ -380,6 +400,7 @@ bool RunCache::SaveToFile(const std::string& path) const {
 }
 
 bool RunCache::LoadFromFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ifstream in(path);
   if (!in) {
     return false;  // missing file: the normal cold start, not a failure

@@ -44,17 +44,26 @@
 // eviction. Evicting can only turn future hits into misses (re-executions),
 // never change a served result, so findings are budget-invariant.
 //
-// Ownership: one cache per process, installed via SetGlobalRunCache (RAII:
-// ScopedRunCache). Campaign owns a cache when CampaignOptions.enable_run_cache
+// Ownership: one cache per thread of execution, installed via
+// SetGlobalRunCache (RAII: ScopedRunCache; the installed pointer is
+// thread-local). Campaign owns a cache when CampaignOptions.enable_run_cache
 // is set; parallel-scheduler workers each own a per-process cache that
-// persists across the work units they execute. Not thread-safe — unit-test
-// executions are serialized by design (ConfAgent sessions are exclusive).
+// persists across the work units they execute; the thread-pool scheduler
+// installs one *shared* cache on every worker thread, so a result computed
+// by one worker is served to all. All public methods are internally
+// synchronized (a single mutex — the cache is consulted once per unit-test
+// execution, so contention is negligible next to a run). The
+// pointer-returning Lookup is only safe when the caller serializes all
+// access (single-threaded harnesses and tests); concurrent callers must use
+// the copy-out overload, since a returned pointer can be invalidated by
+// another thread's insert-triggered eviction.
 
 #ifndef SRC_TESTKIT_RUN_CACHE_H_
 #define SRC_TESTKIT_RUN_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -131,6 +140,12 @@ class RunCache {
   const TestResult* Lookup(const std::string& test_id, const std::string& plan_text,
                            uint64_t trial, EquivQuery* equiv = nullptr);
 
+  // Copy-out variant, safe under concurrent mutation: the result is copied
+  // into `out` while the lock is held, so no pointer into the LRU escapes.
+  // Returns true on a hit. This is what RunUnitTest uses.
+  bool Lookup(const std::string& test_id, const std::string& plan_text,
+              uint64_t trial, EquivQuery* equiv, TestResult* out);
+
   // Stores the result of a real execution. `trial_insensitive` executions are
   // stored under the wildcard key as well, so every future trial hits, and
   // additionally under their observed trace. When `equiv` carries the
@@ -142,14 +157,24 @@ class RunCache {
               const EquivQuery* equiv = nullptr,
               const std::string* observed_trace = nullptr);
 
-  const Stats& stats() const { return stats_; }
+  // By value: a reference into the struct would race with concurrent
+  // updates. The copy is a consistent snapshot taken under the lock.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
   void ResetStats() {
+    std::lock_guard<std::mutex> lock(mutex_);
     stats_.hits = stats_.misses = 0;
     stats_.equiv_hits = stats_.canonicalized_plans = stats_.mispredictions = 0;
   }
 
-  const Limits& limits() const { return limits_; }
+  Limits limits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return limits_;
+  }
   void set_limits(Limits limits) {
+    std::lock_guard<std::mutex> lock(mutex_);
     limits_ = limits;
     EnforceLimits();
   }
@@ -188,6 +213,12 @@ class RunCache {
   bool InsertEntry(std::string key, const Entry& entry);
   void EnforceLimits();
 
+  // The full lookup sequence (exact -> wildcard -> equivalence layers).
+  // Caller holds mutex_; the returned pointer is valid only until release.
+  const TestResult* LookupLocked(const std::string& test_id,
+                                 const std::string& plan_text, uint64_t trial,
+                                 EquivQuery* equiv);
+
   // Restriction matching: scans this test's trace-indexed entries for one
   // whose *observed* elements all re-derive identically under `plan` (see
   // PlanReproducesObservedTrace). Sufficient even for executions that
@@ -204,11 +235,17 @@ class RunCache {
   std::unordered_map<std::string, std::vector<std::string>> trace_keys_by_test_;
   Limits limits_;
   Stats stats_;
+  // Guards every member above. Held for whole operations (lookup + LRU splice,
+  // insert + eviction), so invariants like stats_.bytes == sum(EntryBytes)
+  // hold at every release point.
+  mutable std::mutex mutex_;
 };
 
-// Process-global cache consulted by RunUnitTest; nullptr disables memoization
-// (the default). The cache outlives the installation window; the installer
-// retains ownership.
+// Ambient cache consulted by RunUnitTest; nullptr disables memoization (the
+// default). The installed pointer is thread-local, so each worker thread
+// chooses its own cache — which may be the same shared RunCache object on
+// every worker (the thread-pool scheduler does exactly that). The cache
+// outlives the installation window; the installer retains ownership.
 void SetGlobalRunCache(RunCache* cache);
 RunCache* GlobalRunCache();
 

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 
 #include "src/common/logging.h"
@@ -11,8 +12,12 @@
 namespace zebra {
 
 namespace {
-std::vector<double>* g_duration_collector = nullptr;
-int64_t g_synthetic_run_latency_us = 0;
+// Thread-local: each thread-pool worker owns its installation window, just
+// as each forked worker owns its process-global copy.
+thread_local std::vector<double>* g_duration_collector = nullptr;
+// Process-wide bench knob, set before any worker starts; atomic so worker
+// threads may read it while a bench harness toggles between regimes.
+std::atomic<int64_t> g_synthetic_run_latency_us{0};
 }  // namespace
 
 void SetRunDurationCollector(std::vector<double>* collector) {
@@ -20,10 +25,13 @@ void SetRunDurationCollector(std::vector<double>* collector) {
 }
 
 void SetSyntheticRunLatencyUs(int64_t micros) {
-  g_synthetic_run_latency_us = micros < 0 ? 0 : micros;
+  g_synthetic_run_latency_us.store(micros < 0 ? 0 : micros,
+                                   std::memory_order_relaxed);
 }
 
-int64_t SyntheticRunLatencyUs() { return g_synthetic_run_latency_us; }
+int64_t SyntheticRunLatencyUs() {
+  return g_synthetic_run_latency_us.load(std::memory_order_relaxed);
+}
 
 TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
   // Two distinct identities: Describe() seeds the per-trial RNG (stable by
@@ -51,14 +59,17 @@ TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
       equiv.plan = &plan;
       equiv_query = &equiv;
     }
-    if (const TestResult* cached = cache->Lookup(test.id, plan_fp, trial, equiv_query)) {
-      return *cached;
+    // Copy-out lookup: the cache may be shared across worker threads, and a
+    // pointer into it could be invalidated by another worker's insert.
+    TestResult cached;
+    if (cache->Lookup(test.id, plan_fp, trial, equiv_query, &cached)) {
+      return cached;
     }
   }
 
   auto start = std::chrono::steady_clock::now();
-  if (g_synthetic_run_latency_us > 0) {
-    ::usleep(static_cast<useconds_t>(g_synthetic_run_latency_us));
+  if (int64_t latency_us = SyntheticRunLatencyUs(); latency_us > 0) {
+    ::usleep(static_cast<useconds_t>(latency_us));
   }
   TestResult result;
   // Fold the plan into the trial seed: in a real system, nondeterminism is
