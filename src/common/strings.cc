@@ -154,6 +154,35 @@ uint64_t HashContent64(std::string_view text) {
   return digest;
 }
 
+Digest128 HashFnv128(std::string_view text, Digest128 seed) {
+  // FNV-128 prime: 2^88 + 2^8 + 0x3b. The 128-bit state and multiply ride on
+  // the compiler's __int128 support (baked into every target this project
+  // builds on); the loop is the textbook FNV-1a xor-then-multiply per byte.
+  using uint128 = unsigned __int128;
+  constexpr uint128 kPrime =
+      (static_cast<uint128>(1) << 88) | (static_cast<uint128>(1) << 8) | 0x3b;
+  uint128 digest =
+      (static_cast<uint128>(seed.hi) << 64) | static_cast<uint128>(seed.lo);
+  for (unsigned char c : text) {
+    digest ^= static_cast<uint128>(c);
+    digest *= kPrime;
+  }
+  return Digest128{static_cast<uint64_t>(digest >> 64),
+                   static_cast<uint64_t>(digest)};
+}
+
+Digest128 HashFnv128Decimal(uint64_t value, Digest128 seed) {
+  char buffer[20];  // max uint64_t is 20 digits
+  char* end = buffer + sizeof(buffer);
+  char* begin = end;
+  do {
+    *--begin = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  return HashFnv128(std::string_view(begin, static_cast<size_t>(end - begin)),
+                    seed);
+}
+
 std::string HashToHex(uint64_t digest) {
   char buffer[17];
   std::snprintf(buffer, sizeof(buffer), "%016llx",

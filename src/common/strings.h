@@ -54,6 +54,36 @@ std::string HashToHex(uint64_t digest);
 // showed up as a fixed per-run cost).
 uint64_t HashContent64(std::string_view text);
 
+// 128-bit FNV-1a digest. Chainable exactly like HashFnv64: folding the
+// pieces of a concatenation one after another yields the digest of the
+// concatenated bytes, which is what lets the run cache derive a key from
+// (test id, separator, fingerprint, trial) components without materializing
+// the joined string — and re-derive the identical key from the persisted
+// string form. 128 bits because these digests *are* the cache identity:
+// at 64 bits a birthday collision across a long-lived warm-started cache is
+// merely improbable; at 128 it is negligible, and the insert path still
+// cross-checks the legacy string key so even a collision is detected, not
+// served.
+struct Digest128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Digest128& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Digest128& other) const { return !(*this == other); }
+};
+
+// FNV-128 offset basis (the standard 0x6c62272e07bb014262b821756295c58d).
+inline constexpr Digest128 kFnv128Seed = {0x6c62272e07bb0142ull,
+                                          0x62b821756295c58dull};
+
+Digest128 HashFnv128(std::string_view text, Digest128 seed = kFnv128Seed);
+
+// Folds the decimal rendering of `value` (the bytes std::to_string would
+// produce) without allocating.
+Digest128 HashFnv128Decimal(uint64_t value, Digest128 seed);
+
 }  // namespace zebra
 
 #endif  // SRC_COMMON_STRINGS_H_

@@ -67,7 +67,18 @@ void ConfAgent::BeginSession(TestPlan plan) {
     throw InternalError("ConfAgent session already active; sessions must be serialized");
   }
   session_ = std::make_unique<Session>();
-  session_->plan = std::move(plan);
+  session_->owned_plan = std::move(plan);
+  session_->plan = &session_->owned_plan;
+  in_session_.store(true, std::memory_order_release);
+}
+
+void ConfAgent::BeginSessionBorrowed(const TestPlan* plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session_ != nullptr) {
+    throw InternalError("ConfAgent session already active; sessions must be serialized");
+  }
+  session_ = std::make_unique<Session>();
+  session_->plan = plan != nullptr ? plan : &session_->owned_plan;
   in_session_.store(true, std::memory_order_release);
 }
 
@@ -253,12 +264,14 @@ std::string ConfAgent::InterceptGet(uint64_t conf_id, std::string_view name,
     return current;
   }
   session_->report.any_conf_usage = true;
-  std::string_view interned = InternLocked(name);
 
   // Steady state: every read after the first of a (conf, param) pair is one
-  // memo probe — no entity resolution, no plan lookup, no trace-element
-  // construction (set inserts are idempotent; only per-call counters remain).
-  auto memo_it = session_->get_memo.find({conf_id, interned.data()});
+  // hash of the name bytes plus one memo probe — no intern-table lookup, no
+  // entity resolution, no plan lookup, no trace-element construction (set
+  // inserts are idempotent; only per-call counters remain). The probe key
+  // views the caller's buffer; equality compares bytes against the interned
+  // copy stored at first read.
+  auto memo_it = session_->get_memo.find(ReadKey{conf_id, name});
   if (memo_it != session_->get_memo.end()) {
     const ReadMemo& memo = memo_it->second;
     if (memo.has_override) {
@@ -269,6 +282,7 @@ std::string ConfAgent::InterceptGet(uint64_t conf_id, std::string_view name,
   }
 
   ReadMemo memo;
+  std::string_view interned = InternLocked(name);
   const std::string interned_str(interned);
   int node_index = -1;
   std::optional<std::string> entity = ResolveEntityLocked(conf_id, &node_index);
@@ -280,8 +294,7 @@ std::string ConfAgent::InterceptGet(uint64_t conf_id, std::string_view name,
     session_->report.uncertain_params.insert(interned_str);
     session_->report.trace_elements.insert(TraceUncertainElement(interned_str));
     memo.uncertain = true;
-    session_->get_memo.emplace(std::make_pair(conf_id, interned.data()),
-                               std::move(memo));
+    session_->get_memo.emplace(ReadKey{conf_id, interned}, std::move(memo));
     return current;
   }
   session_->report.reads[*entity].insert(interned_str);
@@ -289,15 +302,14 @@ std::string ConfAgent::InterceptGet(uint64_t conf_id, std::string_view name,
   // Only node-owned and unit-test-owned confs receive plan values.
   int index = (*entity == kClientEntity) ? 0 : node_index;
   std::optional<std::string> assigned =
-      session_->plan.Lookup(interned_str, *entity, index);
+      session_->plan->Lookup(interned_str, *entity, index);
   session_->report.trace_elements.insert(TraceReadElement(
       *entity, index, interned_str, assigned.has_value() ? &*assigned : nullptr));
   memo.has_override = assigned.has_value();
   if (assigned.has_value()) {
     memo.override_value = *assigned;
   }
-  session_->get_memo.emplace(std::make_pair(conf_id, interned.data()),
-                             std::move(memo));
+  session_->get_memo.emplace(ReadKey{conf_id, interned}, std::move(memo));
   if (assigned.has_value()) {
     ++session_->report.override_hits;
     return *assigned;
@@ -313,12 +325,14 @@ void ConfAgent::InterceptHas(uint64_t conf_id, std::string_view name) {
   if (session_ == nullptr) {
     return;
   }
-  std::string_view interned = InternLocked(name);
   // A presence check is pure recording; once the trace element for this
-  // (conf, param) pair exists, repeats are no-ops.
-  if (!session_->has_memo.insert({conf_id, interned.data()}).second) {
+  // (conf, param) pair exists, repeats are no-ops. Probe with the caller's
+  // buffer first (steady state skips interning); intern only when recording.
+  if (session_->has_memo.count(ReadKey{conf_id, name}) > 0) {
     return;
   }
+  std::string_view interned = InternLocked(name);
+  session_->has_memo.insert(ReadKey{conf_id, interned});
   const std::string interned_str(interned);
   int node_index = -1;
   std::optional<std::string> entity = ResolveEntityLocked(conf_id, &node_index);
@@ -328,7 +342,7 @@ void ConfAgent::InterceptHas(uint64_t conf_id, std::string_view name) {
   }
   int index = (*entity == kClientEntity) ? 0 : node_index;
   std::optional<std::string> assigned =
-      session_->plan.Lookup(interned_str, *entity, index);
+      session_->plan->Lookup(interned_str, *entity, index);
   session_->report.trace_elements.insert(TraceHasElement(
       *entity, index, interned_str, assigned.has_value() ? &*assigned : nullptr));
 }

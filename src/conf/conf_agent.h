@@ -32,10 +32,11 @@
 // Hot path. InterceptGet is called for every configuration read a unit test
 // makes — millions per campaign. The agent keeps an arena-backed intern
 // table (common/intern_arena.h) shared across all sessions it runs, and a
-// per-session memo keyed by (conf object, interned name): the first read of
-// a (conf, param) pair resolves ownership, records the read and its trace
-// element, and caches the plan decision; every subsequent read is two hash
-// probes and the answer. Ownership-mutating events (new confs, clones,
+// per-session memo keyed by (conf object, parameter-name bytes): the first
+// read of a (conf, param) pair interns the name, resolves ownership, records
+// the read and its trace element, and caches the plan decision; every
+// subsequent read hashes the name bytes once and probes the memo — no intern
+// lookup, no tree walk. Ownership-mutating events (new confs, clones,
 // promotions) are rare and simply clear the memo.
 
 #ifndef SRC_CONF_CONF_AGENT_H_
@@ -51,10 +52,13 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "src/common/intern_arena.h"
+#include "src/common/rng.h"
 #include "src/conf/test_plan.h"
 
 namespace zebra {
@@ -126,6 +130,13 @@ class ConfAgent {
   // Starts a session. `plan` may be empty (pre-run / record-only). Only one
   // session may be active at a time; test executions are serialized.
   void BeginSession(TestPlan plan);
+
+  // Starts a session that *borrows* `plan` — the caller keeps ownership and
+  // must keep the plan alive (and unmutated) until EndSession. This is the
+  // hot-path entry: RunUnitTest already holds the plan for the whole
+  // execution, so copying it into the session only to read Lookup() from it
+  // was pure allocation traffic.
+  void BeginSessionBorrowed(const TestPlan* plan);
 
   // Ends the session and returns everything it observed.
   SessionReport EndSession();
@@ -203,8 +214,31 @@ class ConfAgent {
     std::string override_value;  // valid when has_override
   };
 
+  // Memo key: (conf id, parameter-name bytes). The stored view points into
+  // the agent-lifetime intern arena; lookups may pass a view into the
+  // caller's own buffer — equality compares bytes, so the steady-state read
+  // path never touches the intern table at all.
+  struct ReadKey {
+    uint64_t conf_id = 0;
+    std::string_view name;
+
+    bool operator==(const ReadKey& other) const {
+      return conf_id == other.conf_id && name == other.name;
+    }
+  };
+
+  struct ReadKeyHash {
+    size_t operator()(const ReadKey& key) const {
+      return static_cast<size_t>(HashCombine(key.conf_id, Fnv1a64(key.name)));
+    }
+  };
+
   struct Session {
-    TestPlan plan;
+    // The plan in force: `plan` points at either a caller-owned plan
+    // (BeginSessionBorrowed) or `owned_plan` (BeginSession). Never null while
+    // the session is active.
+    TestPlan owned_plan;
+    const TestPlan* plan = nullptr;
     std::map<uint64_t, NodeInfo> node_table;           // node_id -> info
     std::map<uint64_t, uint64_t> conf_to_node;         // conf_id -> node_id
     std::set<uint64_t> unit_test_conf_ids;
@@ -213,11 +247,13 @@ class ConfAgent {
     std::map<std::thread::id, std::vector<uint64_t>> thread_context;
     std::map<std::string, int> type_counts;            // node_type -> next index
 
-    // Hot-path memo, keyed by (conf id, interned-name identity). Cleared on
-    // every ownership mutation (NewConf/CloneConf/RefToCloneConf), which are
-    // a handful of events per run against millions of reads.
-    std::map<std::pair<uint64_t, const char*>, ReadMemo> get_memo;
-    std::set<std::pair<uint64_t, const char*>> has_memo;
+    // Hot-path memo. Cleared on every ownership mutation
+    // (NewConf/CloneConf/RefToCloneConf), which are a handful of events per
+    // run against millions of reads. Hash maps, not trees: a steady-state
+    // read is one hash of the name bytes plus one bucket probe, instead of
+    // an intern-arena probe followed by O(log n) pair comparisons.
+    std::unordered_map<ReadKey, ReadMemo, ReadKeyHash> get_memo;
+    std::unordered_set<ReadKey, ReadKeyHash> has_memo;
 
     SessionReport report;
   };
@@ -248,6 +284,11 @@ class ConfAgentSession {
  public:
   explicit ConfAgentSession(TestPlan plan) : agent_(&ConfAgent::Current()) {
     agent_->BeginSession(std::move(plan));
+  }
+  // Borrowing form: `plan` must outlive the session (RunUnitTest owns the
+  // plan for the whole execution, so the session need not copy it).
+  explicit ConfAgentSession(const TestPlan* plan) : agent_(&ConfAgent::Current()) {
+    agent_->BeginSessionBorrowed(plan);
   }
   ~ConfAgentSession() {
     if (!ended_) {

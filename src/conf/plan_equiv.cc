@@ -214,8 +214,8 @@ ReadSurface::ReadSurface(const SessionReport& prerun) {
 
 CanonicalPlan ReadSurface::Canonicalize(const TestPlan& plan) const {
   CanonicalPlan canonical;
-  TestPlan kept;
-  for (const ParamPlan& entry : plan.params) {
+  std::vector<ParamPlan> kept;
+  for (const ParamPlan& entry : plan.params()) {
     ParamPlan filtered = entry;
     filtered.extra_overrides.clear();
     for (const auto& override_pair : entry.extra_overrides) {
@@ -228,20 +228,35 @@ CanonicalPlan ReadSurface::Canonicalize(const TestPlan& plan) const {
     // An entry survives if any targeted conf observes its parameter — or any
     // surviving dependency override still needs a carrier.
     if (ParamObserved(entry.param) || !filtered.extra_overrides.empty()) {
-      kept.params.push_back(std::move(filtered));
+      kept.push_back(std::move(filtered));
     } else {
       ++canonical.dropped_entries;
     }
   }
-  // Canonical order: plans differing only in entry order collapse.
-  std::sort(kept.params.begin(), kept.params.end(),
-            [](const ParamPlan& a, const ParamPlan& b) {
-              if (a.param != b.param) {
-                return a.param < b.param;
-              }
-              return a.Fingerprint() < b.Fingerprint();
-            });
-  canonical.fingerprint = kept.Fingerprint();
+  // Canonical order: plans differing only in entry order collapse. The sort
+  // compares precomputed fingerprints — ParamPlan::Fingerprint() renders
+  // through an ostringstream, and letting the comparator recompute it turns
+  // every comparison into two allocations (O(n log n) renders per sort).
+  std::vector<std::string> sort_keys;
+  sort_keys.reserve(kept.size());
+  for (const ParamPlan& entry : kept) {
+    sort_keys.push_back(entry.Fingerprint());
+  }
+  std::vector<size_t> order(kept.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (kept[a].param != kept[b].param) {
+      return kept[a].param < kept[b].param;
+    }
+    return sort_keys[a] < sort_keys[b];
+  });
+  TestPlan canonical_plan;
+  for (size_t index : order) {
+    canonical_plan.Add(std::move(kept[index]));
+  }
+  canonical.fingerprint = canonical_plan.Fingerprint();
   canonical.changed = canonical.fingerprint != plan.Fingerprint();
   return canonical;
 }

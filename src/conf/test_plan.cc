@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/common/rng.h"
+
 namespace zebra {
 
 const char* AssignStrategyName(AssignStrategy strategy) {
@@ -66,10 +68,61 @@ ValueAssigner ValueAssigner::RoundRobinGroup(std::string group_type,
   return assigner;
 }
 
+TestPlan::TestPlan(const TestPlan& other)
+    : params_(other.params_),
+      fingerprint_(other.fingerprint_),
+      describe_seed_(other.describe_seed_),
+      fingerprint_valid_(other.fingerprint_valid_),
+      describe_seed_valid_(other.describe_seed_valid_) {}
+
+TestPlan::TestPlan(TestPlan&& other) noexcept
+    : params_(std::move(other.params_)),
+      fingerprint_(std::move(other.fingerprint_)),
+      describe_seed_(other.describe_seed_),
+      fingerprint_valid_(other.fingerprint_valid_),
+      describe_seed_valid_(other.describe_seed_valid_) {
+  // The moved-from plan is an empty plan; a stale "valid" flag over a
+  // moved-out string must not survive.
+  other.InvalidateMemo();
+}
+
+TestPlan& TestPlan::operator=(const TestPlan& other) {
+  if (this != &other) {
+    params_ = other.params_;
+    fingerprint_ = other.fingerprint_;
+    describe_seed_ = other.describe_seed_;
+    fingerprint_valid_ = other.fingerprint_valid_;
+    describe_seed_valid_ = other.describe_seed_valid_;
+  }
+  return *this;
+}
+
+TestPlan& TestPlan::operator=(TestPlan&& other) noexcept {
+  if (this != &other) {
+    params_ = std::move(other.params_);
+    fingerprint_ = std::move(other.fingerprint_);
+    describe_seed_ = other.describe_seed_;
+    fingerprint_valid_ = other.fingerprint_valid_;
+    describe_seed_valid_ = other.describe_seed_valid_;
+    other.InvalidateMemo();
+  }
+  return *this;
+}
+
+void TestPlan::Add(ParamPlan plan) {
+  InvalidateMemo();
+  params_.push_back(std::move(plan));
+}
+
+std::vector<ParamPlan>& TestPlan::mutable_params() {
+  InvalidateMemo();
+  return params_;
+}
+
 std::optional<std::string> TestPlan::Lookup(std::string_view param,
                                             const std::string& node_type,
                                             int node_index) const {
-  for (const ParamPlan& plan : params) {
+  for (const ParamPlan& plan : params_) {
     if (plan.param == param) {
       return plan.assigner.ValueFor(node_type, node_index);
     }
@@ -105,21 +158,33 @@ std::string ParamPlan::Fingerprint() const {
   return out.str();
 }
 
-std::string TestPlan::Fingerprint() const {
-  std::string text;
-  for (size_t i = 0; i < params.size(); ++i) {
-    if (i > 0) {
-      text += ", ";
+const std::string& TestPlan::Fingerprint() const {
+  if (!fingerprint_valid_) {
+    std::string text;
+    for (size_t i = 0; i < params_.size(); ++i) {
+      if (i > 0) {
+        text += ", ";
+      }
+      text += params_[i].Fingerprint();
     }
-    text += params[i].Fingerprint();
+    fingerprint_ = std::move(text);
+    fingerprint_valid_ = true;
   }
-  return text;
+  return fingerprint_;
+}
+
+uint64_t TestPlan::DescribeSeed() const {
+  if (!describe_seed_valid_) {
+    describe_seed_ = Fnv1a64(Describe());
+    describe_seed_valid_ = true;
+  }
+  return describe_seed_;
 }
 
 std::string TestPlan::Describe() const {
   std::ostringstream out;
-  for (size_t i = 0; i < params.size(); ++i) {
-    const ParamPlan& plan = params[i];
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ParamPlan& plan = params_[i];
     if (i > 0) {
       out << ", ";
     }

@@ -9,10 +9,12 @@
 #ifndef SRC_CONF_TEST_PLAN_H_
 #define SRC_CONF_TEST_PLAN_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace zebra {
@@ -74,21 +76,61 @@ struct ParamPlan {
 };
 
 // A full plan for one unit-test execution. Multiple entries = pooled testing.
-struct TestPlan {
-  std::vector<ParamPlan> params;
+//
+// Fingerprint() and DescribeSeed() are memoized on the plan: both walk every
+// entry and (for Fingerprint) render it through an ostringstream, and the hot
+// path asks for the same plan's identity several times per run — cache probe,
+// equivalence canonicalization, session seeding. Mutation goes through Add()
+// or mutable_params(), which drop the memo. The memo fields are `mutable` and
+// unsynchronized: a plan is owned by exactly one worker at a time (campaign
+// engines copy plans into per-worker units), so concurrent const access to a
+// shared TestPlan is not part of the contract.
+class TestPlan {
+ public:
+  TestPlan() = default;
+  explicit TestPlan(std::vector<ParamPlan> params) : params_(std::move(params)) {}
+
+  TestPlan(const TestPlan& other);
+  TestPlan(TestPlan&& other) noexcept;
+  TestPlan& operator=(const TestPlan& other);
+  TestPlan& operator=(TestPlan&& other) noexcept;
+
+  const std::vector<ParamPlan>& params() const { return params_; }
+
+  // Mutation invalidates the memoized identities.
+  void Add(ParamPlan plan);
+  std::vector<ParamPlan>& mutable_params();
 
   // Value the given entity should observe for `param`, if the plan covers it.
   std::optional<std::string> Lookup(std::string_view param,
                                     const std::string& node_type, int node_index) const;
 
-  bool empty() const { return params.empty(); }
+  bool empty() const { return params_.empty(); }
   std::string Describe() const;
 
   // Cache-key identity. Unlike Describe() — which deliberately stays stable
   // because RunUnitTest folds it into the per-trial RNG seed — this includes
   // extra_overrides, so plans differing only in dependency overrides never
-  // alias in the run cache.
-  std::string Fingerprint() const;
+  // alias in the run cache. Memoized; the reference stays valid until the
+  // next mutation of this plan.
+  const std::string& Fingerprint() const;
+
+  // Fnv1a64(Describe()), bit-for-bit — the value RunUnitTest folds into the
+  // per-trial RNG seed. Memoized so steady-state executions skip rebuilding
+  // the describe string entirely.
+  uint64_t DescribeSeed() const;
+
+ private:
+  void InvalidateMemo() {
+    fingerprint_valid_ = false;
+    describe_seed_valid_ = false;
+  }
+
+  std::vector<ParamPlan> params_;
+  mutable std::string fingerprint_;
+  mutable uint64_t describe_seed_ = 0;
+  mutable bool fingerprint_valid_ = false;
+  mutable bool describe_seed_valid_ = false;
 };
 
 }  // namespace zebra

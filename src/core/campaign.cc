@@ -213,11 +213,10 @@ void Campaign::BisectPool(const UnitTestDef& test, std::vector<GeneratedInstance
   for (auto* side : {&left, &right}) {
     TestPlan plan;
     for (const GeneratedInstance& instance : *side) {
-      plan.params.push_back(instance.plan);
+      plan.Add(instance.plan);
     }
     ++unit->executed_runs;
-    TestResult result = RunUnitTest(test, plan, /*trial=*/0);
-    if (!result.passed) {
+    if (!RunUnitTestShared(test, plan, /*trial=*/0)->passed) {
       BisectPool(test, *side, unit, confirmed_in_test);
     }
   }
@@ -248,19 +247,20 @@ void Campaign::RunCouplingForTest(const UnitTestDef& test,
     }
 
     ++unit->coupling_runs;
-    TestResult hetero = RunUnitTest(test, pair.plan, /*trial=*/0);
-    if (hetero.passed) {
+    std::shared_ptr<const TestResult> hetero =
+        RunUnitTestShared(test, pair.plan, /*trial=*/0);
+    if (hetero->passed) {
       continue;
     }
 
     // Blame isolation: a member that fails heterogeneous on its own is the
     // enumerative phase's business, not a coupling.
     bool member_fails_alone = false;
-    for (const ParamPlan& member : pair.plan.params) {
+    for (const ParamPlan& member : pair.plan.params()) {
       TestPlan solo;
-      solo.params.push_back(member);
+      solo.Add(member);
       ++unit->coupling_runs;
-      if (!RunUnitTest(test, solo, /*trial=*/0).passed) {
+      if (!RunUnitTestShared(test, solo, /*trial=*/0)->passed) {
         member_fails_alone = true;
         break;
       }
@@ -274,14 +274,14 @@ void Campaign::RunCouplingForTest(const UnitTestDef& test,
     bool controls_pass = true;
     for (int side = 0; side < 2 && controls_pass; ++side) {
       TestPlan homo;
-      for (const ParamPlan& member : pair.plan.params) {
+      for (const ParamPlan& member : pair.plan.params()) {
         ParamPlan control = member;
         control.assigner = ValueAssigner::Homogeneous(
             side == 0 ? member.assigner.group_value : member.assigner.other_value);
-        homo.params.push_back(std::move(control));
+        homo.Add(std::move(control));
       }
       ++unit->coupling_runs;
-      controls_pass = RunUnitTest(test, homo, /*trial=*/0).passed;
+      controls_pass = RunUnitTestShared(test, homo, /*trial=*/0)->passed;
     }
     if (!controls_pass) {
       continue;
@@ -292,7 +292,7 @@ void Campaign::RunCouplingForTest(const UnitTestDef& test,
       ++unit->coupling_confirmations;
       unit->confirmations.push_back(UnitConfirmation{
           param, options_.significance,
-          "coupled failure: " + hetero.failure});
+          "coupled failure: " + hetero->failure});
     }
   }
 }
@@ -347,11 +347,10 @@ void Campaign::RunPooledForTest(
     }
     TestPlan plan;
     for (const GeneratedInstance& instance : pool) {
-      plan.params.push_back(instance.plan);
+      plan.Add(instance.plan);
     }
     ++unit->executed_runs;
-    TestResult result = RunUnitTest(test, plan, /*trial=*/0);
-    if (result.passed) {
+    if (RunUnitTestShared(test, plan, /*trial=*/0)->passed) {
       continue;  // every pooled parameter assumed safe for this instance
     }
     BisectPool(test, std::move(pool), unit, &confirmed_in_test);

@@ -226,6 +226,9 @@ struct CampaignReport {
   int64_t requeued_units = 0;      // units re-dispatched after a worker died
   int64_t resumed_units = 0;       // units replayed from a journal on --resume
   int64_t cache_load_failures = 0; // corrupt cache files degraded to empty
+  int64_t journal_append_failures = 0;  // journal write/fdatasync failures
+                                        // (journaling disables itself after
+                                        // the first, the campaign continues)
 
   // Units that exceeded CampaignOptions.unit_attempt_limit and were skipped
   // (their canonical slot folds an empty result). Non-empty means findings

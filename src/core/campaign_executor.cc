@@ -76,6 +76,7 @@ class StealingExecutor : public CampaignExecutor {
     parallel.faults = exec.faults;
     parallel.journal_path = exec.journal_path;
     parallel.resume = exec.resume;
+    parallel.journal_sync_batch = exec.journal_sync_batch;
     parallel.abort_after_folds = exec.abort_after_folds;
     return RunWorkStealingCampaign(schema, corpus, std::move(options), parallel);
   }
@@ -96,6 +97,7 @@ class ThreadPoolExecutor : public CampaignExecutor {
     pool.faults = exec.faults;
     pool.journal_path = exec.journal_path;
     pool.resume = exec.resume;
+    pool.journal_sync_batch = exec.journal_sync_batch;
     pool.abort_after_folds = exec.abort_after_folds;
     pool.share_run_cache = exec.share_run_cache;
     return RunThreadPoolCampaign(schema, corpus, std::move(options), pool);

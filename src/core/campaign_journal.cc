@@ -17,7 +17,12 @@ constexpr char kJournalMagic[] = "zebra-journal-v1";
 }  // namespace
 
 CampaignJournal::CampaignJournal(const std::string& path,
-                                 const std::string& fingerprint, bool resume) {
+                                 const std::string& fingerprint, bool resume,
+                                 SyncPolicy sync)
+    : sync_(sync) {
+  if (sync_.batch < 1) {
+    sync_.batch = 1;
+  }
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     throw Error("campaign journal: cannot open " + path);
@@ -92,6 +97,7 @@ CampaignJournal::CampaignJournal(const std::string& path,
 }
 
 CampaignJournal::~CampaignJournal() {
+  Flush();
   if (fd_ >= 0) {
     ::close(fd_);
   }
@@ -107,12 +113,32 @@ bool CampaignJournal::Append(size_t unit_index, const UnitWorkResult& unit) {
     // Keep running un-journaled rather than aborting paid-for work.
     ZLOG_WARN << "campaign journal: append failed; journaling disabled for "
                  "the rest of this campaign";
+    ++append_failures_;
     ::close(fd_);
     fd_ = -1;
     return false;
   }
-  ::fdatasync(fd_);
-  return true;
+  if (++pending_ >= sync_.batch) {
+    Flush();
+  }
+  return fd_ >= 0;
+}
+
+void CampaignJournal::Flush() {
+  if (fd_ < 0 || pending_ == 0) {
+    return;
+  }
+  if (::fdatasync(fd_) != 0) {
+    // Same policy as a failed write: the records may not be durable, so stop
+    // pretending the journal is trustworthy past this point.
+    ZLOG_WARN << "campaign journal: fdatasync failed; journaling disabled for "
+                 "the rest of this campaign";
+    ++append_failures_;
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  pending_ = 0;
 }
 
 std::string CampaignJournal::Fingerprint(const CampaignOptions& options,

@@ -38,13 +38,26 @@ class UnitTestRegistry;
 
 class CampaignJournal {
  public:
+  // Durability policy for Append: how many records may ride in one
+  // fdatasync. batch == 1 (the default, today's behavior) syncs every
+  // record before Append returns; batch == N coalesces up to N records per
+  // sync — group commit. Appends are still written (and framed, and
+  // checksummed) immediately in either mode; only the fdatasync is
+  // deferred, so a crash can lose at most the last batch-1 *synced-but-
+  // unflushed* records, and the torn-tail truncation on resume recovers the
+  // longest valid prefix exactly as before. Findings are unaffected either
+  // way — the journal is a resume accelerator, not a result.
+  struct SyncPolicy {
+    int batch = 1;
+  };
+
   // Opens (creating if needed) the journal at `path`. With resume=false the
   // file is truncated and started fresh; with resume=true the valid record
   // prefix is loaded into recovered() and the torn tail (if any) truncated.
   // Throws Error when the file cannot be opened or, on resume, when its
   // fingerprint does not match `fingerprint`.
   CampaignJournal(const std::string& path, const std::string& fingerprint,
-                  bool resume);
+                  bool resume, SyncPolicy sync = SyncPolicy{1});
   ~CampaignJournal();
   CampaignJournal(const CampaignJournal&) = delete;
   CampaignJournal& operator=(const CampaignJournal&) = delete;
@@ -57,10 +70,22 @@ class CampaignJournal {
     return recovered_;
   }
 
-  // Appends one folded unit result and flushes it to the OS (fdatasync).
-  // Returns false on write failure, after which journaling is disabled for
-  // the rest of the campaign (the campaign itself continues).
+  // Appends one folded unit result; syncs to the OS according to the
+  // SyncPolicy (every record, or once per batch). Returns false on
+  // write/sync failure, after which journaling is disabled for the rest of
+  // the campaign (the campaign itself continues) and append_failures()
+  // reflects the event.
   bool Append(size_t unit_index, const UnitWorkResult& unit);
+
+  // Syncs any batched-but-unsynced records. Called by the destructor; the
+  // schedulers also call it at campaign end so a clean exit never leaves an
+  // unsynced tail regardless of policy.
+  void Flush();
+
+  // Write/fdatasync failures observed by Append/Flush. At most 1 in
+  // practice (the first failure disables journaling), surfaced as
+  // CampaignReport::journal_append_failures.
+  int64_t append_failures() const { return append_failures_; }
 
   // Identity of a campaign for resume compatibility: the resolved app list,
   // every unit-test id in canonical order, and the options that can change
@@ -73,6 +98,9 @@ class CampaignJournal {
 
  private:
   int fd_ = -1;
+  SyncPolicy sync_;
+  int pending_ = 0;  // records written since the last fdatasync
+  int64_t append_failures_ = 0;
   std::vector<std::pair<size_t, UnitWorkResult>> recovered_;
 };
 

@@ -22,15 +22,16 @@ std::vector<MinedRule> DependencyMiner::MineParam(const std::string& app,
     ParamPlan param_plan;
     param_plan.param = spec.name;
     param_plan.assigner = ValueAssigner::Homogeneous(value);
-    plan.params.push_back(param_plan);
+    plan.Add(param_plan);
 
     std::set<std::string>& reads = reads_by_value[value];
     for (const UnitTestDef* test : corpus_.ForApp(app)) {
-      TestResult result = RunUnitTest(*test, plan, /*trial=*/0);
+      std::shared_ptr<const TestResult> result =
+          RunUnitTestShared(*test, plan, /*trial=*/0);
       if (executions != nullptr) {
         ++*executions;
       }
-      for (const std::string& read : result.report.AllParamsRead()) {
+      for (const std::string& read : result->report.AllParamsRead()) {
         reads.insert(read);
       }
     }

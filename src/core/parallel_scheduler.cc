@@ -242,7 +242,8 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
   if (!parallel.journal_path.empty()) {
     journal = std::make_unique<CampaignJournal>(
         parallel.journal_path, CampaignJournal::Fingerprint(resolved, corpus),
-        parallel.resume);
+        parallel.resume,
+        CampaignJournal::SyncPolicy{parallel.journal_sync_batch});
     for (const auto& [index, unit] : journal->recovered()) {
       if (index != cursor || cursor >= units.size()) {
         ZLOG_WARN << "campaign journal: record out of canonical order; "
@@ -607,6 +608,13 @@ CampaignReport RunWorkStealingCampaign(const ConfSchema& schema,
   folder.report().hung_workers = hung_workers;
   folder.report().requeued_units = requeued_units;
   folder.report().resumed_units = resumed_units;
+  if (journal) {
+    // Under a batched sync policy a clean exit must not leave an unsynced
+    // tail — flush before reading the failure counter so a sync error here
+    // is still accounted.
+    journal->Flush();
+    folder.report().journal_append_failures = journal->append_failures();
+  }
   for (size_t unit_index : poisoned) {
     folder.report().poisoned_units.push_back(units[unit_index].test->id);
   }

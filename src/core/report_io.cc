@@ -252,6 +252,8 @@ std::string SerializeReport(const CampaignReport& report) {
   properties["requeued_units"] = Int64ToString(report.requeued_units);
   properties["resumed_units"] = Int64ToString(report.resumed_units);
   properties["cache_load_failures"] = Int64ToString(report.cache_load_failures);
+  properties["journal_append_failures"] =
+      Int64ToString(report.journal_append_failures);
   if (!report.poisoned_units.empty()) {
     properties["poisoned_units"] = StrJoin(report.poisoned_units, ",");
   }
@@ -355,6 +357,8 @@ CampaignReport DeserializeReport(const std::string& text) {
   ParseInt64(GetOr(properties, "resumed_units", "0"), &report.resumed_units);
   ParseInt64(GetOr(properties, "cache_load_failures", "0"),
              &report.cache_load_failures);
+  ParseInt64(GetOr(properties, "journal_append_failures", "0"),
+             &report.journal_append_failures);
   for (const std::string& unit :
        StrSplit(GetOr(properties, "poisoned_units", ""), ',')) {
     if (!unit.empty()) {
@@ -443,6 +447,7 @@ CampaignReport MergeReports(const std::vector<CampaignReport>& reports) {
     merged.requeued_units += report.requeued_units;
     merged.resumed_units += report.resumed_units;
     merged.cache_load_failures += report.cache_load_failures;
+    merged.journal_append_failures += report.journal_append_failures;
     merged.poisoned_units.insert(merged.poisoned_units.end(),
                                  report.poisoned_units.begin(),
                                  report.poisoned_units.end());

@@ -105,6 +105,11 @@ std::string RenderMarkdownReport(const CampaignReport& report,
     out << "* run-cache load failures (corrupt file, started cold): "
         << report.cache_load_failures << "\n";
   }
+  if (report.journal_append_failures > 0) {
+    out << "* journal append failures (journaling disabled mid-campaign; "
+           "resume coverage ends at the last synced record): "
+        << report.journal_append_failures << "\n";
+  }
   if (!report.poisoned_units.empty()) {
     out << "* poisoned units (hit the attempt limit; contributed no runs): "
         << StrJoin(report.poisoned_units, ", ") << "\n";

@@ -196,8 +196,8 @@ std::vector<CoupledInstance> TestGenerator::GenerateCoupled(
         }
         CoupledInstance pair;
         pair.test = record.test;
-        pair.plan.params.push_back(representative.at(group[i])->plan);
-        pair.plan.params.push_back(representative.at(group[j])->plan);
+        pair.plan.Add(representative.at(group[i])->plan);
+        pair.plan.Add(representative.at(group[j])->plan);
         pair.params = {group[i], group[j]};
         coupled.push_back(std::move(pair));
       }

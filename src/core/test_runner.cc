@@ -11,7 +11,7 @@ TestRunner::TestRunner(double significance, int first_trials)
 
 TestPlan TestRunner::HeteroPlan(const GeneratedInstance& instance) const {
   TestPlan plan;
-  plan.params.push_back(instance.plan);
+  plan.Add(instance.plan);
   return plan;
 }
 
@@ -20,7 +20,7 @@ TestPlan TestRunner::HomoPlan(const GeneratedInstance& instance,
   TestPlan plan;
   ParamPlan homo = instance.plan;
   homo.assigner = ValueAssigner::Homogeneous(value);
-  plan.params.push_back(std::move(homo));
+  plan.Add(std::move(homo));
   return plan;
 }
 
@@ -29,9 +29,19 @@ Verdict TestRunner::Verify(const GeneratedInstance& instance,
   Verdict verdict;
   const std::vector<std::string> values = instance.plan.assigner.DistinctValues();
 
+  // Plans are built once and reused across every trial below, so the
+  // memoized fingerprint/seed on each plan is computed exactly once per
+  // verification instead of once per run.
+  const TestPlan hetero_plan = HeteroPlan(instance);
+  std::vector<TestPlan> homo_plans;
+  homo_plans.reserve(values.size());
+  for (const std::string& value : values) {
+    homo_plans.push_back(HomoPlan(instance, value));
+  }
+
   auto run = [&](const TestPlan& plan, uint64_t trial) {
     ++*executions;
-    return RunUnitTest(*instance.test, plan, trial);
+    return RunUnitTestShared(*instance.test, plan, trial);
   };
 
   // First trial(s): heterogeneous runs. With first_trials_ > 1 a
@@ -39,12 +49,13 @@ Verdict TestRunner::Verify(const GeneratedInstance& instance,
   // (the §5 false-negative mitigation).
   bool hetero_failed_once = false;
   for (int attempt = 0; attempt < first_trials_; ++attempt) {
-    TestResult hetero = run(HeteroPlan(instance), static_cast<uint64_t>(attempt));
+    std::shared_ptr<const TestResult> hetero =
+        run(hetero_plan, static_cast<uint64_t>(attempt));
     ++verdict.hetero_trials;
-    if (!hetero.passed) {
+    if (!hetero->passed) {
       hetero_failed_once = true;
       ++verdict.hetero_failures;
-      verdict.witness_failure = hetero.failure;
+      verdict.witness_failure = hetero->failure;
       break;
     }
   }
@@ -54,10 +65,10 @@ Verdict TestRunner::Verify(const GeneratedInstance& instance,
 
   // First trial: every corresponding homogeneous configuration must pass,
   // otherwise the failure cannot be attributed to heterogeneity.
-  for (const std::string& value : values) {
-    TestResult homo = run(HomoPlan(instance, value), 0);
+  for (const TestPlan& homo_plan : homo_plans) {
+    std::shared_ptr<const TestResult> homo = run(homo_plan, 0);
     ++verdict.homo_trials;
-    if (!homo.passed) {
+    if (!homo->passed) {
       ++verdict.homo_failures;
       return verdict;  // kNotCandidate
     }
@@ -69,18 +80,18 @@ Verdict TestRunner::Verify(const GeneratedInstance& instance,
     // Trial numbers continue past the first-trial attempts so every run rolls
     // fresh nondeterminism.
     uint64_t trial = static_cast<uint64_t>(first_trials_ + round);
-    TestResult extra_hetero = run(HeteroPlan(instance), trial);
+    std::shared_ptr<const TestResult> extra_hetero = run(hetero_plan, trial);
     ++verdict.hetero_trials;
-    if (!extra_hetero.passed) {
+    if (!extra_hetero->passed) {
       ++verdict.hetero_failures;
       if (verdict.witness_failure.empty()) {
-        verdict.witness_failure = extra_hetero.failure;
+        verdict.witness_failure = extra_hetero->failure;
       }
     }
-    for (const std::string& value : values) {
-      TestResult extra_homo = run(HomoPlan(instance, value), trial);
+    for (const TestPlan& homo_plan : homo_plans) {
+      std::shared_ptr<const TestResult> extra_homo = run(homo_plan, trial);
       ++verdict.homo_trials;
-      if (!extra_homo.passed) {
+      if (!extra_homo->passed) {
         ++verdict.homo_failures;
       }
     }

@@ -108,7 +108,7 @@ CampaignReport RunThreadPoolCampaign(const ConfSchema& schema,
   if (!pool.journal_path.empty()) {
     journal = std::make_unique<CampaignJournal>(
         pool.journal_path, CampaignJournal::Fingerprint(resolved, corpus),
-        pool.resume);
+        pool.resume, CampaignJournal::SyncPolicy{pool.journal_sync_batch});
     for (const auto& [index, unit] : journal->recovered()) {
       if (index != cursor || cursor >= units.size()) {
         ZLOG_WARN << "campaign journal: record out of canonical order; "
@@ -502,6 +502,13 @@ CampaignReport RunThreadPoolCampaign(const ConfSchema& schema,
   folder.report().hung_workers = hung_workers;
   folder.report().requeued_units = requeued_units;
   folder.report().resumed_units = resumed_units;
+  if (journal) {
+    // Flush any batched records before reading the failure counter so a
+    // clean exit never leaves an unsynced tail and a sync error here is
+    // still accounted.
+    journal->Flush();
+    folder.report().journal_append_failures = journal->append_failures();
+  }
   for (size_t unit_index : poisoned) {
     folder.report().poisoned_units.push_back(units[unit_index].test->id);
   }

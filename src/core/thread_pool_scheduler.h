@@ -84,6 +84,10 @@ struct ThreadPoolCampaignOptions {
   std::string journal_path;
   bool resume = false;
 
+  // Journal durability: records per fdatasync (group commit), same contract
+  // as the forked scheduler. 1 = sync every append (default).
+  int journal_sync_batch = 1;
+
   // Test hook simulating a coordinator crash: stop dispatching and return
   // after this many *live* folds (journal replay does not count).
   int abort_after_folds = 0;

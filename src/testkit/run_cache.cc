@@ -4,7 +4,6 @@
 #include <sstream>
 
 #include "src/common/logging.h"
-#include "src/common/strings.h"
 #include "src/conf/plan_equiv.h"
 
 namespace zebra {
@@ -132,8 +131,17 @@ bool DeserializeSessionReport(const std::string& blob, SessionReport* report) {
 // v2 added the trailing "C <fnv64 hex>" whole-file checksum line. v1 files
 // (no checksum) are rejected as corrupt: the cache is an optimization, so a
 // one-time cold start on upgrade is cheaper than trusting an unverifiable
-// file.
+// file. The hash-keyed index did not bump the version: keys are persisted in
+// their legacy string form, so v2 files round-trip unchanged.
 constexpr char kCacheFileMagic[] = "zebra-run-cache-v2";
+
+// One-byte separators folded into key digests (string_view avoids the
+// char overload ambiguity and keeps the fold identical to hashing the
+// concatenated string).
+constexpr std::string_view kSep = "\x1f";
+constexpr std::string_view kSepStar = "\x1f*";
+constexpr std::string_view kCanonicalTag = "C\x1f";
+constexpr std::string_view kTraceTag = "T\x1f";
 
 }  // namespace
 
@@ -142,10 +150,11 @@ void SetGlobalRunCache(RunCache* cache) { g_run_cache = cache; }
 RunCache* GlobalRunCache() { return g_run_cache; }
 
 // '\x1f' (unit separator) cannot appear in test ids or plan fingerprints, so
-// the concatenation is injective; the full string is the key — no hash
-// collisions can alias two distinct runs. The equivalence namespaces get a
-// distinct tag prefix so a canonical fingerprint can never collide with a
-// plan fingerprint of the same text.
+// the concatenation is injective; the full string defines the key — the
+// 128-bit digests below are digests *of these strings*, derived without
+// materializing them. The equivalence namespaces get a distinct tag prefix
+// so a canonical fingerprint can never collide with a plan fingerprint of
+// the same text.
 std::string RunCache::ExactKey(const std::string& test_id, const std::string& plan_text,
                                uint64_t trial) {
   return test_id + '\x1f' + plan_text + '\x1f' + std::to_string(trial);
@@ -165,11 +174,50 @@ std::string RunCache::TraceKey(const std::string& test_id, const std::string& tr
   return std::string("T\x1f") + test_id + '\x1f' + trace + "\x1f*";
 }
 
-int64_t RunCache::EntryBytes(const std::string& key, const Entry& entry) {
-  const SessionReport& report = entry.result.report;
-  int64_t bytes = static_cast<int64_t>(sizeof(Entry) + key.size() +
+// The component folds. FNV chains over concatenation, so each of these is
+// byte-for-byte the digest of the matching legacy string above — the
+// equivalence LoadFromFile's gate verifies on every persisted key.
+Digest128 RunCache::ExactRunKey(const std::string& test_id,
+                                const std::string& plan_text, uint64_t trial) {
+  Digest128 digest = HashFnv128(test_id);
+  digest = HashFnv128(kSep, digest);
+  digest = HashFnv128(plan_text, digest);
+  digest = HashFnv128(kSep, digest);
+  return HashFnv128Decimal(trial, digest);
+}
+
+Digest128 RunCache::WildcardRunKey(const std::string& test_id,
+                                   const std::string& plan_text) {
+  Digest128 digest = HashFnv128(test_id);
+  digest = HashFnv128(kSep, digest);
+  digest = HashFnv128(plan_text, digest);
+  return HashFnv128(kSepStar, digest);
+}
+
+Digest128 RunCache::CanonicalRunKey(const std::string& test_id,
+                                    const std::string& canonical_fingerprint) {
+  Digest128 digest = HashFnv128(kCanonicalTag);
+  digest = HashFnv128(test_id, digest);
+  digest = HashFnv128(kSep, digest);
+  digest = HashFnv128(canonical_fingerprint, digest);
+  return HashFnv128(kSepStar, digest);
+}
+
+Digest128 RunCache::TraceRunKey(const std::string& test_id,
+                                const std::string& trace) {
+  Digest128 digest = HashFnv128(kTraceTag);
+  digest = HashFnv128(test_id, digest);
+  digest = HashFnv128(kSep, digest);
+  digest = HashFnv128(trace, digest);
+  return HashFnv128(kSepStar, digest);
+}
+
+int64_t RunCache::EntryBytes(const std::string& legacy_key, const Entry& entry) {
+  const TestResult& result = *entry.result;
+  const SessionReport& report = result.report;
+  int64_t bytes = static_cast<int64_t>(sizeof(Node) + legacy_key.size() +
                                        entry.observed_trace.size() +
-                                       entry.result.failure.size());
+                                       result.failure.size());
   for (const auto& [type, count] : report.node_counts) {
     bytes += static_cast<int64_t>(type.size()) + 8;
   }
@@ -188,30 +236,49 @@ int64_t RunCache::EntryBytes(const std::string& key, const Entry& entry) {
   return bytes;
 }
 
-RunCache::Entry* RunCache::Touch(const std::string& key) {
+RunCache::Node* RunCache::Touch(Digest128 key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  return &lru_.front().second;
+  return &lru_.front();
 }
 
-bool RunCache::InsertEntry(std::string key, const Entry& entry) {
-  if (index_.count(key) > 0) {
-    return false;  // first result wins; identical by construction anyway
+template <typename MakeLegacy>
+bool RunCache::InsertEntry(Digest128 key, MakeLegacy&& make_legacy,
+                           const std::shared_ptr<const Entry>& entry) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // First result wins; identical by construction — unless the legacy keys
+    // differ, which means two distinct runs digested to the same 128 bits.
+    // Drop the stored entry too: neither logical key may be served through
+    // an ambiguous digest (a re-execution is cheap, a wrong serve is not).
+    if (it->second->legacy_key != make_legacy()) {
+      ++stats_.key_collisions;
+      stats_.bytes -= EntryBytes(it->second->legacy_key, *it->second->entry);
+      lru_.erase(it->second);
+      index_.erase(it);
+      --stats_.entries;
+    }
+    return false;
   }
-  stats_.bytes += EntryBytes(key, entry);
-  lru_.emplace_front(std::move(key), entry);
-  index_[lru_.front().first] = lru_.begin();
+  return InsertEntryWithLegacy(key, make_legacy(), entry);
+}
+
+bool RunCache::InsertEntryWithLegacy(Digest128 key, std::string legacy_key,
+                                     const std::shared_ptr<const Entry>& entry) {
+  stats_.bytes += EntryBytes(legacy_key, *entry);
+  lru_.push_front(Node{key, std::move(legacy_key), entry});
+  index_[key] = lru_.begin();
   ++stats_.entries;
   EnforceLimits();
   return true;
 }
 
-RunCache::Entry* RunCache::MatchByRestriction(const std::string& test_id,
-                                              const TestPlan& plan,
-                                              const std::string& predicted_trace) {
+const RunCache::Entry* RunCache::MatchByRestriction(
+    const std::string& test_id, const TestPlan& plan,
+    const std::string& predicted_trace) {
   // Newest-first, bounded: the runs restriction matching exists to collapse
   // (bisection re-probes, early-stopped failing paths) are re-queried shortly
   // after they were stored, so scanning the most recent candidates catches
@@ -222,7 +289,7 @@ RunCache::Entry* RunCache::MatchByRestriction(const std::string& test_id,
   if (keys_it == trace_keys_by_test_.end()) {
     return nullptr;
   }
-  const std::vector<std::string>& keys = keys_it->second;
+  const std::vector<Digest128>& keys = keys_it->second;
   int scanned = 0;
   for (auto key = keys.rbegin(); key != keys.rend() && scanned < kMaxCandidates;
        ++key) {
@@ -231,10 +298,10 @@ RunCache::Entry* RunCache::MatchByRestriction(const std::string& test_id,
       continue;  // evicted since registration
     }
     ++scanned;
-    Entry& entry = it->second->second;
+    const Entry& entry = *it->second->entry;
     if (PlanReproducesObservedTrace(plan, entry.observed_trace, predicted_trace)) {
       lru_.splice(lru_.begin(), lru_, it->second);
-      return &lru_.front().second;
+      return lru_.front().entry.get();
     }
   }
   return nullptr;
@@ -244,9 +311,9 @@ void RunCache::EnforceLimits() {
   while (!lru_.empty() &&
          ((limits_.max_entries > 0 && stats_.entries > limits_.max_entries) ||
           (limits_.max_bytes > 0 && stats_.bytes > limits_.max_bytes))) {
-    const auto& [key, entry] = lru_.back();
-    stats_.bytes -= EntryBytes(key, entry);
-    index_.erase(key);
+    const Node& node = lru_.back();
+    stats_.bytes -= EntryBytes(node.legacy_key, *node.entry);
+    index_.erase(node.key);
     lru_.pop_back();
     --stats_.entries;
     ++stats_.evictions;
@@ -257,30 +324,41 @@ const TestResult* RunCache::Lookup(const std::string& test_id,
                                    const std::string& plan_text, uint64_t trial,
                                    EquivQuery* equiv) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return LookupLocked(test_id, plan_text, trial, equiv);
+  const Entry* entry = LookupLocked(test_id, plan_text, trial, equiv);
+  return entry == nullptr ? nullptr : entry->result.get();
 }
 
 bool RunCache::Lookup(const std::string& test_id, const std::string& plan_text,
                       uint64_t trial, EquivQuery* equiv, TestResult* out) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const TestResult* result = LookupLocked(test_id, plan_text, trial, equiv);
-  if (result == nullptr) {
+  const Entry* entry = LookupLocked(test_id, plan_text, trial, equiv);
+  if (entry == nullptr) {
     return false;
   }
-  *out = *result;
+  *out = *entry->result;
   return true;
 }
 
-const TestResult* RunCache::LookupLocked(const std::string& test_id,
-                                         const std::string& plan_text,
-                                         uint64_t trial, EquivQuery* equiv) {
-  if (Entry* entry = Touch(WildcardKey(test_id, plan_text))) {
+std::shared_ptr<const TestResult> RunCache::LookupShared(
+    const std::string& test_id, const std::string& plan_text, uint64_t trial,
+    EquivQuery* equiv) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = LookupLocked(test_id, plan_text, trial, equiv);
+  // Refcount bump under the lock; the payload is immutable and outlives any
+  // eviction, so the caller's pointer is safe without a copy.
+  return entry == nullptr ? nullptr : entry->result;
+}
+
+const RunCache::Entry* RunCache::LookupLocked(const std::string& test_id,
+                                              const std::string& plan_text,
+                                              uint64_t trial, EquivQuery* equiv) {
+  if (Node* node = Touch(WildcardRunKey(test_id, plan_text))) {
     ++stats_.hits;
-    return &entry->result;
+    return node->entry.get();
   }
-  if (Entry* entry = Touch(ExactKey(test_id, plan_text, trial))) {
+  if (Node* node = Touch(ExactRunKey(test_id, plan_text, trial))) {
     ++stats_.hits;
-    return &entry->result;
+    return node->entry.get();
   }
   if (equiv != nullptr && equiv->surface != nullptr && equiv->plan != nullptr) {
     // Derive the equivalence keys only now, past the exact fast path, so
@@ -301,10 +379,12 @@ const TestResult* RunCache::LookupLocked(const std::string& test_id,
     // stored execution's observed trace matching this plan's prediction —
     // if the pre-run promise was broken (a value-gated read appeared), the
     // traces differ and the serve is refused.
-    if (Entry* entry = Touch(CanonicalKey(test_id, equiv->canonical_fingerprint))) {
-      if (equiv->has_trace && entry->observed_trace == equiv->predicted_trace) {
+    if (Node* node =
+            Touch(CanonicalRunKey(test_id, equiv->canonical_fingerprint))) {
+      if (equiv->has_trace &&
+          node->entry->observed_trace == equiv->predicted_trace) {
         ++stats_.equiv_hits;
-        return &entry->result;
+        return node->entry.get();
       }
       ++stats_.mispredictions;
     }
@@ -312,18 +392,18 @@ const TestResult* RunCache::LookupLocked(const std::string& test_id,
       // Trace index fast path: the key *is* the stored execution's observed
       // trace, so a hit is self-validating — predicted == observed by key
       // equality.
-      if (Entry* entry = Touch(TraceKey(test_id, equiv->predicted_trace))) {
+      if (Node* node = Touch(TraceRunKey(test_id, equiv->predicted_trace))) {
         ++stats_.equiv_hits;
-        return &entry->result;
+        return node->entry.get();
       }
       // Restriction matching: the full-trace key misses whenever the stored
       // execution stopped early (its observed trace is a strict prefix of
       // any full prediction), so scan this test's stored traces for one this
       // plan reproduces element for element.
-      if (Entry* entry = MatchByRestriction(test_id, *equiv->plan,
-                                            equiv->predicted_trace)) {
+      if (const Entry* entry = MatchByRestriction(test_id, *equiv->plan,
+                                                  equiv->predicted_trace)) {
         ++stats_.equiv_hits;
-        return &entry->result;
+        return entry;
       }
     }
   }
@@ -333,22 +413,25 @@ const TestResult* RunCache::LookupLocked(const std::string& test_id,
 
 void RunCache::Insert(const std::string& test_id, const std::string& plan_text,
                       uint64_t trial, bool trial_insensitive,
-                      const TestResult& result, const EquivQuery* equiv,
+                      std::shared_ptr<const TestResult> result,
+                      const EquivQuery* equiv,
                       const std::string* observed_trace) {
   std::lock_guard<std::mutex> lock(mutex_);
-  Entry entry;
-  entry.result = result;
+  auto entry = std::make_shared<Entry>();
+  entry->result = std::move(result);
   if (observed_trace != nullptr) {
-    entry.observed_trace = *observed_trace;
+    entry->observed_trace = *observed_trace;
   }
-  InsertEntry(ExactKey(test_id, plan_text, trial), entry);
+  InsertEntry(ExactRunKey(test_id, plan_text, trial),
+              [&] { return ExactKey(test_id, plan_text, trial); }, entry);
   if (!trial_insensitive) {
     // Trial-sensitive executions are never shared across trials or plans:
     // the RNG seed folds in the plan description, so different descriptions
     // legitimately diverge.
     return;
   }
-  InsertEntry(WildcardKey(test_id, plan_text), entry);
+  InsertEntry(WildcardRunKey(test_id, plan_text),
+              [&] { return WildcardKey(test_id, plan_text); }, entry);
   if (observed_trace == nullptr || observed_trace->empty()) {
     return;
   }
@@ -356,8 +439,10 @@ void RunCache::Insert(const std::string& test_id, const std::string& plan_text,
   // deliberately not gated on `equiv`: the pre-run baseline executes before
   // the unit's ReadSurface exists, yet must be reachable by plans that later
   // collapse to it.
-  if (InsertEntry(TraceKey(test_id, *observed_trace), entry)) {
-    trace_keys_by_test_[test_id].push_back(TraceKey(test_id, *observed_trace));
+  Digest128 trace_key = TraceRunKey(test_id, *observed_trace);
+  if (InsertEntry(trace_key, [&] { return TraceKey(test_id, *observed_trace); },
+                  entry)) {
+    trace_keys_by_test_[test_id].push_back(trace_key);
   }
   if (equiv == nullptr || !equiv->computed) {
     return;
@@ -369,7 +454,25 @@ void RunCache::Insert(const std::string& test_id, const std::string& plan_text,
     ++stats_.mispredictions;
     return;
   }
-  InsertEntry(CanonicalKey(test_id, equiv->canonical_fingerprint), entry);
+  InsertEntry(CanonicalRunKey(test_id, equiv->canonical_fingerprint),
+              [&] { return CanonicalKey(test_id, equiv->canonical_fingerprint); },
+              entry);
+}
+
+void RunCache::Insert(const std::string& test_id, const std::string& plan_text,
+                      uint64_t trial, bool trial_insensitive,
+                      const TestResult& result, const EquivQuery* equiv,
+                      const std::string* observed_trace) {
+  Insert(test_id, plan_text, trial, trial_insensitive,
+         std::make_shared<const TestResult>(result), equiv, observed_trace);
+}
+
+bool RunCache::InsertAliasForTesting(Digest128 key, std::string legacy_key,
+                                     const TestResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto entry = std::make_shared<Entry>();
+  entry->result = std::make_shared<const TestResult>(result);
+  return InsertEntry(key, [&] { return legacy_key; }, entry);
 }
 
 bool RunCache::SaveToFile(const std::string& path) const {
@@ -388,15 +491,59 @@ bool RunCache::SaveToFile(const std::string& path) const {
   emit(kCacheFileMagic);
   emit(Int64ToString(static_cast<int64_t>(lru_.size())));
   // Front-to-back = most-to-least recent; LoadFromFile rebuilds in order.
-  for (const auto& [key, entry] : lru_) {
-    emit("K " + EscapeLine(key));
-    emit(std::string("P ") + (entry.result.passed ? "1" : "0"));
-    emit("F " + EscapeLine(entry.result.failure));
+  // Keys persist in their legacy string form, so the format is independent
+  // of the in-memory digest scheme.
+  for (const Node& node : lru_) {
+    const Entry& entry = *node.entry;
+    emit("K " + EscapeLine(node.legacy_key));
+    emit(std::string("P ") + (entry.result->passed ? "1" : "0"));
+    emit("F " + EscapeLine(entry.result->failure));
     emit("T " + EscapeLine(entry.observed_trace));
-    emit("R " + EscapeLine(SerializeSessionReport(entry.result.report)));
+    emit("R " + EscapeLine(SerializeSessionReport(entry.result->report)));
   }
   out << "C " << HashToHex(digest) << '\n';
   return static_cast<bool>(out);
+}
+
+// Re-derives a persisted key's digest through the same component folds the
+// hot path uses (parsing the legacy shape: tagged canonical/trace keys, then
+// exact/wildcard). Returns false for a shape SaveToFile never emits.
+bool RunCache::DeriveComponentDigest(const std::string& key, Digest128* out) {
+  auto ends_with_sep_star = [&key] {
+    return key.size() >= 2 && key[key.size() - 2] == '\x1f' && key.back() == '*';
+  };
+  if (key.size() >= 2 && (key[0] == 'C' || key[0] == 'T') && key[1] == '\x1f') {
+    size_t id_end = key.find('\x1f', 2);
+    if (id_end == std::string::npos || !ends_with_sep_star() ||
+        id_end + 1 > key.size() - 2) {
+      return false;
+    }
+    const std::string test_id = key.substr(2, id_end - 2);
+    const std::string payload =
+        key.substr(id_end + 1, key.size() - 2 - (id_end + 1));
+    *out = key[0] == 'C' ? CanonicalRunKey(test_id, payload)
+                         : TraceRunKey(test_id, payload);
+    return true;
+  }
+  size_t id_end = key.find('\x1f');
+  size_t tail_sep = key.rfind('\x1f');
+  if (id_end == std::string::npos || tail_sep == id_end) {
+    return false;
+  }
+  const std::string test_id = key.substr(0, id_end);
+  const std::string plan_text =
+      key.substr(id_end + 1, tail_sep - id_end - 1);
+  const std::string tail = key.substr(tail_sep + 1);
+  if (tail == "*") {
+    *out = WildcardRunKey(test_id, plan_text);
+    return true;
+  }
+  int64_t trial = 0;
+  if (!ParseInt64(tail, &trial) || trial < 0) {
+    return false;
+  }
+  *out = ExactRunKey(test_id, plan_text, static_cast<uint64_t>(trial));
+  return true;
 }
 
 bool RunCache::LoadFromFile(const std::string& path) {
@@ -411,9 +558,9 @@ bool RunCache::LoadFromFile(const std::string& path) {
   stats_.entries = 0;
   stats_.bytes = 0;
 
-  // Any defect — bad magic, torn tail, checksum mismatch, unparseable entry —
-  // lands here: the cache degrades to empty (a cold start) instead of
-  // throwing or keeping a half-loaded state.
+  // Any defect — bad magic, torn tail, checksum mismatch, unparseable entry,
+  // hashed/legacy key divergence — lands here: the cache degrades to empty
+  // (a cold start) instead of throwing or keeping a half-loaded state.
   auto reject = [this, &path](const char* why) {
     ZLOG_WARN << "run cache: ignoring " << path << " (" << why
               << "); starting cold";
@@ -453,27 +600,52 @@ bool RunCache::LoadFromFile(const std::string& path) {
   for (int64_t i = 0; i < count; ++i) {
     std::string key;
     std::string passed;
-    Entry entry;
+    auto result = std::make_shared<TestResult>();
+    auto entry = std::make_shared<Entry>();
     std::string blob;
     if (!read_field('K', &key) || !read_field('P', &passed) ||
-        !read_field('F', &entry.result.failure) ||
-        !read_field('T', &entry.observed_trace) || !read_field('R', &blob) ||
-        !DeserializeSessionReport(blob, &entry.result.report)) {
+        !read_field('F', &result->failure) ||
+        !read_field('T', &entry->observed_trace) || !read_field('R', &blob) ||
+        !DeserializeSessionReport(blob, &result->report)) {
       return reject("truncated or corrupt entry");
     }
-    entry.result.passed = passed == "1";
+    result->passed = passed == "1";
+    entry->result = std::move(result);
+    // The hashed/legacy agreement gate: the digest of the whole persisted
+    // string must equal the digest the hot path would fold from its
+    // components. A divergence means the two lookup schemes would disagree
+    // at runtime, so the file is rejected wholesale.
+    const Digest128 whole_key = HashFnv128(key);
+    Digest128 component_key;
+    if (!DeriveComponentDigest(key, &component_key) ||
+        component_key != whole_key) {
+      return reject("hashed/legacy key divergence");
+    }
+    if (auto existing = index_.find(whole_key); existing != index_.end()) {
+      if (existing->second->legacy_key == key) {
+        continue;  // duplicate record; first (most recent) wins
+      }
+      // A 128-bit collision inside one file: drop both sides, as at insert.
+      ++stats_.key_collisions;
+      stats_.bytes -=
+          EntryBytes(existing->second->legacy_key, *existing->second->entry);
+      lru_.erase(existing->second);
+      index_.erase(existing);
+      --stats_.entries;
+      continue;
+    }
     // File order is most-to-least recent; append keeps it.
-    stats_.bytes += EntryBytes(key, entry);
-    lru_.emplace_back(std::move(key), entry);
+    stats_.bytes += EntryBytes(key, *entry);
+    lru_.push_back(Node{whole_key, key, std::move(entry)});
     auto it = std::prev(lru_.end());
-    index_[it->first] = it;
+    index_[whole_key] = it;
     ++stats_.entries;
     // Re-register trace-indexed entries ("T\x1f" + test_id + '\x1f' + ...)
     // for restriction matching.
-    if (it->first.rfind("T\x1f", 0) == 0) {
-      size_t id_end = it->first.find('\x1f', 2);
+    if (key.rfind("T\x1f", 0) == 0) {
+      size_t id_end = key.find('\x1f', 2);
       if (id_end != std::string::npos) {
-        trace_keys_by_test_[it->first.substr(2, id_end - 2)].push_back(it->first);
+        trace_keys_by_test_[key.substr(2, id_end - 2)].push_back(whole_key);
       }
     }
   }

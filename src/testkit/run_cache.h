@@ -20,6 +20,18 @@
 // trial number are additionally stored under a trial-wildcard key, so later
 // trials of the same (test, plan) hit as well.
 //
+// Keys are 128-bit FNV-1a digests (common/strings.h Digest128) of the legacy
+// string keys — test id, plan fingerprint, and trial joined with '\x1f', plus
+// the tagged canonical/trace namespaces. The digest is derived by folding the
+// key *components* (the digest of a concatenation is the fold of its pieces),
+// so the hot path never materializes a key string; the string form survives
+// only in the checksummed persistence format. 128 bits makes an accidental
+// collision negligible, and the insert path still compares the stored legacy
+// string against the incoming one, so even the negligible case is detected
+// (Stats::key_collisions), evicted, and re-executed — never served wrong.
+// LoadFromFile gates every persisted key on the hashed and legacy derivations
+// agreeing, proving the two lookups stay interchangeable.
+//
 // On top of exact matching sits the observational-equivalence layer (see
 // plan_equiv.h). Trial-insensitive executions are additionally indexed by
 //   * their canonical plan fingerprint (override entries no targeted conf
@@ -54,21 +66,23 @@
 // synchronized (a single mutex — the cache is consulted once per unit-test
 // execution, so contention is negligible next to a run). The
 // pointer-returning Lookup is only safe when the caller serializes all
-// access (single-threaded harnesses and tests); concurrent callers must use
-// the copy-out overload, since a returned pointer can be invalidated by
-// another thread's insert-triggered eviction.
+// access (single-threaded harnesses and tests); concurrent callers use
+// LookupShared, whose returned shared_ptr stays valid past any other
+// thread's insert-triggered eviction without copying the result.
 
 #ifndef SRC_TESTKIT_RUN_CACHE_H_
 #define SRC_TESTKIT_RUN_CACHE_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/strings.h"
 #include "src/testkit/test_execution.h"
 
 namespace zebra {
@@ -114,6 +128,12 @@ class RunCache {
     int64_t mispredictions = 0;        // predicted trace != observed/stored trace
     int64_t evictions = 0;             // LRU evictions under Limits
 
+    // Two distinct legacy keys digesting to the same 128-bit key (insert- or
+    // load-time cross-check). The colliding entry is dropped — a future miss
+    // and re-execution, never a wrong serve. Expected to stay 0 forever; the
+    // counter exists so "forever" is observable.
+    int64_t key_collisions = 0;
+
     // Corrupt/truncated cache files rejected by LoadFromFile. Deliberately
     // NOT cleared by ResetStats: load failures are a per-process health
     // signal (surfaced as CampaignReport::cache_load_failures), not a
@@ -136,26 +156,50 @@ class RunCache {
   // predicted-trace keys are consulted next — each serve gated on trace
   // validation — and finally this test's stored traces are scanned for one
   // the plan provably reproduces (restriction matching). Counts a hit, an
-  // equiv hit, or a miss.
+  // equiv hit, or a miss. Single-threaded callers only (see file comment).
   const TestResult* Lookup(const std::string& test_id, const std::string& plan_text,
                            uint64_t trial, EquivQuery* equiv = nullptr);
 
   // Copy-out variant, safe under concurrent mutation: the result is copied
   // into `out` while the lock is held, so no pointer into the LRU escapes.
-  // Returns true on a hit. This is what RunUnitTest uses.
+  // Returns true on a hit.
   bool Lookup(const std::string& test_id, const std::string& plan_text,
               uint64_t trial, EquivQuery* equiv, TestResult* out);
+
+  // Shared-ownership variant, safe under concurrent mutation *without* the
+  // deep copy: the returned pointer shares ownership of the immutable cache
+  // payload, so it stays valid even if another thread's insert evicts the
+  // entry right after the lock is released. This is what RunUnitTest uses.
+  std::shared_ptr<const TestResult> LookupShared(const std::string& test_id,
+                                                 const std::string& plan_text,
+                                                 uint64_t trial,
+                                                 EquivQuery* equiv = nullptr);
 
   // Stores the result of a real execution. `trial_insensitive` executions are
   // stored under the wildcard key as well, so every future trial hits, and
   // additionally under their observed trace. When `equiv` carries the
   // predictions the preceding Lookup derived and the prediction held, the
   // result is also indexed by the canonical fingerprint; a broken prediction
-  // counts a misprediction and skips the canonical index.
+  // counts a misprediction and skips the canonical index. The shared-pointer
+  // overload stores the caller's result without copying it (every key alias
+  // shares one payload); the by-value overload is a convenience that wraps
+  // its argument.
+  void Insert(const std::string& test_id, const std::string& plan_text,
+              uint64_t trial, bool trial_insensitive,
+              std::shared_ptr<const TestResult> result,
+              const EquivQuery* equiv = nullptr,
+              const std::string* observed_trace = nullptr);
   void Insert(const std::string& test_id, const std::string& plan_text,
               uint64_t trial, bool trial_insensitive, const TestResult& result,
               const EquivQuery* equiv = nullptr,
               const std::string* observed_trace = nullptr);
+
+  // Test-only: inserts `result` under a forced 128-bit key with the given
+  // legacy string, bypassing key derivation. Returns false when the insert
+  // was rejected (same digest already present with a different legacy key —
+  // the collision path under test).
+  bool InsertAliasForTesting(Digest128 key, std::string legacy_key,
+                             const TestResult& result);
 
   // By value: a reference into the struct would race with concurrent
   // updates. The copy is a consistent snapshot taken under the lock.
@@ -181,24 +225,24 @@ class RunCache {
 
   // Persistence, for warm-starting repeated campaign invocations. The file
   // round-trips every entry (including the full SessionReport — warm-started
-  // pre-runs feed test generation) in recency order, and ends with a
-  // whole-file checksum line so a torn write (crash mid-save, disk full)
-  // cannot masquerade as a valid cache. Load replaces the current contents;
-  // stats are not persisted. Both return false on I/O or parse failure; a
-  // failed load leaves the cache empty — never half-loaded, never throwing —
-  // logs a warning, and increments Stats::load_failures (except for a
-  // missing file, which is the normal cold-start case). A warm start is an
-  // optimization, so corruption degrades to a cold start, not a crash.
+  // pre-runs feed test generation) in recency order under its legacy string
+  // key, and ends with a whole-file checksum line so a torn write (crash
+  // mid-save, disk full) cannot masquerade as a valid cache. Load replaces
+  // the current contents and re-derives each 128-bit key twice — from the
+  // whole string and from its parsed components (the hot path's derivation) —
+  // rejecting the file if they ever disagree: the gate that proves hashed
+  // and legacy lookups stay interchangeable. Stats are not persisted. Both
+  // return false on I/O or parse failure; a failed load leaves the cache
+  // empty — never half-loaded, never throwing — logs a warning, and
+  // increments Stats::load_failures (except for a missing file, which is the
+  // normal cold-start case). A warm start is an optimization, so corruption
+  // degrades to a cold start, not a crash.
   bool SaveToFile(const std::string& path) const;
   bool LoadFromFile(const std::string& path);
 
- private:
-  struct Entry {
-    TestResult result;
-    std::string observed_trace;  // empty when recorded without a surface
-  };
-  using LruList = std::list<std::pair<std::string, Entry>>;
-
+  // Legacy string keys: the persistence format, and the ground truth the
+  // digests are defined over. Public so tests can prove the hashed/legacy
+  // equivalence directly; campaign code never builds these on the hot path.
   static std::string ExactKey(const std::string& test_id, const std::string& plan_text,
                               uint64_t trial);
   static std::string WildcardKey(const std::string& test_id,
@@ -206,18 +250,66 @@ class RunCache {
   static std::string CanonicalKey(const std::string& test_id,
                                   const std::string& canonical_fingerprint);
   static std::string TraceKey(const std::string& test_id, const std::string& trace);
-  static int64_t EntryBytes(const std::string& key, const Entry& entry);
 
-  // Returns the entry for `key` and marks it most-recently-used.
-  Entry* Touch(const std::string& key);
-  bool InsertEntry(std::string key, const Entry& entry);
+  // Component-folded digests of exactly the strings above, no allocation.
+  static Digest128 ExactRunKey(const std::string& test_id,
+                               const std::string& plan_text, uint64_t trial);
+  static Digest128 WildcardRunKey(const std::string& test_id,
+                                  const std::string& plan_text);
+  static Digest128 CanonicalRunKey(const std::string& test_id,
+                                   const std::string& canonical_fingerprint);
+  static Digest128 TraceRunKey(const std::string& test_id,
+                               const std::string& trace);
+
+  // Re-derives a persisted key's digest through the component folds above by
+  // parsing the legacy shape. Returns false for a shape SaveToFile never
+  // emits. LoadFromFile's hashed/legacy agreement gate.
+  static bool DeriveComponentDigest(const std::string& key, Digest128* out);
+
+ private:
+  // One stored execution, shared by every key alias pointing at it (exact,
+  // wildcard, canonical, trace): inserting under four keys costs one payload
+  // allocation, and LookupShared serves by refcount bump instead of deep
+  // copy. Immutable once inserted — that immutability is what makes sharing
+  // across worker threads safe.
+  struct Entry {
+    std::shared_ptr<const TestResult> result;
+    std::string observed_trace;  // empty when recorded without a surface
+  };
+
+  struct Node {
+    Digest128 key;
+    std::string legacy_key;  // persistence form; also the collision check
+    std::shared_ptr<const Entry> entry;
+  };
+  using LruList = std::list<Node>;
+
+  struct KeyHash {
+    size_t operator()(const Digest128& key) const {
+      return static_cast<size_t>(key.lo);
+    }
+  };
+
+  static int64_t EntryBytes(const std::string& legacy_key, const Entry& entry);
+
+  // Returns the node for `key` and marks it most-recently-used.
+  Node* Touch(Digest128 key);
+
+  // `legacy_key` is built lazily by `make_legacy` only when the key is
+  // actually inserted (the common duplicate-alias case pays nothing).
+  template <typename MakeLegacy>
+  bool InsertEntry(Digest128 key, MakeLegacy&& make_legacy,
+                   const std::shared_ptr<const Entry>& entry);
+  bool InsertEntryWithLegacy(Digest128 key, std::string legacy_key,
+                             const std::shared_ptr<const Entry>& entry);
   void EnforceLimits();
 
   // The full lookup sequence (exact -> wildcard -> equivalence layers).
-  // Caller holds mutex_; the returned pointer is valid only until release.
-  const TestResult* LookupLocked(const std::string& test_id,
-                                 const std::string& plan_text, uint64_t trial,
-                                 EquivQuery* equiv);
+  // Caller holds mutex_; the returned entry pointer is valid only until
+  // release (share the payload before unlocking).
+  const Entry* LookupLocked(const std::string& test_id,
+                            const std::string& plan_text, uint64_t trial,
+                            EquivQuery* equiv);
 
   // Restriction matching: scans this test's trace-indexed entries for one
   // whose *observed* elements all re-derive identically under `plan` (see
@@ -225,14 +317,14 @@ class RunCache {
   // stopped early, so this is what collapses failing-path re-runs. Any
   // matching entry is provably the execution `plan` would produce, so first
   // match serves.
-  Entry* MatchByRestriction(const std::string& test_id, const TestPlan& plan,
-                            const std::string& predicted_trace);
+  const Entry* MatchByRestriction(const std::string& test_id, const TestPlan& plan,
+                                  const std::string& predicted_trace);
 
   LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> index_;
+  std::unordered_map<Digest128, LruList::iterator, KeyHash> index_;
   // Trace-key registry per test, in insertion order; evicted keys are skipped
   // lazily (they no longer resolve through index_).
-  std::unordered_map<std::string, std::vector<std::string>> trace_keys_by_test_;
+  std::unordered_map<std::string, std::vector<Digest128>> trace_keys_by_test_;
   Limits limits_;
   Stats stats_;
   // Guards every member above. Held for whole operations (lookup + LRU splice,

@@ -33,13 +33,16 @@ int64_t SyntheticRunLatencyUs() {
   return g_synthetic_run_latency_us.load(std::memory_order_relaxed);
 }
 
-TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
-  // Two distinct identities: Describe() seeds the per-trial RNG (stable by
-  // contract — changing it would re-roll seeded nondeterminism campaign-wide),
-  // while Fingerprint() additionally covers extra_overrides and is the cache
-  // identity, so plans differing only in dependency overrides never alias.
-  const std::string plan_text = plan.Describe();
-  const std::string plan_fp = plan.Fingerprint();
+std::shared_ptr<const TestResult> RunUnitTestShared(const UnitTestDef& test,
+                                                    const TestPlan& plan,
+                                                    uint64_t trial) {
+  // Two distinct identities: DescribeSeed() (the hash of Describe()) seeds
+  // the per-trial RNG (stable by contract — changing it would re-roll seeded
+  // nondeterminism campaign-wide), while Fingerprint() additionally covers
+  // extra_overrides and is the cache identity, so plans differing only in
+  // dependency overrides never alias. Both are memoized on the plan, so a
+  // caller re-running the same plan object pays for them once.
+  const std::string& plan_fp = plan.Fingerprint();
 
   // Memoization: identical (test, plan, trial) triples are reproducible by
   // construction, so a cached result is exactly what a fresh execution would
@@ -53,16 +56,14 @@ TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
     if (const ReadSurface* surface = GlobalReadSurface();
         surface != nullptr && surface->usable()) {
       equiv.surface = surface;
-      // Only dereferenced inside the Lookup below, before `plan` is moved
-      // into the session; the predictions Lookup derives stay cached in
-      // `equiv` for the Insert after execution.
       equiv.plan = &plan;
       equiv_query = &equiv;
     }
-    // Copy-out lookup: the cache may be shared across worker threads, and a
-    // pointer into it could be invalidated by another worker's insert.
-    TestResult cached;
-    if (cache->Lookup(test.id, plan_fp, trial, equiv_query, &cached)) {
+    // Shared lookup: the payload's ownership is shared out under the cache
+    // lock, so the result stays valid past any other worker's insert without
+    // a deep copy.
+    if (std::shared_ptr<const TestResult> cached =
+            cache->LookupShared(test.id, plan_fp, trial, equiv_query)) {
       return cached;
     }
   }
@@ -71,34 +72,40 @@ TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial) {
   if (int64_t latency_us = SyntheticRunLatencyUs(); latency_us > 0) {
     ::usleep(static_cast<useconds_t>(latency_us));
   }
-  TestResult result;
+  auto result = std::make_shared<TestResult>();
   // Fold the plan into the trial seed: in a real system, nondeterminism is
   // independent across runs with different configurations; re-running the
   // same (test, plan, trial) triple stays reproducible.
-  uint64_t effective_trial = HashCombine(trial, Fnv1a64(plan_text));
-  ConfAgentSession session(std::move(plan));
+  uint64_t effective_trial = HashCombine(trial, plan.DescribeSeed());
+  ConfAgentSession session(&plan);
   TestContext context(test.id, effective_trial);
   try {
     test.body(context);
-    result.passed = true;
+    result->passed = true;
   } catch (const std::exception& e) {
-    result.passed = false;
-    result.failure = e.what();
+    result->passed = false;
+    result->failure = e.what();
     ZLOG_DEBUG << test.id << " failed: " << e.what();
   }
-  result.report = session.End();
+  result->report = session.End();
   if (g_duration_collector != nullptr) {
     g_duration_collector->push_back(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count());
   }
   if (cache != nullptr) {
-    const std::string observed_trace = ObservedTraceText(result.report);
+    const std::string observed_trace = ObservedTraceText(result->report);
+    // The cache shares this exact payload across its key aliases — the
+    // insert allocates no TestResult copy.
     cache->Insert(test.id, plan_fp, trial,
                   /*trial_insensitive=*/!context.TrialSensitive(), result,
                   equiv_query, &observed_trace);
   }
   return result;
+}
+
+TestResult RunUnitTest(const UnitTestDef& test, const TestPlan& plan, uint64_t trial) {
+  return *RunUnitTestShared(test, plan, trial);
 }
 
 }  // namespace zebra

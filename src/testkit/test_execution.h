@@ -7,6 +7,7 @@
 #define SRC_TESTKIT_TEST_EXECUTION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,8 +26,18 @@ struct TestResult {
 // Runs `test` with `plan` injected through ConfAgent. `trial` seeds the
 // test-local RNG, so re-running with a different trial re-rolls any seeded
 // nondeterminism. Exactly one execution may run at a time (ConfAgent sessions
-// are serialized).
-TestResult RunUnitTest(const UnitTestDef& test, TestPlan plan, uint64_t trial);
+// are serialized). The plan is borrowed for the duration of the call and not
+// mutated.
+TestResult RunUnitTest(const UnitTestDef& test, const TestPlan& plan, uint64_t trial);
+
+// Allocation-lean variant: a run-cache hit returns the cached payload by
+// refcount bump (no TestResult deep copy), and a real execution's result is
+// inserted into the cache and returned through the same shared payload. The
+// pointee is immutable and safe to share across threads; it is never null.
+// Campaign hot paths that only inspect `passed`/`failure` use this.
+std::shared_ptr<const TestResult> RunUnitTestShared(const UnitTestDef& test,
+                                                    const TestPlan& plan,
+                                                    uint64_t trial);
 
 // Installs a collector that receives the wall-clock duration (seconds) of
 // every subsequent *real* RunUnitTest execution (run-cache hits execute

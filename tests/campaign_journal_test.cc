@@ -6,6 +6,8 @@
 
 #include "src/core/campaign_journal.h"
 
+#include <signal.h>
+#include <sys/resource.h>
 #include <sys/stat.h>
 
 #include <gtest/gtest.h>
@@ -95,6 +97,85 @@ TEST(CampaignJournalTest, FreshOpenDiscardsExistingRecords) {
   }
   CampaignJournal resumed(path, "fp-1", /*resume=*/true);
   EXPECT_TRUE(resumed.recovered().empty());
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournalTest, GroupCommitWritesIdenticalBytes) {
+  // The sync policy changes only *when* fdatasync runs, never what is
+  // written: a batch:4 journal must be byte-for-byte the file an
+  // every-record journal produces, and resume from either recovers the
+  // same records.
+  const std::string every_path = ::testing::TempDir() + "/journal_every.zj";
+  const std::string batch_path = ::testing::TempDir() + "/journal_batch.zj";
+  {
+    CampaignJournal every(every_path, "fp-1", /*resume=*/false,
+                          CampaignJournal::SyncPolicy{1});
+    CampaignJournal batch(batch_path, "fp-1", /*resume=*/false,
+                          CampaignJournal::SyncPolicy{4});
+    for (int i = 0; i < 5; ++i) {
+      UnitWorkResult unit = MakeUnit("minikv.Test" + std::to_string(i), i + 1);
+      EXPECT_TRUE(every.Append(static_cast<size_t>(i), unit));
+      EXPECT_TRUE(batch.Append(static_cast<size_t>(i), unit));
+    }
+    EXPECT_EQ(every.append_failures(), 0);
+    EXPECT_EQ(batch.append_failures(), 0);
+    // Destructors flush the batched tail (record 5 rode past the 4-record
+    // boundary un-synced).
+  }
+  std::ifstream every_file(every_path, std::ios::binary);
+  std::ifstream batch_file(batch_path, std::ios::binary);
+  std::string every_bytes((std::istreambuf_iterator<char>(every_file)),
+                          std::istreambuf_iterator<char>());
+  std::string batch_bytes((std::istreambuf_iterator<char>(batch_file)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(every_bytes, batch_bytes);
+
+  CampaignJournal resumed(batch_path, "fp-1", /*resume=*/true,
+                          CampaignJournal::SyncPolicy{4});
+  ASSERT_EQ(resumed.recovered().size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(resumed.recovered()[i].first, i);
+    ExpectUnitsEqual(resumed.recovered()[i].second,
+                     MakeUnit("minikv.Test" + std::to_string(i),
+                              static_cast<int64_t>(i) + 1));
+  }
+  std::remove(every_path.c_str());
+  std::remove(batch_path.c_str());
+}
+
+TEST(CampaignJournalTest, AppendFailureCountsAndDisablesJournaling) {
+  const std::string path = ::testing::TempDir() + "/journal_enospc.zj";
+  CampaignJournal journal(path, "fp-1", /*resume=*/false);
+  UnitWorkResult unit = MakeUnit("minikv.TestA", 7);
+  EXPECT_TRUE(journal.Append(0, unit));
+  EXPECT_EQ(journal.append_failures(), 0);
+
+  // Simulate a full disk: cap the file at its current size so the next
+  // append's write fails with EFBIG (SIGXFSZ ignored for the duration).
+  struct rlimit old_limit {};
+  ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  struct sigaction ignore {};
+  struct sigaction old_action {};
+  ignore.sa_handler = SIG_IGN;
+  ASSERT_EQ(::sigaction(SIGXFSZ, &ignore, &old_action), 0);
+  struct rlimit tiny = old_limit;
+  tiny.rlim_cur = static_cast<rlim_t>(FileSize(path));
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &tiny), 0);
+
+  EXPECT_FALSE(journal.Append(1, MakeUnit("minikv.TestB", 11)));
+  EXPECT_EQ(journal.append_failures(), 1);
+  // Journaling is disabled, not retried: later appends fail without
+  // inflating the counter past the first event.
+  EXPECT_FALSE(journal.Append(2, MakeUnit("minikv.TestC", 13)));
+  EXPECT_EQ(journal.append_failures(), 1);
+
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  ASSERT_EQ(::sigaction(SIGXFSZ, &old_action, nullptr), 0);
+
+  // The record synced before the failure is still a valid resume prefix.
+  CampaignJournal resumed(path, "fp-1", /*resume=*/true);
+  ASSERT_EQ(resumed.recovered().size(), 1u);
+  ExpectUnitsEqual(resumed.recovered()[0].second, unit);
   std::remove(path.c_str());
 }
 

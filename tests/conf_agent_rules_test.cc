@@ -22,7 +22,7 @@ TestPlan PlanFor(const std::string& param, ValueAssigner assigner) {
   ParamPlan p;
   p.param = param;
   p.assigner = std::move(assigner);
-  plan.params.push_back(std::move(p));
+  plan.Add(std::move(p));
   return plan;
 }
 

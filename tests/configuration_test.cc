@@ -91,7 +91,7 @@ TEST(ConfigurationTest, PlanOverrideAppliesInsideSession) {
   ParamPlan param;
   param.param = "p";
   param.assigner = ValueAssigner::Homogeneous("planned");
-  plan.params.push_back(param);
+  plan.Add(param);
 
   ConfAgentSession session(plan);
   Configuration conf;  // created before any node: belongs to the unit test
@@ -108,7 +108,7 @@ TEST(ConfigurationTest, PlanOverrideAppliesToAbsentKeyDefaults) {
   ParamPlan param;
   param.param = "p";
   param.assigner = ValueAssigner::Homogeneous("42");
-  plan.params.push_back(param);
+  plan.Add(param);
 
   ConfAgentSession session(plan);
   Configuration conf;
@@ -123,7 +123,7 @@ TEST(ConfigurationTest, DependencyOverridesVisibleThroughPlan) {
   param.param = "policy";
   param.assigner = ValueAssigner::Homogeneous("HTTPS_ONLY");
   param.extra_overrides.emplace_back("address", "0.0.0.0:9999");
-  plan.params.push_back(param);
+  plan.Add(param);
 
   ConfAgentSession session(plan);
   Configuration conf;

@@ -62,10 +62,10 @@ TEST(CouplingCampaign, GenerateCoupledIsCappedAndDeterministic) {
       auto coupled = generator.GenerateCoupled(record, instances);
       EXPECT_LE(coupled.size(), 4u);
       for (const CoupledInstance& pair : coupled) {
-        ASSERT_EQ(pair.plan.params.size(), 2u);
+        ASSERT_EQ(pair.plan.params().size(), 2u);
         ASSERT_EQ(pair.params.size(), 2u);
-        EXPECT_EQ(pair.plan.params[0].param, pair.params[0]);
-        EXPECT_EQ(pair.plan.params[1].param, pair.params[1]);
+        EXPECT_EQ(pair.plan.params()[0].param, pair.params[0]);
+        EXPECT_EQ(pair.plan.params()[1].param, pair.params[1]);
         EXPECT_NE(pair.params[0], pair.params[1]);
         saw_coupled = true;
       }

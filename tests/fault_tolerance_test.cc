@@ -300,6 +300,38 @@ TEST(FaultToleranceTest, JournalResumeBitwiseIdentical) {
   std::remove(path.c_str());
 }
 
+TEST(FaultToleranceTest, GroupCommitJournalResumeBitwiseIdentical) {
+  // Same crash/resume contract as JournalResumeBitwiseIdentical, but under
+  // the batched sync policy: records ride several-per-fdatasync, the abort
+  // lands mid-batch, and the resumed campaign must still be
+  // bitwise-identical to the uninterrupted reference.
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+  const std::string path = ::testing::TempDir() + "/fault_batch_resume.zj";
+  std::remove(path.c_str());
+
+  ParallelCampaignOptions first;
+  first.workers = 2;
+  first.journal_path = path;
+  first.journal_sync_batch = 4;
+  first.abort_after_folds = 3;  // mid-batch: 3 folded, none past a boundary
+  CampaignReport partial =
+      RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, first);
+  EXPECT_LT(partial.total_unit_test_runs, expected.total_unit_test_runs);
+
+  ParallelCampaignOptions second;
+  second.workers = 2;
+  second.journal_path = path;
+  second.journal_sync_batch = 4;
+  second.resume = true;
+  CampaignReport resumed =
+      RunWorkStealingCampaign(FullSchema(), FullCorpus(), options, second);
+  ExpectIdenticalResults(resumed, expected, "group-commit journal resume");
+  EXPECT_EQ(resumed.resumed_units, 3);
+  EXPECT_EQ(resumed.journal_append_failures, 0);
+  std::remove(path.c_str());
+}
+
 TEST(FaultToleranceTest, TornJournalTailResumeBitwiseIdentical) {
   CampaignOptions options = SmallCampaign();
   CampaignReport expected = SequentialReference(options);

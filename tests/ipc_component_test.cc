@@ -86,7 +86,7 @@ TEST(RpcGateTest, HeterogeneousPingIntervalTriggersTheFalsePositive) {
   ParamPlan p;
   p.param = kIpcPingInterval;
   p.assigner = ValueAssigner::UniformGroup("ServerA", "10000", "60000");
-  plan.params.push_back(p);
+  plan.Add(p);
 
   ConfAgentSession session(std::move(plan));
   Cluster cluster;

@@ -21,7 +21,7 @@ TestPlan PlanFor(const std::string& param, ValueAssigner assigner) {
   ParamPlan p;
   p.param = param;
   p.assigner = std::move(assigner);
-  plan.params.push_back(std::move(p));
+  plan.Add(std::move(p));
   return plan;
 }
 
@@ -48,8 +48,8 @@ TEST(PlanEquivTest, UnreadOverrideEntryDropped) {
   ASSERT_TRUE(surface.usable());
 
   TestPlan plan = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
-  plan.params.push_back(
-      PlanFor("b.unread", ValueAssigner::UniformGroup("Server", "1", "0")).params[0]);
+  plan.Add(
+      PlanFor("b.unread", ValueAssigner::UniformGroup("Server", "1", "0")).params()[0]);
 
   CanonicalPlan canonical = surface.Canonicalize(plan);
   EXPECT_TRUE(canonical.changed);
@@ -73,7 +73,7 @@ TEST(PlanEquivTest, FullyUnreadPlanCollapsesToBaseline) {
 TEST(PlanEquivTest, UnreadDependencyOverrideDroppedEntryKept) {
   ReadSurface surface(PrerunReading("a.read"));
   TestPlan plan = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
-  plan.params[0].extra_overrides.emplace_back("b.unread", "off");
+  plan.mutable_params()[0].extra_overrides.emplace_back("b.unread", "off");
 
   CanonicalPlan canonical = surface.Canonicalize(plan);
   EXPECT_TRUE(canonical.changed);
@@ -90,11 +90,11 @@ TEST(PlanEquivTest, EntryOrderDoesNotSplitEquivalenceClasses) {
   ReadSurface surface(prerun);
 
   TestPlan forward = PlanFor("a.read", ValueAssigner::UniformGroup("Server", "7", "3"));
-  forward.params.push_back(
-      PlanFor("b.read", ValueAssigner::UniformGroup("Server", "1", "0")).params[0]);
+  forward.Add(
+      PlanFor("b.read", ValueAssigner::UniformGroup("Server", "1", "0")).params()[0]);
   TestPlan reversed;
-  reversed.params.push_back(forward.params[1]);
-  reversed.params.push_back(forward.params[0]);
+  reversed.Add(forward.params()[1]);
+  reversed.Add(forward.params()[0]);
   ASSERT_NE(forward.Fingerprint(), reversed.Fingerprint());
 
   EXPECT_EQ(surface.Canonicalize(forward).fingerprint,

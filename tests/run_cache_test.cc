@@ -31,7 +31,7 @@ TestPlan SingleParamPlan(const std::string& param, const std::string& value) {
   ParamPlan p;
   p.param = param;
   p.assigner = ValueAssigner::UniformGroup("Server", value, "other");
-  plan.params.push_back(std::move(p));
+  plan.Add(std::move(p));
   return plan;
 }
 
@@ -74,6 +74,72 @@ TEST(RunCacheTest, KeysAreNotAmbiguous) {
   cache.Insert("a", "b.plan", 0, /*trial_insensitive=*/true, MakeResult(true, ""));
   EXPECT_EQ(cache.Lookup("a.b", "plan", 0), nullptr);
   EXPECT_EQ(cache.Lookup("a", "b.plan.extra", 0), nullptr);
+}
+
+TEST(RunCacheTest, HashedKeysMatchLegacyDigestsOverFullCorpus) {
+  // The hot path folds key components into a 128-bit digest without ever
+  // building the legacy concatenated string; this proves the fold is
+  // byte-for-byte the digest of that string for every unit test in the full
+  // corpus, every plan the schema can produce for it, and all four key
+  // shapes. FNV chains over concatenation, so equality here means hashed
+  // and legacy lookups are interchangeable everywhere.
+  size_t checked = 0;
+  for (const UnitTestDef& test_def : FullCorpus().tests()) {
+    const UnitTestDef* test = &test_def;
+    for (const ParamSpec& param : FullSchema().params()) {
+      TestPlan plan = SingleParamPlan(param.name, param.default_value);
+      const std::string& plan_text = plan.Fingerprint();
+      for (uint64_t trial : {uint64_t{0}, uint64_t{7}, uint64_t{123456789}}) {
+        EXPECT_EQ(RunCache::ExactRunKey(test->id, plan_text, trial),
+                  HashFnv128(RunCache::ExactKey(test->id, plan_text, trial)))
+            << test->id << " / " << plan_text << " / " << trial;
+      }
+      EXPECT_EQ(RunCache::WildcardRunKey(test->id, plan_text),
+                HashFnv128(RunCache::WildcardKey(test->id, plan_text)));
+      EXPECT_EQ(RunCache::CanonicalRunKey(test->id, plan_text),
+                HashFnv128(RunCache::CanonicalKey(test->id, plan_text)));
+      EXPECT_EQ(RunCache::TraceRunKey(test->id, "get:" + param.name),
+                HashFnv128(RunCache::TraceKey(test->id, "get:" + param.name)));
+
+      // The persistence gate inverts the same equivalence: re-deriving the
+      // digest from the legacy string must reproduce the component fold.
+      Digest128 derived{0, 0};
+      ASSERT_TRUE(RunCache::DeriveComponentDigest(
+          RunCache::ExactKey(test->id, plan_text, 7), &derived));
+      EXPECT_EQ(derived, RunCache::ExactRunKey(test->id, plan_text, 7));
+      ASSERT_TRUE(RunCache::DeriveComponentDigest(
+          RunCache::TraceKey(test->id, "get:" + param.name), &derived));
+      EXPECT_EQ(derived, RunCache::TraceRunKey(test->id, "get:" + param.name));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);  // the corpus x schema sweep actually ran
+}
+
+TEST(RunCacheTest, ForcedCollisionIsRejectedNeverServedWrong) {
+  // Two distinct legacy keys digesting to the same 128-bit key: the insert
+  // path compares the stored legacy string and must detect the collision
+  // (counted in key_collisions) instead of aliasing two different runs.
+  // Neither logical key may be served through the ambiguous digest, so the
+  // stored entry is evicted too — both re-execute rather than risk a wrong
+  // serve.
+  RunCache cache;
+  Digest128 key{0x1234567890abcdefULL, 0xfedcba0987654321ULL};
+  EXPECT_TRUE(cache.InsertAliasForTesting(key, "legacy-a", MakeResult(true, "")));
+  EXPECT_EQ(cache.stats().key_collisions, 0);
+  EXPECT_EQ(cache.stats().entries, 1);
+
+  EXPECT_FALSE(
+      cache.InsertAliasForTesting(key, "legacy-b", MakeResult(false, "boom")));
+  EXPECT_EQ(cache.stats().key_collisions, 1);
+  EXPECT_EQ(cache.stats().entries, 0);
+
+  // A duplicate insert under one legacy key is first-result-wins, not a
+  // collision: the entry stays and the counter does not move.
+  EXPECT_TRUE(cache.InsertAliasForTesting(key, "legacy-a", MakeResult(true, "")));
+  EXPECT_FALSE(cache.InsertAliasForTesting(key, "legacy-a", MakeResult(true, "")));
+  EXPECT_EQ(cache.stats().key_collisions, 1);
+  EXPECT_EQ(cache.stats().entries, 1);
 }
 
 TEST(RunCacheTest, StatsTrackEntriesAndHitRate) {
@@ -208,7 +274,7 @@ TEST(RunCacheTest, EquivLayerServesEarlyStoppedRestriction) {
   // Same a.read assignment pooled with an unread parameter: agrees on every
   // value the stored run actually observed.
   TestPlan pooled = SingleParamPlan("a.read", assigned);
-  pooled.params.push_back(SingleParamPlan("c.unread", "1").params[0]);
+  pooled.Add(SingleParamPlan("c.unread", "1").params()[0]);
   EquivQuery pooled_query;
   pooled_query.surface = &surface;
   pooled_query.plan = &pooled;

@@ -82,7 +82,7 @@ TEST(SessionReportTest, OverrideHitsAreCounted) {
   ParamPlan p;
   p.param = "counted.param";
   p.assigner = ValueAssigner::Homogeneous("v");
-  plan.params.push_back(p);
+  plan.Add(p);
 
   ConfAgentSession session(std::move(plan));
   Configuration conf;

@@ -43,7 +43,7 @@ TEST(TestPlanTest, LookupFindsParamAndOverrides) {
   p.param = "main";
   p.assigner = ValueAssigner::UniformGroup("NameNode", "1", "2");
   p.extra_overrides.emplace_back("dep", "d");
-  plan.params.push_back(p);
+  plan.Add(p);
 
   EXPECT_EQ(plan.Lookup("main", "NameNode", 0), "1");
   EXPECT_EQ(plan.Lookup("main", "DataNode", 0), "2");
@@ -57,7 +57,7 @@ TEST(TestPlanTest, PooledPlanCoversAllParams) {
     ParamPlan p;
     p.param = "p" + std::to_string(i);
     p.assigner = ValueAssigner::Homogeneous(std::to_string(i));
-    plan.params.push_back(p);
+    plan.Add(p);
   }
   EXPECT_EQ(plan.Lookup("p0", "X", 0), "0");
   EXPECT_EQ(plan.Lookup("p2", "X", 0), "2");
@@ -69,17 +69,17 @@ TEST(TestPlanTest, DescribeIsStableAndDistinct) {
   ParamPlan p;
   p.param = "x";
   p.assigner = ValueAssigner::UniformGroup("T", "1", "2");
-  a.params.push_back(p);
+  a.Add(p);
 
   TestPlan b = a;
   EXPECT_EQ(a.Describe(), b.Describe());
 
-  b.params[0].assigner = ValueAssigner::UniformGroup("T", "2", "1");
+  b.mutable_params()[0].assigner = ValueAssigner::UniformGroup("T", "2", "1");
   EXPECT_NE(a.Describe(), b.Describe());
 
   TestPlan homo;
   p.assigner = ValueAssigner::Homogeneous("1");
-  homo.params = {p};
+  homo.mutable_params() = {p};
   EXPECT_NE(a.Describe(), homo.Describe());
 }
 
