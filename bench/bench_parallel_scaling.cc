@@ -14,6 +14,13 @@
 //   threadpool+cache — same, with one shared internally synchronized run
 //               cache across all workers (hits propagate cross-worker
 //               immediately instead of per-process).
+//   distributed(+cache) — the TCP campaign fabric (distributed_campaign.h):
+//               N forked agent processes x 1 thread each over the framed
+//               wire protocol. Same dynamic dispatch, but every unit pays
+//               two checksummed TCP frames (dispatch + result) plus the
+//               lease bookkeeping; the delta against threadpool at the same
+//               worker count, divided by the frame count, is emitted as the
+//               per-frame fabric overhead.
 //
 // Two cost regimes are measured:
 //
@@ -56,6 +63,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "src/core/distributed_campaign.h"
 #include "src/core/fleet_model.h"
 #include "src/core/parallel_scheduler.h"
 #include "src/core/report_io.h"
@@ -75,6 +83,8 @@ enum class Mode {
   kStealingCache,
   kThreadPool,
   kThreadPoolCache,
+  kDistributed,
+  kDistributedCache,
 };
 
 const char* ModeName(Mode mode) {
@@ -91,6 +101,10 @@ const char* ModeName(Mode mode) {
       return "threadpool";
     case Mode::kThreadPoolCache:
       return "threadpool+cache";
+    case Mode::kDistributed:
+      return "distributed";
+    case Mode::kDistributedCache:
+      return "distributed+cache";
   }
   return "?";
 }
@@ -114,8 +128,9 @@ double CoreScaledSpeedupFloor(int cores) {
 
 double TimeRun(Mode mode, int workers, CampaignReport* out) {
   CampaignOptions options;  // all apps
-  options.enable_run_cache =
-      mode == Mode::kStealingCache || mode == Mode::kThreadPoolCache;
+  options.enable_run_cache = mode == Mode::kStealingCache ||
+                             mode == Mode::kThreadPoolCache ||
+                             mode == Mode::kDistributedCache;
   auto start = std::chrono::steady_clock::now();
   CampaignReport report;
   switch (mode) {
@@ -137,6 +152,17 @@ double TimeRun(Mode mode, int workers, CampaignReport* out) {
       report =
           RunThreadPoolCampaign(FullSchema(), FullCorpus(), options, workers);
       break;
+    case Mode::kDistributed:
+    case Mode::kDistributedCache: {
+      // agents = workers, one thread each: same concurrency as the other
+      // rows, so the delta is pure fabric cost (fork + TCP framing + leases).
+      DistributedCampaignOptions fabric;
+      fabric.agents = workers;
+      fabric.agent_threads = 1;
+      report = RunDistributedCampaign(FullSchema(), FullCorpus(), options,
+                                      fabric);
+      break;
+    }
   }
   double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -188,8 +214,10 @@ void RunRegime(const char* regime, int repetitions, std::vector<Row>* rows,
   std::printf("%16s %8s %12s %9s %9s %12s\n", "mode", "workers", "wall-clock",
               "speedup", "findings", "cache h/m");
   PrintRule('-', 72);
-  for (Mode mode : {Mode::kSharded, Mode::kStealing, Mode::kStealingCache,
-                    Mode::kThreadPool, Mode::kThreadPoolCache}) {
+  for (Mode mode :
+       {Mode::kSharded, Mode::kStealing, Mode::kStealingCache,
+        Mode::kThreadPool, Mode::kThreadPoolCache, Mode::kDistributed,
+        Mode::kDistributedCache}) {
     for (int workers : {1, 2, 3, 6}) {
       CampaignReport report;
       double seconds = BestOf(repetitions, mode, workers, &report);
@@ -221,7 +249,8 @@ double Ratio(double numerator, double denominator) {
 void WriteJson(const std::vector<Row>& rows,
                const std::map<Mode, double>& native_at_6,
                const std::map<Mode, double>& paper_at_6,
-               double native_sequential, double paper_sequential) {
+               double native_sequential, double paper_sequential,
+               int64_t fabric_frames) {
   const int cores = HardwareCores();
   WriteBenchJson("BENCH_parallel.json", [&](JsonWriter& json) {
     json.Field("paper_cost_latency_us", kPaperCostLatencyUs);
@@ -246,6 +275,25 @@ void WriteJson(const std::vector<Row>& rows,
     json.Field(
         "paper_cost_threadpool_cache_speedup_at_6_workers",
         Ratio(paper_sequential, paper_at_6.at(Mode::kThreadPoolCache)));
+    json.Field("paper_cost_distributed_speedup_at_6_agents",
+               Ratio(paper_sequential, paper_at_6.at(Mode::kDistributed)));
+    json.Field(
+        "paper_cost_distributed_cache_speedup_at_6_agents",
+        Ratio(paper_sequential, paper_at_6.at(Mode::kDistributedCache)));
+    // Fabric tax per wire frame: the native-regime delta against the thread
+    // pool at the same concurrency (same dispatch, zero transport cost),
+    // spread over the dispatch+result frames every folded unit pays. The
+    // measured delta also carries fork/exit and lease bookkeeping, so this
+    // is a deliberate upper bound on the framing itself.
+    json.Field("native_fabric_frames", fabric_frames);
+    json.Field(
+        "native_fabric_per_frame_overhead_us",
+        fabric_frames > 0
+            ? 1e6 *
+                  (native_at_6.at(Mode::kDistributed) -
+                   native_at_6.at(Mode::kThreadPool)) /
+                  static_cast<double>(fabric_frames)
+            : 0.0);
     json.BeginArray("rows");
     for (const Row& row : rows) {
       json.BeginObject();
@@ -287,6 +335,8 @@ void PrintScaling() {
       "  work-stealing + cache:    %.2fx\n"
       "  thread pool:              %.2fx\n"
       "  thread pool + cache:      %.2fx   <- the full in-process engine\n"
+      "  distributed fabric:       %.2fx\n"
+      "  distributed + cache:      %.2fx\n"
       "Static sharding is bounded by its largest shard (minidfs, ~70%% of the\n"
       "work); dynamic dispatch is bounded by the largest single (app,\n"
       "unit-test) unit. Exactness costs re-runs: frequent-failure threshold\n"
@@ -304,10 +354,31 @@ void PrintScaling() {
       Ratio(paper_at_6[Mode::kSharded], paper_at_6[Mode::kStealingCache]),
       Ratio(paper_at_6[Mode::kSharded], paper_at_6[Mode::kThreadPool]),
       Ratio(paper_at_6[Mode::kSharded], paper_at_6[Mode::kThreadPoolCache]),
+      Ratio(paper_at_6[Mode::kSharded], paper_at_6[Mode::kDistributed]),
+      Ratio(paper_at_6[Mode::kSharded], paper_at_6[Mode::kDistributedCache]),
       cores);
 
   CampaignReport sequential_report;
   TimeRun(Mode::kSequential, 1, &sequential_report);
+
+  // Every folded unit costs the fabric one kDispatch and one kResult frame.
+  int64_t fabric_units = 0;
+  for (const auto& [app, counts] : sequential_report.per_app) {
+    fabric_units += counts.tests_total;
+  }
+  const int64_t fabric_frames = 2 * fabric_units;
+  std::printf(
+      "Fabric overhead: distributed vs threadpool at 6 workers (native) is\n"
+      "%.3f s across %lld dispatch/result frames — %.1f us per frame, an\n"
+      "upper bound that also folds in agent fork/exit and lease bookkeeping.\n\n",
+      native_at_6[Mode::kDistributed] - native_at_6[Mode::kThreadPool],
+      static_cast<long long>(fabric_frames),
+      fabric_frames > 0 ? 1e6 *
+                              (native_at_6[Mode::kDistributed] -
+                               native_at_6[Mode::kThreadPool]) /
+                              static_cast<double>(fabric_frames)
+                        : 0.0);
+
   FleetEstimate fleet =
       EstimateFleet(sequential_report.run_durations_seconds, 100, 20);
   std::printf(
@@ -318,7 +389,7 @@ void PrintScaling() {
       fleet.makespan_seconds);
 
   WriteJson(rows, native_at_6, paper_at_6, native_sequential,
-            paper_sequential);
+            paper_sequential, fabric_frames);
 }
 
 // Fast CI gate (no google-benchmark pass, no JSON): bitwise identity between

@@ -16,6 +16,12 @@
 //                                                  # reads intersect the diff
 //   $ ./full_campaign --engine threadpool --workers 4   # pick the execution
 //                                                       # backend explicitly
+//   $ ./full_campaign --engine distributed --agents 4 --agent-threads 2
+//                                              # TCP fabric, local agents
+//   $ ./full_campaign --engine distributed --agents 2 --listen :9009
+//                                              # coordinator for real hosts
+//   $ ./full_campaign --connect host:9009 --agent-index 0 --agent-threads 4
+//                                              # one agent on a real host
 //
 // SIGINT/SIGTERM request a graceful stop: the campaign halts at the next
 // unit boundary, the run cache (if any) is saved, and — when journaling —
@@ -35,7 +41,9 @@
 #include "src/analysis/static_prior.h"
 #include "src/common/error.h"
 #include "src/core/campaign.h"
+#include "src/core/campaign_agent.h"
 #include "src/core/campaign_executor.h"
+#include "src/core/fabric_wire.h"
 #include "src/core/parallel_scheduler.h"
 #include "src/core/report_writer.h"
 #include "src/core/sharded_campaign.h"
@@ -72,6 +80,11 @@ int main(int argc, char** argv) {
   bool resume = false;
   int workers = 1;
   int journal_sync_batch = 1;
+  int agents = 0;
+  int agent_threads = 1;
+  int agent_index = 0;
+  std::string listen_address;
+  std::string connect_address;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-pooling") == 0) {
       options.enable_pooling = false;
@@ -116,6 +129,16 @@ int main(int argc, char** argv) {
       impacted_path = argv[++i];
     } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--agents") == 0 && i + 1 < argc) {
+      agents = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--agent-threads") == 0 && i + 1 < argc) {
+      agent_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--agent-index") == 0 && i + 1 < argc) {
+      agent_index = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_address = argv[++i];
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_address = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--no-pooling] [--no-round-robin] [--no-prerun-prune]\n"
@@ -125,7 +148,10 @@ int main(int argc, char** argv) {
           "          [--watchdog-floor SECONDS]\n"
           "          [--static-prior] [--no-coupling-plans]\n"
           "          [--impacted-only DIFF.json]\n"
-          "          [--engine sequential|sharded|stealing|threadpool]\n"
+          "          [--engine sequential|sharded|stealing|threadpool|"
+          "distributed]\n"
+          "          [--agents N] [--agent-threads K] [--listen HOST:PORT]\n"
+          "          [--connect HOST:PORT] [--agent-index N]\n"
           "          [app ...]\n"
           "apps: minidfs minimr miniyarn ministream minikv apptools\n"
           "--cache-file warm-starts the run cache from FILE (if it exists)\n"
@@ -144,10 +170,16 @@ int main(int argc, char** argv) {
           "--impacted-only restricts the dynamic phase to tests whose pre-run\n"
           "reads intersect the impacted list of a `zebralint --diff --json`\n"
           "artifact (see docs/ZEBRALINT.md).\n"
-          "--engine picks the execution backend explicitly (all four produce\n"
+          "--engine picks the execution backend explicitly (all five produce\n"
           "bitwise-identical findings; see docs/PARALLEL.md). Without it the\n"
           "driver routes by flags: journaled runs use the work-stealing pool,\n"
-          "--workers N>1 uses per-app sharding, otherwise sequential.\n",
+          "--workers N>1 uses per-app sharding, otherwise sequential.\n"
+          "--engine distributed runs the TCP campaign fabric: --agents N\n"
+          "forked local agent processes x --agent-threads K threads each\n"
+          "(docs/ROBUSTNESS.md, fabric section). --listen HOST:PORT instead\n"
+          "waits for N remote agents started with --connect HOST:PORT\n"
+          "--agent-index I (agent mode runs no coordinator: it executes\n"
+          "dispatched units until kShutdown and exits).\n",
           argv[0]);
       return 0;
     } else {
@@ -158,16 +190,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --journal FILE\n");
     return 2;
   }
+
+  // Agent mode: no coordinator, no report. Connect to one, execute whatever
+  // it dispatches, exit with the agent's status (0 after a clean kShutdown).
+  if (!connect_address.empty()) {
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseHostPort(connect_address, &host, &port)) {
+      std::fprintf(stderr, "--connect takes HOST:PORT, got '%s'\n",
+                   connect_address.c_str());
+      return 2;
+    }
+    CampaignAgentOptions agent;
+    agent.host = host;
+    agent.port = port;
+    agent.agent_index = agent_index;
+    agent.threads = agent_threads < 1 ? 1 : agent_threads;
+    return RunCampaignAgent(FullSchema(), FullCorpus(), options, agent);
+  }
+
   std::optional<ExecutorKind> engine;
   if (!engine_name.empty()) {
     engine = ParseExecutorKind(engine_name);
     if (!engine) {
       std::fprintf(stderr,
                    "unknown --engine '%s' "
-                   "(sequential|sharded|stealing|threadpool)\n",
+                   "(sequential|sharded|stealing|threadpool|distributed)\n",
                    engine_name.c_str());
       return 2;
     }
+  }
+  if ((agents > 0 || agent_threads != 1 || !listen_address.empty()) &&
+      (!engine || *engine != ExecutorKind::kDistributed)) {
+    std::fprintf(stderr,
+                 "--agents/--agent-threads/--listen require "
+                 "--engine distributed\n");
+    return 2;
   }
 
   analysis::StaticPriorReport prior;
@@ -220,6 +278,18 @@ int main(int argc, char** argv) {
     exec.journal_path = journal_path;
     exec.resume = resume;
     exec.journal_sync_batch = journal_sync_batch;
+    if (*engine == ExecutorKind::kDistributed) {
+      // The distributed backend reads workers as the agent count; --agents
+      // overrides --workers when both are given.
+      if (agents > 0) {
+        exec.workers = agents;
+      }
+      exec.agent_threads = agent_threads < 1 ? 1 : agent_threads;
+      exec.listen_address = listen_address;
+      // A --listen coordinator serves remote --connect agents; without it
+      // the backend forks the whole fleet locally.
+      exec.spawn_agents = listen_address.empty();
+    }
     report = MakeExecutor(*engine)->Run(FullSchema(), FullCorpus(), options,
                                         exec);
   } else if (!journal_path.empty()) {
@@ -342,6 +412,15 @@ int main(int argc, char** argv) {
         static_cast<long long>(report.requeued_units),
         static_cast<long long>(report.resumed_units),
         static_cast<long long>(report.cache_load_failures));
+  }
+  if (report.agent_disconnects > 0 || report.expired_leases > 0 ||
+      report.duplicate_results > 0) {
+    std::printf(
+        "distributed fabric: %lld agents retired, %lld leases expired and "
+        "re-queued, %lld duplicate results dropped\n",
+        static_cast<long long>(report.agent_disconnects),
+        static_cast<long long>(report.expired_leases),
+        static_cast<long long>(report.duplicate_results));
   }
   if (report.journal_append_failures > 0) {
     std::printf(

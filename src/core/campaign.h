@@ -230,6 +230,17 @@ struct CampaignReport {
                                         // (journaling disables itself after
                                         // the first, the campaign continues)
 
+  // Distributed-fabric accounting (all 0 outside --engine=distributed; see
+  // docs/ROBUSTNESS.md fabric section). Scheduling/fault-timing dependent,
+  // so accounting only — never part of the bitwise determinism contract.
+  int64_t agent_disconnects = 0;   // agent connections retired (EOF, garbled
+                                   // frame, write failure, heartbeat timeout)
+  int64_t expired_leases = 0;      // unit leases revoked and requeued after
+                                   // their agent crashed, hung, or vanished
+  int64_t duplicate_results = 0;   // completion frames dropped idempotently
+                                   // (stale lease: unit already reassigned
+                                   // or already folded)
+
   // Units that exceeded CampaignOptions.unit_attempt_limit and were skipped
   // (their canonical slot folds an empty result). Non-empty means findings
   // are incomplete — a side note for triage, never silently dropped.

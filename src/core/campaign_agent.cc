@@ -1,0 +1,363 @@
+#include "src/core/campaign_agent.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/conf/conf_agent.h"
+#include "src/core/campaign_journal.h"
+#include "src/core/fabric_wire.h"
+#include "src/core/report_io.h"
+#include "src/core/worker_ipc.h"
+
+namespace zebra {
+
+namespace {
+
+struct AgentWorkItem {
+  size_t unit_index = 0;
+  int attempt = 0;
+  std::set<std::string> unsafe;
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepSeconds(double seconds) {
+  struct timespec delay;
+  delay.tv_sec = static_cast<time_t>(seconds);
+  delay.tv_nsec =
+      static_cast<long>((seconds - static_cast<double>(delay.tv_sec)) * 1e9);
+  ::nanosleep(&delay, nullptr);
+}
+
+}  // namespace
+
+std::string FabricSchemaHash(const ConfSchema& schema,
+                             const UnitTestRegistry& corpus,
+                             const CampaignOptions& options) {
+  // Resolve the options exactly as any executor would (apps expanded and
+  // sorted) so both ends hash the same fingerprint regardless of whether the
+  // caller passed an explicit app list.
+  Campaign engine(schema, corpus, options);
+  return HashToHex(
+      HashFnv64(CampaignJournal::Fingerprint(engine.options(), corpus)));
+}
+
+int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                     CampaignOptions options,
+                     const CampaignAgentOptions& agent) {
+  if (agent.threads < 1) {
+    ZLOG_WARN << "campaign agent " << agent.agent_index
+              << ": threads must be >= 1";
+    return 2;
+  }
+  ScopedIgnoreSigPipe sigpipe_guard;
+
+  // Resolve options and the canonical unit order; the coordinator's dispatch
+  // indices refer to exactly this vector (schema-hash agreement below proves
+  // both sides built the same one).
+  Campaign resolver(schema, corpus, std::move(options));
+  const CampaignOptions& resolved = resolver.options();
+  std::vector<const UnitTestDef*> units;
+  for (const std::string& app : resolved.apps) {
+    for (const UnitTestDef* test : corpus.ForApp(app)) {
+      units.push_back(test);
+    }
+  }
+
+  int fd = ConnectTcp(agent.host, agent.port, agent.connect_timeout_seconds);
+  if (fd < 0) {
+    ZLOG_WARN << "campaign agent " << agent.agent_index
+              << ": cannot reach coordinator at " << agent.host << ":"
+              << agent.port;
+    return 3;
+  }
+
+  // Handshake. The protocol version travels in the frame header; the payload
+  // carries what the header cannot: schema hash, capacity, identity.
+  std::string hello =
+      HashToHex(HashFnv64(CampaignJournal::Fingerprint(resolved, corpus))) +
+      "\n" + Int64ToString(agent.threads) + "\n" +
+      Int64ToString(agent.agent_index);
+  FabricMsg type;
+  std::string payload;
+  if (!WriteFabricFrame(fd, FabricMsg::kHello, hello) ||
+      ReadFabricFrame(fd, &type, &payload) != FabricRead::kOk ||
+      type != FabricMsg::kWelcome) {
+    ZLOG_WARN << "campaign agent " << agent.agent_index
+              << ": handshake refused"
+              << (type == FabricMsg::kReject ? " (" + payload + ")" : "");
+    ::close(fd);
+    return 4;
+  }
+  std::vector<std::string> welcome = StrSplit(payload, '\n');
+  double heartbeat_interval = 0.2;
+  if (welcome.size() >= 2) {
+    ParseDouble(welcome[1], &heartbeat_interval);
+  }
+
+  // ---- Local thread pool ----------------------------------------------------
+
+  std::unique_ptr<RunCache> shared_cache;
+  if (resolved.enable_run_cache) {
+    shared_cache = std::make_unique<RunCache>(
+        RunCache::Limits{resolved.cache_max_entries, resolved.cache_max_bytes});
+  }
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<AgentWorkItem> queue;
+  bool stop = false;
+
+  // All socket writes (results, heartbeats, injected junk) serialize here so
+  // frames never interleave mid-stream.
+  std::mutex write_mutex;
+
+  // kDelayedHeartbeat: monotonic time before which the heartbeat thread
+  // stays silent. Stored as a bit-cast-free integer of milliseconds to keep
+  // it a plain atomic.
+  std::atomic<int64_t> heartbeat_mute_until_ms{0};
+
+  auto worker_main = [&]() {
+    ScopedThreadConfAgent agent_scope;
+    Campaign engine(schema, corpus, resolved);
+    if (shared_cache != nullptr) {
+      engine.UseSharedRunCache(shared_cache.get());
+    }
+    for (;;) {
+      AgentWorkItem item;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) {
+          return;
+        }
+        item = std::move(queue.front());
+        queue.pop_front();
+      }
+      if (item.unit_index >= units.size()) {
+        continue;  // corrupt dispatch survived checksums; drop it
+      }
+      const UnitTestDef& test = *units[item.unit_index];
+
+      // Network faults first (they model the transport, which wraps the
+      // execution), then process faults (they model the worker itself).
+      NetFaultSpec net_fault;
+      bool net_fires = !agent.net_faults.empty() &&
+                       agent.net_faults.Decide(agent.agent_index, test.id,
+                                               item.attempt, &net_fault);
+      if (net_fires) {
+        switch (net_fault.kind) {
+          case NetFaultKind::kAgentCrash:
+            std::_Exit(13);  // whole-host loss before any work happened
+          case NetFaultKind::kGarbledFrame: {
+            std::lock_guard<std::mutex> lock(write_mutex);
+            WriteAll(fd, "!!!NOT-A-FABRIC-FRAME!!!", 24);
+            std::_Exit(6);
+          }
+          case NetFaultKind::kDelayedHeartbeat: {
+            int64_t until_ms = static_cast<int64_t>(
+                (NowSeconds() + net_fault.delay_seconds) * 1000.0);
+            heartbeat_mute_until_ms.store(until_ms, std::memory_order_relaxed);
+            break;  // then execute and report normally
+          }
+          case NetFaultKind::kConnectionDrop:
+          case NetFaultKind::kStaleDuplicateResult:
+            break;  // both fire after execution
+        }
+      }
+      FaultSpec fault;
+      if (!agent.faults.empty() &&
+          agent.faults.Decide(agent.agent_index, test.id, item.attempt,
+                              &fault)) {
+        switch (fault.kind) {
+          case FaultKind::kCrash:
+            std::_Exit(13);
+          case FaultKind::kHang:
+            // Block this worker thread forever. Heartbeats keep flowing from
+            // their own thread, so only the coordinator's per-lease watchdog
+            // can recognize the unit as stuck — which is the point.
+            for (;;) {
+              ::pause();
+            }
+          case FaultKind::kGarbledFrame: {
+            std::lock_guard<std::mutex> lock(write_mutex);
+            WriteAll(fd, "!GARBLED-FRAME!!", 16);
+            std::_Exit(6);
+          }
+          case FaultKind::kSlowWorker:
+            SleepSeconds(fault.slow_seconds);
+            break;  // then execute normally
+        }
+      }
+
+      UnitWorkResult unit;
+      try {
+        unit = engine.RunUnit(test, item.unsafe);
+      } catch (const std::exception& e) {
+        // In-agent analog of a dead forked worker: take the whole agent down
+        // so the coordinator's requeue path recovers the lease. One bad unit
+        // costing a whole agent is the forked scheduler's economics too.
+        ZLOG_WARN << "campaign agent " << agent.agent_index << ": unit "
+                  << test.id << " failed (" << e.what() << ")";
+        std::_Exit(14);
+      }
+
+      if (net_fires && net_fault.kind == NetFaultKind::kConnectionDrop) {
+        // The unit ran to completion, then the host dropped off the network
+        // before the result got out — the lease must expire and the work
+        // must be redone elsewhere.
+        std::_Exit(7);
+      }
+
+      std::string result =
+          Int64ToString(static_cast<int64_t>(item.unit_index)) + " " +
+          Int64ToString(item.attempt) + "\n" +
+          SerializeUnitResult(item.unit_index, unit);
+      int copies =
+          net_fires && net_fault.kind == NetFaultKind::kStaleDuplicateResult
+              ? 2
+              : 1;
+      std::lock_guard<std::mutex> lock(write_mutex);
+      for (int i = 0; i < copies; ++i) {
+        if (!WriteFabricFrame(fd, FabricMsg::kResult, result)) {
+          std::_Exit(5);  // coordinator went away; nothing left to report to
+        }
+      }
+    }
+  };
+
+  std::atomic<bool> heartbeat_stop{false};
+  auto heartbeat_main = [&]() {
+    // Tick at a fraction of the interval so shutdown and un-muting are
+    // noticed promptly without a condition variable.
+    double last_sent = 0.0;
+    while (!heartbeat_stop.load(std::memory_order_relaxed)) {
+      double now = NowSeconds();
+      bool muted = static_cast<int64_t>(now * 1000.0) <
+                   heartbeat_mute_until_ms.load(std::memory_order_relaxed);
+      if (!muted && now - last_sent >= heartbeat_interval) {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        // A failed heartbeat means the coordinator is gone; the reader loop
+        // will see EOF and wind the agent down — no need to act here.
+        WriteFabricFrame(fd, FabricMsg::kHeartbeat, std::string());
+        last_sent = now;
+      }
+      SleepSeconds(std::min(0.05, heartbeat_interval / 2.0));
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(agent.threads));
+  for (int i = 0; i < agent.threads; ++i) {
+    workers.emplace_back(worker_main);
+  }
+  std::thread heartbeat_thread(heartbeat_main);
+
+  // RAII teardown for every exit path below: stop and join the pool before
+  // the lambdas' captures go out of scope.
+  auto shutdown_pool = [&]() {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      stop = true;
+      queue.clear();  // undelivered dispatches die with the connection
+    }
+    queue_cv.notify_all();
+    heartbeat_stop.store(true, std::memory_order_relaxed);
+    for (std::thread& worker : workers) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+    if (heartbeat_thread.joinable()) {
+      heartbeat_thread.join();
+    }
+  };
+
+  // ---- Reader loop ----------------------------------------------------------
+
+  int exit_code = 0;
+  for (;;) {
+    FabricRead status = ReadFabricFrame(fd, &type, &payload);
+    if (status != FabricRead::kOk) {
+      ZLOG_WARN << "campaign agent " << agent.agent_index
+                << ": coordinator connection lost";
+      exit_code = 8;
+      break;
+    }
+    if (type == FabricMsg::kShutdown) {
+      break;
+    }
+    if (type != FabricMsg::kDispatch) {
+      continue;  // heartbeat echoes etc. — nothing for an agent to do
+    }
+    size_t newline = payload.find('\n');
+    std::vector<std::string> head = StrSplit(payload.substr(0, newline), ' ');
+    int64_t unit_index = -1;
+    int64_t attempt = 0;
+    if (head.size() < 2 || !ParseInt64(head[0], &unit_index) ||
+        !ParseInt64(head[1], &attempt) || unit_index < 0 ||
+        static_cast<size_t>(unit_index) >= units.size()) {
+      ZLOG_WARN << "campaign agent " << agent.agent_index
+                << ": malformed dispatch; ignoring";
+      continue;
+    }
+    AgentWorkItem item;
+    item.unit_index = static_cast<size_t>(unit_index);
+    item.attempt = static_cast<int>(attempt);
+    if (newline != std::string::npos) {
+      for (const std::string& param :
+           StrSplit(payload.substr(newline + 1), ',')) {
+        if (!param.empty()) {
+          item.unsafe.insert(param);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      queue.push_back(std::move(item));
+    }
+    queue_cv.notify_one();
+  }
+
+  shutdown_pool();
+
+  if (exit_code == 0) {
+    // Farewell stats: the shared cache's totals, so the coordinator can fill
+    // report accounting the same way the thread-pool scheduler does.
+    std::string stats;
+    if (shared_cache != nullptr) {
+      RunCache::Stats s = shared_cache->stats();
+      stats = "cache_hits=" + Int64ToString(s.hits) + "\n" +
+              "cache_misses=" + Int64ToString(s.misses) + "\n" +
+              "equiv_hits=" + Int64ToString(s.equiv_hits) + "\n" +
+              "canonicalized_plans=" + Int64ToString(s.canonicalized_plans) +
+              "\n" + "mispredictions=" + Int64ToString(s.mispredictions) +
+              "\n" + "cache_evictions=" + Int64ToString(s.evictions) + "\n" +
+              "cache_load_failures=" + Int64ToString(s.load_failures);
+    }
+    std::lock_guard<std::mutex> lock(write_mutex);
+    WriteFabricFrame(fd, FabricMsg::kStats, stats);
+  }
+  ::close(fd);
+  return exit_code;
+}
+
+}  // namespace zebra

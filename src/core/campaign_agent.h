@@ -1,0 +1,98 @@
+// Campaign agent: the per-host worker process of the distributed fabric.
+//
+// One agent owns one machine's share of the fleet: it connects to the
+// coordinator (distributed_campaign.h) over the fabric wire protocol
+// (fabric_wire.h), proves compatibility in a handshake, and then runs the
+// PR 6 thread pool locally — `threads` worker threads, each with a private
+// ConfAgent and Campaign engine, sharing one internally synchronized run
+// cache — so a fleet of A agents x K threads executes A*K units
+// concurrently while the coordinator folds canonically.
+//
+// Handshake. The agent opens with kHello carrying its schema hash
+// (FabricSchemaHash — a digest of the campaign-journal fingerprint, i.e. the
+// resolved app list, canonical unit order, and every result-affecting
+// option), its thread count, and its agent index. The coordinator admits it
+// with kWelcome (echoed index + heartbeat interval) or refuses with kReject:
+// an agent built from a different corpus or options would return results
+// that *parse* but silently corrupt the fold, so mismatches must die at the
+// door. The protocol version rides in every frame header and is checked
+// before the payload is even trusted.
+//
+// Steady state. The main thread reads kDispatch frames ("<unit> <attempt>\n
+// <globally-unsafe csv>") into a local queue; worker threads pull, execute
+// Campaign::RunUnit under the dispatched snapshot, and answer with kResult
+// ("<unit> <attempt>\n" + SerializeUnitResult) — socket writes serialized by
+// a mutex. A heartbeat thread sends an empty kHeartbeat frame every interval
+// the coordinator chose; heartbeats are the agent's liveness proof, separate
+// from results, so a long-running unit does not look like a dead host.
+// On kShutdown the agent drains its workers, answers kStats (the shared
+// cache's counters), and exits 0.
+//
+// Fault injection. Both fault planes run *inside* the agent, decided
+// deterministically at (agent, unit, attempt):
+//   * FaultPlan (process faults, fault_injection.h) with the agent index as
+//     the worker coordinate: kCrash/_Exit, kHang/pause() (the worker thread
+//     blocks; heartbeats continue — exactly the shape the coordinator's
+//     lease watchdog exists for), kGarbledFrame (junk bytes then exit),
+//     kSlowWorker (sleep then run).
+//   * NetFaultPlan (network faults): kAgentCrash exits before executing;
+//     kConnectionDrop executes the unit then exits without sending the
+//     result (work done but lost — the lease expiry must recover it);
+//     kGarbledFrame writes junk where a frame belongs; kDelayedHeartbeat
+//     suppresses heartbeats for delay_seconds; kStaleDuplicateResult sends
+//     the result frame twice (the coordinator must drop the second copy
+//     idempotently).
+// Every plan must leave the folded report bitwise-identical to sequential
+// (tests/distributed_campaign_test.cc).
+
+#ifndef SRC_CORE_CAMPAIGN_AGENT_H_
+#define SRC_CORE_CAMPAIGN_AGENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/campaign.h"
+#include "src/core/fault_injection.h"
+
+namespace zebra {
+
+struct CampaignAgentOptions {
+  // Coordinator endpoint. ConnectTcp retries until connect_timeout_seconds
+  // (the agent may race the coordinator's listen).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double connect_timeout_seconds = 10.0;
+
+  // This agent's stable identity in the fleet (fault-plan coordinate and
+  // log label). Spawned agents get it from the coordinator's fork loop;
+  // real hosts pass --agent-index.
+  int agent_index = 0;
+
+  // Local worker threads (the PR 6 thread pool); the coordinator keeps this
+  // many leases in flight on this agent.
+  int threads = 1;
+
+  // Deterministic fault planes, evaluated in-agent. Empty = undisturbed.
+  FaultPlan faults;
+  NetFaultPlan net_faults;
+};
+
+// Identity both ends must agree on before any unit is dispatched: a hex
+// digest of CampaignJournal::Fingerprint over the *resolved* options and the
+// corpus. `options` are resolved through a Campaign engine internally, so
+// callers pass the same CampaignOptions they would hand any executor.
+std::string FabricSchemaHash(const ConfSchema& schema,
+                             const UnitTestRegistry& corpus,
+                             const CampaignOptions& options);
+
+// Runs one agent to completion. Returns the process exit code: 0 after a
+// clean kShutdown, nonzero when the coordinator vanished or refused the
+// handshake. Blocks until shutdown; spawned agents call this straight from
+// the forked child and _Exit with its return value.
+int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                     CampaignOptions options,
+                     const CampaignAgentOptions& agent);
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_CAMPAIGN_AGENT_H_

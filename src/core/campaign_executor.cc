@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/error.h"
+#include "src/core/distributed_campaign.h"
 #include "src/core/parallel_scheduler.h"
 #include "src/core/sharded_campaign.h"
 #include "src/core/thread_pool_scheduler.h"
@@ -22,6 +23,13 @@ void RequireHonorable(const char* name, const ExecutorOptions& exec,
   }
   if (!faults_ok && !exec.faults.empty()) {
     throw Error(std::string(name) + " executor does not support fault injection");
+  }
+  // Fabric-only controls: every single-box backend refuses them (the
+  // distributed executor never calls this helper).
+  if (exec.agent_threads != 1 || !exec.net_faults.empty() ||
+      !exec.listen_address.empty()) {
+    throw Error(std::string(name) +
+                " executor does not support distributed-fabric options");
   }
 }
 
@@ -71,6 +79,7 @@ class StealingExecutor : public CampaignExecutor {
   CampaignReport Run(const ConfSchema& schema, const UnitTestRegistry& corpus,
                      CampaignOptions options,
                      const ExecutorOptions& exec) override {
+    RequireHonorable(name(), exec, /*journal_ok=*/true, /*faults_ok=*/true);
     ParallelCampaignOptions parallel;
     parallel.workers = exec.workers;
     parallel.faults = exec.faults;
@@ -92,6 +101,7 @@ class ThreadPoolExecutor : public CampaignExecutor {
   CampaignReport Run(const ConfSchema& schema, const UnitTestRegistry& corpus,
                      CampaignOptions options,
                      const ExecutorOptions& exec) override {
+    RequireHonorable(name(), exec, /*journal_ok=*/true, /*faults_ok=*/true);
     ThreadPoolCampaignOptions pool;
     pool.workers = exec.workers;
     pool.faults = exec.faults;
@@ -101,6 +111,31 @@ class ThreadPoolExecutor : public CampaignExecutor {
     pool.abort_after_folds = exec.abort_after_folds;
     pool.share_run_cache = exec.share_run_cache;
     return RunThreadPoolCampaign(schema, corpus, std::move(options), pool);
+  }
+};
+
+class DistributedExecutor : public CampaignExecutor {
+ public:
+  const char* name() const override { return "distributed"; }
+  bool supports_process_faults() const override { return true; }
+  bool supports_journal() const override { return true; }
+  bool supports_fault_injection() const override { return true; }
+
+  CampaignReport Run(const ConfSchema& schema, const UnitTestRegistry& corpus,
+                     CampaignOptions options,
+                     const ExecutorOptions& exec) override {
+    DistributedCampaignOptions fabric;
+    fabric.agents = exec.workers;
+    fabric.agent_threads = exec.agent_threads;
+    fabric.spawn_agents = exec.spawn_agents;
+    fabric.listen_address = exec.listen_address;
+    fabric.faults = exec.faults;
+    fabric.net_faults = exec.net_faults;
+    fabric.journal_path = exec.journal_path;
+    fabric.resume = exec.resume;
+    fabric.journal_sync_batch = exec.journal_sync_batch;
+    fabric.abort_after_folds = exec.abort_after_folds;
+    return RunDistributedCampaign(schema, corpus, std::move(options), fabric);
   }
 };
 
@@ -116,6 +151,8 @@ std::unique_ptr<CampaignExecutor> MakeExecutor(ExecutorKind kind) {
       return std::make_unique<StealingExecutor>();
     case ExecutorKind::kThreadPool:
       return std::make_unique<ThreadPoolExecutor>();
+    case ExecutorKind::kDistributed:
+      return std::make_unique<DistributedExecutor>();
   }
   throw Error("unknown executor kind");
 }
@@ -133,6 +170,9 @@ std::optional<ExecutorKind> ParseExecutorKind(const std::string& name) {
   if (name == "threadpool") {
     return ExecutorKind::kThreadPool;
   }
+  if (name == "distributed") {
+    return ExecutorKind::kDistributed;
+  }
   return std::nullopt;
 }
 
@@ -146,6 +186,8 @@ const char* ExecutorKindName(ExecutorKind kind) {
       return "stealing";
     case ExecutorKind::kThreadPool:
       return "threadpool";
+    case ExecutorKind::kDistributed:
+      return "distributed";
   }
   return "unknown";
 }

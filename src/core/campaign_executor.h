@@ -32,10 +32,11 @@
 namespace zebra {
 
 enum class ExecutorKind {
-  kSequential,  // Campaign::Run on the calling thread
-  kSharded,     // per-app forked shards (sharded_campaign.h)
-  kStealing,    // forked work-stealing pool (parallel_scheduler.h)
-  kThreadPool,  // in-process thread pool (thread_pool_scheduler.h)
+  kSequential,   // Campaign::Run on the calling thread
+  kSharded,      // per-app forked shards (sharded_campaign.h)
+  kStealing,     // forked work-stealing pool (parallel_scheduler.h)
+  kThreadPool,   // in-process thread pool (thread_pool_scheduler.h)
+  kDistributed,  // TCP coordinator/agent fabric (distributed_campaign.h)
 };
 
 // Backend-independent execution controls. Each backend honors the subset its
@@ -67,6 +68,17 @@ struct ExecutorOptions {
   // Thread pool only: one shared internally synchronized run cache across
   // workers instead of a cache per worker engine.
   bool share_run_cache = true;
+
+  // Distributed fabric only (distributed_campaign.h). `workers` is the agent
+  // count there; agent_threads is each agent's local thread pool. Every
+  // other backend rejects non-default values — a silently ignored fleet
+  // shape or fault plan would be worse than a refusal.
+  int agent_threads = 1;
+  NetFaultPlan net_faults;
+  // Fork local agent processes (single-box default). false = listen on
+  // listen_address and wait for remote `--connect` agents.
+  bool spawn_agents = true;
+  std::string listen_address;
 };
 
 class CampaignExecutor {
@@ -74,7 +86,8 @@ class CampaignExecutor {
   virtual ~CampaignExecutor() = default;
 
   // Stable lowercase identifier ("sequential", "sharded", "stealing",
-  // "threadpool") — what ParseExecutorKind accepts and benches/CLIs print.
+  // "threadpool", "distributed") — what ParseExecutorKind accepts and
+  // benches/CLIs print.
   virtual const char* name() const = 0;
 
   // True when workers are separate processes, so injected kCrash/kHang
@@ -98,11 +111,11 @@ class CampaignExecutor {
                              const ExecutorOptions& exec) = 0;
 };
 
-// Factory over the four backends.
+// Factory over the five backends.
 std::unique_ptr<CampaignExecutor> MakeExecutor(ExecutorKind kind);
 
-// Name -> kind ("sequential", "sharded", "stealing", "threadpool");
-// nullopt for anything else.
+// Name -> kind ("sequential", "sharded", "stealing", "threadpool",
+// "distributed"); nullopt for anything else.
 std::optional<ExecutorKind> ParseExecutorKind(const std::string& name);
 
 const char* ExecutorKindName(ExecutorKind kind);

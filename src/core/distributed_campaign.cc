@@ -1,0 +1,737 @@
+#include "src/core/distributed_campaign.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/core/campaign_agent.h"
+#include "src/core/campaign_journal.h"
+#include "src/core/fabric_wire.h"
+#include "src/core/report_io.h"
+#include "src/core/watchdog.h"
+#include "src/core/worker_ipc.h"
+
+namespace zebra {
+
+namespace {
+
+struct WorkUnit {
+  size_t app_index = 0;
+  const UnitTestDef* test = nullptr;
+};
+
+// One unit of in-flight ownership. The lease — not the connection, not the
+// agent — is what folding waits on; everything the requeue path needs to
+// redo the work travels with it.
+struct Lease {
+  int attempt = 0;
+  std::set<std::string> snapshot;  // globally-unsafe set the unit ran under
+  double dispatch_seconds = 0.0;
+  double deadline_seconds = 0.0;  // watchdog budget (0 = no deadline)
+};
+
+struct AgentConn {
+  int fd = -1;
+  pid_t pid = -1;  // spawned agents only; -1 for remote --connect agents
+  int index = -1;
+  int threads = 1;  // lease capacity, from the agent's kHello
+  double last_heartbeat = 0.0;
+  bool alive = false;
+  std::map<size_t, Lease> leases;
+};
+
+// RAII over the whole fleet: every exit path (including exceptions mid-
+// handshake) closes every fd and kills + reaps every spawned agent still
+// owned here. Graceful shutdown hands pids over (sets them -1) before this
+// runs, so the destructor is a no-op on the happy path.
+struct Fleet {
+  int listen_fd = -1;
+  std::vector<pid_t> spawned;  // not yet adopted into an AgentConn
+  std::vector<AgentConn> agents;
+
+  ~Fleet() {
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+    }
+    std::vector<pid_t> pending;
+    for (AgentConn& agent : agents) {
+      if (agent.fd >= 0) {
+        ::close(agent.fd);
+      }
+      if (agent.pid > 0) {
+        ::kill(agent.pid, SIGKILL);
+        pending.push_back(agent.pid);
+      }
+    }
+    for (pid_t pid : spawned) {
+      if (pid > 0) {
+        ::kill(pid, SIGKILL);
+        pending.push_back(pid);
+      }
+    }
+    ReapAll(pending);  // best effort; exit status no longer matters here
+  }
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t ParseStatLine(const std::string& line, const char* key) {
+  std::string prefix = std::string(key) + "=";
+  if (line.rfind(prefix, 0) != 0) {
+    return -1;
+  }
+  int64_t value = 0;
+  return ParseInt64(line.substr(prefix.size()), &value) ? value : -1;
+}
+
+}  // namespace
+
+CampaignReport RunDistributedCampaign(
+    const ConfSchema& schema, const UnitTestRegistry& corpus,
+    CampaignOptions options, const DistributedCampaignOptions& fabric) {
+  if (fabric.agents < 1 || fabric.agent_threads < 1) {
+    throw Error("distributed campaign requires agents >= 1 and threads >= 1");
+  }
+  auto start = std::chrono::steady_clock::now();
+
+  // Coordinator-side engine: canonical app order and enumeration-stage
+  // counts only; no unit executes in this process.
+  Campaign engine(schema, corpus, std::move(options));
+  const std::vector<std::string>& apps = engine.options().apps;
+  const CampaignOptions& resolved = engine.options();
+  const std::string schema_hash =
+      HashToHex(HashFnv64(CampaignJournal::Fingerprint(resolved, corpus)));
+
+  std::vector<WorkUnit> units;
+  std::vector<int> units_per_app(apps.size(), 0);
+  for (size_t app_index = 0; app_index < apps.size(); ++app_index) {
+    for (const UnitTestDef* test : corpus.ForApp(apps[app_index])) {
+      units.push_back(WorkUnit{app_index, test});
+      ++units_per_app[app_index];
+    }
+  }
+
+  CampaignFolder folder(schema, resolved);
+  size_t apps_begun = 0;
+  auto begin_apps_through = [&](size_t app_index_exclusive) {
+    while (apps_begun < app_index_exclusive) {
+      const std::string& app = apps[apps_begun];
+      folder.BeginApp(app, engine.generator().OriginalInstanceCount(app),
+                      engine.generator().StaticPrunedInstanceCount(app),
+                      units_per_app[apps_begun]);
+      ++apps_begun;
+    }
+  };
+
+  size_t cursor = 0;
+  int64_t hung_workers = 0;
+  int64_t requeued_units = 0;
+  int64_t resumed_units = 0;
+  int64_t agent_disconnects = 0;
+  int64_t expired_leases = 0;
+  int64_t duplicate_results = 0;
+
+  // Journal replay before the fleet exists, so the remaining dispatch is
+  // exactly the uninterrupted campaign's suffix (same shape as the
+  // single-box schedulers; replay and live results share one fold).
+  std::unique_ptr<CampaignJournal> journal;
+  if (!fabric.journal_path.empty()) {
+    journal = std::make_unique<CampaignJournal>(
+        fabric.journal_path, CampaignJournal::Fingerprint(resolved, corpus),
+        fabric.resume, CampaignJournal::SyncPolicy{fabric.journal_sync_batch});
+    for (const auto& [index, unit] : journal->recovered()) {
+      if (index != cursor || cursor >= units.size()) {
+        ZLOG_WARN << "campaign journal: record out of canonical order; "
+                     "ignoring the rest of the recovered prefix";
+        break;
+      }
+      begin_apps_through(units[cursor].app_index + 1);
+      folder.Fold(unit);
+      ++cursor;
+      ++resumed_units;
+    }
+    if (resumed_units > 0) {
+      ZLOG_INFO << "campaign journal: resumed " << resumed_units << " of "
+                << units.size() << " units from " << fabric.journal_path;
+    }
+  }
+
+  size_t remaining = units.size() - cursor;
+  bool stopped = false;  // abort_after_folds hook or cancel_flag
+  std::set<size_t> poisoned;
+
+  // Per-agent cache stats summed from kStats farewells (shared-cache mode
+  // skips per-unit deltas, exactly like the thread-pool scheduler).
+  int64_t cache_hits = 0, cache_misses = 0, equiv_hits = 0;
+  int64_t canonicalized_plans = 0, mispredictions = 0, cache_evictions = 0;
+  int64_t cache_load_failures = 0;
+
+  ScopedIgnoreSigPipe sigpipe_guard;
+  Fleet fleet;
+
+  if (remaining > 0) {
+    int agent_count =
+        std::min<int>(fabric.agents, static_cast<int>(remaining));
+
+    std::string listen_host = "127.0.0.1";
+    uint16_t listen_port = 0;
+    if (!fabric.listen_address.empty() &&
+        !ParseHostPort(fabric.listen_address, &listen_host, &listen_port)) {
+      throw Error("distributed campaign: malformed --listen address '" +
+                  fabric.listen_address + "'");
+    }
+    uint16_t bound_port = 0;
+    fleet.listen_fd = ListenTcp(listen_host, listen_port, &bound_port);
+    if (fleet.listen_fd < 0) {
+      throw Error("distributed campaign: cannot listen on " + listen_host +
+                  ":" + Int64ToString(listen_port));
+    }
+
+    if (fabric.spawn_agents) {
+      // Fork before any coordinator thread or poll state exists; each child
+      // becomes a full agent process and never returns here.
+      fleet.spawned.assign(static_cast<size_t>(agent_count), -1);
+      for (int i = 0; i < agent_count; ++i) {
+        pid_t pid = ::fork();
+        if (pid < 0) {
+          throw Error("distributed campaign: fork() failed");
+        }
+        if (pid == 0) {
+          ::close(fleet.listen_fd);
+          fleet.listen_fd = -1;
+          fleet.spawned.clear();  // the child owns no siblings
+          CampaignAgentOptions agent_options;
+          agent_options.host = "127.0.0.1";
+          agent_options.port = bound_port;
+          agent_options.agent_index = i;
+          agent_options.threads = fabric.agent_threads;
+          agent_options.faults = fabric.faults;
+          agent_options.net_faults = fabric.net_faults;
+          std::_Exit(
+              RunCampaignAgent(schema, corpus, resolved, agent_options));
+        }
+        fleet.spawned[static_cast<size_t>(i)] = pid;
+      }
+    }
+
+    // ---- Handshake: assemble the fleet --------------------------------------
+    double handshake_deadline = NowSeconds() + fabric.handshake_timeout_seconds;
+    std::set<int> seen_indices;
+    while (static_cast<int>(fleet.agents.size()) < agent_count) {
+      double left = handshake_deadline - NowSeconds();
+      if (left <= 0) {
+        throw Error("distributed campaign: only " +
+                    Int64ToString(static_cast<int64_t>(fleet.agents.size())) +
+                    " of " + Int64ToString(agent_count) +
+                    " agents completed the handshake in time");
+      }
+      struct pollfd listen_poll = {fleet.listen_fd, POLLIN, 0};
+      int ready;
+      do {
+        ready = ::poll(&listen_poll, 1,
+                       static_cast<int>(std::ceil(left * 1000.0)));
+      } while (ready < 0 && errno == EINTR);
+      if (ready <= 0) {
+        continue;  // loop re-checks the deadline
+      }
+      int fd = AcceptTcp(fleet.listen_fd);
+      if (fd < 0) {
+        continue;
+      }
+      // One frame of patience for the hello; a connector that stalls or
+      // garbles it is dropped, not waited on.
+      struct pollfd hello_poll = {fd, POLLIN, 0};
+      do {
+        ready = ::poll(&hello_poll, 1, 5000);
+      } while (ready < 0 && errno == EINTR);
+      FabricMsg type;
+      std::string payload;
+      if (ready <= 0 ||
+          ReadFabricFrame(fd, &type, &payload) != FabricRead::kOk ||
+          type != FabricMsg::kHello) {
+        ::close(fd);
+        continue;
+      }
+      std::vector<std::string> hello = StrSplit(payload, '\n');
+      int64_t threads = 0;
+      int64_t index = -1;
+      if (hello.size() < 3 || !ParseInt64(hello[1], &threads) ||
+          !ParseInt64(hello[2], &index) || threads < 1 || index < 0) {
+        WriteFabricFrame(fd, FabricMsg::kReject, "malformed hello");
+        ::close(fd);
+        continue;
+      }
+      if (hello[0] != schema_hash) {
+        // An agent over a different corpus/options would return results that
+        // parse but corrupt the fold — refuse at the door.
+        ZLOG_WARN << "distributed campaign: agent " << index
+                  << " schema hash mismatch; rejecting";
+        WriteFabricFrame(fd, FabricMsg::kReject, "schema hash mismatch");
+        ::close(fd);
+        continue;
+      }
+      if (!seen_indices.insert(static_cast<int>(index)).second) {
+        WriteFabricFrame(fd, FabricMsg::kReject, "duplicate agent index");
+        ::close(fd);
+        continue;
+      }
+      if (!WriteFabricFrame(fd, FabricMsg::kWelcome,
+                            Int64ToString(index) + "\n" +
+                                DoubleToString(
+                                    fabric.heartbeat_interval_seconds))) {
+        ::close(fd);
+        continue;
+      }
+      AgentConn conn;
+      conn.fd = fd;
+      conn.index = static_cast<int>(index);
+      conn.threads = static_cast<int>(threads);
+      conn.last_heartbeat = NowSeconds();
+      conn.alive = true;
+      if (fabric.spawn_agents && index >= 0 &&
+          static_cast<size_t>(index) < fleet.spawned.size()) {
+        conn.pid = fleet.spawned[static_cast<size_t>(index)];
+        fleet.spawned[static_cast<size_t>(index)] = -1;  // adopted
+      }
+      fleet.agents.push_back(conn);
+    }
+    ZLOG_INFO << "distributed campaign: fleet assembled — " << agent_count
+              << " agents x " << fabric.agent_threads << " threads on port "
+              << bound_port;
+
+    // ---- Dispatch / fold loop -----------------------------------------------
+
+    std::deque<size_t> queue;
+    for (size_t i = cursor; i < units.size(); ++i) {
+      queue.push_back(i);
+    }
+
+    struct BufferedResult {
+      UnitWorkResult unit;
+      std::set<std::string> snapshot;
+    };
+    std::map<size_t, BufferedResult> buffered;
+    std::vector<int> attempts(units.size(), 0);
+    std::vector<double> not_before(units.size(), 0.0);
+    std::vector<double> completion_seconds;
+    int live_folds = 0;
+
+    auto alive_agents = [&]() {
+      int alive = 0;
+      for (const AgentConn& agent : fleet.agents) {
+        alive += agent.alive ? 1 : 0;
+      }
+      return alive;
+    };
+
+    // Requeue one expired lease through the PR 4 policy: bump the attempt,
+    // quarantine past the limit, otherwise back off and head-queue.
+    auto requeue_lease = [&](size_t unit_index) {
+      ++expired_leases;
+      ++attempts[unit_index];
+      if (attempts[unit_index] >= resolved.unit_attempt_limit) {
+        ZLOG_WARN << "distributed campaign: unit "
+                  << units[unit_index].test->id << " failed "
+                  << attempts[unit_index]
+                  << " attempts; quarantining as poisoned";
+        poisoned.insert(unit_index);
+        return;
+      }
+      double backoff = std::min(resolved.requeue_backoff_cap_seconds,
+                                resolved.requeue_backoff_seconds *
+                                    std::pow(2.0, attempts[unit_index] - 1));
+      not_before[unit_index] = NowSeconds() + std::max(0.0, backoff);
+      queue.push_front(unit_index);
+      ++requeued_units;
+    };
+
+    // Retiring an agent is all-or-nothing: every lease it held expires, the
+    // connection closes, and a spawned process is SIGKILLed (it may be
+    // merely silent, not dead — a kill on an already-dead pid is free) and
+    // reaped so nothing zombies.
+    auto retire_agent = [&](AgentConn& agent, const char* reason) {
+      ++agent_disconnects;
+      std::vector<size_t> held;
+      for (const auto& [unit_index, lease] : agent.leases) {
+        held.push_back(unit_index);
+      }
+      agent.leases.clear();
+      // Descending push_front keeps the expired wave in canonical order at
+      // the head of the queue (the fold waits on the smallest index).
+      std::sort(held.rbegin(), held.rend());
+      for (size_t unit_index : held) {
+        requeue_lease(unit_index);
+      }
+      if (agent.fd >= 0) {
+        ::close(agent.fd);
+        agent.fd = -1;
+      }
+      if (agent.pid > 0) {
+        ::kill(agent.pid, SIGKILL);
+        ReapAll({agent.pid});
+        agent.pid = -1;
+      }
+      agent.alive = false;
+      ZLOG_INFO << "distributed campaign: agent " << agent.index << " "
+                << reason << ", " << alive_agents() << " remaining";
+    };
+
+    auto is_stale = [&](const BufferedResult& result) {
+      for (const std::string& param : result.unit.params_tested) {
+        if (folder.globally_unsafe().count(param) > 0 &&
+            result.snapshot.count(param) == 0) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // Identical fold/staleness logic to the single-box dynamic schedulers:
+    // fold everything the canonical order allows (poisoned units as empty
+    // stubs, journaled at fold time), then eagerly requeue every stale
+    // buffered result (staleness is monotone — see parallel_scheduler.cc
+    // for the full argument).
+    auto advance_fold = [&]() {
+      while (cursor < units.size()) {
+        if (poisoned.count(cursor) > 0) {
+          begin_apps_through(units[cursor].app_index + 1);
+          UnitWorkResult stub;
+          stub.app = apps[units[cursor].app_index];
+          stub.test_id = units[cursor].test->id;
+          folder.Fold(stub);
+          if (journal) {
+            journal->Append(cursor, stub);
+          }
+          ++cursor;
+          continue;
+        }
+        auto it = buffered.find(cursor);
+        if (it == buffered.end() || is_stale(it->second)) {
+          break;
+        }
+        begin_apps_through(units[cursor].app_index + 1);
+        folder.Fold(it->second.unit);
+        if (journal) {
+          journal->Append(cursor, it->second.unit);
+        }
+        buffered.erase(it);
+        ++cursor;
+        ++live_folds;
+        if (fabric.abort_after_folds > 0 &&
+            live_folds >= fabric.abort_after_folds) {
+          stopped = true;  // simulated coordinator crash (test hook)
+          return;
+        }
+      }
+      std::vector<size_t> stale_units;
+      for (const auto& [index, result] : buffered) {
+        if (is_stale(result)) {
+          stale_units.push_back(index);
+        }
+      }
+      for (auto it = stale_units.rbegin(); it != stale_units.rend(); ++it) {
+        ZLOG_INFO << "distributed campaign: re-running unit "
+                  << buffered.at(*it).unit.test_id
+                  << " (stale globally-unsafe snapshot)";
+        buffered.erase(*it);
+        queue.push_front(*it);
+      }
+    };
+
+    while (cursor < units.size() && !stopped) {
+      if (resolved.cancel_flag != nullptr && *resolved.cancel_flag != 0) {
+        ZLOG_WARN << "distributed campaign: cancellation requested; stopping "
+                     "after "
+                  << cursor << " of " << units.size() << " units";
+        stopped = true;
+        break;
+      }
+      if (alive_agents() == 0) {
+        throw Error("distributed campaign: all agents died");
+      }
+
+      // Dispatch: fill every agent up to its lease capacity with the first
+      // dispatchable units (queue order preserved, backoff-held units
+      // skipped). Each dispatch carries the freshest globally-unsafe
+      // snapshot — a subset of the exact sequential set for any unit still
+      // queued, the invariant the staleness rule leans on.
+      for (AgentConn& agent : fleet.agents) {
+        while (agent.alive &&
+               static_cast<int>(agent.leases.size()) < agent.threads &&
+               !queue.empty()) {
+          double t = NowSeconds();
+          auto next = queue.begin();
+          while (next != queue.end() && not_before[*next] > t) {
+            ++next;
+          }
+          if (next == queue.end()) {
+            break;  // every queued unit is backing off
+          }
+          size_t unit_index = *next;
+          queue.erase(next);
+          const std::set<std::string>& unsafe = folder.globally_unsafe();
+          std::string request =
+              Int64ToString(static_cast<int64_t>(unit_index)) + " " +
+              Int64ToString(attempts[unit_index]) + "\n" +
+              StrJoin(std::vector<std::string>(unsafe.begin(), unsafe.end()),
+                      ",");
+          Lease lease;
+          lease.attempt = attempts[unit_index];
+          lease.snapshot = unsafe;
+          lease.dispatch_seconds = t;
+          lease.deadline_seconds = WatchdogDeadlineSeconds(
+              resolved.watchdog_floor_seconds, resolved.watchdog_multiplier,
+              completion_seconds);
+          if (!WriteFabricFrame(agent.fd, FabricMsg::kDispatch, request)) {
+            // The lease never took effect; requeue the unit through the
+            // failure path via a one-entry lease map.
+            agent.leases[unit_index] = lease;
+            retire_agent(agent, "died at dispatch");
+            break;
+          }
+          agent.leases[unit_index] = lease;
+        }
+      }
+      if (alive_agents() == 0) {
+        continue;  // top of loop throws with the precise error
+      }
+
+      // Bounded poll keeps the cancel flag, watchdog, and heartbeat checks
+      // responsive even when no frame arrives.
+      std::vector<struct pollfd> poll_fds;
+      std::vector<size_t> poll_agents;
+      for (size_t i = 0; i < fleet.agents.size(); ++i) {
+        if (fleet.agents[i].alive) {
+          poll_fds.push_back({fleet.agents[i].fd, POLLIN, 0});
+          poll_agents.push_back(i);
+        }
+      }
+      int ready;
+      do {
+        ready = ::poll(poll_fds.data(), poll_fds.size(), 100);
+      } while (ready < 0 && errno == EINTR);
+      if (ready < 0) {
+        throw Error("distributed campaign: poll() failed");
+      }
+
+      for (size_t i = 0; i < poll_fds.size(); ++i) {
+        if (poll_fds[i].revents == 0) {
+          continue;
+        }
+        AgentConn& agent = fleet.agents[poll_agents[i]];
+        if (!agent.alive) {
+          continue;  // retired earlier in this very pass
+        }
+        FabricMsg type;
+        std::string payload;
+        FabricRead status = ReadFabricFrame(agent.fd, &type, &payload);
+        if (status == FabricRead::kEof) {
+          retire_agent(agent, "disconnected");
+          continue;
+        }
+        if (status != FabricRead::kOk) {
+          retire_agent(agent, "sent a garbled frame");
+          continue;
+        }
+        if (type == FabricMsg::kHeartbeat) {
+          agent.last_heartbeat = NowSeconds();
+          continue;
+        }
+        if (type != FabricMsg::kResult) {
+          continue;  // stats before shutdown etc. — ignore
+        }
+        size_t newline = payload.find('\n');
+        std::vector<std::string> head =
+            StrSplit(payload.substr(0, newline), ' ');
+        int64_t unit_index = -1;
+        int64_t attempt = -1;
+        if (head.size() < 2 || !ParseInt64(head[0], &unit_index) ||
+            !ParseInt64(head[1], &attempt) || newline == std::string::npos) {
+          retire_agent(agent, "sent a malformed result");
+          continue;
+        }
+        auto lease_it = agent.leases.find(static_cast<size_t>(unit_index));
+        if (lease_it == agent.leases.end() ||
+            lease_it->second.attempt != static_cast<int>(attempt)) {
+          // No live lease behind this completion: the stale duplicate a
+          // re-sent or reassigned unit produces. Folding is driven only by
+          // live leases, so dropping it here is what makes completion
+          // idempotent.
+          ++duplicate_results;
+          continue;
+        }
+        size_t parsed_index = 0;
+        UnitWorkResult unit;
+        if (!ParseUnitResult(payload.substr(newline + 1), &parsed_index,
+                             &unit) ||
+            parsed_index != static_cast<size_t>(unit_index)) {
+          retire_agent(agent, "sent an unparseable result");
+          continue;
+        }
+        completion_seconds.push_back(NowSeconds() -
+                                     lease_it->second.dispatch_seconds);
+        buffered[parsed_index] =
+            BufferedResult{std::move(unit), lease_it->second.snapshot};
+        agent.leases.erase(lease_it);
+      }
+
+      // Watchdog: any lease past its deadline means a unit is stuck on a
+      // live, heartbeating host (an in-agent hang blocks one worker thread,
+      // not the heartbeat thread) — the whole agent is retired, as the
+      // forked scheduler SIGKILLs a hung worker.
+      double now = NowSeconds();
+      for (AgentConn& agent : fleet.agents) {
+        if (!agent.alive) {
+          continue;
+        }
+        bool hung = false;
+        for (const auto& [unit_index, lease] : agent.leases) {
+          if (lease.deadline_seconds > 0 &&
+              now - lease.dispatch_seconds >= lease.deadline_seconds) {
+            ZLOG_WARN << "distributed campaign: watchdog — agent "
+                      << agent.index << " exceeded "
+                      << DoubleToString(lease.deadline_seconds)
+                      << "s deadline on unit " << units[unit_index].test->id;
+            hung = true;
+            break;
+          }
+        }
+        if (hung) {
+          ++hung_workers;
+          retire_agent(agent, "hung (watchdog)");
+          continue;
+        }
+        if (fabric.heartbeat_timeout_seconds > 0 &&
+            now - agent.last_heartbeat > fabric.heartbeat_timeout_seconds) {
+          retire_agent(agent, "went silent (heartbeat timeout)");
+        }
+      }
+
+      advance_fold();
+    }
+
+    // ---- Graceful shutdown --------------------------------------------------
+    for (AgentConn& agent : fleet.agents) {
+      if (agent.alive) {
+        WriteFabricFrame(agent.fd, FabricMsg::kShutdown, std::string());
+      }
+    }
+    // Drain each surviving agent to its kStats farewell (skipping any
+    // results its workers finished after the stop) and reap it cleanly.
+    for (AgentConn& agent : fleet.agents) {
+      if (!agent.alive) {
+        continue;
+      }
+      bool got_farewell = false;
+      double drain_deadline = NowSeconds() + 10.0;
+      while (NowSeconds() < drain_deadline) {
+        struct pollfd pfd = {agent.fd, POLLIN, 0};
+        int ready;
+        do {
+          ready = ::poll(&pfd, 1, 200);
+        } while (ready < 0 && errno == EINTR);
+        if (ready <= 0) {
+          continue;
+        }
+        FabricMsg type;
+        std::string payload;
+        if (ReadFabricFrame(agent.fd, &type, &payload) != FabricRead::kOk) {
+          break;
+        }
+        if (type != FabricMsg::kStats) {
+          continue;
+        }
+        for (const std::string& line : StrSplit(payload, '\n')) {
+          int64_t value;
+          if ((value = ParseStatLine(line, "cache_hits")) >= 0) {
+            cache_hits += value;
+          } else if ((value = ParseStatLine(line, "cache_misses")) >= 0) {
+            cache_misses += value;
+          } else if ((value = ParseStatLine(line, "equiv_hits")) >= 0) {
+            equiv_hits += value;
+          } else if ((value = ParseStatLine(line, "canonicalized_plans")) >=
+                     0) {
+            canonicalized_plans += value;
+          } else if ((value = ParseStatLine(line, "mispredictions")) >= 0) {
+            mispredictions += value;
+          } else if ((value = ParseStatLine(line, "cache_evictions")) >= 0) {
+            cache_evictions += value;
+          } else if ((value = ParseStatLine(line, "cache_load_failures")) >=
+                     0) {
+            cache_load_failures += value;
+          }
+        }
+        got_farewell = true;
+        break;
+      }
+      ::close(agent.fd);
+      agent.fd = -1;
+      if (agent.pid > 0) {
+        if (!got_farewell) {
+          // The agent never said goodbye (a wedged worker thread blocks its
+          // clean exit); reaping an immortal child would block forever.
+          ::kill(agent.pid, SIGKILL);
+        }
+        ReapAll({agent.pid});
+        agent.pid = -1;
+      }
+      agent.alive = false;
+    }
+  }
+
+  if (!stopped) {
+    // Apps with zero units (or nothing at all to run) still appear in the
+    // report with their enumeration-stage counts, as in the sequential run.
+    begin_apps_through(apps.size());
+  }
+
+  folder.report().hung_workers = hung_workers;
+  folder.report().requeued_units = requeued_units;
+  folder.report().resumed_units = resumed_units;
+  folder.report().agent_disconnects = agent_disconnects;
+  folder.report().expired_leases = expired_leases;
+  folder.report().duplicate_results = duplicate_results;
+  if (journal) {
+    journal->Flush();
+    folder.report().journal_append_failures = journal->append_failures();
+  }
+  for (size_t unit_index : poisoned) {
+    folder.report().poisoned_units.push_back(units[unit_index].test->id);
+  }
+  if (resolved.enable_run_cache) {
+    // Shared-cache mode skips per-unit deltas, so the folded counters are
+    // zero; fill totals from the agents' farewells. Agents that died before
+    // shutdown never reported — accounting, not a determinism surface.
+    folder.report().cache_hits = cache_hits;
+    folder.report().cache_misses = cache_misses;
+    folder.report().equiv_hits = equiv_hits;
+    folder.report().canonicalized_plans = canonicalized_plans;
+    folder.report().mispredictions = mispredictions;
+    folder.report().cache_evictions = cache_evictions;
+    folder.report().cache_load_failures = cache_load_failures;
+  }
+  folder.report().wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return folder.Finish();
+}
+
+}  // namespace zebra

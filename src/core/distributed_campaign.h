@@ -1,0 +1,103 @@
+// Distributed campaign coordinator: the fabric's folding, leasing, healing
+// brain (docs/ROBUSTNESS.md, fabric section).
+//
+// Topology. One coordinator owns the canonical fold; A agents
+// (campaign_agent.h), each running K worker threads, own the execution.
+// Single-box operation forks the agents locally (spawn_agents, the
+// full_campaign --engine=distributed default); real hosts run
+// `full_campaign --connect` against a coordinator started with --listen.
+// Either way the transport is the same checksummed, versioned TCP framing
+// (fabric_wire.h), so every robustness path below is exercised identically
+// in tests and production.
+//
+// Leases. A dispatched unit is a *lease*: (unit, attempt, snapshot,
+// dispatch time, watchdog deadline) owned by one agent. An agent holds at
+// most `threads` leases. A lease ends exactly one of three ways:
+//   * kResult with the matching (unit, attempt): the result is buffered for
+//     canonical folding (speculative-snapshot staleness rules unchanged
+//     from the single-box schedulers).
+//   * Its agent is retired — EOF, garbled frame, write failure, heartbeat
+//     silence past heartbeat_timeout_seconds, or any lease past its
+//     watchdog deadline (a hung unit on a live, heartbeating host). Every
+//     lease the agent held expires (++expired_leases) and re-enters the
+//     queue through the PR 4 attempt/backoff/quarantine policy.
+//   * A kResult that matches no live lease — the duplicate a reassigned or
+//     re-sent unit can produce — is dropped idempotently
+//     (++duplicate_results). Folding is driven only by live leases, so a
+//     unit can never fold twice no matter how the network replays.
+// Agent retirement is all-or-nothing (a host is healthy or it is not);
+// per-lease surgical recovery on a half-broken connection is exactly the
+// "partially trusted peer" state the wire protocol refuses to have.
+//
+// Determinism. The fold is the same CampaignFolder in the same canonical
+// order with the same staleness rule as every other backend, and journal/
+// resume appends at fold time exactly as the single-box schedulers do — so
+// findings, Table-5 stats, and runs_to_first_detection are bitwise-identical
+// to `Campaign(...).Run()` at every fleet shape, under every injected
+// network fault, and across a coordinator restart (CI-gated).
+
+#ifndef SRC_CORE_DISTRIBUTED_CAMPAIGN_H_
+#define SRC_CORE_DISTRIBUTED_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/campaign.h"
+#include "src/core/fault_injection.h"
+
+namespace zebra {
+
+struct DistributedCampaignOptions {
+  // Fleet shape: agents x agent_threads concurrent units.
+  int agents = 1;
+  int agent_threads = 1;
+
+  // Fork local agent processes (single-box mode). When false the coordinator
+  // only listens and waits for `agents` remote `full_campaign --connect`
+  // processes to arrive within handshake_timeout_seconds.
+  bool spawn_agents = true;
+
+  // Endpoint to listen on, "host:port" ("" = loopback on an ephemeral port,
+  // right for spawn mode; ":9009" = INADDR_ANY for real hosts).
+  std::string listen_address;
+
+  // Handshake patience: how long to wait for the full fleet to connect and
+  // agree on protocol/schema before giving up.
+  double handshake_timeout_seconds = 30.0;
+
+  // Liveness cadence: agents heartbeat every interval (told to them in the
+  // kWelcome); an agent silent past the timeout is retired and its leases
+  // requeued. The timeout must comfortably exceed the interval — results do
+  // not substitute for heartbeats, so a slow unit never trips this.
+  double heartbeat_interval_seconds = 0.2;
+  double heartbeat_timeout_seconds = 5.0;
+
+  // Deterministic fault planes, forwarded to every spawned agent (connect-
+  // mode agents carry their own via CLI). The FaultPlan's worker coordinate
+  // is the agent index.
+  FaultPlan faults;
+  NetFaultPlan net_faults;
+
+  // Crash-safe journal + resume, same contract as the single-box dynamic
+  // schedulers: append at fold time, replay the valid prefix on resume.
+  std::string journal_path;
+  bool resume = false;
+  int journal_sync_batch = 1;
+
+  // Test hook simulating a coordinator crash: stop dispatching and return
+  // after this many *live* folds (journal replay does not count).
+  int abort_after_folds = 0;
+};
+
+// Runs the campaign over the fabric. Throws Error when the fleet cannot be
+// assembled (listen/handshake failure) or when every agent has died with
+// undone work remaining. Findings, stage counts, and runs_to_first_detection
+// are bitwise-identical to Campaign(...).Run() for every fleet shape.
+CampaignReport RunDistributedCampaign(const ConfSchema& schema,
+                                      const UnitTestRegistry& corpus,
+                                      CampaignOptions options,
+                                      const DistributedCampaignOptions& fabric);
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_DISTRIBUTED_CAMPAIGN_H_

@@ -1,0 +1,220 @@
+#include "src/core/fabric_wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/strings.h"
+#include "src/core/worker_ipc.h"
+
+namespace zebra {
+
+namespace {
+
+constexpr char kMagic[4] = {'Z', 'F', 'A', 'B'};
+constexpr size_t kHeaderSize = 28;
+
+void PutU32(char* out, uint32_t value) {
+  out[0] = static_cast<char>(value & 0xff);
+  out[1] = static_cast<char>((value >> 8) & 0xff);
+  out[2] = static_cast<char>((value >> 16) & 0xff);
+  out[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+void PutU64(char* out, uint64_t value) {
+  PutU32(out, static_cast<uint32_t>(value & 0xffffffffull));
+  PutU32(out + 4, static_cast<uint32_t>(value >> 32));
+}
+
+uint32_t GetU32(const char* in) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24;
+}
+
+uint64_t GetU64(const char* in) {
+  return static_cast<uint64_t>(GetU32(in)) |
+         static_cast<uint64_t>(GetU32(in + 4)) << 32;
+}
+
+// ReadExact that distinguishes the three outcomes the frame reader needs:
+// 1 = got every byte, 0 = clean EOF before the first byte, -1 = read error
+// or EOF mid-buffer (a torn frame).
+int ReadExactOrEof(int fd, char* out, size_t size) {
+  size_t read_total = 0;
+  while (read_total < size) {
+    ssize_t n = ::read(fd, out + read_total, size - read_total);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return -1;
+    }
+    if (n == 0) {
+      return read_total == 0 ? 0 : -1;
+    }
+    read_total += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+double MonotonicSeconds() {
+  struct timespec now;
+  ::clock_gettime(CLOCK_MONOTONIC, &now);
+  return static_cast<double>(now.tv_sec) +
+         static_cast<double>(now.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+bool WriteFabricFrame(int fd, FabricMsg type, const std::string& payload) {
+  char header[kHeaderSize];
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  PutU32(header + 4, kFabricProtocolVersion);
+  PutU32(header + 8, static_cast<uint32_t>(type));
+  PutU64(header + 12, payload.size());
+  PutU64(header + 20, HashFnv64(payload));
+  // Header and payload in one buffer per write() when small enough would be
+  // marginally fewer syscalls, but two WriteAll calls keep the zero-length
+  // payload path trivial and reuse the EINTR/EPIPE handling verbatim.
+  return WriteAll(fd, header, kHeaderSize) &&
+         WriteAll(fd, payload.data(), payload.size());
+}
+
+FabricRead ReadFabricFrame(int fd, FabricMsg* type, std::string* payload) {
+  char header[kHeaderSize];
+  int got = ReadExactOrEof(fd, header, kHeaderSize);
+  if (got == 0) {
+    return FabricRead::kEof;
+  }
+  if (got < 0) {
+    // EOF mid-header is indistinguishable from corruption at the framing
+    // layer; both retire the connection. A true read(2) error keeps errno.
+    return errno != 0 && errno != ECONNRESET ? FabricRead::kError
+                                             : FabricRead::kGarbled;
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0 ||
+      GetU32(header + 4) != kFabricProtocolVersion) {
+    return FabricRead::kGarbled;
+  }
+  uint64_t size = GetU64(header + 12);
+  if (size > kFabricMaxPayload) {
+    return FabricRead::kGarbled;
+  }
+  uint64_t checksum = GetU64(header + 20);
+  payload->assign(static_cast<size_t>(size), '\0');
+  if (size > 0 && ReadExactOrEof(fd, payload->data(), payload->size()) != 1) {
+    return FabricRead::kGarbled;
+  }
+  if (HashFnv64(*payload) != checksum) {
+    return FabricRead::kGarbled;
+  }
+  *type = static_cast<FabricMsg>(GetU32(header + 8));
+  return FabricRead::kOk;
+}
+
+int ListenTcp(const std::string& host, uint16_t port, uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+int AcceptTcp(int listen_fd) {
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd >= 0) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+int ConnectTcp(const std::string& host, uint16_t port, double timeout_seconds) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string& target = host.empty() ? std::string("127.0.0.1") : host;
+  if (::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
+    return -1;
+  }
+  double deadline = MonotonicSeconds() + timeout_seconds;
+  for (;;) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return -1;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    ::close(fd);
+    if (MonotonicSeconds() >= deadline) {
+      return -1;
+    }
+    // The coordinator may still be between bind and accept (or, in
+    // --connect mode, not started yet): retry on a short tick.
+    struct timespec delay = {0, 20 * 1000 * 1000};  // 20ms
+    ::nanosleep(&delay, nullptr);
+  }
+}
+
+bool ParseHostPort(const std::string& address, std::string* host,
+                   uint16_t* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return false;
+  }
+  int64_t value = 0;
+  if (!ParseInt64(address.substr(colon + 1), &value) || value < 1 ||
+      value > 65535) {
+    return false;
+  }
+  *host = address.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+}  // namespace zebra

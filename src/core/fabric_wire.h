@@ -1,0 +1,96 @@
+// Fabric wire protocol: the framed TCP transport between the distributed
+// campaign coordinator (distributed_campaign.h) and its per-host agents
+// (campaign_agent.h).
+//
+// This generalizes the worker_ipc pipe framing for a transport that can
+// garble as well as die. A pipe between a parent and its forked child either
+// delivers bytes in order or EOFs; a TCP connection across a fleet can
+// additionally deliver corrupted application state after a half-close, a
+// proxy hiccup, or a buggy peer — and an agent that reconnects mid-stream
+// must never be able to splice half a frame into the next one. So every
+// frame carries a fixed binary header:
+//
+//   bytes  0-3   magic "ZFAB"
+//   bytes  4-7   protocol version (u32 LE)        kFabricProtocolVersion
+//   bytes  8-11  message type     (u32 LE)        FabricMsg
+//   bytes 12-19  payload size     (u64 LE)
+//   bytes 20-27  payload checksum (u64 LE)        FNV-1a of the payload bytes
+//
+// ReadFabricFrame distinguishes a *clean* EOF on a frame boundary (peer shut
+// down, FabricRead::kEof) from everything the coordinator must treat as a
+// broken peer: bad magic, unknown version, an absurd size, a checksum
+// mismatch, or bytes ending mid-frame (kGarbled), and a plain read error
+// (kError). The callers retire the connection on anything but kOk — a frame
+// is either bitwise intact or the peer is dead; there is no "partially
+// trusted" state (docs/ROBUSTNESS.md, failure matrix).
+//
+// Writers must run under ScopedIgnoreSigPipe (worker_ipc.h): a send on a
+// connection whose peer died surfaces as a WriteFabricFrame return-value
+// failure the caller can requeue on, never as process death.
+
+#ifndef SRC_CORE_FABRIC_WIRE_H_
+#define SRC_CORE_FABRIC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace zebra {
+
+inline constexpr uint32_t kFabricProtocolVersion = 1;
+
+// Largest payload a well-formed peer ever sends (a serialized UnitWorkResult
+// is a few KB; the globally-unsafe set a few hundred bytes). A size field
+// beyond this is a garbled header, not a giant frame — without the cap a
+// single corrupt length byte would ask the reader to allocate gigabytes.
+inline constexpr uint64_t kFabricMaxPayload = 64ull * 1024 * 1024;
+
+enum class FabricMsg : uint32_t {
+  kHello = 1,      // agent -> coord: version / schema hash / threads / index
+  kWelcome = 2,    // coord -> agent: admitted; heartbeat interval
+  kReject = 3,     // coord -> agent: version or schema-hash mismatch
+  kDispatch = 4,   // coord -> agent: "<unit> <attempt>\n<unsafe csv>"
+  kResult = 5,     // agent -> coord: "<attempt>\n" + SerializeUnitResult
+  kHeartbeat = 6,  // agent -> coord: empty payload; renews every lease
+  kShutdown = 7,   // coord -> agent: campaign over, send stats and exit
+  kStats = 8,      // agent -> coord: cache counters, sent once at shutdown
+};
+
+enum class FabricRead {
+  kOk,       // *type / *payload filled, checksum verified
+  kEof,      // clean EOF on a frame boundary (peer closed)
+  kGarbled,  // bad magic/version/size/checksum, or EOF mid-frame
+  kError,    // read(2) failed
+};
+
+// Writes one frame (header + payload), retrying EINTR and short writes.
+// Returns false on any write error (EPIPE after the peer died, typically).
+bool WriteFabricFrame(int fd, FabricMsg type, const std::string& payload);
+
+// Reads one frame. On kOk fills *type and *payload (zero-length payloads are
+// valid — heartbeats are empty). Any other status means the connection is
+// unusable and must be retired.
+FabricRead ReadFabricFrame(int fd, FabricMsg* type, std::string* payload);
+
+// --- TCP plumbing -----------------------------------------------------------
+
+// Binds and listens on host:port (port 0 = ephemeral; *bound_port receives
+// the actual port). Returns the listening fd, or -1 on failure.
+int ListenTcp(const std::string& host, uint16_t port, uint16_t* bound_port);
+
+// Accepts one connection (EINTR-safe, TCP_NODELAY set — dispatch/result
+// frames are small and latency-bound). Returns -1 on failure.
+int AcceptTcp(int listen_fd);
+
+// Connects to host:port, retrying until `timeout_seconds` elapses (an agent
+// may race the coordinator's listen in --connect mode). Returns -1 on
+// timeout or unresolvable address.
+int ConnectTcp(const std::string& host, uint16_t port, double timeout_seconds);
+
+// Parses "host:port" ("127.0.0.1:9009", ":9009" = INADDR_ANY). Returns false
+// on a malformed address or port.
+bool ParseHostPort(const std::string& address, std::string* host,
+                   uint16_t* port);
+
+}  // namespace zebra
+
+#endif  // SRC_CORE_FABRIC_WIRE_H_

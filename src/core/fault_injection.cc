@@ -85,4 +85,64 @@ bool FaultPlan::Decide(int worker, const std::string& test_id, int attempt,
   return false;
 }
 
+namespace {
+
+bool NetSpecMatches(const NetFaultSpec& spec, int agent,
+                    const std::string& test_id, int attempt) {
+  if (!spec.test_id.empty() && spec.test_id != test_id) {
+    return false;
+  }
+  if (spec.agent >= 0 && spec.agent != agent) {
+    return false;
+  }
+  if (spec.attempt >= 0 && spec.attempt != attempt) {
+    return false;
+  }
+  return true;
+}
+
+// Same construction as Coin() above, but folded from a distinct salt so a
+// FaultPlan and a NetFaultPlan sharing a seed draw independent flips. The
+// agent index is excluded for the same replay-identity reason.
+double NetCoin(uint64_t seed, NetFaultKind kind, const std::string& test_id,
+               int attempt) {
+  uint64_t digest = HashFnv64(test_id, seed ^ 0xc2b2ae3d27d4eb4full);
+  digest = HashFnv64(Int64ToString(static_cast<int64_t>(kind)), digest);
+  digest = HashFnv64(Int64ToString(attempt), digest);
+  return static_cast<double>(digest >> 11) / 9007199254740992.0;
+}
+
+}  // namespace
+
+bool NetFaultPlan::Decide(int agent, const std::string& test_id, int attempt,
+                          NetFaultSpec* out) const {
+  for (const NetFaultSpec& spec : specs) {
+    if (NetSpecMatches(spec, agent, test_id, attempt)) {
+      *out = spec;
+      return true;
+    }
+  }
+  struct RatedKind {
+    NetFaultKind kind;
+    double rate;
+  };
+  const RatedKind rated[] = {
+      {NetFaultKind::kAgentCrash, agent_crash_rate},
+      {NetFaultKind::kConnectionDrop, connection_drop_rate},
+      {NetFaultKind::kGarbledFrame, garble_rate},
+      {NetFaultKind::kStaleDuplicateResult, duplicate_rate},
+  };
+  for (const RatedKind& entry : rated) {
+    if (entry.rate > 0.0 &&
+        NetCoin(seed, entry.kind, test_id, attempt) < entry.rate) {
+      out->kind = entry.kind;
+      out->test_id = test_id;
+      out->agent = agent;
+      out->attempt = attempt;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace zebra

@@ -77,6 +77,72 @@ struct FaultPlan {
                   int attempt, FaultSpec* out) const;
 };
 
+// --- Network fault plane (distributed fabric) -------------------------------
+//
+// The distributed backend (distributed_campaign.h / campaign_agent.h) adds a
+// transport between the scheduler and its workers, and with it a new class of
+// failures the single-box runners cannot see. NetFaultPlan injects those at
+// (agent, unit, attempt) coordinates inside the agent process:
+//
+//   kAgentCrash           agent process _Exits before executing the unit
+//   kConnectionDrop       agent executes the unit, then severs the connection
+//                         without sending the result (lease expires, requeue)
+//   kGarbledFrame         agent writes junk bytes instead of a frame, then
+//                         exits (coordinator sees FabricRead::kGarbled)
+//   kDelayedHeartbeat     agent suppresses heartbeats for delay_seconds
+//                         (exercises the lease heartbeat timeout)
+//   kStaleDuplicateResult agent sends the result frame twice (the second copy
+//                         must be idempotently dropped by the coordinator)
+//
+// Same determinism contract as FaultPlan: explicit specs pin coordinates, and
+// the seeded random mode hashes (seed, kind, test id, attempt) — not the
+// agent index — so a random plan replays identically at any fleet shape.
+// Every net fault plan must leave the folded report bitwise-identical to the
+// uninterrupted sequential campaign (tests/distributed_campaign_test.cc).
+
+enum class NetFaultKind {
+  kAgentCrash,
+  kConnectionDrop,
+  kGarbledFrame,
+  kDelayedHeartbeat,
+  kStaleDuplicateResult,
+};
+
+// One network injection site. Wildcards as in FaultSpec: empty test_id
+// matches every unit, agent = -1 every agent, attempt = -1 every attempt.
+struct NetFaultSpec {
+  NetFaultKind kind = NetFaultKind::kAgentCrash;
+  std::string test_id;         // unit-test id, empty = any
+  int agent = -1;              // agent index, -1 = any
+  int attempt = 0;             // 0-based dispatch attempt, -1 = any
+  double delay_seconds = 0.5;  // kDelayedHeartbeat only: suppression window
+};
+
+struct NetFaultPlan {
+  std::vector<NetFaultSpec> specs;
+
+  // Seeded random mode, mirroring FaultPlan: each (kind, test id, attempt)
+  // coordinate fires with the matching rate. 0 disables a kind. Heartbeat
+  // delay and duplicate-result have no random mode — their interesting
+  // coordinates are timing-specific, so pin them with explicit specs.
+  uint64_t seed = 0;
+  double agent_crash_rate = 0.0;
+  double connection_drop_rate = 0.0;
+  double garble_rate = 0.0;
+  double duplicate_rate = 0.0;
+
+  bool empty() const {
+    return specs.empty() && agent_crash_rate == 0.0 &&
+           connection_drop_rate == 0.0 && garble_rate == 0.0 &&
+           duplicate_rate == 0.0;
+  }
+
+  // Returns true — filling *out — when a network fault fires at this
+  // coordinate. Explicit specs win over random mode, in plan order.
+  bool Decide(int agent, const std::string& test_id, int attempt,
+              NetFaultSpec* out) const;
+};
+
 }  // namespace zebra
 
 #endif  // SRC_CORE_FAULT_INJECTION_H_

@@ -254,6 +254,9 @@ std::string SerializeReport(const CampaignReport& report) {
   properties["cache_load_failures"] = Int64ToString(report.cache_load_failures);
   properties["journal_append_failures"] =
       Int64ToString(report.journal_append_failures);
+  properties["agent_disconnects"] = Int64ToString(report.agent_disconnects);
+  properties["expired_leases"] = Int64ToString(report.expired_leases);
+  properties["duplicate_results"] = Int64ToString(report.duplicate_results);
   if (!report.poisoned_units.empty()) {
     properties["poisoned_units"] = StrJoin(report.poisoned_units, ",");
   }
@@ -359,6 +362,12 @@ CampaignReport DeserializeReport(const std::string& text) {
              &report.cache_load_failures);
   ParseInt64(GetOr(properties, "journal_append_failures", "0"),
              &report.journal_append_failures);
+  // Absent in pre-fabric serializations.
+  ParseInt64(GetOr(properties, "agent_disconnects", "0"),
+             &report.agent_disconnects);
+  ParseInt64(GetOr(properties, "expired_leases", "0"), &report.expired_leases);
+  ParseInt64(GetOr(properties, "duplicate_results", "0"),
+             &report.duplicate_results);
   for (const std::string& unit :
        StrSplit(GetOr(properties, "poisoned_units", ""), ',')) {
     if (!unit.empty()) {
@@ -448,6 +457,9 @@ CampaignReport MergeReports(const std::vector<CampaignReport>& reports) {
     merged.resumed_units += report.resumed_units;
     merged.cache_load_failures += report.cache_load_failures;
     merged.journal_append_failures += report.journal_append_failures;
+    merged.agent_disconnects += report.agent_disconnects;
+    merged.expired_leases += report.expired_leases;
+    merged.duplicate_results += report.duplicate_results;
     merged.poisoned_units.insert(merged.poisoned_units.end(),
                                  report.poisoned_units.begin(),
                                  report.poisoned_units.end());

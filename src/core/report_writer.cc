@@ -101,6 +101,13 @@ std::string RenderMarkdownReport(const CampaignReport& report,
         << " units re-queued after worker failure, " << report.resumed_units
         << " units replayed from journal\n";
   }
+  if (report.agent_disconnects > 0 || report.expired_leases > 0 ||
+      report.duplicate_results > 0) {
+    out << "* distributed fabric: " << report.agent_disconnects
+        << " agents retired, " << report.expired_leases
+        << " leases expired and re-queued, " << report.duplicate_results
+        << " duplicate results dropped idempotently\n";
+  }
   if (report.cache_load_failures > 0) {
     out << "* run-cache load failures (corrupt file, started cold): "
         << report.cache_load_failures << "\n";

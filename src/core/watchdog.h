@@ -19,25 +19,40 @@
 #define SRC_CORE_WATCHDOG_H_
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace zebra {
 
+// 95th percentile of the observed completion times, or 0.0 with no samples.
+// Kept separate from the deadline formula so the no-samples case degrades
+// through the additive term — the deadline below can never drop under the
+// configured floor, no matter what the sample set looks like. (Taken by
+// value: selection is destructive.)
+inline double Percentile95(std::vector<double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  size_t rank = (samples.size() * 95 + 99) / 100;  // ceil(0.95 * n), 1-based
+  rank = rank > 0 ? rank - 1 : 0;
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
 // Returns the deadline in seconds for the next dispatch, or 0 when the
-// watchdog is disabled (floor_seconds <= 0). `samples` are the completion
-// times observed so far (taken by value: selection is destructive).
+// watchdog is disabled (floor_seconds <= 0). With zero completed samples
+// (cold start, or every dispatch so far crashed) the p95 term is 0 and the
+// deadline is exactly the configured floor — never 0, which would instantly
+// expire every lease.
 inline double WatchdogDeadlineSeconds(double floor_seconds, double multiplier,
                                       std::vector<double> samples) {
   if (floor_seconds <= 0.0) {
     return 0.0;
   }
-  if (samples.empty() || multiplier <= 0.0) {
+  if (multiplier <= 0.0) {
     return floor_seconds;
   }
-  size_t rank = (samples.size() * 95 + 99) / 100;  // ceil(0.95 * n), 1-based
-  rank = rank > 0 ? rank - 1 : 0;
-  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
-  return floor_seconds + multiplier * samples[rank];
+  return floor_seconds + multiplier * Percentile95(std::move(samples));
 }
 
 }  // namespace zebra

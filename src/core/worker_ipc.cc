@@ -14,6 +14,13 @@ constexpr size_t kFrameHeaderSize = 16;
 }  // namespace
 
 bool WriteAll(int fd, const void* data, size_t size) {
+  if (size == 0) {
+    // Explicit so that a zero-length payload (fabric heartbeats, empty
+    // frames) never reaches write(2) with a possibly-null pointer, and so a
+    // half-closed socket doesn't spuriously fail an empty send. EPIPE is
+    // only observable once bytes are actually written.
+    return true;
+  }
   const char* bytes = static_cast<const char*>(data);
   size_t written = 0;
   while (written < size) {
@@ -33,6 +40,9 @@ bool WriteAll(int fd, const void* data, size_t size) {
 }
 
 bool ReadExact(int fd, void* data, size_t size) {
+  if (size == 0) {
+    return true;  // mirror WriteAll: never pass a null buffer to read(2)
+  }
   char* bytes = static_cast<char*>(data);
   size_t read_total = 0;
   while (read_total < size) {

@@ -18,11 +18,15 @@
 namespace zebra {
 
 // Writes the whole buffer, retrying on EINTR and short writes. Returns false
-// on any other error (e.g. EPIPE after the peer died).
+// on any other error (e.g. EPIPE after the peer died — on a half-closed
+// socket the first write may succeed into the kernel buffer and only the
+// *next* one surfaces EPIPE; callers must treat any false as "peer gone",
+// not "retry"). size == 0 is a guaranteed no-op success: `data` may be null
+// and the fd is never touched.
 bool WriteAll(int fd, const void* data, size_t size);
 
 // Reads exactly `size` bytes, retrying on EINTR. Returns false on error or
-// premature EOF.
+// premature EOF. size == 0 succeeds without touching `data` or the fd.
 bool ReadExact(int fd, void* data, size_t size);
 
 // Drains the fd to EOF, retrying on EINTR. Returns false on read error;

@@ -1,0 +1,547 @@
+// Tests for the distributed campaign fabric: the checksummed TCP wire
+// protocol, the deterministic network fault plane, and the coordinator/agent
+// backend itself. The invariant mirrors fault_tolerance_test.cc: network
+// faults change how often units re-run, how many agents die, and how long
+// the campaign takes — never findings, Table-5 stage counts, or
+// runs_to_first_detection, which must stay bitwise-identical to the
+// uninterrupted sequential campaign at every fleet shape (CI-gated via the
+// *BitwiseIdentical* / *Crash* / *Garbled* / *Resume* filters).
+//
+// Note on agent budgets: the fleet is fixed — a crash, drop, garble, or
+// heartbeat retirement permanently removes one agent (the coordinator throws
+// only when none remain) — so each fault test provisions one more agent than
+// the faults it injects, exactly like the worker budgets in
+// fault_tolerance_test.cc.
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/core/campaign_agent.h"
+#include "src/core/campaign_executor.h"
+#include "src/core/distributed_campaign.h"
+#include "src/core/fabric_wire.h"
+#include "src/core/fault_injection.h"
+#include "src/testkit/full_schema.h"
+#include "src/testkit/unit_test_registry.h"
+
+namespace zebra {
+namespace {
+
+// Full structural equality against the sequential reference (same contract
+// as fault_tolerance_test.cc). Durations, wall-clock, and the fabric
+// accounting counters themselves are bookkeeping, not results.
+void ExpectIdenticalResults(const CampaignReport& actual,
+                            const CampaignReport& expected,
+                            const std::string& label) {
+  SCOPED_TRACE(label);
+
+  ASSERT_EQ(actual.per_app.size(), expected.per_app.size());
+  for (const auto& [app, counts] : expected.per_app) {
+    ASSERT_TRUE(actual.per_app.count(app) > 0) << app;
+    const AppStageCounts& got = actual.per_app.at(app);
+    EXPECT_EQ(got.original, counts.original) << app;
+    EXPECT_EQ(got.after_static, counts.after_static) << app;
+    EXPECT_EQ(got.after_prerun, counts.after_prerun) << app;
+    EXPECT_EQ(got.after_uncertainty, counts.after_uncertainty) << app;
+    EXPECT_EQ(got.executed_runs, counts.executed_runs) << app;
+    EXPECT_EQ(got.tests_total, counts.tests_total) << app;
+    EXPECT_EQ(got.tests_with_nodes, counts.tests_with_nodes) << app;
+  }
+
+  ASSERT_EQ(actual.findings.size(), expected.findings.size());
+  for (const auto& [param, finding] : expected.findings) {
+    ASSERT_TRUE(actual.findings.count(param) > 0) << param;
+    const ParamFinding& got = actual.findings.at(param);
+    EXPECT_EQ(got.owning_app, finding.owning_app) << param;
+    EXPECT_EQ(got.witness_tests, finding.witness_tests) << param;
+    EXPECT_EQ(got.example_failure, finding.example_failure) << param;
+    EXPECT_EQ(got.best_p_value, finding.best_p_value) << param;
+  }
+
+  EXPECT_EQ(actual.first_trial_candidates, expected.first_trial_candidates);
+  EXPECT_EQ(actual.filtered_by_hypothesis, expected.filtered_by_hypothesis);
+  EXPECT_EQ(actual.total_unit_test_runs, expected.total_unit_test_runs);
+  EXPECT_EQ(actual.runs_to_first_detection, expected.runs_to_first_detection);
+  EXPECT_EQ(actual.first_detection_param, expected.first_detection_param);
+}
+
+CampaignOptions SmallCampaign() {
+  CampaignOptions options;
+  options.apps = {"minikv", "ministream"};
+  return options;
+}
+
+CampaignReport SequentialReference(const CampaignOptions& options) {
+  Campaign sequential(FullSchema(), FullCorpus(), options);
+  return sequential.Run();
+}
+
+CampaignReport RunFabric(const CampaignOptions& options,
+                         const DistributedCampaignOptions& fabric) {
+  return RunDistributedCampaign(FullSchema(), FullCorpus(), options, fabric);
+}
+
+// --- Wire protocol ----------------------------------------------------------
+
+TEST(FabricWireTest, FrameRoundTripOverPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  // Empty payload (the heartbeat shape) and a binary payload with embedded
+  // NULs and newlines both survive intact.
+  ASSERT_TRUE(WriteFabricFrame(fds[1], FabricMsg::kHeartbeat, ""));
+  std::string binary("a\0b\nc\r\xff", 7);
+  ASSERT_TRUE(WriteFabricFrame(fds[1], FabricMsg::kResult, binary));
+  ::close(fds[1]);
+
+  FabricMsg type;
+  std::string payload;
+  ASSERT_EQ(ReadFabricFrame(fds[0], &type, &payload), FabricRead::kOk);
+  EXPECT_EQ(type, FabricMsg::kHeartbeat);
+  EXPECT_TRUE(payload.empty());
+  ASSERT_EQ(ReadFabricFrame(fds[0], &type, &payload), FabricRead::kOk);
+  EXPECT_EQ(type, FabricMsg::kResult);
+  EXPECT_EQ(payload, binary);
+
+  // A close on a frame boundary is the one *clean* termination.
+  EXPECT_EQ(ReadFabricFrame(fds[0], &type, &payload), FabricRead::kEof);
+  ::close(fds[0]);
+}
+
+TEST(FabricWireTest, GarbledMagicAndChecksumAreRejected) {
+  // Corrupt magic: anything not starting "ZFAB" is a broken peer.
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    std::string junk = "!!!NOT-A-FABRIC-FRAME!!!";
+    ASSERT_EQ(::write(fds[1], junk.data(), junk.size()),
+              static_cast<ssize_t>(junk.size()));
+    ::close(fds[1]);
+    FabricMsg type;
+    std::string payload;
+    EXPECT_EQ(ReadFabricFrame(fds[0], &type, &payload), FabricRead::kGarbled);
+    ::close(fds[0]);
+  }
+  // Flipped payload byte: header parses but the FNV checksum must not.
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_TRUE(WriteFabricFrame(fds[1], FabricMsg::kDispatch, "0 0\nparam"));
+    ::close(fds[1]);
+    // Read the valid bytes back, corrupt the last payload byte, re-send.
+    std::string wire(4096, '\0');
+    ssize_t n = ::read(fds[0], wire.data(), wire.size());
+    ASSERT_GT(n, 28);
+    wire.resize(static_cast<size_t>(n));
+    wire.back() ^= 0x5a;
+    ::close(fds[0]);
+
+    int fds2[2];
+    ASSERT_EQ(::pipe(fds2), 0);
+    ASSERT_EQ(::write(fds2[1], wire.data(), wire.size()),
+              static_cast<ssize_t>(wire.size()));
+    ::close(fds2[1]);
+    FabricMsg type;
+    std::string payload;
+    EXPECT_EQ(ReadFabricFrame(fds2[0], &type, &payload), FabricRead::kGarbled);
+    ::close(fds2[0]);
+  }
+  // EOF mid-frame (a torn header) is garbled, never a clean kEof.
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(::write(fds[1], "ZFAB", 4), 4);
+    ::close(fds[1]);
+    FabricMsg type;
+    std::string payload;
+    EXPECT_EQ(ReadFabricFrame(fds[0], &type, &payload), FabricRead::kGarbled);
+    ::close(fds[0]);
+  }
+}
+
+TEST(FabricWireTest, ParseHostPort) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:9009", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9009);
+  ASSERT_TRUE(ParseHostPort(":9009", &host, &port));
+  EXPECT_EQ(host, "");
+  EXPECT_EQ(port, 9009);
+  EXPECT_FALSE(ParseHostPort("no-port-here", &host, &port));
+  EXPECT_FALSE(ParseHostPort("host:", &host, &port));
+  EXPECT_FALSE(ParseHostPort("host:0", &host, &port));
+  EXPECT_FALSE(ParseHostPort("host:99999", &host, &port));
+}
+
+// --- Network fault plane ----------------------------------------------------
+
+TEST(NetFaultPlanTest, DecisionsAreSeedDeterministicAndAgentIndependent) {
+  NetFaultPlan plan;
+  plan.seed = 42;
+  plan.agent_crash_rate = 0.3;
+  plan.duplicate_rate = 0.2;
+
+  NetFaultSpec first;
+  NetFaultSpec second;
+  int fired = 0;
+  for (int unit = 0; unit < 64; ++unit) {
+    std::string test_id = "app.Test" + std::to_string(unit);
+    bool a = plan.Decide(/*agent=*/0, test_id, /*attempt=*/0, &first);
+    bool b = plan.Decide(/*agent=*/7, test_id, /*attempt=*/0, &second);
+    // Replayable under any unit-to-agent assignment: the agent index must
+    // not influence the decision (same contract as FaultPlan).
+    ASSERT_EQ(a, b) << test_id;
+    if (a) {
+      EXPECT_EQ(first.kind, second.kind) << test_id;
+      ++fired;
+    }
+  }
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+
+  NetFaultPlan other = plan;
+  other.seed = 43;
+  int differences = 0;
+  for (int unit = 0; unit < 64; ++unit) {
+    std::string test_id = "app.Test" + std::to_string(unit);
+    NetFaultSpec unused;
+    if (plan.Decide(0, test_id, 0, &unused) !=
+        other.Decide(0, test_id, 0, &unused)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(NetFaultPlanTest, ExplicitSpecsMatchWildcardsAndWinOverRandom) {
+  NetFaultPlan plan;
+  NetFaultSpec spec;
+  spec.kind = NetFaultKind::kConnectionDrop;
+  spec.test_id = "minikv.TestPutGet";
+  spec.agent = -1;
+  spec.attempt = -1;
+  plan.specs.push_back(spec);
+  plan.seed = 1;
+  plan.agent_crash_rate = 1.0;  // would otherwise fire everywhere
+
+  NetFaultSpec out;
+  ASSERT_TRUE(plan.Decide(0, "minikv.TestPutGet", 0, &out));
+  EXPECT_EQ(out.kind, NetFaultKind::kConnectionDrop);
+  ASSERT_TRUE(plan.Decide(3, "minikv.TestPutGet", 2, &out));
+  EXPECT_EQ(out.kind, NetFaultKind::kConnectionDrop);
+  // Off-spec units fall through to random mode.
+  ASSERT_TRUE(plan.Decide(0, "minikv.TestOther", 0, &out));
+  EXPECT_EQ(out.kind, NetFaultKind::kAgentCrash);
+}
+
+// --- Handshake identity -----------------------------------------------------
+
+TEST(FabricSchemaHashTest, SensitiveToResultAffectingOptions) {
+  const std::string base =
+      FabricSchemaHash(FullSchema(), FullCorpus(), SmallCampaign());
+  EXPECT_EQ(base,
+            FabricSchemaHash(FullSchema(), FullCorpus(), SmallCampaign()));
+
+  CampaignOptions other_apps = SmallCampaign();
+  other_apps.apps = {"minikv"};
+  EXPECT_NE(base, FabricSchemaHash(FullSchema(), FullCorpus(), other_apps));
+
+  CampaignOptions other_trials = SmallCampaign();
+  other_trials.first_trials += 1;
+  EXPECT_NE(base, FabricSchemaHash(FullSchema(), FullCorpus(), other_trials));
+}
+
+// --- The fabric itself ------------------------------------------------------
+
+TEST(DistributedCampaignTest, BitwiseIdenticalAcrossFleetShapes) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  struct Shape {
+    int agents;
+    int threads;
+  };
+  for (const Shape& shape : std::vector<Shape>{{1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 2}}) {
+    DistributedCampaignOptions fabric;
+    fabric.agents = shape.agents;
+    fabric.agent_threads = shape.threads;
+    CampaignReport report = RunFabric(options, fabric);
+    ExpectIdenticalResults(report, expected,
+                           std::to_string(shape.agents) + " agents x " +
+                               std::to_string(shape.threads) + " threads");
+    EXPECT_EQ(report.agent_disconnects, 0);
+    EXPECT_EQ(report.expired_leases, 0);
+    EXPECT_EQ(report.duplicate_results, 0);
+  }
+}
+
+TEST(DistributedCampaignTest, AgentCrashBitwiseIdentical) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  DistributedCampaignOptions fabric;
+  fabric.agents = 2;
+  NetFaultSpec crash;
+  crash.kind = NetFaultKind::kAgentCrash;
+  crash.test_id = "minikv.TestPutGet";
+  crash.attempt = 0;
+  fabric.net_faults.specs.push_back(crash);
+
+  CampaignReport report = RunFabric(options, fabric);
+  ExpectIdenticalResults(report, expected, "agent crash");
+  EXPECT_GE(report.agent_disconnects, 1);
+  EXPECT_GE(report.expired_leases, 1);
+  EXPECT_GE(report.requeued_units, 1);
+}
+
+TEST(DistributedCampaignTest, ConnectionDropRecoversLostWork) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  // The drop fires *after* the unit executed: work done but the result lost
+  // in flight. The lease expiry must re-run it as if it never happened.
+  DistributedCampaignOptions fabric;
+  fabric.agents = 2;
+  NetFaultSpec drop;
+  drop.kind = NetFaultKind::kConnectionDrop;
+  drop.test_id = "ministream.TestDataExchange";
+  drop.attempt = 0;
+  fabric.net_faults.specs.push_back(drop);
+
+  CampaignReport report = RunFabric(options, fabric);
+  ExpectIdenticalResults(report, expected, "connection drop");
+  EXPECT_GE(report.agent_disconnects, 1);
+  EXPECT_GE(report.expired_leases, 1);
+}
+
+TEST(DistributedCampaignTest, GarbledFrameRetiresAgentBitwiseIdentical) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  DistributedCampaignOptions fabric;
+  fabric.agents = 2;
+  NetFaultSpec garble;
+  garble.kind = NetFaultKind::kGarbledFrame;
+  garble.test_id = "minikv.TestRestStatus";
+  garble.attempt = 0;
+  fabric.net_faults.specs.push_back(garble);
+
+  CampaignReport report = RunFabric(options, fabric);
+  ExpectIdenticalResults(report, expected, "garbled frame");
+  EXPECT_GE(report.agent_disconnects, 1);
+  EXPECT_GE(report.expired_leases, 1);
+}
+
+TEST(DistributedCampaignTest, DelayedHeartbeatTripsLivenessTimeout) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  // Mute heartbeats for far longer than the coordinator's patience *while*
+  // the same unit runs slowly — a live-but-silent host. The coordinator must
+  // retire it on heartbeat silence and requeue its lease on the survivor.
+  DistributedCampaignOptions fabric;
+  fabric.agents = 2;
+  fabric.heartbeat_interval_seconds = 0.05;
+  fabric.heartbeat_timeout_seconds = 0.5;
+  NetFaultSpec mute;
+  mute.kind = NetFaultKind::kDelayedHeartbeat;
+  mute.test_id = "minikv.TestPutGet";
+  mute.attempt = 0;
+  mute.delay_seconds = 30.0;
+  fabric.net_faults.specs.push_back(mute);
+  FaultSpec slow;
+  slow.kind = FaultKind::kSlowWorker;
+  slow.test_id = "minikv.TestPutGet";
+  slow.attempt = 0;
+  slow.slow_seconds = 2.0;
+  fabric.faults.specs.push_back(slow);
+
+  CampaignReport report = RunFabric(options, fabric);
+  ExpectIdenticalResults(report, expected, "delayed heartbeat");
+  EXPECT_GE(report.agent_disconnects, 1);
+  EXPECT_GE(report.expired_leases, 1);
+}
+
+TEST(DistributedCampaignTest, StaleDuplicateResultDroppedIdempotently) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  DistributedCampaignOptions fabric;
+  fabric.agents = 2;
+  NetFaultSpec dup;
+  dup.kind = NetFaultKind::kStaleDuplicateResult;
+  dup.test_id = "minikv.TestPutGet";
+  dup.attempt = -1;
+  fabric.net_faults.specs.push_back(dup);
+
+  CampaignReport report = RunFabric(options, fabric);
+  ExpectIdenticalResults(report, expected, "stale duplicate result");
+  EXPECT_GE(report.duplicate_results, 1);
+  // The duplicate is dropped, not folded: no agent died for it.
+  EXPECT_EQ(report.agent_disconnects, 0);
+}
+
+TEST(DistributedCampaignTest, HungUnitCaughtByLeaseWatchdog) {
+  CampaignOptions options = SmallCampaign();
+  // A hung worker thread on a heartbeating host: heartbeats keep flowing, so
+  // only the per-lease watchdog deadline can catch it.
+  options.watchdog_floor_seconds = 0.5;
+  options.watchdog_multiplier = 8.0;
+  CampaignOptions reference = options;
+  CampaignReport expected = SequentialReference(reference);
+
+  DistributedCampaignOptions fabric;
+  fabric.agents = 2;
+  FaultSpec hang;
+  hang.kind = FaultKind::kHang;
+  hang.test_id = "ministream.TestDataExchange";
+  hang.attempt = 0;
+  fabric.faults.specs.push_back(hang);
+
+  CampaignReport report = RunFabric(options, fabric);
+  ExpectIdenticalResults(report, expected, "hung unit");
+  EXPECT_GE(report.hung_workers, 1);
+  EXPECT_GE(report.expired_leases, 1);
+  EXPECT_GE(report.agent_disconnects, 1);
+}
+
+TEST(DistributedCampaignTest, SeededRandomNetFaultsBitwiseIdentical) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  // Random mode uses the non-fatal kind: a fatal rate fires at *unit*
+  // coordinates (agent-independent by design), so nothing bounds how many
+  // agents a given seed retires — the explicit-spec tests above pin each
+  // fatal kind deterministically instead.
+  DistributedCampaignOptions fabric;
+  fabric.agents = 3;
+  fabric.net_faults.seed = 7;
+  fabric.net_faults.duplicate_rate = 0.25;
+
+  CampaignReport report = RunFabric(options, fabric);
+  ExpectIdenticalResults(report, expected, "seeded random net faults");
+  // Every unit's attempt-0 coordinate is always visited, so the seed's
+  // attempt-0 firings are a guaranteed floor. The exact count is accounting
+  // noise (stale-snapshot requeues visit extra attempt coordinates), but
+  // the *results* above must not move at all.
+  EXPECT_GE(report.duplicate_results, 1);
+  EXPECT_EQ(report.agent_disconnects, 0);
+
+  CampaignReport again = RunFabric(options, fabric);
+  ExpectIdenticalResults(again, expected, "seeded random net faults, rerun");
+  EXPECT_GE(again.duplicate_results, 1);
+}
+
+TEST(DistributedCampaignTest, JournalResumeBitwiseIdentical) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+  const std::string path = ::testing::TempDir() + "/fabric_resume.zj";
+  std::remove(path.c_str());
+
+  // First invocation "crashes" the coordinator after two folds; the journal
+  // holds exactly those two unit results.
+  DistributedCampaignOptions first;
+  first.agents = 2;
+  first.journal_path = path;
+  first.abort_after_folds = 2;
+  CampaignReport partial = RunFabric(options, first);
+  EXPECT_LT(partial.total_unit_test_runs, expected.total_unit_test_runs);
+
+  // The restarted coordinator replays the journal prefix, dispatches only
+  // the remainder over a fresh fleet, and must fold bitwise-identically.
+  DistributedCampaignOptions second;
+  second.agents = 2;
+  second.journal_path = path;
+  second.resume = true;
+  CampaignReport resumed = RunFabric(options, second);
+  ExpectIdenticalResults(resumed, expected, "fabric journal resume");
+  EXPECT_EQ(resumed.resumed_units, 2);
+  std::remove(path.c_str());
+}
+
+TEST(DistributedCampaignTest, ResumeUnderAgentCrashBitwiseIdentical) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+  const std::string path = ::testing::TempDir() + "/fabric_resume_crash.zj";
+  std::remove(path.c_str());
+
+  DistributedCampaignOptions first;
+  first.agents = 2;
+  first.journal_path = path;
+  first.abort_after_folds = 3;
+  RunFabric(options, first);
+
+  // The resumed run additionally loses an agent mid-flight.
+  DistributedCampaignOptions second;
+  second.agents = 2;
+  second.journal_path = path;
+  second.resume = true;
+  NetFaultSpec crash;
+  crash.kind = NetFaultKind::kAgentCrash;
+  crash.test_id = "ministream.TestTwoJobsSequential";
+  crash.attempt = 0;
+  second.net_faults.specs.push_back(crash);
+  CampaignReport resumed = RunFabric(options, second);
+  ExpectIdenticalResults(resumed, expected, "resume + agent crash");
+  EXPECT_EQ(resumed.resumed_units, 3);
+  std::remove(path.c_str());
+}
+
+// --- Executor wiring --------------------------------------------------------
+
+TEST(DistributedExecutorTest, RegisteredAndBitwiseIdentical) {
+  ASSERT_TRUE(ParseExecutorKind("distributed").has_value());
+  EXPECT_EQ(*ParseExecutorKind("distributed"), ExecutorKind::kDistributed);
+  EXPECT_EQ(std::string(ExecutorKindName(ExecutorKind::kDistributed)),
+            "distributed");
+
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  auto executor = MakeExecutor(ExecutorKind::kDistributed);
+  EXPECT_EQ(std::string(executor->name()), "distributed");
+  EXPECT_TRUE(executor->supports_journal());
+  EXPECT_TRUE(executor->supports_fault_injection());
+
+  ExecutorOptions exec;
+  exec.workers = 2;  // agents, for the distributed backend
+  exec.agent_threads = 2;
+  CampaignReport report =
+      executor->Run(FullSchema(), FullCorpus(), options, exec);
+  ExpectIdenticalResults(report, expected, "distributed executor");
+}
+
+TEST(DistributedExecutorTest, SingleBoxBackendsRefuseFabricOptions) {
+  CampaignOptions options = SmallCampaign();
+
+  ExecutorOptions threads;
+  threads.workers = 1;
+  threads.agent_threads = 2;
+  EXPECT_THROW(MakeExecutor(ExecutorKind::kSequential)
+                   ->Run(FullSchema(), FullCorpus(), options, threads),
+               Error);
+
+  ExecutorOptions nets;
+  nets.workers = 2;
+  nets.net_faults.agent_crash_rate = 0.5;
+  EXPECT_THROW(MakeExecutor(ExecutorKind::kThreadPool)
+                   ->Run(FullSchema(), FullCorpus(), options, nets),
+               Error);
+
+  ExecutorOptions listen;
+  listen.workers = 2;
+  listen.listen_address = ":9009";
+  EXPECT_THROW(MakeExecutor(ExecutorKind::kSharded)
+                   ->Run(FullSchema(), FullCorpus(), options, listen),
+               Error);
+}
+
+}  // namespace
+}  // namespace zebra

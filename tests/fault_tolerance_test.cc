@@ -150,6 +150,33 @@ TEST(WatchdogTest, DeadlineFormula) {
   EXPECT_DOUBLE_EQ(WatchdogDeadlineSeconds(1.0, 4.0, {0.5}), 1.0 + 4.0 * 0.5);
 }
 
+TEST(WatchdogTest, Percentile95ZeroSamplesFallsBackToFloor) {
+  // The zero-samples regression: p95 of an empty window must be 0.0 — not a
+  // read past the end, not NaN — so the deadline degrades to exactly the
+  // structural floor until the first completion lands.
+  EXPECT_EQ(Percentile95({}), 0.0);
+  EXPECT_DOUBLE_EQ(WatchdogDeadlineSeconds(60.0, 8.0, {}), 60.0);
+  EXPECT_DOUBLE_EQ(WatchdogDeadlineSeconds(0.25, 100.0, {}), 0.25);
+}
+
+TEST(WatchdogTest, Percentile95RankSelection) {
+  // One sample is its own p95.
+  EXPECT_DOUBLE_EQ(Percentile95({3.5}), 3.5);
+  // Order-independent: the rank statistic sorts internally.
+  EXPECT_DOUBLE_EQ(Percentile95({5.0, 1.0, 3.0}), 5.0);
+  // 1..100 -> rank 95 exactly; 1..20 -> ceil(20 * 0.95) = rank 19.
+  std::vector<double> hundred;
+  for (int i = 1; i <= 100; ++i) {
+    hundred.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(Percentile95(hundred), 95.0);
+  std::vector<double> twenty;
+  for (int i = 20; i >= 1; --i) {
+    twenty.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(Percentile95(twenty), 19.0);
+}
+
 TEST(FaultToleranceTest, CrashPlanBitwiseIdentical) {
   CampaignOptions options = SmallCampaign();
   CampaignReport expected = SequentialReference(options);

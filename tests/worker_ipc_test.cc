@@ -6,6 +6,7 @@
 #include "src/core/worker_ipc.h"
 
 #include <fcntl.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -111,6 +112,46 @@ TEST(WorkerIpcTest, WriteToDeadReaderFailsWithoutKillingProcess) {
   // reader is gone already fails with EPIPE.
   EXPECT_FALSE(WriteFrame(pipe.write_fd(), "run 0 0\n"));
   EXPECT_FALSE(WriteAll(pipe.write_fd(), "x", 1));
+}
+
+TEST(WorkerIpcTest, ZeroLengthTransfersAreNoOpSuccesses) {
+  // size == 0 must succeed without touching the buffer or the fd: callers
+  // pass payload.data() of an empty std::string, which may be any pointer
+  // the implementation must not dereference — and a read(fd, buf, 0) would
+  // be indistinguishable from EOF if it were attempted.
+  PipePair pipe;
+  EXPECT_TRUE(WriteAll(pipe.write_fd(), nullptr, 0));
+  EXPECT_TRUE(ReadExact(pipe.read_fd(), nullptr, 0));
+
+  // Even on a closed-down pipe: a no-op has no failure mode.
+  pipe.CloseRead();
+  ScopedIgnoreSigPipe guard;
+  EXPECT_TRUE(WriteAll(pipe.write_fd(), nullptr, 0));
+}
+
+TEST(WorkerIpcTest, EpipeOnHalfClosedSocketSurfacesAsWriteFailure) {
+  // The fabric variant of the dead-reader race: on a TCP-style socket the
+  // peer's close is asymmetric — our first write after the half-close may
+  // succeed into the kernel buffer (triggering an RST), and only a *later*
+  // write surfaces EPIPE. Every write must report failure by return value
+  // eventually, never by SIGPIPE process death.
+  ScopedIgnoreSigPipe guard;
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);  // peer vanishes (agent crash)
+
+  // Drive writes until the failure surfaces; with AF_UNIX the very first
+  // write to a closed peer already fails, but the loop documents the
+  // contract for transports where it takes two.
+  bool failed = false;
+  for (int i = 0; i < 4 && !failed; ++i) {
+    failed = !WriteAll(fds[0], "x", 1);
+  }
+  EXPECT_TRUE(failed);
+  // Once broken, always broken: subsequent writes keep failing cleanly.
+  EXPECT_FALSE(WriteFrame(fds[0], "run 0 0\n"));
+  ::close(fds[0]);
 }
 
 TEST(WorkerIpcTest, ReapAllReportsNonZeroExit) {
