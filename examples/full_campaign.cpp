@@ -83,8 +83,10 @@ int main(int argc, char** argv) {
   int agents = 0;
   int agent_threads = 1;
   int agent_index = 0;
+  int pipeline_depth = 0;
   std::string listen_address;
   std::string connect_address;
+  std::string agent_cache_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-pooling") == 0) {
       options.enable_pooling = false;
@@ -135,6 +137,15 @@ int main(int argc, char** argv) {
       agent_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--agent-index") == 0 && i + 1 < argc) {
       agent_index = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--pipeline-depth") == 0 && i + 1 < argc) {
+      pipeline_depth = std::atoi(argv[++i]);
+      if (pipeline_depth < 1) {
+        std::fprintf(stderr, "--pipeline-depth takes an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--agent-cache-dir") == 0 && i + 1 < argc) {
+      agent_cache_dir = argv[++i];
+      options.enable_run_cache = true;
     } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
       listen_address = argv[++i];
     } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
@@ -150,7 +161,8 @@ int main(int argc, char** argv) {
           "          [--impacted-only DIFF.json]\n"
           "          [--engine sequential|sharded|stealing|threadpool|"
           "distributed]\n"
-          "          [--agents N] [--agent-threads K] [--listen HOST:PORT]\n"
+          "          [--agents N] [--agent-threads K] [--pipeline-depth N]\n"
+          "          [--agent-cache-dir DIR] [--listen HOST:PORT]\n"
           "          [--connect HOST:PORT] [--agent-index N]\n"
           "          [app ...]\n"
           "apps: minidfs minimr miniyarn ministream minikv apptools\n"
@@ -179,7 +191,14 @@ int main(int argc, char** argv) {
           "(docs/ROBUSTNESS.md, fabric section). --listen HOST:PORT instead\n"
           "waits for N remote agents started with --connect HOST:PORT\n"
           "--agent-index I (agent mode runs no coordinator: it executes\n"
-          "dispatched units until kShutdown and exits).\n",
+          "dispatched units until kShutdown and exits).\n"
+          "--pipeline-depth keeps depth x K leases in flight per agent\n"
+          "(default 2) so agent workers never stall on a dispatch round\n"
+          "trip; findings are identical at every depth.\n"
+          "--agent-cache-dir DIR persists each agent's run cache to\n"
+          "DIR/fabric-<schema-hash>-agent<N>.zc across campaigns (implies\n"
+          "the run cache; corrupt files degrade to a cold start). In agent\n"
+          "mode the same flag names where this agent loads/saves its cache.\n",
           argv[0]);
       return 0;
     } else {
@@ -196,9 +215,10 @@ int main(int argc, char** argv) {
   if (!connect_address.empty()) {
     std::string host;
     uint16_t port = 0;
-    if (!ParseHostPort(connect_address, &host, &port)) {
-      std::fprintf(stderr, "--connect takes HOST:PORT, got '%s'\n",
-                   connect_address.c_str());
+    std::string parse_error;
+    if (!ParseHostPort(connect_address, &host, &port, &parse_error)) {
+      std::fprintf(stderr, "--connect takes HOST:PORT: %s\n",
+                   parse_error.c_str());
       return 2;
     }
     CampaignAgentOptions agent;
@@ -206,6 +226,7 @@ int main(int argc, char** argv) {
     agent.port = port;
     agent.agent_index = agent_index;
     agent.threads = agent_threads < 1 ? 1 : agent_threads;
+    agent.cache_dir = agent_cache_dir;
     return RunCampaignAgent(FullSchema(), FullCorpus(), options, agent);
   }
 
@@ -220,11 +241,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if ((agents > 0 || agent_threads != 1 || !listen_address.empty()) &&
+  if ((agents > 0 || agent_threads != 1 || !listen_address.empty() ||
+       pipeline_depth > 0 || !agent_cache_dir.empty()) &&
       (!engine || *engine != ExecutorKind::kDistributed)) {
     std::fprintf(stderr,
-                 "--agents/--agent-threads/--listen require "
-                 "--engine distributed\n");
+                 "--agents/--agent-threads/--listen/--pipeline-depth/"
+                 "--agent-cache-dir require --engine distributed\n");
     return 2;
   }
 
@@ -285,6 +307,8 @@ int main(int argc, char** argv) {
         exec.workers = agents;
       }
       exec.agent_threads = agent_threads < 1 ? 1 : agent_threads;
+      exec.pipeline_depth = pipeline_depth;  // 0 = backend default
+      exec.agent_cache_dir = agent_cache_dir;
       exec.listen_address = listen_address;
       // A --listen coordinator serves remote --connect agents; without it
       // the backend forks the whole fleet locally.

@@ -30,7 +30,6 @@ namespace {
 struct AgentWorkItem {
   size_t unit_index = 0;
   int attempt = 0;
-  std::set<std::string> unsafe;
 };
 
 double NowSeconds() {
@@ -45,6 +44,25 @@ void SleepSeconds(double seconds) {
   delay.tv_nsec =
       static_cast<long>((seconds - static_cast<double>(delay.tv_sec)) * 1e9);
   ::nanosleep(&delay, nullptr);
+}
+
+// True when an explicit kEpochDesync spec fires at this coordinate. Decided
+// in the reader thread at dispatch receipt — the fault models the *snapshot
+// bookkeeping* going wrong, not the execution — and kept kind-filtered so a
+// mixed plan's crash/drop specs still reach the worker untouched.
+bool EpochDesyncFires(const NetFaultPlan& plan, int agent_index,
+                      const std::string& test_id, int attempt) {
+  for (const NetFaultSpec& spec : plan.specs) {
+    if (spec.kind != NetFaultKind::kEpochDesync) {
+      continue;
+    }
+    if ((spec.test_id.empty() || spec.test_id == test_id) &&
+        (spec.agent == -1 || spec.agent == agent_index) &&
+        (spec.attempt == -1 || spec.attempt == attempt)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -92,10 +110,10 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
 
   // Handshake. The protocol version travels in the frame header; the payload
   // carries what the header cannot: schema hash, capacity, identity.
-  std::string hello =
-      HashToHex(HashFnv64(CampaignJournal::Fingerprint(resolved, corpus))) +
-      "\n" + Int64ToString(agent.threads) + "\n" +
-      Int64ToString(agent.agent_index);
+  const std::string schema_hash =
+      HashToHex(HashFnv64(CampaignJournal::Fingerprint(resolved, corpus)));
+  std::string hello = schema_hash + "\n" + Int64ToString(agent.threads) +
+                      "\n" + Int64ToString(agent.agent_index);
   FabricMsg type;
   std::string payload;
   if (!WriteFabricFrame(fd, FabricMsg::kHello, hello) ||
@@ -116,9 +134,26 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
   // ---- Local thread pool ----------------------------------------------------
 
   std::unique_ptr<RunCache> shared_cache;
+  std::string cache_path;
+  RunCache::Stats cache_baseline;
   if (resolved.enable_run_cache) {
     shared_cache = std::make_unique<RunCache>(
         RunCache::Limits{resolved.cache_max_entries, resolved.cache_max_bytes});
+    if (!agent.cache_dir.empty()) {
+      // Keyed by schema hash (a stale campaign shape must never warm-start
+      // this one) and agent index (SaveToFile is a plain rewrite, so spawned
+      // siblings sharing one path would race at shutdown).
+      cache_path = agent.cache_dir + "/fabric-" + schema_hash + "-agent" +
+                   Int64ToString(agent.agent_index) + ".zc";
+      if (shared_cache->LoadFromFile(cache_path)) {
+        ZLOG_INFO << "campaign agent " << agent.agent_index
+                  << ": warm run cache from " << cache_path;
+      }
+      // Corrupt files degrade to a cold start inside LoadFromFile (v2
+      // fail-closed path) and leave Stats::load_failures set — reported in
+      // the farewell below, absolute, so the coordinator surfaces it.
+    }
+    cache_baseline = shared_cache->stats();
   }
 
   std::mutex queue_mutex;
@@ -126,9 +161,56 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
   std::deque<AgentWorkItem> queue;
   bool stop = false;
 
-  // All socket writes (results, heartbeats, injected junk) serialize here so
-  // frames never interleave mid-stream.
+  // Globally-unsafe snapshot, shared under queue_mutex. The reader applies
+  // every received snapshot section here; a worker copies the set at the
+  // moment it *starts* a unit — not when the batch arrived — so a pipelined
+  // unit that waited behind depth-1 peers runs under the freshest set this
+  // agent has ever been told about, exactly as a thread-pool worker reads
+  // the live set at execution start. Two epochs track it: the wire epoch is
+  // the delta-validation ack (-1 = cannot prove currency, forces the nack /
+  // full-resend path) and the run epoch names the held set itself (it
+  // survives a desync, because the set does). Every result is stamped with
+  // the run epoch it executed under; the coordinator judges staleness
+  // against that epoch's set. Epoch 0 = the empty set both sides start from.
+  int64_t snap_epoch_wire = -1;
+  int64_t snap_epoch_run = 0;
+  std::set<std::string> snap_unsafe;
+
+  // All socket writes (result batches, heartbeats, nacks, injected junk)
+  // serialize here so frames never interleave mid-stream.
   std::mutex write_mutex;
+
+  // Completed-result outbox. A worker finishing a unit appends its record
+  // here; whichever worker finds no sender active becomes the sender and
+  // drains everything queued — under way, concurrent finishers just append
+  // and return. A burst of completions thus leaves as one kResultBatch
+  // frame, and no worker ever blocks on a peer's socket write.
+  std::mutex outbox_mutex;
+  std::vector<std::string> outbox;
+  bool sender_active = false;
+
+  auto flush_results = [&](std::vector<std::string> first) {
+    std::vector<std::string> pending = std::move(first);
+    for (;;) {
+      std::string batch;
+      for (const std::string& record : pending) {
+        AppendBatchRecord(&batch, record);
+      }
+      {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        if (!WriteFabricFrame(fd, FabricMsg::kResultBatch, batch)) {
+          std::_Exit(5);  // coordinator went away; nothing left to report to
+        }
+      }
+      std::lock_guard<std::mutex> lock(outbox_mutex);
+      if (outbox.empty()) {
+        sender_active = false;
+        return;
+      }
+      pending.clear();
+      pending.swap(outbox);
+    }
+  };
 
   // kDelayedHeartbeat: monotonic time before which the heartbeat thread
   // stays silent. Stored as a bit-cast-free integer of milliseconds to keep
@@ -178,6 +260,10 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
             heartbeat_mute_until_ms.store(until_ms, std::memory_order_relaxed);
             break;  // then execute and report normally
           }
+          case NetFaultKind::kEpochDesync:
+            // Decided (and acted on) in the reader thread at dispatch
+            // receipt; a unit that reached the queue anyway runs normally.
+            break;
           case NetFaultKind::kConnectionDrop:
           case NetFaultKind::kStaleDuplicateResult:
             break;  // both fire after execution
@@ -208,9 +294,18 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
         }
       }
 
+      // Execution-start snapshot read: whatever the reader has applied by
+      // now, even if it landed after this unit's own dispatch batch.
+      std::set<std::string> unsafe;
+      int64_t run_epoch = 0;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        unsafe = snap_unsafe;
+        run_epoch = snap_epoch_run;
+      }
       UnitWorkResult unit;
       try {
-        unit = engine.RunUnit(test, item.unsafe);
+        unit = engine.RunUnit(test, unsafe);
       } catch (const std::exception& e) {
         // In-agent analog of a dead forked worker: take the whole agent down
         // so the coordinator's requeue path recovers the lease. One bad unit
@@ -227,28 +322,40 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
         std::_Exit(7);
       }
 
-      std::string result =
+      std::string record =
           Int64ToString(static_cast<int64_t>(item.unit_index)) + " " +
-          Int64ToString(item.attempt) + "\n" +
-          SerializeUnitResult(item.unit_index, unit);
+          Int64ToString(item.attempt) + " " + Int64ToString(run_epoch) +
+          "\n" + SerializeUnitResult(item.unit_index, unit);
       int copies =
           net_fires && net_fault.kind == NetFaultKind::kStaleDuplicateResult
               ? 2
               : 1;
-      std::lock_guard<std::mutex> lock(write_mutex);
-      for (int i = 0; i < copies; ++i) {
-        if (!WriteFabricFrame(fd, FabricMsg::kResult, result)) {
-          std::_Exit(5);  // coordinator went away; nothing left to report to
+      std::vector<std::string> to_send;
+      {
+        std::lock_guard<std::mutex> lock(outbox_mutex);
+        for (int i = 0; i < copies; ++i) {
+          outbox.push_back(record);
         }
+        if (sender_active) {
+          continue;  // the active sender drains the outbox, this record with it
+        }
+        sender_active = true;
+        to_send.swap(outbox);
       }
+      flush_results(std::move(to_send));
     }
   };
 
   std::atomic<bool> heartbeat_stop{false};
+  std::mutex heartbeat_mutex;
+  std::condition_variable heartbeat_cv;
   auto heartbeat_main = [&]() {
-    // Tick at a fraction of the interval so shutdown and un-muting are
-    // noticed promptly without a condition variable.
+    // Tick at a fraction of the interval so un-muting is noticed promptly;
+    // the condition variable lets shutdown interrupt the wait immediately
+    // instead of draining the tail of a sleep (that tail used to dominate
+    // the fleet's farewell latency).
     double last_sent = 0.0;
+    std::unique_lock<std::mutex> wait_lock(heartbeat_mutex);
     while (!heartbeat_stop.load(std::memory_order_relaxed)) {
       double now = NowSeconds();
       bool muted = static_cast<int64_t>(now * 1000.0) <
@@ -260,7 +367,10 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
         WriteFabricFrame(fd, FabricMsg::kHeartbeat, std::string());
         last_sent = now;
       }
-      SleepSeconds(std::min(0.05, heartbeat_interval / 2.0));
+      heartbeat_cv.wait_for(
+          wait_lock,
+          std::chrono::duration<double>(std::min(0.05, heartbeat_interval / 2.0)),
+          [&]() { return heartbeat_stop.load(std::memory_order_relaxed); });
     }
   };
 
@@ -280,7 +390,11 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
       queue.clear();  // undelivered dispatches die with the connection
     }
     queue_cv.notify_all();
-    heartbeat_stop.store(true, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(heartbeat_mutex);
+      heartbeat_stop.store(true, std::memory_order_relaxed);
+    }
+    heartbeat_cv.notify_all();
     for (std::thread& worker : workers) {
       if (worker.joinable()) {
         worker.join();
@@ -292,6 +406,10 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
   };
 
   // ---- Reader loop ----------------------------------------------------------
+
+  // The wire epoch is the agent's acknowledgement: a delta whose base is
+  // anything else is refused with a nack, because executing under a set the
+  // agent cannot prove current would silently break the staleness contract.
 
   int exit_code = 0;
   for (;;) {
@@ -305,53 +423,166 @@ int RunCampaignAgent(const ConfSchema& schema, const UnitTestRegistry& corpus,
     if (type == FabricMsg::kShutdown) {
       break;
     }
-    if (type != FabricMsg::kDispatch) {
+    if (type != FabricMsg::kDispatchBatch) {
       continue;  // heartbeat echoes etc. — nothing for an agent to do
     }
-    size_t newline = payload.find('\n');
-    std::vector<std::string> head = StrSplit(payload.substr(0, newline), ' ');
-    int64_t unit_index = -1;
-    int64_t attempt = 0;
-    if (head.size() < 2 || !ParseInt64(head[0], &unit_index) ||
-        !ParseInt64(head[1], &attempt) || unit_index < 0 ||
-        static_cast<size_t>(unit_index) >= units.size()) {
+    std::vector<std::string> records;
+    if (!DecodeBatchRecords(payload, &records) || records.empty()) {
+      // Checksum-valid but structurally broken: a coordinator bug, not line
+      // noise. The connection is not trustworthy; wind down like a loss.
       ZLOG_WARN << "campaign agent " << agent.agent_index
-                << ": malformed dispatch; ignoring";
-      continue;
+                << ": malformed dispatch batch";
+      exit_code = 8;
+      break;
     }
-    AgentWorkItem item;
-    item.unit_index = static_cast<size_t>(unit_index);
-    item.attempt = static_cast<int>(attempt);
-    if (newline != std::string::npos) {
-      for (const std::string& param :
-           StrSplit(payload.substr(newline + 1), ',')) {
-        if (!param.empty()) {
-          item.unsafe.insert(param);
+
+    // Record 0: the snapshot section. "<base_epoch> <new_epoch> <mode>" then
+    // a CSV line — the full set for F(ull), "+param"/"-param" deltas against
+    // base_epoch for D(elta), empty for K(eep, no change since base).
+    bool snapshot_ok = false;
+    {
+      size_t newline = records[0].find('\n');
+      std::vector<std::string> head =
+          StrSplit(records[0].substr(0, newline), ' ');
+      int64_t base = -1, next = -1;
+      if (head.size() >= 3 && ParseInt64(head[0], &base) &&
+          ParseInt64(head[1], &next)) {
+        std::vector<std::string> entries;
+        if (newline != std::string::npos) {
+          entries = StrSplit(records[0].substr(newline + 1), ',');
+        }
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        if (head[2] == "F") {
+          snap_unsafe.clear();
+          for (const std::string& param : entries) {
+            if (!param.empty()) {
+              snap_unsafe.insert(param);
+            }
+          }
+          snap_epoch_wire = next;
+          snap_epoch_run = next;
+          snapshot_ok = true;
+        } else if (head[2] == "D" && snap_epoch_wire == base) {
+          for (const std::string& entry : entries) {
+            if (entry.size() < 2) {
+              continue;
+            }
+            if (entry[0] == '+') {
+              snap_unsafe.insert(entry.substr(1));
+            } else if (entry[0] == '-') {
+              snap_unsafe.erase(entry.substr(1));
+            }
+          }
+          snap_epoch_wire = next;
+          snap_epoch_run = next;
+          snapshot_ok = true;
+        } else if (head[2] == "K" && snap_epoch_wire == base) {
+          snapshot_ok = true;
         }
       }
     }
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex);
-      queue.push_back(std::move(item));
+
+    // Records 1..n: "<unit> <attempt>". An unappliable snapshot refuses the
+    // whole batch; an injected epoch desync refuses one unit and forgets the
+    // epoch, so the *next* delta mismatches and forces the full-resend path.
+    std::vector<std::string> nacked;
+    std::vector<AgentWorkItem> accepted;
+    for (size_t r = 1; r < records.size(); ++r) {
+      std::vector<std::string> head = StrSplit(records[r], ' ');
+      int64_t unit_index = -1;
+      int64_t attempt = 0;
+      if (head.size() < 2 || !ParseInt64(head[0], &unit_index) ||
+          !ParseInt64(head[1], &attempt) || unit_index < 0 ||
+          static_cast<size_t>(unit_index) >= units.size()) {
+        ZLOG_WARN << "campaign agent " << agent.agent_index
+                  << ": malformed dispatch record; ignoring";
+        continue;
+      }
+      if (!snapshot_ok) {
+        nacked.push_back(records[r]);
+        continue;
+      }
+      if (EpochDesyncFires(agent.net_faults, agent.agent_index,
+                           units[static_cast<size_t>(unit_index)]->id,
+                           static_cast<int>(attempt))) {
+        nacked.push_back(records[r]);
+        // The set survives (so does its run epoch); the proof of currency
+        // does not.
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        snap_epoch_wire = -1;
+        continue;
+      }
+      AgentWorkItem item;
+      item.unit_index = static_cast<size_t>(unit_index);
+      item.attempt = static_cast<int>(attempt);
+      accepted.push_back(std::move(item));
     }
-    queue_cv.notify_one();
+    // A failed snapshot on a unit-less batch (a pure broadcast) still nacks
+    // — zero refused units, but the coordinator must learn its optimistic
+    // epoch bookkeeping is wrong and fall back to a full resend.
+    if (!nacked.empty() || !snapshot_ok) {
+      int64_t nack_epoch;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        if (!snapshot_ok) {
+          ZLOG_WARN << "campaign agent " << agent.agent_index
+                    << ": snapshot epoch mismatch; nacking "
+                    << nacked.size() << " units for redispatch";
+          snap_epoch_wire = -1;
+        }
+        nack_epoch = snap_epoch_wire;
+      }
+      std::string nack = Int64ToString(nack_epoch);
+      for (const std::string& line : nacked) {
+        nack += "\n" + line;
+      }
+      std::lock_guard<std::mutex> lock(write_mutex);
+      WriteFabricFrame(fd, FabricMsg::kSnapshotNack, nack);
+    }
+    if (!accepted.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        for (AgentWorkItem& item : accepted) {
+          queue.push_back(std::move(item));
+        }
+      }
+      queue_cv.notify_all();
+    }
   }
 
   shutdown_pool();
 
+  if (exit_code == 0 && !cache_path.empty() && shared_cache != nullptr) {
+    // Persist before the farewell so a coordinator that reaps promptly never
+    // races a half-written file into the next campaign.
+    if (!shared_cache->SaveToFile(cache_path)) {
+      ZLOG_WARN << "campaign agent " << agent.agent_index
+                << ": cannot persist run cache to " << cache_path;
+    }
+  }
+
   if (exit_code == 0) {
-    // Farewell stats: the shared cache's totals, so the coordinator can fill
-    // report accounting the same way the thread-pool scheduler does.
+    // Farewell stats: per-campaign deltas against the post-load baseline (a
+    // warm start must not re-report last campaign's hits), except
+    // load_failures, which is absolute by design — it is the health signal
+    // that says "a cache file was corrupt", and it must survive into the
+    // coordinator's report even though the failure predates the baseline.
     std::string stats;
     if (shared_cache != nullptr) {
       RunCache::Stats s = shared_cache->stats();
-      stats = "cache_hits=" + Int64ToString(s.hits) + "\n" +
-              "cache_misses=" + Int64ToString(s.misses) + "\n" +
-              "equiv_hits=" + Int64ToString(s.equiv_hits) + "\n" +
-              "canonicalized_plans=" + Int64ToString(s.canonicalized_plans) +
-              "\n" + "mispredictions=" + Int64ToString(s.mispredictions) +
-              "\n" + "cache_evictions=" + Int64ToString(s.evictions) + "\n" +
-              "cache_load_failures=" + Int64ToString(s.load_failures);
+      stats =
+          "cache_hits=" + Int64ToString(s.hits - cache_baseline.hits) + "\n" +
+          "cache_misses=" + Int64ToString(s.misses - cache_baseline.misses) +
+          "\n" + "equiv_hits=" +
+          Int64ToString(s.equiv_hits - cache_baseline.equiv_hits) + "\n" +
+          "canonicalized_plans=" +
+          Int64ToString(s.canonicalized_plans -
+                        cache_baseline.canonicalized_plans) +
+          "\n" + "mispredictions=" +
+          Int64ToString(s.mispredictions - cache_baseline.mispredictions) +
+          "\n" + "cache_evictions=" +
+          Int64ToString(s.evictions - cache_baseline.evictions) + "\n" +
+          "cache_load_failures=" + Int64ToString(s.load_failures);
     }
     std::lock_guard<std::mutex> lock(write_mutex);
     WriteFabricFrame(fd, FabricMsg::kStats, stats);

@@ -18,15 +18,32 @@
 // door. The protocol version rides in every frame header and is checked
 // before the payload is even trusted.
 //
-// Steady state. The main thread reads kDispatch frames ("<unit> <attempt>\n
-// <globally-unsafe csv>") into a local queue; worker threads pull, execute
-// Campaign::RunUnit under the dispatched snapshot, and answer with kResult
-// ("<unit> <attempt>\n" + SerializeUnitResult) — socket writes serialized by
-// a mutex. A heartbeat thread sends an empty kHeartbeat frame every interval
-// the coordinator chose; heartbeats are the agent's liveness proof, separate
-// from results, so a long-running unit does not look like a dead host.
-// On kShutdown the agent drains its workers, answers kStats (the shared
-// cache's counters), and exits 0.
+// Steady state (wire v2). The main thread reads kDispatchBatch frames — a
+// snapshot section carrying the globally-unsafe set as an epoch-numbered
+// full send or a delta against the agent's acknowledged epoch, followed by
+// any number of "<unit> <attempt>" records — into a local queue; worker
+// threads pull, execute Campaign::RunUnit under the dispatched snapshot,
+// and push "<unit> <attempt>\n" + SerializeUnitResult records into a shared
+// outbox that one worker at a time drains into kResultBatch frames (socket
+// writes serialized by a mutex), so a burst of completions costs one frame,
+// not one frame each. A delta against an epoch the agent does not hold is
+// *refused*: the units are returned in a kSnapshotNack (never executed
+// under a set the agent cannot prove current) and the coordinator falls
+// back to a full snapshot resend. A heartbeat thread sends an empty
+// kHeartbeat frame every interval the coordinator chose; heartbeats are the
+// agent's liveness proof, separate from results, so a long-running unit
+// does not look like a dead host. On kShutdown the agent drains its
+// workers, persists the run cache (when cache_dir is set), answers kStats,
+// and exits 0.
+//
+// Warm starts. With cache_dir set and the run cache enabled, the agent
+// loads `<cache_dir>/fabric-<schema hash>-agent<index>.zc` before taking
+// work and saves it back on clean shutdown, so a repeat campaign over the
+// same schema/corpus starts warm. The file rides the RunCache v2 checksummed
+// format: corruption degrades to a cold start and shows up in the farewell's
+// cache_load_failures. The farewell's other counters are *per-campaign
+// deltas* against the post-load baseline — a warm start must not re-report
+// last campaign's hits.
 //
 // Fault injection. Both fault planes run *inside* the agent, decided
 // deterministically at (agent, unit, attempt):
@@ -40,8 +57,10 @@
 //     result (work done but lost — the lease expiry must recover it);
 //     kGarbledFrame writes junk where a frame belongs; kDelayedHeartbeat
 //     suppresses heartbeats for delay_seconds; kStaleDuplicateResult sends
-//     the result frame twice (the coordinator must drop the second copy
-//     idempotently).
+//     the result record twice (the coordinator must drop the second copy
+//     idempotently); kEpochDesync discards the acknowledged snapshot epoch
+//     at dispatch receipt and nacks the unit, forcing the coordinator
+//     through the full-resend recovery path.
 // Every plan must leave the folded report bitwise-identical to sequential
 // (tests/distributed_campaign_test.cc).
 
@@ -75,6 +94,12 @@ struct CampaignAgentOptions {
   // Deterministic fault planes, evaluated in-agent. Empty = undisturbed.
   FaultPlan faults;
   NetFaultPlan net_faults;
+
+  // Directory for the persistent run cache ("" = no persistence). Only
+  // meaningful with CampaignOptions::enable_run_cache; the file is keyed by
+  // schema hash and agent index, so agents never race on one file and a
+  // different campaign shape never poisons a warm start.
+  std::string cache_dir;
 };
 
 // Identity both ends must agree on before any unit is dispatched: a hex

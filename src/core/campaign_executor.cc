@@ -27,7 +27,8 @@ void RequireHonorable(const char* name, const ExecutorOptions& exec,
   // Fabric-only controls: every single-box backend refuses them (the
   // distributed executor never calls this helper).
   if (exec.agent_threads != 1 || !exec.net_faults.empty() ||
-      !exec.listen_address.empty()) {
+      !exec.listen_address.empty() || exec.pipeline_depth != 0 ||
+      !exec.agent_cache_dir.empty()) {
     throw Error(std::string(name) +
                 " executor does not support distributed-fabric options");
   }
@@ -129,6 +130,10 @@ class DistributedExecutor : public CampaignExecutor {
     fabric.agent_threads = exec.agent_threads;
     fabric.spawn_agents = exec.spawn_agents;
     fabric.listen_address = exec.listen_address;
+    if (exec.pipeline_depth > 0) {
+      fabric.pipeline_depth = exec.pipeline_depth;
+    }
+    fabric.agent_cache_dir = exec.agent_cache_dir;
     fabric.faults = exec.faults;
     fabric.net_faults = exec.net_faults;
     fabric.journal_path = exec.journal_path;

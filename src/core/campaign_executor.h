@@ -79,6 +79,12 @@ struct ExecutorOptions {
   // listen_address and wait for remote `--connect` agents.
   bool spawn_agents = true;
   std::string listen_address;
+  // Leases kept in flight per agent, as a multiple of its thread count.
+  // 0 = the fabric's default (2); any other value is fabric-only.
+  int pipeline_depth = 0;
+  // Directory for per-agent persistent run caches ("" = none); see
+  // campaign_agent.h, "Warm starts".
+  std::string agent_cache_dir;
 };
 
 class CampaignExecutor {

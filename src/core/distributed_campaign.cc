@@ -4,6 +4,10 @@
 #include <signal.h>
 #include <unistd.h>
 
+#if defined(__GLIBC__)
+#include <malloc.h>  // malloc_trim before forking the fleet
+#endif
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -17,6 +21,7 @@
 
 #include "src/common/error.h"
 #include "src/common/logging.h"
+#include "src/conf/conf_agent.h"
 #include "src/common/strings.h"
 #include "src/core/campaign_agent.h"
 #include "src/core/campaign_journal.h"
@@ -39,7 +44,6 @@ struct WorkUnit {
 // redo the work travels with it.
 struct Lease {
   int attempt = 0;
-  std::set<std::string> snapshot;  // globally-unsafe set the unit ran under
   double dispatch_seconds = 0.0;
   double deadline_seconds = 0.0;  // watchdog budget (0 = no deadline)
 };
@@ -48,10 +52,18 @@ struct AgentConn {
   int fd = -1;
   pid_t pid = -1;  // spawned agents only; -1 for remote --connect agents
   int index = -1;
-  int threads = 1;  // lease capacity, from the agent's kHello
+  int threads = 1;  // from the agent's kHello; capacity = threads x depth
   double last_heartbeat = 0.0;
   bool alive = false;
   std::map<size_t, Lease> leases;
+
+  // Snapshot-delta bookkeeping: the epoch (and set) this agent holds, as
+  // far as the coordinator knows. -1 = holds nothing (fresh connection, or
+  // a nack told us its state is unprovable) — the next dispatch is a full
+  // send. Updated optimistically after a successful batch write; a wrong
+  // guess is harmless because the agent nacks anything it cannot apply.
+  int64_t snap_epoch = -1;
+  std::set<std::string> snap_set;
 };
 
 // RAII over the whole fleet: every exit path (including exceptions mid-
@@ -109,6 +121,9 @@ CampaignReport RunDistributedCampaign(
     CampaignOptions options, const DistributedCampaignOptions& fabric) {
   if (fabric.agents < 1 || fabric.agent_threads < 1) {
     throw Error("distributed campaign requires agents >= 1 and threads >= 1");
+  }
+  if (fabric.pipeline_depth < 1) {
+    throw Error("distributed campaign requires pipeline_depth >= 1");
   }
   auto start = std::chrono::steady_clock::now();
 
@@ -206,6 +221,15 @@ CampaignReport RunDistributedCampaign(
     }
 
     if (fabric.spawn_agents) {
+#if defined(__GLIBC__)
+      // Return free heap pages to the OS before forking. A long-lived
+      // coordinator process accumulates freed-but-dirty allocator pages;
+      // every agent child that reuses them pays a copy-on-write fault per
+      // page, a per-agent tax that scales with the parent's heap history,
+      // not with the campaign. Trimming makes the fork cost depend only on
+      // live state.
+      ::malloc_trim(0);
+#endif
       // Fork before any coordinator thread or poll state exists; each child
       // becomes a full agent process and never returns here.
       fleet.spawned.assign(static_cast<size_t>(agent_count), -1);
@@ -225,6 +249,7 @@ CampaignReport RunDistributedCampaign(
           agent_options.threads = fabric.agent_threads;
           agent_options.faults = fabric.faults;
           agent_options.net_faults = fabric.net_faults;
+          agent_options.cache_dir = fabric.agent_cache_dir;
           std::_Exit(
               RunCampaignAgent(schema, corpus, resolved, agent_options));
         }
@@ -264,9 +289,20 @@ CampaignReport RunDistributedCampaign(
       } while (ready < 0 && errno == EINTR);
       FabricMsg type;
       std::string payload;
-      if (ready <= 0 ||
-          ReadFabricFrame(fd, &type, &payload) != FabricRead::kOk ||
-          type != FabricMsg::kHello) {
+      FabricRead hello_status =
+          ready <= 0 ? FabricRead::kError
+                     : ReadFabricFrame(fd, &type, &payload);
+      if (hello_status == FabricRead::kVersionMismatch) {
+        // An intact frame from another protocol era — refuse it by name. An
+        // older peer cannot parse a v2 reject frame, but it does see the
+        // close and gives up; a future peer reads the reason verbatim.
+        ZLOG_WARN << "distributed campaign: connector speaks a different "
+                     "wire protocol version; rejecting";
+        WriteFabricFrame(fd, FabricMsg::kReject, "protocol version mismatch");
+        ::close(fd);
+        continue;
+      }
+      if (hello_status != FabricRead::kOk || type != FabricMsg::kHello) {
         ::close(fd);
         continue;
       }
@@ -324,11 +360,27 @@ CampaignReport RunDistributedCampaign(
       queue.push_back(i);
     }
 
+    // Every result arrives stamped with the epoch of the snapshot it
+    // actually executed under (the agent reads the freshest applied set at
+    // execution start, not at dispatch); staleness is judged against that
+    // epoch's set, looked up in epoch_sets below.
     struct BufferedResult {
       UnitWorkResult unit;
-      std::set<std::string> snapshot;
+      int64_t epoch = 0;
     };
     std::map<size_t, BufferedResult> buffered;
+
+    // Snapshot delta state. The coordinator-side epoch ticks whenever the
+    // globally-unsafe set changes (it only ever grows today, but the delta
+    // encoding carries removals too); each AgentConn remembers the epoch it
+    // last successfully sent, so steady-state dispatches carry a few bytes
+    // of delta instead of the whole set. epoch_sets keeps every epoch's set
+    // for the staleness check — one entry per distinct set the campaign ever
+    // produced, never pruned (bounded by the number of unsafe params found).
+    int64_t coord_epoch = 0;
+    std::set<std::string> coord_set;
+    std::map<int64_t, std::set<std::string>> epoch_sets;
+    epoch_sets[0] = {};
     std::vector<int> attempts(units.size(), 0);
     std::vector<double> not_before(units.size(), 0.0);
     std::vector<double> completion_seconds;
@@ -395,20 +447,50 @@ CampaignReport RunDistributedCampaign(
     };
 
     auto is_stale = [&](const BufferedResult& result) {
+      // The epoch is guaranteed present: the read pass retires any agent
+      // that stamps a result with an epoch this coordinator never issued.
+      const std::set<std::string>& snapshot = epoch_sets.at(result.epoch);
       for (const std::string& param : result.unit.params_tested) {
         if (folder.globally_unsafe().count(param) > 0 &&
-            result.snapshot.count(param) == 0) {
+            snapshot.count(param) == 0) {
           return true;
         }
       }
       return false;
     };
 
-    // Identical fold/staleness logic to the single-box dynamic schedulers:
-    // fold everything the canonical order allows (poisoned units as empty
-    // stubs, journaled at fold time), then eagerly requeue every stale
-    // buffered result (staleness is monotone — see parallel_scheduler.cc
-    // for the full argument).
+    // Local exact re-run for stale cursor units. When the fold reaches a
+    // buffered result whose stamped snapshot missed a now-unsafe parameter,
+    // the unit must re-run — but at the cursor the fold has already folded
+    // every predecessor, so folder.globally_unsafe() IS the exact set a
+    // sequential campaign would hand this unit. Re-running it right here,
+    // in-process, under that set is therefore final (never stale again) and
+    // skips the redispatch round-trip that would otherwise stall the fold —
+    // the dominant tax of speculative execution over a real wire. The
+    // engine is built lazily (most campaigns at depth 1 never need it) and
+    // uncached, so the folded cache counters stay zero as in every
+    // shared-cache scheduler (the agents' farewells own those totals).
+    std::unique_ptr<ScopedThreadConfAgent> local_scope;
+    std::unique_ptr<Campaign> local_engine;
+    auto rerun_exact = [&](size_t unit_index) {
+      if (!local_engine) {
+        CampaignOptions local_options = resolved;
+        local_options.enable_run_cache = false;
+        local_scope = std::make_unique<ScopedThreadConfAgent>();
+        local_engine =
+            std::make_unique<Campaign>(schema, corpus, local_options);
+      }
+      return local_engine->RunUnit(*units[unit_index].test,
+                                   folder.globally_unsafe());
+    };
+
+    // Identical fold/staleness contract to the single-box dynamic
+    // schedulers — a stale buffered result never folds (staleness is
+    // monotone; see parallel_scheduler.cc for the full argument) — but the
+    // remedy differs: stale results stay buffered until the cursor reaches
+    // them and are then re-run locally under the exact fold-point set,
+    // instead of being re-queued to agents for another speculative (and
+    // possibly again-stale) round-trip.
     auto advance_fold = [&]() {
       while (cursor < units.size()) {
         if (poisoned.count(cursor) > 0) {
@@ -424,8 +506,14 @@ CampaignReport RunDistributedCampaign(
           continue;
         }
         auto it = buffered.find(cursor);
-        if (it == buffered.end() || is_stale(it->second)) {
+        if (it == buffered.end()) {
           break;
+        }
+        if (is_stale(it->second)) {
+          ZLOG_INFO << "distributed campaign: re-running unit "
+                    << it->second.unit.test_id
+                    << " locally (stale globally-unsafe snapshot)";
+          it->second.unit = rerun_exact(cursor);
         }
         begin_apps_through(units[cursor].app_index + 1);
         folder.Fold(it->second.unit);
@@ -441,19 +529,6 @@ CampaignReport RunDistributedCampaign(
           return;
         }
       }
-      std::vector<size_t> stale_units;
-      for (const auto& [index, result] : buffered) {
-        if (is_stale(result)) {
-          stale_units.push_back(index);
-        }
-      }
-      for (auto it = stale_units.rbegin(); it != stale_units.rend(); ++it) {
-        ZLOG_INFO << "distributed campaign: re-running unit "
-                  << buffered.at(*it).unit.test_id
-                  << " (stale globally-unsafe snapshot)";
-        buffered.erase(*it);
-        queue.push_front(*it);
-      }
     };
 
     while (cursor < units.size() && !stopped) {
@@ -468,14 +543,34 @@ CampaignReport RunDistributedCampaign(
         throw Error("distributed campaign: all agents died");
       }
 
-      // Dispatch: fill every agent up to its lease capacity with the first
-      // dispatchable units (queue order preserved, backoff-held units
-      // skipped). Each dispatch carries the freshest globally-unsafe
-      // snapshot — a subset of the exact sequential set for any unit still
-      // queued, the invariant the staleness rule leans on.
+      // Refresh the epoch before dispatching. An agent applies whatever
+      // snapshot it last received and its workers read it at execution
+      // start, so any epoch a result can carry names a set the coordinator
+      // folded at some earlier point — always a subset of the current
+      // globally-unsafe set (the fold only grows it). That is exactly the
+      // validity class of the PR 9 per-lease snapshot; the staleness check
+      // in advance_fold re-runs anything that missed a param, so findings
+      // stay bitwise-identical while far fewer units *are* stale.
+      if (folder.globally_unsafe() != coord_set) {
+        coord_set = folder.globally_unsafe();
+        ++coord_epoch;
+        epoch_sets[coord_epoch] = coord_set;
+      }
+
+      // Dispatch: fill every agent up to its pipelined lease capacity
+      // (pipeline_depth x threads — the prefetch window that keeps workers
+      // busy while results fly back) with the first dispatchable units
+      // (queue order preserved, backoff-held units skipped) — all in ONE
+      // kDispatchBatch frame per agent: a snapshot section (full, delta, or
+      // keep against the agent's last applied epoch), then the unit records.
       for (AgentConn& agent : fleet.agents) {
-        while (agent.alive &&
-               static_cast<int>(agent.leases.size()) < agent.threads &&
+        if (!agent.alive) {
+          continue;
+        }
+        const int capacity = agent.threads * fabric.pipeline_depth;
+        std::vector<size_t> picked;
+        while (static_cast<int>(agent.leases.size() + picked.size()) <
+                   capacity &&
                !queue.empty()) {
           double t = NowSeconds();
           auto next = queue.begin();
@@ -485,30 +580,74 @@ CampaignReport RunDistributedCampaign(
           if (next == queue.end()) {
             break;  // every queued unit is backing off
           }
-          size_t unit_index = *next;
+          picked.push_back(*next);
           queue.erase(next);
-          const std::set<std::string>& unsafe = folder.globally_unsafe();
-          std::string request =
-              Int64ToString(static_cast<int64_t>(unit_index)) + " " +
-              Int64ToString(attempts[unit_index]) + "\n" +
-              StrJoin(std::vector<std::string>(unsafe.begin(), unsafe.end()),
-                      ",");
+        }
+        if (picked.empty() &&
+            (agent.snap_epoch == coord_epoch || agent.leases.empty())) {
+          // Nothing to send and nothing in flight that an epoch bump could
+          // freshen — an idle agent learns the new set with its next unit.
+          continue;
+        }
+        // picked may be empty here: a full agent whose snapshot fell behind
+        // gets a unit-less broadcast batch, so the leases already queued on
+        // it execute under the newer set instead of re-running as stale.
+        std::string snapshot_record;
+        if (agent.snap_epoch < 0) {
+          // Fresh connection (or a nack voided its state): full send.
+          snapshot_record =
+              "-1 " + Int64ToString(coord_epoch) + " F\n" +
+              StrJoin(
+                  std::vector<std::string>(coord_set.begin(), coord_set.end()),
+                  ",");
+        } else if (agent.snap_epoch == coord_epoch) {
+          snapshot_record = Int64ToString(coord_epoch) + " " +
+                            Int64ToString(coord_epoch) + " K\n";
+        } else {
+          std::vector<std::string> delta;
+          for (const std::string& param : coord_set) {
+            if (agent.snap_set.count(param) == 0) {
+              delta.push_back("+" + param);
+            }
+          }
+          for (const std::string& param : agent.snap_set) {
+            if (coord_set.count(param) == 0) {
+              delta.push_back("-" + param);
+            }
+          }
+          snapshot_record = Int64ToString(agent.snap_epoch) + " " +
+                            Int64ToString(coord_epoch) + " D\n" +
+                            StrJoin(delta, ",");
+        }
+        std::string batch;
+        AppendBatchRecord(&batch, snapshot_record);
+        double t = NowSeconds();
+        double deadline = WatchdogDeadlineSeconds(
+            resolved.watchdog_floor_seconds, resolved.watchdog_multiplier,
+            completion_seconds);
+        // A pipelined unit legitimately waits behind up to depth-1 queued
+        // units per thread before it starts; its watchdog budget scales to
+        // match. (Completion samples include that wait, so the p95 term is
+        // self-correcting; the scale protects the floor-dominated regime.)
+        deadline *= fabric.pipeline_depth;
+        for (size_t unit_index : picked) {
+          AppendBatchRecord(
+              &batch, Int64ToString(static_cast<int64_t>(unit_index)) + " " +
+                          Int64ToString(attempts[unit_index]));
           Lease lease;
           lease.attempt = attempts[unit_index];
-          lease.snapshot = unsafe;
           lease.dispatch_seconds = t;
-          lease.deadline_seconds = WatchdogDeadlineSeconds(
-              resolved.watchdog_floor_seconds, resolved.watchdog_multiplier,
-              completion_seconds);
-          if (!WriteFabricFrame(agent.fd, FabricMsg::kDispatch, request)) {
-            // The lease never took effect; requeue the unit through the
-            // failure path via a one-entry lease map.
-            agent.leases[unit_index] = lease;
-            retire_agent(agent, "died at dispatch");
-            break;
-          }
+          lease.deadline_seconds = deadline;
           agent.leases[unit_index] = lease;
         }
+        if (!WriteFabricFrame(agent.fd, FabricMsg::kDispatchBatch, batch)) {
+          // None of the leases took effect; retirement expires every one of
+          // them into the requeue path.
+          retire_agent(agent, "died at dispatch");
+          continue;
+        }
+        agent.snap_epoch = coord_epoch;
+        agent.snap_set = coord_set;
       }
       if (alive_agents() == 0) {
         continue;  // top of loop throws with the precise error
@@ -555,42 +694,95 @@ CampaignReport RunDistributedCampaign(
           agent.last_heartbeat = NowSeconds();
           continue;
         }
-        if (type != FabricMsg::kResult) {
+        if (type == FabricMsg::kSnapshotNack) {
+          // The agent refused units it could not prove a current snapshot
+          // for (epoch mismatch — injected or real). Each refused lease
+          // re-enters the queue through the requeue/backoff policy (the
+          // bump-an-attempt economics every fault path shares), and the
+          // agent's snapshot state is voided so its next dispatch is a full
+          // resend — after which deltas resume. Line 0 is the agent's
+          // epoch (log flavor only); matching is by live lease, so a stale
+          // nack is as idempotent as a stale result.
+          std::vector<std::string> lines = StrSplit(payload, '\n');
+          std::vector<size_t> refused;
+          for (size_t line = 1; line < lines.size(); ++line) {
+            std::vector<std::string> head = StrSplit(lines[line], ' ');
+            int64_t unit_index = -1;
+            int64_t attempt = -1;
+            if (head.size() < 2 || !ParseInt64(head[0], &unit_index) ||
+                !ParseInt64(head[1], &attempt) || unit_index < 0) {
+              continue;
+            }
+            auto lease_it = agent.leases.find(static_cast<size_t>(unit_index));
+            if (lease_it == agent.leases.end() ||
+                lease_it->second.attempt != static_cast<int>(attempt)) {
+              continue;
+            }
+            agent.leases.erase(lease_it);
+            refused.push_back(static_cast<size_t>(unit_index));
+          }
+          agent.snap_epoch = -1;
+          // Descending push_front keeps the refused wave in canonical order
+          // at the head of the queue, as in retirement.
+          std::sort(refused.rbegin(), refused.rend());
+          for (size_t unit_index : refused) {
+            requeue_lease(unit_index);
+          }
+          continue;
+        }
+        if (type != FabricMsg::kResultBatch) {
           continue;  // stats before shutdown etc. — ignore
         }
-        size_t newline = payload.find('\n');
-        std::vector<std::string> head =
-            StrSplit(payload.substr(0, newline), ' ');
-        int64_t unit_index = -1;
-        int64_t attempt = -1;
-        if (head.size() < 2 || !ParseInt64(head[0], &unit_index) ||
-            !ParseInt64(head[1], &attempt) || newline == std::string::npos) {
-          retire_agent(agent, "sent a malformed result");
+        std::vector<std::string> batch_records;
+        if (!DecodeBatchRecords(payload, &batch_records)) {
+          retire_agent(agent, "sent a malformed result batch");
           continue;
         }
-        auto lease_it = agent.leases.find(static_cast<size_t>(unit_index));
-        if (lease_it == agent.leases.end() ||
-            lease_it->second.attempt != static_cast<int>(attempt)) {
-          // No live lease behind this completion: the stale duplicate a
-          // re-sent or reassigned unit produces. Folding is driven only by
-          // live leases, so dropping it here is what makes completion
-          // idempotent.
-          ++duplicate_results;
-          continue;
+        for (const std::string& record : batch_records) {
+          size_t newline = record.find('\n');
+          std::vector<std::string> head =
+              StrSplit(record.substr(0, newline), ' ');
+          int64_t unit_index = -1;
+          int64_t attempt = -1;
+          int64_t result_epoch = -1;
+          if (head.size() < 3 || !ParseInt64(head[0], &unit_index) ||
+              !ParseInt64(head[1], &attempt) ||
+              !ParseInt64(head[2], &result_epoch) ||
+              newline == std::string::npos) {
+            // Retirement clears the lease map; break so the remaining
+            // records of this batch cannot miscount as duplicates.
+            retire_agent(agent, "sent a malformed result");
+            break;
+          }
+          auto lease_it = agent.leases.find(static_cast<size_t>(unit_index));
+          if (lease_it == agent.leases.end() ||
+              lease_it->second.attempt != static_cast<int>(attempt)) {
+            // No live lease behind this completion: the stale duplicate a
+            // re-sent or reassigned unit produces. Folding is driven only by
+            // live leases, so dropping it here is what makes completion
+            // idempotent.
+            ++duplicate_results;
+            continue;
+          }
+          size_t parsed_index = 0;
+          UnitWorkResult unit;
+          if (!ParseUnitResult(record.substr(newline + 1), &parsed_index,
+                               &unit) ||
+              parsed_index != static_cast<size_t>(unit_index)) {
+            retire_agent(agent, "sent an unparseable result");
+            break;
+          }
+          if (epoch_sets.count(result_epoch) == 0) {
+            // An epoch this coordinator never issued cannot name a valid
+            // snapshot — the peer is provably broken, not merely stale.
+            retire_agent(agent, "reported an unknown snapshot epoch");
+            break;
+          }
+          completion_seconds.push_back(NowSeconds() -
+                                       lease_it->second.dispatch_seconds);
+          buffered[parsed_index] = BufferedResult{std::move(unit), result_epoch};
+          agent.leases.erase(lease_it);
         }
-        size_t parsed_index = 0;
-        UnitWorkResult unit;
-        if (!ParseUnitResult(payload.substr(newline + 1), &parsed_index,
-                             &unit) ||
-            parsed_index != static_cast<size_t>(unit_index)) {
-          retire_agent(agent, "sent an unparseable result");
-          continue;
-        }
-        completion_seconds.push_back(NowSeconds() -
-                                     lease_it->second.dispatch_seconds);
-        buffered[parsed_index] =
-            BufferedResult{std::move(unit), lease_it->second.snapshot};
-        agent.leases.erase(lease_it);
       }
 
       // Watchdog: any lease past its deadline means a unit is stuck on a

@@ -12,17 +12,24 @@
 //
 // Leases. A dispatched unit is a *lease*: (unit, attempt, snapshot,
 // dispatch time, watchdog deadline) owned by one agent. An agent holds at
-// most `threads` leases. A lease ends exactly one of three ways:
-//   * kResult with the matching (unit, attempt): the result is buffered for
-//     canonical folding (speculative-snapshot staleness rules unchanged
-//     from the single-box schedulers).
+// most `pipeline_depth x threads` leases — the prefetch window that keeps
+// its workers from idling between frames. A lease ends exactly one of
+// these ways:
+//   * a kResultBatch record with the matching (unit, attempt): the result
+//     is buffered for canonical folding (speculative-snapshot staleness
+//     rules unchanged from the single-box schedulers).
+//   * a kSnapshotNack record with the matching (unit, attempt): the agent
+//     refused to run it (epoch mismatch — it could not prove its
+//     globally-unsafe set current). The unit re-enters the queue through
+//     the same requeue/backoff policy and the agent is marked for a full
+//     snapshot resend.
 //   * Its agent is retired — EOF, garbled frame, write failure, heartbeat
 //     silence past heartbeat_timeout_seconds, or any lease past its
 //     watchdog deadline (a hung unit on a live, heartbeating host). Every
 //     lease the agent held expires (++expired_leases) and re-enters the
 //     queue through the PR 4 attempt/backoff/quarantine policy.
-//   * A kResult that matches no live lease — the duplicate a reassigned or
-//     re-sent unit can produce — is dropped idempotently
+//   * A result record that matches no live lease — the duplicate a
+//     reassigned or re-sent unit can produce — is dropped idempotently
 //     (++duplicate_results). Folding is driven only by live leases, so a
 //     unit can never fold twice no matter how the network replays.
 // Agent retirement is all-or-nothing (a host is healthy or it is not);
@@ -52,6 +59,14 @@ struct DistributedCampaignOptions {
   int agents = 1;
   int agent_threads = 1;
 
+  // Lease pipelining: the coordinator keeps up to depth x agent_threads
+  // leases in flight per agent, so a worker thread finishing a unit always
+  // finds the next one already queued locally instead of stalling a network
+  // round trip. 1 = the PR 9 lockstep behavior. Watchdog deadlines scale by
+  // the same factor (a dispatched unit may legitimately wait behind depth-1
+  // queued units per thread before it starts).
+  int pipeline_depth = 2;
+
   // Fork local agent processes (single-box mode). When false the coordinator
   // only listens and waits for `agents` remote `full_campaign --connect`
   // processes to arrive within handshake_timeout_seconds.
@@ -77,6 +92,12 @@ struct DistributedCampaignOptions {
   // is the agent index.
   FaultPlan faults;
   NetFaultPlan net_faults;
+
+  // Directory for per-agent persistent run caches ("" = none), forwarded to
+  // spawned agents (connect-mode agents pass --agent-cache-dir themselves).
+  // Requires CampaignOptions::enable_run_cache; repeat campaigns over the
+  // same schema/corpus then start warm (campaign_agent.h, "Warm starts").
+  std::string agent_cache_dir;
 
   // Crash-safe journal + resume, same contract as the single-box dynamic
   // schedulers: append at fold time, replay the valid prefix on resume.

@@ -4,9 +4,11 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
@@ -42,6 +44,32 @@ uint32_t GetU32(const char* in) {
 uint64_t GetU64(const char* in) {
   return static_cast<uint64_t>(GetU32(in)) |
          static_cast<uint64_t>(GetU32(in + 4)) << 32;
+}
+
+// writev(2) with EINTR retry and short-write resumption. A short write
+// advances through the iovec array in place; once the header vector drains
+// the remaining payload bytes go out through WriteAll's plain-write loop.
+bool WritevAll(int fd, struct iovec* iov, int iovcnt) {
+  while (iovcnt > 0) {
+    ssize_t n = ::writev(fd, iov, iovcnt);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    size_t left = static_cast<size_t>(n);
+    while (iovcnt > 0 && left >= iov[0].iov_len) {
+      left -= iov[0].iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + left;
+      iov[0].iov_len -= left;
+    }
+  }
+  return true;
 }
 
 // ReadExact that distinguishes the three outcomes the frame reader needs:
@@ -81,11 +109,15 @@ bool WriteFabricFrame(int fd, FabricMsg type, const std::string& payload) {
   PutU32(header + 8, static_cast<uint32_t>(type));
   PutU64(header + 12, payload.size());
   PutU64(header + 20, HashFnv64(payload));
-  // Header and payload in one buffer per write() when small enough would be
-  // marginally fewer syscalls, but two WriteAll calls keep the zero-length
-  // payload path trivial and reuse the EINTR/EPIPE handling verbatim.
-  return WriteAll(fd, header, kHeaderSize) &&
-         WriteAll(fd, payload.data(), payload.size());
+  // One writev per frame: the header never hits the wire in its own TCP
+  // segment, and a batched frame costs one syscall regardless of payload
+  // size. payload.data() is only read, but iovec wants a non-const pointer.
+  struct iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = kHeaderSize;
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
+  return WritevAll(fd, iov, payload.empty() ? 1 : 2);
 }
 
 FabricRead ReadFabricFrame(int fd, FabricMsg* type, std::string* payload) {
@@ -100,9 +132,14 @@ FabricRead ReadFabricFrame(int fd, FabricMsg* type, std::string* payload) {
     return errno != 0 && errno != ECONNRESET ? FabricRead::kError
                                              : FabricRead::kGarbled;
   }
-  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0 ||
-      GetU32(header + 4) != kFabricProtocolVersion) {
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
     return FabricRead::kGarbled;
+  }
+  if (GetU32(header + 4) != kFabricProtocolVersion) {
+    // Intact magic, wrong version: a real (old or future) peer rather than
+    // line noise. Reported distinctly so the handshake can name the refusal;
+    // the connection is equally unusable either way.
+    return FabricRead::kVersionMismatch;
   }
   uint64_t size = GetU64(header + 12);
   if (size > kFabricMaxPayload) {
@@ -118,6 +155,39 @@ FabricRead ReadFabricFrame(int fd, FabricMsg* type, std::string* payload) {
   }
   *type = static_cast<FabricMsg>(GetU32(header + 8));
   return FabricRead::kOk;
+}
+
+void AppendBatchRecord(std::string* payload, const std::string& record) {
+  payload->append(std::to_string(record.size()));
+  payload->push_back('\n');
+  payload->append(record);
+}
+
+bool DecodeBatchRecords(const std::string& payload,
+                        std::vector<std::string>* records) {
+  records->clear();
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    size_t newline = payload.find('\n', pos);
+    if (newline == std::string::npos || newline == pos) {
+      return false;
+    }
+    uint64_t length = 0;
+    for (size_t i = pos; i < newline; ++i) {
+      char c = payload[i];
+      if (c < '0' || c > '9' || length > kFabricMaxPayload) {
+        return false;
+      }
+      length = length * 10 + static_cast<uint64_t>(c - '0');
+    }
+    size_t body = newline + 1;
+    if (length > payload.size() - body) {
+      return false;
+    }
+    records->emplace_back(payload, body, static_cast<size_t>(length));
+    pos = body + static_cast<size_t>(length);
+  }
+  return true;
 }
 
 int ListenTcp(const std::string& host, uint16_t port, uint16_t* bound_port) {
@@ -153,14 +223,18 @@ int ListenTcp(const std::string& host, uint16_t port, uint16_t* bound_port) {
   return fd;
 }
 
+bool SetTcpNoDelay(int fd) {
+  int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
 int AcceptTcp(int listen_fd) {
   int fd;
   do {
     fd = ::accept(listen_fd, nullptr, nullptr);
   } while (fd < 0 && errno == EINTR);
   if (fd >= 0) {
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetTcpNoDelay(fd);
   }
   return fd;
 }
@@ -186,8 +260,7 @@ int ConnectTcp(const std::string& host, uint16_t port, double timeout_seconds) {
                      sizeof(addr));
     } while (rc < 0 && errno == EINTR);
     if (rc == 0) {
-      int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      SetTcpNoDelay(fd);
       return fd;
     }
     ::close(fd);
@@ -202,15 +275,41 @@ int ConnectTcp(const std::string& host, uint16_t port, double timeout_seconds) {
 }
 
 bool ParseHostPort(const std::string& address, std::string* host,
-                   uint16_t* port) {
+                   uint16_t* port, std::string* error) {
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  for (char c : address) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      return fail("whitespace in address \"" + address + "\"");
+    }
+  }
   size_t colon = address.rfind(':');
   if (colon == std::string::npos) {
-    return false;
+    return fail("missing ':' in \"" + address + "\" (expected host:port)");
   }
-  int64_t value = 0;
-  if (!ParseInt64(address.substr(colon + 1), &value) || value < 1 ||
-      value > 65535) {
-    return false;
+  const std::string digits = address.substr(colon + 1);
+  if (digits.empty()) {
+    return fail("empty port in \"" + address + "\"");
+  }
+  // Digits only — no sign, no trim, no trailing garbage. ParseInt64 is
+  // deliberately not reused here: its leading/trailing-whitespace trim and
+  // '+'/'-' acceptance are exactly what a strict endpoint parser must refuse.
+  uint32_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return fail("port \"" + digits + "\" is not a number");
+    }
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+    if (value > 65535) {
+      return fail("port \"" + digits + "\" is out of range (1-65535)");
+    }
+  }
+  if (value < 1) {
+    return fail("port \"" + digits + "\" is out of range (1-65535)");
   }
   *host = address.substr(0, colon);
   *port = static_cast<uint16_t>(value);

@@ -93,6 +93,11 @@ struct FaultPlan {
 //                         (exercises the lease heartbeat timeout)
 //   kStaleDuplicateResult agent sends the result frame twice (the second copy
 //                         must be idempotently dropped by the coordinator)
+//   kEpochDesync          agent discards its acknowledged snapshot epoch and
+//                         refuses the dispatched unit with kSnapshotNack, as
+//                         if a delta arrived against an epoch it never applied
+//                         (coordinator must requeue the unit and fall back to
+//                         a full snapshot resend)
 //
 // Same determinism contract as FaultPlan: explicit specs pin coordinates, and
 // the seeded random mode hashes (seed, kind, test id, attempt) — not the
@@ -106,6 +111,7 @@ enum class NetFaultKind {
   kGarbledFrame,
   kDelayedHeartbeat,
   kStaleDuplicateResult,
+  kEpochDesync,
 };
 
 // One network injection site. Wildcards as in FaultSpec: empty test_id
@@ -123,8 +129,9 @@ struct NetFaultPlan {
 
   // Seeded random mode, mirroring FaultPlan: each (kind, test id, attempt)
   // coordinate fires with the matching rate. 0 disables a kind. Heartbeat
-  // delay and duplicate-result have no random mode — their interesting
-  // coordinates are timing-specific, so pin them with explicit specs.
+  // delay, duplicate-result, and epoch desync have no random mode — their
+  // interesting coordinates are timing- or state-specific, so pin them with
+  // explicit specs.
   uint64_t seed = 0;
   double agent_crash_rate = 0.0;
   double connection_drop_rate = 0.0;

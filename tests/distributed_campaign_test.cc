@@ -13,11 +13,16 @@
 // the faults it injects, exactly like the worker budgets in
 // fault_tolerance_test.cc.
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -165,19 +170,153 @@ TEST(FabricWireTest, GarbledMagicAndChecksumAreRejected) {
   }
 }
 
-TEST(FabricWireTest, ParseHostPort) {
-  std::string host;
+TEST(FabricWireTest, ParseHostPortTableDriven) {
+  struct Case {
+    const char* address;
+    bool ok;
+    const char* host;          // valid cases
+    uint16_t port;             // valid cases
+    const char* error_needle;  // invalid cases: substring of the error
+  };
+  const Case cases[] = {
+      {"127.0.0.1:9009", true, "127.0.0.1", 9009, ""},
+      {":9009", true, "", 9009, ""},  // empty host = INADDR_ANY, the one
+                                      // meaningful empty field
+      {"example.internal:1", true, "example.internal", 1, ""},
+      {"10.0.0.1:65535", true, "10.0.0.1", 65535, ""},
+      // IPv6-ish shapes parse on the last colon.
+      {"::1:8080", true, "::1", 8080, ""},
+      {"no-port-here", false, "", 0, "missing ':'"},
+      {"host:", false, "", 0, "empty port"},
+      {"host:0", false, "", 0, "out of range"},
+      {"host:65536", false, "", 0, "out of range"},
+      {"host:99999", false, "", 0, "out of range"},
+      {"host:123456789012345678901", false, "", 0, "out of range"},
+      {"host:9009x", false, "", 0, "not a number"},
+      {"host:90x09", false, "", 0, "not a number"},
+      {"host:+9009", false, "", 0, "not a number"},
+      {"host:-1", false, "", 0, "not a number"},
+      {"host:0x1f90", false, "", 0, "not a number"},
+      // ParseInt64's whitespace trim must NOT leak into endpoint parsing.
+      {"host: 9009", false, "", 0, "whitespace"},
+      {"host:9009 ", false, "", 0, "whitespace"},
+      {" host:9009", false, "", 0, "whitespace"},
+      {"host:90\t09", false, "", 0, "whitespace"},
+      {"", false, "", 0, "missing ':'"},
+      {":", false, "", 0, "empty port"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string("address '") + c.address + "'");
+    std::string host = "UNTOUCHED";
+    uint16_t port = 12345;
+    std::string error;
+    if (c.ok) {
+      ASSERT_TRUE(ParseHostPort(c.address, &host, &port, &error)) << error;
+      EXPECT_EQ(host, c.host);
+      EXPECT_EQ(port, c.port);
+    } else {
+      ASSERT_FALSE(ParseHostPort(c.address, &host, &port, &error));
+      // A refusal must come with a reason naming the offending part, and
+      // must not have scribbled on the outputs.
+      EXPECT_NE(error.find(c.error_needle), std::string::npos) << error;
+      EXPECT_EQ(host, "UNTOUCHED");
+      EXPECT_EQ(port, 12345);
+    }
+  }
+}
+
+TEST(FabricWireTest, VersionMismatchDistinguishedFromGarble) {
+  // Capture a valid frame, rewrite its version field (bytes 4-7), and feed
+  // it back: an intact frame from another protocol era must surface as
+  // kVersionMismatch — the handshake names the refusal — not as line noise.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(WriteFabricFrame(fds[1], FabricMsg::kHello, "hash\n1\n0"));
+  ::close(fds[1]);
+  std::string wire(4096, '\0');
+  ssize_t n = ::read(fds[0], wire.data(), wire.size());
+  ASSERT_GT(n, 28);
+  wire.resize(static_cast<size_t>(n));
+  ::close(fds[0]);
+  wire[4] = 0x01;  // version 1 of old; payload checksum is version-agnostic
+
+  int fds2[2];
+  ASSERT_EQ(::pipe(fds2), 0);
+  ASSERT_EQ(::write(fds2[1], wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  ::close(fds2[1]);
+  FabricMsg type;
+  std::string payload;
+  EXPECT_EQ(ReadFabricFrame(fds2[0], &type, &payload),
+            FabricRead::kVersionMismatch);
+  ::close(fds2[0]);
+}
+
+TEST(FabricWireTest, BatchRecordRoundTrip) {
+  // Records with newlines, NULs, and emptiness all survive; order holds.
+  std::vector<std::string> records = {
+      "0 0\nserialized result with\nnewlines",
+      std::string("binary\0rec", 10),
+      "",
+      "plain",
+  };
+  std::string payload;
+  for (const std::string& record : records) {
+    AppendBatchRecord(&payload, record);
+  }
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(DecodeBatchRecords(payload, &decoded));
+  EXPECT_EQ(decoded, records);
+
+  // The zero-record batch is valid (an empty payload decodes to nothing).
+  ASSERT_TRUE(DecodeBatchRecords("", &decoded));
+  EXPECT_TRUE(decoded.empty());
+
+  // Malformed shapes a checksum cannot catch: missing length prefix,
+  // non-numeric length, truncated body, and a length that overruns.
+  EXPECT_FALSE(DecodeBatchRecords("no-length-prefix", &decoded));
+  EXPECT_FALSE(DecodeBatchRecords("3x\nabc", &decoded));
+  EXPECT_FALSE(DecodeBatchRecords("\nabc", &decoded));
+  EXPECT_FALSE(DecodeBatchRecords("10\nshort", &decoded));
+  EXPECT_FALSE(DecodeBatchRecords("5\nabcde3\nab", &decoded));
+  // A truncated prefix of a valid payload must not decode.
+  EXPECT_FALSE(DecodeBatchRecords(payload.substr(0, payload.size() - 1),
+                                  &decoded));
+}
+
+TEST(FabricWireTest, TcpNoDelaySetOnAcceptedAndConnectedSockets) {
+  // Every live fabric socket must run with Nagle off — the accepted side
+  // included (a 40ms delayed-ACK stall per dispatch would swamp the batched
+  // data plane). Build a real listen/connect/accept triple and assert the
+  // option on both ends.
   uint16_t port = 0;
-  ASSERT_TRUE(ParseHostPort("127.0.0.1:9009", &host, &port));
-  EXPECT_EQ(host, "127.0.0.1");
-  EXPECT_EQ(port, 9009);
-  ASSERT_TRUE(ParseHostPort(":9009", &host, &port));
-  EXPECT_EQ(host, "");
-  EXPECT_EQ(port, 9009);
-  EXPECT_FALSE(ParseHostPort("no-port-here", &host, &port));
-  EXPECT_FALSE(ParseHostPort("host:", &host, &port));
-  EXPECT_FALSE(ParseHostPort("host:0", &host, &port));
-  EXPECT_FALSE(ParseHostPort("host:99999", &host, &port));
+  int listen_fd = ListenTcp("127.0.0.1", 0, &port);
+  ASSERT_GE(listen_fd, 0);
+  int client_fd = ConnectTcp("127.0.0.1", port, 5.0);
+  ASSERT_GE(client_fd, 0);
+  int server_fd = AcceptTcp(listen_fd);
+  ASSERT_GE(server_fd, 0);
+
+  auto nodelay = [](int fd) {
+    int value = 0;
+    socklen_t len = sizeof(value);
+    EXPECT_EQ(::getsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &value, &len), 0);
+    return value != 0;
+  };
+  EXPECT_TRUE(nodelay(client_fd)) << "ConnectTcp socket";
+  EXPECT_TRUE(nodelay(server_fd)) << "AcceptTcp socket";
+
+  // The helper itself: idempotent on TCP, refuses a non-TCP fd.
+  EXPECT_TRUE(SetTcpNoDelay(client_fd));
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  EXPECT_FALSE(SetTcpNoDelay(pipe_fds[0]));
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+
+  ::close(client_fd);
+  ::close(server_fd);
+  ::close(listen_fd);
 }
 
 // --- Network fault plane ----------------------------------------------------
@@ -494,6 +633,161 @@ TEST(DistributedCampaignTest, ResumeUnderAgentCrashBitwiseIdentical) {
   std::remove(path.c_str());
 }
 
+TEST(DistributedCampaignTest, BitwiseIdenticalAcrossPipelineDepths) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  // Depth 1 degenerates to the v1 lease discipline (one lease per thread);
+  // deeper pipelines keep depth x threads leases in flight. None of it may
+  // move results: a lease is a promise of execution, not of order.
+  for (int depth : {1, 2, 4}) {
+    DistributedCampaignOptions fabric;
+    fabric.agents = 2;
+    fabric.agent_threads = 2;
+    fabric.pipeline_depth = depth;
+    CampaignReport report = RunFabric(options, fabric);
+    ExpectIdenticalResults(report, expected,
+                           "pipeline depth " + std::to_string(depth));
+    EXPECT_EQ(report.agent_disconnects, 0);
+  }
+
+  DistributedCampaignOptions invalid;
+  invalid.agents = 1;
+  invalid.pipeline_depth = 0;
+  EXPECT_THROW(RunFabric(options, invalid), Error);
+}
+
+TEST(DistributedCampaignTest, EpochDesyncForcesFullResendBitwiseIdentical) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  // The agent "forgets" its snapshot epoch at the moment this unit's
+  // dispatch arrives: the unit (and any in-flight delta batches behind it)
+  // must come back as kSnapshotNack, the coordinator must requeue them and
+  // fall back to a full snapshot send, and the campaign must not notice.
+  // The agent survives — a desync is a state problem, not a liveness one.
+  DistributedCampaignOptions fabric;
+  fabric.agents = 2;
+  fabric.agent_threads = 2;
+  fabric.pipeline_depth = 2;
+  NetFaultSpec desync;
+  desync.kind = NetFaultKind::kEpochDesync;
+  desync.test_id = "ministream.TestDataExchange";
+  desync.attempt = 0;
+  fabric.net_faults.specs.push_back(desync);
+
+  CampaignReport report = RunFabric(options, fabric);
+  ExpectIdenticalResults(report, expected, "epoch desync");
+  EXPECT_GE(report.requeued_units, 1);
+  EXPECT_GE(report.expired_leases, 1);
+  EXPECT_EQ(report.agent_disconnects, 0);
+}
+
+TEST(DistributedCampaignTest, GarbledBatchedFrameAtDepthFourBitwiseIdentical) {
+  CampaignOptions options = SmallCampaign();
+  CampaignReport expected = SequentialReference(options);
+
+  // Same garble as GarbledFrameRetiresAgentBitwiseIdentical, but with a deep
+  // pipeline: the corrupted kResultBatch takes a whole batch of sibling
+  // leases down with the agent, and every one must be re-run elsewhere.
+  DistributedCampaignOptions fabric;
+  fabric.agents = 2;
+  fabric.agent_threads = 2;
+  fabric.pipeline_depth = 4;
+  NetFaultSpec garble;
+  garble.kind = NetFaultKind::kGarbledFrame;
+  garble.test_id = "minikv.TestRestStatus";
+  garble.attempt = 0;
+  fabric.net_faults.specs.push_back(garble);
+
+  CampaignReport report = RunFabric(options, fabric);
+  ExpectIdenticalResults(report, expected, "garbled batched frame, depth 4");
+  EXPECT_GE(report.agent_disconnects, 1);
+  EXPECT_GE(report.expired_leases, 1);
+}
+
+// --- Persistent agent cache -------------------------------------------------
+
+TEST(DistributedCampaignTest, WarmAgentCacheBitwiseIdenticalWithCacheHits) {
+  CampaignOptions options = SmallCampaign();
+  options.enable_run_cache = true;
+  CampaignReport expected = SequentialReference(options);
+
+  const std::string dir = ::testing::TempDir() + "/fabric_warm_cache";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string cache_file =
+      dir + "/fabric-" + FabricSchemaHash(FullSchema(), FullCorpus(), options) +
+      "-agent0.zc";
+  std::remove(cache_file.c_str());
+
+  DistributedCampaignOptions fabric;
+  fabric.agents = 1;
+  fabric.agent_threads = 2;
+  fabric.agent_cache_dir = dir;
+
+  // Cold run: populates and persists the agent's cache at shutdown.
+  CampaignReport cold = RunFabric(options, fabric);
+  ExpectIdenticalResults(cold, expected, "cold agent cache");
+  EXPECT_EQ(cold.cache_load_failures, 0);
+  struct stat st;
+  ASSERT_EQ(::stat(cache_file.c_str(), &st), 0)
+      << "agent did not persist its run cache to " << cache_file;
+  EXPECT_GT(st.st_size, 0);
+
+  // Warm restart: the coordinator restart gate. Same campaign, same cache
+  // dir — results bitwise-identical, but runs the cold campaign had to
+  // execute are now served from disk: hits up, misses strictly down.
+  CampaignReport warm = RunFabric(options, fabric);
+  ExpectIdenticalResults(warm, expected, "warm agent cache");
+  EXPECT_EQ(warm.cache_load_failures, 0);
+  EXPECT_GT(warm.cache_hits, 0);
+  EXPECT_GT(warm.cache_hits, cold.cache_hits);
+  EXPECT_LT(warm.cache_misses, cold.cache_misses);
+
+  std::remove(cache_file.c_str());
+}
+
+TEST(DistributedCampaignTest, CorruptAgentCacheDegradesToColdStart) {
+  CampaignOptions options = SmallCampaign();
+  options.enable_run_cache = true;
+  CampaignReport expected = SequentialReference(options);
+
+  const std::string dir = ::testing::TempDir() + "/fabric_corrupt_cache";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string cache_file =
+      dir + "/fabric-" + FabricSchemaHash(FullSchema(), FullCorpus(), options) +
+      "-agent0.zc";
+
+  DistributedCampaignOptions fabric;
+  fabric.agents = 1;
+  fabric.agent_cache_dir = dir;
+
+  // Outright garbage where the cache file should be.
+  {
+    std::ofstream out(cache_file, std::ios::binary | std::ios::trunc);
+    const std::string junk("!!this is not a run cache!!\0\xff\x01garbage", 38);
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  CampaignReport garbage = RunFabric(options, fabric);
+  ExpectIdenticalResults(garbage, expected, "garbage agent cache");
+  EXPECT_GE(garbage.cache_load_failures, 1)
+      << "a corrupt cache must be surfaced, not silently ignored";
+  EXPECT_EQ(garbage.agent_disconnects, 0);
+
+  // Truncation: the clean run above rewrote a valid cache at shutdown; chop
+  // it mid-file and the next load must also degrade to a cold start.
+  struct stat st;
+  ASSERT_EQ(::stat(cache_file.c_str(), &st), 0);
+  ASSERT_GT(st.st_size, 2);
+  ASSERT_EQ(::truncate(cache_file.c_str(), st.st_size / 2), 0);
+  CampaignReport truncated = RunFabric(options, fabric);
+  ExpectIdenticalResults(truncated, expected, "truncated agent cache");
+  EXPECT_GE(truncated.cache_load_failures, 1);
+  EXPECT_EQ(truncated.agent_disconnects, 0);
+
+  std::remove(cache_file.c_str());
+}
+
 // --- Executor wiring --------------------------------------------------------
 
 TEST(DistributedExecutorTest, RegisteredAndBitwiseIdentical) {
@@ -540,6 +834,20 @@ TEST(DistributedExecutorTest, SingleBoxBackendsRefuseFabricOptions) {
   listen.listen_address = ":9009";
   EXPECT_THROW(MakeExecutor(ExecutorKind::kSharded)
                    ->Run(FullSchema(), FullCorpus(), options, listen),
+               Error);
+
+  ExecutorOptions depth;
+  depth.workers = 2;
+  depth.pipeline_depth = 2;
+  EXPECT_THROW(MakeExecutor(ExecutorKind::kStealing)
+                   ->Run(FullSchema(), FullCorpus(), options, depth),
+               Error);
+
+  ExecutorOptions cache_dir;
+  cache_dir.workers = 2;
+  cache_dir.agent_cache_dir = ::testing::TempDir();
+  EXPECT_THROW(MakeExecutor(ExecutorKind::kThreadPool)
+                   ->Run(FullSchema(), FullCorpus(), options, cache_dir),
                Error);
 }
 
